@@ -1,0 +1,30 @@
+//! Criterion wrapper for the Figure 5 quality sweep: time to run each
+//! coalescing variant over a small corpus (the copy counts themselves are
+//! printed by the `fig5_quality` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ossa_bench::{corpus, quality_variants, run_variant};
+
+fn bench_quality_variants(c: &mut Criterion) {
+    let corpus = corpus(0.08);
+    let mut group = c.benchmark_group("fig5_quality");
+    for (name, options) in quality_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &options, |b, options| {
+            b.iter(|| {
+                let mut copies = 0usize;
+                for workload in &corpus {
+                    copies += run_variant(workload, options).0.remaining_copies;
+                }
+                copies
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_quality_variants
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion reproduction of Figure 6: time to go out of SSA for each engine
+//! configuration over the simulated corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ossa_bench::{corpus, engine_variants, run_variant};
+
+fn bench_engines(c: &mut Criterion) {
+    let corpus = corpus(0.08);
+    let mut group = c.benchmark_group("fig6_speed");
+    for (name, options) in engine_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &options, |b, options| {
+            b.iter(|| {
+                let mut copies = 0usize;
+                for workload in &corpus {
+                    copies += run_variant(workload, options).0.remaining_copies;
+                }
+                copies
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion wrapper for the Figure 7 memory accounting: cost of computing
+//! the per-engine memory report (the byte numbers themselves are printed by
+//! the `fig7_memory` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ossa_bench::{corpus, memory_report};
+
+fn bench_memory_report(c: &mut Criterion) {
+    let corpus = corpus(0.06);
+    c.bench_function("fig7_memory_report", |b| {
+        b.iter(|| {
+            let report = memory_report(&corpus);
+            report.iter().map(|row| row.measured_bytes).sum::<usize>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_memory_report
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmark of the parallel-copy sequentialization (Algorithm 1) on
+//! synthetic permutations of various sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ossa_destruct::sequentialize;
+use ossa_ir::entity::EntityRef;
+use ossa_ir::{CopyPair, Value};
+
+/// Builds a parallel copy made of `cycles` disjoint cycles of length `len`
+/// plus one tree copy per cycle.
+fn build_moves(cycles: usize, len: usize) -> Vec<CopyPair> {
+    let mut moves = Vec::new();
+    let mut next = 0usize;
+    for _ in 0..cycles {
+        let base = next;
+        for i in 0..len {
+            let dst = base + i;
+            let src = base + (i + 1) % len;
+            moves.push(CopyPair { dst: Value::new(dst), src: Value::new(src) });
+        }
+        next += len;
+        // One tree edge duplicating the first element of the cycle.
+        moves.push(CopyPair { dst: Value::new(next), src: Value::new(base) });
+        next += 1;
+    }
+    moves
+}
+
+fn bench_sequentialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_copies");
+    for &(cycles, len) in &[(1usize, 4usize), (4, 4), (16, 8), (64, 8)] {
+        let moves = build_moves(cycles, len);
+        let temp = Value::new(100_000);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{cycles}x{len}")),
+            &moves,
+            |b, moves| b.iter(|| sequentialize(moves, temp).copies.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequentialize);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 5 reproduction: impact of interference accuracy and coalescing
+//! strategy on the number of remaining copies, normalized to `Intersect`.
+
+use ossa_bench::{corpus, format_normalized, quality_report, DEFAULT_SCALE};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_SCALE);
+    let corpus = corpus(scale);
+    let names: Vec<&str> = corpus.iter().map(|w| w.name).collect();
+    let report = quality_report(&corpus);
+
+    println!("Figure 5 — remaining static copies (ratio vs Intersect), scale {scale}\n");
+    let rows: Vec<(String, Vec<f64>)> = report
+        .iter()
+        .map(|row| (row.variant.to_string(), row.copies.iter().map(|&c| c as f64).collect()))
+        .collect();
+    println!("{}", format_normalized(&names, &rows));
+
+    println!("Figure 5 (weighted / dynamic estimate) — ratio vs Intersect\n");
+    let rows: Vec<(String, Vec<f64>)> =
+        report.iter().map(|row| (row.variant.to_string(), row.weighted.clone())).collect();
+    println!("{}", format_normalized(&names, &rows));
+
+    println!("absolute remaining static copies per variant (sum over corpus):");
+    for row in &report {
+        let total: usize = row.copies.iter().sum();
+        println!("  {:<14} {total}", row.variant);
+    }
+}

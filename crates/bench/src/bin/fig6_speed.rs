@@ -1,0 +1,28 @@
+//! Figure 6 reproduction: out-of-SSA translation time for the different
+//! engine configurations, normalized to `Sreedhar III`.
+
+use ossa_bench::{corpus, format_normalized, speed_report, DEFAULT_SCALE};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_SCALE);
+    let corpus = corpus(scale);
+    let names: Vec<&str> = corpus.iter().map(|w| w.name).collect();
+
+    // Warm up once so allocation effects do not dominate the first engine.
+    let _ = speed_report(&corpus[..1.min(corpus.len())]);
+    let report = speed_report(&corpus);
+
+    println!("Figure 6 — time to go out of SSA (ratio vs Sreedhar III), scale {scale}\n");
+    let rows: Vec<(String, Vec<f64>)> =
+        report.iter().map(|row| (row.engine.to_string(), row.seconds.clone())).collect();
+    println!("{}", format_normalized(&names, &rows));
+
+    println!("absolute time per engine (seconds, sum over corpus):");
+    for row in &report {
+        let total: f64 = row.seconds.iter().sum();
+        println!("  {:<44} {total:.4}", row.engine);
+    }
+}

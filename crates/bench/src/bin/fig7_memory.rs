@@ -1,0 +1,30 @@
+//! Figure 7 reproduction: memory footprint of the interference graph,
+//! liveness sets and liveness-checking structures, per engine configuration.
+
+use ossa_bench::{corpus, memory_report, DEFAULT_SCALE};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_SCALE);
+    let corpus = corpus(scale);
+    let report = memory_report(&corpus);
+    let baseline = report[0].measured_bytes.max(1);
+
+    println!("Figure 7 — memory footprint (sum over corpus), scale {scale}\n");
+    println!(
+        "{:<44}{:>14}{:>14}{:>22}{:>20}",
+        "engine", "measured (B)", "vs Sreedhar", "evaluated ordered (B)", "evaluated bitset (B)"
+    );
+    for row in &report {
+        println!(
+            "{:<44}{:>14}{:>14.3}{:>22}{:>20}",
+            row.engine,
+            row.measured_bytes,
+            row.measured_bytes as f64 / baseline as f64,
+            row.evaluated_ordered_bytes,
+            row.evaluated_bitset_bytes
+        );
+    }
+}

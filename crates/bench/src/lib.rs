@@ -1,0 +1,250 @@
+//! # ossa-bench — the evaluation harness
+//!
+//! Reproduces the paper's evaluation on the simulated SPEC CINT2000 corpus:
+//!
+//! * **Figure 5** ([`quality_report`]) — remaining copies per coalescing
+//!   variant, normalized to the `Intersect` baseline;
+//! * **Figure 6** ([`speed_report`]) — out-of-SSA translation time per
+//!   engine configuration, normalized to `Sreedhar III`;
+//! * **Figure 7** ([`memory_report`]) — measured and evaluated memory
+//!   footprints of the interference/liveness structures.
+//!
+//! The binaries `fig5_quality`, `fig6_speed`, `fig7_memory` and
+//! `table_corner_cases` print the rows; the Criterion benches wrap the same
+//! code for statistically meaningful timings.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use ossa_cfggen::{spec_like_corpus, Workload};
+use ossa_destruct::{
+    translate_out_of_ssa, ClassCheck, InterferenceMode, OutOfSsaOptions, OutOfSsaStats,
+};
+
+/// The Figure 5 coalescing variants, in the paper's order.
+pub fn quality_variants() -> Vec<(&'static str, OutOfSsaOptions)> {
+    vec![
+        ("Intersect", OutOfSsaOptions::intersect()),
+        ("Sreedhar I", OutOfSsaOptions::sreedhar_i()),
+        ("Chaitin", OutOfSsaOptions::chaitin()),
+        ("Value", OutOfSsaOptions::value()),
+        ("Sreedhar III", OutOfSsaOptions::sreedhar_iii()),
+        ("Value + IS", OutOfSsaOptions::value_is()),
+        ("Sharing", OutOfSsaOptions::sharing()),
+    ]
+}
+
+/// The Figure 6 / Figure 7 engine configurations, in the paper's order.
+pub fn engine_variants() -> Vec<(&'static str, OutOfSsaOptions)> {
+    vec![
+        ("Sreedhar III", OutOfSsaOptions::sreedhar_iii()),
+        ("Us III", OutOfSsaOptions::us_iii()),
+        (
+            "Us III + InterCheck",
+            OutOfSsaOptions::us_iii().with_interference(InterferenceMode::InterCheck),
+        ),
+        (
+            "Us III + InterCheck + LiveCheck",
+            OutOfSsaOptions::us_iii().with_interference(InterferenceMode::InterCheckLiveCheck),
+        ),
+        (
+            "Us III + Linear + InterCheck + LiveCheck",
+            OutOfSsaOptions::us_iii()
+                .with_interference(InterferenceMode::InterCheckLiveCheck)
+                .with_class_check(ClassCheck::Linear),
+        ),
+        ("Us I", OutOfSsaOptions::us_i()),
+        (
+            "Us I + Linear + InterCheck + LiveCheck",
+            OutOfSsaOptions::us_i()
+                .with_interference(InterferenceMode::InterCheckLiveCheck)
+                .with_class_check(ClassCheck::Linear),
+        ),
+    ]
+}
+
+/// Default corpus scale used by the report binaries.
+pub const DEFAULT_SCALE: f64 = 0.35;
+
+/// Builds the simulated corpus at `scale`.
+pub fn corpus(scale: f64) -> Vec<Workload> {
+    spec_like_corpus(scale, true)
+}
+
+/// Runs one translation variant over one workload and accumulates the stats.
+pub fn run_variant(workload: &Workload, options: &OutOfSsaOptions) -> (OutOfSsaStats, f64) {
+    let mut total = OutOfSsaStats::default();
+    let start = Instant::now();
+    for func in &workload.functions {
+        let mut work = func.clone();
+        let stats = translate_out_of_ssa(&mut work, options);
+        total.remaining_copies += stats.remaining_copies;
+        total.remaining_weighted += stats.remaining_weighted;
+        total.moves_inserted += stats.moves_inserted;
+        total.moves_coalesced += stats.moves_coalesced;
+        total.phis_removed += stats.phis_removed;
+        total.edges_split += stats.edges_split;
+        total.interference_queries += stats.interference_queries;
+        total.memory.interference_graph_bytes += stats.memory.interference_graph_bytes;
+        total.memory.interference_graph_evaluated += stats.memory.interference_graph_evaluated;
+        total.memory.liveness_ordered_bytes += stats.memory.liveness_ordered_bytes;
+        total.memory.liveness_bitset_bytes += stats.memory.liveness_bitset_bytes;
+        total.memory.livecheck_bytes += stats.memory.livecheck_bytes;
+        total.memory.livecheck_evaluated += stats.memory.livecheck_evaluated;
+        total.memory.universe_size += stats.memory.universe_size;
+        total.memory.num_blocks += stats.memory.num_blocks;
+    }
+    (total, start.elapsed().as_secs_f64())
+}
+
+/// One row of the Figure 5 report: remaining copies per benchmark and the
+/// ratio against the `Intersect` baseline.
+#[derive(Clone, Debug)]
+pub struct QualityRow {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Remaining static copies per benchmark, in corpus order.
+    pub copies: Vec<usize>,
+    /// Remaining weighted copies per benchmark.
+    pub weighted: Vec<f64>,
+}
+
+/// Computes the Figure 5 data over `corpus`.
+pub fn quality_report(corpus: &[Workload]) -> Vec<QualityRow> {
+    quality_variants()
+        .into_iter()
+        .map(|(variant, options)| {
+            let mut copies = Vec::new();
+            let mut weighted = Vec::new();
+            for workload in corpus {
+                let (stats, _) = run_variant(workload, &options);
+                copies.push(stats.remaining_copies);
+                weighted.push(stats.remaining_weighted);
+            }
+            QualityRow { variant, copies, weighted }
+        })
+        .collect()
+}
+
+/// One row of the Figure 6 report: time per benchmark.
+#[derive(Clone, Debug)]
+pub struct SpeedRow {
+    /// Engine label.
+    pub engine: &'static str,
+    /// Seconds spent translating each benchmark.
+    pub seconds: Vec<f64>,
+}
+
+/// Computes the Figure 6 data over `corpus`.
+pub fn speed_report(corpus: &[Workload]) -> Vec<SpeedRow> {
+    engine_variants()
+        .into_iter()
+        .map(|(engine, options)| {
+            let seconds = corpus.iter().map(|w| run_variant(w, &options).1).collect();
+            SpeedRow { engine, seconds }
+        })
+        .collect()
+}
+
+/// One row of the Figure 7 report: memory footprint per engine, summed over
+/// the corpus.
+#[derive(Clone, Debug)]
+pub struct MemoryRow {
+    /// Engine label.
+    pub engine: &'static str,
+    /// Measured footprint in bytes (graph + liveness/livecheck structures).
+    pub measured_bytes: usize,
+    /// Evaluated footprint using ordered-set liveness formulas.
+    pub evaluated_ordered_bytes: usize,
+    /// Evaluated footprint using bit-set liveness formulas.
+    pub evaluated_bitset_bytes: usize,
+}
+
+/// Computes the Figure 7 data over `corpus`.
+pub fn memory_report(corpus: &[Workload]) -> Vec<MemoryRow> {
+    engine_variants()
+        .into_iter()
+        .map(|(engine, options)| {
+            let mut measured = 0usize;
+            let mut ordered = 0usize;
+            let mut bitset = 0usize;
+            for workload in corpus {
+                let (stats, _) = run_variant(workload, &options);
+                measured += stats.memory.total_bytes();
+                ordered += stats.memory.interference_graph_evaluated
+                    + stats.memory.liveness_ordered_bytes
+                    + stats.memory.livecheck_evaluated;
+                bitset += stats.memory.interference_graph_evaluated
+                    + stats.memory.liveness_bitset_bytes
+                    + stats.memory.livecheck_evaluated;
+            }
+            MemoryRow {
+                engine,
+                measured_bytes: measured,
+                evaluated_ordered_bytes: ordered,
+                evaluated_bitset_bytes: bitset,
+            }
+        })
+        .collect()
+}
+
+/// Formats a ratio table normalized to the first row, one column per
+/// benchmark plus a final `sum` column.
+pub fn format_normalized(names: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{:<44}", "variant");
+    for name in names {
+        let _ = write!(out, "{:>12}", name.split('.').next_back().unwrap_or(name));
+    }
+    let _ = writeln!(out, "{:>12}", "sum");
+    let baseline: Vec<f64> = rows[0].1.clone();
+    let baseline_sum: f64 = baseline.iter().sum();
+    for (label, values) in rows {
+        let _ = write!(out, "{label:<44}");
+        for (value, base) in values.iter().zip(&baseline) {
+            let ratio = if *base > 0.0 { value / base } else { 1.0 };
+            let _ = write!(out, "{ratio:>12.3}");
+        }
+        let sum: f64 = values.iter().sum();
+        let ratio = if baseline_sum > 0.0 { sum / baseline_sum } else { 1.0 };
+        let _ = writeln!(out, "{ratio:>12.3}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_report_has_expected_shape() {
+        let corpus = corpus(0.05);
+        let report = quality_report(&corpus);
+        assert_eq!(report.len(), 7);
+        assert!(report.iter().all(|row| row.copies.len() == corpus.len()));
+        // The Intersect baseline never removes more copies than Sharing.
+        let intersect: usize = report[0].copies.iter().sum();
+        let sharing: usize = report[6].copies.iter().sum();
+        assert!(sharing <= intersect);
+    }
+
+    #[test]
+    fn engine_variants_cover_the_paper_configurations() {
+        assert_eq!(engine_variants().len(), 7);
+        assert_eq!(quality_variants().len(), 7);
+    }
+
+    #[test]
+    fn normalized_table_starts_at_one() {
+        let rows = vec![
+            ("base".to_string(), vec![2.0, 4.0]),
+            ("half".to_string(), vec![1.0, 2.0]),
+        ];
+        let table = format_normalized(&["a", "b"], &rows);
+        assert!(table.contains("1.000"));
+        assert!(table.contains("0.500"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # ossa-cfggen — synthetic workloads for the out-of-SSA evaluation
+//!
+//! The paper's evaluation runs on SPEC CINT2000 compiled by a production
+//! compiler; neither is available in this reproduction, so this crate
+//! *simulates* the workload: a seeded generator of structured,
+//! always-terminating functions ([`gen`]) and a corpus of eleven simulated
+//! benchmarks mirroring the SPEC CINT2000 line-up ([`spec`]).
+//!
+//! Generated functions are produced in pre-SSA (mutable virtual register)
+//! form, converted to pruned SSA and then copy-propagated, which creates the
+//! overlapping φ-related live ranges the out-of-SSA translation is about.
+//!
+//! # Examples
+//!
+//! ```
+//! use ossa_cfggen::{generate_ssa_function, GenConfig};
+//! use ossa_ir::verify_ssa;
+//!
+//! let (func, stats) = generate_ssa_function("example", &GenConfig::small(), 1);
+//! verify_ssa(&func)?;
+//! assert!(stats.phis + stats.copies_propagated > 0);
+//! # Ok::<(), ossa_ir::verify::VerifierErrors>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod spec;
+
+pub use gen::{
+    generate_function, generate_ssa_function, pin_call_conventions, to_optimized_ssa, GenConfig,
+    OptimizedSsaStats,
+};
+pub use spec::{spec_like_corpus, BenchmarkSpec, Workload, SPEC_BENCHMARKS};

@@ -1,0 +1,149 @@
+//! A SPEC CINT2000-like corpus.
+//!
+//! The paper evaluates on the eleven C benchmarks of SPEC CINT2000 compiled
+//! by a production compiler. SPEC sources and the ST200 toolchain are not
+//! available here, so the corpus is *simulated*: for each benchmark name we
+//! generate a deterministic set of functions whose count and size roughly
+//! follow the relative scale of the original programs (gcc is much larger
+//! than mcf, etc.). What matters for the algorithms under test is the CFG
+//! shape, φ density and live-range overlap produced by SSA construction plus
+//! copy propagation — which the generator provides — not the exact C source.
+
+use ossa_ir::Function;
+
+use crate::gen::{generate_ssa_function, pin_call_conventions, GenConfig};
+
+/// Description of one simulated benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkSpec {
+    /// SPEC benchmark name (e.g. `164.gzip`).
+    pub name: &'static str,
+    /// Number of functions to generate.
+    pub num_functions: usize,
+    /// Statement budget per function.
+    pub stmts_per_function: usize,
+    /// Number of mutable variables per function.
+    pub num_vars: usize,
+    /// Base RNG seed (function `i` uses `seed + i`).
+    pub seed: u64,
+}
+
+/// One simulated benchmark: its name and its functions in optimized
+/// (generally non-conventional) SSA form.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Functions of the benchmark, already converted to optimized SSA.
+    pub functions: Vec<Function>,
+}
+
+impl Workload {
+    /// Total number of instructions across the workload's functions.
+    pub fn total_insts(&self) -> usize {
+        self.functions.iter().map(Function::num_attached_insts).sum()
+    }
+
+    /// Total number of φ-functions across the workload's functions.
+    pub fn total_phis(&self) -> usize {
+        self.functions.iter().map(Function::count_phis).sum()
+    }
+}
+
+/// The eleven SPEC CINT2000 benchmarks the paper reports (eon, the C++
+/// benchmark, is excluded exactly as in the paper), with relative sizes.
+pub const SPEC_BENCHMARKS: [BenchmarkSpec; 11] = [
+    BenchmarkSpec { name: "164.gzip", num_functions: 10, stmts_per_function: 60, num_vars: 10, seed: 164_000 },
+    BenchmarkSpec { name: "175.vpr", num_functions: 14, stmts_per_function: 70, num_vars: 12, seed: 175_000 },
+    BenchmarkSpec { name: "176.gcc", num_functions: 40, stmts_per_function: 90, num_vars: 16, seed: 176_000 },
+    BenchmarkSpec { name: "181.mcf", num_functions: 6, stmts_per_function: 50, num_vars: 8, seed: 181_000 },
+    BenchmarkSpec { name: "186.crafty", num_functions: 16, stmts_per_function: 90, num_vars: 14, seed: 186_000 },
+    BenchmarkSpec { name: "197.parser", num_functions: 18, stmts_per_function: 60, num_vars: 10, seed: 197_000 },
+    BenchmarkSpec { name: "253.perlbmk", num_functions: 26, stmts_per_function: 80, num_vars: 14, seed: 253_000 },
+    BenchmarkSpec { name: "254.gap", num_functions: 24, stmts_per_function: 70, num_vars: 12, seed: 254_000 },
+    BenchmarkSpec { name: "255.vortex", num_functions: 22, stmts_per_function: 80, num_vars: 12, seed: 255_000 },
+    BenchmarkSpec { name: "256.bzip2", num_functions: 8, stmts_per_function: 60, num_vars: 10, seed: 256_000 },
+    BenchmarkSpec { name: "300.twolf", num_functions: 16, stmts_per_function: 80, num_vars: 12, seed: 300_000 },
+];
+
+/// Generates the whole simulated corpus. `scale` in `(0, 1]` shrinks every
+/// benchmark proportionally (useful for fast tests); 1.0 is the benchmark
+///-harness size. When `pin_calls` is set, call operands receive
+/// calling-convention register pins.
+pub fn spec_like_corpus(scale: f64, pin_calls: bool) -> Vec<Workload> {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    SPEC_BENCHMARKS
+        .iter()
+        .map(|spec| {
+            let num_functions = ((spec.num_functions as f64 * scale).ceil() as usize).max(1);
+            let config = GenConfig {
+                num_vars: spec.num_vars,
+                num_stmts: ((spec.stmts_per_function as f64 * scale).ceil() as usize).max(8),
+                ..GenConfig::default()
+            };
+            let functions = (0..num_functions)
+                .map(|i| {
+                    let (mut func, _) = generate_ssa_function(
+                        format!("{}::fn{}", spec.name, i),
+                        &config,
+                        spec.seed + i as u64,
+                    );
+                    if pin_calls {
+                        pin_call_conventions(&mut func);
+                    }
+                    func
+                })
+                .collect();
+            Workload { name: spec.name, functions }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossa_ir::verify_ssa;
+
+    #[test]
+    fn corpus_has_eleven_benchmarks() {
+        let corpus = spec_like_corpus(0.2, false);
+        assert_eq!(corpus.len(), 11);
+        assert!(corpus.iter().any(|w| w.name == "176.gcc"));
+        assert!(corpus.iter().all(|w| !w.functions.is_empty()));
+    }
+
+    #[test]
+    fn corpus_functions_are_valid_ssa() {
+        let corpus = spec_like_corpus(0.15, true);
+        for workload in &corpus {
+            for func in &workload.functions {
+                verify_ssa(func).unwrap_or_else(|e| panic!("{}: {e}", func.name));
+            }
+        }
+    }
+
+    #[test]
+    fn gcc_is_the_largest_benchmark() {
+        let corpus = spec_like_corpus(0.25, false);
+        let gcc = corpus.iter().find(|w| w.name == "176.gcc").unwrap();
+        let mcf = corpus.iter().find(|w| w.name == "181.mcf").unwrap();
+        assert!(gcc.total_insts() > mcf.total_insts());
+        assert!(gcc.functions.len() > mcf.functions.len());
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = spec_like_corpus(0.1, false);
+        let b = spec_like_corpus(0.1, false);
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.total_insts(), wb.total_insts());
+            assert_eq!(wa.total_phis(), wb.total_phis());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_is_rejected() {
+        spec_like_corpus(0.0, false);
+    }
+}

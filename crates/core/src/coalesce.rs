@@ -1,0 +1,953 @@
+//! The out-of-SSA translation driver: aggressive coalescing of φ-related and
+//! constraint-related copies on top of congruence classes.
+//!
+//! The driver implements every variant compared in the paper's evaluation:
+//!
+//! * **interference strategies** (Figure 5): [`Strategy::Intersect`],
+//!   [`Strategy::SreedharI`], [`Strategy::Chaitin`], [`Strategy::Value`];
+//! * **φ processing**: eager (all copies inserted first, Method I style —
+//!   the paper's `Us I`) or virtualized (φ-functions handled one at a time,
+//!   testing each argument against the φ-node before committing its copy —
+//!   the paper's Method III / `Us III` behaviour, which also provides the
+//!   "independent set" refinement of the `Value + IS` variant);
+//! * **copy sharing** (Section III-B);
+//! * **interference information**: explicit bit-matrix graph, intersection
+//!   checks over liveness sets (`InterCheck`), or intersection checks over
+//!   the fast liveness checker (`InterCheck + LiveCheck`);
+//! * **class interference checks**: quadratic or linear (Section IV-B).
+
+use std::collections::HashMap;
+
+use ossa_ir::entity::{Block, Inst, Value};
+use ossa_ir::{
+    BlockFrequencies, ControlFlowGraph, DominatorTree, Function, InstData, LoopAnalysis,
+};
+use ossa_liveness::{
+    footprint, BlockLiveness, FastLivenessQuery, IntersectionTest, LiveRangeInfo, LivenessSets,
+};
+
+use crate::congruence::CongruenceClasses;
+use crate::insertion::{insert_phi_copies, isolate_pinned_values, CopyInsertion, InsertedMove};
+use crate::interference::{copy_related_universe, InterferenceGraph};
+use crate::parallel_copy::sequentialize_function;
+use crate::value::ValueTable;
+
+/// Interference definition used when deciding whether two congruence classes
+/// may be coalesced (the Figure 5 variants).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Plain live-range intersection.
+    Intersect,
+    /// Sreedhar et al. SSA-based coalescing: intersection, except that the
+    /// two operands of the candidate copy themselves are not checked.
+    SreedharI,
+    /// Chaitin's conservative test: live at the other's definition and that
+    /// definition is not a copy between the two.
+    Chaitin,
+    /// The paper's value-based interference: intersection *and* different
+    /// value.
+    Value,
+}
+
+/// How φ-related copies are processed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PhiProcessing {
+    /// All copies are inserted first (Method I), then coalesced globally by
+    /// decreasing weight — the paper's `Us I`.
+    Eager,
+    /// φ-functions are processed one at a time; each argument is tested
+    /// against the φ-node built so far and its copy is only kept when the
+    /// test fails — the paper's Method III / `Us III` behaviour (and the
+    /// "independent set" refinement of `Value + IS`).
+    Virtualized,
+}
+
+/// How interference information is obtained.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum InterferenceMode {
+    /// Build an explicit bit-matrix interference graph (plus liveness sets).
+    Graph,
+    /// No interference graph: intersection checks against liveness sets
+    /// (the paper's `InterCheck`).
+    InterCheck,
+    /// No interference graph and no liveness sets: intersection checks on
+    /// top of the fast liveness checker (the paper's `InterCheck +
+    /// LiveCheck`).
+    InterCheckLiveCheck,
+}
+
+/// How interference between two congruence classes is checked.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ClassCheck {
+    /// Pairwise over the two member lists.
+    Quadratic,
+    /// The paper's linear merged-walk over the dominance-ordered member
+    /// lists (only used with the `Intersect` and `Value` strategies; other
+    /// strategies need pair-specific exceptions and fall back to the
+    /// quadratic check).
+    Linear,
+}
+
+/// Options of one out-of-SSA translation run.
+#[derive(Clone, Debug)]
+pub struct OutOfSsaOptions {
+    /// Interference definition for coalescing decisions.
+    pub strategy: Strategy,
+    /// φ-copy processing order.
+    pub phi_processing: PhiProcessing,
+    /// Enable the copy-sharing post-optimization (Section III-B).
+    pub sharing: bool,
+    /// Interference information backend.
+    pub interference: InterferenceMode,
+    /// Class-to-class interference check.
+    pub class_check: ClassCheck,
+    /// Weigh copies by statically estimated block frequencies.
+    pub weighted: bool,
+    /// Sequentialize the remaining parallel copies at the end.
+    pub sequentialize: bool,
+}
+
+impl Default for OutOfSsaOptions {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::Value,
+            phi_processing: PhiProcessing::Eager,
+            sharing: true,
+            interference: InterferenceMode::InterCheckLiveCheck,
+            class_check: ClassCheck::Linear,
+            weighted: true,
+            sequentialize: true,
+        }
+    }
+}
+
+impl OutOfSsaOptions {
+    /// Figure 5 variant `Intersect`.
+    pub fn intersect() -> Self {
+        Self { strategy: Strategy::Intersect, sharing: false, class_check: ClassCheck::Quadratic, ..Self::default() }
+    }
+    /// Figure 5 variant `Sreedhar I`.
+    pub fn sreedhar_i() -> Self {
+        Self { strategy: Strategy::SreedharI, sharing: false, class_check: ClassCheck::Quadratic, ..Self::default() }
+    }
+    /// Figure 5 variant `Chaitin`.
+    pub fn chaitin() -> Self {
+        Self { strategy: Strategy::Chaitin, sharing: false, class_check: ClassCheck::Quadratic, ..Self::default() }
+    }
+    /// Figure 5 variant `Value`.
+    pub fn value() -> Self {
+        Self { strategy: Strategy::Value, sharing: false, ..Self::default() }
+    }
+    /// Figure 5 variant `Sreedhar III` (virtualized processing, Sreedhar's
+    /// SSA-based interference rule, interference graph and liveness sets as
+    /// in the original method).
+    pub fn sreedhar_iii() -> Self {
+        Self {
+            strategy: Strategy::SreedharI,
+            phi_processing: PhiProcessing::Virtualized,
+            sharing: false,
+            interference: InterferenceMode::Graph,
+            class_check: ClassCheck::Quadratic,
+            ..Self::default()
+        }
+    }
+    /// Figure 5 variant `Value + IS`.
+    pub fn value_is() -> Self {
+        Self { strategy: Strategy::Value, phi_processing: PhiProcessing::Virtualized, sharing: false, ..Self::default() }
+    }
+    /// Figure 5 variant `Sharing` (`Value + IS` plus copy sharing).
+    pub fn sharing() -> Self {
+        Self { strategy: Strategy::Value, phi_processing: PhiProcessing::Virtualized, sharing: true, ..Self::default() }
+    }
+
+    /// Figure 6 engine `Us I` with the default (graph + liveness sets)
+    /// backend; combine with [`OutOfSsaOptions::with_interference`] and
+    /// [`OutOfSsaOptions::with_class_check`] for the other configurations.
+    pub fn us_i() -> Self {
+        Self {
+            strategy: Strategy::Value,
+            phi_processing: PhiProcessing::Eager,
+            sharing: false,
+            interference: InterferenceMode::Graph,
+            class_check: ClassCheck::Quadratic,
+            ..Self::default()
+        }
+    }
+    /// Figure 6 engine `Us III` (virtualized) with the default backend.
+    pub fn us_iii() -> Self {
+        Self { phi_processing: PhiProcessing::Virtualized, ..Self::us_i() }
+    }
+
+    /// Sets the interference backend.
+    pub fn with_interference(mut self, mode: InterferenceMode) -> Self {
+        self.interference = mode;
+        self
+    }
+    /// Sets the class-interference check.
+    pub fn with_class_check(mut self, check: ClassCheck) -> Self {
+        self.class_check = check;
+        self
+    }
+    /// Enables or disables sequentialization of the final parallel copies.
+    pub fn with_sequentialize(mut self, sequentialize: bool) -> Self {
+        self.sequentialize = sequentialize;
+        self
+    }
+}
+
+/// Memory accounting of one run (Figure 7).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Measured bytes of the interference graph (0 when not built).
+    pub interference_graph_bytes: usize,
+    /// Evaluated bytes of the interference graph bit-matrix formula.
+    pub interference_graph_evaluated: usize,
+    /// Evaluated bytes of liveness sets stored as ordered sets (0 when the
+    /// fast liveness checker is used instead).
+    pub liveness_ordered_bytes: usize,
+    /// Evaluated bytes of liveness sets stored as bit-sets.
+    pub liveness_bitset_bytes: usize,
+    /// Measured bytes of the fast liveness checking structures (0 when
+    /// liveness sets are used instead).
+    pub livecheck_bytes: usize,
+    /// Evaluated bytes of the fast liveness checking structures.
+    pub livecheck_evaluated: usize,
+    /// Size of the restricted variable universe.
+    pub universe_size: usize,
+    /// Number of basic blocks.
+    pub num_blocks: usize,
+}
+
+impl MemoryStats {
+    /// Total measured footprint (graph + liveness or liveness-check bytes).
+    pub fn total_bytes(&self) -> usize {
+        self.interference_graph_bytes + self.liveness_ordered_bytes + self.livecheck_bytes
+    }
+}
+
+/// Statistics of one out-of-SSA translation.
+#[derive(Clone, Debug, Default)]
+pub struct OutOfSsaStats {
+    /// φ-functions eliminated.
+    pub phis_removed: usize,
+    /// Moves inserted by copy insertion (φ-related and pinned-related).
+    pub moves_inserted: usize,
+    /// Moves removed by coalescing (including sharing).
+    pub moves_coalesced: usize,
+    /// Copies remaining in the final code (after sequentialization when
+    /// enabled).
+    pub remaining_copies: usize,
+    /// Frequency-weighted remaining copies.
+    pub remaining_weighted: f64,
+    /// Edges split because of terminator-defined φ arguments.
+    pub edges_split: usize,
+    /// Variable-to-variable interference queries performed.
+    pub interference_queries: u64,
+    /// Memory accounting.
+    pub memory: MemoryStats,
+}
+
+/// Runs the out-of-SSA translation on `func` in place.
+///
+/// The input must be in SSA form; the output contains no φ-function and no
+/// parallel copy when [`OutOfSsaOptions::sequentialize`] is set.
+///
+/// # Panics
+/// Panics if `func` fails SSA verification in debug builds (the translation
+/// itself assumes a well-formed input).
+pub fn translate_out_of_ssa(func: &mut Function, options: &OutOfSsaOptions) -> OutOfSsaStats {
+    debug_assert!(ossa_ir::verify_ssa(func).is_ok(), "input must be valid SSA");
+
+    let mut stats = OutOfSsaStats::default();
+    stats.phis_removed = func.count_phis();
+
+    // Phase A: live-range splitting for renaming constraints, then Method I
+    // copy insertion.
+    let mut insertion = CopyInsertion::default();
+    isolate_pinned_values(func, &mut insertion);
+    let phi_insertion = insert_phi_copies(func);
+    insertion.moves.extend(phi_insertion.moves.iter().copied());
+    insertion.webs = phi_insertion.webs;
+    insertion.edges_split = phi_insertion.edges_split;
+    insertion.values_created += phi_insertion.values_created;
+    stats.moves_inserted = insertion.moves.len();
+    stats.edges_split = insertion.edges_split;
+
+    // Phase B: analyses + coalescing decisions (no mutation of `func`).
+    let cfg = ControlFlowGraph::compute(func);
+    let domtree = DominatorTree::compute(func, &cfg);
+    let loops = LoopAnalysis::compute(func, &cfg, &domtree);
+    let freqs = BlockFrequencies::from_loop_depths(func, &loops);
+    let info = LiveRangeInfo::compute(func);
+    let values = ValueTable::compute(func, &domtree);
+
+    let decisions = match options.interference {
+        InterferenceMode::Graph | InterferenceMode::InterCheck => {
+            let liveness = LivenessSets::compute(func, &cfg);
+            let intersect = IntersectionTest::new(func, &domtree, &liveness, &info);
+            let universe = copy_related_universe(func);
+            let graph = (options.interference == InterferenceMode::Graph).then(|| {
+                InterferenceGraph::build(func, &universe, &intersect, None)
+            });
+            let mut mem = MemoryStats {
+                liveness_ordered_bytes: footprint::liveness_ordered_sets_bytes(
+                    liveness.total_entries(),
+                    4,
+                ),
+                liveness_bitset_bytes: footprint::liveness_bit_sets_bytes(
+                    universe.len(),
+                    cfg.num_reachable(),
+                ),
+                universe_size: universe.len(),
+                num_blocks: cfg.num_reachable(),
+                ..MemoryStats::default()
+            };
+            if let Some(graph) = &graph {
+                mem.interference_graph_bytes = graph.footprint_bytes();
+                mem.interference_graph_evaluated = graph.evaluated_bytes();
+            }
+            stats.memory = mem;
+            decide(func, options, &insertion, &domtree, &freqs, &intersect, &values, graph.as_ref())
+        }
+        InterferenceMode::InterCheckLiveCheck => {
+            let fast = FastLivenessQuery::new(func, &cfg, &domtree);
+            let universe = copy_related_universe(func);
+            stats.memory = MemoryStats {
+                livecheck_bytes: fast.checker().footprint_bytes(),
+                livecheck_evaluated: footprint::liveness_check_bytes(cfg.num_reachable()),
+                universe_size: universe.len(),
+                num_blocks: cfg.num_reachable(),
+                ..MemoryStats::default()
+            };
+            let intersect = IntersectionTest::new(func, &domtree, &fast, &info);
+            decide(func, options, &insertion, &domtree, &freqs, &intersect, &values, None)
+        }
+    };
+    stats.interference_queries = decisions.queries;
+    stats.moves_coalesced = decisions.moves_coalesced;
+
+    // Phase C: rewrite with the chosen classes, drop φs, sequentialize.
+    rewrite(func, &decisions);
+    if options.sequentialize {
+        sequentialize_function(func);
+    }
+    let (remaining, weighted) = count_copies(func, &freqs);
+    stats.remaining_copies = remaining;
+    stats.remaining_weighted = weighted;
+    debug_assert!(ossa_ir::verify_cfg(func).is_ok(), "output must stay structurally valid");
+    debug_assert_eq!(func.count_phis(), 0);
+    stats
+}
+
+/// Outcome of the decision phase: the final congruence classes and the moves
+/// deleted by the sharing rule.
+struct Decisions {
+    class_rep: HashMap<Value, Value>,
+    labels: HashMap<Value, u32>,
+    removed_moves: Vec<(Inst, Value)>,
+    queries: u64,
+    moves_coalesced: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decide<L: BlockLiveness>(
+    func: &Function,
+    options: &OutOfSsaOptions,
+    insertion: &CopyInsertion,
+    domtree: &DominatorTree,
+    freqs: &BlockFrequencies,
+    intersect: &IntersectionTest<'_, L>,
+    values: &ValueTable,
+    graph: Option<&InterferenceGraph>,
+) -> Decisions {
+    let mut classes = CongruenceClasses::new(func, domtree);
+    let mut moves_coalesced = 0usize;
+
+    // Pre-coalesce all values pinned to the same register into one labeled
+    // class (Section III-D).
+    let mut by_register: HashMap<u32, Vec<Value>> = HashMap::new();
+    for value in func.values() {
+        if let Some(reg) = func.pinned_reg(value) {
+            by_register.entry(reg).or_default().push(value);
+        }
+    }
+    for (_, members) in by_register {
+        for pair in members.windows(2) {
+            classes.merge(pair[0], pair[1], &HashMap::new());
+        }
+    }
+
+    let weight = |block: Block| if options.weighted { freqs.frequency(block) } else { 1.0 };
+
+    // φ-web handling.
+    let mut phi_move_set: Vec<InsertedMove> = Vec::new();
+    match options.phi_processing {
+        PhiProcessing::Eager => {
+            // Pre-coalesce the whole primed web (Lemma 1), then treat the φ
+            // moves like any other affinity.
+            for web in &insertion.webs {
+                for pair in web.members.windows(2) {
+                    classes.merge(pair[0], pair[1], &HashMap::new());
+                }
+                phi_move_set.extend(web.moves.iter().copied());
+            }
+        }
+        PhiProcessing::Virtualized => {
+            // Process φ-functions one at a time: each related move is tested
+            // against the φ-node built so far; its primed value joins the
+            // node either way (materialized copy or coalesced). The result
+            // move is considered last, and candidates are additionally
+            // checked against the *virtual* locations of the remaining
+            // argument copies so that materializing one of them later cannot
+            // invalidate the class (the lost-copy situation).
+            let move_location = parallel_copy_locations(func);
+            for web in &insertion.webs {
+                let node = web.members[0];
+                let result_move = web.moves[0];
+                let mut arg_moves: Vec<InsertedMove> = web.moves[1..].to_vec();
+                arg_moves.sort_by(|a, b| {
+                    weight(b.block).partial_cmp(&weight(a.block)).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let ordered: Vec<InsertedMove> =
+                    arg_moves.iter().copied().chain(std::iter::once(result_move)).collect();
+                for m in &ordered {
+                    // The primed value of this move (its dst for argument
+                    // copies, its src for the result copy).
+                    let (primed, original) = if web.members.contains(&m.dst) {
+                        (m.dst, m.src)
+                    } else {
+                        (m.src, m.dst)
+                    };
+                    if !classes.same_class(primed, node) {
+                        classes.merge(node, primed, &HashMap::new());
+                    }
+                    if classes.same_class(original, node) {
+                        moves_coalesced += 1;
+                        continue;
+                    }
+                    let skip = (options.strategy == Strategy::SreedharI).then_some((primed, original));
+                    let (interferes, equal_anc_out) = classes_interfere(
+                        options, &mut classes, node, original, intersect, values, graph, domtree, skip,
+                    );
+                    let virtual_conflict = !interferes
+                        && virtual_copy_conflict(
+                            options,
+                            &classes,
+                            original,
+                            m,
+                            &web.moves[1..],
+                            &move_location,
+                            intersect,
+                            values,
+                        );
+                    if !interferes && !virtual_conflict {
+                        classes.merge(node, original, &equal_anc_out);
+                        moves_coalesced += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Remaining affinities: φ moves (eager mode) plus pinned-isolation moves
+    // and pre-existing copies, ordered by decreasing weight.
+    let mut affinities: Vec<InsertedMove> = phi_move_set;
+    for m in &insertion.moves {
+        let is_phi_move = insertion.webs.iter().any(|w| w.moves.contains(m));
+        if !is_phi_move {
+            affinities.push(*m);
+        }
+    }
+    // Pre-existing plain copies in the function are affinities too.
+    for block in func.blocks() {
+        for &inst in func.block_insts(block) {
+            if let InstData::Copy { dst, src } = *func.inst(inst) {
+                affinities.push(InsertedMove { dst, src, block });
+            }
+        }
+    }
+    affinities.sort_by(|a, b| {
+        weight(b.block).partial_cmp(&weight(a.block)).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for m in affinities {
+        if classes.same_class(m.dst, m.src) {
+            moves_coalesced += 1;
+            continue;
+        }
+        let skip = (options.strategy == Strategy::SreedharI).then_some((m.dst, m.src));
+        let (interferes, equal_anc_out) = classes_interfere(
+            options, &mut classes, m.dst, m.src, intersect, values, graph, domtree, skip,
+        );
+        if !interferes {
+            classes.merge(m.dst, m.src, &equal_anc_out);
+            moves_coalesced += 1;
+        }
+    }
+
+    // Copy-sharing post-optimization (Section III-B).
+    let mut removed_moves: Vec<(Inst, Value)> = Vec::new();
+    if options.sharing {
+        // Group the copy-related universe by value representative.
+        let universe = copy_related_universe(func);
+        let mut by_value: HashMap<Value, Vec<Value>> = HashMap::new();
+        for &v in &universe {
+            by_value.entry(values.value_of(v)).or_default().push(v);
+        }
+        for block in func.blocks() {
+            for (pos, &inst) in func.block_insts(block).iter().enumerate() {
+                let InstData::ParallelCopy { copies } = func.inst(inst) else { continue };
+                for copy in copies {
+                    let (a, b) = (copy.src, copy.dst);
+                    if classes.same_class(a, b) {
+                        continue; // already coalesced, move will disappear
+                    }
+                    let Some(candidates) = by_value.get(&values.value_of(a)) else { continue };
+                    for &c in candidates {
+                        if c == a || c == b || classes.same_class(c, a) {
+                            continue;
+                        }
+                        if !intersect.is_live_after(block, pos, c) {
+                            continue;
+                        }
+                        if classes.same_class(c, b) {
+                            // Rule 1: b already receives the value through c.
+                            removed_moves.push((inst, b));
+                            moves_coalesced += 1;
+                            break;
+                        }
+                        // Rule 2: coalesce the classes of b and c (value rule)
+                        // and drop the copy.
+                        let (interferes, equal_anc_out) = classes_interfere(
+                            options, &mut classes, b, c, intersect, values, graph, domtree, None,
+                        );
+                        if !interferes {
+                            classes.merge(b, c, &equal_anc_out);
+                            removed_moves.push((inst, b));
+                            moves_coalesced += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Snapshot the classes into plain maps for the rewrite phase.
+    let mut class_rep = HashMap::new();
+    let mut labels = HashMap::new();
+    for value in func.values() {
+        let root = classes.find(value);
+        class_rep.insert(value, root);
+        if let Some(reg) = classes.label(value) {
+            labels.insert(root, reg);
+        }
+    }
+    Decisions {
+        class_rep,
+        labels,
+        removed_moves,
+        queries: classes.queries(),
+        moves_coalesced,
+    }
+}
+
+/// Locations (block, position) of every parallel-copy destination, used by
+/// the virtualized processing to reason about copies that are not yet
+/// committed.
+fn parallel_copy_locations(func: &Function) -> HashMap<Value, (Block, usize)> {
+    let mut locations = HashMap::new();
+    for block in func.blocks() {
+        for (pos, &inst) in func.block_insts(block).iter().enumerate() {
+            if let InstData::ParallelCopy { copies } = func.inst(inst) {
+                for copy in copies {
+                    locations.insert(copy.dst, (block, pos));
+                }
+            }
+        }
+    }
+    locations
+}
+
+/// Checks whether coalescing the class of `candidate` into the φ-node would
+/// conflict with an argument copy of the same φ if that copy later has to be
+/// materialized: the materialized primed value lives from the predecessor's
+/// parallel copy to the φ, so any class member live at that point (with a
+/// different value) would interfere with it.
+#[allow(clippy::too_many_arguments)]
+fn virtual_copy_conflict<L: BlockLiveness>(
+    options: &OutOfSsaOptions,
+    classes: &CongruenceClasses,
+    candidate: Value,
+    current_move: &InsertedMove,
+    arg_moves: &[InsertedMove],
+    move_location: &HashMap<Value, (Block, usize)>,
+    intersect: &IntersectionTest<'_, L>,
+    values: &ValueTable,
+) -> bool {
+    let members = classes.members(candidate).to_vec();
+    for arg in arg_moves {
+        if arg == current_move {
+            continue;
+        }
+        let Some(&(block, pos)) = move_location.get(&arg.dst) else { continue };
+        for &x in &members {
+            if x == arg.src {
+                continue;
+            }
+            if options.strategy == Strategy::Value && values.same_value(x, arg.src) {
+                continue;
+            }
+            if intersect.is_live_after(block, pos, x) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Decides whether the classes of `a` and `b` interfere under `options`.
+#[allow(clippy::too_many_arguments)]
+fn classes_interfere<L: BlockLiveness>(
+    options: &OutOfSsaOptions,
+    classes: &mut CongruenceClasses,
+    a: Value,
+    b: Value,
+    intersect: &IntersectionTest<'_, L>,
+    values: &ValueTable,
+    graph: Option<&InterferenceGraph>,
+    domtree: &DominatorTree,
+    skip_pair: Option<(Value, Value)>,
+) -> (bool, HashMap<Value, Option<Value>>) {
+    if classes.labels_conflict(a, b) {
+        return (true, HashMap::new());
+    }
+    let use_values = options.strategy == Strategy::Value;
+
+    // The linear check is only valid when classes are internally
+    // intersection-free up to value equality, which holds for the Intersect
+    // and Value strategies.
+    if options.class_check == ClassCheck::Linear
+        && skip_pair.is_none()
+        && graph.is_none()
+        && matches!(options.strategy, Strategy::Intersect | Strategy::Value)
+    {
+        return classes.interfere_linear(a, b, intersect, use_values.then_some(values), domtree);
+    }
+
+    let pair_intersects = |x: Value, y: Value| -> bool {
+        match graph {
+            Some(g) if g.contains(x) && g.contains(y) => g.interfere(x, y),
+            _ => intersect.intersect(x, y),
+        }
+    };
+
+    let xs = classes.members(a).to_vec();
+    let ys = classes.members(b).to_vec();
+    let mut queries = 0u64;
+    let mut result = false;
+    'outer: for &x in &xs {
+        for &y in &ys {
+            if let Some((p, q)) = skip_pair {
+                if (x == p && y == q) || (x == q && y == p) {
+                    continue;
+                }
+            }
+            queries += 1;
+            let interferes = match options.strategy {
+                Strategy::Intersect | Strategy::SreedharI => pair_intersects(x, y),
+                Strategy::Chaitin => intersect.chaitin_interfere(x, y),
+                Strategy::Value => pair_intersects(x, y) && !values.same_value(x, y),
+            };
+            if interferes {
+                result = true;
+                break 'outer;
+            }
+        }
+    }
+    classes.add_queries(queries);
+    (result, HashMap::new())
+}
+
+/// Rewrites `func` according to the coalescing decisions: every value is
+/// renamed to its class representative, φ-functions are removed, coalesced
+/// moves disappear and shared moves are dropped.
+fn rewrite(func: &mut Function, decisions: &Decisions) {
+    let rep = |v: Value| decisions.class_rep.get(&v).copied().unwrap_or(v);
+
+    for block in func.blocks().collect::<Vec<_>>() {
+        let insts = func.block_insts(block).to_vec();
+        for inst in insts {
+            if func.inst(inst).is_phi() {
+                func.remove_inst(block, inst);
+                continue;
+            }
+            if let InstData::ParallelCopy { copies } = func.inst(inst).clone() {
+                let removed: Vec<Value> = decisions
+                    .removed_moves
+                    .iter()
+                    .filter(|&&(i, _)| i == inst)
+                    .map(|&(_, dst)| dst)
+                    .collect();
+                let kept: Vec<ossa_ir::CopyPair> = copies
+                    .iter()
+                    .filter(|c| !removed.contains(&c.dst))
+                    .map(|c| ossa_ir::CopyPair { dst: rep(c.dst), src: rep(c.src) })
+                    .filter(|c| c.dst != c.src)
+                    .collect();
+                if kept.is_empty() {
+                    func.remove_inst(block, inst);
+                } else {
+                    *func.inst_mut(inst) = InstData::ParallelCopy { copies: kept };
+                }
+                continue;
+            }
+            func.inst_mut(inst).map_uses(rep);
+            func.inst_mut(inst).map_defs(rep);
+            // Plain copies that became self-copies disappear.
+            if let InstData::Copy { dst, src } = *func.inst(inst) {
+                if dst == src {
+                    func.remove_inst(block, inst);
+                }
+            }
+        }
+    }
+
+    // Propagate class labels (register pins) to the representatives.
+    for (&root, &reg) in &decisions.labels {
+        func.pin_value(root, reg);
+    }
+}
+
+/// Counts the remaining copies and their frequency-weighted cost.
+fn count_copies(func: &Function, freqs: &BlockFrequencies) -> (usize, f64) {
+    let mut count = 0usize;
+    let mut weighted = 0.0f64;
+    for block in func.blocks() {
+        for &inst in func.block_insts(block) {
+            let copies = match func.inst(inst) {
+                InstData::Copy { .. } => 1,
+                InstData::ParallelCopy { copies } => copies.len(),
+                _ => 0,
+            };
+            count += copies;
+            weighted += copies as f64 * freqs.frequency(block);
+        }
+    }
+    (count, weighted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossa_ir::builder::FunctionBuilder;
+    use ossa_ir::BinaryOp;
+    use ossa_interp::{same_behaviour, Interpreter};
+
+    /// The lost-copy problem (paper Figure 4a), with an SSA loop counter so
+    /// that executions terminate.
+    fn lost_copy() -> Function {
+        let mut b = FunctionBuilder::new("lost-copy", 1);
+        let entry = b.create_block();
+        let header = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let x1 = b.iconst(1);
+        b.jump(header);
+        b.switch_to_block(header);
+        let x3 = b.declare_value();
+        let i_next = b.declare_value();
+        let x2 = b.phi(vec![(entry, x1), (header, x3)]);
+        let i = b.phi(vec![(entry, p), (header, i_next)]);
+        let one = b.iconst(1);
+        b.func_mut().append_inst(
+            header,
+            InstData::Binary { op: BinaryOp::Add, dst: x3, args: [x2, one] },
+        );
+        b.func_mut().append_inst(
+            header,
+            InstData::Binary { op: BinaryOp::Sub, dst: i_next, args: [i, one] },
+        );
+        let zero = b.iconst(0);
+        let c = b.cmp(ossa_ir::CmpOp::Gt, i_next, zero);
+        b.branch(c, header, exit);
+        b.switch_to_block(exit);
+        b.ret(Some(x2));
+        b.finish()
+    }
+
+    /// The swap problem (paper Figure 3a), with an SSA loop counter.
+    fn swap_problem() -> Function {
+        let mut b = FunctionBuilder::new("swap", 1);
+        let entry = b.create_block();
+        let header = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let a1 = b.iconst(1);
+        let b1 = b.iconst(2);
+        b.jump(header);
+        b.switch_to_block(header);
+        let a2 = b.declare_value();
+        let b2 = b.declare_value();
+        let i_next = b.declare_value();
+        b.phi_to(a2, vec![(entry, a1), (header, b2)]);
+        b.phi_to(b2, vec![(entry, b1), (header, a2)]);
+        let i = b.phi(vec![(entry, p), (header, i_next)]);
+        let one = b.iconst(1);
+        b.func_mut().append_inst(
+            header,
+            InstData::Binary { op: BinaryOp::Sub, dst: i_next, args: [i, one] },
+        );
+        let zero = b.iconst(0);
+        let c = b.cmp(ossa_ir::CmpOp::Gt, i_next, zero);
+        b.branch(c, header, exit);
+        b.switch_to_block(exit);
+        let ten = b.iconst(10);
+        let scaled = b.binary(BinaryOp::Mul, a2, ten);
+        let s = b.binary(BinaryOp::Add, scaled, b2);
+        b.ret(Some(s));
+        b.finish()
+    }
+
+    fn all_variants() -> Vec<(&'static str, OutOfSsaOptions)> {
+        vec![
+            ("intersect", OutOfSsaOptions::intersect()),
+            ("sreedhar_i", OutOfSsaOptions::sreedhar_i()),
+            ("chaitin", OutOfSsaOptions::chaitin()),
+            ("value", OutOfSsaOptions::value()),
+            ("sreedhar_iii", OutOfSsaOptions::sreedhar_iii()),
+            ("value_is", OutOfSsaOptions::value_is()),
+            ("sharing", OutOfSsaOptions::sharing()),
+            ("us_i", OutOfSsaOptions::us_i()),
+            ("us_iii", OutOfSsaOptions::us_iii()),
+            (
+                "us_i_linear_livecheck",
+                OutOfSsaOptions::us_i()
+                    .with_interference(InterferenceMode::InterCheckLiveCheck)
+                    .with_class_check(ClassCheck::Linear),
+            ),
+        ]
+    }
+
+    #[test]
+    fn lost_copy_translation_preserves_behaviour_for_all_variants() {
+        let original = lost_copy();
+        for (name, options) in all_variants() {
+            let mut translated = original.clone();
+            let stats = translate_out_of_ssa(&mut translated, &options);
+            assert_eq!(translated.count_phis(), 0, "{name}: phis remain");
+            for input in [0, 1, 2, 5] {
+                let a = Interpreter::new().run(&original, &[input]).unwrap();
+                let b = Interpreter::new().run(&translated, &[input]).unwrap();
+                assert!(
+                    same_behaviour(&a, &b),
+                    "{name}: behaviour differs on input {input}\noriginal:\n{}\ntranslated:\n{}",
+                    original.display(),
+                    translated.display()
+                );
+            }
+            assert!(stats.phis_removed >= 1);
+        }
+    }
+
+    #[test]
+    fn swap_translation_preserves_behaviour_for_all_variants() {
+        let original = swap_problem();
+        for (name, options) in all_variants() {
+            let mut translated = original.clone();
+            translate_out_of_ssa(&mut translated, &options);
+            for input in [1, 2, 3, 6] {
+                let a = Interpreter::new().run(&original, &[input]).unwrap();
+                let b = Interpreter::new().run(&translated, &[input]).unwrap();
+                assert!(
+                    same_behaviour(&a, &b),
+                    "{name}: behaviour differs on input {input}\noriginal:\n{}\ntranslated:\n{}",
+                    original.display(),
+                    translated.display()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn value_based_coalescing_removes_more_copies_than_intersection() {
+        let mut by_intersect = lost_copy();
+        let mut by_value = lost_copy();
+        let a = translate_out_of_ssa(&mut by_intersect, &OutOfSsaOptions::intersect());
+        let b = translate_out_of_ssa(&mut by_value, &OutOfSsaOptions::sharing());
+        assert!(
+            b.remaining_copies <= a.remaining_copies,
+            "value/sharing ({}) should not be worse than intersect ({})",
+            b.remaining_copies,
+            a.remaining_copies
+        );
+    }
+
+    #[test]
+    fn swap_problem_keeps_a_cycle_worth_of_copies() {
+        // The swap needs a parallel-copy cycle; after sequentialization this
+        // materializes as up to three copies but cannot disappear entirely.
+        let mut f = swap_problem();
+        let stats = translate_out_of_ssa(&mut f, &OutOfSsaOptions::sharing());
+        assert!(stats.remaining_copies >= 2, "a swap cannot be fully coalesced");
+        assert!(stats.remaining_copies <= 4);
+    }
+
+    #[test]
+    fn lost_copy_keeps_exactly_one_copy_with_value_strategy() {
+        // Figure 4d of the paper: all copies but one can be removed.
+        let mut f = lost_copy();
+        let stats = translate_out_of_ssa(&mut f, &OutOfSsaOptions::sharing());
+        assert_eq!(stats.remaining_copies, 1, "{}", f.display());
+    }
+
+    #[test]
+    fn memory_stats_reflect_backend_choice() {
+        let mut with_graph = lost_copy();
+        let g = translate_out_of_ssa(&mut with_graph, &OutOfSsaOptions::us_i());
+        assert!(g.memory.interference_graph_bytes > 0);
+        assert!(g.memory.liveness_ordered_bytes > 0);
+        assert_eq!(g.memory.livecheck_bytes, 0);
+
+        let mut with_livecheck = lost_copy();
+        let l = translate_out_of_ssa(
+            &mut with_livecheck,
+            &OutOfSsaOptions::us_i().with_interference(InterferenceMode::InterCheckLiveCheck),
+        );
+        assert_eq!(l.memory.interference_graph_bytes, 0);
+        assert_eq!(l.memory.liveness_ordered_bytes, 0);
+        assert!(l.memory.livecheck_bytes > 0);
+    }
+
+    #[test]
+    fn pinned_values_keep_their_register_labels() {
+        let mut b = FunctionBuilder::new("pinned", 1);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let r = b.call(1, vec![x]);
+        let s = b.binary(BinaryOp::Add, r, x);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        f.pin_value(x, 1);
+        f.pin_value(r, 0);
+        let original = f.clone();
+        let stats = translate_out_of_ssa(&mut f, &OutOfSsaOptions::default());
+        assert!(stats.moves_inserted >= 2);
+        // The translated code still has at least one value pinned to each
+        // register label.
+        let pinned_regs: Vec<u32> = f.values().filter_map(|v| f.pinned_reg(v)).collect();
+        assert!(pinned_regs.contains(&0));
+        assert!(pinned_regs.contains(&1));
+        // Behaviour is preserved.
+        for input in [0, 3, 9] {
+            let a = Interpreter::new().run(&original, &[input]).unwrap();
+            let b = Interpreter::new().run(&f, &[input]).unwrap();
+            assert!(same_behaviour(&a, &b));
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Congruence classes and interference tests between them.
+//!
+//! Following Sreedhar et al., coalesced variables are kept in *congruence
+//! classes*. Coalescing `a` and `b` is allowed when their classes do not
+//! interfere. This module provides:
+//!
+//! * the class representation: a union-find plus, per class, the member list
+//!   kept sorted in pre-DFS order of the dominance tree (ordered by
+//!   definition point),
+//! * a reference **quadratic** interference test between two classes
+//!   (`|X| × |Y|` variable pair queries), and
+//! * the paper's **linear** interference test (Section IV-B): a merged walk
+//!   of the two ordered lists with a dominance stack, generalized to
+//!   value-based interference through "equal intersecting ancestor" chains.
+//!
+//! Classes may carry a register *label* (pinned variables): two classes with
+//! different labels always interfere (Section III-D).
+
+use std::collections::HashMap;
+
+use ossa_ir::entity::{SecondaryMap, Value};
+use ossa_ir::{DominatorTree, Function};
+use ossa_liveness::{BlockLiveness, IntersectionTest};
+
+use crate::value::ValueTable;
+
+/// Ordering key of a value: the pre-DFS number of its definition block and
+/// its position inside the block. Values defined earlier in dominance order
+/// come first.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DefOrderKey {
+    /// Pre-order number of the defining block in the dominator tree.
+    pub block_preorder: u32,
+    /// Instruction position within the block.
+    pub pos: u32,
+    /// Tie-breaker: the value index.
+    pub value_index: u32,
+}
+
+/// The congruence classes of a function's values.
+#[derive(Clone, Debug)]
+pub struct CongruenceClasses {
+    parent: SecondaryMap<Value, Option<Value>>,
+    /// Members of each class root, sorted by [`DefOrderKey`].
+    members: HashMap<Value, Vec<Value>>,
+    /// Register label of each class root, if any member is pinned.
+    labels: HashMap<Value, u32>,
+    /// Definition-order key of every value.
+    keys: SecondaryMap<Value, Option<DefOrderKey>>,
+    /// For the value-based linear test: nearest dominating member of the
+    /// same class with the same value that intersects the value.
+    equal_anc_in: SecondaryMap<Value, Option<Value>>,
+    /// Number of interference queries performed (statistics).
+    queries: u64,
+}
+
+impl CongruenceClasses {
+    /// Creates singleton classes for every value of `func`, ordering members
+    /// by definition point.
+    pub fn new(func: &Function, domtree: &DominatorTree) -> Self {
+        let defs = func.def_sites();
+        let mut keys: SecondaryMap<Value, Option<DefOrderKey>> = SecondaryMap::new();
+        keys.resize(func.num_values());
+        for value in func.values() {
+            if let Some(site) = defs[value] {
+                keys[value] = Some(DefOrderKey {
+                    block_preorder: domtree.preorder_number(site.block),
+                    pos: site.pos as u32,
+                    value_index: value.index() as u32,
+                });
+            }
+        }
+        let mut parent: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
+        parent.resize(func.num_values());
+        let mut equal_anc_in: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
+        equal_anc_in.resize(func.num_values());
+        let mut labels = HashMap::new();
+        let mut members = HashMap::new();
+        for value in func.values() {
+            members.insert(value, vec![value]);
+            if let Some(reg) = func.pinned_reg(value) {
+                labels.insert(value, reg);
+            }
+        }
+        Self { parent, members, labels, keys, equal_anc_in, queries: 0 }
+    }
+
+    /// Registers a value created after construction (e.g. a materialized
+    /// copy), giving it a singleton class.
+    pub fn add_value(&mut self, value: Value, key: DefOrderKey, label: Option<u32>) {
+        self.keys[value] = Some(key);
+        self.parent[value] = None;
+        self.equal_anc_in[value] = None;
+        self.members.insert(value, vec![value]);
+        if let Some(reg) = label {
+            self.labels.insert(value, reg);
+        }
+    }
+
+    /// The class representative of `value`.
+    pub fn find(&self, mut value: Value) -> Value {
+        while let Some(parent) = self.parent[value] {
+            value = parent;
+        }
+        value
+    }
+
+    /// Returns `true` if `a` and `b` are already coalesced.
+    pub fn same_class(&self, a: Value, b: Value) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Members of the class of `value`, sorted by definition order.
+    pub fn members(&self, value: Value) -> &[Value] {
+        let root = self.find(value);
+        self.members.get(&root).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The register label of the class of `value`, if any.
+    pub fn label(&self, value: Value) -> Option<u32> {
+        self.labels.get(&self.find(value)).copied()
+    }
+
+    /// The definition-order key of `value`.
+    pub fn key(&self, value: Value) -> Option<DefOrderKey> {
+        self.keys[value]
+    }
+
+    /// Number of variable-to-variable interference queries performed so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Adds externally performed pair queries to the statistics counter.
+    pub fn add_queries(&mut self, count: u64) {
+        self.queries += count;
+    }
+
+    /// The nearest same-class, same-value, intersecting dominating ancestor
+    /// recorded for `value`.
+    pub fn equal_anc_in(&self, value: Value) -> Option<Value> {
+        self.equal_anc_in[value]
+    }
+
+    /// Returns `true` if the labels of the two classes conflict (both are
+    /// pinned, to different registers).
+    pub fn labels_conflict(&self, a: Value, b: Value) -> bool {
+        match (self.label(a), self.label(b)) {
+            (Some(ra), Some(rb)) => ra != rb,
+            _ => false,
+        }
+    }
+
+    /// Merges the classes of `a` and `b` without checking interference.
+    /// The member lists are merged in definition order and the
+    /// equal-intersecting-ancestor chains are combined as in the paper.
+    pub fn merge(&mut self, a: Value, b: Value, equal_anc_out: &HashMap<Value, Option<Value>>) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let list_a = self.members.remove(&ra).unwrap_or_default();
+        let list_b = self.members.remove(&rb).unwrap_or_default();
+        let merged = self.merge_sorted(list_a, list_b);
+
+        // equal_anc_in for the combined class: the later (in ≺ order) of the
+        // in-class and out-of-class equal intersecting ancestors.
+        for &member in &merged {
+            let current = self.equal_anc_in[member];
+            let out = equal_anc_out.get(&member).copied().flatten();
+            self.equal_anc_in[member] = self.max_by_key(current, out);
+        }
+
+        // Union-find link: keep `ra` as the root.
+        self.parent[rb] = Some(ra);
+        // Label propagation.
+        if let Some(&reg) = self.labels.get(&rb) {
+            self.labels.insert(ra, reg);
+        }
+        self.members.insert(ra, merged);
+    }
+
+    fn max_by_key(&self, a: Option<Value>, b: Option<Value>) -> Option<Value> {
+        match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some(x), Some(y)) => {
+                if self.keys[x] >= self.keys[y] {
+                    Some(x)
+                } else {
+                    Some(y)
+                }
+            }
+        }
+    }
+
+    fn merge_sorted(&self, a: Vec<Value>, b: Vec<Value>) -> Vec<Value> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if self.keys[a[i]] <= self.keys[b[j]] {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        out
+    }
+
+    /// Reference quadratic interference test between the classes of `a` and
+    /// `b`: every cross pair is queried. `use_values` selects value-based
+    /// interference (intersection + different value) versus plain
+    /// intersection.
+    pub fn interfere_quadratic<L: BlockLiveness>(
+        &mut self,
+        a: Value,
+        b: Value,
+        intersect: &IntersectionTest<'_, L>,
+        values: Option<&ValueTable>,
+    ) -> bool {
+        if self.labels_conflict(a, b) {
+            return true;
+        }
+        let xs = self.members(a).to_vec();
+        let ys = self.members(b).to_vec();
+        for &x in &xs {
+            for &y in &ys {
+                self.queries += 1;
+                if intersect.intersect(x, y) {
+                    match values {
+                        Some(table) if table.same_value(x, y) => continue,
+                        _ => return true,
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The paper's linear interference test between the classes of `a` and
+    /// `b` (Algorithm 2 with the value extension). Returns `true` if the two
+    /// classes interfere. When they do not and the caller decides to merge
+    /// them, the returned `equal_anc_out` map must be passed to
+    /// [`CongruenceClasses::merge`].
+    pub fn interfere_linear<L: BlockLiveness>(
+        &mut self,
+        a: Value,
+        b: Value,
+        intersect: &IntersectionTest<'_, L>,
+        values: Option<&ValueTable>,
+        domtree: &DominatorTree,
+    ) -> (bool, HashMap<Value, Option<Value>>) {
+        let mut equal_anc_out: HashMap<Value, Option<Value>> = HashMap::new();
+        if self.labels_conflict(a, b) {
+            return (true, equal_anc_out);
+        }
+        let red = self.members(a).to_vec();
+        let blue = self.members(b).to_vec();
+        let in_red = |v: Value| red.contains(&v);
+
+        // Dominance between two values, compared at their definition points.
+        let info = intersect.info();
+        let dominates = |x: Value, y: Value| -> bool {
+            match (info.def(x), info.def(y)) {
+                (Some(dx), Some(dy)) => {
+                    domtree.dominates_point((dx.block, dx.pos), (dy.block, dy.pos))
+                }
+                _ => false,
+            }
+        };
+
+        // chain_intersect: does x intersect y or one of y's equal
+        // intersecting ancestors (walking equal_anc chains)?
+        let queries = std::cell::Cell::new(0u64);
+        let chain_intersect =
+            |x: Value, mut y_opt: Option<Value>, anc: &dyn Fn(Value) -> Option<Value>| -> bool {
+                while let Some(y) = y_opt {
+                    queries.set(queries.get() + 1);
+                    if intersect.intersect(x, y) {
+                        return true;
+                    }
+                    y_opt = anc(y);
+                }
+                false
+            };
+
+        // Merged walk in ≺ order with a dominance stack.
+        let mut dom: Vec<Value> = Vec::new();
+        let (mut ir, mut ib) = (0usize, 0usize);
+        let mut interference_found = false;
+        'walk: while ir < red.len() || ib < blue.len() {
+            let current = if ir == red.len() {
+                let v = blue[ib];
+                ib += 1;
+                v
+            } else if ib == blue.len() {
+                let v = red[ir];
+                ir += 1;
+                v
+            } else if self.keys[blue[ib]] < self.keys[red[ir]] {
+                let v = blue[ib];
+                ib += 1;
+                v
+            } else {
+                let v = red[ir];
+                ir += 1;
+                v
+            };
+
+            // Pop the stack until the top dominates `current`.
+            while let Some(&top) = dom.last() {
+                if dominates(top, current) {
+                    break;
+                }
+                dom.pop();
+            }
+            let parent = dom.last().copied();
+
+            if let Some(parent) = parent {
+                // interference(current, parent)
+                equal_anc_out.insert(current, None);
+                let same_set = in_red(current) == in_red(parent);
+                let mut b_chain: Option<Value> = Some(parent);
+                if same_set {
+                    b_chain = equal_anc_out.get(&parent).copied().flatten();
+                }
+                let same_value = match (values, b_chain) {
+                    (Some(table), Some(bc)) => table.same_value(current, bc),
+                    (None, _) => false,
+                    (_, None) => false,
+                };
+                let anc_in = |v: Value| self.equal_anc_in[v];
+                if values.is_none() || !same_value {
+                    if chain_intersect(current, b_chain, &anc_in) {
+                        interference_found = true;
+                        break 'walk;
+                    }
+                } else {
+                    // Same value: no interference, but record the nearest
+                    // intersecting equal ancestor in the other chain.
+                    let mut tmp = b_chain;
+                    while let Some(t) = tmp {
+                        queries.set(queries.get() + 1);
+                        if intersect.intersect(current, t) {
+                            break;
+                        }
+                        tmp = self.equal_anc_in[t];
+                    }
+                    equal_anc_out.insert(current, tmp);
+                }
+            } else {
+                equal_anc_out.insert(current, None);
+            }
+            dom.push(current);
+        }
+        self.queries += queries.get();
+        (interference_found, equal_anc_out)
+    }
+
+    /// Number of distinct classes among the values of `universe`.
+    pub fn num_classes(&self, universe: impl IntoIterator<Item = Value>) -> usize {
+        let mut roots: Vec<Value> = universe.into_iter().map(|v| self.find(v)).collect();
+        roots.sort();
+        roots.dedup();
+        roots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossa_ir::builder::FunctionBuilder;
+    use ossa_ir::{BinaryOp, ControlFlowGraph};
+    use ossa_liveness::{LiveRangeInfo, LivenessSets};
+
+    struct Fixture {
+        func: Function,
+        domtree: DominatorTree,
+        liveness: LivenessSets,
+        info: LiveRangeInfo,
+    }
+
+    impl Fixture {
+        fn new(func: Function) -> Self {
+            let cfg = ControlFlowGraph::compute(&func);
+            let domtree = DominatorTree::compute(&func, &cfg);
+            let liveness = LivenessSets::compute(&func, &cfg);
+            let info = LiveRangeInfo::compute(&func);
+            Self { func, domtree, liveness, info }
+        }
+
+        fn intersect(&self) -> IntersectionTest<'_, LivenessSets> {
+            IntersectionTest::new(&self.func, &self.domtree, &self.liveness, &self.info)
+        }
+    }
+
+    fn copies_function() -> (Function, Vec<Value>) {
+        let mut b = FunctionBuilder::new("copies", 0);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let a = b.iconst(1);
+        let b1 = b.copy(a);
+        let c1 = b.copy(a);
+        let other = b.iconst(5);
+        let s = b.binary(BinaryOp::Add, a, b1);
+        let t = b.binary(BinaryOp::Add, s, c1);
+        let u = b.binary(BinaryOp::Add, t, other);
+        b.ret(Some(u));
+        (b.finish(), vec![a, b1, c1, other, s, t, u])
+    }
+
+    #[test]
+    fn singleton_classes_and_merge() {
+        let (f, vals) = copies_function();
+        let fx = Fixture::new(f);
+        let mut classes = CongruenceClasses::new(&fx.func, &fx.domtree);
+        let [a, b1, c1, ..] = vals[..] else { panic!() };
+        assert!(!classes.same_class(a, b1));
+        assert_eq!(classes.members(a), &[a]);
+        classes.merge(a, b1, &HashMap::new());
+        assert!(classes.same_class(a, b1));
+        assert_eq!(classes.members(b1).len(), 2);
+        // Member list stays sorted by definition order.
+        assert_eq!(classes.members(a), &[a, b1]);
+        classes.merge(c1, a, &HashMap::new());
+        assert_eq!(classes.members(a), &[a, b1, c1]);
+        assert_eq!(classes.num_classes(vals.iter().copied()), vals.len() - 2);
+    }
+
+    #[test]
+    fn quadratic_interference_with_and_without_values() {
+        let (f, vals) = copies_function();
+        let fx = Fixture::new(f);
+        let values = ValueTable::of(&fx.func);
+        let intersect = fx.intersect();
+        let mut classes = CongruenceClasses::new(&fx.func, &fx.domtree);
+        let [a, b1, c1, ..] = vals[..] else { panic!() };
+        // a and b1 intersect (a used later), so they interfere without
+        // values, but have the same value, so they do not interfere with the
+        // value-based definition.
+        assert!(classes.interfere_quadratic(a, b1, &intersect, None));
+        assert!(!classes.interfere_quadratic(a, b1, &intersect, Some(&values)));
+        assert!(!classes.interfere_quadratic(a, c1, &intersect, Some(&values)));
+        assert!(classes.queries() > 0);
+    }
+
+    #[test]
+    fn linear_matches_quadratic_on_copy_webs() {
+        let (f, vals) = copies_function();
+        let fx = Fixture::new(f);
+        let values = ValueTable::of(&fx.func);
+        let intersect = fx.intersect();
+        let [a, b1, c1, other, s, t, u] = vals[..] else { panic!() };
+        let pairs =
+            [(a, b1), (a, c1), (b1, c1), (a, other), (s, t), (t, u), (b1, other), (c1, s)];
+        for use_values in [false, true] {
+            let table = use_values.then_some(&values);
+            for &(x, y) in &pairs {
+                let mut classes_q = CongruenceClasses::new(&fx.func, &fx.domtree);
+                let mut classes_l = CongruenceClasses::new(&fx.func, &fx.domtree);
+                let quad = classes_q.interfere_quadratic(x, y, &intersect, table);
+                let (lin, _) = classes_l.interfere_linear(x, y, &intersect, table, &fx.domtree);
+                assert_eq!(quad, lin, "mismatch for ({x}, {y}) use_values={use_values}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_matches_quadratic_after_merging_classes() {
+        let (f, vals) = copies_function();
+        let fx = Fixture::new(f);
+        let values = ValueTable::of(&fx.func);
+        let intersect = fx.intersect();
+        let [a, b1, c1, other, s, ..] = vals[..] else { panic!() };
+        // Merge {a, b1} and separately {c1, other}; then compare class tests.
+        let mut classes_q = CongruenceClasses::new(&fx.func, &fx.domtree);
+        let mut classes_l = CongruenceClasses::new(&fx.func, &fx.domtree);
+        for classes in [&mut classes_q, &mut classes_l] {
+            classes.merge(a, b1, &HashMap::new());
+            classes.merge(c1, other, &HashMap::new());
+        }
+        let quad = classes_q.interfere_quadratic(a, c1, &intersect, Some(&values));
+        let (lin, _) = classes_l.interfere_linear(a, c1, &intersect, Some(&values), &fx.domtree);
+        assert_eq!(quad, lin);
+        // And for a pair that must interfere: s vs the {a,b1} class — s has a
+        // different value and is live with a.
+        let quad = classes_q.interfere_quadratic(s, a, &intersect, Some(&values));
+        let (lin, _) = classes_l.interfere_linear(s, a, &intersect, Some(&values), &fx.domtree);
+        assert_eq!(quad, lin);
+    }
+
+    #[test]
+    fn label_conflicts_force_interference() {
+        let (mut f, vals) = copies_function();
+        let [a, b1, ..] = vals[..] else { panic!() };
+        f.pin_value(a, 0);
+        f.pin_value(b1, 1);
+        let fx = Fixture::new(f);
+        let intersect = fx.intersect();
+        let mut classes = CongruenceClasses::new(&fx.func, &fx.domtree);
+        assert!(classes.labels_conflict(a, b1));
+        assert!(classes.interfere_quadratic(a, b1, &intersect, None));
+        let (lin, _) = classes.interfere_linear(a, b1, &intersect, None, &fx.domtree);
+        assert!(lin);
+        // Same register: no conflict from labels alone.
+        assert!(!classes.labels_conflict(a, a));
+    }
+
+    #[test]
+    fn merge_keeps_labels() {
+        let (mut f, vals) = copies_function();
+        let [a, b1, c1, ..] = vals[..] else { panic!() };
+        f.pin_value(b1, 3);
+        f.pin_value(c1, 4);
+        let fx = Fixture::new(f);
+        let mut classes = CongruenceClasses::new(&fx.func, &fx.domtree);
+        assert_eq!(classes.label(a), None);
+        classes.merge(a, b1, &HashMap::new());
+        assert_eq!(classes.label(a), Some(3));
+        // After the merge the {a, b1} class (label 3) conflicts with c1
+        // (label 4).
+        assert!(classes.labels_conflict(a, c1));
+    }
+
+    #[test]
+    fn add_value_registers_new_singletons() {
+        let (f, vals) = copies_function();
+        let fx = Fixture::new(f);
+        let mut f2 = fx.func.clone();
+        let mut classes = CongruenceClasses::new(&fx.func, &fx.domtree);
+        let fresh = f2.new_value();
+        classes.add_value(
+            fresh,
+            DefOrderKey { block_preorder: 0, pos: 99, value_index: fresh.index() as u32 },
+            Some(7),
+        );
+        assert_eq!(classes.members(fresh), &[fresh]);
+        assert_eq!(classes.label(fresh), Some(7));
+        assert!(!classes.same_class(fresh, vals[0]));
+    }
+}

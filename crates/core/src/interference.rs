@@ -1,0 +1,265 @@
+//! Explicit interference graph stored as a half bit-matrix.
+//!
+//! The paper's baseline configurations (Sreedhar III, and `Us I`/`Us III`
+//! without the `InterCheck` option) build an interference graph over the
+//! φ-related and copy-related variables. The graph answers `interfere(a, b)`
+//! in O(1) but its construction needs the liveness sets and its footprint is
+//! quadratic — which is exactly what Figures 6 and 7 measure.
+
+use ossa_ir::entity::Value;
+use ossa_ir::{DominatorTree, Function};
+use ossa_liveness::{BlockLiveness, IntersectionTest};
+
+use crate::value::ValueTable;
+
+/// Half bit-matrix interference graph over a restricted universe of values.
+#[derive(Clone, Debug)]
+pub struct InterferenceGraph {
+    /// Dense index of each universe value (`usize::MAX` = not in universe).
+    index_of: Vec<usize>,
+    universe: Vec<Value>,
+    bits: Vec<u8>,
+}
+
+impl InterferenceGraph {
+    /// Builds the graph over `universe` using the intersection oracle and,
+    /// optionally, value-based interference.
+    pub fn build<L: BlockLiveness>(
+        func: &Function,
+        universe: &[Value],
+        intersect: &IntersectionTest<'_, L>,
+        values: Option<&ValueTable>,
+    ) -> Self {
+        let mut index_of = vec![usize::MAX; func.num_values()];
+        for (i, &v) in universe.iter().enumerate() {
+            index_of[v.index()] = i;
+        }
+        let n = universe.len();
+        let bits = vec![0u8; Self::matrix_bytes(n)];
+        let mut graph = Self { index_of, universe: universe.to_vec(), bits };
+        for i in 0..n {
+            for j in 0..i {
+                let (a, b) = (graph.universe[i], graph.universe[j]);
+                let interferes = intersect.intersect(a, b)
+                    && values.map_or(true, |table| !table.same_value(a, b));
+                if interferes {
+                    graph.set(i, j);
+                }
+            }
+        }
+        graph
+    }
+
+    fn matrix_bytes(n: usize) -> usize {
+        (n * (n + 1) / 2).div_ceil(8)
+    }
+
+    fn bit_index(i: usize, j: usize) -> usize {
+        let (hi, lo) = if i >= j { (i, j) } else { (j, i) };
+        hi * (hi + 1) / 2 + lo
+    }
+
+    fn set(&mut self, i: usize, j: usize) {
+        let bit = Self::bit_index(i, j);
+        self.bits[bit / 8] |= 1 << (bit % 8);
+    }
+
+    fn get(&self, i: usize, j: usize) -> bool {
+        let bit = Self::bit_index(i, j);
+        self.bits[bit / 8] & (1 << (bit % 8)) != 0
+    }
+
+    /// Returns `true` if `a` and `b` interfere. Values outside the universe
+    /// never interfere according to the graph.
+    pub fn interfere(&self, a: Value, b: Value) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ia, ib) = (self.index_of[a.index()], self.index_of[b.index()]);
+        if ia == usize::MAX || ib == usize::MAX {
+            return false;
+        }
+        self.get(ia, ib)
+    }
+
+    /// Returns `true` if `value` belongs to the graph's universe.
+    pub fn contains(&self, value: Value) -> bool {
+        value.index() < self.index_of.len() && self.index_of[value.index()] != usize::MAX
+    }
+
+    /// Number of values in the universe.
+    pub fn num_values(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Heap bytes used by the bit matrix (the "Measured" interference-graph
+    /// footprint of Figure 7).
+    pub fn footprint_bytes(&self) -> usize {
+        self.bits.capacity() + self.index_of.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// Bytes of the bit matrix alone, matching the paper's "Evaluated"
+    /// formula `⌈V/8⌉ × V / 2`.
+    pub fn evaluated_bytes(&self) -> usize {
+        ossa_liveness::footprint::interference_bit_matrix_bytes(self.universe.len())
+    }
+}
+
+/// Collects the universe the paper restricts liveness/interference
+/// information to: values that appear in φ-functions or copies (sequential
+/// or parallel), i.e. the values the coalescer may actually merge.
+pub fn copy_related_universe(func: &Function) -> Vec<Value> {
+    let mut universe = Vec::new();
+    let mut seen = vec![false; func.num_values()];
+    let push = |v: Value, seen: &mut Vec<bool>, universe: &mut Vec<Value>| {
+        if !seen[v.index()] {
+            seen[v.index()] = true;
+            universe.push(v);
+        }
+    };
+    for block in func.blocks() {
+        for &inst in func.block_insts(block) {
+            let data = func.inst(inst);
+            if data.is_phi() || data.is_copy_like() {
+                for v in data.defs().into_iter().chain(data.uses()) {
+                    push(v, &mut seen, &mut universe);
+                }
+            }
+        }
+    }
+    // Pinned values are also copy-related (they get isolated by copies).
+    for v in func.values() {
+        if func.pinned_reg(v).is_some() {
+            push(v, &mut seen, &mut universe);
+        }
+    }
+    universe
+}
+
+/// Helper bundling the dominator tree needed to build an
+/// [`InterferenceGraph`] from scratch for a function.
+pub fn build_graph_with_sets(
+    func: &Function,
+    domtree: &DominatorTree,
+    liveness: &ossa_liveness::LivenessSets,
+    info: &ossa_liveness::LiveRangeInfo,
+    values: Option<&ValueTable>,
+) -> InterferenceGraph {
+    let universe = copy_related_universe(func);
+    let intersect = IntersectionTest::new(func, domtree, liveness, info);
+    InterferenceGraph::build(func, &universe, &intersect, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossa_ir::builder::FunctionBuilder;
+    use ossa_ir::{BinaryOp, ControlFlowGraph};
+    use ossa_liveness::{LiveRangeInfo, LivenessSets};
+
+    fn analyses(
+        func: &Function,
+    ) -> (ControlFlowGraph, DominatorTree, LivenessSets, LiveRangeInfo) {
+        let cfg = ControlFlowGraph::compute(func);
+        let domtree = DominatorTree::compute(func, &cfg);
+        let liveness = LivenessSets::compute(func, &cfg);
+        let info = LiveRangeInfo::compute(func);
+        (cfg, domtree, liveness, info)
+    }
+
+    #[test]
+    fn graph_matches_pairwise_oracle() {
+        let mut b = FunctionBuilder::new("graph", 1);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let a = b.copy(x);
+        let c = b.copy(a);
+        let s = b.binary(BinaryOp::Add, a, c);
+        let t = b.binary(BinaryOp::Add, s, x);
+        b.ret(Some(t));
+        let f = b.finish();
+        let (_, domtree, liveness, info) = analyses(&f);
+        let intersect = IntersectionTest::new(&f, &domtree, &liveness, &info);
+        let values = ValueTable::of(&f);
+        let universe: Vec<Value> = f.values().collect();
+        for table in [None, Some(&values)] {
+            let graph = InterferenceGraph::build(&f, &universe, &intersect, table);
+            for &p in &universe {
+                for &q in &universe {
+                    if p == q {
+                        continue;
+                    }
+                    let expected = intersect.intersect(p, q)
+                        && table.map_or(true, |t| !t.same_value(p, q));
+                    assert_eq!(graph.interfere(p, q), expected, "pair ({p}, {q})");
+                    assert_eq!(graph.interfere(p, q), graph.interfere(q, p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn universe_is_restricted_to_phi_and_copy_values() {
+        let mut b = FunctionBuilder::new("universe", 1);
+        let entry = b.create_block();
+        let left = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let plain = b.binary(BinaryOp::Add, p, p);
+        let copied = b.copy(plain);
+        b.branch(p, left, join);
+        b.switch_to_block(left);
+        let c2 = b.iconst(2);
+        b.jump(join);
+        b.switch_to_block(join);
+        let m = b.phi(vec![(entry, copied), (left, c2)]);
+        b.ret(Some(m));
+        let f = b.finish();
+        let universe = copy_related_universe(&f);
+        assert!(universe.contains(&copied));
+        assert!(universe.contains(&m));
+        assert!(universe.contains(&c2));
+        assert!(universe.contains(&plain)); // source of a copy
+        assert!(!universe.contains(&p)); // never copy- or φ-related
+    }
+
+    #[test]
+    fn footprint_matches_formula_shape() {
+        let mut b = FunctionBuilder::new("fp", 0);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.iconst(1);
+        let y = b.copy(x);
+        let z = b.copy(y);
+        let s = b.binary(BinaryOp::Add, z, y);
+        b.ret(Some(s));
+        let f = b.finish();
+        let (_, domtree, liveness, info) = analyses(&f);
+        let graph = build_graph_with_sets(&f, &domtree, &liveness, &info, None);
+        assert!(graph.num_values() >= 3);
+        assert!(graph.footprint_bytes() >= graph.evaluated_bytes());
+    }
+
+    #[test]
+    fn values_outside_universe_never_interfere() {
+        let mut b = FunctionBuilder::new("outside", 0);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.iconst(1);
+        let y = b.copy(x);
+        b.ret(Some(y));
+        let f = b.finish();
+        let (_, domtree, liveness, info) = analyses(&f);
+        let intersect = IntersectionTest::new(&f, &domtree, &liveness, &info);
+        let graph = InterferenceGraph::build(&f, &[x], &intersect, None);
+        assert!(graph.contains(x));
+        assert!(!graph.contains(y));
+        assert!(!graph.interfere(x, y));
+    }
+}

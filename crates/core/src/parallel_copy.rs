@@ -1,0 +1,393 @@
+//! Sequentialization of parallel copies (Algorithm 1 of the paper).
+//!
+//! A parallel copy reads all its sources before writing any destination. To
+//! emit ordinary code it must be turned into a sequence of plain copies. The
+//! algorithm emits the minimum number of copies: exactly one copy per move,
+//! plus one extra copy per *cyclic permutation* that duplicates no value
+//! (each cycle needs one temporary).
+
+use std::collections::HashMap;
+
+use ossa_ir::entity::Value;
+use ossa_ir::{CopyPair, Function, InstData};
+
+/// Result of sequentializing one parallel copy.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Sequentialization {
+    /// The emitted copies, in execution order.
+    pub copies: Vec<CopyPair>,
+    /// Whether the extra temporary was needed (at least one closed cycle).
+    pub used_temp: bool,
+}
+
+/// Sequentializes the parallel copy `moves` (pairs `dst ← src`), using
+/// `temp` as the extra variable if a cycle has to be broken.
+///
+/// Self moves (`a ← a`) are dropped. Duplicate destinations are not allowed
+/// (a parallel copy defines each destination once).
+///
+/// # Panics
+/// Panics (in debug builds) if two moves share a destination.
+pub fn sequentialize(moves: &[CopyPair], temp: Value) -> Sequentialization {
+    // Filter self-moves; they are no-ops.
+    let moves: Vec<CopyPair> = moves.iter().copied().filter(|m| m.dst != m.src).collect();
+    if moves.is_empty() {
+        return Sequentialization::default();
+    }
+    debug_assert!(
+        {
+            let mut dsts: Vec<Value> = moves.iter().map(|m| m.dst).collect();
+            dsts.sort();
+            dsts.windows(2).all(|w| w[0] != w[1])
+        },
+        "parallel copy with duplicate destinations"
+    );
+
+    // The algorithm's three maps: `loc[a]` = where the initial value of `a`
+    // currently lives, `pred[b]` = the value that must end up in `b`.
+    let mut loc: HashMap<Value, Option<Value>> = HashMap::new();
+    let mut pred: HashMap<Value, Option<Value>> = HashMap::new();
+    let mut ready: Vec<Value> = Vec::new();
+    let mut to_do: Vec<Value> = Vec::new();
+    let mut out = Vec::with_capacity(moves.len() + 1);
+    let mut used_temp = false;
+
+    pred.insert(temp, None);
+    for m in &moves {
+        loc.insert(m.dst, None);
+        pred.insert(m.src, None);
+    }
+    for m in &moves {
+        loc.insert(m.src, Some(m.src)); // needed and not copied yet
+        pred.insert(m.dst, Some(m.src)); // unique predecessor
+        to_do.push(m.dst); // copy into dst still to be done
+    }
+    for m in &moves {
+        if loc[&m.dst].is_none() {
+            ready.push(m.dst); // dst is not a source: can be overwritten
+        }
+    }
+
+    while let Some(b_todo) = to_do.last().copied() {
+        while let Some(b) = ready.pop() {
+            let a = pred[&b].expect("ready values have a predecessor");
+            let c = loc[&a].expect("source location is known");
+            out.push(CopyPair { dst: b, src: c });
+            loc.insert(a, Some(b));
+            if a == c && pred.get(&a).copied().flatten().is_some() {
+                ready.push(a); // a was just saved, it can now be overwritten
+            }
+        }
+        to_do.pop();
+        // If b still holds its own initial value, it closes a cycle: break it
+        // with the temporary.
+        if loc.get(&b_todo).copied().flatten() == Some(b_todo) && pred[&b_todo].is_some() {
+            out.push(CopyPair { dst: temp, src: b_todo });
+            loc.insert(b_todo, Some(temp));
+            ready.push(b_todo);
+            used_temp = true;
+        }
+    }
+    // Drain any remaining ready entries produced by the last cycle break.
+    while let Some(b) = ready.pop() {
+        let Some(a) = pred[&b] else { continue };
+        let c = loc[&a].expect("source location is known");
+        if c == b {
+            continue; // already in place
+        }
+        out.push(CopyPair { dst: b, src: c });
+        loc.insert(a, Some(b));
+        if a == c && pred.get(&a).copied().flatten().is_some() {
+            ready.push(a);
+        }
+    }
+
+    Sequentialization { copies: out, used_temp }
+}
+
+/// Replaces every [`InstData::ParallelCopy`] of `func` by an equivalent
+/// sequence of plain copies, creating at most one extra temporary per
+/// parallel copy. Returns the total number of copies emitted.
+pub fn sequentialize_function(func: &mut Function) -> usize {
+    let mut emitted = 0;
+    for block in func.blocks().collect::<Vec<_>>() {
+        // Positions shift as we splice; walk by re-scanning.
+        let mut pos = 0;
+        while pos < func.block_len(block) {
+            let inst = func.block_insts(block)[pos];
+            if let InstData::ParallelCopy { copies } = func.inst(inst).clone() {
+                let temp = func.new_value();
+                let seq = sequentialize(&copies, temp);
+                func.remove_inst(block, inst);
+                for (offset, copy) in seq.copies.iter().enumerate() {
+                    func.insert_inst(
+                        block,
+                        pos + offset,
+                        InstData::Copy { dst: copy.dst, src: copy.src },
+                    );
+                }
+                emitted += seq.copies.len();
+                pos += seq.copies.len();
+            } else {
+                pos += 1;
+            }
+        }
+    }
+    emitted
+}
+
+/// Counts the minimum number of sequential copies a parallel copy requires:
+/// the number of non-self moves plus one per closed cycle (a connected
+/// component that is a circuit with no tree edge).
+pub fn minimum_copies(moves: &[CopyPair]) -> usize {
+    let moves: Vec<CopyPair> = moves.iter().copied().filter(|m| m.dst != m.src).collect();
+    let n = moves.len();
+    // Count closed cycles: destinations whose value is also a source, forming
+    // a permutation cycle in which no vertex has out-degree 0... Equivalent
+    // formulation: a cycle is closed if every value in it is both a source
+    // and a destination and no other move reads any of its values.
+    let mut pred: HashMap<Value, Value> = HashMap::new();
+    let mut src_count: HashMap<Value, usize> = HashMap::new();
+    for m in &moves {
+        pred.insert(m.dst, m.src);
+        *src_count.entry(m.src).or_insert(0) += 1;
+    }
+    let mut visited: HashMap<Value, bool> = HashMap::new();
+    let mut closed_cycles = 0;
+    for m in &moves {
+        let node = m.dst;
+        if visited.get(&node).copied().unwrap_or(false) {
+            continue;
+        }
+        // Walk predecessors to detect a cycle containing `node`.
+        let mut path = vec![node];
+        visited.insert(node, true);
+        let mut is_cycle = false;
+        while let Some(&p) = pred.get(&path[path.len() - 1]) {
+            if p == m.dst {
+                is_cycle = true;
+                break;
+            }
+            if visited.get(&p).copied().unwrap_or(false) {
+                break;
+            }
+            if !pred.contains_key(&p) {
+                break;
+            }
+            visited.insert(p, true);
+            path.push(p);
+        }
+        if is_cycle {
+            // The cycle is "closed" (needs a temp) iff none of its values is
+            // read by a move outside the cycle (no duplication available).
+            let duplicated = path.iter().any(|v| src_count.get(v).copied().unwrap_or(0) > 1);
+            if !duplicated {
+                closed_cycles += 1;
+            }
+        }
+    }
+    n + closed_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossa_ir::entity::EntityRef;
+    use std::collections::HashMap;
+
+    fn v(i: usize) -> Value {
+        Value::new(i)
+    }
+
+    fn pair(dst: usize, src: usize) -> CopyPair {
+        CopyPair { dst: v(dst), src: v(src) }
+    }
+
+    /// Simulates a parallel copy and a sequential list of copies, comparing
+    /// the final environments.
+    fn check_equivalent(moves: &[CopyPair], seq: &[CopyPair], temp: Value) {
+        // Initial environment: every value holds a distinct token.
+        let mut initial: HashMap<Value, i64> = HashMap::new();
+        let mut all: Vec<Value> = moves.iter().flat_map(|m| [m.dst, m.src]).collect();
+        all.push(temp);
+        all.sort();
+        all.dedup();
+        for (i, &value) in all.iter().enumerate() {
+            initial.insert(value, 1000 + i as i64);
+        }
+        // Parallel semantics.
+        let mut parallel = initial.clone();
+        let reads: Vec<(Value, i64)> = moves.iter().map(|m| (m.dst, initial[&m.src])).collect();
+        for (dst, val) in reads {
+            parallel.insert(dst, val);
+        }
+        // Sequential semantics.
+        let mut sequential = initial.clone();
+        for copy in seq {
+            let val = sequential[&copy.src];
+            sequential.insert(copy.dst, val);
+        }
+        // The temp is scratch: ignore it in the comparison.
+        for value in all {
+            if value == temp {
+                continue;
+            }
+            assert_eq!(
+                parallel[&value], sequential[&value],
+                "value {value} differs between parallel and sequential execution"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_copies_need_no_temp() {
+        // a -> b, a -> c, b -> d: a tree; 3 copies, ordered leaves first.
+        let moves = [pair(1, 0), pair(2, 0), pair(3, 1)];
+        let temp = v(99);
+        let seq = sequentialize(&moves, temp);
+        assert!(!seq.used_temp);
+        assert_eq!(seq.copies.len(), 3);
+        assert_eq!(minimum_copies(&moves), 3);
+        check_equivalent(&moves, &seq.copies, temp);
+    }
+
+    #[test]
+    fn swap_needs_one_extra_copy() {
+        let moves = [pair(0, 1), pair(1, 0)];
+        let temp = v(99);
+        let seq = sequentialize(&moves, temp);
+        assert!(seq.used_temp);
+        assert_eq!(seq.copies.len(), 3);
+        assert_eq!(minimum_copies(&moves), 3);
+        check_equivalent(&moves, &seq.copies, temp);
+    }
+
+    #[test]
+    fn paper_example_generates_four_copies() {
+        // (a↦b, b↦c, c↦a, c↦d): circuit (a,b,c) plus edge c→d.
+        // The paper: "we generate the copies d = c, c = a, a = b, and b = d".
+        let a = 0;
+        let b = 1;
+        let c = 2;
+        let d = 3;
+        let moves = [pair(b, a), pair(c, b), pair(a, c), pair(d, c)];
+        let temp = v(99);
+        let seq = sequentialize(&moves, temp);
+        assert_eq!(seq.copies.len(), 4, "no extra copy: the cycle is broken via d");
+        assert!(!seq.used_temp);
+        assert_eq!(minimum_copies(&moves), 4);
+        check_equivalent(&moves, &seq.copies, temp);
+    }
+
+    #[test]
+    fn three_cycle_uses_temp_once() {
+        let moves = [pair(0, 1), pair(1, 2), pair(2, 0)];
+        let temp = v(99);
+        let seq = sequentialize(&moves, temp);
+        assert!(seq.used_temp);
+        assert_eq!(seq.copies.len(), 4);
+        assert_eq!(minimum_copies(&moves), 4);
+        check_equivalent(&moves, &seq.copies, temp);
+    }
+
+    #[test]
+    fn self_moves_are_dropped() {
+        let moves = [pair(0, 0), pair(1, 2)];
+        let temp = v(99);
+        let seq = sequentialize(&moves, temp);
+        assert_eq!(seq.copies.len(), 1);
+        assert_eq!(minimum_copies(&moves), 1);
+        check_equivalent(&moves, &seq.copies, temp);
+    }
+
+    #[test]
+    fn empty_parallel_copy_produces_nothing() {
+        let seq = sequentialize(&[], v(9));
+        assert!(seq.copies.is_empty());
+        assert!(!seq.used_temp);
+        assert_eq!(minimum_copies(&[]), 0);
+    }
+
+    #[test]
+    fn two_disjoint_swaps_use_temp_for_each() {
+        let moves = [pair(0, 1), pair(1, 0), pair(2, 3), pair(3, 2)];
+        let temp = v(99);
+        let seq = sequentialize(&moves, temp);
+        assert!(seq.used_temp);
+        assert_eq!(seq.copies.len(), 6);
+        assert_eq!(minimum_copies(&moves), 6);
+        check_equivalent(&moves, &seq.copies, temp);
+    }
+
+    #[test]
+    fn duplication_into_cycle_avoids_temp() {
+        // a -> b and the swap (a, c): value of a is duplicated, so the cycle
+        // between a and c can reuse b as the save location.
+        let moves = [pair(1, 0), pair(0, 2), pair(2, 0)];
+        let temp = v(99);
+        let seq = sequentialize(&moves, temp);
+        check_equivalent(&moves, &seq.copies, temp);
+        assert_eq!(seq.copies.len(), minimum_copies(&moves));
+        assert_eq!(minimum_copies(&moves), 3);
+        assert!(!seq.used_temp);
+    }
+
+    #[test]
+    fn randomized_permutations_are_sequentialized_correctly() {
+        // Deterministic pseudo-random permutations and duplications.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..200 {
+            let n = (next() % 6 + 1) as usize;
+            let mut moves = Vec::new();
+            let mut used_dsts = Vec::new();
+            for i in 0..n {
+                let dst = i;
+                let src = (next() % (n as u64 + 2)) as usize;
+                if dst != src && !used_dsts.contains(&dst) {
+                    used_dsts.push(dst);
+                    moves.push(pair(dst, src));
+                }
+            }
+            let temp = v(50);
+            let seq = sequentialize(&moves, temp);
+            check_equivalent(&moves, &seq.copies, temp);
+            assert_eq!(
+                seq.copies.len(),
+                minimum_copies(&moves),
+                "case {case}: non-minimal sequentialization for {moves:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequentialize_function_replaces_parallel_copies() {
+        use ossa_ir::builder::FunctionBuilder;
+        use ossa_ir::BinaryOp;
+        let mut b = FunctionBuilder::new("seq", 0);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let a = b.iconst(1);
+        let c = b.iconst(2);
+        let x = b.declare_value();
+        let y = b.declare_value();
+        b.parallel_copy(vec![CopyPair { dst: x, src: a }, CopyPair { dst: y, src: c }]);
+        // Swap x and y: requires a temp.
+        b.parallel_copy(vec![CopyPair { dst: x, src: y }, CopyPair { dst: y, src: x }]);
+        let s = b.binary(BinaryOp::Add, x, y);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let emitted = sequentialize_function(&mut f);
+        assert_eq!(emitted, 2 + 3);
+        assert!(f
+            .blocks()
+            .flat_map(|bl| f.block_insts(bl).iter())
+            .all(|&i| !matches!(f.inst(i), InstData::ParallelCopy { .. })));
+    }
+}

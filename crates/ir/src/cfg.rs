@@ -1,0 +1,216 @@
+//! Control-flow graph: cached predecessor/successor lists and traversal
+//! orders.
+
+use crate::entity::{Block, EntitySet, SecondaryMap};
+use crate::function::Function;
+
+/// Cached predecessor and successor lists of a function's CFG, plus reverse
+/// post-order.
+#[derive(Clone, Debug)]
+pub struct ControlFlowGraph {
+    succs: SecondaryMap<Block, Vec<Block>>,
+    preds: SecondaryMap<Block, Vec<Block>>,
+    rpo: Vec<Block>,
+    reachable: EntitySet<Block>,
+}
+
+impl ControlFlowGraph {
+    /// Computes the CFG of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let mut succs: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        let mut preds: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        succs.resize(func.num_blocks());
+        preds.resize(func.num_blocks());
+        for block in func.blocks() {
+            let s = func.successors(block);
+            for &succ in &s {
+                preds[succ].push(block);
+            }
+            succs[block] = s;
+        }
+
+        // Post-order DFS from the entry block.
+        let mut post = Vec::with_capacity(func.num_blocks());
+        let mut reachable = EntitySet::with_capacity(func.num_blocks());
+        if func.has_entry() {
+            let entry = func.entry();
+            // Iterative DFS with an explicit stack of (block, next-successor).
+            let mut visited = EntitySet::with_capacity(func.num_blocks());
+            let mut stack: Vec<(Block, usize)> = vec![(entry, 0)];
+            visited.insert(entry);
+            while let Some(&mut (block, ref mut next)) = stack.last_mut() {
+                if *next < succs[block].len() {
+                    let succ = succs[block][*next];
+                    *next += 1;
+                    if visited.insert(succ) {
+                        stack.push((succ, 0));
+                    }
+                } else {
+                    post.push(block);
+                    stack.pop();
+                }
+            }
+            reachable = visited;
+        }
+        let rpo: Vec<Block> = post.into_iter().rev().collect();
+
+        Self { succs, preds, rpo, reachable }
+    }
+
+    /// Successors of `block`.
+    pub fn succs(&self, block: Block) -> &[Block] {
+        &self.succs[block]
+    }
+
+    /// Predecessors of `block`.
+    pub fn preds(&self, block: Block) -> &[Block] {
+        &self.preds[block]
+    }
+
+    /// Blocks reachable from the entry, in reverse post-order.
+    pub fn reverse_post_order(&self) -> &[Block] {
+        &self.rpo
+    }
+
+    /// Blocks reachable from the entry, in post-order.
+    pub fn post_order(&self) -> impl Iterator<Item = Block> + '_ {
+        self.rpo.iter().rev().copied()
+    }
+
+    /// Returns `true` if `block` is reachable from the entry block.
+    pub fn is_reachable(&self, block: Block) -> bool {
+        self.reachable.contains(block)
+    }
+
+    /// Number of reachable blocks.
+    pub fn num_reachable(&self) -> usize {
+        self.rpo.len()
+    }
+
+    /// Returns `true` if the edge `pred -> succ` is critical, i.e. `pred` has
+    /// several successors and `succ` has several predecessors.
+    pub fn is_critical_edge(&self, pred: Block, succ: Block) -> bool {
+        self.succs(pred).len() > 1 && self.preds(succ).len() > 1
+    }
+
+    /// Iterates over all edges `(pred, succ)` of reachable blocks.
+    pub fn edges(&self) -> impl Iterator<Item = (Block, Block)> + '_ {
+        self.rpo.iter().flat_map(move |&b| self.succs(b).iter().map(move |&s| (b, s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instruction::CmpOp;
+
+    /// entry -> {then, else} -> join -> exit ; plus an unreachable block.
+    fn diamond() -> (Function, Vec<Block>) {
+        let mut b = FunctionBuilder::new("diamond", 1);
+        let entry = b.create_block();
+        let then_bb = b.create_block();
+        let else_bb = b.create_block();
+        let join = b.create_block();
+        let dead = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        b.branch(c, then_bb, else_bb);
+        b.switch_to_block(then_bb);
+        b.jump(join);
+        b.switch_to_block(else_bb);
+        b.jump(join);
+        b.switch_to_block(join);
+        b.ret(None);
+        b.switch_to_block(dead);
+        b.ret(None);
+        (b.finish(), vec![entry, then_bb, else_bb, join, dead])
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let (f, blocks) = diamond();
+        let cfg = ControlFlowGraph::compute(&f);
+        assert_eq!(cfg.succs(blocks[0]), &[blocks[1], blocks[2]]);
+        assert_eq!(cfg.preds(blocks[3]), &[blocks[1], blocks[2]]);
+        assert!(cfg.preds(blocks[0]).is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_skips_unreachable() {
+        let (f, blocks) = diamond();
+        let cfg = ControlFlowGraph::compute(&f);
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo[0], blocks[0]);
+        assert_eq!(rpo.len(), 4);
+        assert!(!rpo.contains(&blocks[4]));
+        assert!(cfg.is_reachable(blocks[3]));
+        assert!(!cfg.is_reachable(blocks[4]));
+        // RPO property: every block appears after at least one predecessor
+        // (except the entry and loop headers; there are no loops here).
+        for (i, &b) in rpo.iter().enumerate().skip(1) {
+            assert!(cfg.preds(b).iter().any(|p| rpo[..i].contains(p)));
+        }
+    }
+
+    #[test]
+    fn critical_edge_detection() {
+        // entry branches to {a, join}; a jumps to join. The edge entry->join
+        // is critical.
+        let mut b = FunctionBuilder::new("crit", 1);
+        let entry = b.create_block();
+        let a = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        b.branch(x, a, join);
+        b.switch_to_block(a);
+        b.jump(join);
+        b.switch_to_block(join);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = ControlFlowGraph::compute(&f);
+        assert!(cfg.is_critical_edge(entry, join));
+        assert!(!cfg.is_critical_edge(entry, a));
+        assert!(!cfg.is_critical_edge(a, join));
+    }
+
+    #[test]
+    fn edges_iterator_counts() {
+        let (f, _) = diamond();
+        let cfg = ControlFlowGraph::compute(&f);
+        assert_eq!(cfg.edges().count(), 4);
+    }
+
+    #[test]
+    fn loop_rpo_contains_all_blocks_once() {
+        let mut b = FunctionBuilder::new("loop", 1);
+        let entry = b.create_block();
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let n = b.param(0);
+        b.jump(header);
+        b.switch_to_block(header);
+        b.branch(n, body, exit);
+        b.switch_to_block(body);
+        b.jump(header);
+        b.switch_to_block(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = ControlFlowGraph::compute(&f);
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], entry);
+        let mut sorted: Vec<_> = rpo.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+}

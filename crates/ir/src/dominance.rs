@@ -1,0 +1,415 @@
+//! Dominator tree, dominance frontiers and O(1) dominance queries.
+//!
+//! The dominator tree is computed with the Cooper–Harvey–Kennedy "engineered"
+//! algorithm over the reverse post-order of the CFG. Constant-time
+//! `dominates` queries use the pre/post DFS interval numbering of the
+//! dominator tree — the same machinery the paper relies on for its pre-DFS
+//! ordering of congruence classes (Section IV-B).
+
+use crate::cfg::ControlFlowGraph;
+use crate::entity::{Block, SecondaryMap};
+use crate::function::Function;
+
+/// Dominator tree of a function.
+#[derive(Clone, Debug)]
+pub struct DominatorTree {
+    idom: SecondaryMap<Block, Option<Block>>,
+    children: SecondaryMap<Block, Vec<Block>>,
+    /// Pre-order visit number in a DFS of the dominator tree.
+    pre: SecondaryMap<Block, u32>,
+    /// Post-order visit number in a DFS of the dominator tree.
+    post: SecondaryMap<Block, u32>,
+    /// Blocks in dominator-tree pre-order (a valid "pre-DFS order ≺" for the
+    /// linear interference test of the paper).
+    preorder: Vec<Block>,
+    entry: Block,
+    rpo_index: SecondaryMap<Block, u32>,
+}
+
+impl DominatorTree {
+    /// Computes the dominator tree of `func` using `cfg`.
+    pub fn compute(func: &Function, cfg: &ControlFlowGraph) -> Self {
+        let entry = func.entry();
+        let rpo = cfg.reverse_post_order();
+        let mut rpo_index: SecondaryMap<Block, u32> = SecondaryMap::with_default(u32::MAX);
+        rpo_index.resize(func.num_blocks());
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i as u32;
+        }
+
+        let mut idom: SecondaryMap<Block, Option<Block>> = SecondaryMap::new();
+        idom.resize(func.num_blocks());
+        idom[entry] = Some(entry);
+
+        // Cooper–Harvey–Kennedy iteration.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &block in rpo.iter().skip(1) {
+                let mut new_idom: Option<Block> = None;
+                for &pred in cfg.preds(block) {
+                    if rpo_index[pred] == u32::MAX || idom[pred].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => pred,
+                        Some(current) => Self::intersect(&idom, &rpo_index, pred, current),
+                    });
+                }
+                if let Some(new_idom) = new_idom {
+                    if idom[block] != Some(new_idom) {
+                        idom[block] = Some(new_idom);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Children lists (entry is its own idom; do not list it as a child).
+        let mut children: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        children.resize(func.num_blocks());
+        for &block in rpo {
+            if block != entry {
+                if let Some(parent) = idom[block] {
+                    children[parent].push(block);
+                }
+            }
+        }
+
+        // DFS numbering of the dominator tree.
+        let mut pre: SecondaryMap<Block, u32> = SecondaryMap::with_default(u32::MAX);
+        let mut post: SecondaryMap<Block, u32> = SecondaryMap::with_default(u32::MAX);
+        pre.resize(func.num_blocks());
+        post.resize(func.num_blocks());
+        let mut preorder = Vec::with_capacity(rpo.len());
+        let mut pre_counter = 1u32;
+        let mut post_counter = 0u32;
+        let mut stack: Vec<(Block, usize)> = vec![(entry, 0)];
+        pre[entry] = 0;
+        preorder.push(entry);
+        while let Some(&mut (block, ref mut next)) = stack.last_mut() {
+            if *next < children[block].len() {
+                let child = children[block][*next];
+                *next += 1;
+                pre[child] = pre_counter;
+                pre_counter += 1;
+                preorder.push(child);
+                stack.push((child, 0));
+            } else {
+                post[block] = post_counter;
+                post_counter += 1;
+                stack.pop();
+            }
+        }
+
+        Self { idom, children, pre, post, preorder, entry, rpo_index }
+    }
+
+    fn intersect(
+        idom: &SecondaryMap<Block, Option<Block>>,
+        rpo_index: &SecondaryMap<Block, u32>,
+        mut a: Block,
+        mut b: Block,
+    ) -> Block {
+        while a != b {
+            while rpo_index[a] > rpo_index[b] {
+                a = idom[a].expect("intersect: missing idom");
+            }
+            while rpo_index[b] > rpo_index[a] {
+                b = idom[b].expect("intersect: missing idom");
+            }
+        }
+        a
+    }
+
+    /// The function entry block (root of the dominator tree).
+    pub fn root(&self) -> Block {
+        self.entry
+    }
+
+    /// Immediate dominator of `block` (`None` for the entry block or
+    /// unreachable blocks).
+    pub fn idom(&self, block: Block) -> Option<Block> {
+        match self.idom[block] {
+            Some(parent) if block != self.entry => Some(parent),
+            _ => None,
+        }
+    }
+
+    /// Children of `block` in the dominator tree.
+    pub fn children(&self, block: Block) -> &[Block] {
+        &self.children[block]
+    }
+
+    /// Returns `true` if `block` is reachable (has a dominator-tree position).
+    pub fn is_reachable(&self, block: Block) -> bool {
+        self.pre[block] != u32::MAX
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively), in O(1).
+    pub fn dominates(&self, a: Block, b: Block) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        self.pre[a] <= self.pre[b] && self.post[b] <= self.post[a]
+    }
+
+    /// Returns `true` if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: Block, b: Block) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Pre-order number of `block` in the dominator-tree DFS. Unreachable
+    /// blocks return `u32::MAX`.
+    pub fn preorder_number(&self, block: Block) -> u32 {
+        self.pre[block]
+    }
+
+    /// Blocks in dominator-tree pre-order.
+    pub fn preorder(&self) -> &[Block] {
+        &self.preorder
+    }
+
+    /// Returns `true` if the program point `(block_a, pos_a)` dominates the
+    /// point `(block_b, pos_b)`, where `pos` is the instruction index within
+    /// the block. Points in the same block compare by position.
+    pub fn dominates_point(&self, a: (Block, usize), b: (Block, usize)) -> bool {
+        if a.0 == b.0 {
+            a.1 <= b.1
+        } else {
+            self.strictly_dominates(a.0, b.0)
+        }
+    }
+
+    /// Index of `block` in the reverse post-order used to build the tree.
+    pub fn rpo_index(&self, block: Block) -> u32 {
+        self.rpo_index[block]
+    }
+}
+
+/// Dominance frontiers: for each block `b`, the set of blocks where the
+/// dominance of `b` stops — the classic φ-placement tool of Cytron et al.
+#[derive(Clone, Debug)]
+pub struct DominanceFrontiers {
+    frontiers: SecondaryMap<Block, Vec<Block>>,
+}
+
+impl DominanceFrontiers {
+    /// Computes the dominance frontiers of every reachable block.
+    pub fn compute(func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) -> Self {
+        let mut frontiers: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        frontiers.resize(func.num_blocks());
+        for &block in cfg.reverse_post_order() {
+            let preds = cfg.preds(block);
+            if preds.len() < 2 {
+                continue;
+            }
+            let Some(idom) = domtree.idom(block) else { continue };
+            for &pred in preds {
+                if !domtree.is_reachable(pred) {
+                    continue;
+                }
+                let mut runner = pred;
+                while runner != idom {
+                    let frontier = &mut frontiers[runner];
+                    if !frontier.contains(&block) {
+                        frontier.push(block);
+                    }
+                    match domtree.idom(runner) {
+                        Some(next) => runner = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+        Self { frontiers }
+    }
+
+    /// The dominance frontier of `block`.
+    pub fn frontier(&self, block: Block) -> &[Block] {
+        &self.frontiers[block]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    /// The classic CFG:
+    /// ```text
+    ///        entry
+    ///        /    \
+    ///      then   else
+    ///        \    /
+    ///         join
+    ///          |
+    ///        header <--+
+    ///        /    \    |
+    ///      body    |   |
+    ///        \     |   |
+    ///         +----+---+
+    ///              |
+    ///             exit
+    /// ```
+    fn build_cfg() -> (Function, Vec<Block>) {
+        let mut b = FunctionBuilder::new("dom", 1);
+        let entry = b.create_block();
+        let then_bb = b.create_block();
+        let else_bb = b.create_block();
+        let join = b.create_block();
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        b.branch(x, then_bb, else_bb);
+        b.switch_to_block(then_bb);
+        b.jump(join);
+        b.switch_to_block(else_bb);
+        b.jump(join);
+        b.switch_to_block(join);
+        b.jump(header);
+        b.switch_to_block(header);
+        b.branch(x, body, exit);
+        b.switch_to_block(body);
+        b.jump(header);
+        b.switch_to_block(exit);
+        b.ret(None);
+        (b.finish(), vec![entry, then_bb, else_bb, join, header, body, exit])
+    }
+
+    fn analyses(f: &Function) -> (ControlFlowGraph, DominatorTree) {
+        let cfg = ControlFlowGraph::compute(f);
+        let dom = DominatorTree::compute(f, &cfg);
+        (cfg, dom)
+    }
+
+    #[test]
+    fn immediate_dominators() {
+        let (f, blocks) = build_cfg();
+        let (_, dom) = analyses(&f);
+        let [entry, then_bb, else_bb, join, header, body, exit] = blocks[..] else { panic!() };
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(then_bb), Some(entry));
+        assert_eq!(dom.idom(else_bb), Some(entry));
+        assert_eq!(dom.idom(join), Some(entry));
+        assert_eq!(dom.idom(header), Some(join));
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(exit), Some(header));
+    }
+
+    #[test]
+    fn dominates_queries() {
+        let (f, blocks) = build_cfg();
+        let (_, dom) = analyses(&f);
+        let [entry, then_bb, _else_bb, join, header, body, exit] = blocks[..] else { panic!() };
+        assert!(dom.dominates(entry, exit));
+        assert!(dom.dominates(join, header));
+        assert!(dom.dominates(header, body));
+        assert!(!dom.dominates(then_bb, join));
+        assert!(!dom.dominates(body, exit));
+        assert!(dom.dominates(exit, exit));
+        assert!(dom.strictly_dominates(entry, join));
+        assert!(!dom.strictly_dominates(join, join));
+    }
+
+    #[test]
+    fn dominates_matches_brute_force() {
+        // Brute force: a dominates b iff removing a makes b unreachable.
+        let (f, blocks) = build_cfg();
+        let (cfg, dom) = analyses(&f);
+        for &a in &blocks {
+            for &b in &blocks {
+                let brute = brute_force_dominates(&f, &cfg, a, b);
+                assert_eq!(dom.dominates(a, b), brute, "dominates({a}, {b})");
+            }
+        }
+    }
+
+    fn brute_force_dominates(f: &Function, cfg: &ControlFlowGraph, a: Block, b: Block) -> bool {
+        if !cfg.is_reachable(a) || !cfg.is_reachable(b) {
+            return false;
+        }
+        if a == b {
+            return true;
+        }
+        // BFS from entry avoiding `a`; `a` dominates `b` iff `b` is not reached.
+        let entry = f.entry();
+        if entry == a {
+            return true;
+        }
+        let mut seen = vec![false; f.num_blocks()];
+        let mut stack = vec![entry];
+        seen[entry.index()] = true;
+        while let Some(block) = stack.pop() {
+            for &succ in cfg.succs(block) {
+                if succ != a && !seen[succ.index()] {
+                    seen[succ.index()] = true;
+                    stack.push(succ);
+                }
+            }
+        }
+        !seen[b.index()]
+    }
+
+    #[test]
+    fn preorder_is_topological_on_dominance() {
+        let (f, _) = build_cfg();
+        let (_, dom) = analyses(&f);
+        let order = dom.preorder();
+        for (i, &b) in order.iter().enumerate() {
+            if let Some(parent) = dom.idom(b) {
+                let parent_pos = order.iter().position(|&x| x == parent).unwrap();
+                assert!(parent_pos < i, "parent must come before child in pre-order");
+            }
+        }
+    }
+
+    #[test]
+    fn dominates_point_same_block_uses_position() {
+        let (f, blocks) = build_cfg();
+        let (_, dom) = analyses(&f);
+        let entry = blocks[0];
+        assert!(dom.dominates_point((entry, 0), (entry, 1)));
+        assert!(dom.dominates_point((entry, 1), (entry, 1)));
+        assert!(!dom.dominates_point((entry, 2), (entry, 1)));
+        assert!(dom.dominates_point((entry, 5), (blocks[3], 0)));
+        assert!(!dom.dominates_point((blocks[1], 0), (blocks[3], 0)));
+    }
+
+    #[test]
+    fn dominance_frontiers_match_expectations() {
+        let (f, blocks) = build_cfg();
+        let cfg = ControlFlowGraph::compute(&f);
+        let dom = DominatorTree::compute(&f, &cfg);
+        let df = DominanceFrontiers::compute(&f, &cfg, &dom);
+        let [_, then_bb, else_bb, join, header, body, _exit] = blocks[..] else { panic!() };
+        assert_eq!(df.frontier(then_bb), &[join]);
+        assert_eq!(df.frontier(else_bb), &[join]);
+        assert_eq!(df.frontier(body), &[header]);
+        // header is in its own frontier because of the back edge.
+        assert_eq!(df.frontier(header), &[header]);
+        // join strictly dominates header, so its frontier is empty.
+        assert!(df.frontier(join).is_empty());
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_reachable_in_tree() {
+        let mut b = FunctionBuilder::new("unreach", 0);
+        let entry = b.create_block();
+        let dead = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        b.ret(None);
+        b.switch_to_block(dead);
+        b.ret(None);
+        let f = b.finish();
+        let (_, dom) = analyses(&f);
+        assert!(dom.is_reachable(entry));
+        assert!(!dom.is_reachable(dead));
+        assert!(!dom.dominates(dead, entry));
+        assert!(!dom.dominates(entry, dead));
+    }
+}

@@ -1,0 +1,531 @@
+//! The [`Function`] container: blocks, instructions, values and layout.
+
+use std::collections::HashMap;
+
+use crate::entity::{Block, EntitySet, Inst, PrimaryMap, SecondaryMap, Value};
+use crate::instruction::{InstData, PhiArg};
+
+/// Data attached to each basic block: its instruction sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockData {
+    insts: Vec<Inst>,
+}
+
+/// Data attached to each value.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ValueInfo {
+    /// Architectural register the value is pinned to (calling conventions,
+    /// dedicated registers). `None` for ordinary values.
+    pub pinned_reg: Option<u32>,
+}
+
+/// Location of the unique definition of an SSA value.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DefSite {
+    /// Block containing the definition.
+    pub block: Block,
+    /// Defining instruction.
+    pub inst: Inst,
+    /// Position of `inst` inside `block`.
+    pub pos: usize,
+}
+
+/// A function: a control-flow graph of basic blocks over a single value
+/// namespace.
+///
+/// The same container is used before SSA construction (values act as
+/// mutable virtual registers and may have several definitions) and after
+/// (every value has a unique definition and φ-functions appear at block
+/// entries). The [`crate::verify`] module checks the SSA invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (used by printers and the benchmark harness).
+    pub name: String,
+    /// Number of formal parameters.
+    pub num_params: u32,
+    insts: PrimaryMap<Inst, InstData>,
+    blocks: PrimaryMap<Block, BlockData>,
+    values: PrimaryMap<Value, ValueInfo>,
+    entry: Option<Block>,
+    layout: Vec<Block>,
+}
+
+impl Function {
+    /// Creates an empty function.
+    pub fn new(name: impl Into<String>, num_params: u32) -> Self {
+        Self {
+            name: name.into(),
+            num_params,
+            insts: PrimaryMap::new(),
+            blocks: PrimaryMap::new(),
+            values: PrimaryMap::new(),
+            entry: None,
+            layout: Vec::new(),
+        }
+    }
+
+    // ----- blocks ---------------------------------------------------------
+
+    /// Creates a new, empty basic block and appends it to the layout.
+    pub fn add_block(&mut self) -> Block {
+        let block = self.blocks.push(BlockData::default());
+        self.layout.push(block);
+        block
+    }
+
+    /// Sets the entry block.
+    pub fn set_entry(&mut self, block: Block) {
+        self.entry = Some(block);
+    }
+
+    /// Returns the entry block.
+    ///
+    /// # Panics
+    /// Panics if no entry block has been set.
+    pub fn entry(&self) -> Block {
+        self.entry.expect("function has no entry block")
+    }
+
+    /// Returns `true` if an entry block has been set.
+    pub fn has_entry(&self) -> bool {
+        self.entry.is_some()
+    }
+
+    /// Number of blocks ever created (including empty ones).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Blocks in layout order.
+    pub fn blocks(&self) -> impl Iterator<Item = Block> + '_ {
+        self.layout.iter().copied()
+    }
+
+    /// The layout order as a slice.
+    pub fn layout(&self) -> &[Block] {
+        &self.layout
+    }
+
+    // ----- values ---------------------------------------------------------
+
+    /// Creates a fresh value.
+    pub fn new_value(&mut self) -> Value {
+        self.values.push(ValueInfo::default())
+    }
+
+    /// Number of values ever created.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All values in creation order.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.values.keys()
+    }
+
+    /// Pins `value` to architectural register `reg`.
+    pub fn pin_value(&mut self, value: Value, reg: u32) {
+        self.values[value].pinned_reg = Some(reg);
+    }
+
+    /// Returns the architectural register `value` is pinned to, if any.
+    pub fn pinned_reg(&self, value: Value) -> Option<u32> {
+        self.values.get(value).and_then(|info| info.pinned_reg)
+    }
+
+    /// Removes the register pin of `value`, if any.
+    pub fn clear_pin(&mut self, value: Value) {
+        self.values[value].pinned_reg = None;
+    }
+
+    // ----- instructions ---------------------------------------------------
+
+    /// Number of instructions ever created (including detached ones).
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns the payload of `inst`.
+    pub fn inst(&self, inst: Inst) -> &InstData {
+        &self.insts[inst]
+    }
+
+    /// Returns a mutable reference to the payload of `inst`.
+    pub fn inst_mut(&mut self, inst: Inst) -> &mut InstData {
+        &mut self.insts[inst]
+    }
+
+    /// Appends `data` at the end of `block`.
+    pub fn append_inst(&mut self, block: Block, data: InstData) -> Inst {
+        let inst = self.insts.push(data);
+        self.blocks[block].insts.push(inst);
+        inst
+    }
+
+    /// Inserts `data` at position `pos` inside `block`.
+    ///
+    /// # Panics
+    /// Panics if `pos > block length`.
+    pub fn insert_inst(&mut self, block: Block, pos: usize, data: InstData) -> Inst {
+        let inst = self.insts.push(data);
+        self.blocks[block].insts.insert(pos, inst);
+        inst
+    }
+
+    /// Removes `inst` from `block`. Returns `true` if it was present.
+    pub fn remove_inst(&mut self, block: Block, inst: Inst) -> bool {
+        let insts = &mut self.blocks[block].insts;
+        if let Some(pos) = insts.iter().position(|&i| i == inst) {
+            insts.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The instruction sequence of `block`.
+    pub fn block_insts(&self, block: Block) -> &[Inst] {
+        &self.blocks[block].insts
+    }
+
+    /// Number of instructions currently in `block`.
+    pub fn block_len(&self, block: Block) -> usize {
+        self.blocks[block].insts.len()
+    }
+
+    /// Position of `inst` within `block`, if attached there.
+    pub fn position_in_block(&self, block: Block, inst: Inst) -> Option<usize> {
+        self.blocks[block].insts.iter().position(|&i| i == inst)
+    }
+
+    /// The terminator of `block`, if the block ends with one.
+    pub fn terminator(&self, block: Block) -> Option<Inst> {
+        self.blocks[block]
+            .insts
+            .last()
+            .copied()
+            .filter(|&inst| self.insts[inst].is_terminator())
+    }
+
+    /// Successor blocks of `block` (empty if it has no terminator).
+    pub fn successors(&self, block: Block) -> Vec<Block> {
+        self.terminator(block).map(|t| self.insts[t].successors()).unwrap_or_default()
+    }
+
+    /// The φ-functions at the start of `block`.
+    pub fn phis(&self, block: Block) -> Vec<Inst> {
+        self.blocks[block]
+            .insts
+            .iter()
+            .copied()
+            .take_while(|&inst| self.insts[inst].is_phi())
+            .collect()
+    }
+
+    /// Position of the first non-φ instruction in `block`.
+    pub fn first_non_phi(&self, block: Block) -> usize {
+        self.blocks[block]
+            .insts
+            .iter()
+            .take_while(|&&inst| self.insts[inst].is_phi())
+            .count()
+    }
+
+    /// Total number of instructions attached to blocks.
+    pub fn num_attached_insts(&self) -> usize {
+        self.layout.iter().map(|&b| self.blocks[b].insts.len()).sum()
+    }
+
+    /// Counts the sequential copies and the moves inside parallel copies —
+    /// the "number of copies" metric of the paper's Figure 5.
+    pub fn count_copies(&self) -> usize {
+        self.blocks()
+            .flat_map(|b| self.block_insts(b).iter())
+            .map(|&inst| match self.inst(inst) {
+                InstData::Copy { .. } => 1,
+                InstData::ParallelCopy { copies } => copies.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    // ----- whole-function queries ----------------------------------------
+
+    /// Computes the definition site of every value. In SSA form each value
+    /// has at most one definition; if a value has several (pre-SSA code),
+    /// the first one in layout order is returned.
+    pub fn def_sites(&self) -> SecondaryMap<Value, Option<DefSite>> {
+        let mut defs: SecondaryMap<Value, Option<DefSite>> = SecondaryMap::new();
+        defs.resize(self.num_values());
+        let mut scratch = Vec::new();
+        for block in self.blocks() {
+            for (pos, &inst) in self.block_insts(block).iter().enumerate() {
+                scratch.clear();
+                self.inst(inst).collect_defs(&mut scratch);
+                for &value in &scratch {
+                    if defs[value].is_none() {
+                        defs[value] = Some(DefSite { block, inst, pos });
+                    }
+                }
+            }
+        }
+        defs
+    }
+
+    /// Counts how many definitions each value has (useful pre-SSA and for the
+    /// verifier).
+    pub fn def_counts(&self) -> SecondaryMap<Value, u32> {
+        let mut counts: SecondaryMap<Value, u32> = SecondaryMap::new();
+        counts.resize(self.num_values());
+        let mut scratch = Vec::new();
+        for block in self.blocks() {
+            for &inst in self.block_insts(block) {
+                scratch.clear();
+                self.inst(inst).collect_defs(&mut scratch);
+                for &value in &scratch {
+                    counts[value] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The set of values that appear (as def or use) anywhere in the function.
+    pub fn referenced_values(&self) -> EntitySet<Value> {
+        let mut set = EntitySet::with_capacity(self.num_values());
+        let mut scratch = Vec::new();
+        for block in self.blocks() {
+            for &inst in self.block_insts(block) {
+                scratch.clear();
+                self.inst(inst).collect_defs(&mut scratch);
+                self.inst(inst).collect_uses(&mut scratch);
+                set.extend(scratch.iter().copied());
+            }
+        }
+        set
+    }
+
+    /// Predecessor blocks of every block, in deterministic layout order.
+    pub fn predecessors(&self) -> SecondaryMap<Block, Vec<Block>> {
+        let mut preds: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        preds.resize(self.num_blocks());
+        for block in self.blocks() {
+            for succ in self.successors(block) {
+                preds[succ].push(block);
+            }
+        }
+        preds
+    }
+
+    /// Rewrites, in the φ-functions of `block`, every argument coming from
+    /// `old_pred` so that it now comes from `new_pred`. Used when splitting
+    /// critical edges.
+    pub fn redirect_phi_inputs(&mut self, block: Block, old_pred: Block, new_pred: Block) {
+        for inst in self.phis(block) {
+            if let InstData::Phi { args, .. } = self.inst_mut(inst) {
+                for arg in args {
+                    if arg.block == old_pred {
+                        arg.block = new_pred;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns, for each φ of `block`, the incoming value along the edge from
+    /// `pred`.
+    pub fn phi_inputs_from(&self, block: Block, pred: Block) -> Vec<(Inst, Value)> {
+        self.phis(block)
+            .into_iter()
+            .filter_map(|inst| {
+                self.inst(inst)
+                    .phi_args()
+                    .and_then(|args| args.iter().find(|a| a.block == pred))
+                    .map(|arg| (inst, arg.value))
+            })
+            .collect()
+    }
+
+    /// Replaces every φ-function by nothing and every `ParallelCopy` by a
+    /// sequence of `Copy` instructions in the given order. This is a plain
+    /// structural helper used by tests; the real sequentialization lives in
+    /// the `ossa-destruct` crate.
+    pub fn count_phis(&self) -> usize {
+        self.blocks().map(|b| self.phis(b).len()).sum()
+    }
+
+    /// Builds a map from value to the blocks where it is used (φ uses are
+    /// attributed to the predecessor block, matching liveness semantics).
+    pub fn use_blocks(&self) -> HashMap<Value, Vec<Block>> {
+        let mut uses: HashMap<Value, Vec<Block>> = HashMap::new();
+        for block in self.blocks() {
+            for &inst in self.block_insts(block) {
+                match self.inst(inst) {
+                    InstData::Phi { args, .. } => {
+                        for PhiArg { block: pred, value } in args {
+                            uses.entry(*value).or_default().push(*pred);
+                        }
+                    }
+                    data => {
+                        for value in data.uses() {
+                            uses.entry(value).or_default().push(block);
+                        }
+                    }
+                }
+            }
+        }
+        uses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::{BinaryOp, CopyPair};
+
+    fn sample_function() -> (Function, Block, Block, Block) {
+        // bb0: v0 = param 0; v1 = const 1; br v0, bb1, bb2
+        // bb1: v2 = add v0, v1; jump bb2
+        // bb2: v3 = phi [(bb0, v1), (bb1, v2)]; return v3
+        let mut f = Function::new("sample", 1);
+        let bb0 = f.add_block();
+        let bb1 = f.add_block();
+        let bb2 = f.add_block();
+        f.set_entry(bb0);
+        let v0 = f.new_value();
+        let v1 = f.new_value();
+        let v2 = f.new_value();
+        let v3 = f.new_value();
+        f.append_inst(bb0, InstData::Param { dst: v0, index: 0 });
+        f.append_inst(bb0, InstData::Const { dst: v1, imm: 1 });
+        f.append_inst(bb0, InstData::Branch { cond: v0, then_dest: bb1, else_dest: bb2 });
+        f.append_inst(bb1, InstData::Binary { op: BinaryOp::Add, dst: v2, args: [v0, v1] });
+        f.append_inst(bb1, InstData::Jump { dest: bb2 });
+        f.append_inst(
+            bb2,
+            InstData::Phi {
+                dst: v3,
+                args: vec![PhiArg { block: bb0, value: v1 }, PhiArg { block: bb1, value: v2 }],
+            },
+        );
+        f.append_inst(bb2, InstData::Return { value: Some(v3) });
+        (f, bb0, bb1, bb2)
+    }
+
+    #[test]
+    fn block_layout_and_entry() {
+        let (f, bb0, bb1, bb2) = sample_function();
+        assert_eq!(f.entry(), bb0);
+        assert_eq!(f.blocks().collect::<Vec<_>>(), vec![bb0, bb1, bb2]);
+        assert_eq!(f.num_blocks(), 3);
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (f, bb0, bb1, bb2) = sample_function();
+        assert_eq!(f.successors(bb0), vec![bb1, bb2]);
+        assert_eq!(f.successors(bb1), vec![bb2]);
+        assert!(f.successors(bb2).is_empty());
+        let preds = f.predecessors();
+        assert_eq!(preds[bb2], vec![bb0, bb1]);
+        assert_eq!(preds[bb1], vec![bb0]);
+        assert!(preds[bb0].is_empty());
+    }
+
+    #[test]
+    fn phis_and_first_non_phi() {
+        let (f, bb0, _, bb2) = sample_function();
+        assert_eq!(f.phis(bb2).len(), 1);
+        assert_eq!(f.first_non_phi(bb2), 1);
+        assert_eq!(f.first_non_phi(bb0), 0);
+        assert_eq!(f.count_phis(), 1);
+    }
+
+    #[test]
+    fn def_sites_and_counts() {
+        let (f, bb0, bb1, bb2) = sample_function();
+        let defs = f.def_sites();
+        let v2 = Value::from_index(2);
+        let v3 = Value::from_index(3);
+        assert_eq!(defs[v2].unwrap().block, bb1);
+        assert_eq!(defs[v3].unwrap().block, bb2);
+        assert_eq!(defs[Value::from_index(0)].unwrap().block, bb0);
+        let counts = f.def_counts();
+        assert!(f.values().all(|v| counts[v] == 1));
+    }
+
+    #[test]
+    fn insert_and_remove_inst() {
+        let (mut f, bb0, _, _) = sample_function();
+        let v = f.new_value();
+        let inst = f.insert_inst(bb0, 2, InstData::Const { dst: v, imm: 9 });
+        assert_eq!(f.position_in_block(bb0, inst), Some(2));
+        assert_eq!(f.block_len(bb0), 4);
+        assert!(f.remove_inst(bb0, inst));
+        assert!(!f.remove_inst(bb0, inst));
+        assert_eq!(f.block_len(bb0), 3);
+    }
+
+    #[test]
+    fn terminator_lookup() {
+        let (f, bb0, _, bb2) = sample_function();
+        assert!(matches!(f.inst(f.terminator(bb0).unwrap()), InstData::Branch { .. }));
+        assert!(matches!(f.inst(f.terminator(bb2).unwrap()), InstData::Return { .. }));
+    }
+
+    #[test]
+    fn copy_counting() {
+        let (mut f, bb0, _, _) = sample_function();
+        let a = f.new_value();
+        let b = f.new_value();
+        f.insert_inst(bb0, 2, InstData::Copy { dst: a, src: b });
+        f.insert_inst(
+            bb0,
+            2,
+            InstData::ParallelCopy {
+                copies: vec![CopyPair { dst: a, src: b }, CopyPair { dst: b, src: a }],
+            },
+        );
+        assert_eq!(f.count_copies(), 3);
+    }
+
+    #[test]
+    fn pinning() {
+        let (mut f, ..) = sample_function();
+        let v0 = Value::from_index(0);
+        assert_eq!(f.pinned_reg(v0), None);
+        f.pin_value(v0, 4);
+        assert_eq!(f.pinned_reg(v0), Some(4));
+    }
+
+    #[test]
+    fn phi_inputs_from_predecessor() {
+        let (f, bb0, bb1, bb2) = sample_function();
+        let from_bb0 = f.phi_inputs_from(bb2, bb0);
+        assert_eq!(from_bb0.len(), 1);
+        assert_eq!(from_bb0[0].1, Value::from_index(1));
+        let from_bb1 = f.phi_inputs_from(bb2, bb1);
+        assert_eq!(from_bb1[0].1, Value::from_index(2));
+    }
+
+    #[test]
+    fn redirect_phi_inputs_rewrites_edges() {
+        let (mut f, bb0, _, bb2) = sample_function();
+        let new_block = f.add_block();
+        f.redirect_phi_inputs(bb2, bb0, new_block);
+        assert!(f.phi_inputs_from(bb2, bb0).is_empty());
+        assert_eq!(f.phi_inputs_from(bb2, new_block).len(), 1);
+    }
+
+    #[test]
+    fn use_blocks_attributes_phi_uses_to_predecessors() {
+        let (f, bb0, bb1, _) = sample_function();
+        let uses = f.use_blocks();
+        // v2 is used by the phi in bb2, attributed to bb1.
+        let v2_uses = &uses[&Value::from_index(2)];
+        assert_eq!(v2_uses, &vec![bb1]);
+        // v0 is used by the add in bb1 and by the branch in bb0.
+        let v0_uses = &uses[&Value::from_index(0)];
+        assert!(v0_uses.contains(&bb0) && v0_uses.contains(&bb1));
+    }
+}

@@ -1,0 +1,644 @@
+//! Instruction set of the IR.
+//!
+//! The instruction set is deliberately small but covers everything the
+//! out-of-SSA translation of Boissinot et al. has to deal with:
+//!
+//! * ordinary value-producing instructions (constants, unary/binary ops,
+//!   loads, calls),
+//! * [`InstData::Copy`] and [`InstData::ParallelCopy`] (parallel copies are
+//!   the semantics of φ-functions and are what the translation inserts),
+//! * [`InstData::Phi`] functions,
+//! * terminators, including [`InstData::Branch`] which *uses* a value after
+//!   the copy-insertion point (the Figure 1 subtlety of the paper) and
+//!   [`InstData::BrDec`] which *defines* a value in the terminator itself
+//!   (the DSP hardware-loop branch of Figure 2).
+
+use crate::entity::{Block, Value};
+
+/// Binary integer operations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (defined as 0 when the divisor is 0, so the interpreter is total).
+    Div,
+    /// Remainder (defined as 0 when the divisor is 0).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (modulo 64).
+    Shl,
+    /// Arithmetic right shift (modulo 64).
+    Shr,
+}
+
+impl BinaryOp {
+    /// All binary operations, for use by generators and exhaustive tests.
+    pub const ALL: [BinaryOp; 10] = [
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Div,
+        BinaryOp::Rem,
+        BinaryOp::And,
+        BinaryOp::Or,
+        BinaryOp::Xor,
+        BinaryOp::Shl,
+        BinaryOp::Shr,
+    ];
+
+    /// Mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "add",
+            BinaryOp::Sub => "sub",
+            BinaryOp::Mul => "mul",
+            BinaryOp::Div => "div",
+            BinaryOp::Rem => "rem",
+            BinaryOp::And => "and",
+            BinaryOp::Or => "or",
+            BinaryOp::Xor => "xor",
+            BinaryOp::Shl => "shl",
+            BinaryOp::Shr => "shr",
+        }
+    }
+
+    /// Evaluates the operation on two `i64` operands with total semantics.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinaryOp::Add => a.wrapping_add(b),
+            BinaryOp::Sub => a.wrapping_sub(b),
+            BinaryOp::Mul => a.wrapping_mul(b),
+            BinaryOp::Div => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            BinaryOp::Rem => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a % b
+                }
+            }
+            BinaryOp::And => a & b,
+            BinaryOp::Or => a | b,
+            BinaryOp::Xor => a ^ b,
+            BinaryOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinaryOp::Shr => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+}
+
+/// Unary integer operations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Two's-complement negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+}
+
+impl UnaryOp {
+    /// All unary operations.
+    pub const ALL: [UnaryOp; 2] = [UnaryOp::Neg, UnaryOp::Not];
+
+    /// Mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "neg",
+            UnaryOp::Not => "not",
+        }
+    }
+
+    /// Evaluates the operation.
+    pub fn eval(self, a: i64) -> i64 {
+        match self {
+            UnaryOp::Neg => a.wrapping_neg(),
+            UnaryOp::Not => !a,
+        }
+    }
+}
+
+/// Integer comparison predicates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-than-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-than-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// All comparison predicates.
+    pub const ALL: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+
+    /// Mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// Evaluates the predicate, returning 1 or 0.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        let result = match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        };
+        result as i64
+    }
+}
+
+/// One move of a parallel copy: `dst` receives the old value of `src`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CopyPair {
+    /// The destination value (written).
+    pub dst: Value,
+    /// The source value (read before any write of the parallel copy).
+    pub src: Value,
+}
+
+/// One incoming edge of a φ-function: when control arrives from `block`, the
+/// φ result takes the value of `value`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PhiArg {
+    /// Predecessor block the value flows from.
+    pub block: Block,
+    /// Value selected when control comes from `block`.
+    pub value: Value,
+}
+
+/// Instruction payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstData {
+    /// `dst = index-th function parameter`. Only allowed in the entry block.
+    Param {
+        /// Defined value.
+        dst: Value,
+        /// Parameter position.
+        index: u32,
+    },
+    /// `dst = imm`.
+    Const {
+        /// Defined value.
+        dst: Value,
+        /// Constant payload.
+        imm: i64,
+    },
+    /// `dst = op arg`.
+    Unary {
+        /// Operation.
+        op: UnaryOp,
+        /// Defined value.
+        dst: Value,
+        /// Operand.
+        arg: Value,
+    },
+    /// `dst = lhs op rhs`.
+    Binary {
+        /// Operation.
+        op: BinaryOp,
+        /// Defined value.
+        dst: Value,
+        /// Operands.
+        args: [Value; 2],
+    },
+    /// `dst = lhs cmp rhs` producing 0 or 1.
+    Cmp {
+        /// Predicate.
+        op: CmpOp,
+        /// Defined value.
+        dst: Value,
+        /// Operands.
+        args: [Value; 2],
+    },
+    /// `dst = src` — a sequential copy.
+    Copy {
+        /// Defined value.
+        dst: Value,
+        /// Copied value.
+        src: Value,
+    },
+    /// A parallel copy: all sources are read before any destination is
+    /// written. This is the copy form inserted by the out-of-SSA translation
+    /// and later sequentialized.
+    ParallelCopy {
+        /// The moves of the parallel copy.
+        copies: Vec<CopyPair>,
+    },
+    /// A φ-function. Must appear in the leading φ group of its block.
+    Phi {
+        /// Defined value.
+        dst: Value,
+        /// One argument per predecessor block.
+        args: Vec<PhiArg>,
+    },
+    /// `dst = call fn_id(args...)` — an opaque call, used to model
+    /// calling-convention renaming constraints.
+    Call {
+        /// Returned value, if any.
+        dst: Option<Value>,
+        /// Opaque callee identifier.
+        callee: u32,
+        /// Call arguments.
+        args: Vec<Value>,
+    },
+    /// `dst = memory[addr]` on an abstract, function-local memory.
+    Load {
+        /// Defined value.
+        dst: Value,
+        /// Address operand.
+        addr: Value,
+    },
+    /// `memory[addr] = value`.
+    Store {
+        /// Address operand.
+        addr: Value,
+        /// Stored value.
+        value: Value,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target block.
+        dest: Block,
+    },
+    /// Conditional branch: goes to `then_dest` when `cond != 0`. The branch
+    /// *uses* `cond`, which matters for the placement of φ copies (Figure 1
+    /// of the paper).
+    Branch {
+        /// Condition value (used by the terminator).
+        cond: Value,
+        /// Target when the condition is non-zero.
+        then_dest: Block,
+        /// Target when the condition is zero.
+        else_dest: Block,
+    },
+    /// Branch-with-decrement (hardware-loop style, Figure 2 of the paper):
+    /// `dec = counter - 1; if dec != 0 goto loop_dest else goto exit_dest`.
+    /// The terminator both uses `counter` and defines `dec`, so no copy can
+    /// be inserted between the definition of `dec` and the end of the block.
+    BrDec {
+        /// Counter operand (used).
+        counter: Value,
+        /// Decremented counter (defined by the terminator itself).
+        dec: Value,
+        /// Target when the decremented counter is non-zero.
+        loop_dest: Block,
+        /// Target when the decremented counter reaches zero.
+        exit_dest: Block,
+    },
+    /// Function return.
+    Return {
+        /// Returned value, if any.
+        value: Option<Value>,
+    },
+}
+
+impl InstData {
+    /// Returns `true` if this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            InstData::Jump { .. }
+                | InstData::Branch { .. }
+                | InstData::BrDec { .. }
+                | InstData::Return { .. }
+        )
+    }
+
+    /// Returns `true` if this instruction is a φ-function.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, InstData::Phi { .. })
+    }
+
+    /// Returns `true` if this instruction is a sequential or parallel copy.
+    pub fn is_copy_like(&self) -> bool {
+        matches!(self, InstData::Copy { .. } | InstData::ParallelCopy { .. })
+    }
+
+    /// Returns `true` if the instruction may observe or mutate memory or have
+    /// other side effects, and therefore must not be removed by dead-code
+    /// elimination.
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            InstData::Call { .. } | InstData::Store { .. } | InstData::Load { .. }
+        ) || self.is_terminator()
+    }
+
+    /// Appends the values defined by this instruction to `out`.
+    pub fn collect_defs(&self, out: &mut Vec<Value>) {
+        match self {
+            InstData::Param { dst, .. }
+            | InstData::Const { dst, .. }
+            | InstData::Unary { dst, .. }
+            | InstData::Binary { dst, .. }
+            | InstData::Cmp { dst, .. }
+            | InstData::Copy { dst, .. }
+            | InstData::Phi { dst, .. }
+            | InstData::Load { dst, .. } => out.push(*dst),
+            InstData::ParallelCopy { copies } => out.extend(copies.iter().map(|c| c.dst)),
+            InstData::Call { dst, .. } => out.extend(dst.iter().copied()),
+            InstData::BrDec { dec, .. } => out.push(*dec),
+            InstData::Store { .. }
+            | InstData::Jump { .. }
+            | InstData::Branch { .. }
+            | InstData::Return { .. } => {}
+        }
+    }
+
+    /// Returns the values defined by this instruction.
+    pub fn defs(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.collect_defs(&mut out);
+        out
+    }
+
+    /// Appends the values used by this instruction to `out`. For φ-functions
+    /// this returns every incoming argument; callers that care about the
+    /// per-edge semantics must use [`InstData::phi_args`] instead.
+    pub fn collect_uses(&self, out: &mut Vec<Value>) {
+        match self {
+            InstData::Param { .. } | InstData::Const { .. } | InstData::Jump { .. } => {}
+            InstData::Unary { arg, .. } => out.push(*arg),
+            InstData::Binary { args, .. } | InstData::Cmp { args, .. } => out.extend(args),
+            InstData::Copy { src, .. } => out.push(*src),
+            InstData::ParallelCopy { copies } => out.extend(copies.iter().map(|c| c.src)),
+            InstData::Phi { args, .. } => out.extend(args.iter().map(|a| a.value)),
+            InstData::Call { args, .. } => out.extend(args),
+            InstData::Load { addr, .. } => out.push(*addr),
+            InstData::Store { addr, value } => out.extend([*addr, *value]),
+            InstData::Branch { cond, .. } => out.push(*cond),
+            InstData::BrDec { counter, .. } => out.push(*counter),
+            InstData::Return { value } => out.extend(value.iter().copied()),
+        }
+    }
+
+    /// Returns the values used by this instruction.
+    pub fn uses(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.collect_uses(&mut out);
+        out
+    }
+
+    /// Returns the φ arguments if this is a φ-function.
+    pub fn phi_args(&self) -> Option<&[PhiArg]> {
+        match self {
+            InstData::Phi { args, .. } => Some(args),
+            _ => None,
+        }
+    }
+
+    /// Returns the successor blocks if this is a terminator.
+    pub fn successors(&self) -> Vec<Block> {
+        match self {
+            InstData::Jump { dest } => vec![*dest],
+            InstData::Branch { then_dest, else_dest, .. } => {
+                if then_dest == else_dest {
+                    vec![*then_dest]
+                } else {
+                    vec![*then_dest, *else_dest]
+                }
+            }
+            InstData::BrDec { loop_dest, exit_dest, .. } => {
+                if loop_dest == exit_dest {
+                    vec![*loop_dest]
+                } else {
+                    vec![*loop_dest, *exit_dest]
+                }
+            }
+            InstData::Return { .. } => vec![],
+            _ => vec![],
+        }
+    }
+
+    /// Rewrites every successor block equal to `from` into `to`. Returns the
+    /// number of rewritten edges.
+    pub fn replace_successor(&mut self, from: Block, to: Block) -> usize {
+        let mut count = 0;
+        let mut replace = |b: &mut Block| {
+            if *b == from {
+                *b = to;
+                count += 1;
+            }
+        };
+        match self {
+            InstData::Jump { dest } => replace(dest),
+            InstData::Branch { then_dest, else_dest, .. } => {
+                replace(then_dest);
+                replace(else_dest);
+            }
+            InstData::BrDec { loop_dest, exit_dest, .. } => {
+                replace(loop_dest);
+                replace(exit_dest);
+            }
+            _ => {}
+        }
+        count
+    }
+
+    /// Applies `rewrite` to every used value (not to definitions).
+    pub fn map_uses(&mut self, mut rewrite: impl FnMut(Value) -> Value) {
+        match self {
+            InstData::Param { .. } | InstData::Const { .. } | InstData::Jump { .. } => {}
+            InstData::Unary { arg, .. } => *arg = rewrite(*arg),
+            InstData::Binary { args, .. } | InstData::Cmp { args, .. } => {
+                args[0] = rewrite(args[0]);
+                args[1] = rewrite(args[1]);
+            }
+            InstData::Copy { src, .. } => *src = rewrite(*src),
+            InstData::ParallelCopy { copies } => {
+                for copy in copies {
+                    copy.src = rewrite(copy.src);
+                }
+            }
+            InstData::Phi { args, .. } => {
+                for arg in args {
+                    arg.value = rewrite(arg.value);
+                }
+            }
+            InstData::Call { args, .. } => {
+                for arg in args {
+                    *arg = rewrite(*arg);
+                }
+            }
+            InstData::Load { addr, .. } => *addr = rewrite(*addr),
+            InstData::Store { addr, value } => {
+                *addr = rewrite(*addr);
+                *value = rewrite(*value);
+            }
+            InstData::Branch { cond, .. } => *cond = rewrite(*cond),
+            InstData::BrDec { counter, .. } => *counter = rewrite(*counter),
+            InstData::Return { value } => {
+                if let Some(v) = value {
+                    *v = rewrite(*v);
+                }
+            }
+        }
+    }
+
+    /// Applies `rewrite` to every defined value.
+    pub fn map_defs(&mut self, mut rewrite: impl FnMut(Value) -> Value) {
+        match self {
+            InstData::Param { dst, .. }
+            | InstData::Const { dst, .. }
+            | InstData::Unary { dst, .. }
+            | InstData::Binary { dst, .. }
+            | InstData::Cmp { dst, .. }
+            | InstData::Copy { dst, .. }
+            | InstData::Phi { dst, .. }
+            | InstData::Load { dst, .. } => *dst = rewrite(*dst),
+            InstData::ParallelCopy { copies } => {
+                for copy in copies {
+                    copy.dst = rewrite(copy.dst);
+                }
+            }
+            InstData::Call { dst, .. } => {
+                if let Some(d) = dst {
+                    *d = rewrite(*d);
+                }
+            }
+            InstData::BrDec { dec, .. } => *dec = rewrite(*dec),
+            InstData::Store { .. }
+            | InstData::Jump { .. }
+            | InstData::Branch { .. }
+            | InstData::Return { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityRef;
+
+    fn v(i: usize) -> Value {
+        Value::new(i)
+    }
+    fn b(i: usize) -> Block {
+        Block::new(i)
+    }
+
+    #[test]
+    fn binary_op_eval_total() {
+        assert_eq!(BinaryOp::Add.eval(2, 3), 5);
+        assert_eq!(BinaryOp::Sub.eval(2, 3), -1);
+        assert_eq!(BinaryOp::Div.eval(7, 0), 0);
+        assert_eq!(BinaryOp::Div.eval(i64::MIN, -1), 0);
+        assert_eq!(BinaryOp::Rem.eval(7, 0), 0);
+        assert_eq!(BinaryOp::Shl.eval(1, 65), 2);
+        assert_eq!(BinaryOp::Mul.eval(i64::MAX, 2), i64::MAX.wrapping_mul(2));
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        assert_eq!(CmpOp::Eq.eval(3, 3), 1);
+        assert_eq!(CmpOp::Ne.eval(3, 3), 0);
+        assert_eq!(CmpOp::Lt.eval(-1, 0), 1);
+        assert_eq!(CmpOp::Ge.eval(-1, 0), 0);
+    }
+
+    #[test]
+    fn unary_op_eval() {
+        assert_eq!(UnaryOp::Neg.eval(5), -5);
+        assert_eq!(UnaryOp::Not.eval(0), -1);
+    }
+
+    #[test]
+    fn defs_and_uses_of_basic_instructions() {
+        let inst = InstData::Binary { op: BinaryOp::Add, dst: v(3), args: [v(1), v(2)] };
+        assert_eq!(inst.defs(), vec![v(3)]);
+        assert_eq!(inst.uses(), vec![v(1), v(2)]);
+        assert!(!inst.is_terminator());
+        assert!(!inst.is_phi());
+    }
+
+    #[test]
+    fn defs_and_uses_of_parallel_copy() {
+        let inst = InstData::ParallelCopy {
+            copies: vec![CopyPair { dst: v(1), src: v(2) }, CopyPair { dst: v(3), src: v(4) }],
+        };
+        assert_eq!(inst.defs(), vec![v(1), v(3)]);
+        assert_eq!(inst.uses(), vec![v(2), v(4)]);
+        assert!(inst.is_copy_like());
+    }
+
+    #[test]
+    fn brdec_uses_and_defines() {
+        let inst = InstData::BrDec { counter: v(0), dec: v(1), loop_dest: b(1), exit_dest: b(2) };
+        assert_eq!(inst.defs(), vec![v(1)]);
+        assert_eq!(inst.uses(), vec![v(0)]);
+        assert!(inst.is_terminator());
+        assert_eq!(inst.successors(), vec![b(1), b(2)]);
+    }
+
+    #[test]
+    fn branch_successors_deduplicated() {
+        let inst = InstData::Branch { cond: v(0), then_dest: b(3), else_dest: b(3) };
+        assert_eq!(inst.successors(), vec![b(3)]);
+    }
+
+    #[test]
+    fn replace_successor_rewrites_edges() {
+        let mut inst = InstData::Branch { cond: v(0), then_dest: b(1), else_dest: b(2) };
+        assert_eq!(inst.replace_successor(b(2), b(5)), 1);
+        assert_eq!(inst.successors(), vec![b(1), b(5)]);
+        assert_eq!(inst.replace_successor(b(9), b(5)), 0);
+    }
+
+    #[test]
+    fn map_uses_and_defs_rewrite_values() {
+        let mut inst = InstData::Phi {
+            dst: v(0),
+            args: vec![PhiArg { block: b(1), value: v(1) }, PhiArg { block: b(2), value: v(2) }],
+        };
+        inst.map_uses(|val| v(val.index() + 10));
+        inst.map_defs(|_| v(99));
+        assert_eq!(inst.defs(), vec![v(99)]);
+        assert_eq!(inst.uses(), vec![v(11), v(12)]);
+    }
+
+    #[test]
+    fn phi_args_accessor() {
+        let phi = InstData::Phi { dst: v(0), args: vec![PhiArg { block: b(1), value: v(1) }] };
+        assert_eq!(phi.phi_args().unwrap().len(), 1);
+        let copy = InstData::Copy { dst: v(0), src: v(1) };
+        assert!(copy.phi_args().is_none());
+        assert!(copy.is_copy_like());
+    }
+
+    #[test]
+    fn side_effects_classification() {
+        assert!(InstData::Store { addr: v(0), value: v(1) }.has_side_effects());
+        assert!(InstData::Return { value: None }.has_side_effects());
+        assert!(!InstData::Const { dst: v(0), imm: 3 }.has_side_effects());
+    }
+}

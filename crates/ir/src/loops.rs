@@ -1,0 +1,253 @@
+//! Natural-loop analysis and static block-frequency estimation.
+//!
+//! The out-of-SSA coalescer of the paper weighs copies by the execution
+//! frequency of the block they would be placed in ("we use classic profile
+//! information to get basic block frequencies", Section III-B). Without a
+//! profile, the standard static estimate is used: a block nested in `d`
+//! loops gets weight `LOOP_WEIGHT^d`.
+
+use crate::cfg::ControlFlowGraph;
+use crate::dominance::DominatorTree;
+use crate::entity::{Block, EntitySet, SecondaryMap};
+use crate::function::Function;
+
+/// Multiplicative weight given to each level of loop nesting when estimating
+/// block frequencies statically.
+pub const LOOP_WEIGHT: f64 = 10.0;
+
+/// Natural loops of a function, discovered from back edges
+/// (`latch -> header` where `header` dominates `latch`).
+#[derive(Clone, Debug)]
+pub struct LoopAnalysis {
+    /// Loop nesting depth of each block (0 = not in any loop).
+    depth: SecondaryMap<Block, u32>,
+    /// Header blocks of discovered loops, deduplicated.
+    headers: Vec<Block>,
+    /// Blocks belonging to each loop, parallel to `headers`.
+    bodies: Vec<EntitySet<Block>>,
+}
+
+impl LoopAnalysis {
+    /// Discovers natural loops and nesting depths.
+    pub fn compute(func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) -> Self {
+        let mut headers: Vec<Block> = Vec::new();
+        let mut bodies: Vec<EntitySet<Block>> = Vec::new();
+
+        for &block in cfg.reverse_post_order() {
+            for &succ in cfg.succs(block) {
+                if domtree.dominates(succ, block) {
+                    // Back edge block -> succ; succ is a loop header.
+                    let body = Self::natural_loop_body(func, cfg, succ, block);
+                    if let Some(idx) = headers.iter().position(|&h| h == succ) {
+                        let merged = &mut bodies[idx];
+                        for b in body.iter() {
+                            merged.insert(b);
+                        }
+                    } else {
+                        headers.push(succ);
+                        bodies.push(body);
+                    }
+                }
+            }
+        }
+
+        let mut depth: SecondaryMap<Block, u32> = SecondaryMap::new();
+        depth.resize(func.num_blocks());
+        for body in &bodies {
+            for block in body.iter() {
+                depth[block] += 1;
+            }
+        }
+
+        Self { depth, headers, bodies }
+    }
+
+    /// Collects the body of the natural loop with header `header` and latch
+    /// `latch` (classic backward walk from the latch).
+    fn natural_loop_body(
+        func: &Function,
+        cfg: &ControlFlowGraph,
+        header: Block,
+        latch: Block,
+    ) -> EntitySet<Block> {
+        let mut body = EntitySet::with_capacity(func.num_blocks());
+        body.insert(header);
+        let mut stack = vec![latch];
+        while let Some(block) = stack.pop() {
+            if body.insert(block) {
+                for &pred in cfg.preds(block) {
+                    stack.push(pred);
+                }
+            }
+        }
+        body
+    }
+
+    /// Loop nesting depth of `block` (0 when outside all loops).
+    pub fn depth(&self, block: Block) -> u32 {
+        self.depth[block]
+    }
+
+    /// Number of distinct loop headers found.
+    pub fn num_loops(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Returns `true` if `block` is a loop header.
+    pub fn is_header(&self, block: Block) -> bool {
+        self.headers.contains(&block)
+    }
+
+    /// Returns `true` if `block` belongs to the loop with header `header`.
+    pub fn loop_contains(&self, header: Block, block: Block) -> bool {
+        self.headers
+            .iter()
+            .position(|&h| h == header)
+            .is_some_and(|idx| self.bodies[idx].contains(block))
+    }
+}
+
+/// Static block-frequency estimate used as copy weights by the coalescer.
+#[derive(Clone, Debug)]
+pub struct BlockFrequencies {
+    freq: SecondaryMap<Block, f64>,
+}
+
+impl BlockFrequencies {
+    /// Estimates frequencies from loop nesting depth: `LOOP_WEIGHT^depth`.
+    pub fn from_loop_depths(func: &Function, loops: &LoopAnalysis) -> Self {
+        let mut freq: SecondaryMap<Block, f64> = SecondaryMap::with_default(1.0);
+        freq.resize(func.num_blocks());
+        for block in func.blocks() {
+            freq[block] = LOOP_WEIGHT.powi(loops.depth(block) as i32);
+        }
+        Self { freq }
+    }
+
+    /// Computes loop analysis and frequencies for `func` in one call.
+    pub fn compute(func: &Function) -> Self {
+        let cfg = ControlFlowGraph::compute(func);
+        let domtree = DominatorTree::compute(func, &cfg);
+        let loops = LoopAnalysis::compute(func, &cfg, &domtree);
+        Self::from_loop_depths(func, &loops)
+    }
+
+    /// Estimated execution frequency of `block`.
+    pub fn frequency(&self, block: Block) -> f64 {
+        self.freq[block]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    /// entry -> outer_header -> inner_header -> inner_body -> inner_header
+    ///          outer_header <- outer_latch <- inner_header ; exit
+    fn nested_loops() -> (Function, Vec<Block>) {
+        let mut b = FunctionBuilder::new("nested", 1);
+        let entry = b.create_block();
+        let outer = b.create_block();
+        let inner = b.create_block();
+        let inner_body = b.create_block();
+        let outer_latch = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        b.jump(outer);
+        b.switch_to_block(outer);
+        b.branch(x, inner, exit);
+        b.switch_to_block(inner);
+        b.branch(x, inner_body, outer_latch);
+        b.switch_to_block(inner_body);
+        b.jump(inner);
+        b.switch_to_block(outer_latch);
+        b.jump(outer);
+        b.switch_to_block(exit);
+        b.ret(None);
+        (b.finish(), vec![entry, outer, inner, inner_body, outer_latch, exit])
+    }
+
+    fn run(f: &Function) -> (ControlFlowGraph, DominatorTree, LoopAnalysis) {
+        let cfg = ControlFlowGraph::compute(f);
+        let dom = DominatorTree::compute(f, &cfg);
+        let loops = LoopAnalysis::compute(f, &cfg, &dom);
+        (cfg, dom, loops)
+    }
+
+    #[test]
+    fn loop_depths_of_nested_loops() {
+        let (f, blocks) = nested_loops();
+        let (_, _, loops) = run(&f);
+        let [entry, outer, inner, inner_body, outer_latch, exit] = blocks[..] else { panic!() };
+        assert_eq!(loops.depth(entry), 0);
+        assert_eq!(loops.depth(exit), 0);
+        assert_eq!(loops.depth(outer), 1);
+        assert_eq!(loops.depth(outer_latch), 1);
+        assert_eq!(loops.depth(inner), 2);
+        assert_eq!(loops.depth(inner_body), 2);
+        assert_eq!(loops.num_loops(), 2);
+        assert!(loops.is_header(outer));
+        assert!(loops.is_header(inner));
+        assert!(!loops.is_header(inner_body));
+    }
+
+    #[test]
+    fn loop_membership() {
+        let (f, blocks) = nested_loops();
+        let (_, _, loops) = run(&f);
+        let [_, outer, inner, inner_body, outer_latch, exit] = blocks[..] else { panic!() };
+        assert!(loops.loop_contains(outer, inner));
+        assert!(loops.loop_contains(outer, outer_latch));
+        assert!(loops.loop_contains(inner, inner_body));
+        assert!(!loops.loop_contains(inner, outer_latch));
+        assert!(!loops.loop_contains(outer, exit));
+    }
+
+    #[test]
+    fn frequencies_follow_nesting() {
+        let (f, blocks) = nested_loops();
+        let freqs = BlockFrequencies::compute(&f);
+        let [entry, outer, inner, ..] = blocks[..] else { panic!() };
+        assert_eq!(freqs.frequency(entry), 1.0);
+        assert_eq!(freqs.frequency(outer), LOOP_WEIGHT);
+        assert_eq!(freqs.frequency(inner), LOOP_WEIGHT * LOOP_WEIGHT);
+    }
+
+    #[test]
+    fn function_without_loops_has_unit_frequencies() {
+        let mut b = FunctionBuilder::new("flat", 0);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        b.ret(None);
+        let f = b.finish();
+        let (_, _, loops) = run(&f);
+        assert_eq!(loops.num_loops(), 0);
+        let freqs = BlockFrequencies::compute(&f);
+        assert_eq!(freqs.frequency(entry), 1.0);
+    }
+
+    #[test]
+    fn self_loop_is_detected() {
+        let mut b = FunctionBuilder::new("selfloop", 1);
+        let entry = b.create_block();
+        let looping = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        b.jump(looping);
+        b.switch_to_block(looping);
+        b.branch(x, looping, exit);
+        b.switch_to_block(exit);
+        b.ret(None);
+        let f = b.finish();
+        let (_, _, loops) = run(&f);
+        assert_eq!(loops.depth(looping), 1);
+        assert_eq!(loops.depth(entry), 0);
+        assert!(loops.is_header(looping));
+    }
+}

@@ -1,0 +1,155 @@
+//! Textual printer for functions.
+//!
+//! The format is line-oriented and stable, intended for test expectations,
+//! debugging and the examples. It is not meant to be parsed back.
+
+use std::fmt;
+
+use crate::function::Function;
+use crate::instruction::InstData;
+
+/// Wrapper that implements [`fmt::Display`] for a function.
+pub struct DisplayFunction<'a>(pub &'a Function);
+
+impl fmt::Display for DisplayFunction<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let func = self.0;
+        writeln!(f, "function {}({} params) {{", func.name, func.num_params)?;
+        for block in func.blocks() {
+            let entry_marker = if func.has_entry() && block == func.entry() { " (entry)" } else { "" };
+            writeln!(f, "{block}{entry_marker}:")?;
+            for &inst in func.block_insts(block) {
+                writeln!(f, "    {}", display_inst(func, func.inst(inst)))?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Renders one instruction as a line of text.
+pub fn display_inst(func: &Function, data: &InstData) -> String {
+    let pin = |v: crate::entity::Value| -> String {
+        match func.pinned_reg(v) {
+            Some(r) => format!("{v}[r{r}]"),
+            None => format!("{v}"),
+        }
+    };
+    match data {
+        InstData::Param { dst, index } => format!("{} = param {index}", pin(*dst)),
+        InstData::Const { dst, imm } => format!("{} = const {imm}", pin(*dst)),
+        InstData::Unary { op, dst, arg } => {
+            format!("{} = {} {}", pin(*dst), op.mnemonic(), pin(*arg))
+        }
+        InstData::Binary { op, dst, args } => {
+            format!("{} = {} {}, {}", pin(*dst), op.mnemonic(), pin(args[0]), pin(args[1]))
+        }
+        InstData::Cmp { op, dst, args } => {
+            format!("{} = cmp.{} {}, {}", pin(*dst), op.mnemonic(), pin(args[0]), pin(args[1]))
+        }
+        InstData::Copy { dst, src } => format!("{} = copy {}", pin(*dst), pin(*src)),
+        InstData::ParallelCopy { copies } => {
+            let moves: Vec<String> =
+                copies.iter().map(|c| format!("{} <- {}", pin(c.dst), pin(c.src))).collect();
+            format!("parcopy [{}]", moves.join(", "))
+        }
+        InstData::Phi { dst, args } => {
+            let inputs: Vec<String> =
+                args.iter().map(|a| format!("[{}: {}]", a.block, pin(a.value))).collect();
+            format!("{} = phi {}", pin(*dst), inputs.join(", "))
+        }
+        InstData::Call { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|&a| pin(a)).collect();
+            match dst {
+                Some(dst) => format!("{} = call fn{}({})", pin(*dst), callee, args.join(", ")),
+                None => format!("call fn{}({})", callee, args.join(", ")),
+            }
+        }
+        InstData::Load { dst, addr } => format!("{} = load {}", pin(*dst), pin(*addr)),
+        InstData::Store { addr, value } => format!("store {}, {}", pin(*addr), pin(*value)),
+        InstData::Jump { dest } => format!("jump {dest}"),
+        InstData::Branch { cond, then_dest, else_dest } => {
+            format!("br {}, {then_dest}, {else_dest}", pin(*cond))
+        }
+        InstData::BrDec { counter, dec, loop_dest, exit_dest } => {
+            format!("{} = br_dec {}, {loop_dest}, {exit_dest}", pin(*dec), pin(*counter))
+        }
+        InstData::Return { value } => match value {
+            Some(v) => format!("return {}", pin(*v)),
+            None => "return".to_string(),
+        },
+    }
+}
+
+impl Function {
+    /// Returns a displayable wrapper for this function.
+    pub fn display(&self) -> DisplayFunction<'_> {
+        DisplayFunction(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::instruction::{BinaryOp, CmpOp, CopyPair};
+
+    #[test]
+    fn printer_renders_all_instruction_kinds() {
+        let mut b = FunctionBuilder::new("printer", 2);
+        let entry = b.create_block();
+        let next = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let y = b.param(1);
+        let c = b.iconst(42);
+        let sum = b.binary(BinaryOp::Add, x, y);
+        let cond = b.cmp(CmpOp::Lt, sum, c);
+        let copy = b.copy(sum);
+        b.parallel_copy(vec![CopyPair { dst: copy, src: sum }]);
+        let r = b.call(3, vec![sum, c]);
+        b.store(x, r);
+        let loaded = b.load(x);
+        b.branch(cond, next, exit);
+        b.switch_to_block(next);
+        let p = b.phi(vec![(entry, loaded)]);
+        b.br_dec(p, next, exit);
+        b.switch_to_block(exit);
+        b.ret(Some(c));
+        let mut f = b.finish();
+        f.pin_value(x, 0);
+
+        let text = f.display().to_string();
+        assert!(text.contains("function printer(2 params)"));
+        assert!(text.contains("(entry)"));
+        assert!(text.contains("v0[r0] = param 0"));
+        assert!(text.contains("= const 42"));
+        assert!(text.contains("= add "));
+        assert!(text.contains("cmp.lt"));
+        assert!(text.contains("parcopy ["));
+        assert!(text.contains("call fn3("));
+        assert!(text.contains("store "));
+        assert!(text.contains("= load "));
+        assert!(text.contains("br "));
+        assert!(text.contains("= phi ["));
+        assert!(text.contains("br_dec"));
+        assert!(text.contains("return v2"));
+    }
+
+    #[test]
+    fn printer_handles_void_return_and_jump() {
+        let mut b = FunctionBuilder::new("void", 0);
+        let entry = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        b.jump(exit);
+        b.switch_to_block(exit);
+        b.ret(None);
+        let f = b.finish();
+        let text = f.display().to_string();
+        assert!(text.contains("jump bb1"));
+        assert!(text.ends_with("}"));
+        assert!(text.contains("    return\n"));
+    }
+}

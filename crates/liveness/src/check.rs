@@ -1,0 +1,405 @@
+//! Fast liveness *checking* without liveness sets.
+//!
+//! This is the reproduction of the query-based liveness of Boissinot et al.,
+//! "Fast Liveness Checking for SSA-Form Programs" (CGO 2008), which the
+//! out-of-SSA paper uses as its `LiveCheck` option. The pre-computed data
+//! depends only on the control-flow graph (two bit-sets per basic block), so
+//! it stays valid while instructions are inserted or removed — exactly the
+//! property the out-of-SSA translation needs when it inserts copies.
+//!
+//! The query `is_live_in(q, a)` is answered from:
+//!
+//! * `reduced_reach[q]` — blocks reachable from `q` using only *forward*
+//!   edges (back edges, whose target dominates their source, are removed),
+//! * `back_targets[q]` — the transitive closure of back-edge targets
+//!   reachable from `q`.
+//!
+//! `a` is live-in at `q` iff the definition of `a` strictly dominates `q`
+//! (SSA live ranges live in the dominance region of their definition) and
+//! some use of `a` is reachable from `q`, or from a back-edge target
+//! dominated by the definition, in the reduced graph. φ uses count at the
+//! end of their predecessor block.
+//!
+//! The construction assumes a *reducible* CFG (every retreating edge has a
+//! target that dominates its source). The synthetic workloads of
+//! `ossa-cfggen` and all hand-written tests are reducible; the data-flow
+//! [`crate::sets::LivenessSets`] remains available for arbitrary graphs.
+
+use ossa_ir::entity::{Block, EntitySet, SecondaryMap, Value};
+use ossa_ir::{ControlFlowGraph, DominatorTree, Function};
+
+use crate::uses::{UseSite, UseSites};
+use crate::BlockLiveness;
+
+/// Query-based liveness checker (the paper's `LiveCheck`).
+#[derive(Clone, Debug)]
+pub struct FastLiveness {
+    /// Reachability over forward (non-back) edges, including the block itself.
+    reduced_reach: SecondaryMap<Block, EntitySet<Block>>,
+    /// Transitive closure of back-edge targets reachable from each block.
+    back_targets: SecondaryMap<Block, EntitySet<Block>>,
+    /// Definition site of each value.
+    def_block: SecondaryMap<Value, Option<(Block, usize)>>,
+    /// Use index (φ uses attributed to predecessor ends).
+    uses: UseSites,
+    num_blocks: usize,
+}
+
+impl FastLiveness {
+    /// Builds the checker for `func`.
+    pub fn compute(func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) -> Self {
+        let num_blocks = func.num_blocks();
+
+        // Classify edges: an edge s -> t is a back edge when t dominates s.
+        let mut forward_succs: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        let mut back_edge_targets_of: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        forward_succs.resize(num_blocks);
+        back_edge_targets_of.resize(num_blocks);
+        for &block in cfg.reverse_post_order() {
+            for &succ in cfg.succs(block) {
+                if domtree.dominates(succ, block) {
+                    back_edge_targets_of[block].push(succ);
+                } else {
+                    forward_succs[block].push(succ);
+                }
+            }
+        }
+
+        // Reduced reachability: process blocks in reverse of the reverse
+        // post-order (i.e. post-order) so successors are ready first. The
+        // reduced graph is acyclic for reducible CFGs.
+        let mut reduced_reach: SecondaryMap<Block, EntitySet<Block>> = SecondaryMap::new();
+        reduced_reach.resize(num_blocks);
+        let post_order: Vec<Block> = cfg.post_order().collect();
+        for &block in &post_order {
+            let mut reach = EntitySet::with_capacity(num_blocks);
+            reach.insert(block);
+            for &succ in &forward_succs[block] {
+                reach.insert(succ);
+                let succ_reach = reduced_reach[succ].clone();
+                reach.union_with(&succ_reach);
+            }
+            reduced_reach[block] = reach;
+        }
+
+        // Back-edge target closure: T[q] = ∪ { {t} ∪ T[t] | s ∈ R[q], (s→t) back edge }.
+        // Iterate to a fixpoint (back-edge targets dominate their sources, so
+        // a couple of passes suffice; we loop until stable for safety).
+        let mut back_targets: SecondaryMap<Block, EntitySet<Block>> = SecondaryMap::new();
+        back_targets.resize(num_blocks);
+        for &block in cfg.reverse_post_order() {
+            back_targets[block] = EntitySet::with_capacity(num_blocks);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &block in cfg.reverse_post_order() {
+                let mut acc = back_targets[block].clone();
+                for s in reduced_reach[block].iter() {
+                    for &t in &back_edge_targets_of[s] {
+                        acc.insert(t);
+                        let t_closure = back_targets[t].clone();
+                        acc.union_with(&t_closure);
+                    }
+                }
+                if acc != back_targets[block] {
+                    back_targets[block] = acc;
+                    changed = true;
+                }
+            }
+        }
+
+        let defs = func.def_sites();
+        let mut def_block: SecondaryMap<Value, Option<(Block, usize)>> = SecondaryMap::new();
+        def_block.resize(func.num_values());
+        for value in func.values() {
+            def_block[value] = defs[value].map(|site| (site.block, site.pos));
+        }
+
+        Self {
+            reduced_reach,
+            back_targets,
+            def_block,
+            uses: UseSites::compute(func),
+            num_blocks,
+        }
+    }
+
+    /// Builds the checker, computing CFG and dominator tree internally.
+    pub fn of(func: &Function) -> Self {
+        let cfg = ControlFlowGraph::compute(func);
+        let domtree = DominatorTree::compute(func, &cfg);
+        Self::compute(func, &cfg, &domtree)
+    }
+
+    /// The dominator tree is required for queries; callers pass it explicitly
+    /// to avoid duplicating it in every checker.
+    fn use_reachable_from(
+        &self,
+        domtree: &DominatorTree,
+        q: Block,
+        def: (Block, usize),
+        uses: &[UseSite],
+    ) -> bool {
+        // Candidate source blocks: q plus every back-edge target reachable
+        // from q that stays inside the dominance region of the definition.
+        // A use is "reached" if it lies in the reduced reachability of one of
+        // those sources. Uses in the definition block itself only count when
+        // the query starts there via a cycle, which the back-target sources
+        // capture.
+        let hit = |source: Block| -> bool {
+            let reach = &self.reduced_reach[source];
+            uses.iter().any(|site| reach.contains(site.block))
+        };
+        if hit(q) {
+            return true;
+        }
+        for t in self.back_targets[q].iter() {
+            if t != def.0 && domtree.strictly_dominates(def.0, t) && hit(t) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if `value` is live at the entry of `block`.
+    pub fn is_live_in_query(&self, domtree: &DominatorTree, block: Block, value: Value) -> bool {
+        let Some(def) = self.def_block[value] else { return false };
+        if def.0 == block || !domtree.strictly_dominates(def.0, block) {
+            return false;
+        }
+        let uses = self.uses.uses_of(value);
+        if uses.is_empty() {
+            return false;
+        }
+        self.use_reachable_from(domtree, block, def, uses)
+    }
+
+    /// Returns `true` if `value` is live at the exit of `block`.
+    pub fn is_live_out_query(
+        &self,
+        func: &Function,
+        cfg: &ControlFlowGraph,
+        domtree: &DominatorTree,
+        block: Block,
+        value: Value,
+    ) -> bool {
+        // φ uses on outgoing edges make the value live-out directly.
+        for &succ in cfg.succs(block) {
+            if func.phi_inputs_from(succ, block).iter().any(|&(_, v)| v == value) {
+                return true;
+            }
+            if self.is_live_in_query(domtree, succ, value) {
+                return true;
+            }
+        }
+        // A value defined in `block` (or live-through) is live-out only via
+        // successors, handled above.
+        false
+    }
+
+    /// Number of blocks covered by the precomputation.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Bytes used by the two per-block bit-sets (the measured footprint of
+    /// the `LiveCheck` structures in Figure 7).
+    pub fn footprint_bytes(&self) -> usize {
+        (0..self.num_blocks)
+            .map(Block::from_index)
+            .map(|b| self.reduced_reach[b].footprint_bytes() + self.back_targets[b].footprint_bytes())
+            .sum()
+    }
+}
+
+/// A [`BlockLiveness`] adaptor bundling a [`FastLiveness`] checker with the
+/// function and analyses it needs for queries.
+#[derive(Clone, Debug)]
+pub struct FastLivenessQuery<'a> {
+    func: &'a Function,
+    cfg: &'a ControlFlowGraph,
+    domtree: &'a DominatorTree,
+    checker: FastLiveness,
+}
+
+impl<'a> FastLivenessQuery<'a> {
+    /// Builds the adaptor.
+    pub fn new(func: &'a Function, cfg: &'a ControlFlowGraph, domtree: &'a DominatorTree) -> Self {
+        let checker = FastLiveness::compute(func, cfg, domtree);
+        Self { func, cfg, domtree, checker }
+    }
+
+    /// Access to the underlying checker (e.g. for footprint statistics).
+    pub fn checker(&self) -> &FastLiveness {
+        &self.checker
+    }
+}
+
+impl BlockLiveness for FastLivenessQuery<'_> {
+    fn is_live_in(&self, block: Block, value: Value) -> bool {
+        self.checker.is_live_in_query(self.domtree, block, value)
+    }
+
+    fn is_live_out(&self, block: Block, value: Value) -> bool {
+        self.checker.is_live_out_query(self.func, self.cfg, self.domtree, block, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sets::LivenessSets;
+    use ossa_ir::builder::FunctionBuilder;
+    use ossa_ir::{BinaryOp, CmpOp};
+
+    fn check_agreement(func: &Function) {
+        let cfg = ControlFlowGraph::compute(func);
+        let domtree = DominatorTree::compute(func, &cfg);
+        let sets = LivenessSets::compute(func, &cfg);
+        let fast = FastLivenessQuery::new(func, &cfg, &domtree);
+        for block in cfg.reverse_post_order() {
+            for value in func.values() {
+                assert_eq!(
+                    sets.is_live_in(*block, value),
+                    fast.is_live_in(*block, value),
+                    "live-in mismatch for {value} at {block} in {}",
+                    func.name
+                );
+                assert_eq!(
+                    sets.is_live_out(*block, value),
+                    fast.is_live_out(*block, value),
+                    "live-out mismatch for {value} at {block} in {}",
+                    func.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_dataflow_on_diamond() {
+        let mut b = FunctionBuilder::new("diamond", 1);
+        let entry = b.create_block();
+        let t = b.create_block();
+        let e = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        b.branch(c, t, e);
+        b.switch_to_block(t);
+        let a = b.binary(BinaryOp::Add, x, x);
+        b.jump(join);
+        b.switch_to_block(e);
+        let s = b.binary(BinaryOp::Sub, x, zero);
+        b.jump(join);
+        b.switch_to_block(join);
+        let m = b.phi(vec![(t, a), (e, s)]);
+        let r = b.binary(BinaryOp::Add, m, x);
+        b.ret(Some(r));
+        check_agreement(&b.finish());
+    }
+
+    #[test]
+    fn agrees_with_dataflow_on_loop() {
+        let mut b = FunctionBuilder::new("loop", 2);
+        let entry = b.create_block();
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let n = b.param(0);
+        let start = b.param(1);
+        b.jump(header);
+        b.switch_to_block(header);
+        let i_next = b.declare_value();
+        let i = b.phi(vec![(entry, start), (body, i_next)]);
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to_block(body);
+        let one = b.iconst(1);
+        b.func_mut().append_inst(
+            body,
+            ossa_ir::InstData::Binary { op: BinaryOp::Add, dst: i_next, args: [i, one] },
+        );
+        b.jump(header);
+        b.switch_to_block(exit);
+        b.ret(Some(i));
+        check_agreement(&b.finish());
+    }
+
+    #[test]
+    fn agrees_with_dataflow_on_nested_loops() {
+        let mut b = FunctionBuilder::new("nested", 1);
+        let entry = b.create_block();
+        let outer = b.create_block();
+        let inner = b.create_block();
+        let inner_body = b.create_block();
+        let outer_latch = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let n = b.param(0);
+        let zero = b.iconst(0);
+        b.jump(outer);
+        b.switch_to_block(outer);
+        let acc_outer_next = b.declare_value();
+        let acc_outer = b.phi(vec![(entry, zero), (outer_latch, acc_outer_next)]);
+        let c1 = b.cmp(CmpOp::Lt, acc_outer, n);
+        b.branch(c1, inner, exit);
+        b.switch_to_block(inner);
+        let acc_inner_next = b.declare_value();
+        let acc_inner = b.phi(vec![(outer, acc_outer), (inner_body, acc_inner_next)]);
+        let c2 = b.cmp(CmpOp::Lt, acc_inner, n);
+        b.branch(c2, inner_body, outer_latch);
+        b.switch_to_block(inner_body);
+        let one = b.iconst(1);
+        b.func_mut().append_inst(
+            inner_body,
+            ossa_ir::InstData::Binary { op: BinaryOp::Add, dst: acc_inner_next, args: [acc_inner, one] },
+        );
+        b.jump(inner);
+        b.switch_to_block(outer_latch);
+        let two = b.iconst(2);
+        b.func_mut().append_inst(
+            outer_latch,
+            ossa_ir::InstData::Binary { op: BinaryOp::Add, dst: acc_outer_next, args: [acc_inner, two] },
+        );
+        b.jump(outer);
+        b.switch_to_block(exit);
+        b.ret(Some(acc_outer));
+        check_agreement(&b.finish());
+    }
+
+    #[test]
+    fn unused_and_unreachable_values_are_not_live() {
+        let mut b = FunctionBuilder::new("dead", 0);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let dead = b.iconst(1);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = ControlFlowGraph::compute(&f);
+        let domtree = DominatorTree::compute(&f, &cfg);
+        let fast = FastLivenessQuery::new(&f, &cfg, &domtree);
+        assert!(!fast.is_live_in(entry, dead));
+        assert!(!fast.is_live_out(entry, dead));
+    }
+
+    #[test]
+    fn footprint_is_reported() {
+        let mut b = FunctionBuilder::new("fp", 0);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        b.ret(None);
+        let f = b.finish();
+        let fast = FastLiveness::of(&f);
+        assert!(fast.footprint_bytes() > 0);
+        assert_eq!(fast.num_blocks(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Use-site index: for every value, where it is used.
+//!
+//! φ uses are attributed to the *end of the predecessor block* (position
+//! `usize::MAX`), matching the parallel-copy semantics of φ-functions used
+//! throughout the paper.
+
+use std::collections::HashMap;
+
+use ossa_ir::entity::{Block, Value};
+use ossa_ir::{Function, InstData};
+
+/// A single use of a value.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct UseSite {
+    /// Block containing the use (for φ arguments, the predecessor block).
+    pub block: Block,
+    /// Position within the block; `usize::MAX` denotes a φ use at the end of
+    /// the predecessor block.
+    pub pos: usize,
+}
+
+impl UseSite {
+    /// Returns `true` if this is a φ use placed at the end of a predecessor.
+    pub fn is_phi_edge_use(&self) -> bool {
+        self.pos == usize::MAX
+    }
+}
+
+/// Index of all uses of every value in a function.
+#[derive(Clone, Debug, Default)]
+pub struct UseSites {
+    sites: HashMap<Value, Vec<UseSite>>,
+}
+
+impl UseSites {
+    /// Builds the use index of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let mut sites: HashMap<Value, Vec<UseSite>> = HashMap::new();
+        for block in func.blocks() {
+            for (pos, &inst) in func.block_insts(block).iter().enumerate() {
+                match func.inst(inst) {
+                    InstData::Phi { args, .. } => {
+                        for arg in args {
+                            sites
+                                .entry(arg.value)
+                                .or_default()
+                                .push(UseSite { block: arg.block, pos: usize::MAX });
+                        }
+                    }
+                    data => {
+                        for value in data.uses() {
+                            sites.entry(value).or_default().push(UseSite { block, pos });
+                        }
+                    }
+                }
+            }
+        }
+        Self { sites }
+    }
+
+    /// All uses of `value` (empty slice if never used).
+    pub fn uses_of(&self, value: Value) -> &[UseSite] {
+        self.sites.get(&value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns `true` if `value` has at least one use.
+    pub fn is_used(&self, value: Value) -> bool {
+        self.sites.get(&value).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Returns `true` if `value` is used in `block` strictly after position
+    /// `pos` (φ edge-uses at the end of the block count).
+    pub fn used_after_in_block(&self, value: Value, block: Block, pos: usize) -> bool {
+        self.uses_of(value).iter().any(|site| site.block == block && site.pos > pos)
+    }
+
+    /// Number of values with at least one use.
+    pub fn num_used_values(&self) -> usize {
+        self.sites.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossa_ir::builder::FunctionBuilder;
+    use ossa_ir::BinaryOp;
+
+    #[test]
+    fn use_sites_record_positions_and_phi_edges() {
+        let mut b = FunctionBuilder::new("uses", 1);
+        let entry = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0); // pos 0
+        let y = b.binary(BinaryOp::Add, x, x); // pos 1, uses x twice
+        b.jump(join); // pos 2
+        b.switch_to_block(join);
+        let p = b.phi(vec![(entry, y)]);
+        b.ret(Some(p));
+        let f = b.finish();
+        let uses = UseSites::compute(&f);
+
+        let x_uses = uses.uses_of(x);
+        assert_eq!(x_uses.len(), 2);
+        assert!(x_uses.iter().all(|s| s.block == entry && s.pos == 1));
+
+        let y_uses = uses.uses_of(y);
+        assert_eq!(y_uses.len(), 1);
+        assert!(y_uses[0].is_phi_edge_use());
+        assert_eq!(y_uses[0].block, entry);
+
+        assert!(uses.is_used(p));
+        assert!(uses.used_after_in_block(x, entry, 0));
+        assert!(!uses.used_after_in_block(x, entry, 1));
+        assert!(uses.used_after_in_block(y, entry, 2)); // φ edge use at end
+    }
+
+    #[test]
+    fn unused_value_has_no_sites() {
+        let mut b = FunctionBuilder::new("unused", 0);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let dead = b.iconst(1);
+        b.ret(None);
+        let f = b.finish();
+        let uses = UseSites::compute(&f);
+        assert!(!uses.is_used(dead));
+        assert!(uses.uses_of(dead).is_empty());
+        assert_eq!(uses.num_used_values(), 0);
+    }
+}

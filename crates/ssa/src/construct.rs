@@ -1,0 +1,408 @@
+//! SSA construction (Cytron et al.): pruned φ placement on iterated
+//! dominance frontiers followed by dominance-tree renaming.
+//!
+//! The input is a function in "virtual register" form: values may be defined
+//! several times and no φ-functions are present. The output is the same
+//! function rewritten in SSA form with the dominance property. A map from
+//! each new SSA value back to the original variable is returned so that
+//! tests and workload generators can relate the two forms.
+
+use std::collections::HashMap;
+
+use ossa_ir::entity::{Block, SecondaryMap, Value};
+use ossa_ir::{
+    ControlFlowGraph, DominanceFrontiers, DominatorTree, Function, InstData, PhiArg,
+};
+use ossa_liveness::LivenessSets;
+
+/// Result of SSA construction.
+#[derive(Clone, Debug)]
+pub struct SsaConstruction {
+    /// For each value present after construction, the original variable it
+    /// was renamed from (identity for values that predate construction and
+    /// were not renamed).
+    pub origin: SecondaryMap<Value, Option<Value>>,
+    /// Number of φ-functions inserted.
+    pub phis_inserted: usize,
+    /// Number of fresh SSA values created by renaming.
+    pub values_created: usize,
+}
+
+/// Converts `func` (virtual-register form) into pruned SSA form in place.
+///
+/// φ-functions are placed on the iterated dominance frontier of each
+/// variable's definition blocks, restricted to blocks where the variable is
+/// live-in (pruned SSA). Variables that may be used before being defined are
+/// given an implicit `const 0` definition at the top of the entry block so
+/// that the result always satisfies the SSA dominance property.
+pub fn construct_ssa(func: &mut Function) -> SsaConstruction {
+    let cfg = ControlFlowGraph::compute(func);
+    let liveness = LivenessSets::compute(func, &cfg);
+
+    // Give an entry definition to every variable that is live-in at entry
+    // (i.e. possibly used before defined on some path).
+    let entry = func.entry();
+    let entry_live_in: Vec<Value> = liveness.live_in(entry).iter().collect();
+    let mut insert_at = 0usize;
+    for variable in entry_live_in {
+        func.insert_inst(entry, insert_at, InstData::Const { dst: variable, imm: 0 });
+        insert_at += 1;
+    }
+
+    // Recompute analyses after the initializing definitions.
+    let cfg = ControlFlowGraph::compute(func);
+    let domtree = DominatorTree::compute(func, &cfg);
+    let frontiers = DominanceFrontiers::compute(func, &cfg, &domtree);
+    let liveness = LivenessSets::compute(func, &cfg);
+
+    // Definition blocks per variable.
+    let num_values_before = func.num_values();
+    let mut def_blocks: HashMap<Value, Vec<Block>> = HashMap::new();
+    let mut scratch = Vec::new();
+    for &block in cfg.reverse_post_order() {
+        for &inst in func.block_insts(block) {
+            scratch.clear();
+            func.inst(inst).collect_defs(&mut scratch);
+            for &v in &scratch {
+                let blocks = def_blocks.entry(v).or_default();
+                if !blocks.contains(&block) {
+                    blocks.push(block);
+                }
+            }
+        }
+    }
+
+    // φ placement on iterated dominance frontiers (pruned with liveness).
+    let mut phis_inserted = 0usize;
+    let mut phi_of_block: HashMap<(Block, Value), ossa_ir::entity::Inst> = HashMap::new();
+    for (&variable, blocks) in &def_blocks {
+        let mut worklist: Vec<Block> = blocks.clone();
+        let mut has_phi: Vec<bool> = vec![false; func.num_blocks()];
+        let mut ever_on_worklist: Vec<bool> = vec![false; func.num_blocks()];
+        for &b in &worklist {
+            ever_on_worklist[b.index()] = true;
+        }
+        while let Some(block) = worklist.pop() {
+            for &frontier_block in frontiers.frontier(block) {
+                if has_phi[frontier_block.index()] {
+                    continue;
+                }
+                if !liveness.live_in(frontier_block).contains(variable) {
+                    continue; // pruned SSA: dead φ would be useless
+                }
+                has_phi[frontier_block.index()] = true;
+                let args = cfg
+                    .preds(frontier_block)
+                    .iter()
+                    .map(|&pred| PhiArg { block: pred, value: variable })
+                    .collect();
+                let inst = func.insert_inst(
+                    frontier_block,
+                    0,
+                    InstData::Phi { dst: variable, args },
+                );
+                phi_of_block.insert((frontier_block, variable), inst);
+                phis_inserted += 1;
+                if !ever_on_worklist[frontier_block.index()] {
+                    ever_on_worklist[frontier_block.index()] = true;
+                    worklist.push(frontier_block);
+                }
+            }
+        }
+    }
+
+    // Renaming along the dominator tree.
+    let mut origin: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
+    origin.resize(func.num_values());
+    for v in 0..num_values_before {
+        let v = Value::from_index(v);
+        origin[v] = Some(v);
+    }
+
+    let mut stacks: HashMap<Value, Vec<Value>> = HashMap::new();
+    rename_block(func, &cfg, &domtree, func.entry(), &mut stacks, &mut origin);
+
+    let values_created = func.num_values() - num_values_before;
+    SsaConstruction { origin, phis_inserted, values_created }
+}
+
+fn rename_block(
+    func: &mut Function,
+    cfg: &ControlFlowGraph,
+    domtree: &DominatorTree,
+    block: Block,
+    stacks: &mut HashMap<Value, Vec<Value>>,
+    origin: &mut SecondaryMap<Value, Option<Value>>,
+) {
+    // Remember how many pushes we do so we can pop them on exit.
+    let mut pushed: Vec<Value> = Vec::new();
+
+    let insts: Vec<ossa_ir::entity::Inst> = func.block_insts(block).to_vec();
+    for inst in insts {
+        let is_phi = func.inst(inst).is_phi();
+        if !is_phi {
+            // Rewrite uses with the current top-of-stack version.
+            let mut missing: Vec<Value> = Vec::new();
+            {
+                let stacks_ref: &HashMap<Value, Vec<Value>> = stacks;
+                func.inst_mut(inst).map_uses(|v| {
+                    match stacks_ref.get(&v).and_then(|s| s.last()) {
+                        Some(&top) => top,
+                        None => {
+                            missing.push(v);
+                            v
+                        }
+                    }
+                });
+            }
+            debug_assert!(
+                missing.is_empty(),
+                "SSA renaming found uses of {missing:?} with no reaching definition in {}",
+                func.name
+            );
+        }
+        // Rewrite definitions with fresh values.
+        let defs = func.inst(inst).defs();
+        if !defs.is_empty() {
+            let mut replacements: HashMap<Value, Value> = HashMap::new();
+            for old in defs {
+                let fresh = func.new_value();
+                origin[fresh] = Some(origin[old].unwrap_or(old));
+                if let Some(reg) = func.pinned_reg(old) {
+                    func.pin_value(fresh, reg);
+                }
+                stacks.entry(old).or_default().push(fresh);
+                pushed.push(old);
+                replacements.insert(old, fresh);
+            }
+            func.inst_mut(inst).map_defs(|v| replacements.get(&v).copied().unwrap_or(v));
+        }
+    }
+
+    // Fill in φ arguments of successors for the edges leaving this block.
+    for &succ in cfg.succs(block) {
+        let phis = func.phis(succ);
+        for phi in phis {
+            if let InstData::Phi { args, .. } = func.inst_mut(phi) {
+                for arg in args.iter_mut() {
+                    if arg.block == block {
+                        // The argument still holds the original variable name
+                        // (or was already rewritten if this edge was visited —
+                        // each edge is visited exactly once).
+                        if let Some(&top) = stacks.get(&arg.value).and_then(|s| s.last()) {
+                            arg.value = top;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Recurse over dominator-tree children.
+    let children: Vec<Block> = domtree.children(block).to_vec();
+    for child in children {
+        rename_block(func, cfg, domtree, child, stacks, origin);
+    }
+
+    // Pop the versions pushed by this block.
+    for old in pushed.into_iter().rev() {
+        stacks.get_mut(&old).expect("stack exists").pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossa_ir::builder::FunctionBuilder;
+    use ossa_ir::{verify_ssa, BinaryOp, CmpOp};
+
+    /// Pre-SSA: x initialized, conditionally reassigned, then used.
+    fn diamond_pre_ssa() -> (Function, Value) {
+        let mut b = FunctionBuilder::new("pre", 1);
+        let entry = b.create_block();
+        let then_bb = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let x = b.declare_value();
+        b.iconst_to(x, 1);
+        b.branch(p, then_bb, join);
+        b.switch_to_block(then_bb);
+        b.iconst_to(x, 2);
+        b.jump(join);
+        b.switch_to_block(join);
+        let r = b.binary(BinaryOp::Add, x, x);
+        b.ret(Some(r));
+        (b.finish(), x)
+    }
+
+    #[test]
+    fn diamond_gets_one_phi_and_verifies() {
+        let (mut f, x) = diamond_pre_ssa();
+        let result = construct_ssa(&mut f);
+        assert_eq!(result.phis_inserted, 1);
+        verify_ssa(&f).expect("SSA verification");
+        // The φ merges two versions of x.
+        let join = f.blocks().nth(2).unwrap();
+        let phis = f.phis(join);
+        assert_eq!(phis.len(), 1);
+        let phi_dst = f.inst(phis[0]).defs()[0];
+        assert_eq!(result.origin[phi_dst], Some(x));
+    }
+
+    #[test]
+    fn loop_variable_gets_phi_at_header() {
+        // i = 0; while (i < n) { i = i + 1 } return i
+        let mut b = FunctionBuilder::new("loop", 1);
+        let entry = b.create_block();
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let n = b.param(0);
+        let i = b.declare_value();
+        b.iconst_to(i, 0);
+        b.jump(header);
+        b.switch_to_block(header);
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to_block(body);
+        let one = b.iconst(1);
+        b.binary_to(BinaryOp::Add, i, i, one);
+        b.jump(header);
+        b.switch_to_block(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+
+        let result = construct_ssa(&mut f);
+        verify_ssa(&f).expect("SSA verification");
+        assert_eq!(result.phis_inserted, 1);
+        assert_eq!(f.phis(header).len(), 1);
+        // No φ at exit (only one predecessor) or body.
+        assert!(f.phis(exit).is_empty());
+        assert!(f.phis(body).is_empty());
+    }
+
+    #[test]
+    fn variable_used_before_definition_is_zero_initialized() {
+        // Only one path defines x before its use.
+        let mut b = FunctionBuilder::new("maybe-undef", 1);
+        let entry = b.create_block();
+        let def_bb = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let x = b.declare_value();
+        b.branch(p, def_bb, join);
+        b.switch_to_block(def_bb);
+        b.iconst_to(x, 7);
+        b.jump(join);
+        b.switch_to_block(join);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        construct_ssa(&mut f);
+        verify_ssa(&f).expect("SSA verification with implicit zero init");
+    }
+
+    #[test]
+    fn multiple_variables_are_renamed_independently() {
+        let mut b = FunctionBuilder::new("two-vars", 1);
+        let entry = b.create_block();
+        let left = b.create_block();
+        let right = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let x = b.declare_value();
+        let y = b.declare_value();
+        b.iconst_to(x, 1);
+        b.iconst_to(y, 10);
+        b.branch(p, left, right);
+        b.switch_to_block(left);
+        b.iconst_to(x, 2);
+        b.jump(join);
+        b.switch_to_block(right);
+        b.iconst_to(y, 20);
+        b.jump(join);
+        b.switch_to_block(join);
+        let s = b.binary(BinaryOp::Add, x, y);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let result = construct_ssa(&mut f);
+        verify_ssa(&f).expect("SSA verification");
+        // Both x and y need a φ at the join.
+        assert_eq!(result.phis_inserted, 2);
+        assert_eq!(f.phis(join).len(), 2);
+    }
+
+    #[test]
+    fn brdec_definition_reaches_phi() {
+        // A hardware loop: the counter is decremented by the terminator.
+        let mut b = FunctionBuilder::new("brdec", 1);
+        let entry = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let n = b.param(0);
+        let counter = b.declare_value();
+        b.copy_to(counter, n);
+        b.jump(body);
+        b.switch_to_block(body);
+        // body uses and the terminator redefines `counter`.
+        let acc = b.binary(BinaryOp::Add, counter, counter);
+        b.func_mut().append_inst(
+            body,
+            InstData::BrDec { counter, dec: counter, loop_dest: body, exit_dest: exit },
+        );
+        b.switch_to_block(exit);
+        b.ret(Some(acc));
+        let mut f = b.finish();
+        let result = construct_ssa(&mut f);
+        verify_ssa(&f).expect("SSA verification");
+        // The loop header (body) needs a φ for the counter.
+        assert!(result.phis_inserted >= 1);
+        assert!(!f.phis(body).is_empty());
+    }
+
+    #[test]
+    fn already_ssa_function_gets_no_phis() {
+        let mut b = FunctionBuilder::new("already", 1);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let y = b.binary(BinaryOp::Add, x, x);
+        b.ret(Some(y));
+        let mut f = b.finish();
+        let before = f.display().to_string();
+        let result = construct_ssa(&mut f);
+        assert_eq!(result.phis_inserted, 0);
+        verify_ssa(&f).expect("SSA verification");
+        // Straight-line code is renamed but structurally unchanged.
+        assert_eq!(f.num_blocks(), 1);
+        assert_ne!(before, String::new());
+    }
+
+    #[test]
+    fn pinned_registers_survive_renaming() {
+        let mut b = FunctionBuilder::new("pinned", 1);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.declare_value();
+        b.iconst_to(x, 3);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        f.pin_value(x, 5);
+        construct_ssa(&mut f);
+        verify_ssa(&f).expect("SSA verification");
+        // Some renamed version of x keeps the pin.
+        let pinned_count = f.values().filter(|&v| f.pinned_reg(v) == Some(5)).count();
+        assert!(pinned_count >= 1);
+    }
+}

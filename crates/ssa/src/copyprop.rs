@@ -1,0 +1,216 @@
+//! Copy propagation on SSA form.
+//!
+//! Copy propagation replaces every use of `b` by `a` when `b = a` is a copy,
+//! following chains of copies to their root. It is one of the SSA
+//! optimizations that *break conventionality*: after it runs, SSA variables
+//! related by φ-functions may have overlapping live ranges (the swap and
+//! lost-copy situations of the paper), which is exactly what the out-of-SSA
+//! translation has to cope with.
+
+use ossa_ir::entity::{SecondaryMap, Value};
+use ossa_ir::{Function, InstData};
+
+/// Statistics of a copy-propagation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CopyPropagation {
+    /// Number of copy instructions whose uses were rewritten and that were
+    /// removed from the function.
+    pub copies_removed: usize,
+    /// Number of operand rewrites performed.
+    pub uses_rewritten: usize,
+}
+
+/// Runs copy propagation on SSA `func` in place.
+///
+/// Only plain [`InstData::Copy`] definitions are folded; φ-functions and
+/// parallel copies are left untouched (their treatment is precisely the
+/// subject of the out-of-SSA translation). The folded copy instructions are
+/// removed.
+pub fn propagate_copies(func: &mut Function) -> CopyPropagation {
+    propagate_copies_keeping(func, 0)
+}
+
+/// Like [`propagate_copies`], but keeps every `keep_every`-th copy
+/// untouched (`0` keeps none). Real optimization pipelines rarely remove
+/// every copy — some remain because of partial redundancy, rematerialization
+/// heuristics or renaming constraints — and the remaining ones are exactly
+/// where the coalescing strategies compared by the paper differ, so the
+/// workload generator keeps a fraction of them.
+pub fn propagate_copies_keeping(func: &mut Function, keep_every: usize) -> CopyPropagation {
+    // Map every copy destination to its source.
+    let mut copy_source: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
+    copy_source.resize(func.num_values());
+    let mut copy_insts = Vec::new();
+    let mut copy_index = 0usize;
+    for block in func.blocks().collect::<Vec<_>>() {
+        for &inst in func.block_insts(block) {
+            if let InstData::Copy { dst, src } = *func.inst(inst) {
+                copy_index += 1;
+                if keep_every != 0 && copy_index % keep_every == 0 {
+                    continue; // deliberately kept
+                }
+                copy_source[dst] = Some(src);
+                copy_insts.push((block, inst, dst));
+            }
+        }
+    }
+
+    if copy_insts.is_empty() {
+        return CopyPropagation::default();
+    }
+
+    // Resolve chains of copies (a <- b <- c) to the root definition.
+    let resolve = |mut v: Value, map: &SecondaryMap<Value, Option<Value>>| -> Value {
+        let mut hops = 0usize;
+        while let Some(src) = map[v] {
+            v = src;
+            hops += 1;
+            if hops > map.len() {
+                break; // cycle guard; cannot happen in well-formed SSA
+            }
+        }
+        v
+    };
+
+    let mut roots: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
+    roots.resize(func.num_values());
+    for value in func.values() {
+        if copy_source[value].is_some() {
+            roots[value] = Some(resolve(value, &copy_source));
+        }
+    }
+
+    // Rewrite all uses (including φ arguments) to the roots.
+    let mut uses_rewritten = 0usize;
+    for block in func.blocks().collect::<Vec<_>>() {
+        for &inst in func.block_insts(block).to_vec().iter() {
+            func.inst_mut(inst).map_uses(|v| match roots[v] {
+                Some(root) if root != v => {
+                    uses_rewritten += 1;
+                    root
+                }
+                _ => v,
+            });
+        }
+    }
+
+    // Remove the now-dead copy instructions.
+    let mut copies_removed = 0usize;
+    for (block, inst, _dst) in copy_insts {
+        if func.remove_inst(block, inst) {
+            copies_removed += 1;
+        }
+    }
+
+    CopyPropagation { copies_removed, uses_rewritten }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossa_ir::builder::FunctionBuilder;
+    use ossa_ir::{verify_ssa, BinaryOp};
+
+    #[test]
+    fn chains_of_copies_are_folded_to_the_root() {
+        let mut b = FunctionBuilder::new("chain", 1);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let a = b.copy(x);
+        let c = b.copy(a);
+        let d = b.copy(c);
+        let r = b.binary(BinaryOp::Add, d, a);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        let stats = propagate_copies(&mut f);
+        assert_eq!(stats.copies_removed, 3);
+        assert!(stats.uses_rewritten >= 2);
+        verify_ssa(&f).expect("still valid SSA");
+        // The add now reads x twice.
+        let add = f.block_insts(entry).iter().copied().find(|&i| {
+            matches!(f.inst(i), InstData::Binary { .. })
+        });
+        assert_eq!(f.inst(add.unwrap()).uses(), vec![x, x]);
+        assert_eq!(f.count_copies(), 0);
+    }
+
+    #[test]
+    fn phi_arguments_are_rewritten() {
+        let mut b = FunctionBuilder::new("phi-args", 1);
+        let entry = b.create_block();
+        let left = b.create_block();
+        let right = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let x = b.iconst(1);
+        b.branch(p, left, right);
+        b.switch_to_block(left);
+        let a = b.copy(x);
+        b.jump(join);
+        b.switch_to_block(right);
+        let c = b.copy(x);
+        b.jump(join);
+        b.switch_to_block(join);
+        let m = b.phi(vec![(left, a), (right, c)]);
+        b.ret(Some(m));
+        let mut f = b.finish();
+        propagate_copies(&mut f);
+        verify_ssa(&f).expect("still valid SSA");
+        // Both φ arguments now reference x directly.
+        assert_eq!(f.phi_inputs_from(join, left)[0].1, x);
+        assert_eq!(f.phi_inputs_from(join, right)[0].1, x);
+    }
+
+    #[test]
+    fn function_without_copies_is_untouched() {
+        let mut b = FunctionBuilder::new("nocopy", 1);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let y = b.binary(BinaryOp::Mul, x, x);
+        b.ret(Some(y));
+        let mut f = b.finish();
+        let before = f.display().to_string();
+        let stats = propagate_copies(&mut f);
+        assert_eq!(stats, CopyPropagation::default());
+        assert_eq!(f.display().to_string(), before);
+    }
+
+    #[test]
+    fn propagation_can_break_conventionality() {
+        // The lost-copy pattern: after propagating the copy feeding the φ,
+        // the φ result stays live across the back edge together with the
+        // next iteration's value.
+        let mut b = FunctionBuilder::new("lost-copy", 1);
+        let entry = b.create_block();
+        let header = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let x1 = b.iconst(1);
+        b.jump(header);
+        b.switch_to_block(header);
+        let x3 = b.declare_value();
+        let x2 = b.phi(vec![(entry, x1), (header, x3)]);
+        let one = b.iconst(1);
+        let sum = b.binary(BinaryOp::Add, x2, one);
+        // x3 = copy sum ; feeding the φ — conventional form.
+        b.func_mut().append_inst(header, InstData::Copy { dst: x3, src: sum });
+        b.branch(p, header, exit);
+        b.switch_to_block(exit);
+        b.ret(Some(x2));
+        let mut f = b.finish();
+        verify_ssa(&f).expect("valid before");
+        let stats = propagate_copies(&mut f);
+        assert_eq!(stats.copies_removed, 1);
+        verify_ssa(&f).expect("valid after");
+        // The φ now takes `sum` directly on the back edge.
+        assert_eq!(f.phi_inputs_from(header, header)[0].1, sum);
+    }
+}

@@ -1,0 +1,263 @@
+//! Conventional-SSA (CSSA) property checker.
+//!
+//! SSA form is *conventional* when all variables transitively connected by
+//! φ-functions (the φ congruence classes of Sreedhar et al.) can be replaced
+//! by a single name without changing the program semantics — i.e. when no
+//! two variables of the same class have intersecting live ranges. Code just
+//! out of SSA construction is conventional; copy propagation and other SSA
+//! optimizations may break the property, and the out-of-SSA translation's
+//! first phase (copy insertion) restores it.
+
+use std::collections::HashMap;
+
+use ossa_ir::entity::Value;
+use ossa_ir::{ControlFlowGraph, DominatorTree, Function};
+use ossa_liveness::{IntersectionTest, LiveRangeInfo, LivenessSets};
+
+/// A pair of values from the same φ congruence class whose live ranges
+/// intersect — a witness that the function is not in CSSA form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CssaViolation {
+    /// First value of the intersecting pair.
+    pub a: Value,
+    /// Second value of the intersecting pair.
+    pub b: Value,
+}
+
+/// φ congruence classes: the partition of values induced by "appears in the
+/// same φ-function", closed transitively.
+#[derive(Clone, Debug, Default)]
+pub struct PhiCongruence {
+    parent: HashMap<Value, Value>,
+}
+
+impl PhiCongruence {
+    /// Builds the φ congruence classes of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let mut this = Self::default();
+        for block in func.blocks() {
+            for inst in func.phis(block) {
+                let data = func.inst(inst);
+                let dst = data.defs()[0];
+                for arg in data.phi_args().expect("phi") {
+                    this.union(dst, arg.value);
+                }
+            }
+        }
+        this
+    }
+
+    fn find(&mut self, v: Value) -> Value {
+        let parent = *self.parent.entry(v).or_insert(v);
+        if parent == v {
+            v
+        } else {
+            let root = self.find(parent);
+            self.parent.insert(v, root);
+            root
+        }
+    }
+
+    fn union(&mut self, a: Value, b: Value) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    /// Returns `true` if `a` and `b` are in the same φ congruence class.
+    pub fn same_class(&mut self, a: Value, b: Value) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Groups all values seen in φ-functions by class representative.
+    pub fn classes(&mut self) -> Vec<Vec<Value>> {
+        let members: Vec<Value> = self.parent.keys().copied().collect();
+        let mut grouped: HashMap<Value, Vec<Value>> = HashMap::new();
+        for v in members {
+            let root = self.find(v);
+            grouped.entry(root).or_default().push(v);
+        }
+        let mut classes: Vec<Vec<Value>> = grouped.into_values().collect();
+        for class in &mut classes {
+            class.sort();
+        }
+        classes.sort();
+        classes
+    }
+}
+
+/// Checks whether `func` (in SSA form) is conventional. Returns the list of
+/// intersecting same-class pairs; an empty list means the function is CSSA.
+pub fn cssa_violations(func: &Function) -> Vec<CssaViolation> {
+    let cfg = ControlFlowGraph::compute(func);
+    let domtree = DominatorTree::compute(func, &cfg);
+    let liveness = LivenessSets::compute(func, &cfg);
+    let info = LiveRangeInfo::compute(func);
+    let intersect = IntersectionTest::new(func, &domtree, &liveness, &info);
+
+    let mut congruence = PhiCongruence::compute(func);
+    let mut violations = Vec::new();
+    for class in congruence.classes() {
+        for (i, &a) in class.iter().enumerate() {
+            for &b in &class[i + 1..] {
+                if intersect.intersect(a, b) {
+                    violations.push(CssaViolation { a, b });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Returns `true` if `func` is in conventional SSA form.
+pub fn is_conventional(func: &Function) -> bool {
+    cssa_violations(func).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copyprop::propagate_copies;
+    use ossa_ir::builder::FunctionBuilder;
+    use ossa_ir::{BinaryOp, InstData};
+
+    /// Lost-copy shape. In the conventional variant the φ result is copied
+    /// into a separate value before escaping the loop and the φ argument is
+    /// fed through a dedicated copy; copy propagation removes both copies and
+    /// produces the classic non-conventional form.
+    fn lost_copy(conventional: bool) -> Function {
+        let mut b = FunctionBuilder::new("lost-copy", 1);
+        let entry = b.create_block();
+        let header = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let x1 = b.iconst(1);
+        b.jump(header);
+        b.switch_to_block(header);
+        let x3 = b.declare_value();
+        let x2 = b.phi(vec![(entry, x1), (header, x3)]);
+        let escaped = b.copy(x2);
+        let one = b.iconst(1);
+        let sum = b.binary(BinaryOp::Add, x2, one);
+        b.func_mut().append_inst(header, InstData::Copy { dst: x3, src: sum });
+        b.branch(p, header, exit);
+        b.switch_to_block(exit);
+        b.ret(Some(escaped));
+        let mut f = b.finish();
+        if !conventional {
+            propagate_copies(&mut f);
+        }
+        f
+    }
+
+    #[test]
+    fn freshly_built_phi_web_is_conventional() {
+        let f = lost_copy(true);
+        assert!(is_conventional(&f));
+        assert!(cssa_violations(&f).is_empty());
+    }
+
+    #[test]
+    fn copy_propagation_breaks_conventionality() {
+        let f = lost_copy(false);
+        let violations = cssa_violations(&f);
+        assert!(!violations.is_empty());
+        assert!(!is_conventional(&f));
+    }
+
+    #[test]
+    fn congruence_classes_are_transitive() {
+        // Two φs chained: u = φ(a, b); w = φ(u, c) — all five in one class.
+        let mut b = FunctionBuilder::new("chain", 1);
+        let entry = b.create_block();
+        let l1 = b.create_block();
+        let j1 = b.create_block();
+        let l2 = b.create_block();
+        let j2 = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let a = b.iconst(1);
+        b.branch(p, l1, j1);
+        b.switch_to_block(l1);
+        let c1 = b.iconst(2);
+        b.jump(j1);
+        b.switch_to_block(j1);
+        let u = b.phi(vec![(entry, a), (l1, c1)]);
+        b.branch(p, l2, j2);
+        b.switch_to_block(l2);
+        let c2 = b.iconst(3);
+        b.jump(j2);
+        b.switch_to_block(j2);
+        let w = b.phi(vec![(j1, u), (l2, c2)]);
+        b.ret(Some(w));
+        let f = b.finish();
+        let mut congruence = PhiCongruence::compute(&f);
+        assert!(congruence.same_class(a, w));
+        assert!(congruence.same_class(c1, c2));
+        assert!(congruence.same_class(u, w));
+        let classes = congruence.classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 5);
+    }
+
+    #[test]
+    fn unrelated_phis_form_separate_classes() {
+        let mut b = FunctionBuilder::new("two-phis", 1);
+        let entry = b.create_block();
+        let left = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let a1 = b.iconst(1);
+        let b1 = b.iconst(10);
+        b.branch(p, left, join);
+        b.switch_to_block(left);
+        let a2 = b.iconst(2);
+        let b2 = b.iconst(20);
+        b.jump(join);
+        b.switch_to_block(join);
+        let pa = b.phi(vec![(entry, a1), (left, a2)]);
+        let pb = b.phi(vec![(entry, b1), (left, b2)]);
+        let s = b.binary(BinaryOp::Add, pa, pb);
+        b.ret(Some(s));
+        let f = b.finish();
+        let mut congruence = PhiCongruence::compute(&f);
+        assert!(!congruence.same_class(pa, pb));
+        assert_eq!(congruence.classes().len(), 2);
+        // This one is conventional: the two webs do not internally intersect.
+        assert!(is_conventional(&f));
+    }
+
+    #[test]
+    fn swap_pattern_is_not_conventional() {
+        // a2 = φ(a1, b2); b2 = φ(b1, a2) — the classic swap problem.
+        let mut b = FunctionBuilder::new("swap", 1);
+        let entry = b.create_block();
+        let header = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let a1 = b.iconst(1);
+        let b1 = b.iconst(2);
+        b.jump(header);
+        b.switch_to_block(header);
+        let a2 = b.declare_value();
+        let b2 = b.declare_value();
+        b.phi_to(a2, vec![(entry, a1), (header, b2)]);
+        b.phi_to(b2, vec![(entry, b1), (header, a2)]);
+        b.branch(p, header, exit);
+        b.switch_to_block(exit);
+        let s = b.binary(BinaryOp::Add, a2, b2);
+        b.ret(Some(s));
+        let f = b.finish();
+        ossa_ir::verify_ssa(&f).expect("valid SSA");
+        assert!(!is_conventional(&f));
+    }
+}

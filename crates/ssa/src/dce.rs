@@ -1,0 +1,135 @@
+//! Dead-code elimination on SSA form.
+//!
+//! Cytron et al. already observed that the naive φ replacement should be
+//! preceded by dead-code elimination. This pass removes value-producing
+//! instructions (including φ-functions and copies) whose results are never
+//! used, iterating until a fixpoint since removing one instruction can make
+//! another dead.
+
+use ossa_ir::entity::{SecondaryMap, Value};
+use ossa_ir::Function;
+
+/// Statistics of a DCE run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeadCodeElimination {
+    /// Number of instructions removed.
+    pub insts_removed: usize,
+    /// Number of fixpoint iterations performed.
+    pub iterations: usize,
+}
+
+/// Removes side-effect-free instructions whose definitions are unused.
+pub fn eliminate_dead_code(func: &mut Function) -> DeadCodeElimination {
+    let mut stats = DeadCodeElimination::default();
+    loop {
+        stats.iterations += 1;
+        // Count uses of every value (φ arguments included).
+        let mut use_counts: SecondaryMap<Value, u32> = SecondaryMap::new();
+        use_counts.resize(func.num_values());
+        let mut scratch = Vec::new();
+        for block in func.blocks().collect::<Vec<_>>() {
+            for &inst in func.block_insts(block) {
+                scratch.clear();
+                func.inst(inst).collect_uses(&mut scratch);
+                for &v in &scratch {
+                    use_counts[v] += 1;
+                }
+            }
+        }
+
+        let mut removed_this_round = 0usize;
+        for block in func.blocks().collect::<Vec<_>>() {
+            let insts = func.block_insts(block).to_vec();
+            for inst in insts {
+                let data = func.inst(inst);
+                if data.has_side_effects() {
+                    continue;
+                }
+                let defs = data.defs();
+                if defs.is_empty() {
+                    continue;
+                }
+                if defs.iter().all(|&d| use_counts[d] == 0) {
+                    func.remove_inst(block, inst);
+                    removed_this_round += 1;
+                }
+            }
+        }
+        stats.insts_removed += removed_this_round;
+        if removed_this_round == 0 {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossa_ir::builder::FunctionBuilder;
+    use ossa_ir::{verify_ssa, BinaryOp};
+
+    #[test]
+    fn removes_transitively_dead_chains() {
+        let mut b = FunctionBuilder::new("dce", 1);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let dead1 = b.iconst(1);
+        let dead2 = b.binary(BinaryOp::Add, dead1, dead1);
+        let _dead3 = b.binary(BinaryOp::Mul, dead2, dead2);
+        let live = b.binary(BinaryOp::Add, x, x);
+        b.ret(Some(live));
+        let mut f = b.finish();
+        let stats = eliminate_dead_code(&mut f);
+        assert_eq!(stats.insts_removed, 3);
+        assert!(stats.iterations >= 2);
+        verify_ssa(&f).expect("still valid");
+        assert_eq!(f.block_len(entry), 3); // param, add, return
+    }
+
+    #[test]
+    fn keeps_side_effecting_instructions() {
+        let mut b = FunctionBuilder::new("effects", 1);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let _unused_call = b.call(1, vec![x]);
+        b.store(x, x);
+        b.ret(None);
+        let mut f = b.finish();
+        let stats = eliminate_dead_code(&mut f);
+        assert_eq!(stats.insts_removed, 0);
+        assert_eq!(f.block_len(entry), 4);
+    }
+
+    #[test]
+    fn removes_dead_phis() {
+        let mut b = FunctionBuilder::new("deadphi", 1);
+        let entry = b.create_block();
+        let left = b.create_block();
+        let right = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let a = b.iconst(1);
+        let c = b.iconst(2);
+        b.branch(p, left, right);
+        b.switch_to_block(left);
+        b.jump(join);
+        b.switch_to_block(right);
+        b.jump(join);
+        b.switch_to_block(join);
+        let _dead_phi = b.phi(vec![(left, a), (right, c)]);
+        b.ret(None);
+        let mut f = b.finish();
+        let stats = eliminate_dead_code(&mut f);
+        // The φ dies first, then both constants.
+        assert_eq!(stats.insts_removed, 3);
+        assert_eq!(f.count_phis(), 0);
+        verify_ssa(&f).expect("still valid");
+    }
+}

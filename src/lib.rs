@@ -1,0 +1,39 @@
+//! # out-of-ssa — umbrella crate
+//!
+//! Reproduction of *"Revisiting Out-of-SSA Translation for Correctness, Code
+//! Quality, and Efficiency"* (Boissinot, Darte, Rastello, Dupont de Dinechin,
+//! Guillon — CGO 2009).
+//!
+//! This crate re-exports the individual crates of the workspace so that
+//! examples and downstream users can depend on a single package:
+//!
+//! * [`ir`] — the SSA intermediate representation substrate,
+//! * [`liveness`] — liveness sets, fast liveness checking, intersection tests,
+//! * [`ssa`] — SSA construction, copy propagation, CSSA checking,
+//! * [`destruct`] — the paper's out-of-SSA translation (the core contribution),
+//! * [`interp`] — the reference interpreter used as a semantic oracle,
+//! * [`cfggen`] — synthetic workloads simulating the SPEC CINT2000 corpus,
+//! * [`regalloc`] — a linear-scan register allocator consuming the output.
+//!
+//! # Examples
+//!
+//! ```
+//! use out_of_ssa::cfggen::{generate_ssa_function, GenConfig};
+//! use out_of_ssa::destruct::{translate_out_of_ssa, OutOfSsaOptions};
+//!
+//! let (mut func, _) = generate_ssa_function("demo", &GenConfig::small(), 1);
+//! let stats = translate_out_of_ssa(&mut func, &OutOfSsaOptions::default());
+//! assert_eq!(func.count_phis(), 0);
+//! assert!(stats.remaining_copies <= stats.moves_inserted);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ossa_cfggen as cfggen;
+pub use ossa_destruct as destruct;
+pub use ossa_interp as interp;
+pub use ossa_ir as ir;
+pub use ossa_liveness as liveness;
+pub use ossa_regalloc as regalloc;
+pub use ossa_ssa as ssa;

@@ -1,0 +1,92 @@
+//! Property-based tests on the core invariants.
+
+use proptest::prelude::*;
+
+use out_of_ssa::cfggen::{generate_ssa_function, GenConfig};
+use out_of_ssa::destruct::{
+    minimum_copies, sequentialize, translate_out_of_ssa, OutOfSsaOptions,
+};
+use out_of_ssa::interp::{same_behaviour, Interpreter};
+use out_of_ssa::ir::entity::EntityRef;
+use out_of_ssa::ir::{CopyPair, Value};
+
+/// Strategy producing a well-formed parallel copy: unique destinations,
+/// arbitrary sources drawn from a small universe.
+fn parallel_copy_strategy() -> impl Strategy<Value = Vec<CopyPair>> {
+    prop::collection::vec(0usize..8, 1..8).prop_map(|srcs| {
+        srcs.into_iter()
+            .enumerate()
+            .filter(|(dst, src)| dst != src)
+            .map(|(dst, src)| CopyPair { dst: Value::new(dst), src: Value::new(src) })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Algorithm 1 emits a sequence equivalent to the parallel copy and uses
+    /// the minimum number of copies.
+    #[test]
+    fn sequentialization_is_correct_and_minimal(moves in parallel_copy_strategy()) {
+        let temp = Value::new(100);
+        let seq = sequentialize(&moves, temp);
+        prop_assert_eq!(seq.copies.len(), minimum_copies(&moves));
+
+        // Simulate both with distinct tokens per value.
+        let mut initial = std::collections::HashMap::new();
+        for m in &moves {
+            initial.entry(m.dst).or_insert_with(|| 1000 + m.dst.index() as i64);
+            initial.entry(m.src).or_insert_with(|| 1000 + m.src.index() as i64);
+        }
+        initial.insert(temp, -1);
+        let mut parallel = initial.clone();
+        let reads: Vec<(Value, i64)> = moves.iter().map(|m| (m.dst, initial[&m.src])).collect();
+        for (dst, v) in reads {
+            parallel.insert(dst, v);
+        }
+        let mut sequential = initial.clone();
+        for c in &seq.copies {
+            let v = sequential[&c.src];
+            sequential.insert(c.dst, v);
+        }
+        for (&value, &expected) in &parallel {
+            if value != temp {
+                prop_assert_eq!(sequential[&value], expected);
+            }
+        }
+    }
+
+    /// The default out-of-SSA translation preserves the observable behaviour
+    /// of randomly generated programs.
+    #[test]
+    fn translation_preserves_behaviour(seed in 0u64..500, a in -20i64..20, b in -20i64..20) {
+        let (original, _) = generate_ssa_function(format!("p{seed}"), &GenConfig::small(), seed);
+        let mut translated = original.clone();
+        translate_out_of_ssa(&mut translated, &OutOfSsaOptions::default());
+        let args = vec![a, b, a ^ b];
+        let want = Interpreter::new().run(&original, &args).expect("original runs");
+        let got = Interpreter::new().run(&translated, &args).expect("translated runs");
+        prop_assert!(same_behaviour(&want, &got));
+        prop_assert_eq!(translated.count_phis(), 0);
+    }
+
+    /// The eager and virtualized engines produce code with identical
+    /// behaviour (the paper's claim that virtualization does not change code
+    /// quality guarantees, only engineering).
+    #[test]
+    fn eager_and_virtualized_agree_behaviourally(seed in 500u64..700) {
+        let (original, _) = generate_ssa_function(format!("v{seed}"), &GenConfig::small(), seed);
+        let mut eager = original.clone();
+        let mut virt = original.clone();
+        translate_out_of_ssa(&mut eager, &OutOfSsaOptions::value());
+        translate_out_of_ssa(&mut virt, &OutOfSsaOptions::value_is());
+        for args in [vec![1, 2, 3], vec![-5, 4, 0]] {
+            let a = Interpreter::new().run(&eager, &args).expect("eager runs");
+            let b = Interpreter::new().run(&virt, &args).expect("virtualized runs");
+            let reference = Interpreter::new().run(&original, &args).expect("original runs");
+            prop_assert!(same_behaviour(&reference, &a));
+            prop_assert!(same_behaviour(&reference, &b));
+        }
+    }
+}
