@@ -1,30 +1,20 @@
-//! Criterion wrapper for the Figure 5 quality sweep: time to run each
-//! coalescing variant over a small corpus (the copy counts themselves are
-//! printed by the `fig5_quality` binary).
+//! Timing wrapper for the Figure 5 quality sweep: time to run each coalescing
+//! variant over a small corpus (the copy counts themselves are printed by the
+//! `fig5_quality` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ossa_bench::{corpus, quality_variants, run_variant};
+use ossa_bench::{corpus, quality_variants, run_variant, time_min};
 
-fn bench_quality_variants(c: &mut Criterion) {
+fn main() {
     let corpus = corpus(0.08);
-    let mut group = c.benchmark_group("fig5_quality");
+    println!("fig5_quality — min of 10 samples per variant");
     for (name, options) in quality_variants() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &options, |b, options| {
-            b.iter(|| {
-                let mut copies = 0usize;
-                for workload in &corpus {
-                    copies += run_variant(workload, options).0.remaining_copies;
-                }
-                copies
-            })
+        let (seconds, copies) = time_min(10, || {
+            let mut copies = 0usize;
+            for workload in &corpus {
+                copies += run_variant(workload, &options).0.remaining_copies;
+            }
+            copies
         });
+        println!("  {name:<14} {seconds:>10.4}s   ({copies} copies)");
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_quality_variants
-}
-criterion_main!(benches);

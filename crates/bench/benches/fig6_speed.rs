@@ -1,29 +1,40 @@
-//! Criterion reproduction of Figure 6: time to go out of SSA for each engine
-//! configuration over the simulated corpus.
+//! Timing wrapper for the Figure 6 reproduction: time to go out of SSA for
+//! each engine configuration over the simulated corpus, plus the batch
+//! (parallel) corpus engine against the serial baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ossa_bench::{corpus, engine_variants, run_variant};
+use ossa_bench::{corpus, engine_variants, run_variant, time_min};
 
-fn bench_engines(c: &mut Criterion) {
+fn main() {
     let corpus = corpus(0.08);
-    let mut group = c.benchmark_group("fig6_speed");
+    println!("fig6_speed — min of 10 samples per engine");
     for (name, options) in engine_variants() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &options, |b, options| {
-            b.iter(|| {
-                let mut copies = 0usize;
-                for workload in &corpus {
-                    copies += run_variant(workload, options).0.remaining_copies;
-                }
-                copies
-            })
+        let (seconds, copies) = time_min(10, || {
+            let mut copies = 0usize;
+            for workload in &corpus {
+                copies += run_variant(workload, &options).0.remaining_copies;
+            }
+            copies
         });
+        println!("  {name:<44} {seconds:>10.4}s   ({copies} copies)");
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_engines
+    // Batch engine: serial vs parallel, one translate_corpus call over the
+    // flattened corpus so the worker pool is spawned once and sized by the
+    // whole corpus.
+    let options = ossa_destruct::OutOfSsaOptions::default();
+    let flat: Vec<_> = corpus.iter().flat_map(|w| w.functions.iter().cloned()).collect();
+    let (serial, _) = time_min(10, || {
+        let mut work = flat.clone();
+        ossa_destruct::translate_corpus_with(&mut work, &options, 1).total().remaining_copies
+    });
+    let (parallel, _) = time_min(10, || {
+        let mut work = flat.clone();
+        ossa_destruct::translate_corpus_with(&mut work, &options, 0).total().remaining_copies
+    });
+    println!("  {:<44} {serial:>10.4}s", "batch engine (serial)");
+    println!(
+        "  {:<44} {parallel:>10.4}s   ({:.2}x)",
+        "batch engine (parallel)",
+        serial / parallel.max(1e-12)
+    );
 }
-criterion_main!(benches);

@@ -1,23 +1,14 @@
-//! Criterion wrapper for the Figure 7 memory accounting: cost of computing
-//! the per-engine memory report (the byte numbers themselves are printed by
-//! the `fig7_memory` binary).
+//! Timing wrapper for the Figure 7 memory accounting: cost of computing the
+//! per-engine memory report (the byte numbers themselves are printed by the
+//! `fig7_memory` binary).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ossa_bench::{corpus, memory_report};
+use ossa_bench::{corpus, memory_report, time_min};
 
-fn bench_memory_report(c: &mut Criterion) {
+fn main() {
     let corpus = corpus(0.06);
-    c.bench_function("fig7_memory_report", |b| {
-        b.iter(|| {
-            let report = memory_report(&corpus);
-            report.iter().map(|row| row.measured_bytes).sum::<usize>()
-        })
+    let (seconds, bytes) = time_min(10, || {
+        let report = memory_report(&corpus);
+        report.iter().map(|row| row.measured_bytes).sum::<usize>()
     });
+    println!("fig7_memory_report: {seconds:.4}s (min of 10), {bytes} measured bytes");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_memory_report
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Benchmark of the parallel-copy sequentialization (Algorithm 1) on
 //! synthetic permutations of various sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ossa_bench::time_min;
 use ossa_destruct::sequentialize;
 use ossa_ir::entity::EntityRef;
 use ossa_ir::{CopyPair, Value};
@@ -26,19 +26,24 @@ fn build_moves(cycles: usize, len: usize) -> Vec<CopyPair> {
     moves
 }
 
-fn bench_sequentialize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("seq_copies");
+fn main() {
+    // Each sample batches many calls: a single small sequentialization costs
+    // tens of nanoseconds, below the resolution of one Instant pair.
+    const BATCH: usize = 1000;
+    println!("seq_copies — min of 200 samples per shape, {BATCH} calls per sample");
     for &(cycles, len) in &[(1usize, 4usize), (4, 4), (16, 8), (64, 8)] {
         let moves = build_moves(cycles, len);
         let temp = Value::new(100_000);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{cycles}x{len}")),
-            &moves,
-            |b, moves| b.iter(|| sequentialize(moves, temp).copies.len()),
+        let (seconds, copies) = time_min(200, || {
+            let mut copies = 0;
+            for _ in 0..BATCH {
+                copies = sequentialize(&moves, temp).copies.len();
+            }
+            copies
+        });
+        println!(
+            "  {cycles:>3}x{len:<3} {:>12.1}ns/call   ({copies} copies)",
+            seconds * 1e9 / BATCH as f64
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sequentialize);
-criterion_main!(benches);

@@ -4,10 +4,8 @@
 use ossa_bench::{corpus, format_normalized, quality_report, DEFAULT_SCALE};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(DEFAULT_SCALE);
+    let scale =
+        std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(DEFAULT_SCALE);
     let corpus = corpus(scale);
     let names: Vec<&str> = corpus.iter().map(|w| w.name).collect();
     let report = quality_report(&corpus);

@@ -1,13 +1,16 @@
 //! Figure 6 reproduction: out-of-SSA translation time for the different
-//! engine configurations, normalized to `Sreedhar III`.
+//! engine configurations, normalized to `Sreedhar III`, plus the batch
+//! corpus engine (serial vs parallel) and a machine-readable
+//! `BENCH_fig6.json` for the performance trajectory of future changes.
 
-use ossa_bench::{corpus, format_normalized, speed_report, DEFAULT_SCALE};
+use std::fmt::Write as _;
+
+use ossa_bench::{corpus, format_normalized, run_variant_seed_style, speed_report, DEFAULT_SCALE};
+use ossa_destruct::OutOfSsaOptions;
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(DEFAULT_SCALE);
+    let scale =
+        std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(DEFAULT_SCALE);
     let corpus = corpus(scale);
     let names: Vec<&str> = corpus.iter().map(|w| w.name).collect();
 
@@ -20,9 +23,63 @@ fn main() {
         report.iter().map(|row| (row.engine.to_string(), row.seconds.clone())).collect();
     println!("{}", format_normalized(&names, &rows));
 
-    println!("absolute time per engine (seconds, sum over corpus):");
+    println!("absolute time per engine (seconds, sum over corpus, serial batch engine):");
     for row in &report {
         let total: f64 = row.seconds.iter().sum();
         println!("  {:<44} {total:.4}", row.engine);
+    }
+
+    // Batch corpus engine: the seed-style serial loop (per-function API,
+    // fresh analyses per call; clones excluded from all timed regions so the
+    // comparison measures the engine, not the harness) vs the batch engine,
+    // serial and parallel, over the *flattened* corpus — one translate_corpus
+    // call, so the worker pool is spawned once and sized by the whole corpus
+    // rather than per workload. Three samples each, minimum taken, to damp
+    // scheduler noise.
+    let options = OutOfSsaOptions::default();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let flat: Vec<_> = corpus.iter().flat_map(|w| w.functions.iter().cloned()).collect();
+    let min3 = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    let seed_style: f64 =
+        min3(&|| corpus.iter().map(|w| run_variant_seed_style(w, &options).1).sum());
+    let time_batch = |threads: usize| -> f64 {
+        let mut work = flat.clone();
+        let start = std::time::Instant::now();
+        let _ = ossa_destruct::translate_corpus_with(&mut work, &options, threads);
+        start.elapsed().as_secs_f64()
+    };
+    let serial: f64 = min3(&|| time_batch(1));
+    let parallel: f64 = min3(&|| time_batch(0));
+    let speedup = seed_style / parallel.max(1e-12);
+    println!("\nbatch engine over the corpus (default options):");
+    println!("  seed-style serial loop  {seed_style:.4}s");
+    println!("  batch engine (serial)   {serial:.4}s");
+    println!("  batch engine (parallel) {parallel:.4}s  ({threads} threads, {speedup:.2}x vs seed style)");
+
+    // Machine-readable trajectory.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"engines\": [");
+    for (i, row) in report.iter().enumerate() {
+        let total: f64 = row.seconds.iter().sum();
+        let comma = if i + 1 < report.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"seconds\": {:.6}}}{comma}",
+            row.engine, total
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"seed_style_serial_seconds\": {seed_style:.6},");
+    let _ = writeln!(json, "  \"batch_serial_seconds\": {serial:.6},");
+    let _ = writeln!(json, "  \"batch_parallel_seconds\": {parallel:.6},");
+    let _ = writeln!(json, "  \"batch_threads\": {threads},");
+    let _ = writeln!(json, "  \"batch_speedup_vs_seed_style\": {speedup:.3}");
+    let _ = writeln!(json, "}}");
+    let path = "BENCH_fig6.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(err) => eprintln!("\nfailed to write {path}: {err}"),
     }
 }

@@ -4,10 +4,8 @@
 use ossa_bench::{corpus, memory_report, DEFAULT_SCALE};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(DEFAULT_SCALE);
+    let scale =
+        std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(DEFAULT_SCALE);
     let corpus = corpus(scale);
     let report = memory_report(&corpus);
     let baseline = report[0].measured_bytes.max(1);

@@ -3,7 +3,7 @@
 //! translated and verified against the interpreter.
 
 use ossa_bench::quality_variants;
-use ossa_destruct::translate_out_of_ssa;
+use ossa_destruct::translate_corpus;
 use ossa_interp::{same_behaviour, Interpreter};
 use ossa_ir::builder::FunctionBuilder;
 use ossa_ir::{BinaryOp, CmpOp, Function, InstData};
@@ -24,8 +24,10 @@ fn lost_copy() -> Function {
     let x2 = b.phi(vec![(entry, x1), (header, x3)]);
     let i = b.phi(vec![(entry, p), (header, i_next)]);
     let one = b.iconst(1);
-    b.func_mut().append_inst(header, InstData::Binary { op: BinaryOp::Add, dst: x3, args: [x2, one] });
-    b.func_mut().append_inst(header, InstData::Binary { op: BinaryOp::Sub, dst: i_next, args: [i, one] });
+    b.func_mut()
+        .append_inst(header, InstData::Binary { op: BinaryOp::Add, dst: x3, args: [x2, one] });
+    b.func_mut()
+        .append_inst(header, InstData::Binary { op: BinaryOp::Sub, dst: i_next, args: [i, one] });
     let zero = b.iconst(0);
     let c = b.cmp(CmpOp::Gt, i_next, zero);
     b.branch(c, header, exit);
@@ -53,7 +55,8 @@ fn swap() -> Function {
     b.phi_to(b2, vec![(entry, b1), (header, a2)]);
     let i = b.phi(vec![(entry, p), (header, i_next)]);
     let one = b.iconst(1);
-    b.func_mut().append_inst(header, InstData::Binary { op: BinaryOp::Sub, dst: i_next, args: [i, one] });
+    b.func_mut()
+        .append_inst(header, InstData::Binary { op: BinaryOp::Sub, dst: i_next, args: [i, one] });
     let zero = b.iconst(0);
     let c = b.cmp(CmpOp::Gt, i_next, zero);
     b.branch(c, header, exit);
@@ -132,17 +135,19 @@ fn main() {
         "{:<32}{:<16}{:>10}{:>12}{:>14}",
         "case", "variant", "copies", "edges split", "correct"
     );
-    for (case, func, inputs) in &cases {
-        for (variant, options) in quality_variants() {
-            let mut translated = func.clone();
-            let stats = translate_out_of_ssa(&mut translated, &options);
+    // All four corner cases run through the batch engine, one batch per
+    // variant, and are then checked against the interpreter oracle.
+    for (variant, options) in quality_variants() {
+        let mut translated: Vec<Function> = cases.iter().map(|(_, f, _)| f.clone()).collect();
+        let corpus_stats = translate_corpus(&mut translated, &options);
+        for (((case, func, inputs), work), stats) in
+            cases.iter().zip(&translated).zip(&corpus_stats.per_function)
+        {
             let mut correct = true;
             for &input in inputs {
                 let args = [input, 1];
                 let a = Interpreter::new().run(func, &args[..func.num_params as usize]).unwrap();
-                let b = Interpreter::new()
-                    .run(&translated, &args[..func.num_params as usize])
-                    .unwrap();
+                let b = Interpreter::new().run(work, &args[..func.num_params as usize]).unwrap();
                 correct &= same_behaviour(&a, &b);
             }
             println!(

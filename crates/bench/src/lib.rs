@@ -20,7 +20,8 @@ use std::time::Instant;
 
 use ossa_cfggen::{spec_like_corpus, Workload};
 use ossa_destruct::{
-    translate_out_of_ssa, ClassCheck, InterferenceMode, OutOfSsaOptions, OutOfSsaStats,
+    translate_corpus_serial, translate_corpus_with, translate_out_of_ssa, ClassCheck,
+    InterferenceMode, OutOfSsaOptions, OutOfSsaStats,
 };
 
 /// The Figure 5 coalescing variants, in the paper's order.
@@ -73,30 +74,61 @@ pub fn corpus(scale: f64) -> Vec<Workload> {
     spec_like_corpus(scale, true)
 }
 
-/// Runs one translation variant over one workload and accumulates the stats.
+/// Runs one translation variant over one workload through the serial batch
+/// engine; the clone of the workload's functions is *not* timed (the seed
+/// harness included it, which diluted the engine comparison).
 pub fn run_variant(workload: &Workload, options: &OutOfSsaOptions) -> (OutOfSsaStats, f64) {
+    let mut funcs = workload.functions.clone();
+    let start = Instant::now();
+    let stats = translate_corpus_serial(&mut funcs, options);
+    (stats.total(), start.elapsed().as_secs_f64())
+}
+
+/// Runs one translation variant over one workload through the parallel batch
+/// engine (`threads == 0` selects one worker per core).
+pub fn run_variant_parallel(
+    workload: &Workload,
+    options: &OutOfSsaOptions,
+    threads: usize,
+) -> (OutOfSsaStats, f64) {
+    let mut funcs = workload.functions.clone();
+    let start = Instant::now();
+    let stats = translate_corpus_with(&mut funcs, options, threads);
+    (stats.total(), start.elapsed().as_secs_f64())
+}
+
+/// The seed harness's serial loop, kept as the baseline the batch engine is
+/// measured against: one [`translate_out_of_ssa`] call per function, fresh
+/// analyses inside every call. The clone is excluded from the timed region
+/// (unlike the seed's `run_variant`) so that the batch-vs-seed-style speedup
+/// measures the engine, not a timing-harness difference.
+pub fn run_variant_seed_style(
+    workload: &Workload,
+    options: &OutOfSsaOptions,
+) -> (OutOfSsaStats, f64) {
+    let mut funcs = workload.functions.clone();
     let mut total = OutOfSsaStats::default();
     let start = Instant::now();
-    for func in &workload.functions {
-        let mut work = func.clone();
-        let stats = translate_out_of_ssa(&mut work, options);
-        total.remaining_copies += stats.remaining_copies;
-        total.remaining_weighted += stats.remaining_weighted;
-        total.moves_inserted += stats.moves_inserted;
-        total.moves_coalesced += stats.moves_coalesced;
-        total.phis_removed += stats.phis_removed;
-        total.edges_split += stats.edges_split;
-        total.interference_queries += stats.interference_queries;
-        total.memory.interference_graph_bytes += stats.memory.interference_graph_bytes;
-        total.memory.interference_graph_evaluated += stats.memory.interference_graph_evaluated;
-        total.memory.liveness_ordered_bytes += stats.memory.liveness_ordered_bytes;
-        total.memory.liveness_bitset_bytes += stats.memory.liveness_bitset_bytes;
-        total.memory.livecheck_bytes += stats.memory.livecheck_bytes;
-        total.memory.livecheck_evaluated += stats.memory.livecheck_evaluated;
-        total.memory.universe_size += stats.memory.universe_size;
-        total.memory.num_blocks += stats.memory.num_blocks;
+    for func in &mut funcs {
+        let stats = translate_out_of_ssa(func, options);
+        total.absorb(&stats);
     }
     (total, start.elapsed().as_secs_f64())
+}
+
+/// Minimal timing harness used by the `harness = false` benches (no
+/// Criterion in the offline build environment): runs `f` once for warm-up,
+/// then `samples` times, and returns the minimum wall-clock seconds together
+/// with the last result.
+pub fn time_min<R>(samples: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut result = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        result = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, result)
 }
 
 /// One row of the Figure 5 report: remaining copies per benchmark and the
@@ -239,10 +271,7 @@ mod tests {
 
     #[test]
     fn normalized_table_starts_at_one() {
-        let rows = vec![
-            ("base".to_string(), vec![2.0, 4.0]),
-            ("half".to_string(), vec![1.0, 2.0]),
-        ];
+        let rows = vec![("base".to_string(), vec![2.0, 4.0]), ("half".to_string(), vec![1.0, 2.0])];
         let table = format_normalized(&["a", "b"], &rows);
         assert!(table.contains("1.000"));
         assert!(table.contains("0.500"));

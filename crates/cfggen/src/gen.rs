@@ -7,13 +7,12 @@
 //! SSA and runs copy propagation — the combination that produces the
 //! non-conventional SSA the out-of-SSA translation is evaluated on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use ossa_ir::builder::FunctionBuilder;
 use ossa_ir::entity::Value;
 use ossa_ir::{BinaryOp, CmpOp, Function, InstData};
 use ossa_ssa::{construct_ssa, eliminate_dead_code, propagate_copies_keeping};
+
+use crate::rng::SmallRng;
 
 /// Tuning knobs for the random function generator.
 #[derive(Clone, Debug)]
@@ -63,31 +62,31 @@ impl GenConfig {
 struct Gen<'a> {
     b: FunctionBuilder,
     cfg: &'a GenConfig,
-    rng: StdRng,
+    rng: SmallRng,
     vars: Vec<Value>,
     callee_counter: u32,
 }
 
 impl<'a> Gen<'a> {
     fn random_var(&mut self) -> Value {
-        self.vars[self.rng.gen_range(0..self.vars.len())]
+        self.vars[self.rng.below(self.vars.len())]
     }
 
     fn random_binop(&mut self) -> BinaryOp {
-        BinaryOp::ALL[self.rng.gen_range(0..BinaryOp::ALL.len())]
+        BinaryOp::ALL[self.rng.below(BinaryOp::ALL.len())]
     }
 
     fn random_cmp(&mut self) -> CmpOp {
-        CmpOp::ALL[self.rng.gen_range(0..CmpOp::ALL.len())]
+        CmpOp::ALL[self.rng.below(CmpOp::ALL.len())]
     }
 
     /// Emits one simple (non-control-flow) statement in the current block.
     fn gen_simple_stmt(&mut self) {
-        let roll: f64 = self.rng.gen();
+        let roll: f64 = self.rng.gen_f64();
         if roll < self.cfg.call_density {
             // dst = call f(args)
             let dst = self.random_var();
-            let num_args = self.rng.gen_range(0..=3usize.min(self.vars.len()));
+            let num_args = self.rng.range_inclusive(0, 3usize.min(self.vars.len()));
             let args: Vec<Value> = (0..num_args).map(|_| self.random_var()).collect();
             let callee = self.callee_counter % 5;
             self.callee_counter += 1;
@@ -112,7 +111,7 @@ impl<'a> Gen<'a> {
             if dst != src {
                 self.b.copy_to(dst, src);
             } else {
-                let imm = self.rng.gen_range(-8..=8);
+                let imm = self.rng.range_i64(-8, 8);
                 self.b.iconst_to(dst, imm);
             }
         } else {
@@ -121,7 +120,7 @@ impl<'a> Gen<'a> {
             let lhs = self.random_var();
             let op = self.random_binop();
             if self.rng.gen_bool(0.3) {
-                let imm = self.rng.gen_range(-16..=16);
+                let imm = self.rng.range_i64(-16, 16);
                 let tmp = self.b.declare_value();
                 self.b.iconst_to(tmp, imm);
                 self.b.binary_to(op, dst, lhs, tmp);
@@ -138,7 +137,7 @@ impl<'a> Gen<'a> {
     fn gen_region(&mut self, budget: usize, depth: usize) {
         let mut remaining = budget;
         while remaining > 0 {
-            let roll: f64 = self.rng.gen();
+            let roll: f64 = self.rng.gen_f64();
             if depth < self.cfg.max_depth && roll < 0.12 && remaining >= 6 {
                 let inner = remaining / 2;
                 self.gen_if_else(inner, depth);
@@ -158,15 +157,14 @@ impl<'a> Gen<'a> {
     fn gen_if_else(&mut self, budget: usize, depth: usize) {
         let scrutinee = self.random_var();
         let cmp = self.random_cmp();
-        let threshold = self.rng.gen_range(-4..=4);
+        let threshold = self.rng.range_i64(-4, 4);
         let tval = self.b.declare_value();
         self.b.iconst_to(tval, threshold);
         let cond = self.b.declare_value();
         let block = self.b.current_block();
-        self.b.func_mut().append_inst(
-            block,
-            InstData::Cmp { op: cmp, dst: cond, args: [scrutinee, tval] },
-        );
+        self.b
+            .func_mut()
+            .append_inst(block, InstData::Cmp { op: cmp, dst: cond, args: [scrutinee, tval] });
         let then_bb = self.b.create_block();
         let else_bb = self.b.create_block();
         let join = self.b.create_block();
@@ -186,7 +184,7 @@ impl<'a> Gen<'a> {
     /// A loop executing a small constant number of iterations, either with an
     /// explicit decrement-and-compare or with the `br_dec` terminator.
     fn gen_counted_loop(&mut self, budget: usize, depth: usize) {
-        let iterations = self.rng.gen_range(1..=5i64);
+        let iterations = self.rng.range_i64(1, 5);
         // Dedicated counter variable, never touched by the loop body.
         let counter = self.b.declare_value();
         self.b.iconst_to(counter, iterations);
@@ -227,7 +225,7 @@ pub fn generate_function(name: impl Into<String>, config: &GenConfig, seed: u64)
     let mut gen = Gen {
         b: FunctionBuilder::new(name, config.num_params),
         cfg: config,
-        rng: StdRng::seed_from_u64(seed),
+        rng: SmallRng::seed_from_u64(seed),
         vars: Vec::new(),
         callee_counter: 0,
     };
@@ -311,12 +309,13 @@ pub fn pin_call_conventions(func: &mut Function) -> usize {
         for &inst in func.block_insts(block).to_vec().iter() {
             if let InstData::Call { dst, args, .. } = func.inst(inst).clone() {
                 if let Some(dst) = dst {
-                    func.pin_value(dst, 0); // return-value register
+                    func.pin_value(dst, ossa_ir::instruction::callconv::RETURN_REG);
                     pinned += 1;
                 }
-                for (i, arg) in args.iter().take(2).enumerate() {
+                let in_regs = args.iter().take(ossa_ir::instruction::callconv::NUM_ARG_REGS);
+                for (i, arg) in in_regs.enumerate() {
                     if func.pinned_reg(*arg).is_none() {
-                        func.pin_value(*arg, 1 + i as u32); // argument registers
+                        func.pin_value(*arg, ossa_ir::instruction::callconv::arg_reg(i));
                         pinned += 1;
                     }
                 }

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod gen;
+pub mod rng;
 pub mod spec;
 
 pub use gen::{

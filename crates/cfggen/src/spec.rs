@@ -53,17 +53,83 @@ impl Workload {
 /// The eleven SPEC CINT2000 benchmarks the paper reports (eon, the C++
 /// benchmark, is excluded exactly as in the paper), with relative sizes.
 pub const SPEC_BENCHMARKS: [BenchmarkSpec; 11] = [
-    BenchmarkSpec { name: "164.gzip", num_functions: 10, stmts_per_function: 60, num_vars: 10, seed: 164_000 },
-    BenchmarkSpec { name: "175.vpr", num_functions: 14, stmts_per_function: 70, num_vars: 12, seed: 175_000 },
-    BenchmarkSpec { name: "176.gcc", num_functions: 40, stmts_per_function: 90, num_vars: 16, seed: 176_000 },
-    BenchmarkSpec { name: "181.mcf", num_functions: 6, stmts_per_function: 50, num_vars: 8, seed: 181_000 },
-    BenchmarkSpec { name: "186.crafty", num_functions: 16, stmts_per_function: 90, num_vars: 14, seed: 186_000 },
-    BenchmarkSpec { name: "197.parser", num_functions: 18, stmts_per_function: 60, num_vars: 10, seed: 197_000 },
-    BenchmarkSpec { name: "253.perlbmk", num_functions: 26, stmts_per_function: 80, num_vars: 14, seed: 253_000 },
-    BenchmarkSpec { name: "254.gap", num_functions: 24, stmts_per_function: 70, num_vars: 12, seed: 254_000 },
-    BenchmarkSpec { name: "255.vortex", num_functions: 22, stmts_per_function: 80, num_vars: 12, seed: 255_000 },
-    BenchmarkSpec { name: "256.bzip2", num_functions: 8, stmts_per_function: 60, num_vars: 10, seed: 256_000 },
-    BenchmarkSpec { name: "300.twolf", num_functions: 16, stmts_per_function: 80, num_vars: 12, seed: 300_000 },
+    BenchmarkSpec {
+        name: "164.gzip",
+        num_functions: 10,
+        stmts_per_function: 60,
+        num_vars: 10,
+        seed: 164_000,
+    },
+    BenchmarkSpec {
+        name: "175.vpr",
+        num_functions: 14,
+        stmts_per_function: 70,
+        num_vars: 12,
+        seed: 175_000,
+    },
+    BenchmarkSpec {
+        name: "176.gcc",
+        num_functions: 40,
+        stmts_per_function: 90,
+        num_vars: 16,
+        seed: 176_000,
+    },
+    BenchmarkSpec {
+        name: "181.mcf",
+        num_functions: 6,
+        stmts_per_function: 50,
+        num_vars: 8,
+        seed: 181_000,
+    },
+    BenchmarkSpec {
+        name: "186.crafty",
+        num_functions: 16,
+        stmts_per_function: 90,
+        num_vars: 14,
+        seed: 186_000,
+    },
+    BenchmarkSpec {
+        name: "197.parser",
+        num_functions: 18,
+        stmts_per_function: 60,
+        num_vars: 10,
+        seed: 197_000,
+    },
+    BenchmarkSpec {
+        name: "253.perlbmk",
+        num_functions: 26,
+        stmts_per_function: 80,
+        num_vars: 14,
+        seed: 253_000,
+    },
+    BenchmarkSpec {
+        name: "254.gap",
+        num_functions: 24,
+        stmts_per_function: 70,
+        num_vars: 12,
+        seed: 254_000,
+    },
+    BenchmarkSpec {
+        name: "255.vortex",
+        num_functions: 22,
+        stmts_per_function: 80,
+        num_vars: 12,
+        seed: 255_000,
+    },
+    BenchmarkSpec {
+        name: "256.bzip2",
+        num_functions: 8,
+        stmts_per_function: 60,
+        num_vars: 10,
+        seed: 256_000,
+    },
+    BenchmarkSpec {
+        name: "300.twolf",
+        num_functions: 16,
+        stmts_per_function: 80,
+        num_vars: 12,
+        seed: 300_000,
+    },
 ];
 
 /// Generates the whole simulated corpus. `scale` in `(0, 1]` shrinks every

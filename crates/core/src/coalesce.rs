@@ -15,18 +15,19 @@
 //!   checks over liveness sets (`InterCheck`), or intersection checks over
 //!   the fast liveness checker (`InterCheck + LiveCheck`);
 //! * **class interference checks**: quadratic or linear (Section IV-B).
+//!
+//! Analyses are obtained through a shared [`FunctionAnalyses`] cache:
+//! [`translate_out_of_ssa_cached`] reuses whatever the caller already
+//! computed and invalidates exactly what each phase clobbers, which is what
+//! makes the translation cheap enough for a JIT (the paper's Figure 6
+//! argument). [`translate_out_of_ssa`] is the convenience entry point that
+//! owns a fresh cache.
 
-use std::collections::HashMap;
+use ossa_ir::entity::{Block, Inst, SecondaryMap, Value};
+use ossa_ir::{DominatorTree, Function, InstData};
+use ossa_liveness::{footprint, BlockLiveness, FunctionAnalyses, IntersectionTest};
 
-use ossa_ir::entity::{Block, Inst, Value};
-use ossa_ir::{
-    BlockFrequencies, ControlFlowGraph, DominatorTree, Function, InstData, LoopAnalysis,
-};
-use ossa_liveness::{
-    footprint, BlockLiveness, FastLivenessQuery, IntersectionTest, LiveRangeInfo, LivenessSets,
-};
-
-use crate::congruence::CongruenceClasses;
+use crate::congruence::{CongruenceClasses, EqualAncOut};
 use crate::insertion::{insert_phi_copies, isolate_pinned_values, CopyInsertion, InsertedMove};
 use crate::interference::{copy_related_universe, InterferenceGraph};
 use crate::parallel_copy::sequentialize_function;
@@ -124,15 +125,30 @@ impl Default for OutOfSsaOptions {
 impl OutOfSsaOptions {
     /// Figure 5 variant `Intersect`.
     pub fn intersect() -> Self {
-        Self { strategy: Strategy::Intersect, sharing: false, class_check: ClassCheck::Quadratic, ..Self::default() }
+        Self {
+            strategy: Strategy::Intersect,
+            sharing: false,
+            class_check: ClassCheck::Quadratic,
+            ..Self::default()
+        }
     }
     /// Figure 5 variant `Sreedhar I`.
     pub fn sreedhar_i() -> Self {
-        Self { strategy: Strategy::SreedharI, sharing: false, class_check: ClassCheck::Quadratic, ..Self::default() }
+        Self {
+            strategy: Strategy::SreedharI,
+            sharing: false,
+            class_check: ClassCheck::Quadratic,
+            ..Self::default()
+        }
     }
     /// Figure 5 variant `Chaitin`.
     pub fn chaitin() -> Self {
-        Self { strategy: Strategy::Chaitin, sharing: false, class_check: ClassCheck::Quadratic, ..Self::default() }
+        Self {
+            strategy: Strategy::Chaitin,
+            sharing: false,
+            class_check: ClassCheck::Quadratic,
+            ..Self::default()
+        }
     }
     /// Figure 5 variant `Value`.
     pub fn value() -> Self {
@@ -153,11 +169,21 @@ impl OutOfSsaOptions {
     }
     /// Figure 5 variant `Value + IS`.
     pub fn value_is() -> Self {
-        Self { strategy: Strategy::Value, phi_processing: PhiProcessing::Virtualized, sharing: false, ..Self::default() }
+        Self {
+            strategy: Strategy::Value,
+            phi_processing: PhiProcessing::Virtualized,
+            sharing: false,
+            ..Self::default()
+        }
     }
     /// Figure 5 variant `Sharing` (`Value + IS` plus copy sharing).
     pub fn sharing() -> Self {
-        Self { strategy: Strategy::Value, phi_processing: PhiProcessing::Virtualized, sharing: true, ..Self::default() }
+        Self {
+            strategy: Strategy::Value,
+            phi_processing: PhiProcessing::Virtualized,
+            sharing: true,
+            ..Self::default()
+        }
     }
 
     /// Figure 6 engine `Us I` with the default (graph + liveness sets)
@@ -223,10 +249,22 @@ impl MemoryStats {
     pub fn total_bytes(&self) -> usize {
         self.interference_graph_bytes + self.liveness_ordered_bytes + self.livecheck_bytes
     }
+
+    /// Adds the counters of `other` to `self` (corpus aggregation).
+    pub fn absorb(&mut self, other: &MemoryStats) {
+        self.interference_graph_bytes += other.interference_graph_bytes;
+        self.interference_graph_evaluated += other.interference_graph_evaluated;
+        self.liveness_ordered_bytes += other.liveness_ordered_bytes;
+        self.liveness_bitset_bytes += other.liveness_bitset_bytes;
+        self.livecheck_bytes += other.livecheck_bytes;
+        self.livecheck_evaluated += other.livecheck_evaluated;
+        self.universe_size += other.universe_size;
+        self.num_blocks += other.num_blocks;
+    }
 }
 
 /// Statistics of one out-of-SSA translation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct OutOfSsaStats {
     /// φ-functions eliminated.
     pub phis_removed: usize,
@@ -247,7 +285,22 @@ pub struct OutOfSsaStats {
     pub memory: MemoryStats,
 }
 
-/// Runs the out-of-SSA translation on `func` in place.
+impl OutOfSsaStats {
+    /// Adds the counters of `other` to `self` (corpus aggregation).
+    pub fn absorb(&mut self, other: &OutOfSsaStats) {
+        self.phis_removed += other.phis_removed;
+        self.moves_inserted += other.moves_inserted;
+        self.moves_coalesced += other.moves_coalesced;
+        self.remaining_copies += other.remaining_copies;
+        self.remaining_weighted += other.remaining_weighted;
+        self.edges_split += other.edges_split;
+        self.interference_queries += other.interference_queries;
+        self.memory.absorb(&other.memory);
+    }
+}
+
+/// Runs the out-of-SSA translation on `func` in place, owning a fresh
+/// analysis cache.
 ///
 /// The input must be in SSA form; the output contains no φ-function and no
 /// parallel copy when [`OutOfSsaOptions::sequentialize`] is set.
@@ -256,13 +309,29 @@ pub struct OutOfSsaStats {
 /// Panics if `func` fails SSA verification in debug builds (the translation
 /// itself assumes a well-formed input).
 pub fn translate_out_of_ssa(func: &mut Function, options: &OutOfSsaOptions) -> OutOfSsaStats {
+    let mut analyses = FunctionAnalyses::new();
+    translate_out_of_ssa_cached(func, options, &mut analyses)
+}
+
+/// Runs the out-of-SSA translation on `func` in place, sharing the analyses
+/// in `analyses`.
+///
+/// Whatever the caller already computed (CFG, dominators, liveness) is
+/// reused where still valid; on return the cache holds analyses of the
+/// *translated* function with only the instruction-dependent parts dropped,
+/// so a downstream consumer (e.g. the register allocator) can keep using it.
+pub fn translate_out_of_ssa_cached(
+    func: &mut Function,
+    options: &OutOfSsaOptions,
+    analyses: &mut FunctionAnalyses,
+) -> OutOfSsaStats {
     debug_assert!(ossa_ir::verify_ssa(func).is_ok(), "input must be valid SSA");
 
-    let mut stats = OutOfSsaStats::default();
-    stats.phis_removed = func.count_phis();
+    let mut stats = OutOfSsaStats { phis_removed: func.count_phis(), ..OutOfSsaStats::default() };
 
     // Phase A: live-range splitting for renaming constraints, then Method I
-    // copy insertion.
+    // copy insertion. Copy insertion may split edges (the br_dec corner
+    // case), so the CFG-level caches are invalidated afterwards.
     let mut insertion = CopyInsertion::default();
     isolate_pinned_values(func, &mut insertion);
     let phi_insertion = insert_phi_copies(func);
@@ -272,66 +341,88 @@ pub fn translate_out_of_ssa(func: &mut Function, options: &OutOfSsaOptions) -> O
     insertion.values_created += phi_insertion.values_created;
     stats.moves_inserted = insertion.moves.len();
     stats.edges_split = insertion.edges_split;
+    if insertion.edges_split > 0 {
+        analyses.invalidate_cfg();
+    } else {
+        analyses.invalidate_instructions();
+    }
 
     // Phase B: analyses + coalescing decisions (no mutation of `func`).
-    let cfg = ControlFlowGraph::compute(func);
-    let domtree = DominatorTree::compute(func, &cfg);
-    let loops = LoopAnalysis::compute(func, &cfg, &domtree);
-    let freqs = BlockFrequencies::from_loop_depths(func, &loops);
-    let info = LiveRangeInfo::compute(func);
-    let values = ValueTable::compute(func, &domtree);
+    let decisions = {
+        let func = &*func;
+        let domtree = analyses.domtree(func);
+        let freqs = analyses.frequencies(func);
+        let info = analyses.live_range_info(func);
+        let values = ValueTable::compute(func, domtree);
+        let universe = copy_related_universe(func);
 
-    let decisions = match options.interference {
-        InterferenceMode::Graph | InterferenceMode::InterCheck => {
-            let liveness = LivenessSets::compute(func, &cfg);
-            let intersect = IntersectionTest::new(func, &domtree, &liveness, &info);
-            let universe = copy_related_universe(func);
-            let graph = (options.interference == InterferenceMode::Graph).then(|| {
-                InterferenceGraph::build(func, &universe, &intersect, None)
-            });
-            let mut mem = MemoryStats {
-                liveness_ordered_bytes: footprint::liveness_ordered_sets_bytes(
-                    liveness.total_entries(),
-                    4,
-                ),
-                liveness_bitset_bytes: footprint::liveness_bit_sets_bytes(
-                    universe.len(),
-                    cfg.num_reachable(),
-                ),
-                universe_size: universe.len(),
-                num_blocks: cfg.num_reachable(),
-                ..MemoryStats::default()
-            };
-            if let Some(graph) = &graph {
-                mem.interference_graph_bytes = graph.footprint_bytes();
-                mem.interference_graph_evaluated = graph.evaluated_bytes();
+        match options.interference {
+            InterferenceMode::Graph | InterferenceMode::InterCheck => {
+                let liveness = analyses.liveness_sets(func);
+                let intersect = IntersectionTest::new(func, domtree, liveness, info);
+                let graph = (options.interference == InterferenceMode::Graph)
+                    .then(|| InterferenceGraph::build(func, &universe, &intersect, None));
+                let mut mem = MemoryStats {
+                    liveness_ordered_bytes: footprint::liveness_ordered_sets_bytes(
+                        liveness.total_entries(),
+                        4,
+                    ),
+                    liveness_bitset_bytes: footprint::liveness_bit_sets_bytes(
+                        universe.len(),
+                        analyses.cfg(func).num_reachable(),
+                    ),
+                    universe_size: universe.len(),
+                    num_blocks: analyses.cfg(func).num_reachable(),
+                    ..MemoryStats::default()
+                };
+                if let Some(graph) = &graph {
+                    mem.interference_graph_bytes = graph.footprint_bytes();
+                    mem.interference_graph_evaluated = graph.evaluated_bytes();
+                }
+                stats.memory = mem;
+                decide(
+                    func,
+                    options,
+                    &insertion,
+                    domtree,
+                    freqs,
+                    &intersect,
+                    values,
+                    graph.as_ref(),
+                    &universe,
+                )
             }
-            stats.memory = mem;
-            decide(func, options, &insertion, &domtree, &freqs, &intersect, &values, graph.as_ref())
-        }
-        InterferenceMode::InterCheckLiveCheck => {
-            let fast = FastLivenessQuery::new(func, &cfg, &domtree);
-            let universe = copy_related_universe(func);
-            stats.memory = MemoryStats {
-                livecheck_bytes: fast.checker().footprint_bytes(),
-                livecheck_evaluated: footprint::liveness_check_bytes(cfg.num_reachable()),
-                universe_size: universe.len(),
-                num_blocks: cfg.num_reachable(),
-                ..MemoryStats::default()
-            };
-            let intersect = IntersectionTest::new(func, &domtree, &fast, &info);
-            decide(func, options, &insertion, &domtree, &freqs, &intersect, &values, None)
+            InterferenceMode::InterCheckLiveCheck => {
+                let cfg = analyses.cfg(func);
+                let checker = analyses.fast_liveness(func);
+                let fast = checker.query(cfg, domtree, info);
+                stats.memory = MemoryStats {
+                    livecheck_bytes: checker.footprint_bytes(),
+                    livecheck_evaluated: footprint::liveness_check_bytes(cfg.num_reachable()),
+                    universe_size: universe.len(),
+                    num_blocks: cfg.num_reachable(),
+                    ..MemoryStats::default()
+                };
+                let intersect = IntersectionTest::new(func, domtree, &fast, info);
+                decide(
+                    func, options, &insertion, domtree, freqs, &intersect, values, None, &universe,
+                )
+            }
         }
     };
     stats.interference_queries = decisions.queries;
     stats.moves_coalesced = decisions.moves_coalesced;
 
-    // Phase C: rewrite with the chosen classes, drop φs, sequentialize.
+    // Phase C: rewrite with the chosen classes, drop φs, sequentialize. These
+    // are instruction-level mutations: the CFG caches (and the fast liveness
+    // precomputation) stay valid, so the frequencies used below and by later
+    // consumers are not recomputed.
     rewrite(func, &decisions);
     if options.sequentialize {
         sequentialize_function(func);
     }
-    let (remaining, weighted) = count_copies(func, &freqs);
+    analyses.invalidate_instructions();
+    let (remaining, weighted) = count_copies(func, analyses);
     stats.remaining_copies = remaining;
     stats.remaining_weighted = weighted;
     debug_assert!(ossa_ir::verify_cfg(func).is_ok(), "output must stay structurally valid");
@@ -342,9 +433,17 @@ pub fn translate_out_of_ssa(func: &mut Function, options: &OutOfSsaOptions) -> O
 /// Outcome of the decision phase: the final congruence classes and the moves
 /// deleted by the sharing rule.
 struct Decisions {
-    class_rep: HashMap<Value, Value>,
-    labels: HashMap<Value, u32>,
+    /// Class representative of every value (`None` = itself).
+    class_rep: SecondaryMap<Value, Option<Value>>,
+    /// Register labels to propagate, per class representative.
+    labels: Vec<(Value, u32)>,
     removed_moves: Vec<(Inst, Value)>,
+    /// Value table of the decision phase, used by the rewrite to prove that
+    /// deduplicated parallel-copy destinations carry equal values.
+    values: ValueTable,
+    /// Values with at least one use before the rewrite, used to pick which
+    /// of two deduplicated destinations must keep its copy.
+    used: ossa_ir::EntitySet<Value>,
     queries: u64,
     moves_coalesced: usize,
 }
@@ -355,26 +454,31 @@ fn decide<L: BlockLiveness>(
     options: &OutOfSsaOptions,
     insertion: &CopyInsertion,
     domtree: &DominatorTree,
-    freqs: &BlockFrequencies,
+    freqs: &ossa_ir::BlockFrequencies,
     intersect: &IntersectionTest<'_, L>,
-    values: &ValueTable,
+    values_owned: ValueTable,
     graph: Option<&InterferenceGraph>,
+    universe: &[Value],
 ) -> Decisions {
-    let mut classes = CongruenceClasses::new(func, domtree);
+    let values = &values_owned;
+    let mut classes = CongruenceClasses::new(func, domtree, intersect.info());
     let mut moves_coalesced = 0usize;
+    let mut scratch = EqualAncOut::new();
+    let no_anc = EqualAncOut::new();
 
     // Pre-coalesce all values pinned to the same register into one labeled
     // class (Section III-D).
-    let mut by_register: HashMap<u32, Vec<Value>> = HashMap::new();
+    let mut by_register: Vec<(u32, Vec<Value>)> = Vec::new();
     for value in func.values() {
         if let Some(reg) = func.pinned_reg(value) {
-            by_register.entry(reg).or_default().push(value);
+            match by_register.iter_mut().find(|(r, _)| *r == reg) {
+                Some((_, members)) => members.push(value),
+                None => by_register.push((reg, vec![value])),
+            }
         }
     }
     for (_, members) in by_register {
-        for pair in members.windows(2) {
-            classes.merge(pair[0], pair[1], &HashMap::new());
-        }
+        classes.merge_group(&members);
     }
 
     let weight = |block: Block| if options.weighted { freqs.frequency(block) } else { 1.0 };
@@ -386,9 +490,7 @@ fn decide<L: BlockLiveness>(
             // Pre-coalesce the whole primed web (Lemma 1), then treat the φ
             // moves like any other affinity.
             for web in &insertion.webs {
-                for pair in web.members.windows(2) {
-                    classes.merge(pair[0], pair[1], &HashMap::new());
-                }
+                classes.merge_group(&web.members);
                 phi_move_set.extend(web.moves.iter().copied());
             }
         }
@@ -406,28 +508,37 @@ fn decide<L: BlockLiveness>(
                 let result_move = web.moves[0];
                 let mut arg_moves: Vec<InsertedMove> = web.moves[1..].to_vec();
                 arg_moves.sort_by(|a, b| {
-                    weight(b.block).partial_cmp(&weight(a.block)).unwrap_or(std::cmp::Ordering::Equal)
+                    weight(b.block)
+                        .partial_cmp(&weight(a.block))
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 let ordered: Vec<InsertedMove> =
                     arg_moves.iter().copied().chain(std::iter::once(result_move)).collect();
                 for m in &ordered {
                     // The primed value of this move (its dst for argument
                     // copies, its src for the result copy).
-                    let (primed, original) = if web.members.contains(&m.dst) {
-                        (m.dst, m.src)
-                    } else {
-                        (m.src, m.dst)
-                    };
+                    let (primed, original) =
+                        if web.members.contains(&m.dst) { (m.dst, m.src) } else { (m.src, m.dst) };
                     if !classes.same_class(primed, node) {
-                        classes.merge(node, primed, &HashMap::new());
+                        classes.merge(node, primed, &no_anc);
                     }
                     if classes.same_class(original, node) {
                         moves_coalesced += 1;
                         continue;
                     }
-                    let skip = (options.strategy == Strategy::SreedharI).then_some((primed, original));
-                    let (interferes, equal_anc_out) = classes_interfere(
-                        options, &mut classes, node, original, intersect, values, graph, domtree, skip,
+                    let skip =
+                        (options.strategy == Strategy::SreedharI).then_some((primed, original));
+                    let interferes = classes_interfere(
+                        options,
+                        &mut classes,
+                        node,
+                        original,
+                        intersect,
+                        values,
+                        graph,
+                        domtree,
+                        skip,
+                        &mut scratch,
                     );
                     let virtual_conflict = !interferes
                         && virtual_copy_conflict(
@@ -441,7 +552,7 @@ fn decide<L: BlockLiveness>(
                             values,
                         );
                     if !interferes && !virtual_conflict {
-                        classes.merge(node, original, &equal_anc_out);
+                        classes.merge(node, original, &scratch);
                         moves_coalesced += 1;
                     }
                 }
@@ -450,11 +561,18 @@ fn decide<L: BlockLiveness>(
     }
 
     // Remaining affinities: φ moves (eager mode) plus pinned-isolation moves
-    // and pre-existing copies, ordered by decreasing weight.
+    // and pre-existing copies, ordered by decreasing weight. φ moves are
+    // recognized by destination (every inserted move defines a distinct SSA
+    // value), replacing a webs×moves scan that was quadratic in φ count.
+    let mut phi_move_dsts: ossa_ir::EntitySet<Value> = ossa_ir::EntitySet::new();
+    for web in &insertion.webs {
+        for m in &web.moves {
+            phi_move_dsts.insert(m.dst);
+        }
+    }
     let mut affinities: Vec<InsertedMove> = phi_move_set;
     for m in &insertion.moves {
-        let is_phi_move = insertion.webs.iter().any(|w| w.moves.contains(m));
-        if !is_phi_move {
+        if !phi_move_dsts.contains(m.dst) {
             affinities.push(*m);
         }
     }
@@ -475,11 +593,20 @@ fn decide<L: BlockLiveness>(
             continue;
         }
         let skip = (options.strategy == Strategy::SreedharI).then_some((m.dst, m.src));
-        let (interferes, equal_anc_out) = classes_interfere(
-            options, &mut classes, m.dst, m.src, intersect, values, graph, domtree, skip,
+        let interferes = classes_interfere(
+            options,
+            &mut classes,
+            m.dst,
+            m.src,
+            intersect,
+            values,
+            graph,
+            domtree,
+            skip,
+            &mut scratch,
         );
         if !interferes {
-            classes.merge(m.dst, m.src, &equal_anc_out);
+            classes.merge(m.dst, m.src, &scratch);
             moves_coalesced += 1;
         }
     }
@@ -488,10 +615,10 @@ fn decide<L: BlockLiveness>(
     let mut removed_moves: Vec<(Inst, Value)> = Vec::new();
     if options.sharing {
         // Group the copy-related universe by value representative.
-        let universe = copy_related_universe(func);
-        let mut by_value: HashMap<Value, Vec<Value>> = HashMap::new();
-        for &v in &universe {
-            by_value.entry(values.value_of(v)).or_default().push(v);
+        let mut by_value: SecondaryMap<Value, Vec<Value>> = SecondaryMap::new();
+        by_value.resize(func.num_values());
+        for &v in universe {
+            by_value[values.value_of(v)].push(v);
         }
         for block in func.blocks() {
             for (pos, &inst) in func.block_insts(block).iter().enumerate() {
@@ -501,9 +628,16 @@ fn decide<L: BlockLiveness>(
                     if classes.same_class(a, b) {
                         continue; // already coalesced, move will disappear
                     }
-                    let Some(candidates) = by_value.get(&values.value_of(a)) else { continue };
+                    let candidates = by_value.get(values.value_of(a));
                     for &c in candidates {
                         if c == a || c == b || classes.same_class(c, a) {
+                            continue;
+                        }
+                        // A candidate defined by this very parallel copy
+                        // cannot justify dropping one of its moves: two
+                        // moves of the same copy would each justify removing
+                        // the other, deleting both.
+                        if intersect.info().def(c).is_some_and(|d| d.inst == inst) {
                             continue;
                         }
                         if !intersect.is_live_after(block, pos, c) {
@@ -517,11 +651,20 @@ fn decide<L: BlockLiveness>(
                         }
                         // Rule 2: coalesce the classes of b and c (value rule)
                         // and drop the copy.
-                        let (interferes, equal_anc_out) = classes_interfere(
-                            options, &mut classes, b, c, intersect, values, graph, domtree, None,
+                        let interferes = classes_interfere(
+                            options,
+                            &mut classes,
+                            b,
+                            c,
+                            intersect,
+                            values,
+                            graph,
+                            domtree,
+                            None,
+                            &mut scratch,
                         );
                         if !interferes {
-                            classes.merge(b, c, &equal_anc_out);
+                            classes.merge(b, c, &scratch);
                             removed_moves.push((inst, b));
                             moves_coalesced += 1;
                             break;
@@ -532,20 +675,31 @@ fn decide<L: BlockLiveness>(
         }
     }
 
-    // Snapshot the classes into plain maps for the rewrite phase.
-    let mut class_rep = HashMap::new();
-    let mut labels = HashMap::new();
+    // Snapshot the classes into dense maps for the rewrite phase.
+    let mut class_rep: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
+    class_rep.resize(func.num_values());
+    let mut labels: Vec<(Value, u32)> = Vec::new();
     for value in func.values() {
         let root = classes.find(value);
-        class_rep.insert(value, root);
-        if let Some(reg) = classes.label(value) {
-            labels.insert(root, reg);
+        class_rep[value] = Some(root);
+        if value == root {
+            if let Some(reg) = classes.label(value) {
+                labels.push((root, reg));
+            }
+        }
+    }
+    let mut used: ossa_ir::EntitySet<Value> = ossa_ir::EntitySet::new();
+    for value in func.values() {
+        if !intersect.info().uses().uses_of(value).is_empty() {
+            used.insert(value);
         }
     }
     Decisions {
         class_rep,
         labels,
         removed_moves,
+        values: values_owned,
+        used,
         queries: classes.queries(),
         moves_coalesced,
     }
@@ -554,13 +708,14 @@ fn decide<L: BlockLiveness>(
 /// Locations (block, position) of every parallel-copy destination, used by
 /// the virtualized processing to reason about copies that are not yet
 /// committed.
-fn parallel_copy_locations(func: &Function) -> HashMap<Value, (Block, usize)> {
-    let mut locations = HashMap::new();
+fn parallel_copy_locations(func: &Function) -> SecondaryMap<Value, Option<(Block, usize)>> {
+    let mut locations: SecondaryMap<Value, Option<(Block, usize)>> = SecondaryMap::new();
+    locations.resize(func.num_values());
     for block in func.blocks() {
         for (pos, &inst) in func.block_insts(block).iter().enumerate() {
             if let InstData::ParallelCopy { copies } = func.inst(inst) {
                 for copy in copies {
-                    locations.insert(copy.dst, (block, pos));
+                    locations[copy.dst] = Some((block, pos));
                 }
             }
         }
@@ -580,17 +735,17 @@ fn virtual_copy_conflict<L: BlockLiveness>(
     candidate: Value,
     current_move: &InsertedMove,
     arg_moves: &[InsertedMove],
-    move_location: &HashMap<Value, (Block, usize)>,
+    move_location: &SecondaryMap<Value, Option<(Block, usize)>>,
     intersect: &IntersectionTest<'_, L>,
     values: &ValueTable,
 ) -> bool {
-    let members = classes.members(candidate).to_vec();
+    let members = classes.members(candidate);
     for arg in arg_moves {
         if arg == current_move {
             continue;
         }
-        let Some(&(block, pos)) = move_location.get(&arg.dst) else { continue };
-        for &x in &members {
+        let Some((block, pos)) = *move_location.get(arg.dst) else { continue };
+        for &x in members {
             if x == arg.src {
                 continue;
             }
@@ -606,6 +761,9 @@ fn virtual_copy_conflict<L: BlockLiveness>(
 }
 
 /// Decides whether the classes of `a` and `b` interfere under `options`.
+/// When the linear check runs, `scratch` is left holding the
+/// `equal_anc_out` chains the caller must pass to a subsequent merge; other
+/// paths leave it cleared.
 #[allow(clippy::too_many_arguments)]
 fn classes_interfere<L: BlockLiveness>(
     options: &OutOfSsaOptions,
@@ -617,9 +775,11 @@ fn classes_interfere<L: BlockLiveness>(
     graph: Option<&InterferenceGraph>,
     domtree: &DominatorTree,
     skip_pair: Option<(Value, Value)>,
-) -> (bool, HashMap<Value, Option<Value>>) {
+    scratch: &mut EqualAncOut,
+) -> bool {
+    scratch.clear();
     if classes.labels_conflict(a, b) {
-        return (true, HashMap::new());
+        return true;
     }
     let use_values = options.strategy == Strategy::Value;
 
@@ -631,7 +791,14 @@ fn classes_interfere<L: BlockLiveness>(
         && graph.is_none()
         && matches!(options.strategy, Strategy::Intersect | Strategy::Value)
     {
-        return classes.interfere_linear(a, b, intersect, use_values.then_some(values), domtree);
+        return classes.interfere_linear(
+            a,
+            b,
+            intersect,
+            use_values.then_some(values),
+            domtree,
+            scratch,
+        );
     }
 
     let pair_intersects = |x: Value, y: Value| -> bool {
@@ -665,14 +832,14 @@ fn classes_interfere<L: BlockLiveness>(
         }
     }
     classes.add_queries(queries);
-    (result, HashMap::new())
+    result
 }
 
 /// Rewrites `func` according to the coalescing decisions: every value is
 /// renamed to its class representative, φ-functions are removed, coalesced
 /// moves disappear and shared moves are dropped.
 fn rewrite(func: &mut Function, decisions: &Decisions) {
-    let rep = |v: Value| decisions.class_rep.get(&v).copied().unwrap_or(v);
+    let rep = |v: Value| (*decisions.class_rep.get(v)).unwrap_or(v);
 
     for block in func.blocks().collect::<Vec<_>>() {
         let insts = func.block_insts(block).to_vec();
@@ -688,12 +855,50 @@ fn rewrite(func: &mut Function, decisions: &Decisions) {
                     .filter(|&&(i, _)| i == inst)
                     .map(|&(_, dst)| dst)
                     .collect();
-                let kept: Vec<ossa_ir::CopyPair> = copies
-                    .iter()
-                    .filter(|c| !removed.contains(&c.dst))
-                    .map(|c| ossa_ir::CopyPair { dst: rep(c.dst), src: rep(c.src) })
-                    .filter(|c| c.dst != c.src)
-                    .collect();
+                // Coalescing may map two destinations of one parallel copy
+                // to the same representative: either both carry the same
+                // value (value-based merge — either copy may be kept), or at
+                // least one destination is *dead* (an empty live range never
+                // interferes, so merges can pull it in) — then the copy of
+                // the used destination must be the one kept. Two *used*
+                // destinations with different values can only come from
+                // pinning two simultaneously-live values to one register:
+                // unsatisfiable, and refusing loudly beats the seed's silent
+                // miscompilation.
+                struct KeptCopy {
+                    pair: ossa_ir::CopyPair,
+                    orig_src: Value,
+                    used: bool,
+                }
+                let mut kept: Vec<KeptCopy> = Vec::new();
+                for c in copies.iter().filter(|c| !removed.contains(&c.dst)) {
+                    let pair = ossa_ir::CopyPair { dst: rep(c.dst), src: rep(c.src) };
+                    if pair.dst == pair.src {
+                        continue;
+                    }
+                    let this_used = decisions.used.contains(c.dst);
+                    match kept.iter_mut().find(|k| k.pair.dst == pair.dst) {
+                        None => kept.push(KeptCopy { pair, orig_src: c.src, used: this_used }),
+                        Some(first) => {
+                            if decisions.values.same_value(first.orig_src, c.src) {
+                                first.used |= this_used;
+                            } else if first.used && this_used {
+                                panic!(
+                                    "parallel copy destinations {} coalesced with different \
+                                     values ({} vs {}): unsatisfiable register constraints \
+                                     in the input",
+                                    pair.dst, first.orig_src, c.src
+                                );
+                            } else if this_used {
+                                // The earlier duplicate was dead; this copy
+                                // provides the value the uses actually read.
+                                *first = KeptCopy { pair, orig_src: c.src, used: true };
+                            }
+                            // else: this duplicate is dead, drop it.
+                        }
+                    }
+                }
+                let kept: Vec<ossa_ir::CopyPair> = kept.into_iter().map(|k| k.pair).collect();
                 if kept.is_empty() {
                     func.remove_inst(block, inst);
                 } else {
@@ -713,13 +918,15 @@ fn rewrite(func: &mut Function, decisions: &Decisions) {
     }
 
     // Propagate class labels (register pins) to the representatives.
-    for (&root, &reg) in &decisions.labels {
+    for &(root, reg) in &decisions.labels {
         func.pin_value(root, reg);
     }
 }
 
-/// Counts the remaining copies and their frequency-weighted cost.
-fn count_copies(func: &Function, freqs: &BlockFrequencies) -> (usize, f64) {
+/// Counts the remaining copies and their frequency-weighted cost, using the
+/// cached block frequencies.
+fn count_copies(func: &Function, analyses: &FunctionAnalyses) -> (usize, f64) {
+    let freqs = analyses.frequencies(func);
     let mut count = 0usize;
     let mut weighted = 0.0f64;
     for block in func.blocks() {
@@ -739,9 +946,9 @@ fn count_copies(func: &Function, freqs: &BlockFrequencies) -> (usize, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ossa_interp::{same_behaviour, Interpreter};
     use ossa_ir::builder::FunctionBuilder;
     use ossa_ir::BinaryOp;
-    use ossa_interp::{same_behaviour, Interpreter};
 
     /// The lost-copy problem (paper Figure 4a), with an SSA loop counter so
     /// that executions terminate.
@@ -761,10 +968,8 @@ mod tests {
         let x2 = b.phi(vec![(entry, x1), (header, x3)]);
         let i = b.phi(vec![(entry, p), (header, i_next)]);
         let one = b.iconst(1);
-        b.func_mut().append_inst(
-            header,
-            InstData::Binary { op: BinaryOp::Add, dst: x3, args: [x2, one] },
-        );
+        b.func_mut()
+            .append_inst(header, InstData::Binary { op: BinaryOp::Add, dst: x3, args: [x2, one] });
         b.func_mut().append_inst(
             header,
             InstData::Binary { op: BinaryOp::Sub, dst: i_next, args: [i, one] },
@@ -948,6 +1153,88 @@ mod tests {
             let a = Interpreter::new().run(&original, &[input]).unwrap();
             let b = Interpreter::new().run(&f, &[input]).unwrap();
             assert!(same_behaviour(&a, &b));
+        }
+    }
+
+    #[test]
+    fn coalesced_parallel_copy_destinations_are_deduplicated() {
+        // Two destinations of one parallel copy that carry the same value
+        // can be coalesced into one class (here forced by pinning both to
+        // the same register); the rewrite must emit that destination once,
+        // not produce an ill-formed duplicate-destination parallel copy.
+        // This is the situation the seed only caught with a debug_assert —
+        // release builds silently mis-sequentialized it.
+        let mut b = FunctionBuilder::new("dup-dst", 0);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let a = b.iconst(7);
+        let x = b.declare_value();
+        let y = b.declare_value();
+        b.parallel_copy(vec![
+            ossa_ir::CopyPair { dst: x, src: a },
+            ossa_ir::CopyPair { dst: y, src: a },
+        ]);
+        let s = b.binary(BinaryOp::Add, x, y);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        // x and y share a register pin, so they are pre-coalesced; a is
+        // pinned elsewhere, which keeps it out of their class.
+        f.pin_value(x, 1);
+        f.pin_value(y, 1);
+        f.pin_value(a, 0);
+        let original = f.clone();
+        translate_out_of_ssa(&mut f, &OutOfSsaOptions::default());
+        let want = Interpreter::new().run(&original, &[]).unwrap();
+        let got = Interpreter::new().run(&f, &[]).unwrap();
+        assert!(same_behaviour(&want, &got), "\n{}", f.display());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable register constraints")]
+    fn conflicting_pinned_parallel_copy_destinations_are_rejected() {
+        // Two destinations of one parallel copy with *different*-valued
+        // sources, force-merged by pinning both to the same register: no
+        // correct allocation exists, and the rewrite must refuse to silently
+        // drop one of the copies (the seed miscompiled this in release).
+        let mut b = FunctionBuilder::new("dup-conflict", 0);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let a = b.iconst(7);
+        let c = b.iconst(9);
+        let x = b.declare_value();
+        let y = b.declare_value();
+        b.parallel_copy(vec![
+            ossa_ir::CopyPair { dst: x, src: a },
+            ossa_ir::CopyPair { dst: y, src: c },
+        ]);
+        let s = b.binary(BinaryOp::Add, x, y);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        f.pin_value(x, 1);
+        f.pin_value(y, 1);
+        translate_out_of_ssa(&mut f, &OutOfSsaOptions::default());
+    }
+
+    #[test]
+    fn cached_translation_matches_fresh_translation() {
+        // Translating through a shared (pre-warmed) analysis cache must give
+        // exactly the same code and statistics as a fresh run.
+        let original = lost_copy();
+        for (name, options) in all_variants() {
+            let mut fresh = original.clone();
+            let fresh_stats = translate_out_of_ssa(&mut fresh, &options);
+
+            let mut cached = original.clone();
+            let mut analyses = FunctionAnalyses::new();
+            // Pre-warm the cache as an upstream phase would.
+            let _ = analyses.liveness_sets(&cached);
+            let _ = analyses.fast_liveness(&cached);
+            let cached_stats = translate_out_of_ssa_cached(&mut cached, &options, &mut analyses);
+
+            assert_eq!(fresh, cached, "{name}: translated code differs");
+            assert_eq!(fresh_stats, cached_stats, "{name}: stats differ");
         }
     }
 }

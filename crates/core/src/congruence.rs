@@ -15,12 +15,13 @@
 //!
 //! Classes may carry a register *label* (pinned variables): two classes with
 //! different labels always interfere (Section III-D).
-
-use std::collections::HashMap;
+//!
+//! All per-value state is held in dense [`SecondaryMap`]s — the class
+//! operations sit on the hot path of every coalescing decision.
 
 use ossa_ir::entity::{SecondaryMap, Value};
 use ossa_ir::{DominatorTree, Function};
-use ossa_liveness::{BlockLiveness, IntersectionTest};
+use ossa_liveness::{BlockLiveness, IntersectionTest, LiveRangeInfo};
 
 use crate::value::ValueTable;
 
@@ -37,14 +38,58 @@ pub struct DefOrderKey {
     pub value_index: u32,
 }
 
+/// Scratch map recording, for each value walked by the linear interference
+/// test, its nearest intersecting equal ancestor in the *other* class
+/// (`equal_anc_out` in the paper's Algorithm 2).
+///
+/// The map is dense and reused across queries: [`EqualAncOut::clear`] resets
+/// only the entries touched by the previous query, so the per-query cost is
+/// proportional to the class sizes, not to the function.
+#[derive(Clone, Debug, Default)]
+pub struct EqualAncOut {
+    map: SecondaryMap<Value, Option<Value>>,
+    touched: Vec<Value>,
+}
+
+impl EqualAncOut {
+    /// Creates an empty scratch map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the entries written since the last clear.
+    pub fn clear(&mut self) {
+        for value in self.touched.drain(..) {
+            self.map[value] = None;
+        }
+    }
+
+    /// Returns `true` if no entry has been written since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Records the equal intersecting ancestor of `value`.
+    fn set(&mut self, value: Value, anc: Option<Value>) {
+        self.map[value] = anc;
+        self.touched.push(value);
+    }
+
+    /// The recorded ancestor of `value`, if any.
+    pub fn get(&self, value: Value) -> Option<Value> {
+        *self.map.get(value)
+    }
+}
+
 /// The congruence classes of a function's values.
 #[derive(Clone, Debug)]
 pub struct CongruenceClasses {
     parent: SecondaryMap<Value, Option<Value>>,
-    /// Members of each class root, sorted by [`DefOrderKey`].
-    members: HashMap<Value, Vec<Value>>,
+    /// Members of each class, stored at the class root, sorted by
+    /// [`DefOrderKey`]. Non-root slots are empty.
+    members: SecondaryMap<Value, Vec<Value>>,
     /// Register label of each class root, if any member is pinned.
-    labels: HashMap<Value, u32>,
+    labels: SecondaryMap<Value, Option<u32>>,
     /// Definition-order key of every value.
     keys: SecondaryMap<Value, Option<DefOrderKey>>,
     /// For the value-based linear test: nearest dominating member of the
@@ -56,13 +101,14 @@ pub struct CongruenceClasses {
 
 impl CongruenceClasses {
     /// Creates singleton classes for every value of `func`, ordering members
-    /// by definition point.
-    pub fn new(func: &Function, domtree: &DominatorTree) -> Self {
-        let defs = func.def_sites();
+    /// by definition point. Definition sites are read from the shared `info`
+    /// index instead of being recomputed.
+    pub fn new(func: &Function, domtree: &DominatorTree, info: &LiveRangeInfo) -> Self {
+        let num_values = func.num_values();
         let mut keys: SecondaryMap<Value, Option<DefOrderKey>> = SecondaryMap::new();
-        keys.resize(func.num_values());
+        keys.resize(num_values);
         for value in func.values() {
-            if let Some(site) = defs[value] {
+            if let Some(site) = info.def(value) {
                 keys[value] = Some(DefOrderKey {
                     block_preorder: domtree.preorder_number(site.block),
                     pos: site.pos as u32,
@@ -71,16 +117,16 @@ impl CongruenceClasses {
             }
         }
         let mut parent: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
-        parent.resize(func.num_values());
+        parent.resize(num_values);
         let mut equal_anc_in: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
-        equal_anc_in.resize(func.num_values());
-        let mut labels = HashMap::new();
-        let mut members = HashMap::new();
+        equal_anc_in.resize(num_values);
+        let mut labels: SecondaryMap<Value, Option<u32>> = SecondaryMap::new();
+        labels.resize(num_values);
+        let mut members: SecondaryMap<Value, Vec<Value>> = SecondaryMap::new();
+        members.resize(num_values);
         for value in func.values() {
-            members.insert(value, vec![value]);
-            if let Some(reg) = func.pinned_reg(value) {
-                labels.insert(value, reg);
-            }
+            members[value] = vec![value];
+            labels[value] = func.pinned_reg(value);
         }
         Self { parent, members, labels, keys, equal_anc_in, queries: 0 }
     }
@@ -91,15 +137,13 @@ impl CongruenceClasses {
         self.keys[value] = Some(key);
         self.parent[value] = None;
         self.equal_anc_in[value] = None;
-        self.members.insert(value, vec![value]);
-        if let Some(reg) = label {
-            self.labels.insert(value, reg);
-        }
+        self.members[value] = vec![value];
+        self.labels[value] = label;
     }
 
     /// The class representative of `value`.
     pub fn find(&self, mut value: Value) -> Value {
-        while let Some(parent) = self.parent[value] {
+        while let Some(parent) = *self.parent.get(value) {
             value = parent;
         }
         value
@@ -112,13 +156,12 @@ impl CongruenceClasses {
 
     /// Members of the class of `value`, sorted by definition order.
     pub fn members(&self, value: Value) -> &[Value] {
-        let root = self.find(value);
-        self.members.get(&root).map(Vec::as_slice).unwrap_or(&[])
+        self.members.get(self.find(value))
     }
 
     /// The register label of the class of `value`, if any.
     pub fn label(&self, value: Value) -> Option<u32> {
-        self.labels.get(&self.find(value)).copied()
+        *self.labels.get(self.find(value))
     }
 
     /// The definition-order key of `value`.
@@ -154,31 +197,69 @@ impl CongruenceClasses {
     /// Merges the classes of `a` and `b` without checking interference.
     /// The member lists are merged in definition order and the
     /// equal-intersecting-ancestor chains are combined as in the paper.
-    pub fn merge(&mut self, a: Value, b: Value, equal_anc_out: &HashMap<Value, Option<Value>>) {
+    pub fn merge(&mut self, a: Value, b: Value, equal_anc_out: &EqualAncOut) {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra == rb {
             return;
         }
-        let list_a = self.members.remove(&ra).unwrap_or_default();
-        let list_b = self.members.remove(&rb).unwrap_or_default();
+        let list_a = std::mem::take(&mut self.members[ra]);
+        let list_b = std::mem::take(&mut self.members[rb]);
         let merged = self.merge_sorted(list_a, list_b);
 
         // equal_anc_in for the combined class: the later (in ≺ order) of the
-        // in-class and out-of-class equal intersecting ancestors.
-        for &member in &merged {
-            let current = self.equal_anc_in[member];
-            let out = equal_anc_out.get(&member).copied().flatten();
-            self.equal_anc_in[member] = self.max_by_key(current, out);
+        // in-class and out-of-class equal intersecting ancestors. Skipped for
+        // unconditional merges (empty scratch): the chains are unchanged.
+        if !equal_anc_out.is_empty() {
+            for &member in &merged {
+                let current = self.equal_anc_in[member];
+                let out = equal_anc_out.get(member);
+                self.equal_anc_in[member] = self.max_by_key(current, out);
+            }
         }
 
         // Union-find link: keep `ra` as the root.
         self.parent[rb] = Some(ra);
         // Label propagation.
-        if let Some(&reg) = self.labels.get(&rb) {
-            self.labels.insert(ra, reg);
+        if let Some(reg) = self.labels[rb] {
+            self.labels[ra] = Some(reg);
         }
-        self.members.insert(ra, merged);
+        self.members[ra] = merged;
+    }
+
+    /// Merges every value of `group` into one class without interference
+    /// checks — the unconditional pre-coalescing of φ-webs (Lemma 1) and
+    /// same-register pinned values. One sort instead of `k` incremental
+    /// sorted-list merges.
+    pub fn merge_group(&mut self, group: &[Value]) {
+        let Some((&first, rest)) = group.split_first() else { return };
+        let ra = self.find(first);
+        let mut roots = vec![ra];
+        for &value in rest {
+            let r = self.find(value);
+            if !roots.contains(&r) {
+                roots.push(r);
+            }
+        }
+        if roots.len() == 1 {
+            return;
+        }
+        let mut merged = Vec::new();
+        for &root in &roots {
+            merged.append(&mut self.members[root]);
+        }
+        merged.sort_by_key(|&v| self.keys[v]);
+        for &root in &roots[1..] {
+            self.parent[root] = Some(ra);
+            if let Some(reg) = self.labels[root] {
+                debug_assert!(
+                    self.labels[ra].is_none_or(|r| r == reg),
+                    "merge_group called on values pinned to different registers"
+                );
+                self.labels[ra] = Some(reg);
+            }
+        }
+        self.members[ra] = merged;
     }
 
     fn max_by_key(&self, a: Option<Value>, b: Option<Value>) -> Option<Value> {
@@ -244,8 +325,9 @@ impl CongruenceClasses {
     /// The paper's linear interference test between the classes of `a` and
     /// `b` (Algorithm 2 with the value extension). Returns `true` if the two
     /// classes interfere. When they do not and the caller decides to merge
-    /// them, the returned `equal_anc_out` map must be passed to
-    /// [`CongruenceClasses::merge`].
+    /// them, the scratch `equal_anc_out` (cleared and filled by this call)
+    /// must be passed to [`CongruenceClasses::merge`].
+    #[allow(clippy::too_many_arguments)]
     pub fn interfere_linear<L: BlockLiveness>(
         &mut self,
         a: Value,
@@ -253,10 +335,11 @@ impl CongruenceClasses {
         intersect: &IntersectionTest<'_, L>,
         values: Option<&ValueTable>,
         domtree: &DominatorTree,
-    ) -> (bool, HashMap<Value, Option<Value>>) {
-        let mut equal_anc_out: HashMap<Value, Option<Value>> = HashMap::new();
+        equal_anc_out: &mut EqualAncOut,
+    ) -> bool {
+        equal_anc_out.clear();
         if self.labels_conflict(a, b) {
-            return (true, equal_anc_out);
+            return true;
         }
         let red = self.members(a).to_vec();
         let blue = self.members(b).to_vec();
@@ -322,11 +405,11 @@ impl CongruenceClasses {
 
             if let Some(parent) = parent {
                 // interference(current, parent)
-                equal_anc_out.insert(current, None);
+                equal_anc_out.set(current, None);
                 let same_set = in_red(current) == in_red(parent);
                 let mut b_chain: Option<Value> = Some(parent);
                 if same_set {
-                    b_chain = equal_anc_out.get(&parent).copied().flatten();
+                    b_chain = equal_anc_out.get(parent);
                 }
                 let same_value = match (values, b_chain) {
                     (Some(table), Some(bc)) => table.same_value(current, bc),
@@ -350,15 +433,15 @@ impl CongruenceClasses {
                         }
                         tmp = self.equal_anc_in[t];
                     }
-                    equal_anc_out.insert(current, tmp);
+                    equal_anc_out.set(current, tmp);
                 }
             } else {
-                equal_anc_out.insert(current, None);
+                equal_anc_out.set(current, None);
             }
             dom.push(current);
         }
         self.queries += queries.get();
-        (interference_found, equal_anc_out)
+        interference_found
     }
 
     /// Number of distinct classes among the values of `universe`.
@@ -375,7 +458,7 @@ mod tests {
     use super::*;
     use ossa_ir::builder::FunctionBuilder;
     use ossa_ir::{BinaryOp, ControlFlowGraph};
-    use ossa_liveness::{LiveRangeInfo, LivenessSets};
+    use ossa_liveness::LivenessSets;
 
     struct Fixture {
         func: Function,
@@ -395,6 +478,10 @@ mod tests {
 
         fn intersect(&self) -> IntersectionTest<'_, LivenessSets> {
             IntersectionTest::new(&self.func, &self.domtree, &self.liveness, &self.info)
+        }
+
+        fn classes(&self) -> CongruenceClasses {
+            CongruenceClasses::new(&self.func, &self.domtree, &self.info)
         }
     }
 
@@ -418,16 +505,17 @@ mod tests {
     fn singleton_classes_and_merge() {
         let (f, vals) = copies_function();
         let fx = Fixture::new(f);
-        let mut classes = CongruenceClasses::new(&fx.func, &fx.domtree);
+        let mut classes = fx.classes();
+        let none = EqualAncOut::new();
         let [a, b1, c1, ..] = vals[..] else { panic!() };
         assert!(!classes.same_class(a, b1));
         assert_eq!(classes.members(a), &[a]);
-        classes.merge(a, b1, &HashMap::new());
+        classes.merge(a, b1, &none);
         assert!(classes.same_class(a, b1));
         assert_eq!(classes.members(b1).len(), 2);
         // Member list stays sorted by definition order.
         assert_eq!(classes.members(a), &[a, b1]);
-        classes.merge(c1, a, &HashMap::new());
+        classes.merge(c1, a, &none);
         assert_eq!(classes.members(a), &[a, b1, c1]);
         assert_eq!(classes.num_classes(vals.iter().copied()), vals.len() - 2);
     }
@@ -438,7 +526,7 @@ mod tests {
         let fx = Fixture::new(f);
         let values = ValueTable::of(&fx.func);
         let intersect = fx.intersect();
-        let mut classes = CongruenceClasses::new(&fx.func, &fx.domtree);
+        let mut classes = fx.classes();
         let [a, b1, c1, ..] = vals[..] else { panic!() };
         // a and b1 intersect (a used later), so they interfere without
         // values, but have the same value, so they do not interfere with the
@@ -456,15 +544,16 @@ mod tests {
         let values = ValueTable::of(&fx.func);
         let intersect = fx.intersect();
         let [a, b1, c1, other, s, t, u] = vals[..] else { panic!() };
-        let pairs =
-            [(a, b1), (a, c1), (b1, c1), (a, other), (s, t), (t, u), (b1, other), (c1, s)];
+        let pairs = [(a, b1), (a, c1), (b1, c1), (a, other), (s, t), (t, u), (b1, other), (c1, s)];
+        let mut scratch = EqualAncOut::new();
         for use_values in [false, true] {
             let table = use_values.then_some(&values);
             for &(x, y) in &pairs {
-                let mut classes_q = CongruenceClasses::new(&fx.func, &fx.domtree);
-                let mut classes_l = CongruenceClasses::new(&fx.func, &fx.domtree);
+                let mut classes_q = fx.classes();
+                let mut classes_l = fx.classes();
                 let quad = classes_q.interfere_quadratic(x, y, &intersect, table);
-                let (lin, _) = classes_l.interfere_linear(x, y, &intersect, table, &fx.domtree);
+                let lin =
+                    classes_l.interfere_linear(x, y, &intersect, table, &fx.domtree, &mut scratch);
                 assert_eq!(quad, lin, "mismatch for ({x}, {y}) use_values={use_values}");
             }
         }
@@ -478,19 +567,23 @@ mod tests {
         let intersect = fx.intersect();
         let [a, b1, c1, other, s, ..] = vals[..] else { panic!() };
         // Merge {a, b1} and separately {c1, other}; then compare class tests.
-        let mut classes_q = CongruenceClasses::new(&fx.func, &fx.domtree);
-        let mut classes_l = CongruenceClasses::new(&fx.func, &fx.domtree);
+        let mut classes_q = fx.classes();
+        let mut classes_l = fx.classes();
+        let none = EqualAncOut::new();
         for classes in [&mut classes_q, &mut classes_l] {
-            classes.merge(a, b1, &HashMap::new());
-            classes.merge(c1, other, &HashMap::new());
+            classes.merge(a, b1, &none);
+            classes.merge(c1, other, &none);
         }
+        let mut scratch = EqualAncOut::new();
         let quad = classes_q.interfere_quadratic(a, c1, &intersect, Some(&values));
-        let (lin, _) = classes_l.interfere_linear(a, c1, &intersect, Some(&values), &fx.domtree);
+        let lin =
+            classes_l.interfere_linear(a, c1, &intersect, Some(&values), &fx.domtree, &mut scratch);
         assert_eq!(quad, lin);
         // And for a pair that must interfere: s vs the {a,b1} class — s has a
         // different value and is live with a.
         let quad = classes_q.interfere_quadratic(s, a, &intersect, Some(&values));
-        let (lin, _) = classes_l.interfere_linear(s, a, &intersect, Some(&values), &fx.domtree);
+        let lin =
+            classes_l.interfere_linear(s, a, &intersect, Some(&values), &fx.domtree, &mut scratch);
         assert_eq!(quad, lin);
     }
 
@@ -502,11 +595,11 @@ mod tests {
         f.pin_value(b1, 1);
         let fx = Fixture::new(f);
         let intersect = fx.intersect();
-        let mut classes = CongruenceClasses::new(&fx.func, &fx.domtree);
+        let mut classes = fx.classes();
         assert!(classes.labels_conflict(a, b1));
         assert!(classes.interfere_quadratic(a, b1, &intersect, None));
-        let (lin, _) = classes.interfere_linear(a, b1, &intersect, None, &fx.domtree);
-        assert!(lin);
+        let mut scratch = EqualAncOut::new();
+        assert!(classes.interfere_linear(a, b1, &intersect, None, &fx.domtree, &mut scratch));
         // Same register: no conflict from labels alone.
         assert!(!classes.labels_conflict(a, a));
     }
@@ -518,9 +611,9 @@ mod tests {
         f.pin_value(b1, 3);
         f.pin_value(c1, 4);
         let fx = Fixture::new(f);
-        let mut classes = CongruenceClasses::new(&fx.func, &fx.domtree);
+        let mut classes = fx.classes();
         assert_eq!(classes.label(a), None);
-        classes.merge(a, b1, &HashMap::new());
+        classes.merge(a, b1, &EqualAncOut::new());
         assert_eq!(classes.label(a), Some(3));
         // After the merge the {a, b1} class (label 3) conflicts with c1
         // (label 4).
@@ -532,7 +625,7 @@ mod tests {
         let (f, vals) = copies_function();
         let fx = Fixture::new(f);
         let mut f2 = fx.func.clone();
-        let mut classes = CongruenceClasses::new(&fx.func, &fx.domtree);
+        let mut classes = fx.classes();
         let fresh = f2.new_value();
         classes.add_value(
             fresh,
@@ -542,5 +635,15 @@ mod tests {
         assert_eq!(classes.members(fresh), &[fresh]);
         assert_eq!(classes.label(fresh), Some(7));
         assert!(!classes.same_class(fresh, vals[0]));
+    }
+
+    #[test]
+    fn equal_anc_out_scratch_resets_between_queries() {
+        let mut scratch = EqualAncOut::new();
+        let v = Value::from_index(3);
+        scratch.set(v, Some(Value::from_index(1)));
+        assert_eq!(scratch.get(v), Some(Value::from_index(1)));
+        scratch.clear();
+        assert_eq!(scratch.get(v), None);
     }
 }

@@ -1,0 +1,182 @@
+//! Batch out-of-SSA translation over a whole corpus of functions.
+//!
+//! A JIT (or an AOT compiler doing whole-program work) does not translate
+//! one function: it drains a queue of them. [`translate_corpus`] is that
+//! batch entry point — each function gets its own [`FunctionAnalyses`]
+//! cache, shared across the phases of its translation, and independent
+//! functions run in parallel on a scoped-thread worker pool (the standard
+//! library only; the build environment has no external crates).
+//!
+//! Parallel and serial execution produce bit-identical functions and
+//! statistics: per-function work is deterministic and results are collected
+//! by input index, so [`CorpusStats::per_function`] lines up with the input
+//! slice regardless of scheduling.
+
+use std::sync::Mutex;
+
+use ossa_ir::Function;
+use ossa_liveness::FunctionAnalyses;
+
+use crate::coalesce::{translate_out_of_ssa_cached, OutOfSsaOptions, OutOfSsaStats};
+
+/// Statistics of one batch translation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CorpusStats {
+    /// Per-function statistics, in input order.
+    pub per_function: Vec<OutOfSsaStats>,
+    /// Number of worker threads actually used.
+    pub threads: usize,
+}
+
+impl CorpusStats {
+    /// Aggregates the per-function statistics into one total.
+    pub fn total(&self) -> OutOfSsaStats {
+        let mut total = OutOfSsaStats::default();
+        for stats in &self.per_function {
+            total.absorb(stats);
+        }
+        total
+    }
+}
+
+/// Translates every function of `funcs` out of SSA in place, in parallel,
+/// with the default thread count (one worker per available core, capped by
+/// the corpus size).
+///
+/// Results are identical to calling
+/// [`translate_out_of_ssa`](crate::translate_out_of_ssa) on each function in
+/// order.
+pub fn translate_corpus(funcs: &mut [Function], options: &OutOfSsaOptions) -> CorpusStats {
+    translate_corpus_with(funcs, options, 0)
+}
+
+/// Like [`translate_corpus`], with an explicit worker count (`0` = one per
+/// available core). `threads == 1` runs serially on the calling thread.
+pub fn translate_corpus_with(
+    funcs: &mut [Function],
+    options: &OutOfSsaOptions,
+    threads: usize,
+) -> CorpusStats {
+    let threads = effective_threads(threads, funcs.len());
+    if threads <= 1 {
+        return translate_corpus_serial(funcs, options);
+    }
+
+    let num_funcs = funcs.len();
+    // Work queue: functions are handed out one at a time so a worker stuck
+    // on a large function does not starve the others. Reversed so that
+    // popping from the back yields input order.
+    let queue: Mutex<Vec<(usize, &mut Function)>> =
+        Mutex::new(funcs.iter_mut().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<OutOfSsaStats>>> = Mutex::new(vec![None; num_funcs]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut analyses = FunctionAnalyses::new();
+                loop {
+                    // Recover a poisoned lock so that a panic in one worker
+                    // propagates as itself, not as a secondary lock error.
+                    let mut guard = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    let Some((index, func)) = guard.pop() else { return };
+                    drop(guard);
+                    analyses.invalidate_cfg();
+                    let stats = translate_out_of_ssa_cached(func, options, &mut analyses);
+                    results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(stats);
+                }
+            });
+        }
+    });
+
+    let per_function = results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|stats| stats.expect("every function translated"))
+        .collect();
+    CorpusStats { per_function, threads }
+}
+
+/// Serial reference implementation of the batch API, used by the parity
+/// tests and as the `threads == 1` fast path.
+pub fn translate_corpus_serial(funcs: &mut [Function], options: &OutOfSsaOptions) -> CorpusStats {
+    let mut analyses = FunctionAnalyses::new();
+    let per_function = funcs
+        .iter_mut()
+        .map(|func| {
+            analyses.invalidate_cfg();
+            translate_out_of_ssa_cached(func, options, &mut analyses)
+        })
+        .collect();
+    CorpusStats { per_function, threads: 1 }
+}
+
+fn effective_threads(requested: usize, num_funcs: usize) -> usize {
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = if requested == 0 { available } else { requested };
+    threads.clamp(1, num_funcs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::translate_out_of_ssa;
+    use ossa_cfggen::{generate_ssa_function, GenConfig};
+
+    fn small_corpus(count: u64) -> Vec<Function> {
+        (0..count)
+            .map(|seed| generate_ssa_function(format!("c{seed}"), &GenConfig::small(), seed).0)
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_per_function_translation() {
+        let options = OutOfSsaOptions::default();
+        let mut serial = small_corpus(12);
+        let mut batch = serial.clone();
+
+        let serial_stats: Vec<_> =
+            serial.iter_mut().map(|f| translate_out_of_ssa(f, &options)).collect();
+        let batch_stats = translate_corpus(&mut batch, &options);
+
+        assert_eq!(serial_stats, batch_stats.per_function);
+        for (a, b) in serial.iter().zip(&batch) {
+            assert_eq!(a, b, "translated function differs: {}", a.name);
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let options = OutOfSsaOptions::sharing();
+        let mut one = small_corpus(8);
+        let mut four = one.clone();
+        let a = translate_corpus_with(&mut one, &options, 1);
+        let b = translate_corpus_with(&mut four, &options, 4);
+        assert_eq!(a.per_function, b.per_function);
+        assert_eq!(one, four);
+        assert_eq!(a.total(), b.total());
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let stats = translate_corpus(&mut [], &OutOfSsaOptions::default());
+        assert!(stats.per_function.is_empty());
+        assert_eq!(stats.total(), OutOfSsaStats::default());
+    }
+
+    #[test]
+    fn total_aggregates_counters() {
+        let options = OutOfSsaOptions::default();
+        let mut funcs = small_corpus(4);
+        let stats = translate_corpus(&mut funcs, &options);
+        let total = stats.total();
+        assert_eq!(
+            total.phis_removed,
+            stats.per_function.iter().map(|s| s.phis_removed).sum::<usize>()
+        );
+        assert_eq!(
+            total.remaining_copies,
+            stats.per_function.iter().map(|s| s.remaining_copies).sum::<usize>()
+        );
+    }
+}

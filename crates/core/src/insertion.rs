@@ -26,7 +26,8 @@
 
 use std::collections::HashMap;
 
-use ossa_ir::entity::{Block, Inst, Value};
+use ossa_ir::entity::{Block, Inst, SecondaryMap, Value};
+use ossa_ir::instruction::callconv;
 use ossa_ir::{CopyPair, Function, InstData};
 use ossa_ssa::split_edge;
 
@@ -72,26 +73,30 @@ impl CopyInsertion {
     }
 }
 
+/// Per-block cache of already-created parallel copies, indexed densely.
+type ParallelCopyCache = SecondaryMap<Block, Option<Inst>>;
+
 /// Finds or creates the parallel copy at the end of `block` (just before the
 /// terminator).
-fn pred_parallel_copy(func: &mut Function, block: Block, cache: &mut HashMap<Block, Inst>) -> Inst {
-    if let Some(&inst) = cache.get(&block) {
+fn pred_parallel_copy(func: &mut Function, block: Block, cache: &mut ParallelCopyCache) -> Inst {
+    if let Some(inst) = cache[block] {
         return inst;
     }
-    let pos = func.block_len(block).saturating_sub(if func.terminator(block).is_some() { 1 } else { 0 });
+    let pos =
+        func.block_len(block).saturating_sub(if func.terminator(block).is_some() { 1 } else { 0 });
     let inst = func.insert_inst(block, pos, InstData::ParallelCopy { copies: Vec::new() });
-    cache.insert(block, inst);
+    cache[block] = Some(inst);
     inst
 }
 
 /// Finds or creates the parallel copy right after the φ group of `block`.
-fn entry_parallel_copy(func: &mut Function, block: Block, cache: &mut HashMap<Block, Inst>) -> Inst {
-    if let Some(&inst) = cache.get(&block) {
+fn entry_parallel_copy(func: &mut Function, block: Block, cache: &mut ParallelCopyCache) -> Inst {
+    if let Some(inst) = cache[block] {
         return inst;
     }
     let pos = func.first_non_phi(block);
     let inst = func.insert_inst(block, pos, InstData::ParallelCopy { copies: Vec::new() });
-    cache.insert(block, inst);
+    cache[block] = Some(inst);
     inst
 }
 
@@ -108,8 +113,8 @@ fn push_move(func: &mut Function, pc: Inst, dst: Value, src: Value) {
 pub fn insert_phi_copies(func: &mut Function) -> CopyInsertion {
     let mut result = CopyInsertion::default();
     let defs = func.def_sites();
-    let mut pred_pcs: HashMap<Block, Inst> = HashMap::new();
-    let mut entry_pcs: HashMap<Block, Inst> = HashMap::new();
+    let mut pred_pcs = ParallelCopyCache::new();
+    let mut entry_pcs = ParallelCopyCache::new();
     // Edges already split: (pred, block) -> middle block.
     let mut split_edges: HashMap<(Block, Block), Block> = HashMap::new();
 
@@ -134,9 +139,9 @@ pub fn insert_phi_copies(func: &mut Function) -> CopyInsertion {
             }
         }
         for pred in preds_needing_split {
-            if !split_edges.contains_key(&(pred, block)) {
+            if let std::collections::hash_map::Entry::Vacant(e) = split_edges.entry((pred, block)) {
                 let middle = split_edge(func, pred, block);
-                split_edges.insert((pred, block), middle);
+                e.insert(middle);
                 result.edges_split += 1;
             }
         }
@@ -196,14 +201,28 @@ pub fn isolate_pinned_values(func: &mut Function, out: &mut CopyInsertion) {
                 pos += 1;
                 continue;
             }
-            let pinned_uses: Vec<Value> = {
-                let mut seen = Vec::new();
-                for u in data.uses() {
-                    if func.pinned_reg(u).is_some() && !seen.contains(&u) {
-                        seen.push(u);
+            // Calling-convention constraints are *positional*: at this call
+            // site, argument `i` must live in argument register
+            // `callconv::arg_reg(i)`, one clone per covered position (the
+            // same value in two positions needs two clones in two
+            // registers). Cloning with the value's global pin instead (as
+            // the seed did) miscompiles when a value pinned at one site
+            // reappears at a different position of another call: two
+            // arguments of one call can end up claiming the same register —
+            // an unsatisfiable constraint the coalescer then trips over. A
+            // pinned value in a position past the convention carries no
+            // constraint at this site and keeps its pin until its own
+            // pinning site is reached.
+            let pinned_uses: Vec<(usize, Value, u32)> = {
+                let mut isolated = Vec::new();
+                if let InstData::Call { args, .. } = &data {
+                    for (i, &u) in args.iter().take(callconv::NUM_ARG_REGS).enumerate() {
+                        if func.pinned_reg(u).is_some() {
+                            isolated.push((i, u, callconv::arg_reg(i)));
+                        }
                     }
                 }
-                seen
+                isolated
             };
             let pinned_defs: Vec<Value> =
                 data.defs().into_iter().filter(|&d| func.pinned_reg(d).is_some()).collect();
@@ -212,25 +231,29 @@ pub fn isolate_pinned_values(func: &mut Function, out: &mut CopyInsertion) {
                 continue;
             }
 
-            // Clone each pinned use into a short-lived pinned value defined
-            // by a parallel copy right before the instruction.
+            // Clone each covered argument position into a short-lived pinned
+            // value defined by a parallel copy right before the instruction,
+            // rewriting that position (and only it) to the clone.
             if !pinned_uses.is_empty() {
                 let mut copies = Vec::new();
-                let mut replacement: HashMap<Value, Value> = HashMap::new();
-                for &u in &pinned_uses {
-                    let reg = func.pinned_reg(u).expect("pinned");
+                let mut rewrites: Vec<(usize, Value)> = Vec::new();
+                for &(arg_index, u, reg) in &pinned_uses {
                     let clone = func.new_value();
                     func.pin_value(clone, reg);
                     out.values_created += 1;
                     copies.push(CopyPair { dst: clone, src: u });
                     out.record_move(clone, u, block);
-                    replacement.insert(u, clone);
+                    rewrites.push((arg_index, clone));
                 }
                 func.insert_inst(block, pos, InstData::ParallelCopy { copies });
                 pos += 1; // the constraining instruction moved one slot down
                 let inst = func.block_insts(block)[pos];
-                func.inst_mut(inst).map_uses(|v| replacement.get(&v).copied().unwrap_or(v));
-                for &u in &pinned_uses {
+                if let InstData::Call { args, .. } = func.inst_mut(inst) {
+                    for &(arg_index, clone) in &rewrites {
+                        args[arg_index] = clone;
+                    }
+                }
+                for &(_, u, _) in &pinned_uses {
                     unpin(func, u);
                 }
             }
@@ -293,10 +316,8 @@ mod tests {
         let x3 = b.declare_value();
         let x2 = b.phi(vec![(entry, x1), (header, x3)]);
         let one = b.iconst(1);
-        b.func_mut().append_inst(
-            header,
-            InstData::Binary { op: BinaryOp::Add, dst: x3, args: [x2, one] },
-        );
+        b.func_mut()
+            .append_inst(header, InstData::Binary { op: BinaryOp::Add, dst: x3, args: [x2, one] });
         b.branch(p, header, exit);
         b.switch_to_block(exit);
         b.ret(Some(x2));
@@ -433,6 +454,35 @@ mod tests {
         for v in f.inst(call).uses().into_iter().chain(f.inst(call).defs()) {
             assert!(f.pinned_reg(v).is_some());
         }
+    }
+
+    #[test]
+    fn duplicated_call_argument_gets_one_clone_per_position() {
+        // call f(x, x): both covered positions carry a constraint, so each
+        // needs its own clone in its own argument register — deduping by
+        // value would silently drop the second position's constraint.
+        let mut b = FunctionBuilder::new("dup-arg", 1);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let r = b.call(1, vec![x, x]);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        f.pin_value(x, callconv::arg_reg(0));
+        let mut insertion = CopyInsertion::default();
+        isolate_pinned_values(&mut f, &mut insertion);
+        verify_ssa(&f).expect("valid SSA after isolation");
+        let call = f
+            .blocks()
+            .flat_map(|bl| f.block_insts(bl).iter().copied())
+            .find(|&i| matches!(f.inst(i), InstData::Call { .. }))
+            .unwrap();
+        let InstData::Call { args, .. } = f.inst(call) else { panic!() };
+        assert_ne!(args[0], args[1], "each position must have its own clone");
+        assert_eq!(f.pinned_reg(args[0]), Some(callconv::arg_reg(0)));
+        assert_eq!(f.pinned_reg(args[1]), Some(callconv::arg_reg(1)));
+        assert_eq!(f.pinned_reg(x), None, "the original is unpinned after isolation");
     }
 
     #[test]

@@ -40,8 +40,8 @@ impl InterferenceGraph {
         for i in 0..n {
             for j in 0..i {
                 let (a, b) = (graph.universe[i], graph.universe[j]);
-                let interferes = intersect.intersect(a, b)
-                    && values.map_or(true, |table| !table.same_value(a, b));
+                let interferes =
+                    intersect.intersect(a, b) && values.is_none_or(|table| !table.same_value(a, b));
                 if interferes {
                     graph.set(i, j);
                 }
@@ -157,9 +157,7 @@ mod tests {
     use ossa_ir::{BinaryOp, ControlFlowGraph};
     use ossa_liveness::{LiveRangeInfo, LivenessSets};
 
-    fn analyses(
-        func: &Function,
-    ) -> (ControlFlowGraph, DominatorTree, LivenessSets, LiveRangeInfo) {
+    fn analyses(func: &Function) -> (ControlFlowGraph, DominatorTree, LivenessSets, LiveRangeInfo) {
         let cfg = ControlFlowGraph::compute(func);
         let domtree = DominatorTree::compute(func, &cfg);
         let liveness = LivenessSets::compute(func, &cfg);
@@ -191,8 +189,8 @@ mod tests {
                     if p == q {
                         continue;
                     }
-                    let expected = intersect.intersect(p, q)
-                        && table.map_or(true, |t| !t.same_value(p, q));
+                    let expected =
+                        intersect.intersect(p, q) && table.is_none_or(|t| !t.same_value(p, q));
                     assert_eq!(graph.interfere(p, q), expected, "pair ({p}, {q})");
                     assert_eq!(graph.interfere(p, q), graph.interfere(q, p));
                 }

@@ -41,17 +41,24 @@
 
 pub mod coalesce;
 pub mod congruence;
+pub mod engine;
 pub mod insertion;
 pub mod interference;
 pub mod parallel_copy;
 pub mod value;
 
 pub use coalesce::{
-    translate_out_of_ssa, ClassCheck, InterferenceMode, MemoryStats, OutOfSsaOptions,
-    OutOfSsaStats, PhiProcessing, Strategy,
+    translate_out_of_ssa, translate_out_of_ssa_cached, ClassCheck, InterferenceMode, MemoryStats,
+    OutOfSsaOptions, OutOfSsaStats, PhiProcessing, Strategy,
 };
-pub use congruence::{CongruenceClasses, DefOrderKey};
-pub use insertion::{insert_phi_copies, isolate_pinned_values, CopyInsertion, InsertedMove, PhiWeb};
+pub use congruence::{CongruenceClasses, DefOrderKey, EqualAncOut};
+pub use engine::{translate_corpus, translate_corpus_serial, translate_corpus_with, CorpusStats};
+pub use insertion::{
+    insert_phi_copies, isolate_pinned_values, CopyInsertion, InsertedMove, PhiWeb,
+};
 pub use interference::{copy_related_universe, InterferenceGraph};
-pub use parallel_copy::{minimum_copies, sequentialize, sequentialize_function, Sequentialization};
+pub use parallel_copy::{
+    minimum_copies, sequentialize, sequentialize_function, try_sequentialize, DuplicateDest,
+    Sequentialization,
+};
 pub use value::ValueTable;

@@ -20,28 +20,48 @@ pub struct Sequentialization {
     pub used_temp: bool,
 }
 
+/// Error returned by [`try_sequentialize`] when two moves of a parallel copy
+/// share a destination: such a copy is ill-formed (a parallel copy defines
+/// each destination exactly once) and has no sequentialization.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DuplicateDest {
+    /// The destination defined more than once.
+    pub dst: Value,
+}
+
+impl std::fmt::Display for DuplicateDest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parallel copy defines destination {} more than once", self.dst)
+    }
+}
+
+impl std::error::Error for DuplicateDest {}
+
 /// Sequentializes the parallel copy `moves` (pairs `dst ← src`), using
 /// `temp` as the extra variable if a cycle has to be broken.
 ///
-/// Self moves (`a ← a`) are dropped. Duplicate destinations are not allowed
-/// (a parallel copy defines each destination once).
+/// Self moves (`a ← a`) are dropped.
 ///
-/// # Panics
-/// Panics (in debug builds) if two moves share a destination.
-pub fn sequentialize(moves: &[CopyPair], temp: Value) -> Sequentialization {
+/// # Errors
+/// Returns [`DuplicateDest`] if two moves share a destination — previously
+/// only a `debug_assert!`, this is now checked in every build because a
+/// duplicated destination silently produces wrong code downstream.
+pub fn try_sequentialize(
+    moves: &[CopyPair],
+    temp: Value,
+) -> Result<Sequentialization, DuplicateDest> {
     // Filter self-moves; they are no-ops.
     let moves: Vec<CopyPair> = moves.iter().copied().filter(|m| m.dst != m.src).collect();
     if moves.is_empty() {
-        return Sequentialization::default();
+        return Ok(Sequentialization::default());
     }
-    debug_assert!(
-        {
-            let mut dsts: Vec<Value> = moves.iter().map(|m| m.dst).collect();
-            dsts.sort();
-            dsts.windows(2).all(|w| w[0] != w[1])
-        },
-        "parallel copy with duplicate destinations"
-    );
+    {
+        let mut dsts: Vec<Value> = moves.iter().map(|m| m.dst).collect();
+        dsts.sort();
+        if let Some(w) = dsts.windows(2).find(|w| w[0] == w[1]) {
+            return Err(DuplicateDest { dst: w[0] });
+        }
+    }
 
     // The algorithm's three maps: `loc[a]` = where the initial value of `a`
     // currently lives, `pred[b]` = the value that must end up in `b`.
@@ -102,12 +122,28 @@ pub fn sequentialize(moves: &[CopyPair], temp: Value) -> Sequentialization {
         }
     }
 
-    Sequentialization { copies: out, used_temp }
+    Ok(Sequentialization { copies: out, used_temp })
+}
+
+/// Sequentializes the parallel copy `moves`, panicking on ill-formed input.
+///
+/// # Panics
+/// Panics in **all** builds (not just debug) if two moves share a
+/// destination; use [`try_sequentialize`] to handle that case as an error.
+pub fn sequentialize(moves: &[CopyPair], temp: Value) -> Sequentialization {
+    match try_sequentialize(moves, temp) {
+        Ok(seq) => seq,
+        Err(err) => panic!("{err}"),
+    }
 }
 
 /// Replaces every [`InstData::ParallelCopy`] of `func` by an equivalent
 /// sequence of plain copies, creating at most one extra temporary per
 /// parallel copy. Returns the total number of copies emitted.
+///
+/// # Panics
+/// Panics if a parallel copy has duplicate destinations (which cannot occur
+/// for copies produced by this crate's insertion phase).
 pub fn sequentialize_function(func: &mut Function) -> usize {
     let mut emitted = 0;
     for block in func.blocks().collect::<Vec<_>>() {
@@ -330,6 +366,56 @@ mod tests {
         assert_eq!(seq.copies.len(), minimum_copies(&moves));
         assert_eq!(minimum_copies(&moves), 3);
         assert!(!seq.used_temp);
+    }
+
+    #[test]
+    fn duplicate_destinations_are_rejected() {
+        let moves = [pair(1, 0), pair(1, 2)];
+        assert_eq!(try_sequentialize(&moves, v(99)), Err(DuplicateDest { dst: v(1) }));
+        // Self-moves are filtered before the check, so a self-move plus a
+        // real move to the same destination is still well-formed.
+        let filtered = [pair(1, 1), pair(1, 2)];
+        assert!(try_sequentialize(&filtered, v(99)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "more than once")]
+    fn sequentialize_panics_on_duplicate_destinations_in_release_too() {
+        // The panic is unconditional, not a debug_assert.
+        let moves = [pair(1, 0), pair(1, 2)];
+        let _ = sequentialize(&moves, v(99));
+    }
+
+    #[test]
+    fn duplicated_source_fans_out_without_temp() {
+        // One value copied to several destinations: a pure fan-out tree.
+        let moves = [pair(1, 0), pair(2, 0), pair(3, 0)];
+        let temp = v(99);
+        let seq = sequentialize(&moves, temp);
+        assert!(!seq.used_temp);
+        assert_eq!(seq.copies.len(), 3);
+        assert_eq!(minimum_copies(&moves), 3);
+        check_equivalent(&moves, &seq.copies, temp);
+    }
+
+    #[test]
+    fn lost_copy_shaped_parallel_copy() {
+        // The parallel copy the lost-copy problem produces on the loop back
+        // edge: x2' ← x3 while x2 ← x2' still needs the old value — a chain,
+        // sequentializable without a temporary in the right order.
+        let x2p = 0;
+        let x3 = 1;
+        let x2 = 2;
+        let moves = [pair(x2p, x3), pair(x2, x2p)];
+        let temp = v(99);
+        let seq = sequentialize(&moves, temp);
+        assert!(!seq.used_temp);
+        assert_eq!(seq.copies.len(), 2);
+        assert_eq!(minimum_copies(&moves), 2);
+        // The old x2' must be saved into x2 before being overwritten.
+        assert_eq!(seq.copies[0], pair(x2, x2p));
+        assert_eq!(seq.copies[1], pair(x2p, x3));
+        check_equivalent(&moves, &seq.copies, temp);
     }
 
     #[test]

@@ -274,9 +274,7 @@ fn read(env: &HashMap<Value, i64>, value: Value) -> Result<i64, ExecError> {
 fn model_call(callee: u32, args: &[i64]) -> i64 {
     let mut acc = (callee as i64).wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64);
     for (i, &a) in args.iter().enumerate() {
-        acc = acc
-            .rotate_left(7)
-            .wrapping_add(a.wrapping_mul(31).wrapping_add(i as i64 + 1));
+        acc = acc.rotate_left(7).wrapping_add(a.wrapping_mul(31).wrapping_add(i as i64 + 1));
     }
     acc
 }

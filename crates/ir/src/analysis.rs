@@ -1,0 +1,175 @@
+//! Compute-once, invalidate-on-mutation analysis caching.
+//!
+//! Every phase of the out-of-SSA translation needs some subset of the same
+//! control-flow analyses (CFG, dominator tree, loop nesting, static block
+//! frequencies). Recomputing them per phase is exactly the engineering cost
+//! the paper's Section IV is about avoiding, so the [`AnalysisManager`]
+//! computes each analysis lazily, caches it, and hands out shared references
+//! until the function is mutated.
+//!
+//! Invalidation is two-level, mirroring the key observation of the fast
+//! liveness checker (Boissinot et al., CGO 2008) that some precomputations
+//! depend only on the CFG:
+//!
+//! * [`AnalysisManager::invalidate_cfg`] — the block structure changed
+//!   (edge splitting, new blocks): everything is dropped;
+//! * instruction-only mutations (copy insertion inside existing blocks,
+//!   renaming, sequentialization) keep all analyses cached here valid, since
+//!   CFG, dominators, loops and frequencies only read block structure.
+//!
+//! Liveness-level caches (which *do* depend on instructions) layer on top of
+//! this manager in `ossa-liveness`.
+
+use std::cell::OnceCell;
+
+use crate::cfg::ControlFlowGraph;
+use crate::dominance::DominatorTree;
+use crate::function::Function;
+use crate::loops::{BlockFrequencies, LoopAnalysis};
+
+/// Lazy cache of the CFG-level analyses of one function.
+///
+/// The manager does not borrow the function; each accessor takes it as an
+/// argument and the caller is responsible for invalidating after mutations
+/// (the `ossa-destruct` driver does this at its phase boundaries).
+///
+/// # Examples
+///
+/// ```
+/// use ossa_ir::analysis::AnalysisManager;
+/// use ossa_ir::builder::FunctionBuilder;
+///
+/// let mut b = FunctionBuilder::new("f", 0);
+/// let entry = b.create_block();
+/// b.set_entry(entry);
+/// b.switch_to_block(entry);
+/// b.ret(None);
+/// let func = b.finish();
+///
+/// let analyses = AnalysisManager::new();
+/// let domtree = analyses.domtree(&func);
+/// assert_eq!(domtree.root(), entry);
+/// // The second call returns the cached tree without recomputing.
+/// assert_eq!(analyses.domtree(&func).root(), entry);
+/// ```
+#[derive(Debug, Default)]
+pub struct AnalysisManager {
+    cfg: OnceCell<ControlFlowGraph>,
+    domtree: OnceCell<DominatorTree>,
+    loops: OnceCell<LoopAnalysis>,
+    freqs: OnceCell<BlockFrequencies>,
+}
+
+impl AnalysisManager {
+    /// Creates an empty manager; nothing is computed until first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The control-flow graph, computed on first use.
+    pub fn cfg(&self, func: &Function) -> &ControlFlowGraph {
+        self.cfg.get_or_init(|| ControlFlowGraph::compute(func))
+    }
+
+    /// The dominator tree, computed on first use.
+    pub fn domtree(&self, func: &Function) -> &DominatorTree {
+        // Compute the CFG first so the borrow of `self.cfg` ends before the
+        // `domtree` cell is initialized.
+        self.cfg(func);
+        self.domtree.get_or_init(|| DominatorTree::compute(func, self.cfg.get().expect("cfg")))
+    }
+
+    /// The natural-loop analysis, computed on first use.
+    pub fn loops(&self, func: &Function) -> &LoopAnalysis {
+        self.domtree(func);
+        self.loops.get_or_init(|| {
+            LoopAnalysis::compute(
+                func,
+                self.cfg.get().expect("cfg"),
+                self.domtree.get().expect("domtree"),
+            )
+        })
+    }
+
+    /// The static block-frequency estimate, computed on first use.
+    pub fn frequencies(&self, func: &Function) -> &BlockFrequencies {
+        self.loops(func);
+        self.freqs.get_or_init(|| {
+            BlockFrequencies::from_loop_depths(func, self.loops.get().expect("loops"))
+        })
+    }
+
+    /// Drops every cached analysis. Must be called after any mutation that
+    /// changes the block structure (new blocks, edge splitting, terminator
+    /// rewrites); instruction-only mutations keep this manager's caches
+    /// valid.
+    pub fn invalidate_cfg(&mut self) {
+        self.cfg.take();
+        self.domtree.take();
+        self.loops.take();
+        self.freqs.take();
+    }
+
+    /// Returns `true` if the CFG has already been computed.
+    pub fn is_cfg_cached(&self) -> bool {
+        self.cfg.get().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn two_block_function() -> Function {
+        let mut b = FunctionBuilder::new("two", 0);
+        let entry = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        b.jump(exit);
+        b.switch_to_block(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn analyses_are_computed_lazily_and_cached() {
+        let func = two_block_function();
+        let am = AnalysisManager::new();
+        assert!(!am.is_cfg_cached());
+        let freqs = am.frequencies(&func);
+        assert_eq!(freqs.frequency(func.entry()), 1.0);
+        assert!(am.is_cfg_cached());
+        // Cached pointers are stable across calls.
+        let a = am.cfg(&func) as *const ControlFlowGraph;
+        let b = am.cfg(&func) as *const ControlFlowGraph;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalidation_recomputes_for_the_mutated_function() {
+        let mut func = two_block_function();
+        let mut am = AnalysisManager::new();
+        assert_eq!(am.cfg(&func).num_reachable(), 2);
+        // Add a block and re-point the entry jump at it.
+        let extra = func.add_block();
+        let entry = func.entry();
+        let term = func.terminator(entry).expect("terminator");
+        *func.inst_mut(term) = crate::InstData::Jump { dest: extra };
+        func.append_inst(extra, crate::InstData::Return { value: None });
+        am.invalidate_cfg();
+        assert!(!am.is_cfg_cached());
+        assert_eq!(am.cfg(&func).num_reachable(), 2);
+        assert!(am.cfg(&func).is_reachable(extra));
+    }
+
+    #[test]
+    fn domtree_and_loops_share_the_cached_cfg() {
+        let func = two_block_function();
+        let am = AnalysisManager::new();
+        let domtree = am.domtree(&func);
+        assert!(domtree.dominates(func.entry(), func.blocks().nth(1).unwrap()));
+        assert_eq!(am.loops(&func).num_loops(), 0);
+    }
+}

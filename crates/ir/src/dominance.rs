@@ -147,6 +147,7 @@ impl DominatorTree {
     }
 
     /// Returns `true` if `a` dominates `b` (reflexively), in O(1).
+    #[inline]
     pub fn dominates(&self, a: Block, b: Block) -> bool {
         if !self.is_reachable(a) || !self.is_reachable(b) {
             return false;
@@ -155,6 +156,7 @@ impl DominatorTree {
     }
 
     /// Returns `true` if `a` strictly dominates `b`.
+    #[inline]
     pub fn strictly_dominates(&self, a: Block, b: Block) -> bool {
         a != b && self.dominates(a, b)
     }
@@ -173,6 +175,7 @@ impl DominatorTree {
     /// Returns `true` if the program point `(block_a, pos_a)` dominates the
     /// point `(block_b, pos_b)`, where `pos` is the instruction index within
     /// the block. Points in the same block compare by position.
+    #[inline]
     pub fn dominates_point(&self, a: (Block, usize), b: (Block, usize)) -> bool {
         if a.0 == b.0 {
             a.1 <= b.1

@@ -201,6 +201,12 @@ impl<K: EntityRef, V: Clone + Default> SecondaryMap<K, V> {
     }
 }
 
+impl<K: EntityRef, V: Clone + Default> Default for SecondaryMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<K: EntityRef, V: Clone> SecondaryMap<K, V> {
     /// Creates an empty map whose missing entries read as `default`.
     pub fn with_default(default: V) -> Self {
@@ -225,6 +231,7 @@ impl<K: EntityRef, V: Clone> SecondaryMap<K, V> {
     }
 
     /// Returns the value for `key`, or the default if it was never written.
+    #[inline]
     pub fn get(&self, key: K) -> &V {
         self.elems.get(key.index()).unwrap_or(&self.default)
     }
@@ -237,12 +244,14 @@ impl<K: EntityRef, V: Clone> SecondaryMap<K, V> {
 
 impl<K: EntityRef, V: Clone> Index<K> for SecondaryMap<K, V> {
     type Output = V;
+    #[inline]
     fn index(&self, key: K) -> &V {
         self.get(key)
     }
 }
 
 impl<K: EntityRef, V: Clone> IndexMut<K> for SecondaryMap<K, V> {
+    #[inline]
     fn index_mut(&mut self, key: K) -> &mut V {
         if key.index() >= self.elems.len() {
             self.elems.resize(key.index() + 1, self.default.clone());
@@ -326,6 +335,7 @@ impl<K: EntityRef> EntitySet<K> {
     }
 
     /// Returns `true` if `key` is in the set.
+    #[inline]
     pub fn contains(&self, key: K) -> bool {
         let (word, bit) = (key.index() / 64, key.index() % 64);
         self.words.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
@@ -478,7 +488,8 @@ mod tests {
 
     #[test]
     fn entity_set_union() {
-        let mut a: EntitySet<Value> = [0usize, 1, 2].iter().map(|&i| Value::from_index(i)).collect();
+        let mut a: EntitySet<Value> =
+            [0usize, 1, 2].iter().map(|&i| Value::from_index(i)).collect();
         let b: EntitySet<Value> = [2usize, 100].iter().map(|&i| Value::from_index(i)).collect();
         assert!(a.union_with(&b));
         assert_eq!(a.len(), 4);

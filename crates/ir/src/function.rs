@@ -200,11 +200,7 @@ impl Function {
 
     /// The terminator of `block`, if the block ends with one.
     pub fn terminator(&self, block: Block) -> Option<Inst> {
-        self.blocks[block]
-            .insts
-            .last()
-            .copied()
-            .filter(|&inst| self.insts[inst].is_terminator())
+        self.blocks[block].insts.last().copied().filter(|&inst| self.insts[inst].is_terminator())
     }
 
     /// Successor blocks of `block` (empty if it has no terminator).
@@ -224,11 +220,7 @@ impl Function {
 
     /// Position of the first non-φ instruction in `block`.
     pub fn first_non_phi(&self, block: Block) -> usize {
-        self.blocks[block]
-            .insts
-            .iter()
-            .take_while(|&&inst| self.insts[inst].is_phi())
-            .count()
+        self.blocks[block].insts.iter().take_while(|&&inst| self.insts[inst].is_phi()).count()
     }
 
     /// Total number of instructions attached to blocks.

@@ -15,6 +15,22 @@
 
 use crate::entity::{Block, Value};
 
+/// The model's calling convention, shared by the workload generator (which
+/// pins call operands) and the out-of-SSA isolation phase (which splits the
+/// pinned live ranges per call site). Keeping both sides on these constants
+/// is what guarantees every pin the generator creates is isolated somewhere.
+pub mod callconv {
+    /// Register holding a call's return value.
+    pub const RETURN_REG: u32 = 0;
+    /// Number of leading call arguments passed in registers.
+    pub const NUM_ARG_REGS: usize = 2;
+
+    /// Register holding call argument `index`, when `index < NUM_ARG_REGS`.
+    pub const fn arg_reg(index: usize) -> u32 {
+        1 + index as u32
+    }
+}
+
 /// Binary integer operations.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum BinaryOp {
@@ -348,10 +364,8 @@ impl InstData {
     /// other side effects, and therefore must not be removed by dead-code
     /// elimination.
     pub fn has_side_effects(&self) -> bool {
-        matches!(
-            self,
-            InstData::Call { .. } | InstData::Store { .. } | InstData::Load { .. }
-        ) || self.is_terminator()
+        matches!(self, InstData::Call { .. } | InstData::Store { .. } | InstData::Load { .. })
+            || self.is_terminator()
     }
 
     /// Appends the values defined by this instruction to `out`.

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod builder;
 pub mod cfg;
 pub mod dominance;
@@ -46,6 +47,7 @@ pub mod loops;
 pub mod print;
 pub mod verify;
 
+pub use analysis::AnalysisManager;
 pub use cfg::ControlFlowGraph;
 pub use dominance::{DominanceFrontiers, DominatorTree};
 pub use entity::{Block, EntitySet, Inst, PrimaryMap, SecondaryMap, Value};

@@ -16,7 +16,8 @@ impl fmt::Display for DisplayFunction<'_> {
         let func = self.0;
         writeln!(f, "function {}({} params) {{", func.name, func.num_params)?;
         for block in func.blocks() {
-            let entry_marker = if func.has_entry() && block == func.entry() { " (entry)" } else { "" };
+            let entry_marker =
+                if func.has_entry() && block == func.entry() { " (entry)" } else { "" };
             writeln!(f, "{block}{entry_marker}:")?;
             for &inst in func.block_insts(block) {
                 writeln!(f, "    {}", display_inst(func, func.inst(inst)))?;

@@ -1,0 +1,248 @@
+//! Liveness-level analysis caching on top of [`ossa_ir::AnalysisManager`].
+//!
+//! [`FunctionAnalyses`] extends the CFG-level manager with the caches the
+//! out-of-SSA translation and the register allocator consume: data-flow
+//! liveness sets, the fast liveness checker and the per-value
+//! definition/use index. Invalidation is two-level:
+//!
+//! * [`FunctionAnalyses::invalidate_instructions`] — instructions were
+//!   inserted, removed or rewritten inside existing blocks. The liveness
+//!   sets and the def/use index are dropped, but the CFG analyses *and the
+//!   fast liveness precomputation* survive — the latter is the central
+//!   engineering point of the `LiveCheck` option (its precomputation depends
+//!   only on the CFG);
+//! * [`FunctionAnalyses::invalidate_cfg`] — the block structure changed
+//!   (edge splitting): everything is dropped.
+
+use std::cell::OnceCell;
+
+use ossa_ir::analysis::AnalysisManager;
+use ossa_ir::{BlockFrequencies, ControlFlowGraph, DominatorTree, Function, LoopAnalysis};
+
+use crate::check::FastLiveness;
+use crate::intersect::LiveRangeInfo;
+use crate::sets::LivenessSets;
+
+/// Lazy cache of every analysis the out-of-SSA pipeline consumes for one
+/// function, from the CFG up to liveness.
+///
+/// # Examples
+///
+/// ```
+/// use ossa_ir::builder::FunctionBuilder;
+/// use ossa_liveness::{BlockLiveness, FunctionAnalyses};
+///
+/// let mut b = FunctionBuilder::new("f", 1);
+/// let entry = b.create_block();
+/// b.set_entry(entry);
+/// b.switch_to_block(entry);
+/// let x = b.param(0);
+/// let y = b.binary(ossa_ir::BinaryOp::Add, x, x);
+/// b.ret(Some(y));
+/// let func = b.finish();
+///
+/// let analyses = FunctionAnalyses::new();
+/// assert!(!analyses.liveness_sets(&func).is_live_out(entry, y));
+/// // Dominator tree and CFG were computed once and are now cached.
+/// assert!(analyses.ir().is_cfg_cached());
+/// ```
+#[derive(Debug, Default)]
+pub struct FunctionAnalyses {
+    ir: AnalysisManager,
+    liveness: OnceCell<LivenessSets>,
+    fast: OnceCell<FastLiveness>,
+    info: OnceCell<LiveRangeInfo>,
+    /// Shape of the function the CFG caches were computed for — block count,
+    /// entry block, and a hash of the CFG edges (stable under
+    /// instruction-only mutation) — to catch, in debug builds, a cache being
+    /// reused for a *different* function without invalidation, which would
+    /// silently return the wrong analyses.
+    stamp: std::cell::Cell<Option<(usize, ossa_ir::Block, u64)>>,
+    /// Instruction-level shape (instruction and value counts) the
+    /// instruction-dependent caches were computed for; cleared by
+    /// [`FunctionAnalyses::invalidate_instructions`].
+    inst_stamp: std::cell::Cell<Option<(usize, usize)>>,
+}
+
+impl FunctionAnalyses {
+    /// Creates an empty cache; nothing is computed until first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying CFG-level manager.
+    pub fn ir(&self) -> &AnalysisManager {
+        &self.ir
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_stamp(&self, func: &Function) {
+        // FNV-style fold of the edge list; blocks and terminator targets do
+        // not change under instruction-only mutation, so the stamp stays
+        // valid exactly as long as the CFG-level caches do.
+        let mut edges = 0xcbf2_9ce4_8422_2325u64;
+        for block in func.blocks() {
+            edges = (edges ^ block.index() as u64).wrapping_mul(0x1000_0000_01b3);
+            for succ in func.successors(block) {
+                edges = (edges ^ succ.index() as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        let shape = (func.num_blocks(), func.entry(), edges);
+        match self.stamp.get() {
+            None => self.stamp.set(Some(shape)),
+            Some(stamp) => debug_assert_eq!(
+                stamp, shape,
+                "FunctionAnalyses reused for a different function without invalidate_cfg()"
+            ),
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_stamp(&self, _func: &Function) {}
+
+    #[cfg(debug_assertions)]
+    fn check_inst_stamp(&self, func: &Function) {
+        let shape = (func.num_insts(), func.num_values());
+        match self.inst_stamp.get() {
+            None => self.inst_stamp.set(Some(shape)),
+            Some(stamp) => debug_assert_eq!(
+                stamp, shape,
+                "instructions changed without invalidate_instructions(); liveness and the \
+                 def/use index are stale"
+            ),
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_inst_stamp(&self, _func: &Function) {}
+
+    /// The control-flow graph, computed on first use.
+    pub fn cfg(&self, func: &Function) -> &ControlFlowGraph {
+        self.check_stamp(func);
+        self.ir.cfg(func)
+    }
+
+    /// The dominator tree, computed on first use.
+    pub fn domtree(&self, func: &Function) -> &DominatorTree {
+        self.check_stamp(func);
+        self.ir.domtree(func)
+    }
+
+    /// The natural-loop analysis, computed on first use.
+    pub fn loops(&self, func: &Function) -> &LoopAnalysis {
+        self.check_stamp(func);
+        self.ir.loops(func)
+    }
+
+    /// The static block-frequency estimate, computed on first use.
+    pub fn frequencies(&self, func: &Function) -> &BlockFrequencies {
+        self.check_stamp(func);
+        self.ir.frequencies(func)
+    }
+
+    /// Data-flow liveness sets, computed on first use.
+    pub fn liveness_sets(&self, func: &Function) -> &LivenessSets {
+        self.check_inst_stamp(func);
+        self.cfg(func);
+        self.liveness.get_or_init(|| LivenessSets::compute(func, self.ir.cfg(func)))
+    }
+
+    /// The CFG-only fast liveness checker, computed on first use.
+    pub fn fast_liveness(&self, func: &Function) -> &FastLiveness {
+        self.domtree(func);
+        self.fast
+            .get_or_init(|| FastLiveness::compute(func, self.ir.cfg(func), self.ir.domtree(func)))
+    }
+
+    /// The per-value definition and use index, computed on first use.
+    pub fn live_range_info(&self, func: &Function) -> &LiveRangeInfo {
+        self.check_inst_stamp(func);
+        self.check_stamp(func);
+        self.info.get_or_init(|| LiveRangeInfo::compute(func))
+    }
+
+    /// Drops the caches that depend on the instruction stream (liveness sets
+    /// and the def/use index). The CFG analyses and the fast liveness
+    /// precomputation stay valid: they only read block structure.
+    pub fn invalidate_instructions(&mut self) {
+        self.liveness.take();
+        self.info.take();
+        self.inst_stamp.set(None);
+    }
+
+    /// Drops every cached analysis. Must be called after mutations that
+    /// change the block structure (edge splitting, new blocks) and before
+    /// reusing the cache for a different function.
+    pub fn invalidate_cfg(&mut self) {
+        self.ir.invalidate_cfg();
+        self.fast.take();
+        self.stamp.set(None);
+        self.invalidate_instructions();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockLiveness;
+    use ossa_ir::builder::FunctionBuilder;
+    use ossa_ir::{BinaryOp, InstData};
+
+    fn simple_function() -> Function {
+        let mut b = FunctionBuilder::new("simple", 1);
+        let entry = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        let y = b.binary(BinaryOp::Add, x, x);
+        b.jump(exit);
+        b.switch_to_block(exit);
+        b.ret(Some(y));
+        b.finish()
+    }
+
+    #[test]
+    fn caches_are_shared_and_lazily_built() {
+        let func = simple_function();
+        let analyses = FunctionAnalyses::new();
+        let sets = analyses.liveness_sets(&func) as *const LivenessSets;
+        assert_eq!(sets, analyses.liveness_sets(&func) as *const LivenessSets);
+        let info = analyses.live_range_info(&func) as *const LiveRangeInfo;
+        assert_eq!(info, analyses.live_range_info(&func) as *const LiveRangeInfo);
+    }
+
+    #[test]
+    fn instruction_invalidation_keeps_fast_liveness() {
+        let mut func = simple_function();
+        let mut analyses = FunctionAnalyses::new();
+        let before = analyses.fast_liveness(&func) as *const FastLiveness;
+        let _ = analyses.liveness_sets(&func);
+
+        // Insert a copy: instruction-level mutation only.
+        let entry = func.entry();
+        let x = func.values().next().unwrap();
+        let clone = func.new_value();
+        func.insert_inst(entry, 1, InstData::Copy { dst: clone, src: x });
+        analyses.invalidate_instructions();
+
+        // The fast checker is the same cached object; liveness sets and the
+        // def/use index are recomputed and see the new instruction.
+        assert_eq!(before, analyses.fast_liveness(&func) as *const FastLiveness);
+        assert!(analyses.live_range_info(&func).def(clone).is_some());
+        assert!(analyses.live_range_info(&func).uses().is_used(x));
+        let exit = func.blocks().nth(1).unwrap();
+        let y = Function::values(&func).nth(1).unwrap();
+        assert!(analyses.liveness_sets(&func).is_live_in(exit, y));
+    }
+
+    #[test]
+    fn cfg_invalidation_drops_everything() {
+        let func = simple_function();
+        let mut analyses = FunctionAnalyses::new();
+        let _ = analyses.fast_liveness(&func);
+        assert!(analyses.ir().is_cfg_cached());
+        analyses.invalidate_cfg();
+        assert!(!analyses.ir().is_cfg_cached());
+    }
+}

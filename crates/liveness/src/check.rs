@@ -5,7 +5,10 @@
 //! out-of-SSA paper uses as its `LiveCheck` option. The pre-computed data
 //! depends only on the control-flow graph (two bit-sets per basic block), so
 //! it stays valid while instructions are inserted or removed — exactly the
-//! property the out-of-SSA translation needs when it inserts copies.
+//! property the out-of-SSA translation needs when it inserts copies. The
+//! per-value part of a query (definition site, use sites) is *not* stored
+//! here: it is read from a shared [`LiveRangeInfo`], which the analysis
+//! manager invalidates independently when instructions change.
 //!
 //! The query `is_live_in(q, a)` is answered from:
 //!
@@ -28,25 +31,25 @@
 use ossa_ir::entity::{Block, EntitySet, SecondaryMap, Value};
 use ossa_ir::{ControlFlowGraph, DominatorTree, Function};
 
-use crate::uses::{UseSite, UseSites};
+use crate::intersect::LiveRangeInfo;
+use crate::uses::UseSite;
 use crate::BlockLiveness;
 
 /// Query-based liveness checker (the paper's `LiveCheck`).
+///
+/// Holds only the CFG-dependent precomputation; per-value definition and use
+/// information comes from the [`LiveRangeInfo`] passed to each query.
 #[derive(Clone, Debug)]
 pub struct FastLiveness {
     /// Reachability over forward (non-back) edges, including the block itself.
     reduced_reach: SecondaryMap<Block, EntitySet<Block>>,
     /// Transitive closure of back-edge targets reachable from each block.
     back_targets: SecondaryMap<Block, EntitySet<Block>>,
-    /// Definition site of each value.
-    def_block: SecondaryMap<Value, Option<(Block, usize)>>,
-    /// Use index (φ uses attributed to predecessor ends).
-    uses: UseSites,
     num_blocks: usize,
 }
 
 impl FastLiveness {
-    /// Builds the checker for `func`.
+    /// Builds the checker from the CFG and dominator tree alone.
     pub fn compute(func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) -> Self {
         let num_blocks = func.num_blocks();
 
@@ -109,20 +112,7 @@ impl FastLiveness {
             }
         }
 
-        let defs = func.def_sites();
-        let mut def_block: SecondaryMap<Value, Option<(Block, usize)>> = SecondaryMap::new();
-        def_block.resize(func.num_values());
-        for value in func.values() {
-            def_block[value] = defs[value].map(|site| (site.block, site.pos));
-        }
-
-        Self {
-            reduced_reach,
-            back_targets,
-            def_block,
-            uses: UseSites::compute(func),
-            num_blocks,
-        }
+        Self { reduced_reach, back_targets, num_blocks }
     }
 
     /// Builds the checker, computing CFG and dominator tree internally.
@@ -132,13 +122,11 @@ impl FastLiveness {
         Self::compute(func, &cfg, &domtree)
     }
 
-    /// The dominator tree is required for queries; callers pass it explicitly
-    /// to avoid duplicating it in every checker.
     fn use_reachable_from(
         &self,
         domtree: &DominatorTree,
         q: Block,
-        def: (Block, usize),
+        def_block: Block,
         uses: &[UseSite],
     ) -> bool {
         // Candidate source blocks: q plus every back-edge target reachable
@@ -155,47 +143,67 @@ impl FastLiveness {
             return true;
         }
         for t in self.back_targets[q].iter() {
-            if t != def.0 && domtree.strictly_dominates(def.0, t) && hit(t) {
+            if t != def_block && domtree.strictly_dominates(def_block, t) && hit(t) {
                 return true;
             }
         }
         false
     }
 
-    /// Returns `true` if `value` is live at the entry of `block`.
-    pub fn is_live_in_query(&self, domtree: &DominatorTree, block: Block, value: Value) -> bool {
-        let Some(def) = self.def_block[value] else { return false };
-        if def.0 == block || !domtree.strictly_dominates(def.0, block) {
+    /// Returns `true` if `value` is live at the entry of `block`, reading the
+    /// definition and use sites from `info`.
+    pub fn is_live_in_query(
+        &self,
+        domtree: &DominatorTree,
+        info: &LiveRangeInfo,
+        block: Block,
+        value: Value,
+    ) -> bool {
+        let Some(def) = info.def(value) else { return false };
+        if def.block == block || !domtree.strictly_dominates(def.block, block) {
             return false;
         }
-        let uses = self.uses.uses_of(value);
+        let uses = info.uses().uses_of(value);
         if uses.is_empty() {
             return false;
         }
-        self.use_reachable_from(domtree, block, def, uses)
+        self.use_reachable_from(domtree, block, def.block, uses)
     }
 
     /// Returns `true` if `value` is live at the exit of `block`.
     pub fn is_live_out_query(
         &self,
-        func: &Function,
         cfg: &ControlFlowGraph,
         domtree: &DominatorTree,
+        info: &LiveRangeInfo,
         block: Block,
         value: Value,
     ) -> bool {
-        // φ uses on outgoing edges make the value live-out directly.
+        // φ uses on outgoing edges make the value live-out directly; the use
+        // index records them at the end of the predecessor block, so no walk
+        // over the successors' φs (and no per-query allocation) is needed.
+        if info.uses().uses_of(value).iter().any(|s| s.block == block && s.is_phi_edge_use()) {
+            return true;
+        }
         for &succ in cfg.succs(block) {
-            if func.phi_inputs_from(succ, block).iter().any(|&(_, v)| v == value) {
-                return true;
-            }
-            if self.is_live_in_query(domtree, succ, value) {
+            if self.is_live_in_query(domtree, info, succ, value) {
                 return true;
             }
         }
         // A value defined in `block` (or live-through) is live-out only via
         // successors, handled above.
         false
+    }
+
+    /// Bundles this checker with the analyses its queries need, yielding a
+    /// [`BlockLiveness`] oracle.
+    pub fn query<'a>(
+        &'a self,
+        cfg: &'a ControlFlowGraph,
+        domtree: &'a DominatorTree,
+        info: &'a LiveRangeInfo,
+    ) -> FastLivenessQuery<'a> {
+        FastLivenessQuery { cfg, domtree, info, checker: self }
     }
 
     /// Number of blocks covered by the precomputation.
@@ -208,41 +216,38 @@ impl FastLiveness {
     pub fn footprint_bytes(&self) -> usize {
         (0..self.num_blocks)
             .map(Block::from_index)
-            .map(|b| self.reduced_reach[b].footprint_bytes() + self.back_targets[b].footprint_bytes())
+            .map(|b| {
+                self.reduced_reach[b].footprint_bytes() + self.back_targets[b].footprint_bytes()
+            })
             .sum()
     }
 }
 
 /// A [`BlockLiveness`] adaptor bundling a [`FastLiveness`] checker with the
-/// function and analyses it needs for queries.
+/// function and analyses it needs for queries. Created by
+/// [`FastLiveness::query`].
 #[derive(Clone, Debug)]
 pub struct FastLivenessQuery<'a> {
-    func: &'a Function,
     cfg: &'a ControlFlowGraph,
     domtree: &'a DominatorTree,
-    checker: FastLiveness,
+    info: &'a LiveRangeInfo,
+    checker: &'a FastLiveness,
 }
 
 impl<'a> FastLivenessQuery<'a> {
-    /// Builds the adaptor.
-    pub fn new(func: &'a Function, cfg: &'a ControlFlowGraph, domtree: &'a DominatorTree) -> Self {
-        let checker = FastLiveness::compute(func, cfg, domtree);
-        Self { func, cfg, domtree, checker }
-    }
-
     /// Access to the underlying checker (e.g. for footprint statistics).
     pub fn checker(&self) -> &FastLiveness {
-        &self.checker
+        self.checker
     }
 }
 
 impl BlockLiveness for FastLivenessQuery<'_> {
     fn is_live_in(&self, block: Block, value: Value) -> bool {
-        self.checker.is_live_in_query(self.domtree, block, value)
+        self.checker.is_live_in_query(self.domtree, self.info, block, value)
     }
 
     fn is_live_out(&self, block: Block, value: Value) -> bool {
-        self.checker.is_live_out_query(self.func, self.cfg, self.domtree, block, value)
+        self.checker.is_live_out_query(self.cfg, self.domtree, self.info, block, value)
     }
 }
 
@@ -257,7 +262,9 @@ mod tests {
         let cfg = ControlFlowGraph::compute(func);
         let domtree = DominatorTree::compute(func, &cfg);
         let sets = LivenessSets::compute(func, &cfg);
-        let fast = FastLivenessQuery::new(func, &cfg, &domtree);
+        let info = LiveRangeInfo::compute(func);
+        let checker = FastLiveness::compute(func, &cfg, &domtree);
+        let fast = checker.query(&cfg, &domtree, &info);
         for block in cfg.reverse_post_order() {
             for value in func.values() {
                 assert_eq!(
@@ -359,14 +366,22 @@ mod tests {
         let one = b.iconst(1);
         b.func_mut().append_inst(
             inner_body,
-            ossa_ir::InstData::Binary { op: BinaryOp::Add, dst: acc_inner_next, args: [acc_inner, one] },
+            ossa_ir::InstData::Binary {
+                op: BinaryOp::Add,
+                dst: acc_inner_next,
+                args: [acc_inner, one],
+            },
         );
         b.jump(inner);
         b.switch_to_block(outer_latch);
         let two = b.iconst(2);
         b.func_mut().append_inst(
             outer_latch,
-            ossa_ir::InstData::Binary { op: BinaryOp::Add, dst: acc_outer_next, args: [acc_inner, two] },
+            ossa_ir::InstData::Binary {
+                op: BinaryOp::Add,
+                dst: acc_outer_next,
+                args: [acc_inner, two],
+            },
         );
         b.jump(outer);
         b.switch_to_block(exit);
@@ -385,9 +400,39 @@ mod tests {
         let f = b.finish();
         let cfg = ControlFlowGraph::compute(&f);
         let domtree = DominatorTree::compute(&f, &cfg);
-        let fast = FastLivenessQuery::new(&f, &cfg, &domtree);
+        let info = LiveRangeInfo::compute(&f);
+        let checker = FastLiveness::compute(&f, &cfg, &domtree);
+        let fast = checker.query(&cfg, &domtree, &info);
         assert!(!fast.is_live_in(entry, dead));
         assert!(!fast.is_live_out(entry, dead));
+    }
+
+    #[test]
+    fn precomputation_survives_instruction_mutation() {
+        // The CFG-only precomputation stays valid while instructions are
+        // inserted, as long as the block structure is unchanged — the
+        // property the out-of-SSA translation exploits.
+        let mut b = FunctionBuilder::new("mutate", 1);
+        let entry = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let x = b.param(0);
+        b.jump(exit);
+        b.switch_to_block(exit);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        let cfg = ControlFlowGraph::compute(&f);
+        let domtree = DominatorTree::compute(&f, &cfg);
+        let checker = FastLiveness::compute(&f, &cfg, &domtree);
+
+        // Insert a copy in `exit`; only LiveRangeInfo needs recomputing.
+        let clone = f.new_value();
+        f.insert_inst(exit, 0, ossa_ir::InstData::Copy { dst: clone, src: x });
+        let info = LiveRangeInfo::compute(&f);
+        let fast = checker.query(&cfg, &domtree, &info);
+        assert!(fast.is_live_in(exit, x));
+        assert!(!fast.is_live_out(exit, clone));
     }
 
     #[test]

@@ -27,11 +27,13 @@ impl LiveRangeInfo {
     }
 
     /// Definition site of `value`, if it has one.
+    #[inline]
     pub fn def(&self, value: Value) -> Option<DefSite> {
         self.defs[value]
     }
 
     /// Use index.
+    #[inline]
     pub fn uses(&self) -> &UseSites {
         &self.uses
     }
@@ -115,7 +117,8 @@ impl<'a, L: BlockLiveness> IntersectionTest<'a, L> {
         if def_a.block == def_b.block && def_a.pos == def_b.pos {
             return true;
         }
-        let a_dominates_b = self.domtree.dominates_point((def_a.block, def_a.pos), (def_b.block, def_b.pos));
+        let a_dominates_b =
+            self.domtree.dominates_point((def_a.block, def_a.pos), (def_b.block, def_b.pos));
         let (dominating, dominated, dominated_def) = if a_dominates_b {
             (a, b, def_b)
         } else if self.domtree.dominates_point((def_b.block, def_b.pos), (def_a.block, def_a.pos)) {

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod check;
 pub mod footprint;
 pub mod intersect;
@@ -46,6 +47,7 @@ pub mod uses;
 
 use ossa_ir::entity::{Block, Value};
 
+pub use analysis::FunctionAnalyses;
 pub use check::{FastLiveness, FastLivenessQuery};
 pub use intersect::{IntersectionTest, LiveRangeInfo};
 pub use sets::LivenessSets;

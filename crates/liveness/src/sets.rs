@@ -73,6 +73,20 @@ impl LivenessSets {
             live_out[block] = EntitySet::with_capacity(num_values);
         }
 
+        // φ uses attributed to the end of their predecessor, collected once
+        // instead of re-walking every successor's φ group per fixpoint pass.
+        let mut edge_phi_uses: SecondaryMap<Block, Vec<Value>> = SecondaryMap::new();
+        edge_phi_uses.resize(num_blocks);
+        for &block in cfg.reverse_post_order() {
+            for &inst in func.block_insts(block) {
+                if let Some(args) = func.inst(inst).phi_args() {
+                    for arg in args {
+                        edge_phi_uses[arg.block].push(arg.value);
+                    }
+                }
+            }
+        }
+
         // Backward fixpoint over the post-order.
         let post_order: Vec<Block> = cfg.post_order().collect();
         let mut changed = true;
@@ -84,9 +98,9 @@ impl LivenessSets {
                 for &succ in cfg.succs(block) {
                     // live_in(S) already excludes φ defs of S by construction.
                     new_out.union_with(&live_in[succ]);
-                    for (_, value) in func.phi_inputs_from(succ, block) {
-                        new_out.insert(value);
-                    }
+                }
+                for &value in &edge_phi_uses[block] {
+                    new_out.insert(value);
                 }
                 // live_in(B) = gen(B) ∪ (live_out(B) \ kill(B))
                 let mut new_in = gen[block].clone();
@@ -166,7 +180,12 @@ impl BlockLiveness for LivenessSets {
 /// Reference implementation of a per-block liveness query by explicit path
 /// search, used to cross-check both [`LivenessSets`] and
 /// [`crate::check::FastLiveness`] in tests. `O(blocks)` per query.
-pub fn is_live_in_by_search(func: &Function, cfg: &ControlFlowGraph, block: Block, value: Value) -> bool {
+pub fn is_live_in_by_search(
+    func: &Function,
+    cfg: &ControlFlowGraph,
+    block: Block,
+    value: Value,
+) -> bool {
     // value is live-in at `block` if some path from `block` reaches a use of
     // `value` without passing through its definition (excluded: the def block
     // itself stops the search *after* the def position).
@@ -244,10 +263,8 @@ mod tests {
         let one = b.declare_value();
         let x2 = b.phi(vec![(entry, x1), (body, x3)]);
         b.func_mut().append_inst(header, InstData::Const { dst: one, imm: 1 });
-        b.func_mut().append_inst(
-            header,
-            InstData::Binary { op: BinaryOp::Add, dst: x3, args: [x2, one] },
-        );
+        b.func_mut()
+            .append_inst(header, InstData::Binary { op: BinaryOp::Add, dst: x3, args: [x2, one] });
         b.branch(p, body, exit);
         b.switch_to_block(body);
         b.jump(header);

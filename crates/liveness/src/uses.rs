@@ -3,10 +3,12 @@
 //! φ uses are attributed to the *end of the predecessor block* (position
 //! `usize::MAX`), matching the parallel-copy semantics of φ-functions used
 //! throughout the paper.
+//!
+//! The index is stored densely (one slot per value) because
+//! [`UseSites::used_after_in_block`] sits on the hot path of every
+//! live-range intersection query.
 
-use std::collections::HashMap;
-
-use ossa_ir::entity::{Block, Value};
+use ossa_ir::entity::{Block, SecondaryMap, Value};
 use ossa_ir::{Function, InstData};
 
 /// A single use of a value.
@@ -29,27 +31,25 @@ impl UseSite {
 /// Index of all uses of every value in a function.
 #[derive(Clone, Debug, Default)]
 pub struct UseSites {
-    sites: HashMap<Value, Vec<UseSite>>,
+    sites: SecondaryMap<Value, Vec<UseSite>>,
 }
 
 impl UseSites {
     /// Builds the use index of `func`.
     pub fn compute(func: &Function) -> Self {
-        let mut sites: HashMap<Value, Vec<UseSite>> = HashMap::new();
+        let mut sites: SecondaryMap<Value, Vec<UseSite>> = SecondaryMap::new();
+        sites.resize(func.num_values());
         for block in func.blocks() {
             for (pos, &inst) in func.block_insts(block).iter().enumerate() {
                 match func.inst(inst) {
                     InstData::Phi { args, .. } => {
                         for arg in args {
-                            sites
-                                .entry(arg.value)
-                                .or_default()
-                                .push(UseSite { block: arg.block, pos: usize::MAX });
+                            sites[arg.value].push(UseSite { block: arg.block, pos: usize::MAX });
                         }
                     }
                     data => {
                         for value in data.uses() {
-                            sites.entry(value).or_default().push(UseSite { block, pos });
+                            sites[value].push(UseSite { block, pos });
                         }
                     }
                 }
@@ -59,24 +59,26 @@ impl UseSites {
     }
 
     /// All uses of `value` (empty slice if never used).
+    #[inline]
     pub fn uses_of(&self, value: Value) -> &[UseSite] {
-        self.sites.get(&value).map(Vec::as_slice).unwrap_or(&[])
+        self.sites.get(value)
     }
 
     /// Returns `true` if `value` has at least one use.
     pub fn is_used(&self, value: Value) -> bool {
-        self.sites.get(&value).is_some_and(|v| !v.is_empty())
+        !self.sites.get(value).is_empty()
     }
 
     /// Returns `true` if `value` is used in `block` strictly after position
     /// `pos` (φ edge-uses at the end of the block count).
+    #[inline]
     pub fn used_after_in_block(&self, value: Value, block: Block, pos: usize) -> bool {
         self.uses_of(value).iter().any(|site| site.block == block && site.pos > pos)
     }
 
     /// Number of values with at least one use.
     pub fn num_used_values(&self) -> usize {
-        self.sites.len()
+        self.sites.iter().filter(|(_, sites)| !sites.is_empty()).count()
     }
 }
 

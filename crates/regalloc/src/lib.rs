@@ -30,9 +30,9 @@
 
 use std::collections::HashMap;
 
-use ossa_ir::entity::{Block, Value};
-use ossa_ir::{ControlFlowGraph, Function};
-use ossa_liveness::{BlockLiveness, LivenessSets};
+use ossa_ir::entity::{Block, SecondaryMap, Value};
+use ossa_ir::Function;
+use ossa_liveness::{BlockLiveness, FunctionAnalyses};
 
 /// Where a value lives for its whole lifetime.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -92,18 +92,19 @@ impl Allocation {
     }
 }
 
-/// Computes conservative live intervals over a linearisation of the layout.
-fn live_intervals(func: &Function) -> HashMap<Value, Interval> {
-    let cfg = ControlFlowGraph::compute(func);
-    let liveness = LivenessSets::compute(func, &cfg);
+/// Computes conservative live intervals over a linearisation of the layout,
+/// reading liveness from the shared analysis cache.
+fn live_intervals(func: &Function, analyses: &FunctionAnalyses) -> HashMap<Value, Interval> {
+    let liveness = analyses.liveness_sets(func);
 
     // Linear numbering of (block, inst) program points in layout order.
-    let mut block_range: HashMap<Block, (u32, u32)> = HashMap::new();
+    let mut block_range: SecondaryMap<Block, (u32, u32)> = SecondaryMap::new();
+    block_range.resize(func.num_blocks());
     let mut counter = 0u32;
     for block in func.blocks() {
         let start = counter;
         counter += func.block_len(block) as u32 + 1;
-        block_range.insert(block, (start, counter - 1));
+        block_range[block] = (start, counter - 1);
     }
 
     let mut intervals: HashMap<Value, Interval> = HashMap::new();
@@ -114,7 +115,7 @@ fn live_intervals(func: &Function) -> HashMap<Value, Interval> {
     };
 
     for block in func.blocks() {
-        let (block_start, block_end) = block_range[&block];
+        let (block_start, block_end) = block_range[block];
         for (offset, &inst) in func.block_insts(block).iter().enumerate() {
             let point = block_start + offset as u32;
             let data = func.inst(inst);
@@ -135,11 +136,19 @@ fn live_intervals(func: &Function) -> HashMap<Value, Interval> {
     intervals
 }
 
-/// Allocates registers for `func` with `num_regs` architectural registers.
-/// Pinned values are given their required register; other values get any
-/// free register or a spill slot when none is available.
+/// Allocates registers for `func` with `num_regs` architectural registers,
+/// computing its analyses from scratch. Pinned values are given their
+/// required register; other values get any free register or a spill slot
+/// when none is available.
 pub fn allocate(func: &Function, num_regs: u32) -> Allocation {
-    let intervals = live_intervals(func);
+    allocate_cached(func, num_regs, &FunctionAnalyses::new())
+}
+
+/// Like [`allocate`], but reads CFG and liveness from a shared analysis
+/// cache — e.g. the one the out-of-SSA translation just used, whose
+/// CFG-level analyses are still valid for the translated function.
+pub fn allocate_cached(func: &Function, num_regs: u32, analyses: &FunctionAnalyses) -> Allocation {
+    let intervals = live_intervals(func, analyses);
     let mut by_start: Vec<(Value, Interval)> = intervals.iter().map(|(&v, &i)| (v, i)).collect();
     by_start.sort_by_key(|&(v, i)| (i.start, i.end, v.index()));
 
@@ -337,6 +346,23 @@ mod tests {
             let allocation = allocate(&f, 8);
             check_allocation(&f, &allocation, 8)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", f.display()));
+        }
+    }
+
+    #[test]
+    fn cached_allocation_matches_fresh_allocation() {
+        use ossa_destruct::translate_out_of_ssa_cached;
+        for seed in 0..5 {
+            let (mut f, _) = generate_ssa_function("cached", &GenConfig::small(), seed);
+            let mut analyses = FunctionAnalyses::new();
+            translate_out_of_ssa_cached(&mut f, &OutOfSsaOptions::default(), &mut analyses);
+            // Allocation through the cache the translation just used...
+            let cached = allocate_cached(&f, 8, &analyses);
+            check_allocation(&f, &cached, 8).unwrap();
+            // ...is identical to a from-scratch allocation.
+            let fresh = allocate(&f, 8);
+            assert_eq!(cached.locations, fresh.locations, "seed {seed}");
+            assert_eq!(cached.spills, fresh.spills, "seed {seed}");
         }
     }
 

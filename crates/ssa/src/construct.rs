@@ -10,9 +10,7 @@
 use std::collections::HashMap;
 
 use ossa_ir::entity::{Block, SecondaryMap, Value};
-use ossa_ir::{
-    ControlFlowGraph, DominanceFrontiers, DominatorTree, Function, InstData, PhiArg,
-};
+use ossa_ir::{ControlFlowGraph, DominanceFrontiers, DominatorTree, Function, InstData, PhiArg};
 use ossa_liveness::LivenessSets;
 
 /// Result of SSA construction.
@@ -43,10 +41,8 @@ pub fn construct_ssa(func: &mut Function) -> SsaConstruction {
     // (i.e. possibly used before defined on some path).
     let entry = func.entry();
     let entry_live_in: Vec<Value> = liveness.live_in(entry).iter().collect();
-    let mut insert_at = 0usize;
-    for variable in entry_live_in {
+    for (insert_at, variable) in entry_live_in.into_iter().enumerate() {
         func.insert_inst(entry, insert_at, InstData::Const { dst: variable, imm: 0 });
-        insert_at += 1;
     }
 
     // Recompute analyses after the initializing definitions.
@@ -55,16 +51,20 @@ pub fn construct_ssa(func: &mut Function) -> SsaConstruction {
     let frontiers = DominanceFrontiers::compute(func, &cfg, &domtree);
     let liveness = LivenessSets::compute(func, &cfg);
 
-    // Definition blocks per variable.
+    // Definition blocks per variable, stored densely so that φ placement
+    // below iterates variables in index order — iterating a HashMap here made
+    // φ order (and with it all downstream SSA value numbering) vary from run
+    // to run.
     let num_values_before = func.num_values();
-    let mut def_blocks: HashMap<Value, Vec<Block>> = HashMap::new();
+    let mut def_blocks: SecondaryMap<Value, Vec<Block>> = SecondaryMap::new();
+    def_blocks.resize(num_values_before);
     let mut scratch = Vec::new();
     for &block in cfg.reverse_post_order() {
         for &inst in func.block_insts(block) {
             scratch.clear();
             func.inst(inst).collect_defs(&mut scratch);
             for &v in &scratch {
-                let blocks = def_blocks.entry(v).or_default();
+                let blocks = &mut def_blocks[v];
                 if !blocks.contains(&block) {
                     blocks.push(block);
                 }
@@ -74,8 +74,7 @@ pub fn construct_ssa(func: &mut Function) -> SsaConstruction {
 
     // φ placement on iterated dominance frontiers (pruned with liveness).
     let mut phis_inserted = 0usize;
-    let mut phi_of_block: HashMap<(Block, Value), ossa_ir::entity::Inst> = HashMap::new();
-    for (&variable, blocks) in &def_blocks {
+    for (variable, blocks) in def_blocks.iter().filter(|(_, blocks)| !blocks.is_empty()) {
         let mut worklist: Vec<Block> = blocks.clone();
         let mut has_phi: Vec<bool> = vec![false; func.num_blocks()];
         let mut ever_on_worklist: Vec<bool> = vec![false; func.num_blocks()];
@@ -96,12 +95,7 @@ pub fn construct_ssa(func: &mut Function) -> SsaConstruction {
                     .iter()
                     .map(|&pred| PhiArg { block: pred, value: variable })
                     .collect();
-                let inst = func.insert_inst(
-                    frontier_block,
-                    0,
-                    InstData::Phi { dst: variable, args },
-                );
-                phi_of_block.insert((frontier_block, variable), inst);
+                func.insert_inst(frontier_block, 0, InstData::Phi { dst: variable, args });
                 phis_inserted += 1;
                 if !ever_on_worklist[frontier_block.index()] {
                     ever_on_worklist[frontier_block.index()] = true;
@@ -119,7 +113,8 @@ pub fn construct_ssa(func: &mut Function) -> SsaConstruction {
         origin[v] = Some(v);
     }
 
-    let mut stacks: HashMap<Value, Vec<Value>> = HashMap::new();
+    let mut stacks: SecondaryMap<Value, Vec<Value>> = SecondaryMap::new();
+    stacks.resize(num_values_before);
     rename_block(func, &cfg, &domtree, func.entry(), &mut stacks, &mut origin);
 
     let values_created = func.num_values() - num_values_before;
@@ -131,7 +126,7 @@ fn rename_block(
     cfg: &ControlFlowGraph,
     domtree: &DominatorTree,
     block: Block,
-    stacks: &mut HashMap<Value, Vec<Value>>,
+    stacks: &mut SecondaryMap<Value, Vec<Value>>,
     origin: &mut SecondaryMap<Value, Option<Value>>,
 ) {
     // Remember how many pushes we do so we can pop them on exit.
@@ -144,14 +139,12 @@ fn rename_block(
             // Rewrite uses with the current top-of-stack version.
             let mut missing: Vec<Value> = Vec::new();
             {
-                let stacks_ref: &HashMap<Value, Vec<Value>> = stacks;
-                func.inst_mut(inst).map_uses(|v| {
-                    match stacks_ref.get(&v).and_then(|s| s.last()) {
-                        Some(&top) => top,
-                        None => {
-                            missing.push(v);
-                            v
-                        }
+                let stacks_ref: &SecondaryMap<Value, Vec<Value>> = stacks;
+                func.inst_mut(inst).map_uses(|v| match stacks_ref.get(v).last() {
+                    Some(&top) => top,
+                    None => {
+                        missing.push(v);
+                        v
                     }
                 });
             }
@@ -171,7 +164,7 @@ fn rename_block(
                 if let Some(reg) = func.pinned_reg(old) {
                     func.pin_value(fresh, reg);
                 }
-                stacks.entry(old).or_default().push(fresh);
+                stacks[old].push(fresh);
                 pushed.push(old);
                 replacements.insert(old, fresh);
             }
@@ -189,7 +182,7 @@ fn rename_block(
                         // The argument still holds the original variable name
                         // (or was already rewritten if this edge was visited —
                         // each edge is visited exactly once).
-                        if let Some(&top) = stacks.get(&arg.value).and_then(|s| s.last()) {
+                        if let Some(&top) = stacks.get(arg.value).last() {
                             arg.value = top;
                         }
                     }
@@ -206,7 +199,7 @@ fn rename_block(
 
     // Pop the versions pushed by this block.
     for old in pushed.into_iter().rev() {
-        stacks.get_mut(&old).expect("stack exists").pop();
+        stacks[old].pop();
     }
 }
 

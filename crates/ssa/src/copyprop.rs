@@ -46,7 +46,7 @@ pub fn propagate_copies_keeping(func: &mut Function, keep_every: usize) -> CopyP
         for &inst in func.block_insts(block) {
             if let InstData::Copy { dst, src } = *func.inst(inst) {
                 copy_index += 1;
-                if keep_every != 0 && copy_index % keep_every == 0 {
+                if keep_every != 0 && copy_index.is_multiple_of(keep_every) {
                     continue; // deliberately kept
                 }
                 copy_source[dst] = Some(src);
@@ -129,9 +129,11 @@ mod tests {
         assert!(stats.uses_rewritten >= 2);
         verify_ssa(&f).expect("still valid SSA");
         // The add now reads x twice.
-        let add = f.block_insts(entry).iter().copied().find(|&i| {
-            matches!(f.inst(i), InstData::Binary { .. })
-        });
+        let add = f
+            .block_insts(entry)
+            .iter()
+            .copied()
+            .find(|&i| matches!(f.inst(i), InstData::Binary { .. }));
         assert_eq!(f.inst(add.unwrap()).uses(), vec![x, x]);
         assert_eq!(f.count_copies(), 0);
     }

@@ -43,8 +43,10 @@ fn hardware_loop() -> Function {
 
 fn main() {
     let original = hardware_loop();
-    println!("SSA input (note the br_dec terminator defining {}):\n{}\n",
-        "the decremented counter", original.display());
+    println!(
+        "SSA input (note the br_dec terminator defining the decremented counter):\n{}\n",
+        original.display()
+    );
 
     let mut translated = original.clone();
     let stats = translate_out_of_ssa(&mut translated, &OutOfSsaOptions::default());

@@ -1,55 +1,80 @@
 //! A miniature JIT middle-end pipeline over a simulated SPEC-like workload:
 //! non-SSA input → SSA construction → copy propagation (which breaks
-//! conventionality) → out-of-SSA translation → linear-scan register
-//! allocation.
+//! conventionality) → batch out-of-SSA translation (parallel corpus engine)
+//! → linear-scan register allocation over shared cached analyses.
 //!
 //! Run with `cargo run --example jit_pipeline`.
 
 use out_of_ssa::cfggen::{generate_function, pin_call_conventions, GenConfig};
-use out_of_ssa::destruct::{translate_out_of_ssa, OutOfSsaOptions};
+use out_of_ssa::destruct::{translate_corpus, translate_out_of_ssa_cached, OutOfSsaOptions};
 use out_of_ssa::interp::{same_behaviour, Interpreter};
-use out_of_ssa::regalloc::{allocate, check_allocation};
+use out_of_ssa::liveness::FunctionAnalyses;
+use out_of_ssa::regalloc::{allocate_cached, check_allocation};
 use out_of_ssa::ssa::{construct_ssa, eliminate_dead_code, is_conventional, propagate_copies};
 
 fn main() {
     let config = GenConfig { num_stmts: 60, num_vars: 10, ..GenConfig::default() };
+    let num_funcs = 8u64;
+    let options = OutOfSsaOptions::default();
+
+    // 1. Front end: functions in mutable virtual-register form.
+    let references: Vec<_> = (0..num_funcs)
+        .map(|seed| generate_function(format!("jit::fn{seed}"), &config, seed))
+        .collect();
+
+    // 2. Middle end: SSA construction + optimizations, per function.
+    let mut funcs = references.clone();
+    let mut middle_end_stats = Vec::new();
+    for func in &mut funcs {
+        let construction = construct_ssa(func);
+        let prop = propagate_copies(func);
+        eliminate_dead_code(func);
+        let conventional = is_conventional(func);
+        // 3. Renaming constraints from the calling convention.
+        pin_call_conventions(func);
+        middle_end_stats.push((construction.phis_inserted, prop.copies_removed, conventional));
+    }
+    let ssa_forms = funcs.clone();
+
+    // 4. Back end, batch flavour: the whole queue goes through the parallel
+    //    out-of-SSA engine (one analysis cache per function, functions
+    //    translated in parallel).
+    let corpus_stats = translate_corpus(&mut funcs, &options);
+
+    // 5. Back end, shared-cache flavour: each function is also translated
+    //    serially through one `FunctionAnalyses` that then feeds register
+    //    allocation — the CFG-level analyses computed during translation
+    //    survive it and are reused by `allocate_cached`. Both flavours must
+    //    agree exactly.
+    let mut analyses = FunctionAnalyses::new();
     let mut total_spills = 0usize;
     let mut total_copies = 0usize;
+    for (seed, func) in funcs.iter().enumerate() {
+        analyses.invalidate_cfg();
+        let mut serial = ssa_forms[seed].clone();
+        let serial_stats = translate_out_of_ssa_cached(&mut serial, &options, &mut analyses);
+        assert_eq!(&serial, func, "batch and serial translation disagree on fn{seed}");
+        assert_eq!(serial_stats, corpus_stats.per_function[seed]);
 
-    for seed in 0..8u64 {
-        // 1. Front end: a function in mutable virtual-register form.
-        let mut func = generate_function(format!("jit::fn{seed}"), &config, seed);
-        let reference = func.clone();
+        let allocation = allocate_cached(func, 8, &analyses);
+        check_allocation(func, &allocation, 8).expect("allocation verifies");
 
-        // 2. Middle end: SSA construction + optimizations.
-        let construction = construct_ssa(&mut func);
-        let prop = propagate_copies(&mut func);
-        eliminate_dead_code(&mut func);
-        let conventional = is_conventional(&func);
-
-        // 3. Renaming constraints from the calling convention.
-        pin_call_conventions(&mut func);
-
-        // 4. Back end: out-of-SSA translation, then register allocation.
-        let ssa_form = func.clone();
-        let stats = translate_out_of_ssa(&mut func, &OutOfSsaOptions::default());
-        let allocation = allocate(&func, 8);
-        check_allocation(&func, &allocation, 8).expect("allocation verifies");
-
-        // 5. The whole pipeline preserves behaviour.
+        // 6. The whole pipeline preserves behaviour.
         for args in [[1, 2, 3], [5, 0, -3], [9, 9, 9]] {
-            let a = Interpreter::new().run(&reference, &args).expect("reference runs");
-            let c = Interpreter::new().run(&ssa_form, &args).expect("ssa runs");
-            let b = Interpreter::new().run(&func, &args).expect("translated runs");
-            assert!(same_behaviour(&a, &b) && same_behaviour(&c, &b), "pipeline miscompiled fn{seed}");
+            let a = Interpreter::new().run(&references[seed], &args).expect("reference runs");
+            let c = Interpreter::new().run(&ssa_forms[seed], &args).expect("ssa runs");
+            let b = Interpreter::new().run(func, &args).expect("translated runs");
+            assert!(
+                same_behaviour(&a, &b) && same_behaviour(&c, &b),
+                "pipeline miscompiled fn{seed}"
+            );
         }
 
+        let (phis, propagated, conventional) = middle_end_stats[seed];
+        let stats = &corpus_stats.per_function[seed];
         println!(
-            "fn{seed}: {} phis, {} copies propagated, conventional after opt: {}, \
-             {} copies remain, {} registers used, {} spills",
-            construction.phis_inserted,
-            prop.copies_removed,
-            conventional,
+            "fn{seed}: {phis} phis, {propagated} copies propagated, conventional after opt: \
+             {conventional}, {} copies remain, {} registers used, {} spills",
             stats.remaining_copies,
             allocation.registers_used(),
             allocation.spills
@@ -57,5 +82,10 @@ fn main() {
         total_spills += allocation.spills;
         total_copies += stats.remaining_copies;
     }
-    println!("\ntotal remaining copies: {total_copies}, total spills: {total_spills}");
+    println!(
+        "\ntranslated {} functions on {} threads; total remaining copies: {total_copies}, \
+         total spills: {total_spills}",
+        corpus_stats.per_function.len(),
+        corpus_stats.threads
+    );
 }

@@ -28,8 +28,10 @@ fn lost_copy() -> Function {
     let x2 = b.phi(vec![(entry, x1), (header, x3)]);
     let i = b.phi(vec![(entry, p), (header, i_next)]);
     let one = b.iconst(1);
-    b.func_mut().append_inst(header, InstData::Binary { op: BinaryOp::Add, dst: x3, args: [x2, one] });
-    b.func_mut().append_inst(header, InstData::Binary { op: BinaryOp::Sub, dst: i_next, args: [i, one] });
+    b.func_mut()
+        .append_inst(header, InstData::Binary { op: BinaryOp::Add, dst: x3, args: [x2, one] });
+    b.func_mut()
+        .append_inst(header, InstData::Binary { op: BinaryOp::Sub, dst: i_next, args: [i, one] });
     let zero = b.iconst(0);
     let c = b.cmp(CmpOp::Gt, i_next, zero);
     b.branch(c, header, exit);
@@ -58,7 +60,8 @@ fn swap() -> Function {
     b.phi_to(b2, vec![(entry, b1), (header, a2)]);
     let i = b.phi(vec![(entry, p), (header, i_next)]);
     let one = b.iconst(1);
-    b.func_mut().append_inst(header, InstData::Binary { op: BinaryOp::Sub, dst: i_next, args: [i, one] });
+    b.func_mut()
+        .append_inst(header, InstData::Binary { op: BinaryOp::Sub, dst: i_next, args: [i, one] });
     let zero = b.iconst(0);
     let c = b.cmp(CmpOp::Gt, i_next, zero);
     b.branch(c, header, exit);
@@ -91,7 +94,10 @@ fn run_variants(name: &str, original: &Function) {
             let b = Interpreter::new().run(&translated, &[input]).expect("translated runs");
             assert!(same_behaviour(&a, &b), "{label} miscompiled {name}");
         }
-        println!("{label:>14}: {} copies remain (weighted {:.0})", stats.remaining_copies, stats.remaining_weighted);
+        println!(
+            "{label:>14}: {} copies remain (weighted {:.0})",
+            stats.remaining_copies, stats.remaining_weighted
+        );
     }
     let mut best = original.clone();
     translate_out_of_ssa(&mut best, &OutOfSsaOptions::sharing());

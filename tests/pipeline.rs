@@ -1,8 +1,11 @@
 //! Cross-crate integration tests: the full pipeline on the simulated corpus.
 
-use out_of_ssa::cfggen::{generate_ssa_function, pin_call_conventions, spec_like_corpus, GenConfig};
+use out_of_ssa::cfggen::{
+    generate_ssa_function, pin_call_conventions, spec_like_corpus, GenConfig,
+};
 use out_of_ssa::destruct::{
-    translate_out_of_ssa, ClassCheck, InterferenceMode, OutOfSsaOptions,
+    translate_corpus, translate_corpus_serial, translate_corpus_with, translate_out_of_ssa,
+    ClassCheck, InterferenceMode, OutOfSsaOptions,
 };
 use out_of_ssa::interp::{same_behaviour, Interpreter};
 use out_of_ssa::ir::{verify_cfg, verify_ssa};
@@ -31,7 +34,8 @@ fn variants() -> Vec<(&'static str, OutOfSsaOptions)> {
 
 #[test]
 fn every_variant_preserves_behaviour_on_generated_functions() {
-    let inputs: Vec<Vec<i64>> = vec![vec![0, 0, 0], vec![1, 2, 3], vec![7, -3, 11], vec![42, 5, -9]];
+    let inputs: Vec<Vec<i64>> =
+        vec![vec![0, 0, 0], vec![1, 2, 3], vec![7, -3, 11], vec![42, 5, -9]];
     for seed in 0..12u64 {
         let (original, _) = generate_ssa_function(format!("prop{seed}"), &GenConfig::small(), seed);
         verify_ssa(&original).expect("generated SSA is valid");
@@ -130,6 +134,32 @@ fn pinned_pipeline_allocates_and_preserves_behaviour() {
             assert!(same_behaviour(&a, &b), "seed {seed} differs");
         }
     }
+}
+
+#[test]
+fn batch_corpus_translation_matches_serial_per_function() {
+    // The corpus engine (parallel) must produce exactly the same functions
+    // and statistics as the serial per-function entry point.
+    let corpus = spec_like_corpus(0.08, true);
+    let functions: Vec<_> = corpus.iter().flat_map(|w| w.functions.iter().cloned()).collect();
+
+    let options = OutOfSsaOptions::default();
+    let mut serial = functions.clone();
+    let serial_stats: Vec<_> =
+        serial.iter_mut().map(|f| translate_out_of_ssa(f, &options)).collect();
+
+    let mut batch = functions.clone();
+    let batch_stats = translate_corpus(&mut batch, &options);
+    assert_eq!(serial_stats, batch_stats.per_function);
+    assert_eq!(serial, batch);
+
+    // The serial batch path and an explicit two-thread run agree as well.
+    let mut batch_serial = functions.clone();
+    let a = translate_corpus_serial(&mut batch_serial, &options);
+    let mut batch_two = functions.clone();
+    let b = translate_corpus_with(&mut batch_two, &options, 2);
+    assert_eq!(a.per_function, b.per_function);
+    assert_eq!(batch_serial, batch_two);
 }
 
 #[test]

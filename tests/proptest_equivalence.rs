@@ -1,37 +1,56 @@
-//! Property-based tests on the core invariants.
+//! Property-style tests on the core invariants.
+//!
+//! The offline build environment has no `proptest`, so the properties are
+//! exercised with the workspace's own deterministic PRNG
+//! (`ossa_cfggen::rng::SmallRng`) over a fixed number of cases per property.
 
-use proptest::prelude::*;
-
+use out_of_ssa::cfggen::rng::SmallRng;
 use out_of_ssa::cfggen::{generate_ssa_function, GenConfig};
 use out_of_ssa::destruct::{
-    minimum_copies, sequentialize, translate_out_of_ssa, OutOfSsaOptions,
+    minimum_copies, translate_corpus, translate_out_of_ssa, try_sequentialize, OutOfSsaOptions,
 };
 use out_of_ssa::interp::{same_behaviour, Interpreter};
 use out_of_ssa::ir::entity::EntityRef;
-use out_of_ssa::ir::{CopyPair, Value};
+use out_of_ssa::ir::{CopyPair, Function, Value};
 
-/// Strategy producing a well-formed parallel copy: unique destinations,
-/// arbitrary sources drawn from a small universe.
-fn parallel_copy_strategy() -> impl Strategy<Value = Vec<CopyPair>> {
-    prop::collection::vec(0usize..8, 1..8).prop_map(|srcs| {
-        srcs.into_iter()
-            .enumerate()
-            .filter(|(dst, src)| dst != src)
-            .map(|(dst, src)| CopyPair { dst: Value::new(dst), src: Value::new(src) })
-            .collect()
-    })
+/// The seven Figure 5 variants, in the paper's order.
+fn figure5_variants() -> Vec<(&'static str, OutOfSsaOptions)> {
+    vec![
+        ("Intersect", OutOfSsaOptions::intersect()),
+        ("Sreedhar I", OutOfSsaOptions::sreedhar_i()),
+        ("Chaitin", OutOfSsaOptions::chaitin()),
+        ("Value", OutOfSsaOptions::value()),
+        ("Sreedhar III", OutOfSsaOptions::sreedhar_iii()),
+        ("Value + IS", OutOfSsaOptions::value_is()),
+        ("Sharing", OutOfSsaOptions::sharing()),
+    ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Generates a well-formed random parallel copy: unique destinations,
+/// arbitrary sources drawn from a small universe.
+fn random_parallel_copy(rng: &mut SmallRng) -> Vec<CopyPair> {
+    let n = rng.range_inclusive(1, 7);
+    (0..n)
+        .map(|dst| (dst, rng.below(n + 2)))
+        .filter(|&(dst, src)| dst != src)
+        .map(|(dst, src)| CopyPair { dst: Value::new(dst), src: Value::new(src) })
+        .collect()
+}
 
-    /// Algorithm 1 emits a sequence equivalent to the parallel copy and uses
-    /// the minimum number of copies.
-    #[test]
-    fn sequentialization_is_correct_and_minimal(moves in parallel_copy_strategy()) {
+/// Algorithm 1 emits a sequence equivalent to the parallel copy and uses the
+/// minimum number of copies.
+#[test]
+fn sequentialization_is_correct_and_minimal() {
+    let mut rng = SmallRng::seed_from_u64(0x5e9);
+    for case in 0..256 {
+        let moves = random_parallel_copy(&mut rng);
         let temp = Value::new(100);
-        let seq = sequentialize(&moves, temp);
-        prop_assert_eq!(seq.copies.len(), minimum_copies(&moves));
+        let seq = try_sequentialize(&moves, temp).expect("unique destinations by construction");
+        assert_eq!(
+            seq.copies.len(),
+            minimum_copies(&moves),
+            "case {case}: non-minimal sequentialization of {moves:?}"
+        );
 
         // Simulate both with distinct tokens per value.
         let mut initial = std::collections::HashMap::new();
@@ -52,30 +71,48 @@ proptest! {
         }
         for (&value, &expected) in &parallel {
             if value != temp {
-                prop_assert_eq!(sequential[&value], expected);
+                assert_eq!(sequential[&value], expected, "case {case}: {value} differs");
             }
         }
     }
+}
 
-    /// The default out-of-SSA translation preserves the observable behaviour
-    /// of randomly generated programs.
-    #[test]
-    fn translation_preserves_behaviour(seed in 0u64..500, a in -20i64..20, b in -20i64..20) {
+/// Every Figure 5 variant preserves the observable behaviour of randomly
+/// generated programs, checked against the pre-translation interpreter
+/// oracle.
+#[test]
+fn every_variant_preserves_behaviour_on_generated_cfgs() {
+    let mut rng = SmallRng::seed_from_u64(2009);
+    for seed in 0..40u64 {
         let (original, _) = generate_ssa_function(format!("p{seed}"), &GenConfig::small(), seed);
-        let mut translated = original.clone();
-        translate_out_of_ssa(&mut translated, &OutOfSsaOptions::default());
-        let args = vec![a, b, a ^ b];
-        let want = Interpreter::new().run(&original, &args).expect("original runs");
-        let got = Interpreter::new().run(&translated, &args).expect("translated runs");
-        prop_assert!(same_behaviour(&want, &got));
-        prop_assert_eq!(translated.count_phis(), 0);
+        let arg_sets: Vec<Vec<i64>> =
+            (0..3).map(|_| (0..3).map(|_| rng.range_i64(-20, 20)).collect()).collect();
+        let oracle: Vec<_> = arg_sets
+            .iter()
+            .map(|args| Interpreter::new().run(&original, args).expect("original runs"))
+            .collect();
+        for (name, options) in figure5_variants() {
+            let mut translated = original.clone();
+            translate_out_of_ssa(&mut translated, &options);
+            assert_eq!(translated.count_phis(), 0, "{name}: phis remain for seed {seed}");
+            for (args, want) in arg_sets.iter().zip(&oracle) {
+                let got = Interpreter::new().run(&translated, args).expect("translated runs");
+                assert!(
+                    same_behaviour(want, &got),
+                    "{name}: seed {seed} differs on {args:?}\n{}",
+                    translated.display()
+                );
+            }
+        }
     }
+}
 
-    /// The eager and virtualized engines produce code with identical
-    /// behaviour (the paper's claim that virtualization does not change code
-    /// quality guarantees, only engineering).
-    #[test]
-    fn eager_and_virtualized_agree_behaviourally(seed in 500u64..700) {
+/// The eager and virtualized engines produce code with identical behaviour
+/// (the paper's claim that virtualization does not change code quality
+/// guarantees, only engineering).
+#[test]
+fn eager_and_virtualized_agree_behaviourally() {
+    for seed in 500..540u64 {
         let (original, _) = generate_ssa_function(format!("v{seed}"), &GenConfig::small(), seed);
         let mut eager = original.clone();
         let mut virt = original.clone();
@@ -85,8 +122,28 @@ proptest! {
             let a = Interpreter::new().run(&eager, &args).expect("eager runs");
             let b = Interpreter::new().run(&virt, &args).expect("virtualized runs");
             let reference = Interpreter::new().run(&original, &args).expect("original runs");
-            prop_assert!(same_behaviour(&reference, &a));
-            prop_assert!(same_behaviour(&reference, &b));
+            assert!(same_behaviour(&reference, &a), "seed {seed}: eager differs");
+            assert!(same_behaviour(&reference, &b), "seed {seed}: virtualized differs");
+        }
+    }
+}
+
+/// The batch engine and the serial per-function entry point are
+/// bit-identical, for every Figure 5 variant, on a generated corpus.
+#[test]
+fn batch_engine_matches_serial_translation() {
+    let corpus: Vec<Function> = (700..716u64)
+        .map(|seed| generate_ssa_function(format!("b{seed}"), &GenConfig::small(), seed).0)
+        .collect();
+    for (name, options) in figure5_variants() {
+        let mut serial = corpus.clone();
+        let mut batch = corpus.clone();
+        let serial_stats: Vec<_> =
+            serial.iter_mut().map(|f| translate_out_of_ssa(f, &options)).collect();
+        let batch_stats = translate_corpus(&mut batch, &options);
+        assert_eq!(serial_stats, batch_stats.per_function, "{name}: stats differ");
+        for (a, b) in serial.iter().zip(&batch) {
+            assert_eq!(a, b, "{name}: translated function {} differs", a.name);
         }
     }
 }
