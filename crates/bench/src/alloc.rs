@@ -1,0 +1,64 @@
+//! A counting global allocator for the perf trajectory.
+//!
+//! Wraps the system allocator and counts, per thread, how many heap
+//! allocations were requested. The report binaries register it with
+//! `#[global_allocator]` and sample [`allocation_count`] around a measured
+//! region; the delta is the region's allocation count. Counting is
+//! thread-local so that a parallel run does not need atomic traffic on the
+//! allocation path, and a thread only observes its own allocations.
+//!
+//! The counter uses `LocalKey::try_with` so allocations that happen while
+//! the thread-local slot itself is being initialized or torn down are simply
+//! not counted instead of recursing or aborting.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of heap allocations performed by the current thread since it
+/// started (wrapping; meant to be sampled twice and subtracted).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+fn bump() {
+    // Ignore allocations during TLS construction/destruction.
+    let _ = ALLOCATIONS.try_with(|count| count.set(count.get().wrapping_add(1)));
+}
+
+/// System allocator wrapper counting allocation requests per thread.
+///
+/// `alloc`, `alloc_zeroed` and `realloc` each count as one allocation;
+/// `dealloc` is free. Register with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: ossa_bench::alloc::CountingAllocator = ossa_bench::alloc::CountingAllocator;
+/// ```
+pub struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the only addition is a thread-local
+// counter bump, which performs no allocation itself.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

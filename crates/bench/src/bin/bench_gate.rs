@@ -1,0 +1,135 @@
+//! CI bench regression gate.
+//!
+//! Compares the serial-translation seconds of a freshly produced
+//! `BENCH_fig6.json` against the committed `BENCH_baseline.json` and exits
+//! non-zero when the current numbers regress beyond a tolerance, failing the
+//! CI job. Checked:
+//!
+//! 1. `batch_serial_seconds` and `seed_style_serial_seconds` each within
+//!    `(1 + tolerance)` of the committed baseline (absolute trajectory);
+//! 2. `batch_serial_seconds ≤ seed_style_serial_seconds × 1.05` (the batch
+//!    engine must not fall behind the naive per-function loop — the
+//!    regression this PR fixed);
+//! 3. the per-phase timing and allocation-count fields are present, so the
+//!    perf trajectory never silently loses instrumentation.
+//!
+//! Usage: `bench_gate [current.json] [baseline.json]`, defaulting to
+//! `BENCH_fig6.json` and `BENCH_baseline.json`. The tolerance defaults to
+//! 0.15 and can be overridden with `BENCH_GATE_TOLERANCE` (a fraction, e.g.
+//! `0.25`) for noisier machines.
+
+use std::process::ExitCode;
+
+/// Extracts the number following `"key":` in `json`. Whitespace-tolerant,
+/// no external dependencies (the build environment is offline).
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let current_path = args.next().unwrap_or_else(|| "BENCH_fig6.json".to_string());
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let tolerance: f64 =
+        std::env::var("BENCH_GATE_TOLERANCE").ok().and_then(|t| t.parse().ok()).unwrap_or(0.15);
+
+    let read = |path: &str| -> Option<String> {
+        match std::fs::read_to_string(path) {
+            Ok(s) => Some(s),
+            Err(err) => {
+                eprintln!("bench_gate: cannot read {path}: {err}");
+                None
+            }
+        }
+    };
+    let (Some(current), Some(baseline)) = (read(&current_path), read(&baseline_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut failures = 0u32;
+
+    // The seconds comparisons are meaningless across different corpus
+    // scales: a report regenerated at a smaller scale would pass trivially.
+    match (extract_number(&current, "scale"), extract_number(&baseline, "scale")) {
+        (Some(cur), Some(base)) if cur == base => {}
+        (cur, base) => {
+            eprintln!(
+                "scale mismatch: current {cur:?} vs baseline {base:?} — regenerate {current_path} \
+                 at the baseline's scale"
+            );
+            failures += 1;
+        }
+    }
+
+    let mut check_vs_baseline =
+        |key: &str| match (extract_number(&current, key), extract_number(&baseline, key)) {
+            (Some(cur), Some(base)) => {
+                let limit = base * (1.0 + tolerance);
+                let verdict = if cur <= limit { "ok" } else { "REGRESSION" };
+                println!(
+                "{key}: current {cur:.6}s vs baseline {base:.6}s (limit {limit:.6}s) — {verdict}"
+            );
+                if cur > limit {
+                    failures += 1;
+                }
+            }
+            (cur, _) => {
+                eprintln!(
+                    "{key}: missing from {}",
+                    if cur.is_none() { &current_path } else { &baseline_path }
+                );
+                failures += 1;
+            }
+        };
+    check_vs_baseline("batch_serial_seconds");
+    check_vs_baseline("seed_style_serial_seconds");
+
+    // Relative invariant, independent of machine speed: the batch engine
+    // must not be slower than the seed-style per-function loop. 10% slack —
+    // the regression this catches was a systematic gap, well above shared-
+    // runner noise on two interleaved min-of-5 measurements, while the
+    // structural advantage of the batch engine is only a few percent.
+    match (
+        extract_number(&current, "batch_serial_seconds"),
+        extract_number(&current, "seed_style_serial_seconds"),
+    ) {
+        (Some(batch), Some(seed)) => {
+            let verdict = if batch <= seed * 1.10 { "ok" } else { "REGRESSION" };
+            println!("batch_serial ≤ 1.10 × seed_style: {batch:.6}s vs {seed:.6}s — {verdict}");
+            if batch > seed * 1.10 {
+                failures += 1;
+            }
+        }
+        _ => failures += 1,
+    }
+
+    // Instrumentation presence: phase timings and allocation counts.
+    for key in [
+        "liveness",
+        "coalesce",
+        "sequentialize",
+        "seed_style_serial_allocations",
+        "batch_serial_allocations",
+    ] {
+        if extract_number(&current, key).is_none() {
+            eprintln!("{key}: instrumentation field missing from {current_path}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench_gate: {failures} check(s) failed (tolerance {tolerance})");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: all checks passed (tolerance {tolerance})");
+        ExitCode::SUCCESS
+    }
+}

@@ -5,8 +5,15 @@
 
 use std::fmt::Write as _;
 
+use ossa_bench::alloc::allocation_count;
 use ossa_bench::{corpus, format_normalized, run_variant_seed_style, speed_report, DEFAULT_SCALE};
-use ossa_destruct::OutOfSsaOptions;
+use ossa_destruct::{OutOfSsaOptions, PhaseSeconds};
+
+/// Counting allocator: the JSON reports how many heap allocations each
+/// serial engine performs over the corpus, so allocation regressions on the
+/// hot paths are as visible as time regressions.
+#[global_allocator]
+static ALLOC: ossa_bench::alloc::CountingAllocator = ossa_bench::alloc::CountingAllocator;
 
 fn main() {
     let scale =
@@ -40,21 +47,51 @@ fn main() {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let flat: Vec<_> = corpus.iter().flat_map(|w| w.functions.iter().cloned()).collect();
     let min3 = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
-    let seed_style: f64 =
-        min3(&|| corpus.iter().map(|w| run_variant_seed_style(w, &options).1).sum());
+    // Allocation counts: one untimed pass per serial engine, counting the
+    // translation only — both input clones happen before the counter is
+    // sampled, so the numbers compare the engines, not the harness.
+    let seed_style_allocs = {
+        let mut work = flat.clone();
+        let before = allocation_count();
+        for func in &mut work {
+            let _ = ossa_destruct::translate_out_of_ssa(func, &options);
+        }
+        allocation_count() - before
+    };
+    let (batch_allocs, phase) = {
+        let mut work = flat.clone();
+        let before = allocation_count();
+        let stats = ossa_destruct::translate_corpus_serial(&mut work, &options);
+        (allocation_count() - before, stats.total().phase_seconds)
+    };
     let time_batch = |threads: usize| -> f64 {
         let mut work = flat.clone();
         let start = std::time::Instant::now();
         let _ = ossa_destruct::translate_corpus_with(&mut work, &options, threads);
         start.elapsed().as_secs_f64()
     };
-    let serial: f64 = min3(&|| time_batch(1));
+    // Seed-style and batch-serial are sampled interleaved (five rounds,
+    // minimum kept) so scheduler or frequency drift hits both equally
+    // instead of biasing whichever ran later, and both at per-workload
+    // granularity (clone excluded) so the input locality is identical — the
+    // remaining difference is exactly the engine: per-worker caches and
+    // scratch reused across functions versus rebuilt for every function.
+    let mut seed_style = f64::INFINITY;
+    let mut serial = f64::INFINITY;
+    for _ in 0..5 {
+        let s: f64 = corpus.iter().map(|w| run_variant_seed_style(w, &options).1).sum();
+        seed_style = seed_style.min(s);
+        let b: f64 = corpus.iter().map(|w| ossa_bench::run_variant(w, &options).1).sum();
+        serial = serial.min(b);
+    }
     let parallel: f64 = min3(&|| time_batch(0));
     let speedup = seed_style / parallel.max(1e-12);
     println!("\nbatch engine over the corpus (default options):");
-    println!("  seed-style serial loop  {seed_style:.4}s");
-    println!("  batch engine (serial)   {serial:.4}s");
+    println!("  seed-style serial loop  {seed_style:.4}s  ({seed_style_allocs} allocations)");
+    println!("  batch engine (serial)   {serial:.4}s  ({batch_allocs} allocations)");
     println!("  batch engine (parallel) {parallel:.4}s  ({threads} threads, {speedup:.2}x vs seed style)");
+    let PhaseSeconds { liveness, coalesce, sequentialize } = phase;
+    println!("  batch serial phases     liveness {liveness:.4}s, coalesce {coalesce:.4}s, sequentialize {sequentialize:.4}s");
 
     // Machine-readable trajectory.
     let mut json = String::new();
@@ -75,7 +112,14 @@ fn main() {
     let _ = writeln!(json, "  \"batch_serial_seconds\": {serial:.6},");
     let _ = writeln!(json, "  \"batch_parallel_seconds\": {parallel:.6},");
     let _ = writeln!(json, "  \"batch_threads\": {threads},");
-    let _ = writeln!(json, "  \"batch_speedup_vs_seed_style\": {speedup:.3}");
+    let _ = writeln!(json, "  \"batch_speedup_vs_seed_style\": {speedup:.3},");
+    let _ = writeln!(json, "  \"phase_seconds\": {{");
+    let _ = writeln!(json, "    \"liveness\": {liveness:.6},");
+    let _ = writeln!(json, "    \"coalesce\": {coalesce:.6},");
+    let _ = writeln!(json, "    \"sequentialize\": {sequentialize:.6}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"seed_style_serial_allocations\": {seed_style_allocs},");
+    let _ = writeln!(json, "  \"batch_serial_allocations\": {batch_allocs}");
     let _ = writeln!(json, "}}");
     let path = "BENCH_fig6.json";
     match std::fs::write(path, &json) {

@@ -23,6 +23,8 @@
 //! argument). [`translate_out_of_ssa`] is the convenience entry point that
 //! owns a fresh cache.
 
+use std::time::Instant;
+
 use ossa_ir::entity::{Block, Inst, SecondaryMap, Value};
 use ossa_ir::{DominatorTree, Function, InstData};
 use ossa_liveness::{footprint, BlockLiveness, FunctionAnalyses, IntersectionTest};
@@ -30,8 +32,28 @@ use ossa_liveness::{footprint, BlockLiveness, FunctionAnalyses, IntersectionTest
 use crate::congruence::{CongruenceClasses, EqualAncOut};
 use crate::insertion::{insert_phi_copies, isolate_pinned_values, CopyInsertion, InsertedMove};
 use crate::interference::{copy_related_universe, InterferenceGraph};
-use crate::parallel_copy::sequentialize_function;
+use crate::parallel_copy::{sequentialize_function_with, SeqScratch};
 use crate::value::ValueTable;
+
+/// Reusable scratch buffers for repeated translations: the per-parallel-copy
+/// sequentialization state and the linear-check ancestor map. A corpus
+/// driver constructs one per worker and threads it through every function,
+/// so the per-copy windmill loop performs no hashing and no allocation.
+#[derive(Debug, Default)]
+pub struct TranslateScratch {
+    /// Sequentialization scratch (Algorithm 1 state).
+    seq: SeqScratch,
+    /// `equal_anc_out` scratch of the linear class-interference check.
+    equal_anc: EqualAncOut,
+}
+
+impl TranslateScratch {
+    /// Creates empty scratch buffers; they grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Interference definition used when deciding whether two congruence classes
 /// may be coalesced (the Figure 5 variants).
@@ -186,6 +208,21 @@ impl OutOfSsaOptions {
         }
     }
 
+    /// The seven Figure 5 coalescing variants, in the paper's order — the
+    /// single source of truth shared by the bench harness and the oracle
+    /// test suites, so a variant added here cannot silently miss coverage.
+    pub fn figure5_variants() -> [(&'static str, OutOfSsaOptions); 7] {
+        [
+            ("Intersect", Self::intersect()),
+            ("Sreedhar I", Self::sreedhar_i()),
+            ("Chaitin", Self::chaitin()),
+            ("Value", Self::value()),
+            ("Sreedhar III", Self::sreedhar_iii()),
+            ("Value + IS", Self::value_is()),
+            ("Sharing", Self::sharing()),
+        ]
+    }
+
     /// Figure 6 engine `Us I` with the default (graph + liveness sets)
     /// backend; combine with [`OutOfSsaOptions::with_interference`] and
     /// [`OutOfSsaOptions::with_class_check`] for the other configurations.
@@ -263,8 +300,33 @@ impl MemoryStats {
     }
 }
 
+/// Wall-clock seconds spent in each phase of one translation (or, after
+/// [`OutOfSsaStats::absorb`], summed over a corpus). Timing is measurement,
+/// not behaviour: it is deliberately ignored by the `PartialEq` of
+/// [`OutOfSsaStats`], which the serial/parallel parity tests rely on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseSeconds {
+    /// Computing the analyses the decision phase consumes: CFG, dominators,
+    /// the liveness backend (sets or fast checker) and the def/use index.
+    pub liveness: f64,
+    /// Coalescing decisions (value table, interference queries, classes)
+    /// plus the rewrite applying them.
+    pub coalesce: f64,
+    /// Sequentialization of the remaining parallel copies.
+    pub sequentialize: f64,
+}
+
+impl PhaseSeconds {
+    /// Adds the phase times of `other` to `self`.
+    pub fn absorb(&mut self, other: &PhaseSeconds) {
+        self.liveness += other.liveness;
+        self.coalesce += other.coalesce;
+        self.sequentialize += other.sequentialize;
+    }
+}
+
 /// Statistics of one out-of-SSA translation.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct OutOfSsaStats {
     /// φ-functions eliminated.
     pub phis_removed: usize,
@@ -283,6 +345,24 @@ pub struct OutOfSsaStats {
     pub interference_queries: u64,
     /// Memory accounting.
     pub memory: MemoryStats,
+    /// Per-phase wall-clock timing of this translation.
+    pub phase_seconds: PhaseSeconds,
+}
+
+/// Equality over the *behavioural* counters only: `phase_seconds` is
+/// wall-clock measurement and differs between two otherwise identical runs,
+/// so it must not break the serial-vs-parallel bit-identity assertions.
+impl PartialEq for OutOfSsaStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.phis_removed == other.phis_removed
+            && self.moves_inserted == other.moves_inserted
+            && self.moves_coalesced == other.moves_coalesced
+            && self.remaining_copies == other.remaining_copies
+            && self.remaining_weighted == other.remaining_weighted
+            && self.edges_split == other.edges_split
+            && self.interference_queries == other.interference_queries
+            && self.memory == other.memory
+    }
 }
 
 impl OutOfSsaStats {
@@ -296,6 +376,7 @@ impl OutOfSsaStats {
         self.edges_split += other.edges_split;
         self.interference_queries += other.interference_queries;
         self.memory.absorb(&other.memory);
+        self.phase_seconds.absorb(&other.phase_seconds);
     }
 }
 
@@ -325,6 +406,19 @@ pub fn translate_out_of_ssa_cached(
     options: &OutOfSsaOptions,
     analyses: &mut FunctionAnalyses,
 ) -> OutOfSsaStats {
+    let mut scratch = TranslateScratch::new();
+    translate_out_of_ssa_scratch(func, options, analyses, &mut scratch)
+}
+
+/// Like [`translate_out_of_ssa_cached`], additionally reusing the caller's
+/// [`TranslateScratch`] — the entry point the corpus engine drives, with one
+/// scratch per worker hoisted out of the per-function loop.
+pub fn translate_out_of_ssa_scratch(
+    func: &mut Function,
+    options: &OutOfSsaOptions,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut TranslateScratch,
+) -> OutOfSsaStats {
     debug_assert!(ossa_ir::verify_ssa(func).is_ok(), "input must be valid SSA");
 
     let mut stats = OutOfSsaStats { phis_removed: func.count_phis(), ..OutOfSsaStats::default() };
@@ -347,7 +441,28 @@ pub fn translate_out_of_ssa_cached(
         analyses.invalidate_instructions();
     }
 
+    // Force the analyses the decision phase consumes, timed as the
+    // "liveness" phase (CFG, dominators, the liveness backend and the
+    // def/use index — everything below is then cache hits).
+    let phase_start = Instant::now();
+    {
+        let func = &*func;
+        let _ = analyses.domtree(func);
+        let _ = analyses.frequencies(func);
+        let _ = analyses.live_range_info(func);
+        match options.interference {
+            InterferenceMode::Graph | InterferenceMode::InterCheck => {
+                let _ = analyses.liveness_sets(func);
+            }
+            InterferenceMode::InterCheckLiveCheck => {
+                let _ = analyses.fast_liveness(func);
+            }
+        }
+    }
+    stats.phase_seconds.liveness = phase_start.elapsed().as_secs_f64();
+
     // Phase B: analyses + coalescing decisions (no mutation of `func`).
+    let phase_start = Instant::now();
     let decisions = {
         let func = &*func;
         let domtree = analyses.domtree(func);
@@ -390,6 +505,7 @@ pub fn translate_out_of_ssa_cached(
                     values,
                     graph.as_ref(),
                     &universe,
+                    &mut scratch.equal_anc,
                 )
             }
             InterferenceMode::InterCheckLiveCheck => {
@@ -405,7 +521,16 @@ pub fn translate_out_of_ssa_cached(
                 };
                 let intersect = IntersectionTest::new(func, domtree, &fast, info);
                 decide(
-                    func, options, &insertion, domtree, freqs, &intersect, values, None, &universe,
+                    func,
+                    options,
+                    &insertion,
+                    domtree,
+                    freqs,
+                    &intersect,
+                    values,
+                    None,
+                    &universe,
+                    &mut scratch.equal_anc,
                 )
             }
         }
@@ -418,9 +543,12 @@ pub fn translate_out_of_ssa_cached(
     // precomputation) stay valid, so the frequencies used below and by later
     // consumers are not recomputed.
     rewrite(func, &decisions);
+    stats.phase_seconds.coalesce = phase_start.elapsed().as_secs_f64();
+    let phase_start = Instant::now();
     if options.sequentialize {
-        sequentialize_function(func);
+        sequentialize_function_with(func, &mut scratch.seq);
     }
+    stats.phase_seconds.sequentialize = phase_start.elapsed().as_secs_f64();
     analyses.invalidate_instructions();
     let (remaining, weighted) = count_copies(func, analyses);
     stats.remaining_copies = remaining;
@@ -459,11 +587,11 @@ fn decide<L: BlockLiveness>(
     values_owned: ValueTable,
     graph: Option<&InterferenceGraph>,
     universe: &[Value],
+    scratch: &mut EqualAncOut,
 ) -> Decisions {
     let values = &values_owned;
     let mut classes = CongruenceClasses::new(func, domtree, intersect.info());
     let mut moves_coalesced = 0usize;
-    let mut scratch = EqualAncOut::new();
     let no_anc = EqualAncOut::new();
 
     // Pre-coalesce all values pinned to the same register into one labeled
@@ -536,9 +664,8 @@ fn decide<L: BlockLiveness>(
                         intersect,
                         values,
                         graph,
-                        domtree,
                         skip,
-                        &mut scratch,
+                        scratch,
                     );
                     let virtual_conflict = !interferes
                         && virtual_copy_conflict(
@@ -552,7 +679,7 @@ fn decide<L: BlockLiveness>(
                             values,
                         );
                     if !interferes && !virtual_conflict {
-                        classes.merge(node, original, &scratch);
+                        classes.merge(node, original, scratch);
                         moves_coalesced += 1;
                     }
                 }
@@ -601,12 +728,11 @@ fn decide<L: BlockLiveness>(
             intersect,
             values,
             graph,
-            domtree,
             skip,
-            &mut scratch,
+            scratch,
         );
         if !interferes {
-            classes.merge(m.dst, m.src, &scratch);
+            classes.merge(m.dst, m.src, scratch);
             moves_coalesced += 1;
         }
     }
@@ -614,11 +740,22 @@ fn decide<L: BlockLiveness>(
     // Copy-sharing post-optimization (Section III-B).
     let mut removed_moves: Vec<(Inst, Value)> = Vec::new();
     if options.sharing {
-        // Group the copy-related universe by value representative.
-        let mut by_value: SecondaryMap<Value, Vec<Value>> = SecondaryMap::new();
-        by_value.resize(func.num_values());
-        for &v in universe {
-            by_value[values.value_of(v)].push(v);
+        // Group the copy-related universe by value representative — one
+        // sorted array plus per-representative ranges instead of one `Vec`
+        // per representative. The sort is stable in universe order within a
+        // group (the seed's push order), which matters: candidate order is
+        // decision-relevant.
+        let mut grouped: Vec<(Value, u32)> =
+            universe.iter().enumerate().map(|(i, &v)| (values.value_of(v), i as u32)).collect();
+        grouped.sort_unstable();
+        let mut range_of: SecondaryMap<Value, (u32, u32)> = SecondaryMap::new();
+        range_of.resize(func.num_values());
+        let mut start = 0usize;
+        for end in 1..=grouped.len() {
+            if end == grouped.len() || grouped[end].0 != grouped[start].0 {
+                range_of[grouped[start].0] = (start as u32, end as u32);
+                start = end;
+            }
         }
         for block in func.blocks() {
             for (pos, &inst) in func.block_insts(block).iter().enumerate() {
@@ -628,8 +765,9 @@ fn decide<L: BlockLiveness>(
                     if classes.same_class(a, b) {
                         continue; // already coalesced, move will disappear
                     }
-                    let candidates = by_value.get(values.value_of(a));
-                    for &c in candidates {
+                    let (lo, hi) = *range_of.get(values.value_of(a));
+                    for &(_, ci) in &grouped[lo as usize..hi as usize] {
+                        let c = universe[ci as usize];
                         if c == a || c == b || classes.same_class(c, a) {
                             continue;
                         }
@@ -659,12 +797,11 @@ fn decide<L: BlockLiveness>(
                             intersect,
                             values,
                             graph,
-                            domtree,
                             None,
-                            &mut scratch,
+                            scratch,
                         );
                         if !interferes {
-                            classes.merge(b, c, &scratch);
+                            classes.merge(b, c, scratch);
                             removed_moves.push((inst, b));
                             moves_coalesced += 1;
                             break;
@@ -675,16 +812,18 @@ fn decide<L: BlockLiveness>(
         }
     }
 
-    // Snapshot the classes into dense maps for the rewrite phase.
+    // Snapshot the classes into dense maps for the rewrite phase. The rename
+    // target is the *canonical* representative, which is independent of the
+    // union-by-rank tree shape.
     let mut class_rep: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
     class_rep.resize(func.num_values());
     let mut labels: Vec<(Value, u32)> = Vec::new();
     for value in func.values() {
-        let root = classes.find(value);
-        class_rep[value] = Some(root);
-        if value == root {
+        let rep = classes.representative(value);
+        class_rep[value] = Some(rep);
+        if value == rep {
             if let Some(reg) = classes.label(value) {
-                labels.push((root, reg));
+                labels.push((rep, reg));
             }
         }
     }
@@ -773,7 +912,6 @@ fn classes_interfere<L: BlockLiveness>(
     intersect: &IntersectionTest<'_, L>,
     values: &ValueTable,
     graph: Option<&InterferenceGraph>,
-    domtree: &DominatorTree,
     skip_pair: Option<(Value, Value)>,
     scratch: &mut EqualAncOut,
 ) -> bool {
@@ -791,14 +929,7 @@ fn classes_interfere<L: BlockLiveness>(
         && graph.is_none()
         && matches!(options.strategy, Strategy::Intersect | Strategy::Value)
     {
-        return classes.interfere_linear(
-            a,
-            b,
-            intersect,
-            use_values.then_some(values),
-            domtree,
-            scratch,
-        );
+        return classes.interfere_linear(a, b, intersect, use_values.then_some(values), scratch);
     }
 
     let pair_intersects = |x: Value, y: Value| -> bool {
@@ -808,26 +939,28 @@ fn classes_interfere<L: BlockLiveness>(
         }
     };
 
-    let xs = classes.members(a).to_vec();
-    let ys = classes.members(b).to_vec();
     let mut queries = 0u64;
     let mut result = false;
-    'outer: for &x in &xs {
-        for &y in &ys {
-            if let Some((p, q)) = skip_pair {
-                if (x == p && y == q) || (x == q && y == p) {
-                    continue;
+    {
+        let xs = classes.members(a);
+        let ys = classes.members(b);
+        'outer: for &x in xs {
+            for &y in ys {
+                if let Some((p, q)) = skip_pair {
+                    if (x == p && y == q) || (x == q && y == p) {
+                        continue;
+                    }
                 }
-            }
-            queries += 1;
-            let interferes = match options.strategy {
-                Strategy::Intersect | Strategy::SreedharI => pair_intersects(x, y),
-                Strategy::Chaitin => intersect.chaitin_interfere(x, y),
-                Strategy::Value => pair_intersects(x, y) && !values.same_value(x, y),
-            };
-            if interferes {
-                result = true;
-                break 'outer;
+                queries += 1;
+                let interferes = match options.strategy {
+                    Strategy::Intersect | Strategy::SreedharI => pair_intersects(x, y),
+                    Strategy::Chaitin => intersect.chaitin_interfere(x, y),
+                    Strategy::Value => pair_intersects(x, y) && !values.same_value(x, y),
+                };
+                if interferes {
+                    result = true;
+                    break 'outer;
+                }
             }
         }
     }
@@ -835,26 +968,33 @@ fn classes_interfere<L: BlockLiveness>(
     result
 }
 
+/// One entry of the parallel-copy deduplication scratch of [`rewrite`].
+struct KeptCopy {
+    pair: ossa_ir::CopyPair,
+    orig_src: Value,
+    used: bool,
+}
+
 /// Rewrites `func` according to the coalescing decisions: every value is
 /// renamed to its class representative, φ-functions are removed, coalesced
-/// moves disappear and shared moves are dropped.
+/// moves disappear and shared moves are dropped. The walk is position-based
+/// (removals shift the remainder of the block into place) so no block or
+/// instruction list is snapshotted, and the parallel-copy storage is edited
+/// in place.
 fn rewrite(func: &mut Function, decisions: &Decisions) {
     let rep = |v: Value| (*decisions.class_rep.get(v)).unwrap_or(v);
 
-    for block in func.blocks().collect::<Vec<_>>() {
-        let insts = func.block_insts(block).to_vec();
-        for inst in insts {
+    let mut kept: Vec<KeptCopy> = Vec::new();
+    for bi in 0..func.num_blocks() {
+        let block = ossa_ir::Block::from_index(bi);
+        let mut pos = 0;
+        while pos < func.block_len(block) {
+            let inst = func.block_insts(block)[pos];
             if func.inst(inst).is_phi() {
                 func.remove_inst(block, inst);
-                continue;
+                continue; // same position now holds the next instruction
             }
-            if let InstData::ParallelCopy { copies } = func.inst(inst).clone() {
-                let removed: Vec<Value> = decisions
-                    .removed_moves
-                    .iter()
-                    .filter(|&&(i, _)| i == inst)
-                    .map(|&(_, dst)| dst)
-                    .collect();
+            if matches!(func.inst(inst), InstData::ParallelCopy { .. }) {
                 // Coalescing may map two destinations of one parallel copy
                 // to the same representative: either both carry the same
                 // value (value-based merge — either copy may be kept), or at
@@ -865,13 +1005,12 @@ fn rewrite(func: &mut Function, decisions: &Decisions) {
                 // pinning two simultaneously-live values to one register:
                 // unsatisfiable, and refusing loudly beats the seed's silent
                 // miscompilation.
-                struct KeptCopy {
-                    pair: ossa_ir::CopyPair,
-                    orig_src: Value,
-                    used: bool,
-                }
-                let mut kept: Vec<KeptCopy> = Vec::new();
-                for c in copies.iter().filter(|c| !removed.contains(&c.dst)) {
+                kept.clear();
+                let InstData::ParallelCopy { copies } = func.inst(inst) else { unreachable!() };
+                let removed = |dst: Value| {
+                    decisions.removed_moves.iter().any(|&(i, d)| i == inst && d == dst)
+                };
+                for c in copies.iter().filter(|c| !removed(c.dst)) {
                     let pair = ossa_ir::CopyPair { dst: rep(c.dst), src: rep(c.src) };
                     if pair.dst == pair.src {
                         continue;
@@ -898,12 +1037,14 @@ fn rewrite(func: &mut Function, decisions: &Decisions) {
                         }
                     }
                 }
-                let kept: Vec<ossa_ir::CopyPair> = kept.into_iter().map(|k| k.pair).collect();
                 if kept.is_empty() {
                     func.remove_inst(block, inst);
-                } else {
-                    *func.inst_mut(inst) = InstData::ParallelCopy { copies: kept };
+                    continue;
                 }
+                let InstData::ParallelCopy { copies } = func.inst_mut(inst) else { unreachable!() };
+                copies.clear();
+                copies.extend(kept.iter().map(|k| k.pair));
+                pos += 1;
                 continue;
             }
             func.inst_mut(inst).map_uses(rep);
@@ -912,8 +1053,10 @@ fn rewrite(func: &mut Function, decisions: &Decisions) {
             if let InstData::Copy { dst, src } = *func.inst(inst) {
                 if dst == src {
                     func.remove_inst(block, inst);
+                    continue;
                 }
             }
+            pos += 1;
         }
     }
 

@@ -17,7 +17,17 @@
 //! different labels always interfere (Section III-D).
 //!
 //! All per-value state is held in dense [`SecondaryMap`]s — the class
-//! operations sit on the hot path of every coalescing decision.
+//! operations sit on the hot path of every coalescing decision. The
+//! union-find uses path compression (through interior mutability, so lookups
+//! stay `&self`) and union by rank; because rank-based linking makes the
+//! *tree root* an implementation detail, the externally meaningful class
+//! identity — the value every member is renamed to — is tracked separately
+//! as the class's *canonical representative*
+//! ([`CongruenceClasses::representative`]), which is always the root the
+//! seed's rank-free linking would have chosen, keeping the translated output
+//! bit-identical.
+
+use std::cell::Cell;
 
 use ossa_ir::entity::{SecondaryMap, Value};
 use ossa_ir::{DominatorTree, Function};
@@ -49,6 +59,9 @@ pub struct DefOrderKey {
 pub struct EqualAncOut {
     map: SecondaryMap<Value, Option<Value>>,
     touched: Vec<Value>,
+    /// Reusable dominance stack for the linear walk, so repeated queries do
+    /// not allocate.
+    dom: Vec<Value>,
 }
 
 impl EqualAncOut {
@@ -84,10 +97,23 @@ impl EqualAncOut {
 /// The congruence classes of a function's values.
 #[derive(Clone, Debug)]
 pub struct CongruenceClasses {
-    parent: SecondaryMap<Value, Option<Value>>,
+    /// Union-find parent links. `Cell` so that [`CongruenceClasses::find`]
+    /// can compress paths behind a `&self` borrow.
+    parent: SecondaryMap<Value, Cell<Option<Value>>>,
+    /// Union-by-rank upper bound on the tree height, stored at roots.
+    rank: SecondaryMap<Value, u32>,
+    /// Canonical representative of a class, stored at the tree root when it
+    /// differs from the root itself (`None` = the root is canonical). This
+    /// is the value the rewrite renames every member to.
+    canon: SecondaryMap<Value, Option<Value>>,
     /// Members of each class, stored at the class root, sorted by
-    /// [`DefOrderKey`]. Non-root slots are empty.
+    /// [`DefOrderKey`]. Empty at roots of *singleton* classes — the
+    /// one-element list is read from `pool` instead, so construction
+    /// performs no per-value heap allocation.
     members: SecondaryMap<Value, Vec<Value>>,
+    /// Identity table `pool[i] == vᵢ`, the backing storage for the implicit
+    /// singleton member lists.
+    pool: Vec<Value>,
     /// Register label of each class root, if any member is pinned.
     labels: SecondaryMap<Value, Option<u32>>,
     /// Definition-order key of every value.
@@ -116,37 +142,67 @@ impl CongruenceClasses {
                 });
             }
         }
-        let mut parent: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
+        let mut parent: SecondaryMap<Value, Cell<Option<Value>>> = SecondaryMap::new();
         parent.resize(num_values);
+        let mut rank: SecondaryMap<Value, u32> = SecondaryMap::new();
+        rank.resize(num_values);
+        let mut canon: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
+        canon.resize(num_values);
         let mut equal_anc_in: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
         equal_anc_in.resize(num_values);
         let mut labels: SecondaryMap<Value, Option<u32>> = SecondaryMap::new();
         labels.resize(num_values);
         let mut members: SecondaryMap<Value, Vec<Value>> = SecondaryMap::new();
         members.resize(num_values);
+        let pool: Vec<Value> = (0..num_values).map(Value::from_index).collect();
         for value in func.values() {
-            members[value] = vec![value];
             labels[value] = func.pinned_reg(value);
         }
-        Self { parent, members, labels, keys, equal_anc_in, queries: 0 }
+        Self { parent, rank, canon, members, pool, labels, keys, equal_anc_in, queries: 0 }
     }
 
     /// Registers a value created after construction (e.g. a materialized
     /// copy), giving it a singleton class.
     pub fn add_value(&mut self, value: Value, key: DefOrderKey, label: Option<u32>) {
         self.keys[value] = Some(key);
-        self.parent[value] = None;
+        self.parent[value] = Cell::new(None);
+        self.rank[value] = 0;
+        self.canon[value] = None;
         self.equal_anc_in[value] = None;
-        self.members[value] = vec![value];
+        self.members[value].clear();
         self.labels[value] = label;
+        while self.pool.len() <= value.index() {
+            self.pool.push(Value::from_index(self.pool.len()));
+        }
     }
 
-    /// The class representative of `value`.
-    pub fn find(&self, mut value: Value) -> Value {
-        while let Some(parent) = *self.parent.get(value) {
-            value = parent;
+    /// The union-find root of the class of `value`, compressing the walked
+    /// path. The root is an internal identity (stable key for the member,
+    /// label and canon storage); the externally meaningful class name is
+    /// [`CongruenceClasses::representative`].
+    pub fn find(&self, value: Value) -> Value {
+        let mut root = value;
+        while let Some(up) = self.parent.get(root).get() {
+            root = up;
         }
-        value
+        // Path compression: point every node on the walked path directly at
+        // the root. Only non-root nodes are rewritten, and those were all
+        // materialized by the merge that linked them, so the shared default
+        // cell of the map is never written through.
+        let mut cur = value;
+        while cur != root {
+            let up = self.parent.get(cur).replace(Some(root)).expect("non-root has a parent");
+            cur = up;
+        }
+        root
+    }
+
+    /// The canonical representative of the class of `value`: the value every
+    /// member is renamed to by the rewrite. Identical to the tree root the
+    /// seed's rank-free linking produced, independent of rank decisions.
+    pub fn representative(&self, value: Value) -> Value {
+        let root = self.find(value);
+        self.canon.get(root).unwrap_or(root)
     }
 
     /// Returns `true` if `a` and `b` are already coalesced.
@@ -156,7 +212,17 @@ impl CongruenceClasses {
 
     /// Members of the class of `value`, sorted by definition order.
     pub fn members(&self, value: Value) -> &[Value] {
-        self.members.get(self.find(value))
+        let root = self.find(value);
+        let list = self.members.get(root);
+        if !list.is_empty() {
+            return list;
+        }
+        // Singleton classes are implicit: no per-value list is allocated,
+        // the one-element slice comes from the identity pool.
+        match self.pool.get(root.index()) {
+            Some(slot) => std::slice::from_ref(slot),
+            None => &[],
+        }
     }
 
     /// The register label of the class of `value`, if any.
@@ -197,15 +263,34 @@ impl CongruenceClasses {
     /// Merges the classes of `a` and `b` without checking interference.
     /// The member lists are merged in definition order and the
     /// equal-intersecting-ancestor chains are combined as in the paper.
+    /// The canonical representative of the combined class is the one of
+    /// `a`'s class; the tree root is chosen by rank.
     pub fn merge(&mut self, a: Value, b: Value, equal_anc_out: &EqualAncOut) {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra == rb {
             return;
         }
+        let canonical = self.canon.get(ra).unwrap_or(ra);
+        // Label propagation: as in the seed, a label on `b`'s class wins
+        // over one on `a`'s (differently labeled classes always interfere,
+        // so conditional merges never see two distinct labels).
+        let label = self.labels[rb].or(self.labels[ra]);
         let list_a = std::mem::take(&mut self.members[ra]);
         let list_b = std::mem::take(&mut self.members[rb]);
-        let merged = self.merge_sorted(list_a, list_b);
+        let merged = {
+            let slice_a: &[Value] = if list_a.is_empty() {
+                std::slice::from_ref(&self.pool[ra.index()])
+            } else {
+                &list_a
+            };
+            let slice_b: &[Value] = if list_b.is_empty() {
+                std::slice::from_ref(&self.pool[rb.index()])
+            } else {
+                &list_b
+            };
+            self.merge_sorted(slice_a, slice_b)
+        };
 
         // equal_anc_in for the combined class: the later (in ≺ order) of the
         // in-class and out-of-class equal intersecting ancestors. Skipped for
@@ -218,13 +303,16 @@ impl CongruenceClasses {
             }
         }
 
-        // Union-find link: keep `ra` as the root.
-        self.parent[rb] = Some(ra);
-        // Label propagation.
-        if let Some(reg) = self.labels[rb] {
-            self.labels[ra] = Some(reg);
+        // Union by rank; the canonical representative rides along with the
+        // winning root so the class keeps its external identity.
+        let (root, child) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[root] += 1;
         }
-        self.members[ra] = merged;
+        self.parent[child] = Cell::new(Some(root));
+        self.labels[root] = label;
+        self.canon[root] = (canonical != root).then_some(canonical);
+        self.members[root] = merged;
     }
 
     /// Merges every value of `group` into one class without interference
@@ -244,22 +332,47 @@ impl CongruenceClasses {
         if roots.len() == 1 {
             return;
         }
+        let canonical = self.canon.get(ra).unwrap_or(ra);
         let mut merged = Vec::new();
         for &root in &roots {
-            merged.append(&mut self.members[root]);
-        }
-        merged.sort_by_key(|&v| self.keys[v]);
-        for &root in &roots[1..] {
-            self.parent[root] = Some(ra);
-            if let Some(reg) = self.labels[root] {
-                debug_assert!(
-                    self.labels[ra].is_none_or(|r| r == reg),
-                    "merge_group called on values pinned to different registers"
-                );
-                self.labels[ra] = Some(reg);
+            if self.members[root].is_empty() {
+                merged.push(root);
+            } else {
+                merged.append(&mut self.members[root]);
             }
         }
-        self.members[ra] = merged;
+        merged.sort_by_key(|&v| self.keys[v]);
+        // Link everything under the highest-rank root (ties resolved to the
+        // first, keeping the choice deterministic).
+        let mut root = roots[0];
+        for &r in &roots[1..] {
+            if self.rank[r] > self.rank[root] {
+                root = r;
+            }
+        }
+        let top_rank = self.rank[root];
+        let mut label = self.labels[root];
+        let mut bump = false;
+        for &other in &roots {
+            if other == root {
+                continue;
+            }
+            bump |= self.rank[other] == top_rank;
+            self.parent[other] = Cell::new(Some(root));
+            if let Some(reg) = self.labels[other] {
+                debug_assert!(
+                    label.is_none_or(|r| r == reg),
+                    "merge_group called on values pinned to different registers"
+                );
+                label = Some(reg);
+            }
+        }
+        if bump {
+            self.rank[root] = top_rank + 1;
+        }
+        self.labels[root] = label;
+        self.canon[root] = (canonical != root).then_some(canonical);
+        self.members[root] = merged;
     }
 
     fn max_by_key(&self, a: Option<Value>, b: Option<Value>) -> Option<Value> {
@@ -275,7 +388,7 @@ impl CongruenceClasses {
         }
     }
 
-    fn merge_sorted(&self, a: Vec<Value>, b: Vec<Value>) -> Vec<Value> {
+    fn merge_sorted(&self, a: &[Value], b: &[Value]) -> Vec<Value> {
         let mut out = Vec::with_capacity(a.len() + b.len());
         let (mut i, mut j) = (0, 0);
         while i < a.len() && j < b.len() {
@@ -306,61 +419,66 @@ impl CongruenceClasses {
         if self.labels_conflict(a, b) {
             return true;
         }
-        let xs = self.members(a).to_vec();
-        let ys = self.members(b).to_vec();
-        for &x in &xs {
-            for &y in &ys {
-                self.queries += 1;
-                if intersect.intersect(x, y) {
-                    match values {
-                        Some(table) if table.same_value(x, y) => continue,
-                        _ => return true,
+        let mut queries = 0u64;
+        let mut result = false;
+        {
+            let xs = self.members(a);
+            let ys = self.members(b);
+            'outer: for &x in xs {
+                for &y in ys {
+                    queries += 1;
+                    if intersect.intersect(x, y) {
+                        match values {
+                            Some(table) if table.same_value(x, y) => continue,
+                            _ => {
+                                result = true;
+                                break 'outer;
+                            }
+                        }
                     }
                 }
             }
         }
-        false
+        self.queries += queries;
+        result
     }
 
     /// The paper's linear interference test between the classes of `a` and
     /// `b` (Algorithm 2 with the value extension). Returns `true` if the two
     /// classes interfere. When they do not and the caller decides to merge
     /// them, the scratch `equal_anc_out` (cleared and filled by this call)
-    /// must be passed to [`CongruenceClasses::merge`].
-    #[allow(clippy::too_many_arguments)]
+    /// must be passed to [`CongruenceClasses::merge`]. Definition-point
+    /// dominance is read from the oracle's own dominator tree
+    /// ([`IntersectionTest::def_dominates`]).
     pub fn interfere_linear<L: BlockLiveness>(
         &mut self,
         a: Value,
         b: Value,
         intersect: &IntersectionTest<'_, L>,
         values: Option<&ValueTable>,
-        domtree: &DominatorTree,
         equal_anc_out: &mut EqualAncOut,
     ) -> bool {
         equal_anc_out.clear();
         if self.labels_conflict(a, b) {
             return true;
         }
-        let red = self.members(a).to_vec();
-        let blue = self.members(b).to_vec();
-        let in_red = |v: Value| red.contains(&v);
-
-        // Dominance between two values, compared at their definition points.
-        let info = intersect.info();
-        let dominates = |x: Value, y: Value| -> bool {
-            match (info.def(x), info.def(y)) {
-                (Some(dx), Some(dy)) => {
-                    domtree.dominates_point((dx.block, dx.pos), (dy.block, dy.pos))
-                }
-                _ => false,
-            }
-        };
-
-        // chain_intersect: does x intersect y or one of y's equal
-        // intersecting ancestors (walking equal_anc chains)?
+        // The member lists are borrowed, not cloned: the whole walk is
+        // read-only on `self` (the query counter is folded in at the end),
+        // and the dominance stack comes from the reusable scratch.
         let queries = std::cell::Cell::new(0u64);
-        let chain_intersect =
-            |x: Value, mut y_opt: Option<Value>, anc: &dyn Fn(Value) -> Option<Value>| -> bool {
+        let mut dom: Vec<Value> = std::mem::take(&mut equal_anc_out.dom);
+        dom.clear();
+        let interference_found = {
+            let red = self.members(a);
+            let blue = self.members(b);
+            let in_red = |v: Value| red.contains(&v);
+
+            // chain_intersect: does x intersect y or one of y's equal
+            // intersecting ancestors (walking equal_anc chains)?
+            let chain_intersect = |x: Value,
+                                   mut y_opt: Option<Value>,
+                                   anc: &dyn Fn(Value) -> Option<Value>|
+             -> bool {
                 while let Some(y) = y_opt {
                     queries.set(queries.get() + 1);
                     if intersect.intersect(x, y) {
@@ -371,75 +489,77 @@ impl CongruenceClasses {
                 false
             };
 
-        // Merged walk in ≺ order with a dominance stack.
-        let mut dom: Vec<Value> = Vec::new();
-        let (mut ir, mut ib) = (0usize, 0usize);
-        let mut interference_found = false;
-        'walk: while ir < red.len() || ib < blue.len() {
-            let current = if ir == red.len() {
-                let v = blue[ib];
-                ib += 1;
-                v
-            } else if ib == blue.len() {
-                let v = red[ir];
-                ir += 1;
-                v
-            } else if self.keys[blue[ib]] < self.keys[red[ir]] {
-                let v = blue[ib];
-                ib += 1;
-                v
-            } else {
-                let v = red[ir];
-                ir += 1;
-                v
-            };
-
-            // Pop the stack until the top dominates `current`.
-            while let Some(&top) = dom.last() {
-                if dominates(top, current) {
-                    break;
-                }
-                dom.pop();
-            }
-            let parent = dom.last().copied();
-
-            if let Some(parent) = parent {
-                // interference(current, parent)
-                equal_anc_out.set(current, None);
-                let same_set = in_red(current) == in_red(parent);
-                let mut b_chain: Option<Value> = Some(parent);
-                if same_set {
-                    b_chain = equal_anc_out.get(parent);
-                }
-                let same_value = match (values, b_chain) {
-                    (Some(table), Some(bc)) => table.same_value(current, bc),
-                    (None, _) => false,
-                    (_, None) => false,
+            // Merged walk in ≺ order with a dominance stack.
+            let (mut ir, mut ib) = (0usize, 0usize);
+            let mut interference_found = false;
+            'walk: while ir < red.len() || ib < blue.len() {
+                let current = if ir == red.len() {
+                    let v = blue[ib];
+                    ib += 1;
+                    v
+                } else if ib == blue.len() {
+                    let v = red[ir];
+                    ir += 1;
+                    v
+                } else if self.keys[blue[ib]] < self.keys[red[ir]] {
+                    let v = blue[ib];
+                    ib += 1;
+                    v
+                } else {
+                    let v = red[ir];
+                    ir += 1;
+                    v
                 };
-                let anc_in = |v: Value| self.equal_anc_in[v];
-                if values.is_none() || !same_value {
-                    if chain_intersect(current, b_chain, &anc_in) {
-                        interference_found = true;
-                        break 'walk;
+
+                // Pop the stack until the top dominates `current`.
+                while let Some(&top) = dom.last() {
+                    if intersect.def_dominates(top, current) {
+                        break;
+                    }
+                    dom.pop();
+                }
+                let parent = dom.last().copied();
+
+                if let Some(parent) = parent {
+                    // interference(current, parent)
+                    equal_anc_out.set(current, None);
+                    let same_set = in_red(current) == in_red(parent);
+                    let mut b_chain: Option<Value> = Some(parent);
+                    if same_set {
+                        b_chain = equal_anc_out.get(parent);
+                    }
+                    let same_value = match (values, b_chain) {
+                        (Some(table), Some(bc)) => table.same_value(current, bc),
+                        (None, _) => false,
+                        (_, None) => false,
+                    };
+                    let anc_in = |v: Value| self.equal_anc_in[v];
+                    if values.is_none() || !same_value {
+                        if chain_intersect(current, b_chain, &anc_in) {
+                            interference_found = true;
+                            break 'walk;
+                        }
+                    } else {
+                        // Same value: no interference, but record the nearest
+                        // intersecting equal ancestor in the other chain.
+                        let mut tmp = b_chain;
+                        while let Some(t) = tmp {
+                            queries.set(queries.get() + 1);
+                            if intersect.intersect(current, t) {
+                                break;
+                            }
+                            tmp = self.equal_anc_in[t];
+                        }
+                        equal_anc_out.set(current, tmp);
                     }
                 } else {
-                    // Same value: no interference, but record the nearest
-                    // intersecting equal ancestor in the other chain.
-                    let mut tmp = b_chain;
-                    while let Some(t) = tmp {
-                        queries.set(queries.get() + 1);
-                        if intersect.intersect(current, t) {
-                            break;
-                        }
-                        tmp = self.equal_anc_in[t];
-                    }
-                    equal_anc_out.set(current, tmp);
+                    equal_anc_out.set(current, None);
                 }
-            } else {
-                equal_anc_out.set(current, None);
+                dom.push(current);
             }
-            dom.push(current);
-        }
+            interference_found
+        };
+        equal_anc_out.dom = dom;
         self.queries += queries.get();
         interference_found
     }
@@ -552,8 +672,7 @@ mod tests {
                 let mut classes_q = fx.classes();
                 let mut classes_l = fx.classes();
                 let quad = classes_q.interfere_quadratic(x, y, &intersect, table);
-                let lin =
-                    classes_l.interfere_linear(x, y, &intersect, table, &fx.domtree, &mut scratch);
+                let lin = classes_l.interfere_linear(x, y, &intersect, table, &mut scratch);
                 assert_eq!(quad, lin, "mismatch for ({x}, {y}) use_values={use_values}");
             }
         }
@@ -576,14 +695,12 @@ mod tests {
         }
         let mut scratch = EqualAncOut::new();
         let quad = classes_q.interfere_quadratic(a, c1, &intersect, Some(&values));
-        let lin =
-            classes_l.interfere_linear(a, c1, &intersect, Some(&values), &fx.domtree, &mut scratch);
+        let lin = classes_l.interfere_linear(a, c1, &intersect, Some(&values), &mut scratch);
         assert_eq!(quad, lin);
         // And for a pair that must interfere: s vs the {a,b1} class — s has a
         // different value and is live with a.
         let quad = classes_q.interfere_quadratic(s, a, &intersect, Some(&values));
-        let lin =
-            classes_l.interfere_linear(s, a, &intersect, Some(&values), &fx.domtree, &mut scratch);
+        let lin = classes_l.interfere_linear(s, a, &intersect, Some(&values), &mut scratch);
         assert_eq!(quad, lin);
     }
 
@@ -599,7 +716,7 @@ mod tests {
         assert!(classes.labels_conflict(a, b1));
         assert!(classes.interfere_quadratic(a, b1, &intersect, None));
         let mut scratch = EqualAncOut::new();
-        assert!(classes.interfere_linear(a, b1, &intersect, None, &fx.domtree, &mut scratch));
+        assert!(classes.interfere_linear(a, b1, &intersect, None, &mut scratch));
         // Same register: no conflict from labels alone.
         assert!(!classes.labels_conflict(a, a));
     }
@@ -635,6 +752,73 @@ mod tests {
         assert_eq!(classes.members(fresh), &[fresh]);
         assert_eq!(classes.label(fresh), Some(7));
         assert!(!classes.same_class(fresh, vals[0]));
+    }
+
+    #[test]
+    fn union_find_find_is_idempotent_and_compresses_paths() {
+        let (f, vals) = copies_function();
+        let fx = Fixture::new(f);
+        let mut classes = fx.classes();
+        let none = EqualAncOut::new();
+        let [a, b1, c1, other, s, t, u] = vals[..] else { panic!() };
+        // Build a chain of merges so non-trivial parent paths exist.
+        classes.merge(a, b1, &none);
+        classes.merge(c1, other, &none);
+        classes.merge(a, c1, &none);
+        classes.merge(s, t, &none);
+        for &v in &[a, b1, c1, other, s, t, u] {
+            let root = classes.find(v);
+            // Idempotence: the root of a root is itself.
+            assert_eq!(classes.find(root), root, "find not idempotent for {v}");
+            assert_eq!(classes.find(v), root, "find not stable for {v}");
+            // Path compression: after a find, the parent link (if any)
+            // points directly at the root.
+            if v != root {
+                assert_eq!(
+                    classes.parent.get(v).get(),
+                    Some(root),
+                    "path of {v} not compressed to its root {root}"
+                );
+            }
+            // The canonical representative is a member of the class.
+            assert!(classes.members(v).contains(&classes.representative(v)));
+        }
+        // The canonical representative is preserved across rank decisions:
+        // `a`'s side named every merge above, so it stays the name.
+        assert_eq!(classes.representative(other), a);
+        assert_eq!(classes.representative(b1), a);
+    }
+
+    #[test]
+    fn union_find_ranks_grow_monotonically_and_bound_children() {
+        let (f, vals) = copies_function();
+        let fx = Fixture::new(f);
+        let mut classes = fx.classes();
+        let none = EqualAncOut::new();
+        let mut last_root_rank = 0u32;
+        for window in vals.windows(2) {
+            let [x, y] = window[..] else { panic!() };
+            classes.merge(x, y, &none);
+            let root = classes.find(x);
+            let rank = classes.rank[root];
+            // Root rank never decreases as the class grows.
+            assert!(rank >= last_root_rank, "rank decreased: {rank} < {last_root_rank}");
+            last_root_rank = rank;
+        }
+        // Every non-root has a strictly smaller rank than its parent (the
+        // union-by-rank invariant).
+        let root = classes.find(vals[0]);
+        for &v in &vals {
+            if v != root {
+                let parent = classes.parent.get(v).get().expect("linked");
+                assert!(
+                    classes.rank[v] < classes.rank[parent],
+                    "rank[{v}] = {} not below rank of parent {parent} = {}",
+                    classes.rank[v],
+                    classes.rank[parent],
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,9 @@ use std::sync::Mutex;
 use ossa_ir::Function;
 use ossa_liveness::FunctionAnalyses;
 
-use crate::coalesce::{translate_out_of_ssa_cached, OutOfSsaOptions, OutOfSsaStats};
+use crate::coalesce::{
+    translate_out_of_ssa_scratch, OutOfSsaOptions, OutOfSsaStats, TranslateScratch,
+};
 
 /// Statistics of one batch translation.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -73,7 +75,12 @@ pub fn translate_corpus_with(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                // Per-worker caches and scratch, hoisted out of the
+                // per-function loop: the analyses are invalidated (not
+                // reallocated) between functions and the scratch buffers are
+                // reused as-is.
                 let mut analyses = FunctionAnalyses::new();
+                let mut scratch = TranslateScratch::new();
                 loop {
                     // Recover a poisoned lock so that a panic in one worker
                     // propagates as itself, not as a secondary lock error.
@@ -81,7 +88,8 @@ pub fn translate_corpus_with(
                     let Some((index, func)) = guard.pop() else { return };
                     drop(guard);
                     analyses.invalidate_cfg();
-                    let stats = translate_out_of_ssa_cached(func, options, &mut analyses);
+                    let stats =
+                        translate_out_of_ssa_scratch(func, options, &mut analyses, &mut scratch);
                     results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(stats);
                 }
             });
@@ -101,11 +109,12 @@ pub fn translate_corpus_with(
 /// tests and as the `threads == 1` fast path.
 pub fn translate_corpus_serial(funcs: &mut [Function], options: &OutOfSsaOptions) -> CorpusStats {
     let mut analyses = FunctionAnalyses::new();
+    let mut scratch = TranslateScratch::new();
     let per_function = funcs
         .iter_mut()
         .map(|func| {
             analyses.invalidate_cfg();
-            translate_out_of_ssa_cached(func, options, &mut analyses)
+            translate_out_of_ssa_scratch(func, options, &mut analyses, &mut scratch)
         })
         .collect();
     CorpusStats { per_function, threads: 1 }

@@ -24,6 +24,19 @@ pub struct InterferenceGraph {
 impl InterferenceGraph {
     /// Builds the graph over `universe` using the intersection oracle and,
     /// optionally, value-based interference.
+    ///
+    /// Instead of querying all `n·(n-1)/2` pairs, the universe is sorted by
+    /// definition point (dominator-tree pre-order, then position) and swept
+    /// with a dominance stack — the paper's linear-intersection idea applied
+    /// at build time. In SSA, two live ranges can only intersect when one
+    /// definition dominates the other, and after the stack is popped down to
+    /// the dominators of the current value it contains *exactly* the
+    /// already-seen values whose definition dominates the current one
+    /// (pre-order visits every dominator before the dominated value, and
+    /// pre-order subtree ranges are contiguous, so a still-dominating entry
+    /// is never popped early). Hence querying current-vs-stack covers every
+    /// pair the quadratic loop would have found interfering; values with no
+    /// definition never intersect anything and are skipped up front.
     pub fn build<L: BlockLiveness>(
         func: &Function,
         universe: &[Value],
@@ -37,15 +50,47 @@ impl InterferenceGraph {
         let n = universe.len();
         let bits = vec![0u8; Self::matrix_bytes(n)];
         let mut graph = Self { index_of, universe: universe.to_vec(), bits };
-        for i in 0..n {
-            for j in 0..i {
-                let (a, b) = (graph.universe[i], graph.universe[j]);
-                let interferes =
-                    intersect.intersect(a, b) && values.is_none_or(|table| !table.same_value(a, b));
+
+        let domtree = intersect.domtree();
+        let info = intersect.info();
+        // (pre-order of def block, block index, def position, value index)
+        // sort key. The block index disambiguates unreachable blocks (which
+        // all share pre-order `u32::MAX`) so that same-block values stay
+        // adjacent — same-block definition points dominate by position even
+        // when the block is unreachable, and the oracle calls such values
+        // intersecting, so the sweep must visit them as one chain. The value
+        // index tie-break keeps the sweep deterministic for values defined
+        // by the same instruction (e.g. one parallel copy).
+        let mut order: Vec<(u32, u32, u32, u32)> = Vec::with_capacity(n);
+        for &v in universe {
+            if let Some(def) = info.def(v) {
+                order.push((
+                    domtree.preorder_number(def.block),
+                    def.block.index() as u32,
+                    def.pos as u32,
+                    v.index() as u32,
+                ));
+            }
+        }
+        order.sort_unstable();
+
+        let mut stack: Vec<Value> = Vec::new();
+        for &(_, _, _, raw) in &order {
+            let current = Value::from_index(raw as usize);
+            while let Some(&top) = stack.last() {
+                if intersect.def_dominates(top, current) {
+                    break;
+                }
+                stack.pop();
+            }
+            for &above in &stack {
+                let interferes = intersect.intersect(above, current)
+                    && values.is_none_or(|table| !table.same_value(above, current));
                 if interferes {
-                    graph.set(i, j);
+                    graph.set(graph.index_of[above.index()], graph.index_of[current.index()]);
                 }
             }
+            stack.push(current);
         }
         graph
     }
@@ -117,11 +162,15 @@ pub fn copy_related_universe(func: &Function) -> Vec<Value> {
             universe.push(v);
         }
     };
+    let mut scratch: Vec<Value> = Vec::new();
     for block in func.blocks() {
         for &inst in func.block_insts(block) {
             let data = func.inst(inst);
             if data.is_phi() || data.is_copy_like() {
-                for v in data.defs().into_iter().chain(data.uses()) {
+                scratch.clear();
+                data.collect_defs(&mut scratch);
+                data.collect_uses(&mut scratch);
+                for &v in &scratch {
                     push(v, &mut seen, &mut universe);
                 }
             }

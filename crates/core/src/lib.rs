@@ -48,8 +48,9 @@ pub mod parallel_copy;
 pub mod value;
 
 pub use coalesce::{
-    translate_out_of_ssa, translate_out_of_ssa_cached, ClassCheck, InterferenceMode, MemoryStats,
-    OutOfSsaOptions, OutOfSsaStats, PhiProcessing, Strategy,
+    translate_out_of_ssa, translate_out_of_ssa_cached, translate_out_of_ssa_scratch, ClassCheck,
+    InterferenceMode, MemoryStats, OutOfSsaOptions, OutOfSsaStats, PhaseSeconds, PhiProcessing,
+    Strategy, TranslateScratch,
 };
 pub use congruence::{CongruenceClasses, DefOrderKey, EqualAncOut};
 pub use engine::{translate_corpus, translate_corpus_serial, translate_corpus_with, CorpusStats};
@@ -58,7 +59,7 @@ pub use insertion::{
 };
 pub use interference::{copy_related_universe, InterferenceGraph};
 pub use parallel_copy::{
-    minimum_copies, sequentialize, sequentialize_function, try_sequentialize, DuplicateDest,
-    Sequentialization,
+    minimum_copies, sequentialize, sequentialize_function, sequentialize_function_with,
+    try_sequentialize, DuplicateDest, SeqScratch, Sequentialization,
 };
 pub use value::ValueTable;

@@ -5,10 +5,13 @@
 //! algorithm emits the minimum number of copies: exactly one copy per move,
 //! plus one extra copy per *cyclic permutation* that duplicates no value
 //! (each cycle needs one temporary).
+//!
+//! All algorithm state lives in a reusable [`SeqScratch`] of dense
+//! entity-keyed maps: the windmill loop performs no hashing, and when the
+//! scratch is threaded across parallel copies (and across functions by the
+//! corpus engine) it performs no allocation either.
 
-use std::collections::HashMap;
-
-use ossa_ir::entity::Value;
+use ossa_ir::entity::{EntitySet, SecondaryMap, Value};
 use ossa_ir::{CopyPair, Function, InstData};
 
 /// Result of sequentializing one parallel copy.
@@ -37,8 +40,131 @@ impl std::fmt::Display for DuplicateDest {
 
 impl std::error::Error for DuplicateDest {}
 
+/// Reusable state of Algorithm 1: dense `loc`/`pred` maps with a sparse
+/// reset list, the work stacks, the filtered move list and the output
+/// buffer. One scratch serves any number of parallel copies — entries
+/// touched by a run are reset on the next one, so the cost of a run is
+/// proportional to the copy, not to the function.
+#[derive(Clone, Debug, Default)]
+pub struct SeqScratch {
+    /// `loc[a]`: where the initial value of `a` currently lives.
+    loc: SecondaryMap<Value, Option<Value>>,
+    /// `pred[b]`: the value that must end up in `b`.
+    pred: SecondaryMap<Value, Option<Value>>,
+    /// Values whose `loc`/`pred` entries were written by the previous run.
+    touched: Vec<Value>,
+    /// Duplicate-destination detection.
+    dst_seen: EntitySet<Value>,
+    /// The input with self-moves filtered out.
+    moves: Vec<CopyPair>,
+    ready: Vec<Value>,
+    to_do: Vec<Value>,
+    /// Output of the last run.
+    result: Sequentialization,
+}
+
+impl SeqScratch {
+    /// Creates empty scratch buffers; they grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sequentializes the parallel copy `moves` (pairs `dst ← src`), using
+    /// `temp` as the extra variable if a cycle has to be broken. The result
+    /// is stored in (and borrowed from) the scratch.
+    ///
+    /// Self moves (`a ← a`) are dropped.
+    ///
+    /// # Errors
+    /// Returns [`DuplicateDest`] if two moves share a destination — checked
+    /// in every build because a duplicated destination silently produces
+    /// wrong code downstream.
+    pub fn try_sequentialize(
+        &mut self,
+        moves: &[CopyPair],
+        temp: Value,
+    ) -> Result<&Sequentialization, DuplicateDest> {
+        // Reset the entries the previous run wrote.
+        for value in self.touched.drain(..) {
+            self.loc[value] = None;
+            self.pred[value] = None;
+        }
+        self.dst_seen.clear();
+        self.ready.clear();
+        self.to_do.clear();
+        self.result.copies.clear();
+        self.result.used_temp = false;
+
+        // Filter self-moves; they are no-ops.
+        self.moves.clear();
+        self.moves.extend(moves.iter().copied().filter(|m| m.dst != m.src));
+        if self.moves.is_empty() {
+            return Ok(&self.result);
+        }
+        for m in &self.moves {
+            if !self.dst_seen.insert(m.dst) {
+                return Err(DuplicateDest { dst: m.dst });
+            }
+        }
+
+        self.touched.push(temp);
+        for m in &self.moves {
+            self.touched.push(m.dst);
+            self.touched.push(m.src);
+        }
+        for m in &self.moves {
+            self.loc[m.src] = Some(m.src); // needed and not copied yet
+            self.pred[m.dst] = Some(m.src); // unique predecessor
+            self.to_do.push(m.dst); // copy into dst still to be done
+        }
+        for m in &self.moves {
+            if self.loc[m.dst].is_none() {
+                self.ready.push(m.dst); // dst is not a source: can be overwritten
+            }
+        }
+
+        while let Some(b_todo) = self.to_do.last().copied() {
+            while let Some(b) = self.ready.pop() {
+                let a = self.pred[b].expect("ready values have a predecessor");
+                let c = self.loc[a].expect("source location is known");
+                self.result.copies.push(CopyPair { dst: b, src: c });
+                self.loc[a] = Some(b);
+                if a == c && self.pred[a].is_some() {
+                    self.ready.push(a); // a was just saved, it can now be overwritten
+                }
+            }
+            self.to_do.pop();
+            // If b still holds its own initial value, it closes a cycle:
+            // break it with the temporary.
+            if self.loc[b_todo] == Some(b_todo) && self.pred[b_todo].is_some() {
+                self.result.copies.push(CopyPair { dst: temp, src: b_todo });
+                self.loc[b_todo] = Some(temp);
+                self.ready.push(b_todo);
+                self.result.used_temp = true;
+            }
+        }
+        // Drain any remaining ready entries produced by the last cycle break.
+        while let Some(b) = self.ready.pop() {
+            let Some(a) = self.pred[b] else { continue };
+            let c = self.loc[a].expect("source location is known");
+            if c == b {
+                continue; // already in place
+            }
+            self.result.copies.push(CopyPair { dst: b, src: c });
+            self.loc[a] = Some(b);
+            if a == c && self.pred[a].is_some() {
+                self.ready.push(a);
+            }
+        }
+
+        Ok(&self.result)
+    }
+}
+
 /// Sequentializes the parallel copy `moves` (pairs `dst ← src`), using
-/// `temp` as the extra variable if a cycle has to be broken.
+/// `temp` as the extra variable if a cycle has to be broken, through a
+/// one-shot [`SeqScratch`]. Hot paths should own a scratch and call
+/// [`SeqScratch::try_sequentialize`] instead.
 ///
 /// Self moves (`a ← a`) are dropped.
 ///
@@ -50,79 +176,8 @@ pub fn try_sequentialize(
     moves: &[CopyPair],
     temp: Value,
 ) -> Result<Sequentialization, DuplicateDest> {
-    // Filter self-moves; they are no-ops.
-    let moves: Vec<CopyPair> = moves.iter().copied().filter(|m| m.dst != m.src).collect();
-    if moves.is_empty() {
-        return Ok(Sequentialization::default());
-    }
-    {
-        let mut dsts: Vec<Value> = moves.iter().map(|m| m.dst).collect();
-        dsts.sort();
-        if let Some(w) = dsts.windows(2).find(|w| w[0] == w[1]) {
-            return Err(DuplicateDest { dst: w[0] });
-        }
-    }
-
-    // The algorithm's three maps: `loc[a]` = where the initial value of `a`
-    // currently lives, `pred[b]` = the value that must end up in `b`.
-    let mut loc: HashMap<Value, Option<Value>> = HashMap::new();
-    let mut pred: HashMap<Value, Option<Value>> = HashMap::new();
-    let mut ready: Vec<Value> = Vec::new();
-    let mut to_do: Vec<Value> = Vec::new();
-    let mut out = Vec::with_capacity(moves.len() + 1);
-    let mut used_temp = false;
-
-    pred.insert(temp, None);
-    for m in &moves {
-        loc.insert(m.dst, None);
-        pred.insert(m.src, None);
-    }
-    for m in &moves {
-        loc.insert(m.src, Some(m.src)); // needed and not copied yet
-        pred.insert(m.dst, Some(m.src)); // unique predecessor
-        to_do.push(m.dst); // copy into dst still to be done
-    }
-    for m in &moves {
-        if loc[&m.dst].is_none() {
-            ready.push(m.dst); // dst is not a source: can be overwritten
-        }
-    }
-
-    while let Some(b_todo) = to_do.last().copied() {
-        while let Some(b) = ready.pop() {
-            let a = pred[&b].expect("ready values have a predecessor");
-            let c = loc[&a].expect("source location is known");
-            out.push(CopyPair { dst: b, src: c });
-            loc.insert(a, Some(b));
-            if a == c && pred.get(&a).copied().flatten().is_some() {
-                ready.push(a); // a was just saved, it can now be overwritten
-            }
-        }
-        to_do.pop();
-        // If b still holds its own initial value, it closes a cycle: break it
-        // with the temporary.
-        if loc.get(&b_todo).copied().flatten() == Some(b_todo) && pred[&b_todo].is_some() {
-            out.push(CopyPair { dst: temp, src: b_todo });
-            loc.insert(b_todo, Some(temp));
-            ready.push(b_todo);
-            used_temp = true;
-        }
-    }
-    // Drain any remaining ready entries produced by the last cycle break.
-    while let Some(b) = ready.pop() {
-        let Some(a) = pred[&b] else { continue };
-        let c = loc[&a].expect("source location is known");
-        if c == b {
-            continue; // already in place
-        }
-        out.push(CopyPair { dst: b, src: c });
-        loc.insert(a, Some(b));
-        if a == c && pred.get(&a).copied().flatten().is_some() {
-            ready.push(a);
-        }
-    }
-
-    Ok(Sequentialization { copies: out, used_temp })
+    let mut scratch = SeqScratch::new();
+    scratch.try_sequentialize(moves, temp).cloned()
 }
 
 /// Sequentializes the parallel copy `moves`, panicking on ill-formed input.
@@ -145,15 +200,32 @@ pub fn sequentialize(moves: &[CopyPair], temp: Value) -> Sequentialization {
 /// Panics if a parallel copy has duplicate destinations (which cannot occur
 /// for copies produced by this crate's insertion phase).
 pub fn sequentialize_function(func: &mut Function) -> usize {
+    let mut scratch = SeqScratch::new();
+    sequentialize_function_with(func, &mut scratch)
+}
+
+/// Like [`sequentialize_function`], reusing the caller's [`SeqScratch`] so
+/// that repeated calls (one per function of a corpus) allocate nothing.
+///
+/// # Panics
+/// Panics if a parallel copy has duplicate destinations.
+pub fn sequentialize_function_with(func: &mut Function, scratch: &mut SeqScratch) -> usize {
     let mut emitted = 0;
     for block in func.blocks().collect::<Vec<_>>() {
         // Positions shift as we splice; walk by re-scanning.
         let mut pos = 0;
         while pos < func.block_len(block) {
             let inst = func.block_insts(block)[pos];
-            if let InstData::ParallelCopy { copies } = func.inst(inst).clone() {
+            if matches!(func.inst(inst), InstData::ParallelCopy { .. }) {
                 let temp = func.new_value();
-                let seq = sequentialize(&copies, temp);
+                // Borrow the copies in place: the scratch owns the result, so
+                // nothing of the instruction needs to be cloned before it is
+                // removed.
+                let InstData::ParallelCopy { copies } = func.inst(inst) else { unreachable!() };
+                let seq = match scratch.try_sequentialize(copies, temp) {
+                    Ok(seq) => seq,
+                    Err(err) => panic!("{err}"),
+                };
                 func.remove_inst(block, inst);
                 for (offset, copy) in seq.copies.iter().enumerate() {
                     func.insert_inst(
@@ -182,41 +254,41 @@ pub fn minimum_copies(moves: &[CopyPair]) -> usize {
     // a permutation cycle in which no vertex has out-degree 0... Equivalent
     // formulation: a cycle is closed if every value in it is both a source
     // and a destination and no other move reads any of its values.
-    let mut pred: HashMap<Value, Value> = HashMap::new();
-    let mut src_count: HashMap<Value, usize> = HashMap::new();
+    let mut pred: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
+    let mut src_count: SecondaryMap<Value, u32> = SecondaryMap::new();
     for m in &moves {
-        pred.insert(m.dst, m.src);
-        *src_count.entry(m.src).or_insert(0) += 1;
+        pred[m.dst] = Some(m.src);
+        src_count[m.src] += 1;
     }
-    let mut visited: HashMap<Value, bool> = HashMap::new();
+    let mut visited: EntitySet<Value> = EntitySet::new();
     let mut closed_cycles = 0;
     for m in &moves {
         let node = m.dst;
-        if visited.get(&node).copied().unwrap_or(false) {
+        if visited.contains(node) {
             continue;
         }
         // Walk predecessors to detect a cycle containing `node`.
         let mut path = vec![node];
-        visited.insert(node, true);
+        visited.insert(node);
         let mut is_cycle = false;
-        while let Some(&p) = pred.get(&path[path.len() - 1]) {
+        while let Some(p) = pred[path[path.len() - 1]] {
             if p == m.dst {
                 is_cycle = true;
                 break;
             }
-            if visited.get(&p).copied().unwrap_or(false) {
+            if visited.contains(p) {
                 break;
             }
-            if !pred.contains_key(&p) {
+            if pred[p].is_none() {
                 break;
             }
-            visited.insert(p, true);
+            visited.insert(p);
             path.push(p);
         }
         if is_cycle {
             // The cycle is "closed" (needs a temp) iff none of its values is
             // read by a move outside the cycle (no duplication available).
-            let duplicated = path.iter().any(|v| src_count.get(v).copied().unwrap_or(0) > 1);
+            let duplicated = path.iter().any(|&v| src_count[v] > 1);
             if !duplicated {
                 closed_cycles += 1;
             }
@@ -448,6 +520,69 @@ mod tests {
                 minimum_copies(&moves),
                 "case {case}: non-minimal sequentialization for {moves:?}"
             );
+        }
+    }
+
+    #[test]
+    fn seq_scratch_reuse_matches_fresh_scratch() {
+        // One scratch driven across many different parallel copies (as the
+        // corpus engine drives it across functions) must produce exactly
+        // what a fresh scratch produces for each copy — stale loc/pred/ready
+        // state from an earlier copy must never leak into a later one.
+        let cases: Vec<Vec<CopyPair>> = vec![
+            vec![pair(1, 0), pair(2, 0), pair(3, 1)],             // tree
+            vec![pair(0, 1), pair(1, 0)],                         // swap
+            vec![pair(0, 1), pair(1, 2), pair(2, 0)],             // 3-cycle
+            vec![],                                               // empty
+            vec![pair(5, 5), pair(6, 7)],                         // self-move + chain
+            vec![pair(1, 0), pair(0, 2), pair(2, 0)],             // duplication into cycle
+            vec![pair(0, 1), pair(1, 0), pair(2, 3), pair(3, 2)], // two swaps
+        ];
+        let temp = v(50);
+        let mut reused = SeqScratch::new();
+        for (i, moves) in cases.iter().enumerate() {
+            let from_reused = reused.try_sequentialize(moves, temp).expect("well-formed").clone();
+            let mut fresh = SeqScratch::new();
+            let from_fresh = fresh.try_sequentialize(moves, temp).expect("well-formed").clone();
+            assert_eq!(from_reused, from_fresh, "case {i}: reused scratch diverged");
+            check_equivalent(moves, &from_reused.copies, temp);
+        }
+        // An error run must also leave the scratch clean for the next call.
+        assert!(reused.try_sequentialize(&[pair(1, 0), pair(1, 2)], temp).is_err());
+        let after_err = reused.try_sequentialize(&[pair(0, 1), pair(1, 0)], temp);
+        assert_eq!(after_err.expect("recovers after error").copies.len(), 3);
+    }
+
+    #[test]
+    fn seq_scratch_reuse_across_functions() {
+        use ossa_ir::builder::FunctionBuilder;
+        use ossa_ir::BinaryOp;
+        // Two functions sequentialized through one scratch match the
+        // per-function entry point.
+        let build = |flip: bool| {
+            let mut b = FunctionBuilder::new("f", 0);
+            let entry = b.create_block();
+            b.set_entry(entry);
+            b.switch_to_block(entry);
+            let a = b.iconst(1);
+            let c = b.iconst(2);
+            let x = b.declare_value();
+            let y = b.declare_value();
+            let (sx, sy) = if flip { (c, a) } else { (a, c) };
+            b.parallel_copy(vec![CopyPair { dst: x, src: sx }, CopyPair { dst: y, src: sy }]);
+            b.parallel_copy(vec![CopyPair { dst: x, src: y }, CopyPair { dst: y, src: x }]);
+            let s = b.binary(BinaryOp::Add, x, y);
+            b.ret(Some(s));
+            b.finish()
+        };
+        let mut scratch = SeqScratch::new();
+        for flip in [false, true] {
+            let mut shared = build(flip);
+            let mut fresh = build(flip);
+            let emitted_shared = sequentialize_function_with(&mut shared, &mut scratch);
+            let emitted_fresh = sequentialize_function(&mut fresh);
+            assert_eq!(emitted_shared, emitted_fresh);
+            assert_eq!(shared, fresh, "flip={flip}: shared-scratch output differs");
         }
     }
 

@@ -26,6 +26,8 @@ impl ValueTable {
     pub fn compute(func: &Function, domtree: &DominatorTree) -> Self {
         let mut value_of: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
         value_of.resize(func.num_values());
+        let mut resolved: Vec<(Value, Value)> = Vec::new();
+        let mut defs: Vec<Value> = Vec::new();
         for &block in domtree.preorder() {
             for &inst in func.block_insts(block) {
                 match func.inst(inst) {
@@ -36,17 +38,19 @@ impl ValueTable {
                         // All sources are read before any destination is
                         // written, and in SSA a destination cannot shadow a
                         // source of the same parallel copy, so resolving
-                        // sources first is sound.
-                        let resolved: Vec<(Value, Value)> = copies
-                            .iter()
-                            .map(|c| (c.dst, value_of[c.src].unwrap_or(c.src)))
-                            .collect();
-                        for (dst, value) in resolved {
+                        // sources first (into a reusable scratch) is sound.
+                        resolved.clear();
+                        resolved.extend(
+                            copies.iter().map(|c| (c.dst, value_of[c.src].unwrap_or(c.src))),
+                        );
+                        for &(dst, value) in &resolved {
                             value_of[dst] = Some(value);
                         }
                     }
                     data => {
-                        for dst in data.defs() {
+                        defs.clear();
+                        data.collect_defs(&mut defs);
+                        for &dst in &defs {
                             value_of[dst] = Some(dst);
                         }
                     }

@@ -363,6 +363,37 @@ impl<K: EntityRef> EntitySet<K> {
         })
     }
 
+    /// Makes `self` an exact copy of `other`, reusing `self`'s existing
+    /// word storage (no allocation when capacity suffices).
+    pub fn clone_from_set(&mut self, other: &Self) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Adds every entity of `other & !minus` to `self` in one word-level
+    /// pass: the data-flow transfer `live_in ∪= live_out \ kill` without
+    /// per-bit iteration. Returns `true` if `self` grew.
+    pub fn union_with_andnot(&mut self, other: &Self, minus: &Self) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        let mut len = 0usize;
+        for (i, word) in self.words.iter_mut().enumerate() {
+            let incoming = other.words.get(i).copied().unwrap_or(0)
+                & !minus.words.get(i).copied().unwrap_or(0);
+            let merged = *word | incoming;
+            if merged != *word {
+                changed = true;
+                *word = merged;
+            }
+            len += merged.count_ones() as usize;
+        }
+        self.len = len;
+        changed
+    }
+
     /// Adds every entity of `other` to `self`; returns `true` if `self` grew.
     pub fn union_with(&mut self, other: &Self) -> bool {
         if other.words.len() > self.words.len() {
@@ -494,6 +525,39 @@ mod tests {
         assert!(a.union_with(&b));
         assert_eq!(a.len(), 4);
         assert!(!a.union_with(&b));
+    }
+
+    #[test]
+    fn entity_set_clone_from_set_reuses_storage() {
+        let mut a: EntitySet<Value> =
+            [0usize, 1, 200].iter().map(|&i| Value::from_index(i)).collect();
+        let b: EntitySet<Value> = [5usize, 64].iter().map(|&i| Value::from_index(i)).collect();
+        a.clone_from_set(&b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        let indices: Vec<_> = a.iter().map(|v| v.index()).collect();
+        assert_eq!(indices, vec![5, 64]);
+    }
+
+    #[test]
+    fn entity_set_union_with_andnot_matches_per_bit() {
+        let other: EntitySet<Value> =
+            [1usize, 2, 3, 70, 128].iter().map(|&i| Value::from_index(i)).collect();
+        let minus: EntitySet<Value> = [2usize, 128].iter().map(|&i| Value::from_index(i)).collect();
+        let mut fast: EntitySet<Value> =
+            [0usize, 3].iter().map(|&i| Value::from_index(i)).collect();
+        let mut slow = fast.clone();
+        assert!(fast.union_with_andnot(&other, &minus));
+        for v in other.iter() {
+            if !minus.contains(v) {
+                slow.insert(v);
+            }
+        }
+        // Compare contents (word-vector lengths may differ by trailing zeros).
+        assert_eq!(fast.len(), slow.len());
+        assert_eq!(fast.iter().collect::<Vec<_>>(), slow.iter().collect::<Vec<_>>());
+        // Second application is a fixpoint.
+        assert!(!fast.union_with_andnot(&other, &minus));
     }
 
     #[test]

@@ -70,45 +70,52 @@ impl FastLiveness {
 
         // Reduced reachability: process blocks in reverse of the reverse
         // post-order (i.e. post-order) so successors are ready first. The
-        // reduced graph is acyclic for reducible CFGs.
+        // reduced graph is acyclic for reducible CFGs, so each stored set is
+        // final when written and successor sets can be unioned in directly
+        // (the seed cloned every successor set before the union).
         let mut reduced_reach: SecondaryMap<Block, EntitySet<Block>> = SecondaryMap::new();
         reduced_reach.resize(num_blocks);
         let post_order: Vec<Block> = cfg.post_order().collect();
+        let mut scratch = EntitySet::with_capacity(num_blocks);
         for &block in &post_order {
-            let mut reach = EntitySet::with_capacity(num_blocks);
-            reach.insert(block);
+            scratch.clear();
+            scratch.insert(block);
             for &succ in &forward_succs[block] {
-                reach.insert(succ);
-                let succ_reach = reduced_reach[succ].clone();
-                reach.union_with(&succ_reach);
+                scratch.insert(succ);
+                scratch.union_with(&reduced_reach[succ]);
             }
-            reduced_reach[block] = reach;
+            reduced_reach[block].clone_from_set(&scratch);
         }
 
         // Back-edge target closure: T[q] = ∪ { {t} ∪ T[t] | s ∈ R[q], (s→t) back edge }.
-        // Iterate to a fixpoint (back-edge targets dominate their sources, so
-        // a couple of passes suffice; we loop until stable for safety).
+        // The direct targets D[q] = { t | s ∈ R[q], (s→t) back edge } depend
+        // only on the (final) reduced reachability, so they are computed once
+        // instead of per fixpoint pass; the fixpoint itself then runs in
+        // place through one reusable scratch bit-set — no per-pass clones.
+        let mut direct_targets: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        direct_targets.resize(num_blocks);
+        for &block in cfg.reverse_post_order() {
+            let targets = &mut direct_targets[block];
+            for s in reduced_reach[block].iter() {
+                for &t in &back_edge_targets_of[s] {
+                    if !targets.contains(&t) {
+                        targets.push(t);
+                    }
+                }
+            }
+        }
         let mut back_targets: SecondaryMap<Block, EntitySet<Block>> = SecondaryMap::new();
         back_targets.resize(num_blocks);
-        for &block in cfg.reverse_post_order() {
-            back_targets[block] = EntitySet::with_capacity(num_blocks);
-        }
         let mut changed = true;
         while changed {
             changed = false;
             for &block in cfg.reverse_post_order() {
-                let mut acc = back_targets[block].clone();
-                for s in reduced_reach[block].iter() {
-                    for &t in &back_edge_targets_of[s] {
-                        acc.insert(t);
-                        let t_closure = back_targets[t].clone();
-                        acc.union_with(&t_closure);
-                    }
+                scratch.clear();
+                for &t in &direct_targets[block] {
+                    scratch.insert(t);
+                    scratch.union_with(&back_targets[t]);
                 }
-                if acc != back_targets[block] {
-                    back_targets[block] = acc;
-                    changed = true;
-                }
+                changed |= back_targets[block].union_with(&scratch);
             }
         }
 

@@ -165,6 +165,20 @@ impl<'a, L: BlockLiveness> IntersectionTest<'a, L> {
         false
     }
 
+    /// Returns `true` if the definition point of `x` dominates the
+    /// definition point of `y` (false when either has no definition). The
+    /// ordering predicate shared by the dominance-stack sweeps (linear class
+    /// interference, interference-graph build).
+    #[inline]
+    pub fn def_dominates(&self, x: Value, y: Value) -> bool {
+        match (self.info.def(x), self.info.def(y)) {
+            (Some(dx), Some(dy)) => {
+                self.domtree.dominates_point((dx.block, dx.pos), (dy.block, dy.pos))
+            }
+            _ => false,
+        }
+    }
+
     /// Access to the per-value info (definition sites, uses).
     pub fn info(&self) -> &LiveRangeInfo {
         self.info

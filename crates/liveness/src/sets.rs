@@ -87,32 +87,35 @@ impl LivenessSets {
             }
         }
 
-        // Backward fixpoint over the post-order.
+        // Backward fixpoint over the post-order, in place: the stored sets
+        // only ever grow, so the transfer can union directly into them —
+        // gen/kill are the precomputed per-block transfer functions and the
+        // `live_in ∪= live_out \ kill` step is a single word-level pass. The
+        // only scratch is one reusable bit-set for the successor union.
         let post_order: Vec<Block> = cfg.post_order().collect();
+        let mut scratch_out = EntitySet::with_capacity(num_values);
+        for &block in cfg.reverse_post_order() {
+            live_in[block].union_with(&gen[block]);
+        }
         let mut changed = true;
         while changed {
             changed = false;
             for &block in &post_order {
-                // live_out(B) = ∪_succ S (live_in(S) \ phi_defs(S)) ∪ phi_uses_from(B in S)
-                let mut new_out = EntitySet::with_capacity(num_values);
+                // live_out(B) ∪= ∪_succ S (live_in(S) \ phi_defs(S)) ∪ phi_uses_from(B in S)
+                scratch_out.clear();
                 for &succ in cfg.succs(block) {
                     // live_in(S) already excludes φ defs of S by construction.
-                    new_out.union_with(&live_in[succ]);
+                    scratch_out.union_with(&live_in[succ]);
                 }
                 for &value in &edge_phi_uses[block] {
-                    new_out.insert(value);
+                    scratch_out.insert(value);
                 }
-                // live_in(B) = gen(B) ∪ (live_out(B) \ kill(B))
-                let mut new_in = gen[block].clone();
-                for value in new_out.iter() {
-                    if !kill[block].contains(value) {
-                        new_in.insert(value);
-                    }
-                }
-                if new_out != live_out[block] || new_in != live_in[block] {
+                let out_grew = live_out[block].union_with(&scratch_out);
+                // live_in(B) = gen(B) ∪ (live_out(B) \ kill(B)); gen was
+                // seeded above, so only the data-flow part remains.
+                if out_grew {
+                    live_in[block].union_with_andnot(&scratch_out, &kill[block]);
                     changed = true;
-                    live_out[block] = new_out;
-                    live_in[block] = new_in;
                 }
             }
         }

@@ -8,7 +8,7 @@
 //! [`UseSites::used_after_in_block`] sits on the hot path of every
 //! live-range intersection query.
 
-use ossa_ir::entity::{Block, SecondaryMap, Value};
+use ossa_ir::entity::{Block, Value};
 use ossa_ir::{Function, InstData};
 
 /// A single use of a value.
@@ -28,45 +28,75 @@ impl UseSite {
     }
 }
 
-/// Index of all uses of every value in a function.
+/// Index of all uses of every value in a function, stored in compressed
+/// sparse-row form: one flat site array plus per-value offsets. Building it
+/// performs exactly three allocations regardless of function size (counts,
+/// offsets, sites) instead of one `Vec` per used value.
 #[derive(Clone, Debug, Default)]
 pub struct UseSites {
-    sites: SecondaryMap<Value, Vec<UseSite>>,
+    /// `offsets[v.index()] .. offsets[v.index() + 1]` indexes `sites`.
+    offsets: Vec<u32>,
+    /// All use sites, grouped by value, in block-traversal order per value.
+    sites: Vec<UseSite>,
 }
 
 impl UseSites {
     /// Builds the use index of `func`.
     pub fn compute(func: &Function) -> Self {
-        let mut sites: SecondaryMap<Value, Vec<UseSite>> = SecondaryMap::new();
-        sites.resize(func.num_values());
-        for block in func.blocks() {
-            for (pos, &inst) in func.block_insts(block).iter().enumerate() {
-                match func.inst(inst) {
-                    InstData::Phi { args, .. } => {
-                        for arg in args {
-                            sites[arg.value].push(UseSite { block: arg.block, pos: usize::MAX });
+        let num_values = func.num_values();
+        let mut counts = vec![0u32; num_values];
+        let mut scratch: Vec<Value> = Vec::new();
+        let mut each_use = |func: &Function, f: &mut dyn FnMut(Value, Block, usize)| {
+            for block in func.blocks() {
+                for (pos, &inst) in func.block_insts(block).iter().enumerate() {
+                    match func.inst(inst) {
+                        InstData::Phi { args, .. } => {
+                            for arg in args {
+                                f(arg.value, arg.block, usize::MAX);
+                            }
                         }
-                    }
-                    data => {
-                        for value in data.uses() {
-                            sites[value].push(UseSite { block, pos });
+                        data => {
+                            scratch.clear();
+                            data.collect_uses(&mut scratch);
+                            for &value in &scratch {
+                                f(value, block, pos);
+                            }
                         }
                     }
                 }
             }
+        };
+        each_use(func, &mut |value, _, _| counts[value.index()] += 1);
+
+        let mut offsets = vec![0u32; num_values + 1];
+        for i in 0..num_values {
+            offsets[i + 1] = offsets[i] + counts[i];
         }
-        Self { sites }
+        let total = offsets[num_values] as usize;
+        let mut sites = vec![UseSite { block: Block::from_index(0), pos: 0 }; total];
+        // `counts` becomes the per-value write cursor.
+        counts.iter_mut().for_each(|c| *c = 0);
+        each_use(func, &mut |value, block, pos| {
+            let slot = offsets[value.index()] + counts[value.index()];
+            counts[value.index()] += 1;
+            sites[slot as usize] = UseSite { block, pos };
+        });
+        Self { offsets, sites }
     }
 
     /// All uses of `value` (empty slice if never used).
     #[inline]
     pub fn uses_of(&self, value: Value) -> &[UseSite] {
-        self.sites.get(value)
+        let i = value.index();
+        match (self.offsets.get(i), self.offsets.get(i + 1)) {
+            (Some(&lo), Some(&hi)) => &self.sites[lo as usize..hi as usize],
+            _ => &[],
+        }
     }
 
     /// Returns `true` if `value` has at least one use.
     pub fn is_used(&self, value: Value) -> bool {
-        !self.sites.get(value).is_empty()
+        !self.uses_of(value).is_empty()
     }
 
     /// Returns `true` if `value` is used in `block` strictly after position
@@ -78,7 +108,7 @@ impl UseSites {
 
     /// Number of values with at least one use.
     pub fn num_used_values(&self) -> usize {
-        self.sites.iter().filter(|(_, sites)| !sites.is_empty()).count()
+        self.offsets.windows(2).filter(|w| w[1] > w[0]).count()
     }
 }
 

@@ -12,15 +12,13 @@ use out_of_ssa::ir::{verify_cfg, verify_ssa};
 use out_of_ssa::regalloc::{allocate, check_allocation};
 use out_of_ssa::ssa::is_conventional;
 
+/// The shared Figure 5 list (single source of truth, so a new bench variant
+/// cannot silently miss oracle coverage) plus the engine-only configurations
+/// that matter for behaviour.
 fn variants() -> Vec<(&'static str, OutOfSsaOptions)> {
-    vec![
-        ("intersect", OutOfSsaOptions::intersect()),
-        ("sreedhar_i", OutOfSsaOptions::sreedhar_i()),
-        ("chaitin", OutOfSsaOptions::chaitin()),
-        ("value", OutOfSsaOptions::value()),
-        ("sreedhar_iii", OutOfSsaOptions::sreedhar_iii()),
-        ("value_is", OutOfSsaOptions::value_is()),
-        ("sharing", OutOfSsaOptions::sharing()),
+    let mut variants: Vec<(&'static str, OutOfSsaOptions)> =
+        OutOfSsaOptions::figure5_variants().into_iter().collect();
+    variants.extend([
         ("us_i_graph", OutOfSsaOptions::us_i()),
         ("us_iii_graph", OutOfSsaOptions::us_iii()),
         (
@@ -29,7 +27,8 @@ fn variants() -> Vec<(&'static str, OutOfSsaOptions)> {
                 .with_interference(InterferenceMode::InterCheckLiveCheck)
                 .with_class_check(ClassCheck::Linear),
         ),
-    ]
+    ]);
+    variants
 }
 
 #[test]
