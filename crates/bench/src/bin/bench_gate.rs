@@ -5,12 +5,17 @@
 //! non-zero when the current numbers regress beyond a tolerance, failing the
 //! CI job. Checked:
 //!
-//! 1. `batch_serial_seconds` and `seed_style_serial_seconds` each within
-//!    `(1 + tolerance)` of the committed baseline (absolute trajectory);
-//! 2. `batch_serial_seconds ≤ seed_style_serial_seconds × 1.05` (the batch
+//! 1. `batch_serial_seconds`, `seed_style_serial_seconds` and
+//!    `streaming_serial_seconds` each within `(1 + tolerance)` of the
+//!    committed baseline (absolute trajectory);
+//! 2. `batch_serial_seconds ≤ seed_style_serial_seconds × 1.10` (the batch
 //!    engine must not fall behind the naive per-function loop — the
-//!    regression this PR fixed);
-//! 3. the per-phase timing and allocation-count fields are present, so the
+//!    regression an earlier PR fixed);
+//! 3. `streaming_serial_seconds ≤ batch_serial_seconds × 1.10` (draining an
+//!    iterator must stay within noise of draining a slice — the streaming
+//!    front end adds a queue pull and an output move per function, nothing
+//!    that may grow with function size);
+//! 4. the per-phase timing and allocation-count fields are present, so the
 //!    perf trajectory never silently loses instrumentation.
 //!
 //! Usage: `bench_gate [current.json] [baseline.json]`, defaulting to
@@ -91,25 +96,37 @@ fn main() -> ExitCode {
         };
     check_vs_baseline("batch_serial_seconds");
     check_vs_baseline("seed_style_serial_seconds");
+    check_vs_baseline("streaming_serial_seconds");
 
-    // Relative invariant, independent of machine speed: the batch engine
-    // must not be slower than the seed-style per-function loop. 10% slack —
-    // the regression this catches was a systematic gap, well above shared-
-    // runner noise on two interleaved min-of-5 measurements, while the
-    // structural advantage of the batch engine is only a few percent.
-    match (
-        extract_number(&current, "batch_serial_seconds"),
-        extract_number(&current, "seed_style_serial_seconds"),
+    // Relative invariants, independent of machine speed, between two keys of
+    // the *current* report (both sides sampled interleaved, min-of-5, so a
+    // systematic gap is well above shared-runner noise at 10% slack).
+    let mut check_relative = |num_key: &str, den_key: &str, slack: f64| match (
+        extract_number(&current, num_key),
+        extract_number(&current, den_key),
     ) {
-        (Some(batch), Some(seed)) => {
-            let verdict = if batch <= seed * 1.10 { "ok" } else { "REGRESSION" };
-            println!("batch_serial ≤ 1.10 × seed_style: {batch:.6}s vs {seed:.6}s — {verdict}");
-            if batch > seed * 1.10 {
+        (Some(num), Some(den)) => {
+            let verdict = if num <= den * slack { "ok" } else { "REGRESSION" };
+            println!("{num_key} ≤ {slack:.2} × {den_key}: {num:.6}s vs {den:.6}s — {verdict}");
+            if num > den * slack {
                 failures += 1;
             }
         }
-        _ => failures += 1,
-    }
+        (num, _) => {
+            eprintln!(
+                "relative check {num_key} vs {den_key}: {} missing from {current_path}",
+                if num.is_none() { num_key } else { den_key }
+            );
+            failures += 1;
+        }
+    };
+    // The batch engine must not fall behind the seed-style per-function loop
+    // (the regression an earlier PR fixed), and the streaming front end must
+    // not fall behind the batch engine (pulling the corpus from an iterator
+    // adds a queue pull and an output move per function, nothing that may
+    // grow with function size).
+    check_relative("batch_serial_seconds", "seed_style_serial_seconds", 1.10);
+    check_relative("streaming_serial_seconds", "batch_serial_seconds", 1.10);
 
     // Instrumentation presence: phase timings and allocation counts.
     for key in [
@@ -118,6 +135,7 @@ fn main() -> ExitCode {
         "sequentialize",
         "seed_style_serial_allocations",
         "batch_serial_allocations",
+        "streaming_serial_allocations",
     ] {
         if extract_number(&current, key).is_none() {
             eprintln!("{key}: instrumentation field missing from {current_path}");

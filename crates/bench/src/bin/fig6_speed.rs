@@ -6,7 +6,10 @@
 use std::fmt::Write as _;
 
 use ossa_bench::alloc::allocation_count;
-use ossa_bench::{corpus, format_normalized, run_variant_seed_style, speed_report, DEFAULT_SCALE};
+use ossa_bench::{
+    corpus, format_normalized, run_variant_seed_style, run_variant_streaming, speed_report,
+    DEFAULT_SCALE,
+};
 use ossa_destruct::{OutOfSsaOptions, PhaseSeconds};
 
 /// Counting allocator: the JSON reports how many heap allocations each
@@ -64,6 +67,12 @@ fn main() {
         let stats = ossa_destruct::translate_corpus_serial(&mut work, &options);
         (allocation_count() - before, stats.total().phase_seconds)
     };
+    let streaming_allocs = {
+        let work = flat.clone();
+        let before = allocation_count();
+        let _ = ossa_destruct::translate_stream_with(work, &options, 1);
+        allocation_count() - before
+    };
     let time_batch = |threads: usize| -> f64 {
         let mut work = flat.clone();
         let start = std::time::Instant::now();
@@ -78,17 +87,21 @@ fn main() {
     // scratch reused across functions versus rebuilt for every function.
     let mut seed_style = f64::INFINITY;
     let mut serial = f64::INFINITY;
+    let mut streaming = f64::INFINITY;
     for _ in 0..5 {
         let s: f64 = corpus.iter().map(|w| run_variant_seed_style(w, &options).1).sum();
         seed_style = seed_style.min(s);
         let b: f64 = corpus.iter().map(|w| ossa_bench::run_variant(w, &options).1).sum();
         serial = serial.min(b);
+        let t: f64 = corpus.iter().map(|w| run_variant_streaming(w, &options).1).sum();
+        streaming = streaming.min(t);
     }
     let parallel: f64 = min3(&|| time_batch(0));
     let speedup = seed_style / parallel.max(1e-12);
     println!("\nbatch engine over the corpus (default options):");
     println!("  seed-style serial loop  {seed_style:.4}s  ({seed_style_allocs} allocations)");
     println!("  batch engine (serial)   {serial:.4}s  ({batch_allocs} allocations)");
+    println!("  streaming engine (serial) {streaming:.4}s  ({streaming_allocs} allocations)");
     println!("  batch engine (parallel) {parallel:.4}s  ({threads} threads, {speedup:.2}x vs seed style)");
     let PhaseSeconds { liveness, coalesce, sequentialize } = phase;
     println!("  batch serial phases     liveness {liveness:.4}s, coalesce {coalesce:.4}s, sequentialize {sequentialize:.4}s");
@@ -110,6 +123,7 @@ fn main() {
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"seed_style_serial_seconds\": {seed_style:.6},");
     let _ = writeln!(json, "  \"batch_serial_seconds\": {serial:.6},");
+    let _ = writeln!(json, "  \"streaming_serial_seconds\": {streaming:.6},");
     let _ = writeln!(json, "  \"batch_parallel_seconds\": {parallel:.6},");
     let _ = writeln!(json, "  \"batch_threads\": {threads},");
     let _ = writeln!(json, "  \"batch_speedup_vs_seed_style\": {speedup:.3},");
@@ -119,7 +133,8 @@ fn main() {
     let _ = writeln!(json, "    \"sequentialize\": {sequentialize:.6}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"seed_style_serial_allocations\": {seed_style_allocs},");
-    let _ = writeln!(json, "  \"batch_serial_allocations\": {batch_allocs}");
+    let _ = writeln!(json, "  \"batch_serial_allocations\": {batch_allocs},");
+    let _ = writeln!(json, "  \"streaming_serial_allocations\": {streaming_allocs}");
     let _ = writeln!(json, "}}");
     let path = "BENCH_fig6.json";
     match std::fs::write(path, &json) {

@@ -25,8 +25,8 @@ pub mod alloc;
 
 use ossa_cfggen::{spec_like_corpus, Workload};
 use ossa_destruct::{
-    translate_corpus_serial, translate_corpus_with, translate_out_of_ssa, ClassCheck,
-    InterferenceMode, OutOfSsaOptions, OutOfSsaStats,
+    translate_corpus_serial, translate_corpus_with, translate_out_of_ssa, translate_stream_with,
+    ClassCheck, InterferenceMode, OutOfSsaOptions, OutOfSsaStats,
 };
 
 /// The Figure 5 coalescing variants, in the paper's order.
@@ -95,6 +95,21 @@ pub fn run_variant_parallel(
     let mut funcs = workload.functions.clone();
     let start = Instant::now();
     let stats = translate_corpus_with(&mut funcs, options, threads);
+    (stats.total(), start.elapsed().as_secs_f64())
+}
+
+/// Runs one translation variant over one workload through the serial
+/// *streaming* engine (`translate_stream_with`, one worker). The input
+/// functions are cloned into a queue before the timer starts, so the timed
+/// region is exactly the engine draining an iterator — comparable with
+/// [`run_variant`]'s batch-serial timing.
+pub fn run_variant_streaming(
+    workload: &Workload,
+    options: &OutOfSsaOptions,
+) -> (OutOfSsaStats, f64) {
+    let queue = workload.functions.clone();
+    let start = Instant::now();
+    let (_funcs, stats) = translate_stream_with(queue, options, 1);
     (stats.total(), start.elapsed().as_secs_f64())
 }
 

@@ -36,15 +36,24 @@ use crate::parallel_copy::{sequentialize_function_with, SeqScratch};
 use crate::value::ValueTable;
 
 /// Reusable scratch buffers for repeated translations: the per-parallel-copy
-/// sequentialization state and the linear-check ancestor map. A corpus
-/// driver constructs one per worker and threads it through every function,
-/// so the per-copy windmill loop performs no hashing and no allocation.
+/// sequentialization state, the linear-check ancestor map, the congruence
+/// classes and the decision-phase snapshot maps. A corpus driver constructs
+/// one per worker and threads it through every function, so the per-copy
+/// windmill loop performs no hashing and the decision phase reuses its dense
+/// storage across functions instead of reallocating it.
 #[derive(Debug, Default)]
 pub struct TranslateScratch {
     /// Sequentialization scratch (Algorithm 1 state).
     seq: SeqScratch,
     /// `equal_anc_out` scratch of the linear class-interference check.
     equal_anc: EqualAncOut,
+    /// Congruence-class storage, [`CongruenceClasses::reset`] per function.
+    classes: CongruenceClasses,
+    /// Decision-phase output: the class snapshot maps, value table and
+    /// sharing bookkeeping, recycled across functions.
+    decisions: Decisions,
+    /// Parallel-copy destination locations of the virtualized processing.
+    move_location: SecondaryMap<Value, Option<(Block, usize)>>,
 }
 
 impl TranslateScratch {
@@ -461,14 +470,15 @@ pub fn translate_out_of_ssa_scratch(
     }
     stats.phase_seconds.liveness = phase_start.elapsed().as_secs_f64();
 
-    // Phase B: analyses + coalescing decisions (no mutation of `func`).
+    // Phase B: analyses + coalescing decisions (no mutation of `func`). The
+    // decisions land in the scratch-owned snapshot maps, whose storage is
+    // recycled across functions.
     let phase_start = Instant::now();
-    let decisions = {
+    {
         let func = &*func;
         let domtree = analyses.domtree(func);
         let freqs = analyses.frequencies(func);
         let info = analyses.live_range_info(func);
-        let values = ValueTable::compute(func, domtree);
         let universe = copy_related_universe(func);
 
         match options.interference {
@@ -502,11 +512,10 @@ pub fn translate_out_of_ssa_scratch(
                     domtree,
                     freqs,
                     &intersect,
-                    values,
                     graph.as_ref(),
                     &universe,
-                    &mut scratch.equal_anc,
-                )
+                    scratch,
+                );
             }
             InterferenceMode::InterCheckLiveCheck => {
                 let cfg = analyses.cfg(func);
@@ -521,28 +530,19 @@ pub fn translate_out_of_ssa_scratch(
                 };
                 let intersect = IntersectionTest::new(func, domtree, &fast, info);
                 decide(
-                    func,
-                    options,
-                    &insertion,
-                    domtree,
-                    freqs,
-                    &intersect,
-                    values,
-                    None,
-                    &universe,
-                    &mut scratch.equal_anc,
-                )
+                    func, options, &insertion, domtree, freqs, &intersect, None, &universe, scratch,
+                );
             }
         }
-    };
-    stats.interference_queries = decisions.queries;
-    stats.moves_coalesced = decisions.moves_coalesced;
+    }
+    stats.interference_queries = scratch.decisions.queries;
+    stats.moves_coalesced = scratch.decisions.moves_coalesced;
 
     // Phase C: rewrite with the chosen classes, drop φs, sequentialize. These
     // are instruction-level mutations: the CFG caches (and the fast liveness
     // precomputation) stay valid, so the frequencies used below and by later
     // consumers are not recomputed.
-    rewrite(func, &decisions);
+    rewrite(func, &scratch.decisions);
     stats.phase_seconds.coalesce = phase_start.elapsed().as_secs_f64();
     let phase_start = Instant::now();
     if options.sequentialize {
@@ -559,7 +559,10 @@ pub fn translate_out_of_ssa_scratch(
 }
 
 /// Outcome of the decision phase: the final congruence classes and the moves
-/// deleted by the sharing rule.
+/// deleted by the sharing rule. Lives inside [`TranslateScratch`] so that
+/// its dense maps are recycled across the functions of a corpus; every field
+/// is rebuilt from scratch semantics by [`decide`] for each function.
+#[derive(Debug, Default)]
 struct Decisions {
     /// Class representative of every value (`None` = itself).
     class_rep: SecondaryMap<Value, Option<Value>>,
@@ -584,13 +587,27 @@ fn decide<L: BlockLiveness>(
     domtree: &DominatorTree,
     freqs: &ossa_ir::BlockFrequencies,
     intersect: &IntersectionTest<'_, L>,
-    values_owned: ValueTable,
     graph: Option<&InterferenceGraph>,
     universe: &[Value],
-    scratch: &mut EqualAncOut,
-) -> Decisions {
-    let values = &values_owned;
-    let mut classes = CongruenceClasses::new(func, domtree, intersect.info());
+    scratch: &mut TranslateScratch,
+) {
+    // Split the scratch into its independent pieces; every map is brought
+    // back to fresh-construction semantics for this function while keeping
+    // its heap allocations from previous functions.
+    let TranslateScratch { equal_anc, classes, decisions, move_location, .. } = scratch;
+    let Decisions {
+        class_rep,
+        labels: out_labels,
+        removed_moves,
+        values: values_slot,
+        used,
+        queries: out_queries,
+        moves_coalesced: out_moves_coalesced,
+    } = decisions;
+    values_slot.compute_into(func, domtree);
+    let values: &ValueTable = values_slot;
+    classes.reset(func, domtree, intersect.info());
+    let scratch = equal_anc;
     let mut moves_coalesced = 0usize;
     let no_anc = EqualAncOut::new();
 
@@ -630,7 +647,7 @@ fn decide<L: BlockLiveness>(
             // checked against the *virtual* locations of the remaining
             // argument copies so that materializing one of them later cannot
             // invalidate the class (the lost-copy situation).
-            let move_location = parallel_copy_locations(func);
+            parallel_copy_locations_into(move_location, func);
             for web in &insertion.webs {
                 let node = web.members[0];
                 let result_move = web.moves[0];
@@ -657,24 +674,16 @@ fn decide<L: BlockLiveness>(
                     let skip =
                         (options.strategy == Strategy::SreedharI).then_some((primed, original));
                     let interferes = classes_interfere(
-                        options,
-                        &mut classes,
-                        node,
-                        original,
-                        intersect,
-                        values,
-                        graph,
-                        skip,
-                        scratch,
+                        options, classes, node, original, intersect, values, graph, skip, scratch,
                     );
                     let virtual_conflict = !interferes
                         && virtual_copy_conflict(
                             options,
-                            &classes,
+                            classes,
                             original,
                             m,
                             &web.moves[1..],
-                            &move_location,
+                            move_location,
                             intersect,
                             values,
                         );
@@ -721,15 +730,7 @@ fn decide<L: BlockLiveness>(
         }
         let skip = (options.strategy == Strategy::SreedharI).then_some((m.dst, m.src));
         let interferes = classes_interfere(
-            options,
-            &mut classes,
-            m.dst,
-            m.src,
-            intersect,
-            values,
-            graph,
-            skip,
-            scratch,
+            options, classes, m.dst, m.src, intersect, values, graph, skip, scratch,
         );
         if !interferes {
             classes.merge(m.dst, m.src, scratch);
@@ -738,7 +739,7 @@ fn decide<L: BlockLiveness>(
     }
 
     // Copy-sharing post-optimization (Section III-B).
-    let mut removed_moves: Vec<(Inst, Value)> = Vec::new();
+    removed_moves.clear();
     if options.sharing {
         // Group the copy-related universe by value representative — one
         // sorted array plus per-representative ranges instead of one `Vec`
@@ -790,15 +791,7 @@ fn decide<L: BlockLiveness>(
                         // Rule 2: coalesce the classes of b and c (value rule)
                         // and drop the copy.
                         let interferes = classes_interfere(
-                            options,
-                            &mut classes,
-                            b,
-                            c,
-                            intersect,
-                            values,
-                            graph,
-                            None,
-                            scratch,
+                            options, classes, b, c, intersect, values, graph, None, scratch,
                         );
                         if !interferes {
                             classes.merge(b, c, scratch);
@@ -812,43 +805,42 @@ fn decide<L: BlockLiveness>(
         }
     }
 
-    // Snapshot the classes into dense maps for the rewrite phase. The rename
-    // target is the *canonical* representative, which is independent of the
-    // union-by-rank tree shape.
-    let mut class_rep: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
+    // Snapshot the classes into the scratch-owned dense maps for the rewrite
+    // phase. Every value of the function is written, so stale entries from a
+    // previous function are never observed. The rename target is the
+    // *canonical* representative, which is independent of the union-by-rank
+    // tree shape.
     class_rep.resize(func.num_values());
-    let mut labels: Vec<(Value, u32)> = Vec::new();
+    out_labels.clear();
     for value in func.values() {
         let rep = classes.representative(value);
         class_rep[value] = Some(rep);
         if value == rep {
             if let Some(reg) = classes.label(value) {
-                labels.push((rep, reg));
+                out_labels.push((rep, reg));
             }
         }
     }
-    let mut used: ossa_ir::EntitySet<Value> = ossa_ir::EntitySet::new();
+    used.clear();
     for value in func.values() {
         if !intersect.info().uses().uses_of(value).is_empty() {
             used.insert(value);
         }
     }
-    Decisions {
-        class_rep,
-        labels,
-        removed_moves,
-        values: values_owned,
-        used,
-        queries: classes.queries(),
-        moves_coalesced,
-    }
+    *out_queries = classes.queries();
+    *out_moves_coalesced = moves_coalesced;
 }
 
-/// Locations (block, position) of every parallel-copy destination, used by
-/// the virtualized processing to reason about copies that are not yet
-/// committed.
-fn parallel_copy_locations(func: &Function) -> SecondaryMap<Value, Option<(Block, usize)>> {
-    let mut locations: SecondaryMap<Value, Option<(Block, usize)>> = SecondaryMap::new();
+/// Records the location (block, position) of every parallel-copy destination
+/// into the reusable `locations` map, used by the virtualized processing to
+/// reason about copies that are not yet committed.
+fn parallel_copy_locations_into(
+    locations: &mut SecondaryMap<Value, Option<(Block, usize)>>,
+    func: &Function,
+) {
+    for slot in locations.values_mut() {
+        *slot = None;
+    }
     locations.resize(func.num_values());
     for block in func.blocks() {
         for (pos, &inst) in func.block_insts(block).iter().enumerate() {
@@ -859,7 +851,6 @@ fn parallel_copy_locations(func: &Function) -> SecondaryMap<Value, Option<(Block
             }
         }
     }
-    locations
 }
 
 /// Checks whether coalescing the class of `candidate` into the φ-node would

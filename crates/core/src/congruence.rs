@@ -95,7 +95,7 @@ impl EqualAncOut {
 }
 
 /// The congruence classes of a function's values.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct CongruenceClasses {
     /// Union-find parent links. `Cell` so that [`CongruenceClasses::find`]
     /// can compress paths behind a `&self` borrow.
@@ -130,35 +130,70 @@ impl CongruenceClasses {
     /// by definition point. Definition sites are read from the shared `info`
     /// index instead of being recomputed.
     pub fn new(func: &Function, domtree: &DominatorTree, info: &LiveRangeInfo) -> Self {
+        let mut this = Self::default();
+        this.reset(func, domtree, info);
+        this
+    }
+
+    /// Re-initializes the classes for `func` in place, reusing the dense
+    /// maps, member lists and singleton pool of a previous function. The
+    /// resulting state — and every decision made from it — is identical to
+    /// a freshly constructed [`CongruenceClasses::new`]; only the heap
+    /// traffic differs. This is what lets [`TranslateScratch`] carry the
+    /// class storage across the functions of a corpus.
+    ///
+    /// [`TranslateScratch`]: crate::coalesce::TranslateScratch
+    pub fn reset(&mut self, func: &Function, domtree: &DominatorTree, info: &LiveRangeInfo) {
+        // Restore default-equivalent state on every materialized slot
+        // (entries of a previous, possibly larger, function included)
+        // without dropping the per-slot heap allocations.
+        for cell in self.parent.values_mut() {
+            cell.set(None);
+        }
+        for rank in self.rank.values_mut() {
+            *rank = 0;
+        }
+        for canon in self.canon.values_mut() {
+            *canon = None;
+        }
+        for list in self.members.values_mut() {
+            list.clear();
+        }
+        for label in self.labels.values_mut() {
+            *label = None;
+        }
+        for key in self.keys.values_mut() {
+            *key = None;
+        }
+        for anc in self.equal_anc_in.values_mut() {
+            *anc = None;
+        }
+        self.queries = 0;
+
         let num_values = func.num_values();
-        let mut keys: SecondaryMap<Value, Option<DefOrderKey>> = SecondaryMap::new();
-        keys.resize(num_values);
+        self.parent.resize(num_values);
+        self.rank.resize(num_values);
+        self.canon.resize(num_values);
+        self.members.resize(num_values);
+        self.labels.resize(num_values);
+        self.keys.resize(num_values);
+        self.equal_anc_in.resize(num_values);
+        if self.pool.len() < num_values {
+            self.pool.reserve_exact(num_values - self.pool.len());
+            while self.pool.len() < num_values {
+                self.pool.push(Value::from_index(self.pool.len()));
+            }
+        }
         for value in func.values() {
             if let Some(site) = info.def(value) {
-                keys[value] = Some(DefOrderKey {
+                self.keys[value] = Some(DefOrderKey {
                     block_preorder: domtree.preorder_number(site.block),
                     pos: site.pos as u32,
                     value_index: value.index() as u32,
                 });
             }
+            self.labels[value] = func.pinned_reg(value);
         }
-        let mut parent: SecondaryMap<Value, Cell<Option<Value>>> = SecondaryMap::new();
-        parent.resize(num_values);
-        let mut rank: SecondaryMap<Value, u32> = SecondaryMap::new();
-        rank.resize(num_values);
-        let mut canon: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
-        canon.resize(num_values);
-        let mut equal_anc_in: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
-        equal_anc_in.resize(num_values);
-        let mut labels: SecondaryMap<Value, Option<u32>> = SecondaryMap::new();
-        labels.resize(num_values);
-        let mut members: SecondaryMap<Value, Vec<Value>> = SecondaryMap::new();
-        members.resize(num_values);
-        let pool: Vec<Value> = (0..num_values).map(Value::from_index).collect();
-        for value in func.values() {
-            labels[value] = func.pinned_reg(value);
-        }
-        Self { parent, rank, canon, members, pool, labels, keys, equal_anc_in, queries: 0 }
     }
 
     /// Registers a value created after construction (e.g. a materialized
@@ -818,6 +853,51 @@ mod tests {
                     classes.rank[parent],
                 );
             }
+        }
+    }
+
+    #[test]
+    fn reset_classes_behave_like_freshly_constructed_ones() {
+        // Recycle one CongruenceClasses across two rounds with merges in
+        // between: after reset, every observable (roots, members, labels,
+        // keys, interference answers) matches a fresh construction.
+        let (mut f, vals) = copies_function();
+        let [a, b1, c1, other, s, ..] = vals[..] else { panic!() };
+        f.pin_value(c1, 2);
+        let fx = Fixture::new(f);
+        let intersect = fx.intersect();
+        let values = ValueTable::of(&fx.func);
+        let none = EqualAncOut::new();
+
+        let mut recycled = fx.classes();
+        // Dirty the state thoroughly.
+        recycled.merge(a, b1, &none);
+        recycled.merge(s, other, &none);
+        recycled.merge_group(&vals);
+        let _ = recycled.interfere_quadratic(a, s, &intersect, Some(&values));
+
+        recycled.reset(&fx.func, &fx.domtree, &fx.info);
+        let mut fresh = fx.classes();
+        let mut scratch_a = EqualAncOut::new();
+        let mut scratch_b = EqualAncOut::new();
+        for &v in &vals {
+            assert_eq!(recycled.find(v), fresh.find(v));
+            assert_eq!(recycled.representative(v), fresh.representative(v));
+            assert_eq!(recycled.members(v), fresh.members(v));
+            assert_eq!(recycled.label(v), fresh.label(v));
+            assert_eq!(recycled.key(v), fresh.key(v));
+        }
+        assert_eq!(recycled.queries(), 0);
+        // Decisions after reset track a fresh instance exactly.
+        for &(x, y) in &[(a, b1), (b1, c1), (a, s), (c1, other)] {
+            assert_eq!(
+                recycled.interfere_linear(x, y, &intersect, Some(&values), &mut scratch_a),
+                fresh.interfere_linear(x, y, &intersect, Some(&values), &mut scratch_b),
+                "linear mismatch for ({x}, {y})"
+            );
+            recycled.merge(x, y, &scratch_a);
+            fresh.merge(x, y, &scratch_b);
+            assert_eq!(recycled.members(x), fresh.members(x));
         }
     }
 

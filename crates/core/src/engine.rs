@@ -1,16 +1,25 @@
-//! Batch out-of-SSA translation over a whole corpus of functions.
+//! Batch and streaming out-of-SSA translation over a corpus of functions.
 //!
 //! A JIT (or an AOT compiler doing whole-program work) does not translate
-//! one function: it drains a queue of them. [`translate_corpus`] is that
+//! one function: it drains a queue of them. [`translate_corpus`] is the
 //! batch entry point — each function gets its own [`FunctionAnalyses`]
 //! cache, shared across the phases of its translation, and independent
 //! functions run in parallel on a scoped-thread worker pool (the standard
 //! library only; the build environment has no external crates).
 //!
-//! Parallel and serial execution produce bit-identical functions and
-//! statistics: per-function work is deterministic and results are collected
-//! by input index, so [`CorpusStats::per_function`] lines up with the input
-//! slice regardless of scheduling.
+//! [`translate_stream`] is the streaming front end: it drains an *iterator*
+//! of functions, so a JIT queue (or a channel's receiver) can feed the
+//! engine without materializing the whole corpus first. Items are pulled
+//! from the iterator one at a time as workers free up; each worker owns one
+//! [`FunctionAnalyses`] and one [`TranslateScratch`] whose storage is
+//! *recycled* across the functions it translates (the caches are
+//! invalidated, not reallocated), so steady-state translation performs
+//! almost no per-function allocation.
+//!
+//! Parallel, serial, batch and streaming execution all produce bit-identical
+//! functions and statistics: per-function work is deterministic and results
+//! are collected by input index, so [`CorpusStats::per_function`] lines up
+//! with the input order regardless of scheduling.
 
 use std::sync::Mutex;
 
@@ -65,35 +74,10 @@ pub fn translate_corpus_with(
     }
 
     let num_funcs = funcs.len();
-    // Work queue: functions are handed out one at a time so a worker stuck
-    // on a large function does not starve the others. Reversed so that
-    // popping from the back yields input order.
-    let queue: Mutex<Vec<(usize, &mut Function)>> =
-        Mutex::new(funcs.iter_mut().enumerate().rev().collect());
     let results: Mutex<Vec<Option<OutOfSsaStats>>> = Mutex::new(vec![None; num_funcs]);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                // Per-worker caches and scratch, hoisted out of the
-                // per-function loop: the analyses are invalidated (not
-                // reallocated) between functions and the scratch buffers are
-                // reused as-is.
-                let mut analyses = FunctionAnalyses::new();
-                let mut scratch = TranslateScratch::new();
-                loop {
-                    // Recover a poisoned lock so that a panic in one worker
-                    // propagates as itself, not as a secondary lock error.
-                    let mut guard = queue.lock().unwrap_or_else(|e| e.into_inner());
-                    let Some((index, func)) = guard.pop() else { return };
-                    drop(guard);
-                    analyses.invalidate_cfg();
-                    let stats =
-                        translate_out_of_ssa_scratch(func, options, &mut analyses, &mut scratch);
-                    results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(stats);
-                }
-            });
-        }
+    drive_workers(threads, funcs.iter_mut().enumerate(), |(index, func), analyses, scratch| {
+        let stats = translate_out_of_ssa_scratch(func, options, analyses, scratch);
+        results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(stats);
     });
 
     let per_function = results
@@ -103,6 +87,37 @@ pub fn translate_corpus_with(
         .map(|stats| stats.expect("every function translated"))
         .collect();
     CorpusStats { per_function, threads }
+}
+
+/// Shared worker pool of the batch and streaming engines: `threads` scoped
+/// workers pull items from `source` one at a time — a worker stuck on a
+/// large function does not starve the others — and run `work` with
+/// per-worker caches and scratch hoisted out of the per-function loop (the
+/// analyses are invalidated, not reallocated, between functions and the
+/// scratch buffers are reused as-is). Poisoned locks are recovered so that a
+/// panic in one worker propagates as itself, not as a secondary lock error.
+fn drive_workers<T, I, W>(threads: usize, source: I, work: W)
+where
+    T: Send,
+    I: Iterator<Item = T> + Send,
+    W: Fn(T, &mut FunctionAnalyses, &mut TranslateScratch) + Sync,
+{
+    let source = Mutex::new(source);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut analyses = FunctionAnalyses::new();
+                let mut scratch = TranslateScratch::new();
+                loop {
+                    let mut guard = source.lock().unwrap_or_else(|e| e.into_inner());
+                    let Some(item) = guard.next() else { return };
+                    drop(guard);
+                    analyses.invalidate_cfg();
+                    work(item, &mut analyses, &mut scratch);
+                }
+            });
+        }
+    });
 }
 
 /// Serial reference implementation of the batch API, used by the parity
@@ -124,6 +139,81 @@ fn effective_threads(requested: usize, num_funcs: usize) -> usize {
     let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads = if requested == 0 { available } else { requested };
     threads.clamp(1, num_funcs.max(1))
+}
+
+/// Translates every function yielded by `funcs` out of SSA, returning the
+/// translated functions in input order, with the default thread count.
+///
+/// This is the streaming front end of the engine: the input is an iterator
+/// (a JIT queue, a channel receiver's `into_iter`, a generator), pulled one
+/// function at a time as workers free up, so the corpus is never
+/// materialized on the input side. Results are bit-identical to running
+/// [`translate_corpus`] on the collected input.
+pub fn translate_stream<I>(funcs: I, options: &OutOfSsaOptions) -> (Vec<Function>, CorpusStats)
+where
+    I: IntoIterator<Item = Function>,
+    I::IntoIter: Send,
+{
+    translate_stream_with(funcs, options, 0)
+}
+
+/// Like [`translate_stream`], with an explicit worker count (`0` = one per
+/// available core). `threads == 1` runs serially on the calling thread,
+/// still reusing one analysis cache and scratch across all functions.
+pub fn translate_stream_with<I>(
+    funcs: I,
+    options: &OutOfSsaOptions,
+    threads: usize,
+) -> (Vec<Function>, CorpusStats)
+where
+    I: IntoIterator<Item = Function>,
+    I::IntoIter: Send,
+{
+    let iter = funcs.into_iter();
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // The corpus size is unknown up front (that is the point of streaming),
+    // so the worker count cannot be clamped by it; degenerate cases simply
+    // leave some workers without an item to pull.
+    let threads = if threads == 0 { available } else { threads }.max(1);
+    if threads == 1 {
+        let mut analyses = FunctionAnalyses::new();
+        let mut scratch = TranslateScratch::new();
+        let mut out = Vec::with_capacity(iter.size_hint().0);
+        let mut per_function = Vec::with_capacity(iter.size_hint().0);
+        for mut func in iter {
+            analyses.invalidate_cfg();
+            per_function.push(translate_out_of_ssa_scratch(
+                &mut func,
+                options,
+                &mut analyses,
+                &mut scratch,
+            ));
+            out.push(func);
+        }
+        return (out, CorpusStats { per_function, threads: 1 });
+    }
+
+    // Workers pull `(index, function)` pairs from the shared iterator one at
+    // a time and deposit the results by index, so the output order is the
+    // input order no matter how the scheduler interleaves them.
+    let results: Mutex<Vec<Option<(Function, OutOfSsaStats)>>> = Mutex::new(Vec::new());
+    drive_workers(threads, iter.enumerate(), |(index, mut func), analyses, scratch| {
+        let stats = translate_out_of_ssa_scratch(&mut func, options, analyses, scratch);
+        let mut results = results.lock().unwrap_or_else(|e| e.into_inner());
+        if results.len() <= index {
+            results.resize_with(index + 1, || None);
+        }
+        results[index] = Some((func, stats));
+    });
+
+    let mut out = Vec::new();
+    let mut per_function = Vec::new();
+    for slot in results.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        let (func, stats) = slot.expect("every streamed function translated");
+        out.push(func);
+        per_function.push(stats);
+    }
+    (out, CorpusStats { per_function, threads })
 }
 
 #[cfg(test)]
@@ -171,6 +261,60 @@ mod tests {
         let stats = translate_corpus(&mut [], &OutOfSsaOptions::default());
         assert!(stats.per_function.is_empty());
         assert_eq!(stats.total(), OutOfSsaStats::default());
+    }
+
+    #[test]
+    fn streaming_matches_batch_translation() {
+        let options = OutOfSsaOptions::default();
+        let corpus = small_corpus(10);
+
+        let mut batch = corpus.clone();
+        let batch_stats = translate_corpus(&mut batch, &options);
+
+        // The streaming input is an iterator — the engine never sees the
+        // collection.
+        let (streamed, stream_stats) = translate_stream(corpus.iter().cloned(), &options);
+        assert_eq!(streamed, batch);
+        assert_eq!(stream_stats.per_function, batch_stats.per_function);
+    }
+
+    #[test]
+    fn streaming_thread_counts_agree() {
+        let options = OutOfSsaOptions::sharing();
+        let corpus = small_corpus(9);
+        let (one, a) = translate_stream_with(corpus.iter().cloned(), &options, 1);
+        let (four, b) = translate_stream_with(corpus.iter().cloned(), &options, 4);
+        assert_eq!(one, four);
+        assert_eq!(a.per_function, b.per_function);
+        assert_eq!(b.threads, 4);
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let (funcs, stats) = translate_stream(std::iter::empty(), &OutOfSsaOptions::default());
+        assert!(funcs.is_empty());
+        assert!(stats.per_function.is_empty());
+        let (funcs, stats) =
+            translate_stream_with(std::iter::empty(), &OutOfSsaOptions::default(), 3);
+        assert!(funcs.is_empty());
+        assert!(stats.per_function.is_empty());
+    }
+
+    #[test]
+    fn streaming_consumes_the_source_lazily() {
+        // A serial stream pulls one function at a time: the source iterator
+        // is drained exactly as far as the engine has translated, never
+        // collected up front.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let options = OutOfSsaOptions::default();
+        let pulled = AtomicUsize::new(0);
+        let corpus = small_corpus(5);
+        let source = corpus.iter().cloned().inspect(|_| {
+            pulled.fetch_add(1, Ordering::Relaxed);
+        });
+        let (funcs, _) = translate_stream_with(source, &options, 1);
+        assert_eq!(funcs.len(), 5);
+        assert_eq!(pulled.load(Ordering::Relaxed), 5);
     }
 
     #[test]

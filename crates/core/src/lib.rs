@@ -53,7 +53,10 @@ pub use coalesce::{
     Strategy, TranslateScratch,
 };
 pub use congruence::{CongruenceClasses, DefOrderKey, EqualAncOut};
-pub use engine::{translate_corpus, translate_corpus_serial, translate_corpus_with, CorpusStats};
+pub use engine::{
+    translate_corpus, translate_corpus_serial, translate_corpus_with, translate_stream,
+    translate_stream_with, CorpusStats,
+};
 pub use insertion::{
     insert_phi_copies, isolate_pinned_values, CopyInsertion, InsertedMove, PhiWeb,
 };

@@ -15,7 +15,7 @@ use ossa_ir::entity::{SecondaryMap, Value};
 use ossa_ir::{ControlFlowGraph, DominatorTree, Function, InstData};
 
 /// Table mapping each SSA variable to its value representative.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ValueTable {
     value_of: SecondaryMap<Value, Option<Value>>,
 }
@@ -24,8 +24,20 @@ impl ValueTable {
     /// Computes the value table of `func` (which must be in SSA form) by a
     /// pre-order traversal of the dominator tree.
     pub fn compute(func: &Function, domtree: &DominatorTree) -> Self {
-        let mut value_of: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
-        value_of.resize(func.num_values());
+        let mut this = Self::default();
+        this.compute_into(func, domtree);
+        this
+    }
+
+    /// Recomputes the table for `func` in place, reusing the dense map of a
+    /// previous (possibly different) function. Identical to
+    /// [`ValueTable::compute`] except for the heap traffic.
+    pub fn compute_into(&mut self, func: &Function, domtree: &DominatorTree) {
+        for slot in self.value_of.values_mut() {
+            *slot = None;
+        }
+        self.value_of.resize(func.num_values());
+        let value_of = &mut self.value_of;
         let mut resolved: Vec<(Value, Value)> = Vec::new();
         let mut defs: Vec<Value> = Vec::new();
         for &block in domtree.preorder() {
@@ -57,7 +69,6 @@ impl ValueTable {
                 }
             }
         }
-        Self { value_of }
     }
 
     /// Computes the value table, building the analyses internally.

@@ -1,11 +1,13 @@
 //! Compute-once, invalidate-on-mutation analysis caching.
 //!
-//! Every phase of the out-of-SSA translation needs some subset of the same
-//! control-flow analyses (CFG, dominator tree, loop nesting, static block
-//! frequencies). Recomputing them per phase is exactly the engineering cost
-//! the paper's Section IV is about avoiding, so the [`AnalysisManager`]
-//! computes each analysis lazily, caches it, and hands out shared references
-//! until the function is mutated.
+//! Every phase of the out-of-SSA pipeline — SSA construction, the SSA
+//! optimizations, the translation itself and register allocation — needs
+//! some subset of the same control-flow analyses (CFG, dominator tree,
+//! dominance frontiers, loop nesting, static block frequencies).
+//! Recomputing them per phase is exactly the engineering cost the paper's
+//! Section IV is about avoiding, so the [`AnalysisManager`] computes each
+//! analysis lazily, caches it, and hands out shared references until the
+//! function is mutated.
 //!
 //! Invalidation is two-level, mirroring the key observation of the fast
 //! liveness checker (Boissinot et al., CGO 2008) that some precomputations
@@ -15,23 +17,59 @@
 //!   (edge splitting, new blocks): everything is dropped;
 //! * instruction-only mutations (copy insertion inside existing blocks,
 //!   renaming, sequentialization) keep all analyses cached here valid, since
-//!   CFG, dominators, loops and frequencies only read block structure.
+//!   CFG, dominators, frontiers, loops and frequencies only read block
+//!   structure.
+//!
+//! Invalidated analyses are not deallocated: their storage moves to a spare
+//! slot and the next computation rebuilds *into* it (see
+//! [`ControlFlowGraph::recompute`]), so a corpus driver that reuses one
+//! manager across thousands of functions performs almost no per-function
+//! heap allocation for its CFG-level analyses.
+//!
+//! The manager also counts how many times each analysis was actually
+//! computed ([`AnalysisManager::counts`]) and how many CFG versions it has
+//! seen, which is what lets the test suite *prove* the compute-once claim:
+//! over a whole pipeline, no analysis may run twice for the same CFG
+//! version.
 //!
 //! Liveness-level caches (which *do* depend on instructions) layer on top of
 //! this manager in `ossa-liveness`.
 
-use std::cell::OnceCell;
+use std::cell::{Cell, OnceCell};
 
 use crate::cfg::ControlFlowGraph;
-use crate::dominance::DominatorTree;
+use crate::dominance::{DominanceFrontiers, DominatorTree};
 use crate::function::Function;
 use crate::loops::{BlockFrequencies, LoopAnalysis};
+
+/// Cumulative compute counters of one [`AnalysisManager`].
+///
+/// `cfg_versions` counts the CFG versions the manager has seen (1 for a
+/// fresh manager, +1 per [`AnalysisManager::invalidate_cfg`]); the other
+/// fields count actual computations of each analysis. A correctly threaded
+/// pipeline maintains `counts.<analysis> <= counts.cfg_versions` for every
+/// CFG-level analysis — each is computed at most once per CFG version.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IrAnalysisCounts {
+    /// Number of [`ControlFlowGraph`] computations.
+    pub cfg: u64,
+    /// Number of [`DominatorTree`] computations.
+    pub domtree: u64,
+    /// Number of [`DominanceFrontiers`] computations.
+    pub frontiers: u64,
+    /// Number of [`LoopAnalysis`] computations.
+    pub loops: u64,
+    /// Number of [`BlockFrequencies`] computations.
+    pub frequencies: u64,
+    /// Number of CFG versions seen (1 + number of CFG invalidations).
+    pub cfg_versions: u64,
+}
 
 /// Lazy cache of the CFG-level analyses of one function.
 ///
 /// The manager does not borrow the function; each accessor takes it as an
 /// argument and the caller is responsible for invalidating after mutations
-/// (the `ossa-destruct` driver does this at its phase boundaries).
+/// (the pass pipeline does this at its phase boundaries).
 ///
 /// # Examples
 ///
@@ -51,13 +89,36 @@ use crate::loops::{BlockFrequencies, LoopAnalysis};
 /// assert_eq!(domtree.root(), entry);
 /// // The second call returns the cached tree without recomputing.
 /// assert_eq!(analyses.domtree(&func).root(), entry);
+/// assert_eq!(analyses.counts().domtree, 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct AnalysisManager {
     cfg: OnceCell<ControlFlowGraph>,
     domtree: OnceCell<DominatorTree>,
+    frontiers: OnceCell<DominanceFrontiers>,
     loops: OnceCell<LoopAnalysis>,
     freqs: OnceCell<BlockFrequencies>,
+    /// Storage recycled from invalidated analyses: the next computation
+    /// rebuilds into it instead of allocating from scratch.
+    spare_cfg: Cell<Option<ControlFlowGraph>>,
+    spare_domtree: Cell<Option<DominatorTree>>,
+    spare_frontiers: Cell<Option<DominanceFrontiers>>,
+    counts: Cell<IrAnalysisCounts>,
+}
+
+impl std::fmt::Debug for AnalysisManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The spare slots are write-only storage behind `Cell`s; show the
+        // cached analyses and the counters.
+        f.debug_struct("AnalysisManager")
+            .field("cfg", &self.cfg)
+            .field("domtree", &self.domtree)
+            .field("frontiers", &self.frontiers)
+            .field("loops", &self.loops)
+            .field("freqs", &self.freqs)
+            .field("counts", &self.counts.get())
+            .finish_non_exhaustive()
+    }
 }
 
 impl AnalysisManager {
@@ -66,9 +127,31 @@ impl AnalysisManager {
         Self::default()
     }
 
+    fn bump(&self, f: impl FnOnce(&mut IrAnalysisCounts)) {
+        let mut counts = self.counts.get();
+        f(&mut counts);
+        self.counts.set(counts);
+    }
+
+    /// The cumulative compute counters (see [`IrAnalysisCounts`]).
+    pub fn counts(&self) -> IrAnalysisCounts {
+        let mut counts = self.counts.get();
+        counts.cfg_versions += 1; // versions = invalidations + 1
+        counts
+    }
+
     /// The control-flow graph, computed on first use.
     pub fn cfg(&self, func: &Function) -> &ControlFlowGraph {
-        self.cfg.get_or_init(|| ControlFlowGraph::compute(func))
+        self.cfg.get_or_init(|| {
+            self.bump(|c| c.cfg += 1);
+            match self.spare_cfg.take() {
+                Some(mut cfg) => {
+                    cfg.recompute(func);
+                    cfg
+                }
+                None => ControlFlowGraph::compute(func),
+            }
+        })
     }
 
     /// The dominator tree, computed on first use.
@@ -76,13 +159,41 @@ impl AnalysisManager {
         // Compute the CFG first so the borrow of `self.cfg` ends before the
         // `domtree` cell is initialized.
         self.cfg(func);
-        self.domtree.get_or_init(|| DominatorTree::compute(func, self.cfg.get().expect("cfg")))
+        self.domtree.get_or_init(|| {
+            self.bump(|c| c.domtree += 1);
+            let cfg = self.cfg.get().expect("cfg");
+            match self.spare_domtree.take() {
+                Some(mut domtree) => {
+                    domtree.recompute(func, cfg);
+                    domtree
+                }
+                None => DominatorTree::compute(func, cfg),
+            }
+        })
+    }
+
+    /// The dominance frontiers, computed on first use.
+    pub fn frontiers(&self, func: &Function) -> &DominanceFrontiers {
+        self.domtree(func);
+        self.frontiers.get_or_init(|| {
+            self.bump(|c| c.frontiers += 1);
+            let cfg = self.cfg.get().expect("cfg");
+            let domtree = self.domtree.get().expect("domtree");
+            match self.spare_frontiers.take() {
+                Some(mut frontiers) => {
+                    frontiers.recompute(func, cfg, domtree);
+                    frontiers
+                }
+                None => DominanceFrontiers::compute(func, cfg, domtree),
+            }
+        })
     }
 
     /// The natural-loop analysis, computed on first use.
     pub fn loops(&self, func: &Function) -> &LoopAnalysis {
         self.domtree(func);
         self.loops.get_or_init(|| {
+            self.bump(|c| c.loops += 1);
             LoopAnalysis::compute(
                 func,
                 self.cfg.get().expect("cfg"),
@@ -95,19 +206,31 @@ impl AnalysisManager {
     pub fn frequencies(&self, func: &Function) -> &BlockFrequencies {
         self.loops(func);
         self.freqs.get_or_init(|| {
+            self.bump(|c| c.frequencies += 1);
             BlockFrequencies::from_loop_depths(func, self.loops.get().expect("loops"))
         })
     }
 
     /// Drops every cached analysis. Must be called after any mutation that
     /// changes the block structure (new blocks, edge splitting, terminator
-    /// rewrites); instruction-only mutations keep this manager's caches
-    /// valid.
+    /// rewrites) and before reusing the manager for a different function;
+    /// instruction-only mutations keep this manager's caches valid.
+    ///
+    /// The dropped analyses' storage is kept and recycled by the next
+    /// computation.
     pub fn invalidate_cfg(&mut self) {
-        self.cfg.take();
-        self.domtree.take();
+        if let Some(cfg) = self.cfg.take() {
+            self.spare_cfg.set(Some(cfg));
+        }
+        if let Some(domtree) = self.domtree.take() {
+            self.spare_domtree.set(Some(domtree));
+        }
+        if let Some(frontiers) = self.frontiers.take() {
+            self.spare_frontiers.set(Some(frontiers));
+        }
         self.loops.take();
         self.freqs.take();
+        self.bump(|c| c.cfg_versions += 1);
     }
 
     /// Returns `true` if the CFG has already been computed.
@@ -145,6 +268,13 @@ mod tests {
         let a = am.cfg(&func) as *const ControlFlowGraph;
         let b = am.cfg(&func) as *const ControlFlowGraph;
         assert_eq!(a, b);
+        // Each analysis was computed exactly once.
+        let counts = am.counts();
+        assert_eq!(counts.cfg, 1);
+        assert_eq!(counts.domtree, 1);
+        assert_eq!(counts.loops, 1);
+        assert_eq!(counts.frequencies, 1);
+        assert_eq!(counts.cfg_versions, 1);
     }
 
     #[test]
@@ -162,6 +292,9 @@ mod tests {
         assert!(!am.is_cfg_cached());
         assert_eq!(am.cfg(&func).num_reachable(), 2);
         assert!(am.cfg(&func).is_reachable(extra));
+        let counts = am.counts();
+        assert_eq!(counts.cfg, 2);
+        assert_eq!(counts.cfg_versions, 2);
     }
 
     #[test]
@@ -171,5 +304,48 @@ mod tests {
         let domtree = am.domtree(&func);
         assert!(domtree.dominates(func.entry(), func.blocks().nth(1).unwrap()));
         assert_eq!(am.loops(&func).num_loops(), 0);
+    }
+
+    #[test]
+    fn recycled_analyses_match_fresh_computations() {
+        // Run the manager over two different functions with an invalidation
+        // in between: the second round reuses the first round's storage and
+        // must be indistinguishable from a fresh computation.
+        let small = two_block_function();
+        let mut b = FunctionBuilder::new("big", 1);
+        let entry = b.create_block();
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let n = b.param(0);
+        b.jump(header);
+        b.switch_to_block(header);
+        b.branch(n, body, exit);
+        b.switch_to_block(body);
+        b.jump(header);
+        b.switch_to_block(exit);
+        b.ret(None);
+        let big = b.finish();
+
+        let mut am = AnalysisManager::new();
+        for func in [&big, &small, &big] {
+            am.invalidate_cfg();
+            let fresh_cfg = ControlFlowGraph::compute(func);
+            let fresh_dom = DominatorTree::compute(func, &fresh_cfg);
+            let fresh_front = DominanceFrontiers::compute(func, &fresh_cfg, &fresh_dom);
+            let cfg = am.cfg(func);
+            assert_eq!(cfg.reverse_post_order(), fresh_cfg.reverse_post_order());
+            for block in func.blocks() {
+                assert_eq!(cfg.succs(block), fresh_cfg.succs(block));
+                assert_eq!(cfg.preds(block), fresh_cfg.preds(block));
+                assert_eq!(cfg.is_reachable(block), fresh_cfg.is_reachable(block));
+                assert_eq!(am.domtree(func).idom(block), fresh_dom.idom(block));
+                assert_eq!(am.domtree(func).children(block), fresh_dom.children(block));
+                assert_eq!(am.frontiers(func).frontier(block), fresh_front.frontier(block));
+            }
+            assert_eq!(am.domtree(func).preorder(), fresh_dom.preorder());
+        }
     }
 }

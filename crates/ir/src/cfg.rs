@@ -17,44 +17,69 @@ pub struct ControlFlowGraph {
 impl ControlFlowGraph {
     /// Computes the CFG of `func`.
     pub fn compute(func: &Function) -> Self {
-        let mut succs: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
-        let mut preds: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
-        succs.resize(func.num_blocks());
-        preds.resize(func.num_blocks());
+        let mut this = Self {
+            succs: SecondaryMap::new(),
+            preds: SecondaryMap::new(),
+            rpo: Vec::new(),
+            reachable: EntitySet::new(),
+        };
+        this.recompute(func);
+        this
+    }
+
+    /// Recomputes the CFG of `func` in place, reusing the per-block edge
+    /// lists, the traversal order and the reachability set of a previous
+    /// computation (possibly of a *different* function). The result is
+    /// indistinguishable from [`ControlFlowGraph::compute`]; only the heap
+    /// traffic differs — this is what lets an analysis cache recycle its
+    /// storage across the functions of a corpus.
+    pub fn recompute(&mut self, func: &Function) {
+        for list in self.succs.values_mut() {
+            list.clear();
+        }
+        for list in self.preds.values_mut() {
+            list.clear();
+        }
+        self.succs.resize(func.num_blocks());
+        self.preds.resize(func.num_blocks());
         for block in func.blocks() {
             let s = func.successors(block);
             for &succ in &s {
-                preds[succ].push(block);
+                self.preds[succ].push(block);
             }
-            succs[block] = s;
+            // Reuse the recycled buffer when there is one; otherwise move the
+            // freshly built list in (one allocation, as a fresh compute).
+            if self.succs[block].capacity() == 0 {
+                self.succs[block] = s;
+            } else {
+                self.succs[block].extend_from_slice(&s);
+            }
         }
 
-        // Post-order DFS from the entry block.
-        let mut post = Vec::with_capacity(func.num_blocks());
-        let mut reachable = EntitySet::with_capacity(func.num_blocks());
+        // Post-order DFS from the entry block, accumulated into `rpo` and
+        // reversed in place.
+        self.rpo.clear();
+        self.rpo.reserve(func.num_blocks());
+        self.reachable.reset();
         if func.has_entry() {
             let entry = func.entry();
             // Iterative DFS with an explicit stack of (block, next-successor).
-            let mut visited = EntitySet::with_capacity(func.num_blocks());
             let mut stack: Vec<(Block, usize)> = vec![(entry, 0)];
-            visited.insert(entry);
+            self.reachable.insert(entry);
             while let Some(&mut (block, ref mut next)) = stack.last_mut() {
-                if *next < succs[block].len() {
-                    let succ = succs[block][*next];
+                if *next < self.succs[block].len() {
+                    let succ = self.succs[block][*next];
                     *next += 1;
-                    if visited.insert(succ) {
+                    if self.reachable.insert(succ) {
                         stack.push((succ, 0));
                     }
                 } else {
-                    post.push(block);
+                    self.rpo.push(block);
                     stack.pop();
                 }
             }
-            reachable = visited;
         }
-        let rpo: Vec<Block> = post.into_iter().rev().collect();
-
-        Self { succs, preds, rpo, reachable }
+        self.rpo.reverse();
     }
 
     /// Successors of `block`.

@@ -29,17 +29,53 @@ pub struct DominatorTree {
 impl DominatorTree {
     /// Computes the dominator tree of `func` using `cfg`.
     pub fn compute(func: &Function, cfg: &ControlFlowGraph) -> Self {
+        let mut this = Self {
+            idom: SecondaryMap::new(),
+            children: SecondaryMap::new(),
+            pre: SecondaryMap::with_default(u32::MAX),
+            post: SecondaryMap::with_default(u32::MAX),
+            preorder: Vec::new(),
+            entry: Block::from_index(0),
+            rpo_index: SecondaryMap::with_default(u32::MAX),
+        };
+        this.recompute(func, cfg);
+        this
+    }
+
+    /// Recomputes the dominator tree in place, reusing the per-block maps and
+    /// child lists of a previous computation (possibly of a different
+    /// function). Behaviourally identical to [`DominatorTree::compute`].
+    pub fn recompute(&mut self, func: &Function, cfg: &ControlFlowGraph) {
+        // Reset every materialized slot to its default: stale entries from a
+        // previous (possibly larger) function must read as "unreachable".
+        for slot in self.idom.values_mut() {
+            *slot = None;
+        }
+        for list in self.children.values_mut() {
+            list.clear();
+        }
+        for n in self.pre.values_mut() {
+            *n = u32::MAX;
+        }
+        for n in self.post.values_mut() {
+            *n = u32::MAX;
+        }
+        for n in self.rpo_index.values_mut() {
+            *n = u32::MAX;
+        }
+        self.preorder.clear();
+        self.preorder.reserve(cfg.reverse_post_order().len());
+
         let entry = func.entry();
+        self.entry = entry;
         let rpo = cfg.reverse_post_order();
-        let mut rpo_index: SecondaryMap<Block, u32> = SecondaryMap::with_default(u32::MAX);
-        rpo_index.resize(func.num_blocks());
+        self.rpo_index.resize(func.num_blocks());
         for (i, &b) in rpo.iter().enumerate() {
-            rpo_index[b] = i as u32;
+            self.rpo_index[b] = i as u32;
         }
 
-        let mut idom: SecondaryMap<Block, Option<Block>> = SecondaryMap::new();
-        idom.resize(func.num_blocks());
-        idom[entry] = Some(entry);
+        self.idom.resize(func.num_blocks());
+        self.idom[entry] = Some(entry);
 
         // Cooper–Harvey–Kennedy iteration.
         let mut changed = true;
@@ -48,17 +84,19 @@ impl DominatorTree {
             for &block in rpo.iter().skip(1) {
                 let mut new_idom: Option<Block> = None;
                 for &pred in cfg.preds(block) {
-                    if rpo_index[pred] == u32::MAX || idom[pred].is_none() {
+                    if self.rpo_index[pred] == u32::MAX || self.idom[pred].is_none() {
                         continue; // unreachable or not yet processed
                     }
                     new_idom = Some(match new_idom {
                         None => pred,
-                        Some(current) => Self::intersect(&idom, &rpo_index, pred, current),
+                        Some(current) => {
+                            Self::intersect(&self.idom, &self.rpo_index, pred, current)
+                        }
                     });
                 }
                 if let Some(new_idom) = new_idom {
-                    if idom[block] != Some(new_idom) {
-                        idom[block] = Some(new_idom);
+                    if self.idom[block] != Some(new_idom) {
+                        self.idom[block] = Some(new_idom);
                         changed = true;
                     }
                 }
@@ -66,43 +104,37 @@ impl DominatorTree {
         }
 
         // Children lists (entry is its own idom; do not list it as a child).
-        let mut children: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
-        children.resize(func.num_blocks());
+        self.children.resize(func.num_blocks());
         for &block in rpo {
             if block != entry {
-                if let Some(parent) = idom[block] {
-                    children[parent].push(block);
+                if let Some(parent) = self.idom[block] {
+                    self.children[parent].push(block);
                 }
             }
         }
 
         // DFS numbering of the dominator tree.
-        let mut pre: SecondaryMap<Block, u32> = SecondaryMap::with_default(u32::MAX);
-        let mut post: SecondaryMap<Block, u32> = SecondaryMap::with_default(u32::MAX);
-        pre.resize(func.num_blocks());
-        post.resize(func.num_blocks());
-        let mut preorder = Vec::with_capacity(rpo.len());
+        self.pre.resize(func.num_blocks());
+        self.post.resize(func.num_blocks());
         let mut pre_counter = 1u32;
         let mut post_counter = 0u32;
         let mut stack: Vec<(Block, usize)> = vec![(entry, 0)];
-        pre[entry] = 0;
-        preorder.push(entry);
+        self.pre[entry] = 0;
+        self.preorder.push(entry);
         while let Some(&mut (block, ref mut next)) = stack.last_mut() {
-            if *next < children[block].len() {
-                let child = children[block][*next];
+            if *next < self.children[block].len() {
+                let child = self.children[block][*next];
                 *next += 1;
-                pre[child] = pre_counter;
+                self.pre[child] = pre_counter;
                 pre_counter += 1;
-                preorder.push(child);
+                self.preorder.push(child);
                 stack.push((child, 0));
             } else {
-                post[block] = post_counter;
+                self.post[block] = post_counter;
                 post_counter += 1;
                 stack.pop();
             }
         }
-
-        Self { idom, children, pre, post, preorder, entry, rpo_index }
     }
 
     fn intersect(
@@ -200,7 +232,17 @@ pub struct DominanceFrontiers {
 impl DominanceFrontiers {
     /// Computes the dominance frontiers of every reachable block.
     pub fn compute(func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) -> Self {
-        let mut frontiers: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        let mut this = Self { frontiers: SecondaryMap::new() };
+        this.recompute(func, cfg, domtree);
+        this
+    }
+
+    /// Recomputes the frontiers in place, reusing the per-block lists.
+    pub fn recompute(&mut self, func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) {
+        for list in self.frontiers.values_mut() {
+            list.clear();
+        }
+        let frontiers = &mut self.frontiers;
         frontiers.resize(func.num_blocks());
         for &block in cfg.reverse_post_order() {
             let preds = cfg.preds(block);
@@ -225,7 +267,6 @@ impl DominanceFrontiers {
                 }
             }
         }
-        Self { frontiers }
     }
 
     /// The dominance frontier of `block`.

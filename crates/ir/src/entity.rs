@@ -240,6 +240,14 @@ impl<K: EntityRef, V: Clone> SecondaryMap<K, V> {
     pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
         self.elems.iter().enumerate().map(|(i, v)| (K::new(i), v))
     }
+
+    /// Iterates mutably over every materialized slot — the reset walk of the
+    /// analysis-recycling paths, which must restore default-equivalent state
+    /// without dropping the per-slot heap allocations (e.g. clearing a
+    /// `Vec` slot instead of replacing it).
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.elems.iter_mut()
+    }
 }
 
 impl<K: EntityRef, V: Clone> Index<K> for SecondaryMap<K, V> {
@@ -347,6 +355,17 @@ impl<K: EntityRef> EntitySet<K> {
         self.len = 0;
     }
 
+    /// Removes all entities *and* forgets the word-vector length while
+    /// keeping its capacity. A subsequent repopulation grows the vector
+    /// exactly as a freshly constructed set would, so recycled and fresh
+    /// sets end up with identical [`EntitySet::footprint_bytes`] — the
+    /// invariant the analysis-recycling paths need to stay bit-identical
+    /// in their memory statistics.
+    pub fn reset(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
     /// Iterates over the entities in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = K> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -413,9 +432,13 @@ impl<K: EntityRef> EntitySet<K> {
         changed
     }
 
-    /// Approximate heap footprint in bytes (used by the memory experiments).
+    /// Heap footprint in bytes of the stored words (used by the memory
+    /// experiments). Based on the stored length, not the capacity, so the
+    /// reported footprint is a function of the analyzed CFG alone — storage
+    /// recycled from a larger function reports the same bytes as a fresh
+    /// computation.
     pub fn footprint_bytes(&self) -> usize {
-        self.words.capacity() * std::mem::size_of::<u64>()
+        self.words.len() * std::mem::size_of::<u64>()
     }
 }
 

@@ -14,14 +14,53 @@
 //! * [`FunctionAnalyses::invalidate_cfg`] — the block structure changed
 //!   (edge splitting): everything is dropped.
 
-use std::cell::OnceCell;
+use std::cell::{Cell, OnceCell};
 
-use ossa_ir::analysis::AnalysisManager;
-use ossa_ir::{BlockFrequencies, ControlFlowGraph, DominatorTree, Function, LoopAnalysis};
+use ossa_ir::analysis::{AnalysisManager, IrAnalysisCounts};
+use ossa_ir::{
+    BlockFrequencies, ControlFlowGraph, DominanceFrontiers, DominatorTree, Function, LoopAnalysis,
+};
 
 use crate::check::FastLiveness;
 use crate::intersect::LiveRangeInfo;
 use crate::sets::LivenessSets;
+
+/// Cumulative compute counters of one [`FunctionAnalyses`]: the CFG-level
+/// counters of the underlying [`AnalysisManager`] plus the liveness-level
+/// analyses and the number of instruction versions seen.
+///
+/// A correctly threaded pipeline maintains, for the *same* function:
+///
+/// * `fast_liveness <= ir.cfg_versions` — the fast checker's precomputation
+///   only depends on the CFG, so it is computed at most once per CFG
+///   version;
+/// * `liveness_sets <= inst_versions` and `live_range_info <= inst_versions`
+///   — the instruction-dependent analyses are computed at most once per
+///   instruction version.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisCounts {
+    /// CFG-level counters of the underlying manager.
+    pub ir: IrAnalysisCounts,
+    /// Number of [`LivenessSets`] computations.
+    pub liveness_sets: u64,
+    /// Number of [`FastLiveness`] computations.
+    pub fast_liveness: u64,
+    /// Number of [`LiveRangeInfo`] computations.
+    pub live_range_info: u64,
+    /// Number of instruction versions seen (1 + number of instruction-level
+    /// invalidations; CFG invalidations count too, since they imply one).
+    pub inst_versions: u64,
+}
+
+/// Internal mutable half of [`AnalysisCounts`]: the liveness-level compute
+/// counters, bumped behind a `Cell` from the `&self` accessors.
+#[derive(Clone, Copy, Debug, Default)]
+struct LivenessCounts {
+    liveness_sets: u64,
+    fast_liveness: u64,
+    live_range_info: u64,
+    inst_invalidations: u64,
+}
 
 /// Lazy cache of every analysis the out-of-SSA pipeline consumes for one
 /// function, from the CFG up to liveness.
@@ -46,12 +85,18 @@ use crate::sets::LivenessSets;
 /// // Dominator tree and CFG were computed once and are now cached.
 /// assert!(analyses.ir().is_cfg_cached());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct FunctionAnalyses {
     ir: AnalysisManager,
     liveness: OnceCell<LivenessSets>,
     fast: OnceCell<FastLiveness>,
     info: OnceCell<LiveRangeInfo>,
+    /// Storage of an invalidated fast-liveness checker, recycled by the next
+    /// computation (the checker's per-block bit-sets are the largest
+    /// allocation of the default translation configuration).
+    spare_fast: Cell<Option<FastLiveness>>,
+    /// Liveness-level compute counters; the CFG-level ones live in `ir`.
+    counts: Cell<LivenessCounts>,
     /// Shape of the function the CFG caches were computed for — block count,
     /// entry block, and a hash of the CFG edges (stable under
     /// instruction-only mutation) — to catch, in debug builds, a cache being
@@ -64,6 +109,18 @@ pub struct FunctionAnalyses {
     inst_stamp: std::cell::Cell<Option<(usize, usize)>>,
 }
 
+impl std::fmt::Debug for FunctionAnalyses {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionAnalyses")
+            .field("ir", &self.ir)
+            .field("liveness", &self.liveness)
+            .field("fast", &self.fast)
+            .field("info", &self.info)
+            .field("counts", &self.counts.get())
+            .finish_non_exhaustive()
+    }
+}
+
 impl FunctionAnalyses {
     /// Creates an empty cache; nothing is computed until first use.
     pub fn new() -> Self {
@@ -73,6 +130,25 @@ impl FunctionAnalyses {
     /// The underlying CFG-level manager.
     pub fn ir(&self) -> &AnalysisManager {
         &self.ir
+    }
+
+    /// The cumulative compute counters, CFG-level and liveness-level (see
+    /// [`AnalysisCounts`]).
+    pub fn counts(&self) -> AnalysisCounts {
+        let counts = self.counts.get();
+        AnalysisCounts {
+            ir: self.ir.counts(),
+            liveness_sets: counts.liveness_sets,
+            fast_liveness: counts.fast_liveness,
+            live_range_info: counts.live_range_info,
+            inst_versions: counts.inst_invalidations + 1,
+        }
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut LivenessCounts)) {
+        let mut counts = self.counts.get();
+        f(&mut counts);
+        self.counts.set(counts);
     }
 
     #[cfg(debug_assertions)]
@@ -128,6 +204,12 @@ impl FunctionAnalyses {
         self.ir.domtree(func)
     }
 
+    /// The dominance frontiers, computed on first use.
+    pub fn frontiers(&self, func: &Function) -> &DominanceFrontiers {
+        self.check_stamp(func);
+        self.ir.frontiers(func)
+    }
+
     /// The natural-loop analysis, computed on first use.
     pub fn loops(&self, func: &Function) -> &LoopAnalysis {
         self.check_stamp(func);
@@ -144,21 +226,38 @@ impl FunctionAnalyses {
     pub fn liveness_sets(&self, func: &Function) -> &LivenessSets {
         self.check_inst_stamp(func);
         self.cfg(func);
-        self.liveness.get_or_init(|| LivenessSets::compute(func, self.ir.cfg(func)))
+        self.liveness.get_or_init(|| {
+            self.bump(|c| c.liveness_sets += 1);
+            LivenessSets::compute(func, self.ir.cfg(func))
+        })
     }
 
-    /// The CFG-only fast liveness checker, computed on first use.
+    /// The CFG-only fast liveness checker, computed on first use, recycling
+    /// the storage of a previously invalidated checker when available.
     pub fn fast_liveness(&self, func: &Function) -> &FastLiveness {
         self.domtree(func);
-        self.fast
-            .get_or_init(|| FastLiveness::compute(func, self.ir.cfg(func), self.ir.domtree(func)))
+        self.fast.get_or_init(|| {
+            self.bump(|c| c.fast_liveness += 1);
+            let cfg = self.ir.cfg(func);
+            let domtree = self.ir.domtree(func);
+            match self.spare_fast.take() {
+                Some(mut fast) => {
+                    fast.recompute(func, cfg, domtree);
+                    fast
+                }
+                None => FastLiveness::compute(func, cfg, domtree),
+            }
+        })
     }
 
     /// The per-value definition and use index, computed on first use.
     pub fn live_range_info(&self, func: &Function) -> &LiveRangeInfo {
         self.check_inst_stamp(func);
         self.check_stamp(func);
-        self.info.get_or_init(|| LiveRangeInfo::compute(func))
+        self.info.get_or_init(|| {
+            self.bump(|c| c.live_range_info += 1);
+            LiveRangeInfo::compute(func)
+        })
     }
 
     /// Drops the caches that depend on the instruction stream (liveness sets
@@ -168,14 +267,22 @@ impl FunctionAnalyses {
         self.liveness.take();
         self.info.take();
         self.inst_stamp.set(None);
+        self.bump(|c| c.inst_invalidations += 1);
     }
 
     /// Drops every cached analysis. Must be called after mutations that
     /// change the block structure (edge splitting, new blocks) and before
     /// reusing the cache for a different function.
+    ///
+    /// The storage of the dropped CFG-level analyses and of the fast
+    /// liveness checker is kept and recycled by the next computation, so a
+    /// corpus driver can reuse one cache across many functions without
+    /// re-allocating per function.
     pub fn invalidate_cfg(&mut self) {
         self.ir.invalidate_cfg();
-        self.fast.take();
+        if let Some(fast) = self.fast.take() {
+            self.spare_fast.set(Some(fast));
+        }
         self.stamp.set(None);
         self.invalidate_instructions();
     }
@@ -244,5 +351,94 @@ mod tests {
         assert!(analyses.ir().is_cfg_cached());
         analyses.invalidate_cfg();
         assert!(!analyses.ir().is_cfg_cached());
+    }
+
+    #[test]
+    fn recycled_fast_liveness_matches_fresh_computation() {
+        // Reusing one cache across two different functions (the streaming
+        // engine's per-worker pattern) recycles the checker storage; queries
+        // and the reported footprint must match a fresh computation exactly.
+        let mut b = FunctionBuilder::new("loop", 1);
+        let entry = b.create_block();
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let n = b.param(0);
+        b.jump(header);
+        b.switch_to_block(header);
+        b.branch(n, body, exit);
+        b.switch_to_block(body);
+        b.jump(header);
+        b.switch_to_block(exit);
+        b.ret(Some(n));
+        let looped = b.finish();
+        let simple = simple_function();
+
+        let mut analyses = FunctionAnalyses::new();
+        for func in [&looped, &simple, &looped] {
+            analyses.invalidate_cfg();
+            let fresh = FastLiveness::of(func);
+            let cached = analyses.fast_liveness(func);
+            assert_eq!(cached.footprint_bytes(), fresh.footprint_bytes());
+            let info = LiveRangeInfo::compute(func);
+            let cfg = analyses.ir().cfg(func);
+            let domtree = analyses.ir().domtree(func);
+            for block in func.blocks() {
+                for value in func.values() {
+                    assert_eq!(
+                        cached.is_live_in_query(domtree, &info, block, value),
+                        fresh.is_live_in_query(domtree, &info, block, value),
+                        "live-in mismatch for {value} at {block}"
+                    );
+                    assert_eq!(
+                        cached.is_live_out_query(cfg, domtree, &info, block, value),
+                        fresh.is_live_out_query(cfg, domtree, &info, block, value),
+                        "live-out mismatch for {value} at {block}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_counters_track_versions() {
+        let mut func = simple_function();
+        let mut analyses = FunctionAnalyses::new();
+        let counts = analyses.counts();
+        assert_eq!(counts.ir.cfg_versions, 1);
+        assert_eq!(counts.inst_versions, 1);
+        assert_eq!(counts.liveness_sets, 0);
+
+        let _ = analyses.liveness_sets(&func);
+        let _ = analyses.liveness_sets(&func);
+        let _ = analyses.fast_liveness(&func);
+        assert_eq!(analyses.counts().liveness_sets, 1);
+        assert_eq!(analyses.counts().fast_liveness, 1);
+
+        // Instruction-only mutation: new instruction version, CFG version
+        // unchanged, the fast checker is *not* recomputed.
+        let entry = func.entry();
+        let x = func.values().next().unwrap();
+        let clone = func.new_value();
+        func.insert_inst(entry, 1, InstData::Copy { dst: clone, src: x });
+        analyses.invalidate_instructions();
+        let _ = analyses.liveness_sets(&func);
+        let _ = analyses.fast_liveness(&func);
+        let counts = analyses.counts();
+        assert_eq!(counts.inst_versions, 2);
+        assert_eq!(counts.ir.cfg_versions, 1);
+        assert_eq!(counts.liveness_sets, 2);
+        assert_eq!(counts.fast_liveness, 1);
+
+        // CFG invalidation: everything recomputes exactly once more.
+        analyses.invalidate_cfg();
+        let _ = analyses.fast_liveness(&func);
+        let counts = analyses.counts();
+        assert_eq!(counts.ir.cfg_versions, 2);
+        assert_eq!(counts.fast_liveness, 2);
+        assert_eq!(counts.ir.cfg, 2);
+        assert_eq!(counts.ir.domtree, 2);
     }
 }

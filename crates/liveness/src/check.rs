@@ -51,7 +51,31 @@ pub struct FastLiveness {
 impl FastLiveness {
     /// Builds the checker from the CFG and dominator tree alone.
     pub fn compute(func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) -> Self {
+        let mut this = Self {
+            reduced_reach: SecondaryMap::new(),
+            back_targets: SecondaryMap::new(),
+            num_blocks: 0,
+        };
+        this.recompute(func, cfg, domtree);
+        this
+    }
+
+    /// Recomputes the checker in place, reusing the per-block bit-sets of a
+    /// previous computation (possibly of a different function). The result —
+    /// including the reported [`FastLiveness::footprint_bytes`] — is
+    /// indistinguishable from [`FastLiveness::compute`]; only the heap
+    /// traffic differs.
+    pub fn recompute(&mut self, func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) {
         let num_blocks = func.num_blocks();
+        for set in self.reduced_reach.values_mut() {
+            set.reset();
+        }
+        for set in self.back_targets.values_mut() {
+            set.reset();
+        }
+        self.reduced_reach.resize(num_blocks);
+        self.back_targets.resize(num_blocks);
+        self.num_blocks = num_blocks;
 
         // Classify edges: an edge s -> t is a back edge when t dominates s.
         let mut forward_succs: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
@@ -73,8 +97,7 @@ impl FastLiveness {
         // reduced graph is acyclic for reducible CFGs, so each stored set is
         // final when written and successor sets can be unioned in directly
         // (the seed cloned every successor set before the union).
-        let mut reduced_reach: SecondaryMap<Block, EntitySet<Block>> = SecondaryMap::new();
-        reduced_reach.resize(num_blocks);
+        let reduced_reach = &mut self.reduced_reach;
         let post_order: Vec<Block> = cfg.post_order().collect();
         let mut scratch = EntitySet::with_capacity(num_blocks);
         for &block in &post_order {
@@ -104,8 +127,7 @@ impl FastLiveness {
                 }
             }
         }
-        let mut back_targets: SecondaryMap<Block, EntitySet<Block>> = SecondaryMap::new();
-        back_targets.resize(num_blocks);
+        let back_targets = &mut self.back_targets;
         let mut changed = true;
         while changed {
             changed = false;
@@ -118,8 +140,6 @@ impl FastLiveness {
                 changed |= back_targets[block].union_with(&scratch);
             }
         }
-
-        Self { reduced_reach, back_targets, num_blocks }
     }
 
     /// Builds the checker, computing CFG and dominator tree internally.

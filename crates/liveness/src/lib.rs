@@ -47,7 +47,7 @@ pub mod uses;
 
 use ossa_ir::entity::{Block, Value};
 
-pub use analysis::FunctionAnalyses;
+pub use analysis::{AnalysisCounts, FunctionAnalyses};
 pub use check::{FastLiveness, FastLivenessQuery};
 pub use intersect::{IntersectionTest, LiveRangeInfo};
 pub use sets::LivenessSets;

@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 
 use ossa_ir::entity::{Block, SecondaryMap, Value};
-use ossa_ir::{ControlFlowGraph, DominanceFrontiers, DominatorTree, Function, InstData, PhiArg};
-use ossa_liveness::LivenessSets;
+use ossa_ir::{ControlFlowGraph, DominatorTree, Function, InstData, PhiArg};
+use ossa_liveness::FunctionAnalyses;
 
 /// Result of SSA construction.
 #[derive(Clone, Debug)]
@@ -26,7 +26,8 @@ pub struct SsaConstruction {
     pub values_created: usize,
 }
 
-/// Converts `func` (virtual-register form) into pruned SSA form in place.
+/// Converts `func` (virtual-register form) into pruned SSA form in place,
+/// owning a fresh analysis cache.
 ///
 /// φ-functions are placed on the iterated dominance frontier of each
 /// variable's definition blocks, restricted to blocks where the variable is
@@ -34,88 +35,114 @@ pub struct SsaConstruction {
 /// given an implicit `const 0` definition at the top of the entry block so
 /// that the result always satisfies the SSA dominance property.
 pub fn construct_ssa(func: &mut Function) -> SsaConstruction {
-    let cfg = ControlFlowGraph::compute(func);
-    let liveness = LivenessSets::compute(func, &cfg);
+    let mut analyses = FunctionAnalyses::new();
+    construct_ssa_cached(func, &mut analyses)
+}
 
+/// Like [`construct_ssa`], sharing the analyses in `analyses`.
+///
+/// Construction only mutates the instruction stream (entry definitions,
+/// φ-functions, renaming) — the block structure is untouched — so the
+/// CFG-level analyses (CFG, dominator tree, dominance frontiers) are
+/// computed at most once through the whole pass and *stay valid for the
+/// caller*; only the instruction-dependent caches are invalidated. Liveness
+/// is computed twice exactly when entry definitions had to be inserted (a
+/// new instruction version).
+pub fn construct_ssa_cached(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+) -> SsaConstruction {
     // Give an entry definition to every variable that is live-in at entry
     // (i.e. possibly used before defined on some path).
     let entry = func.entry();
-    let entry_live_in: Vec<Value> = liveness.live_in(entry).iter().collect();
+    let entry_live_in: Vec<Value> = analyses.liveness_sets(func).live_in(entry).iter().collect();
+    let entry_defs_inserted = !entry_live_in.is_empty();
     for (insert_at, variable) in entry_live_in.into_iter().enumerate() {
         func.insert_inst(entry, insert_at, InstData::Const { dst: variable, imm: 0 });
     }
+    if entry_defs_inserted {
+        // Instruction-only mutation: liveness must be recomputed below, the
+        // CFG-level analyses survive.
+        analyses.invalidate_instructions();
+    }
 
-    // Recompute analyses after the initializing definitions.
-    let cfg = ControlFlowGraph::compute(func);
-    let domtree = DominatorTree::compute(func, &cfg);
-    let frontiers = DominanceFrontiers::compute(func, &cfg, &domtree);
-    let liveness = LivenessSets::compute(func, &cfg);
-
-    // Definition blocks per variable, stored densely so that φ placement
-    // below iterates variables in index order — iterating a HashMap here made
-    // φ order (and with it all downstream SSA value numbering) vary from run
-    // to run.
     let num_values_before = func.num_values();
-    let mut def_blocks: SecondaryMap<Value, Vec<Block>> = SecondaryMap::new();
-    def_blocks.resize(num_values_before);
-    let mut scratch = Vec::new();
-    for &block in cfg.reverse_post_order() {
-        for &inst in func.block_insts(block) {
-            scratch.clear();
-            func.inst(inst).collect_defs(&mut scratch);
-            for &v in &scratch {
-                let blocks = &mut def_blocks[v];
-                if !blocks.contains(&block) {
-                    blocks.push(block);
-                }
-            }
-        }
-    }
-
-    // φ placement on iterated dominance frontiers (pruned with liveness).
     let mut phis_inserted = 0usize;
-    for (variable, blocks) in def_blocks.iter().filter(|(_, blocks)| !blocks.is_empty()) {
-        let mut worklist: Vec<Block> = blocks.clone();
-        let mut has_phi: Vec<bool> = vec![false; func.num_blocks()];
-        let mut ever_on_worklist: Vec<bool> = vec![false; func.num_blocks()];
-        for &b in &worklist {
-            ever_on_worklist[b.index()] = true;
-        }
-        while let Some(block) = worklist.pop() {
-            for &frontier_block in frontiers.frontier(block) {
-                if has_phi[frontier_block.index()] {
-                    continue;
-                }
-                if !liveness.live_in(frontier_block).contains(variable) {
-                    continue; // pruned SSA: dead φ would be useless
-                }
-                has_phi[frontier_block.index()] = true;
-                let args = cfg
-                    .preds(frontier_block)
-                    .iter()
-                    .map(|&pred| PhiArg { block: pred, value: variable })
-                    .collect();
-                func.insert_inst(frontier_block, 0, InstData::Phi { dst: variable, args });
-                phis_inserted += 1;
-                if !ever_on_worklist[frontier_block.index()] {
-                    ever_on_worklist[frontier_block.index()] = true;
-                    worklist.push(frontier_block);
+    let mut origin: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
+    {
+        let cfg = analyses.cfg(func);
+        let domtree = analyses.domtree(func);
+        let frontiers = analyses.frontiers(func);
+        let liveness = analyses.liveness_sets(func);
+
+        // Definition blocks per variable, stored densely so that φ placement
+        // below iterates variables in index order — iterating a HashMap here
+        // made φ order (and with it all downstream SSA value numbering) vary
+        // from run to run.
+        let mut def_blocks: SecondaryMap<Value, Vec<Block>> = SecondaryMap::new();
+        def_blocks.resize(num_values_before);
+        let mut scratch = Vec::new();
+        for &block in cfg.reverse_post_order() {
+            for &inst in func.block_insts(block) {
+                scratch.clear();
+                func.inst(inst).collect_defs(&mut scratch);
+                for &v in &scratch {
+                    let blocks = &mut def_blocks[v];
+                    if !blocks.contains(&block) {
+                        blocks.push(block);
+                    }
                 }
             }
         }
-    }
 
-    // Renaming along the dominator tree.
-    let mut origin: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
-    origin.resize(func.num_values());
-    for v in 0..num_values_before {
-        let v = Value::from_index(v);
-        origin[v] = Some(v);
-    }
+        // φ placement on iterated dominance frontiers (pruned with the
+        // liveness computed above — φ insertion itself does not change what
+        // the placement reads).
+        for (variable, blocks) in def_blocks.iter().filter(|(_, blocks)| !blocks.is_empty()) {
+            let mut worklist: Vec<Block> = blocks.clone();
+            let mut has_phi: Vec<bool> = vec![false; func.num_blocks()];
+            let mut ever_on_worklist: Vec<bool> = vec![false; func.num_blocks()];
+            for &b in &worklist {
+                ever_on_worklist[b.index()] = true;
+            }
+            while let Some(block) = worklist.pop() {
+                for &frontier_block in frontiers.frontier(block) {
+                    if has_phi[frontier_block.index()] {
+                        continue;
+                    }
+                    if !liveness.live_in(frontier_block).contains(variable) {
+                        continue; // pruned SSA: dead φ would be useless
+                    }
+                    has_phi[frontier_block.index()] = true;
+                    let args = cfg
+                        .preds(frontier_block)
+                        .iter()
+                        .map(|&pred| PhiArg { block: pred, value: variable })
+                        .collect();
+                    func.insert_inst(frontier_block, 0, InstData::Phi { dst: variable, args });
+                    phis_inserted += 1;
+                    if !ever_on_worklist[frontier_block.index()] {
+                        ever_on_worklist[frontier_block.index()] = true;
+                        worklist.push(frontier_block);
+                    }
+                }
+            }
+        }
 
-    let mut stacks: SecondaryMap<Value, Vec<Value>> = SecondaryMap::new();
-    stacks.resize(num_values_before);
-    rename_block(func, &cfg, &domtree, func.entry(), &mut stacks, &mut origin);
+        // Renaming along the dominator tree.
+        origin.resize(func.num_values());
+        for v in 0..num_values_before {
+            let v = Value::from_index(v);
+            origin[v] = Some(v);
+        }
+
+        let mut stacks: SecondaryMap<Value, Vec<Value>> = SecondaryMap::new();
+        stacks.resize(num_values_before);
+        rename_block(func, cfg, domtree, func.entry(), &mut stacks, &mut origin);
+    }
+    // φ insertion and renaming are instruction-only mutations: the caller's
+    // CFG-level caches stay valid, the instruction-dependent ones do not.
+    analyses.invalidate_instructions();
 
     let values_created = func.num_values() - num_values_before;
     SsaConstruction { origin, phis_inserted, values_created }

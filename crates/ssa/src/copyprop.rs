@@ -9,6 +9,7 @@
 
 use ossa_ir::entity::{SecondaryMap, Value};
 use ossa_ir::{Function, InstData};
+use ossa_liveness::FunctionAnalyses;
 
 /// Statistics of a copy-propagation run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -28,6 +29,32 @@ pub struct CopyPropagation {
 /// removed.
 pub fn propagate_copies(func: &mut Function) -> CopyPropagation {
     propagate_copies_keeping(func, 0)
+}
+
+/// Like [`propagate_copies`], declaring its invalidation against a shared
+/// analysis cache: copy propagation rewrites and removes instructions inside
+/// existing blocks, so the CFG-level analyses stay valid and only the
+/// instruction-dependent caches are dropped — and only when the pass
+/// actually changed something.
+pub fn propagate_copies_cached(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+) -> CopyPropagation {
+    propagate_copies_keeping_cached(func, 0, analyses)
+}
+
+/// Cached-pipeline variant of [`propagate_copies_keeping`]; see
+/// [`propagate_copies_cached`] for the invalidation contract.
+pub fn propagate_copies_keeping_cached(
+    func: &mut Function,
+    keep_every: usize,
+    analyses: &mut FunctionAnalyses,
+) -> CopyPropagation {
+    let stats = propagate_copies_keeping(func, keep_every);
+    if stats != CopyPropagation::default() {
+        analyses.invalidate_instructions();
+    }
+    stats
 }
 
 /// Like [`propagate_copies`], but keeps every `keep_every`-th copy

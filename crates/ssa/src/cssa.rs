@@ -11,8 +11,8 @@
 use std::collections::HashMap;
 
 use ossa_ir::entity::Value;
-use ossa_ir::{ControlFlowGraph, DominatorTree, Function};
-use ossa_liveness::{IntersectionTest, LiveRangeInfo, LivenessSets};
+use ossa_ir::Function;
+use ossa_liveness::{FunctionAnalyses, IntersectionTest};
 
 /// A pair of values from the same φ congruence class whose live ranges
 /// intersect — a witness that the function is not in CSSA form.
@@ -88,14 +88,22 @@ impl PhiCongruence {
     }
 }
 
-/// Checks whether `func` (in SSA form) is conventional. Returns the list of
-/// intersecting same-class pairs; an empty list means the function is CSSA.
+/// Checks whether `func` (in SSA form) is conventional, owning a fresh
+/// analysis cache. Returns the list of intersecting same-class pairs; an
+/// empty list means the function is CSSA.
 pub fn cssa_violations(func: &Function) -> Vec<CssaViolation> {
-    let cfg = ControlFlowGraph::compute(func);
-    let domtree = DominatorTree::compute(func, &cfg);
-    let liveness = LivenessSets::compute(func, &cfg);
-    let info = LiveRangeInfo::compute(func);
-    let intersect = IntersectionTest::new(func, &domtree, &liveness, &info);
+    cssa_violations_cached(func, &FunctionAnalyses::new())
+}
+
+/// Like [`cssa_violations`], reading the dominator tree, liveness sets and
+/// def/use index from a shared analysis cache instead of recomputing them.
+/// The check is read-only: nothing is invalidated, and whatever it computes
+/// stays cached for the next pass.
+pub fn cssa_violations_cached(func: &Function, analyses: &FunctionAnalyses) -> Vec<CssaViolation> {
+    let domtree = analyses.domtree(func);
+    let liveness = analyses.liveness_sets(func);
+    let info = analyses.live_range_info(func);
+    let intersect = IntersectionTest::new(func, domtree, liveness, info);
 
     let mut congruence = PhiCongruence::compute(func);
     let mut violations = Vec::new();
@@ -114,6 +122,11 @@ pub fn cssa_violations(func: &Function) -> Vec<CssaViolation> {
 /// Returns `true` if `func` is in conventional SSA form.
 pub fn is_conventional(func: &Function) -> bool {
     cssa_violations(func).is_empty()
+}
+
+/// Like [`is_conventional`], reading analyses from a shared cache.
+pub fn is_conventional_cached(func: &Function, analyses: &FunctionAnalyses) -> bool {
+    cssa_violations_cached(func, analyses).is_empty()
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 
 use ossa_ir::entity::{SecondaryMap, Value};
 use ossa_ir::Function;
+use ossa_liveness::FunctionAnalyses;
 
 /// Statistics of a DCE run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -16,6 +17,21 @@ pub struct DeadCodeElimination {
     pub insts_removed: usize,
     /// Number of fixpoint iterations performed.
     pub iterations: usize,
+}
+
+/// Like [`eliminate_dead_code`], declaring its invalidation against a shared
+/// analysis cache: DCE removes instructions inside existing blocks, so the
+/// CFG-level analyses stay valid and only the instruction-dependent caches
+/// are dropped — and only when an instruction was actually removed.
+pub fn eliminate_dead_code_cached(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+) -> DeadCodeElimination {
+    let stats = eliminate_dead_code(func);
+    if stats.insts_removed > 0 {
+        analyses.invalidate_instructions();
+    }
+    stats
 }
 
 /// Removes side-effect-free instructions whose definitions are unused.

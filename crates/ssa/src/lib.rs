@@ -60,8 +60,14 @@ pub mod cssa;
 pub mod dce;
 pub mod edges;
 
-pub use construct::{construct_ssa, SsaConstruction};
-pub use copyprop::{propagate_copies, propagate_copies_keeping, CopyPropagation};
-pub use cssa::{cssa_violations, is_conventional, CssaViolation, PhiCongruence};
-pub use dce::{eliminate_dead_code, DeadCodeElimination};
+pub use construct::{construct_ssa, construct_ssa_cached, SsaConstruction};
+pub use copyprop::{
+    propagate_copies, propagate_copies_cached, propagate_copies_keeping,
+    propagate_copies_keeping_cached, CopyPropagation,
+};
+pub use cssa::{
+    cssa_violations, cssa_violations_cached, is_conventional, is_conventional_cached,
+    CssaViolation, PhiCongruence,
+};
+pub use dce::{eliminate_dead_code, eliminate_dead_code_cached, DeadCodeElimination};
 pub use edges::{split_critical_edges, split_edge};

@@ -1,16 +1,23 @@
-//! A miniature JIT middle-end pipeline over a simulated SPEC-like workload:
-//! non-SSA input → SSA construction → copy propagation (which breaks
-//! conventionality) → batch out-of-SSA translation (parallel corpus engine)
-//! → linear-scan register allocation over shared cached analyses.
+//! A miniature JIT middle-end over a simulated SPEC-like workload, built on
+//! the unified [`Pipeline`] pass manager: non-SSA input → SSA construction →
+//! copy propagation (which breaks conventionality) → dead-code elimination →
+//! CSSA check → calling-convention pins → out-of-SSA translation →
+//! linear-scan register allocation — all passes sharing **one** analysis
+//! cache with per-pass invalidation, its storage recycled across functions.
+//!
+//! The same queue is also drained through the batch corpus engine
+//! (`translate_corpus`, parallel workers) and the streaming front end
+//! (`translate_stream`, fed from an iterator as a JIT queue would); all
+//! three flavours must agree bit-for-bit.
 //!
 //! Run with `cargo run --example jit_pipeline`.
 
 use out_of_ssa::cfggen::{generate_function, pin_call_conventions, GenConfig};
-use out_of_ssa::destruct::{translate_corpus, translate_out_of_ssa_cached, OutOfSsaOptions};
+use out_of_ssa::destruct::{translate_corpus, translate_stream, OutOfSsaOptions};
 use out_of_ssa::interp::{same_behaviour, Interpreter};
-use out_of_ssa::liveness::FunctionAnalyses;
-use out_of_ssa::regalloc::{allocate_cached, check_allocation};
-use out_of_ssa::ssa::{construct_ssa, eliminate_dead_code, is_conventional, propagate_copies};
+use out_of_ssa::regalloc::check_allocation;
+use out_of_ssa::ssa::{construct_ssa, eliminate_dead_code, propagate_copies};
+use out_of_ssa::Pipeline;
 
 fn main() {
     let config = GenConfig { num_stmts: 60, num_vars: 10, ..GenConfig::default() };
@@ -22,70 +29,90 @@ fn main() {
         .map(|seed| generate_function(format!("jit::fn{seed}"), &config, seed))
         .collect();
 
-    // 2. Middle end: SSA construction + optimizations, per function.
+    // 2. The unified pipeline, one function after the other through the same
+    //    `Pipeline` — its analysis cache and translation scratch are
+    //    invalidated (not reallocated) between functions.
+    let mut pipeline = Pipeline::new(options.clone()).with_registers(8);
     let mut funcs = references.clone();
-    let mut middle_end_stats = Vec::new();
-    for func in &mut funcs {
-        let construction = construct_ssa(func);
-        let prop = propagate_copies(func);
+    let reports: Vec<_> = funcs
+        .iter_mut()
+        .map(|func| {
+            pipeline.run_with(func, |f| {
+                pin_call_conventions(f);
+            })
+        })
+        .collect();
+
+    // 3. The batch and streaming engines get the same middle-end output (here
+    //    rebuilt with the standalone passes) and must reproduce the
+    //    pipeline's back end exactly: batch from a materialized slice on the
+    //    parallel worker pool, streaming from a lazy iterator as a JIT queue
+    //    would feed it.
+    let mut ssa_forms = references.clone();
+    for func in &mut ssa_forms {
+        construct_ssa(func);
+        propagate_copies(func);
         eliminate_dead_code(func);
-        let conventional = is_conventional(func);
-        // 3. Renaming constraints from the calling convention.
         pin_call_conventions(func);
-        middle_end_stats.push((construction.phis_inserted, prop.copies_removed, conventional));
     }
-    let ssa_forms = funcs.clone();
+    let mut batch = ssa_forms.clone();
+    let corpus_stats = translate_corpus(&mut batch, &options);
+    let (streamed, stream_stats) = translate_stream(ssa_forms.iter().cloned(), &options);
 
-    // 4. Back end, batch flavour: the whole queue goes through the parallel
-    //    out-of-SSA engine (one analysis cache per function, functions
-    //    translated in parallel).
-    let corpus_stats = translate_corpus(&mut funcs, &options);
-
-    // 5. Back end, shared-cache flavour: each function is also translated
-    //    serially through one `FunctionAnalyses` that then feeds register
-    //    allocation — the CFG-level analyses computed during translation
-    //    survive it and are reused by `allocate_cached`. Both flavours must
-    //    agree exactly.
-    let mut analyses = FunctionAnalyses::new();
     let mut total_spills = 0usize;
     let mut total_copies = 0usize;
-    for (seed, func) in funcs.iter().enumerate() {
-        analyses.invalidate_cfg();
-        let mut serial = ssa_forms[seed].clone();
-        let serial_stats = translate_out_of_ssa_cached(&mut serial, &options, &mut analyses);
-        assert_eq!(&serial, func, "batch and serial translation disagree on fn{seed}");
-        assert_eq!(serial_stats, corpus_stats.per_function[seed]);
+    for (seed, report) in reports.iter().enumerate() {
+        assert_eq!(&funcs[seed], &batch[seed], "pipeline and batch disagree on fn{seed}");
+        assert_eq!(&streamed[seed], &batch[seed], "streaming and batch disagree on fn{seed}");
+        assert_eq!(report.translation, corpus_stats.per_function[seed]);
+        assert_eq!(stream_stats.per_function[seed], corpus_stats.per_function[seed]);
 
-        let allocation = allocate_cached(func, 8, &analyses);
-        check_allocation(func, &allocation, 8).expect("allocation verifies");
+        let allocation = report.allocation.as_ref().expect("allocation configured");
+        check_allocation(&funcs[seed], allocation, 8).expect("allocation verifies");
 
-        // 6. The whole pipeline preserves behaviour.
+        // 4. The whole pipeline preserves behaviour, at every stage.
         for args in [[1, 2, 3], [5, 0, -3], [9, 9, 9]] {
             let a = Interpreter::new().run(&references[seed], &args).expect("reference runs");
-            let c = Interpreter::new().run(&ssa_forms[seed], &args).expect("ssa runs");
-            let b = Interpreter::new().run(func, &args).expect("translated runs");
+            let c = Interpreter::new().run(&ssa_forms[seed], &args).expect("ssa form runs");
+            let b = Interpreter::new().run(&funcs[seed], &args).expect("translated runs");
             assert!(
                 same_behaviour(&a, &b) && same_behaviour(&c, &b),
                 "pipeline miscompiled fn{seed}"
             );
         }
 
-        let (phis, propagated, conventional) = middle_end_stats[seed];
-        let stats = &corpus_stats.per_function[seed];
         println!(
-            "fn{seed}: {phis} phis, {propagated} copies propagated, conventional after opt: \
-             {conventional}, {} copies remain, {} registers used, {} spills",
-            stats.remaining_copies,
+            "fn{seed}: {} phis, {} copies propagated, conventional after opt: {}, {} copies \
+             remain, {} registers used, {} spills",
+            report.construction.phis_inserted,
+            report.copy_propagation.copies_removed,
+            report.conventional_after_opt.unwrap_or(false),
+            report.translation.remaining_copies,
             allocation.registers_used(),
             allocation.spills
         );
         total_spills += allocation.spills;
-        total_copies += stats.remaining_copies;
+        total_copies += report.translation.remaining_copies;
     }
+
+    let counts = pipeline.counts();
     println!(
-        "\ntranslated {} functions on {} threads; total remaining copies: {total_copies}, \
-         total spills: {total_spills}",
-        corpus_stats.per_function.len(),
-        corpus_stats.threads
+        "\ntranslated {} functions (batch on {} threads, stream on {}); total remaining copies: \
+         {total_copies}, total spills: {total_spills}",
+        reports.len(),
+        corpus_stats.threads,
+        stream_stats.threads,
+    );
+    println!(
+        "pipeline analysis computations over {} CFG versions: cfg {}, domtree {}, frontiers {}, \
+         fast-liveness {}, liveness-sets {} / {} instruction versions — nothing computed twice \
+         per version",
+        counts.ir.cfg_versions,
+        counts.ir.cfg,
+        counts.ir.domtree,
+        counts.ir.frontiers,
+        counts.fast_liveness,
+        counts.liveness_sets,
+        counts.inst_versions,
     );
 }

@@ -13,7 +13,13 @@
 //! * [`destruct`] — the paper's out-of-SSA translation (the core contribution),
 //! * [`interp`] — the reference interpreter used as a semantic oracle,
 //! * [`cfggen`] — synthetic workloads simulating the SPEC CINT2000 corpus,
-//! * [`regalloc`] — a linear-scan register allocator consuming the output.
+//! * [`regalloc`] — a linear-scan register allocator consuming the output,
+//!
+//! and adds the [`pipeline`] layer: a [`Pipeline`] pass manager that runs
+//! the whole flow — SSA construction, copy propagation, DCE, CSSA check,
+//! out-of-SSA translation, register allocation — over **one** shared
+//! analysis cache with per-pass invalidation, so each analysis is computed
+//! at most once per CFG version.
 //!
 //! # Examples
 //!
@@ -30,6 +36,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod pipeline;
+
 pub use ossa_cfggen as cfggen;
 pub use ossa_destruct as destruct;
 pub use ossa_interp as interp;
@@ -37,3 +45,4 @@ pub use ossa_ir as ir;
 pub use ossa_liveness as liveness;
 pub use ossa_regalloc as regalloc;
 pub use ossa_ssa as ssa;
+pub use pipeline::{Pipeline, PipelineReport};

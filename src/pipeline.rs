@@ -1,0 +1,306 @@
+//! The unified pass pipeline: one analysis cache from SSA construction to
+//! register allocation.
+//!
+//! The paper frames out-of-SSA translation as one stage of a compiler
+//! pipeline whose engineering cost is dominated by recomputed analyses.
+//! [`Pipeline`] is the pass-manager layer that makes the compute-once claim
+//! hold for the *whole* flow, not just the translation: it owns a single
+//! [`FunctionAnalyses`] cache and a single [`TranslateScratch`], and runs
+//!
+//! 1. [`construct_ssa_cached`] — pruned SSA construction,
+//! 2. [`propagate_copies_keeping_cached`] — the optimization that breaks
+//!    conventionality,
+//! 3. [`eliminate_dead_code_cached`],
+//! 4. [`is_conventional_cached`] — the CSSA check (optional),
+//! 5. a caller-provided renaming-constraint hook (e.g. calling-convention
+//!    pins),
+//! 6. [`translate_out_of_ssa_scratch`] — the paper's translation,
+//! 7. [`allocate_cached`] — linear-scan register allocation (optional),
+//!
+//! with precise two-tier invalidation declared per pass: passes that only
+//! touch the instruction stream (construction, copy propagation, DCE, copy
+//! insertion, sequentialization) drop only the instruction-dependent caches,
+//! while CFG mutations (edge splitting inside the translation) drop
+//! everything. The result, provable through
+//! [`FunctionAnalyses::counts`], is that every analysis is computed at most
+//! once per (function, CFG version) — and the instruction-dependent ones at
+//! most once per instruction version.
+//!
+//! Reusing one `Pipeline` across many functions additionally recycles the
+//! analysis storage (CFG, dominator tree, frontiers, fast-liveness bit-sets,
+//! congruence classes, decision maps): invalidation hands the allocations to
+//! the next computation instead of freeing them.
+//!
+//! # Examples
+//!
+//! ```
+//! use out_of_ssa::cfggen::{generate_function, GenConfig};
+//! use out_of_ssa::destruct::OutOfSsaOptions;
+//! use out_of_ssa::pipeline::Pipeline;
+//!
+//! let mut pipeline = Pipeline::new(OutOfSsaOptions::default()).with_registers(8);
+//! let mut func = generate_function("demo", &GenConfig::small(), 42);
+//! let report = pipeline.run(&mut func);
+//! assert_eq!(func.count_phis(), 0);
+//! assert!(report.allocation.is_some());
+//! ```
+
+use ossa_destruct::{
+    translate_out_of_ssa_scratch, OutOfSsaOptions, OutOfSsaStats, TranslateScratch,
+};
+use ossa_ir::Function;
+use ossa_liveness::{AnalysisCounts, FunctionAnalyses};
+use ossa_regalloc::{allocate_cached, Allocation};
+use ossa_ssa::{
+    construct_ssa_cached, eliminate_dead_code_cached, is_conventional_cached,
+    propagate_copies_keeping_cached, CopyPropagation, DeadCodeElimination, SsaConstruction,
+};
+
+/// Report of one [`Pipeline::run`]: the per-pass statistics in pass order.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// SSA construction statistics.
+    pub construction: SsaConstruction,
+    /// Copy-propagation statistics.
+    pub copy_propagation: CopyPropagation,
+    /// Dead-code-elimination statistics.
+    pub dead_code: DeadCodeElimination,
+    /// Whether the function was still in conventional SSA form after the
+    /// optimizations (`None` when the check is disabled). Copy propagation
+    /// generally breaks conventionality — that is what the translation has
+    /// to repair.
+    pub conventional_after_opt: Option<bool>,
+    /// Out-of-SSA translation statistics.
+    pub translation: OutOfSsaStats,
+    /// Register allocation (`None` when no register count is configured).
+    pub allocation: Option<Allocation>,
+}
+
+/// The pass pipeline: one analysis cache and one translation scratch, owned
+/// across passes *and* across functions.
+///
+/// See the [module documentation](self) for the flow and the invalidation
+/// contract.
+#[derive(Debug)]
+pub struct Pipeline {
+    options: OutOfSsaOptions,
+    num_regs: Option<u32>,
+    keep_copy_every: usize,
+    check_conventional: bool,
+    analyses: FunctionAnalyses,
+    scratch: TranslateScratch,
+}
+
+impl Pipeline {
+    /// Creates a pipeline translating with `options`; no register allocation,
+    /// full copy propagation, CSSA check enabled.
+    pub fn new(options: OutOfSsaOptions) -> Self {
+        Self {
+            options,
+            num_regs: None,
+            keep_copy_every: 0,
+            check_conventional: true,
+            analyses: FunctionAnalyses::new(),
+            scratch: TranslateScratch::new(),
+        }
+    }
+
+    /// Enables register allocation with `num_regs` architectural registers
+    /// as the final pass.
+    pub fn with_registers(mut self, num_regs: u32) -> Self {
+        self.num_regs = Some(num_regs);
+        self
+    }
+
+    /// Keeps every `keep_every`-th copy during copy propagation (`0` keeps
+    /// none) — real optimization pipelines rarely remove every copy, and the
+    /// remaining ones are where the coalescing strategies differ.
+    pub fn with_kept_copies(mut self, keep_every: usize) -> Self {
+        self.keep_copy_every = keep_every;
+        self
+    }
+
+    /// Enables or disables the CSSA check between the optimizations and the
+    /// translation (it is a read-only diagnostic; disabling it also skips
+    /// computing the liveness sets it needs).
+    pub fn with_cssa_check(mut self, check: bool) -> Self {
+        self.check_conventional = check;
+        self
+    }
+
+    /// The shared analysis cache (for inspection; the compute counters in
+    /// particular).
+    pub fn analyses(&self) -> &FunctionAnalyses {
+        &self.analyses
+    }
+
+    /// The cumulative analysis compute counters across everything this
+    /// pipeline has run.
+    pub fn counts(&self) -> AnalysisCounts {
+        self.analyses.counts()
+    }
+
+    /// Runs the full pipeline on `func` (in virtual-register form) in place.
+    pub fn run(&mut self, func: &mut Function) -> PipelineReport {
+        self.run_with(func, |_| {})
+    }
+
+    /// Like [`Pipeline::run`], applying `constrain` between the SSA
+    /// optimizations and the translation — the hook where renaming
+    /// constraints (calling-convention pins, dedicated registers) are
+    /// imposed.
+    ///
+    /// The hook is meant for pinning values ([`Function::pin_value`]): pins
+    /// are not an analysis input, so the cache is deliberately *not*
+    /// invalidated around the hook. It must not change the block structure
+    /// (the cache's debug-build shape stamp catches that). Instruction-level
+    /// edits in the hook are tolerated — the translation invalidates every
+    /// instruction-dependent cache after its own copy insertion, before
+    /// reading any — but the CSSA verdict in the report describes the
+    /// pre-hook code.
+    pub fn run_with(
+        &mut self,
+        func: &mut Function,
+        constrain: impl FnOnce(&mut Function),
+    ) -> PipelineReport {
+        // A new function: drop (and recycle) everything from the previous one.
+        self.analyses.invalidate_cfg();
+
+        // Middle end. Each pass declares its own invalidation: these are all
+        // instruction-only mutations, so the CFG analyses computed by the
+        // first pass survive until the translation splits an edge (if ever).
+        let construction = construct_ssa_cached(func, &mut self.analyses);
+        let copy_propagation =
+            propagate_copies_keeping_cached(func, self.keep_copy_every, &mut self.analyses);
+        let dead_code = eliminate_dead_code_cached(func, &mut self.analyses);
+        let conventional_after_opt =
+            self.check_conventional.then(|| is_conventional_cached(func, &self.analyses));
+
+        // Renaming constraints (pins only; see the doc contract).
+        constrain(func);
+
+        // Back end over the same cache and scratch.
+        let translation = translate_out_of_ssa_scratch(
+            func,
+            &self.options,
+            &mut self.analyses,
+            &mut self.scratch,
+        );
+        let allocation = self.num_regs.map(|regs| allocate_cached(func, regs, &self.analyses));
+
+        PipelineReport {
+            construction,
+            copy_propagation,
+            dead_code,
+            conventional_after_opt,
+            translation,
+            allocation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossa_cfggen::{generate_function, pin_call_conventions, GenConfig};
+    use ossa_destruct::translate_out_of_ssa;
+    use ossa_interp::{same_behaviour, Interpreter};
+    use ossa_regalloc::{allocate, check_allocation};
+    use ossa_ssa::{construct_ssa, eliminate_dead_code, is_conventional, propagate_copies};
+
+    #[test]
+    fn pipeline_matches_the_manual_pass_sequence() {
+        let options = OutOfSsaOptions::default();
+        let mut pipeline = Pipeline::new(options.clone()).with_registers(8);
+        for seed in 0..6u64 {
+            let config = GenConfig::small();
+            let reference = generate_function(format!("p{seed}"), &config, seed);
+
+            // Manual flow: fresh analyses in every pass.
+            let mut manual = reference.clone();
+            let construction = construct_ssa(&mut manual);
+            let prop = propagate_copies(&mut manual);
+            let dce = eliminate_dead_code(&mut manual);
+            let conventional = is_conventional(&manual);
+            pin_call_conventions(&mut manual);
+            let translation = translate_out_of_ssa(&mut manual, &options);
+            let allocation = allocate(&manual, 8);
+
+            // Pipeline flow: one shared cache, reused across seeds.
+            let mut piped = reference.clone();
+            let report = pipeline.run_with(&mut piped, |f| {
+                pin_call_conventions(f);
+            });
+
+            assert_eq!(manual, piped, "seed {seed}: translated code differs");
+            assert_eq!(report.construction.phis_inserted, construction.phis_inserted);
+            assert_eq!(report.copy_propagation, prop);
+            assert_eq!(report.dead_code, dce);
+            assert_eq!(report.conventional_after_opt, Some(conventional));
+            assert_eq!(report.translation, translation);
+            let piped_alloc = report.allocation.expect("allocation configured");
+            assert_eq!(piped_alloc.locations, allocation.locations, "seed {seed}");
+            assert_eq!(piped_alloc.spills, allocation.spills, "seed {seed}");
+            check_allocation(&piped, &piped_alloc, 8).expect("allocation verifies");
+
+            // End-to-end behaviour against the pre-SSA reference.
+            for args in [[1, 2, 3], [0, -4, 9]] {
+                let a = Interpreter::new().run(&reference, &args).expect("reference runs");
+                let b = Interpreter::new().run(&piped, &args).expect("pipeline output runs");
+                assert!(same_behaviour(&a, &b), "seed {seed} differs on {args:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_analysis_is_computed_twice_per_version() {
+        let mut pipeline = Pipeline::new(OutOfSsaOptions::default()).with_registers(8);
+        for seed in 0..8u64 {
+            let mut func = generate_function(format!("count{seed}"), &GenConfig::small(), seed);
+            let before = pipeline.counts();
+            pipeline.run_with(&mut func, |f| {
+                pin_call_conventions(f);
+            });
+            let after = pipeline.counts();
+
+            // Per-run deltas: computations vs versions seen during this run.
+            let cfg_versions = after.ir.cfg_versions - before.ir.cfg_versions + 1;
+            let inst_versions = after.inst_versions - before.inst_versions + 1;
+            assert!(after.ir.cfg - before.ir.cfg <= cfg_versions, "cfg recomputed");
+            assert!(after.ir.domtree - before.ir.domtree <= cfg_versions, "domtree recomputed");
+            assert!(
+                after.ir.frontiers - before.ir.frontiers <= cfg_versions,
+                "frontiers recomputed"
+            );
+            assert!(after.ir.loops - before.ir.loops <= cfg_versions, "loops recomputed");
+            assert!(
+                after.ir.frequencies - before.ir.frequencies <= cfg_versions,
+                "frequencies recomputed"
+            );
+            assert!(
+                after.fast_liveness - before.fast_liveness <= cfg_versions,
+                "fast liveness recomputed for an unchanged CFG"
+            );
+            assert!(
+                after.liveness_sets - before.liveness_sets <= inst_versions,
+                "liveness sets recomputed for unchanged instructions"
+            );
+            assert!(
+                after.live_range_info - before.live_range_info <= inst_versions,
+                "def/use index recomputed for unchanged instructions"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_without_allocation_or_check_still_translates() {
+        let mut pipeline =
+            Pipeline::new(OutOfSsaOptions::sharing()).with_cssa_check(false).with_kept_copies(3);
+        let mut func = generate_function("bare", &GenConfig::small(), 7);
+        let report = pipeline.run(&mut func);
+        assert_eq!(func.count_phis(), 0);
+        assert!(report.allocation.is_none());
+        assert!(report.conventional_after_opt.is_none());
+        assert!(report.translation.phis_removed >= 1);
+    }
+}

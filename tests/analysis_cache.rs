@@ -1,0 +1,191 @@
+//! Invalidation soundness of the shared analysis cache.
+//!
+//! The pipeline's correctness rests on two claims about
+//! [`FunctionAnalyses`]: after any mutation followed by the *declared*
+//! invalidation (instruction-only vs CFG-level), every cached analysis is
+//! indistinguishable from a fresh computation — including when the cache
+//! *recycles* the storage of the invalidated analyses — and through a full
+//! pipeline no analysis is ever computed twice for the same version. The
+//! first claim is exercised here with randomized mutation sequences, the
+//! second with the compute counters.
+
+use out_of_ssa::cfggen::rng::SmallRng;
+use out_of_ssa::cfggen::{generate_ssa_function, pin_call_conventions, GenConfig};
+use out_of_ssa::destruct::OutOfSsaOptions;
+use out_of_ssa::ir::{
+    Block, ControlFlowGraph, DominanceFrontiers, DominatorTree, Function, InstData, Value,
+};
+use out_of_ssa::liveness::{FastLiveness, LiveRangeInfo, LivenessSets};
+use out_of_ssa::ssa::split_edge;
+use out_of_ssa::{cfggen::generate_function, liveness::FunctionAnalyses, Pipeline};
+
+/// Compares every cached analysis against a fresh, cache-free computation.
+fn assert_cache_matches_fresh(func: &Function, analyses: &FunctionAnalyses, context: &str) {
+    let fresh_cfg = ControlFlowGraph::compute(func);
+    let fresh_dom = DominatorTree::compute(func, &fresh_cfg);
+    let fresh_front = DominanceFrontiers::compute(func, &fresh_cfg, &fresh_dom);
+    let fresh_sets = LivenessSets::compute(func, &fresh_cfg);
+    let fresh_info = LiveRangeInfo::compute(func);
+    let fresh_fast = FastLiveness::compute(func, &fresh_cfg, &fresh_dom);
+
+    let cfg = analyses.cfg(func);
+    let domtree = analyses.domtree(func);
+    let frontiers = analyses.frontiers(func);
+    let sets = analyses.liveness_sets(func);
+    let info = analyses.live_range_info(func);
+    let fast = analyses.fast_liveness(func);
+
+    assert_eq!(cfg.reverse_post_order(), fresh_cfg.reverse_post_order(), "{context}: rpo");
+    assert_eq!(
+        fast.footprint_bytes(),
+        fresh_fast.footprint_bytes(),
+        "{context}: recycled fast-liveness footprint diverged from fresh"
+    );
+    for block in func.blocks() {
+        assert_eq!(cfg.succs(block), fresh_cfg.succs(block), "{context}: succs({block})");
+        assert_eq!(cfg.preds(block), fresh_cfg.preds(block), "{context}: preds({block})");
+        assert_eq!(
+            cfg.is_reachable(block),
+            fresh_cfg.is_reachable(block),
+            "{context}: reachable({block})"
+        );
+        assert_eq!(domtree.idom(block), fresh_dom.idom(block), "{context}: idom({block})");
+        assert_eq!(
+            frontiers.frontier(block),
+            fresh_front.frontier(block),
+            "{context}: frontier({block})"
+        );
+        for value in func.values() {
+            assert_eq!(
+                sets.live_in(block).contains(value),
+                fresh_sets.live_in(block).contains(value),
+                "{context}: live-in({block}, {value})"
+            );
+            assert_eq!(
+                sets.live_out(block).contains(value),
+                fresh_sets.live_out(block).contains(value),
+                "{context}: live-out({block}, {value})"
+            );
+            if cfg.is_reachable(block) {
+                assert_eq!(
+                    fast.is_live_in_query(domtree, info, block, value),
+                    fresh_fast.is_live_in_query(&fresh_dom, &fresh_info, block, value),
+                    "{context}: fast live-in({block}, {value})"
+                );
+            }
+        }
+    }
+    for value in func.values() {
+        assert_eq!(info.def(value), fresh_info.def(value), "{context}: def({value})");
+        assert_eq!(
+            info.uses().uses_of(value),
+            fresh_info.uses().uses_of(value),
+            "{context}: uses({value})"
+        );
+    }
+    assert_eq!(domtree.preorder(), fresh_dom.preorder(), "{context}: dom preorder");
+}
+
+/// Randomized mutation sequences: interleave instruction-only mutations
+/// (copy insertion) and CFG mutations (edge splitting) with their declared
+/// invalidation, and check after every step that the cache — including its
+/// recycled storage — answers exactly like a fresh computation.
+#[test]
+fn cached_analyses_survive_randomized_mutation_sequences() {
+    let mut rng = SmallRng::seed_from_u64(0xca5e);
+    // One cache reused across every function of the test: the strongest
+    // recycling workout (each new function starts with storage from the
+    // previous one).
+    let mut analyses = FunctionAnalyses::new();
+    for seed in 0..10u64 {
+        let (mut func, _) = generate_ssa_function(format!("mut{seed}"), &GenConfig::small(), seed);
+        analyses.invalidate_cfg();
+        assert_cache_matches_fresh(&func, &analyses, &format!("seed {seed}, fresh"));
+
+        for step in 0..6 {
+            let context = format!("seed {seed}, step {step}");
+            if rng.below(3) == 0 {
+                // CFG mutation: split a random edge.
+                let edges: Vec<(Block, Block)> = {
+                    let cfg = analyses.cfg(&func);
+                    cfg.edges().collect()
+                };
+                if edges.is_empty() {
+                    continue;
+                }
+                let (pred, succ) = edges[rng.below(edges.len())];
+                split_edge(&mut func, pred, succ);
+                analyses.invalidate_cfg();
+            } else {
+                // Instruction-only mutation: insert a copy of a value whose
+                // definition dominates the insertion point (the top of the
+                // defining block's body is always safe).
+                let info = LiveRangeInfo::compute(&func);
+                let candidates: Vec<(Block, usize, Value)> = func
+                    .values()
+                    .filter_map(|v| {
+                        let def = info.def(v)?;
+                        Some((def.block, def.pos + 1, v))
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let (block, pos, src) = candidates[rng.below(candidates.len())];
+                if pos > func.block_len(block).saturating_sub(1) {
+                    continue; // never insert after the terminator
+                }
+                let dst = func.new_value();
+                func.insert_inst(block, pos, InstData::Copy { dst, src });
+                analyses.invalidate_instructions();
+            }
+            assert_cache_matches_fresh(&func, &analyses, &context);
+        }
+    }
+}
+
+/// The end-to-end compute-count proof at the public-API level: running the
+/// full pipeline (SSA construction → copy propagation → DCE → CSSA check →
+/// translation → register allocation) over one shared cache never computes
+/// an analysis twice for the same (function, CFG version) — and never twice
+/// per instruction version for the instruction-dependent ones.
+#[test]
+fn full_pipeline_computes_each_analysis_at_most_once_per_version() {
+    for options in [OutOfSsaOptions::default(), OutOfSsaOptions::sreedhar_iii()] {
+        let mut pipeline = Pipeline::new(options).with_registers(8);
+        for seed in 0..10u64 {
+            let mut func = generate_function(format!("once{seed}"), &GenConfig::small(), seed);
+            let before = pipeline.counts();
+            pipeline.run_with(&mut func, |f| {
+                pin_call_conventions(f);
+            });
+            let after = pipeline.counts();
+            let cfg_versions = after.ir.cfg_versions - before.ir.cfg_versions + 1;
+            let inst_versions = after.inst_versions - before.inst_versions + 1;
+            for (name, delta, budget) in [
+                ("cfg", after.ir.cfg - before.ir.cfg, cfg_versions),
+                ("domtree", after.ir.domtree - before.ir.domtree, cfg_versions),
+                ("frontiers", after.ir.frontiers - before.ir.frontiers, cfg_versions),
+                ("loops", after.ir.loops - before.ir.loops, cfg_versions),
+                ("frequencies", after.ir.frequencies - before.ir.frequencies, cfg_versions),
+                ("fast_liveness", after.fast_liveness - before.fast_liveness, cfg_versions),
+                ("liveness_sets", after.liveness_sets - before.liveness_sets, inst_versions),
+                ("live_range_info", after.live_range_info - before.live_range_info, inst_versions),
+            ] {
+                assert!(
+                    delta <= budget,
+                    "seed {seed}: {name} computed {delta} times for {budget} versions"
+                );
+            }
+        }
+    }
+}
+
+/// Sanity anchor for the counters themselves: values of `v0.index()` and
+/// friends used above really walk every value.
+#[test]
+fn value_iteration_covers_every_index() {
+    let (func, _) = generate_ssa_function("iter", &GenConfig::small(), 1);
+    let indices: Vec<usize> = func.values().map(|v| v.index()).collect();
+    assert_eq!(indices, (0..func.num_values()).collect::<Vec<_>>());
+}

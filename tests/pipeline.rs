@@ -5,7 +5,7 @@ use out_of_ssa::cfggen::{
 };
 use out_of_ssa::destruct::{
     translate_corpus, translate_corpus_serial, translate_corpus_with, translate_out_of_ssa,
-    ClassCheck, InterferenceMode, OutOfSsaOptions,
+    translate_stream, ClassCheck, InterferenceMode, OutOfSsaOptions,
 };
 use out_of_ssa::interp::{same_behaviour, Interpreter};
 use out_of_ssa::ir::{verify_cfg, verify_ssa};
@@ -159,6 +159,28 @@ fn batch_corpus_translation_matches_serial_per_function() {
     let b = translate_corpus_with(&mut batch_two, &options, 2);
     assert_eq!(a.per_function, b.per_function);
     assert_eq!(batch_serial, batch_two);
+}
+
+#[test]
+fn streaming_engine_is_bit_identical_to_batch_on_the_full_corpus() {
+    // Acceptance bar of the streaming front end: on the scale-1.0 corpus —
+    // the same corpus the Figure 5/6 numbers are produced from — the
+    // streaming engine's output (functions and statistics) is bit-identical
+    // to `translate_corpus`, for every one of the seven Figure 5 variants.
+    let corpus = spec_like_corpus(1.0, true);
+    let functions: Vec<_> = corpus.iter().flat_map(|w| w.functions.iter().cloned()).collect();
+
+    for (name, options) in OutOfSsaOptions::figure5_variants() {
+        let mut batch = functions.clone();
+        let batch_stats = translate_corpus(&mut batch, &options);
+        // The streaming engine consumes an iterator: the input corpus is
+        // cloned lazily, one function at a time, never materialized for it.
+        let (streamed, stream_stats) = translate_stream(functions.iter().cloned(), &options);
+        assert_eq!(stream_stats.per_function, batch_stats.per_function, "{name}: stats differ");
+        for (a, b) in batch.iter().zip(&streamed) {
+            assert_eq!(a, b, "{name}: streamed function {} differs from batch", a.name);
+        }
+    }
 }
 
 #[test]
