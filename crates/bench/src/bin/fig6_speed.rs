@@ -7,8 +7,8 @@ use std::fmt::Write as _;
 
 use ossa_bench::alloc::allocation_count;
 use ossa_bench::{
-    corpus, format_normalized, run_variant_seed_style, run_variant_streaming, speed_report,
-    DEFAULT_SCALE,
+    corpus, format_normalized, quality_report, run_variant_seed_style, run_variant_streaming,
+    speed_report, DEFAULT_SCALE,
 };
 use ossa_destruct::{OutOfSsaOptions, PhaseSeconds};
 
@@ -106,6 +106,19 @@ fn main() {
     let PhaseSeconds { liveness, coalesce, sequentialize } = phase;
     println!("  batch serial phases     liveness {liveness:.4}s, coalesce {coalesce:.4}s, sequentialize {sequentialize:.4}s");
 
+    // Figure 5 static-copy counts per coalescing variant: the ROADMAP's
+    // quality check tracks the Sreedhar III vs Sharing ordering anomaly
+    // across PRs through these (deterministic, so they double as a cheap
+    // behaviour fingerprint in the committed baseline).
+    let static_copies: Vec<(&str, usize)> = quality_report(&corpus)
+        .into_iter()
+        .map(|row| (row.variant, row.copies.iter().sum::<usize>()))
+        .collect();
+    println!("\nFigure 5 static copies per variant (sum over corpus):");
+    for &(name, copies) in &static_copies {
+        println!("  {name:<14} {copies}");
+    }
+
     // Machine-readable trajectory.
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -119,6 +132,12 @@ fn main() {
             "    {{\"name\": \"{}\", \"seconds\": {:.6}}}{comma}",
             row.engine, total
         );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"figure5_static_copies\": [");
+    for (i, &(name, copies)) in static_copies.iter().enumerate() {
+        let comma = if i + 1 < static_copies.len() { "," } else { "" };
+        let _ = writeln!(json, "    {{\"name\": \"{name}\", \"copies\": {copies}}}{comma}");
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"seed_style_serial_seconds\": {seed_style:.6},");

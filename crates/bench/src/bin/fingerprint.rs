@@ -1,0 +1,45 @@
+//! Bit-identity fingerprint of the translated corpus.
+//!
+//! For every Figure 5 variant, translates the full corpus through the serial
+//! batch engine and prints an FNV-1a hash of the printed form of every
+//! translated function together with the behavioural counters (interference
+//! queries, remaining copies). Two builds producing the same fingerprints
+//! make exactly the same coalescing decisions on the whole corpus — the
+//! cheap way to prove a performance change is behaviour-preserving.
+//!
+//! Usage: `fingerprint [scale]` (default scale 1.0).
+
+use std::fmt::Write as _;
+
+use ossa_destruct::{translate_corpus_serial, OutOfSsaOptions};
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0);
+    let corpus = ossa_cfggen::spec_like_corpus(scale, true);
+    let functions: Vec<_> = corpus.iter().flat_map(|w| w.functions.iter().cloned()).collect();
+    println!("fingerprint over {} functions at scale {scale}", functions.len());
+
+    let mut text = String::new();
+    for (name, options) in OutOfSsaOptions::figure5_variants() {
+        let mut work = functions.clone();
+        let stats = translate_corpus_serial(&mut work, &options);
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for func in &work {
+            text.clear();
+            let _ = write!(text, "{}", func.display());
+            fnv1a(&mut hash, text.as_bytes());
+        }
+        let total = stats.total();
+        println!(
+            "{name:<14} hash {hash:016x}  queries {:>9}  copies {:>6}  coalesced {:>6}",
+            total.interference_queries, total.remaining_copies, total.moves_coalesced
+        );
+    }
+}

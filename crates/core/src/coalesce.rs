@@ -30,17 +30,21 @@ use ossa_ir::{DominatorTree, Function, InstData};
 use ossa_liveness::{footprint, BlockLiveness, FunctionAnalyses, IntersectionTest};
 
 use crate::congruence::{CongruenceClasses, EqualAncOut};
-use crate::insertion::{insert_phi_copies, isolate_pinned_values, CopyInsertion, InsertedMove};
-use crate::interference::{copy_related_universe, InterferenceGraph};
+use crate::insertion::{
+    insert_phi_copies_into, isolate_pinned_values, CopyInsertion, InsertedMove,
+};
+use crate::interference::{copy_related_universe_into, InterferenceGraph};
 use crate::parallel_copy::{sequentialize_function_with, SeqScratch};
 use crate::value::ValueTable;
 
 /// Reusable scratch buffers for repeated translations: the per-parallel-copy
 /// sequentialization state, the linear-check ancestor map, the congruence
-/// classes and the decision-phase snapshot maps. A corpus driver constructs
-/// one per worker and threads it through every function, so the per-copy
-/// windmill loop performs no hashing and the decision phase reuses its dense
-/// storage across functions instead of reallocating it.
+/// classes, the copy-insertion result, the decision-phase temporaries and
+/// the snapshot maps. A corpus driver constructs one per worker and threads
+/// it through every function, so the per-copy windmill loop performs no
+/// hashing and the whole decision phase reuses its dense storage across
+/// functions instead of reallocating it — in steady state the coalesce
+/// phase performs (almost) no heap allocation.
 #[derive(Debug, Default)]
 pub struct TranslateScratch {
     /// Sequentialization scratch (Algorithm 1 state).
@@ -54,6 +58,28 @@ pub struct TranslateScratch {
     decisions: Decisions,
     /// Parallel-copy destination locations of the virtualized processing.
     move_location: SecondaryMap<Value, Option<(Block, usize)>>,
+    /// Copy-insertion result and working storage (webs, moves, caches).
+    insertion: CopyInsertion,
+    /// The copy-related universe, its dedup set and def/use scratch.
+    universe: Vec<Value>,
+    universe_seen: ossa_ir::EntitySet<Value>,
+    universe_tmp: Vec<Value>,
+    /// `(register, value)` pairs of the pinned pre-coalescing scan.
+    pinned: Vec<(u32, Value)>,
+    /// One register group of pinned values, handed to `merge_group`.
+    group: Vec<Value>,
+    /// The affinity work list (φ moves, pinned-isolation moves, copies).
+    affinities: Vec<InsertedMove>,
+    /// Weight-ordered argument moves of one φ-web (virtualized processing).
+    arg_moves: Vec<InsertedMove>,
+    /// Destinations of φ-related moves, for the affinity filter.
+    phi_move_dsts: ossa_ir::EntitySet<Value>,
+    /// Sharing rule: `(value representative, universe index)` pairs.
+    grouped: Vec<(Value, u32)>,
+    /// Sharing rule: per-representative range into `grouped`.
+    range_of: SecondaryMap<Value, (u32, u32)>,
+    /// Deduplicated parallel-copy entries of the rewrite phase.
+    kept: Vec<KeptCopy>,
 }
 
 impl TranslateScratch {
@@ -434,14 +460,13 @@ pub fn translate_out_of_ssa_scratch(
 
     // Phase A: live-range splitting for renaming constraints, then Method I
     // copy insertion. Copy insertion may split edges (the br_dec corner
-    // case), so the CFG-level caches are invalidated afterwards.
-    let mut insertion = CopyInsertion::default();
+    // case), so the CFG-level caches are invalidated afterwards. The
+    // insertion result is scratch-owned and recycled: taken out by value
+    // here so `scratch` stays borrowable for `decide`, restored at the end.
+    let mut insertion = std::mem::take(&mut scratch.insertion);
+    insertion.reset();
     isolate_pinned_values(func, &mut insertion);
-    let phi_insertion = insert_phi_copies(func);
-    insertion.moves.extend(phi_insertion.moves.iter().copied());
-    insertion.webs = phi_insertion.webs;
-    insertion.edges_split = phi_insertion.edges_split;
-    insertion.values_created += phi_insertion.values_created;
+    insert_phi_copies_into(func, &mut insertion);
     stats.moves_inserted = insertion.moves.len();
     stats.edges_split = insertion.edges_split;
     if insertion.edges_split > 0 {
@@ -472,21 +497,26 @@ pub fn translate_out_of_ssa_scratch(
 
     // Phase B: analyses + coalescing decisions (no mutation of `func`). The
     // decisions land in the scratch-owned snapshot maps, whose storage is
-    // recycled across functions.
+    // recycled across functions. Like the insertion result, the universe is
+    // taken out of the scratch by value for the duration of `decide`.
     let phase_start = Instant::now();
+    let mut universe = std::mem::take(&mut scratch.universe);
+    let mut universe_seen = std::mem::take(&mut scratch.universe_seen);
+    let mut universe_tmp = std::mem::take(&mut scratch.universe_tmp);
     {
         let func = &*func;
         let domtree = analyses.domtree(func);
         let freqs = analyses.frequencies(func);
         let info = analyses.live_range_info(func);
-        let universe = copy_related_universe(func);
+        copy_related_universe_into(func, &mut universe, &mut universe_seen, &mut universe_tmp);
+        let universe = &universe[..];
 
         match options.interference {
             InterferenceMode::Graph | InterferenceMode::InterCheck => {
                 let liveness = analyses.liveness_sets(func);
                 let intersect = IntersectionTest::new(func, domtree, liveness, info);
                 let graph = (options.interference == InterferenceMode::Graph)
-                    .then(|| InterferenceGraph::build(func, &universe, &intersect, None));
+                    .then(|| InterferenceGraph::build(func, universe, &intersect, None));
                 let mut mem = MemoryStats {
                     liveness_ordered_bytes: footprint::liveness_ordered_sets_bytes(
                         liveness.total_entries(),
@@ -513,7 +543,7 @@ pub fn translate_out_of_ssa_scratch(
                     freqs,
                     &intersect,
                     graph.as_ref(),
-                    &universe,
+                    universe,
                     scratch,
                 );
             }
@@ -530,19 +560,23 @@ pub fn translate_out_of_ssa_scratch(
                 };
                 let intersect = IntersectionTest::new(func, domtree, &fast, info);
                 decide(
-                    func, options, &insertion, domtree, freqs, &intersect, None, &universe, scratch,
+                    func, options, &insertion, domtree, freqs, &intersect, None, universe, scratch,
                 );
             }
         }
     }
     stats.interference_queries = scratch.decisions.queries;
     stats.moves_coalesced = scratch.decisions.moves_coalesced;
+    scratch.universe = universe;
+    scratch.universe_seen = universe_seen;
+    scratch.universe_tmp = universe_tmp;
+    scratch.insertion = insertion;
 
     // Phase C: rewrite with the chosen classes, drop φs, sequentialize. These
     // are instruction-level mutations: the CFG caches (and the fast liveness
     // precomputation) stay valid, so the frequencies used below and by later
     // consumers are not recomputed.
-    rewrite(func, &scratch.decisions);
+    rewrite(func, &scratch.decisions, &mut scratch.kept);
     stats.phase_seconds.coalesce = phase_start.elapsed().as_secs_f64();
     let phase_start = Instant::now();
     if options.sequentialize {
@@ -594,7 +628,20 @@ fn decide<L: BlockLiveness>(
     // Split the scratch into its independent pieces; every map is brought
     // back to fresh-construction semantics for this function while keeping
     // its heap allocations from previous functions.
-    let TranslateScratch { equal_anc, classes, decisions, move_location, .. } = scratch;
+    let TranslateScratch {
+        equal_anc,
+        classes,
+        decisions,
+        move_location,
+        pinned,
+        group,
+        affinities,
+        arg_moves,
+        phi_move_dsts,
+        grouped,
+        range_of,
+        ..
+    } = scratch;
     let Decisions {
         class_rep,
         labels: out_labels,
@@ -612,31 +659,42 @@ fn decide<L: BlockLiveness>(
     let no_anc = EqualAncOut::new();
 
     // Pre-coalesce all values pinned to the same register into one labeled
-    // class (Section III-D).
-    let mut by_register: Vec<(u32, Vec<Value>)> = Vec::new();
+    // class (Section III-D). The `(register, value)` pairs are distinct, so
+    // the unstable sort is a deterministic total order that groups each
+    // register's values in value order — exactly the member order the
+    // per-register scan produced — and pinned groups of different registers
+    // are disjoint singleton classes at this point, so the register-sorted
+    // group order leaves every decision unchanged while replacing the scan
+    // that was quadratic in distinct pinned registers.
+    pinned.clear();
     for value in func.values() {
         if let Some(reg) = func.pinned_reg(value) {
-            match by_register.iter_mut().find(|(r, _)| *r == reg) {
-                Some((_, members)) => members.push(value),
-                None => by_register.push((reg, vec![value])),
-            }
+            pinned.push((reg, value));
         }
     }
-    for (_, members) in by_register {
-        classes.merge_group(&members);
+    pinned.sort_unstable();
+    let mut start = 0usize;
+    for end in 1..=pinned.len() {
+        if end == pinned.len() || pinned[end].0 != pinned[start].0 {
+            group.clear();
+            group.extend(pinned[start..end].iter().map(|&(_, v)| v));
+            classes.merge_group(group);
+            start = end;
+        }
     }
 
     let weight = |block: Block| if options.weighted { freqs.frequency(block) } else { 1.0 };
 
-    // φ-web handling.
-    let mut phi_move_set: Vec<InsertedMove> = Vec::new();
+    // φ-web handling. In eager mode the φ moves seed the affinity work list
+    // directly (the list the seed called `phi_move_set`).
+    affinities.clear();
     match options.phi_processing {
         PhiProcessing::Eager => {
             // Pre-coalesce the whole primed web (Lemma 1), then treat the φ
             // moves like any other affinity.
             for web in &insertion.webs {
                 classes.merge_group(&web.members);
-                phi_move_set.extend(web.moves.iter().copied());
+                affinities.extend(web.moves.iter().copied());
             }
         }
         PhiProcessing::Virtualized => {
@@ -651,15 +709,14 @@ fn decide<L: BlockLiveness>(
             for web in &insertion.webs {
                 let node = web.members[0];
                 let result_move = web.moves[0];
-                let mut arg_moves: Vec<InsertedMove> = web.moves[1..].to_vec();
+                arg_moves.clear();
+                arg_moves.extend_from_slice(&web.moves[1..]);
                 arg_moves.sort_by(|a, b| {
                     weight(b.block)
                         .partial_cmp(&weight(a.block))
                         .unwrap_or(std::cmp::Ordering::Equal)
                 });
-                let ordered: Vec<InsertedMove> =
-                    arg_moves.iter().copied().chain(std::iter::once(result_move)).collect();
-                for m in &ordered {
+                for m in arg_moves.iter().chain(std::iter::once(&result_move)) {
                     // The primed value of this move (its dst for argument
                     // copies, its src for the result copy).
                     let (primed, original) =
@@ -700,13 +757,12 @@ fn decide<L: BlockLiveness>(
     // and pre-existing copies, ordered by decreasing weight. φ moves are
     // recognized by destination (every inserted move defines a distinct SSA
     // value), replacing a webs×moves scan that was quadratic in φ count.
-    let mut phi_move_dsts: ossa_ir::EntitySet<Value> = ossa_ir::EntitySet::new();
+    phi_move_dsts.reset();
     for web in &insertion.webs {
         for m in &web.moves {
             phi_move_dsts.insert(m.dst);
         }
     }
-    let mut affinities: Vec<InsertedMove> = phi_move_set;
     for m in &insertion.moves {
         if !phi_move_dsts.contains(m.dst) {
             affinities.push(*m);
@@ -723,7 +779,7 @@ fn decide<L: BlockLiveness>(
     affinities.sort_by(|a, b| {
         weight(b.block).partial_cmp(&weight(a.block)).unwrap_or(std::cmp::Ordering::Equal)
     });
-    for m in affinities {
+    for &m in affinities.iter() {
         if classes.same_class(m.dst, m.src) {
             moves_coalesced += 1;
             continue;
@@ -745,11 +801,14 @@ fn decide<L: BlockLiveness>(
         // sorted array plus per-representative ranges instead of one `Vec`
         // per representative. The sort is stable in universe order within a
         // group (the seed's push order), which matters: candidate order is
-        // decision-relevant.
-        let mut grouped: Vec<(Value, u32)> =
-            universe.iter().enumerate().map(|(i, &v)| (values.value_of(v), i as u32)).collect();
+        // decision-relevant. `range_of` is recycled without clearing: every
+        // key it is queried with below is `values.value_of(a)` for a
+        // universe member `a`, and every such representative gets its range
+        // written by this loop first — stale entries of a previous function
+        // are never read.
+        grouped.clear();
+        grouped.extend(universe.iter().enumerate().map(|(i, &v)| (values.value_of(v), i as u32)));
         grouped.sort_unstable();
-        let mut range_of: SecondaryMap<Value, (u32, u32)> = SecondaryMap::new();
         range_of.resize(func.num_values());
         let mut start = 0usize;
         for end in 1..=grouped.len() {
@@ -821,7 +880,7 @@ fn decide<L: BlockLiveness>(
             }
         }
     }
-    used.clear();
+    used.reset();
     for value in func.values() {
         if !intersect.info().uses().uses_of(value).is_empty() {
             used.insert(value);
@@ -838,6 +897,7 @@ fn parallel_copy_locations_into(
     locations: &mut SecondaryMap<Value, Option<(Block, usize)>>,
     func: &Function,
 ) {
+    locations.truncate(func.num_values());
     for slot in locations.values_mut() {
         *slot = None;
     }
@@ -960,6 +1020,7 @@ fn classes_interfere<L: BlockLiveness>(
 }
 
 /// One entry of the parallel-copy deduplication scratch of [`rewrite`].
+#[derive(Debug)]
 struct KeptCopy {
     pair: ossa_ir::CopyPair,
     orig_src: Value,
@@ -972,10 +1033,9 @@ struct KeptCopy {
 /// (removals shift the remainder of the block into place) so no block or
 /// instruction list is snapshotted, and the parallel-copy storage is edited
 /// in place.
-fn rewrite(func: &mut Function, decisions: &Decisions) {
+fn rewrite(func: &mut Function, decisions: &Decisions, kept: &mut Vec<KeptCopy>) {
     let rep = |v: Value| (*decisions.class_rep.get(v)).unwrap_or(v);
 
-    let mut kept: Vec<KeptCopy> = Vec::new();
     for bi in 0..func.num_blocks() {
         let block = ossa_ir::Block::from_index(bi);
         let mut pos = 0;

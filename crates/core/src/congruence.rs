@@ -59,9 +59,10 @@ pub struct DefOrderKey {
 pub struct EqualAncOut {
     map: SecondaryMap<Value, Option<Value>>,
     touched: Vec<Value>,
-    /// Reusable dominance stack for the linear walk, so repeated queries do
-    /// not allocate.
-    dom: Vec<Value>,
+    /// Reusable dominance stack for the linear walk (`(value, came from the
+    /// red list)`), so repeated queries neither allocate nor re-derive list
+    /// membership by scanning.
+    dom: Vec<(Value, bool)>,
 }
 
 impl EqualAncOut {
@@ -114,6 +115,13 @@ pub struct CongruenceClasses {
     /// Identity table `pool[i] == vᵢ`, the backing storage for the implicit
     /// singleton member lists.
     pool: Vec<Value>,
+    /// Free list of member buffers: every merge retires up to two member
+    /// lists and produces one, so recycling them through this pool makes the
+    /// merge path allocation-free once the buffers have grown to the sizes a
+    /// corpus needs. Buffers are pushed back empty, capacity intact.
+    free: Vec<Vec<Value>>,
+    /// Scratch root list of [`CongruenceClasses::merge_group`].
+    group_roots: Vec<Value>,
     /// Register label of each class root, if any member is pinned.
     labels: SecondaryMap<Value, Option<u32>>,
     /// Definition-order key of every value.
@@ -144,9 +152,28 @@ impl CongruenceClasses {
     ///
     /// [`TranslateScratch`]: crate::coalesce::TranslateScratch
     pub fn reset(&mut self, func: &Function, domtree: &DominatorTree, info: &LiveRangeInfo) {
-        // Restore default-equivalent state on every materialized slot
-        // (entries of a previous, possibly larger, function included)
-        // without dropping the per-slot heap allocations.
+        let num_values = func.num_values();
+        // Reclaim every member buffer into the free list in one pass (the
+        // buffers cycle through the pool, so no slot keeps one across
+        // functions), then truncate every map: the reset walks below touch
+        // only the current function's slots, so the per-function reset cost
+        // is O(current function), not O(largest function ever seen).
+        for i in 0..self.members.len() {
+            let slot = &mut self.members[Value::from_index(i)];
+            if slot.capacity() > 0 {
+                slot.clear();
+                self.free.push(std::mem::take(slot));
+            }
+        }
+        self.parent.truncate(num_values);
+        self.rank.truncate(num_values);
+        self.canon.truncate(num_values);
+        self.members.truncate(num_values);
+        self.labels.truncate(num_values);
+        self.keys.truncate(num_values);
+        self.equal_anc_in.truncate(num_values);
+        // Restore default-equivalent state on every surviving slot without
+        // dropping the per-slot heap allocations.
         for cell in self.parent.values_mut() {
             cell.set(None);
         }
@@ -155,9 +182,6 @@ impl CongruenceClasses {
         }
         for canon in self.canon.values_mut() {
             *canon = None;
-        }
-        for list in self.members.values_mut() {
-            list.clear();
         }
         for label in self.labels.values_mut() {
             *label = None;
@@ -170,7 +194,6 @@ impl CongruenceClasses {
         }
         self.queries = 0;
 
-        let num_values = func.num_values();
         self.parent.resize(num_values);
         self.rank.resize(num_values);
         self.canon.resize(num_values);
@@ -313,7 +336,8 @@ impl CongruenceClasses {
         let label = self.labels[rb].or(self.labels[ra]);
         let list_a = std::mem::take(&mut self.members[ra]);
         let list_b = std::mem::take(&mut self.members[rb]);
-        let merged = {
+        let mut merged = self.free.pop().unwrap_or_default();
+        {
             let slice_a: &[Value] = if list_a.is_empty() {
                 std::slice::from_ref(&self.pool[ra.index()])
             } else {
@@ -324,8 +348,15 @@ impl CongruenceClasses {
             } else {
                 &list_b
             };
-            self.merge_sorted(slice_a, slice_b)
-        };
+            self.merge_sorted_into(slice_a, slice_b, &mut merged);
+        }
+        // The retired member lists go back to the pool for the next merge.
+        if list_a.capacity() > 0 {
+            self.free.push(list_a);
+        }
+        if list_b.capacity() > 0 {
+            self.free.push(list_b);
+        }
 
         // equal_anc_in for the combined class: the later (in ≺ order) of the
         // in-class and out-of-class equal intersecting ancestors. Skipped for
@@ -357,7 +388,9 @@ impl CongruenceClasses {
     pub fn merge_group(&mut self, group: &[Value]) {
         let Some((&first, rest)) = group.split_first() else { return };
         let ra = self.find(first);
-        let mut roots = vec![ra];
+        let mut roots = std::mem::take(&mut self.group_roots);
+        roots.clear();
+        roots.push(ra);
         for &value in rest {
             let r = self.find(value);
             if !roots.contains(&r) {
@@ -365,18 +398,31 @@ impl CongruenceClasses {
             }
         }
         if roots.len() == 1 {
+            self.group_roots = roots;
             return;
         }
         let canonical = self.canon.get(ra).unwrap_or(ra);
-        let mut merged = Vec::new();
+        // Buffers in the free list keep their stale contents (only their
+        // capacity matters); every consumer clears before filling.
+        let mut merged = self.free.pop().unwrap_or_default();
+        merged.clear();
         for &root in &roots {
             if self.members[root].is_empty() {
                 merged.push(root);
             } else {
                 merged.append(&mut self.members[root]);
+                // `append` drained the list but kept its buffer; reclaim it.
+                let retired = std::mem::take(&mut self.members[root]);
+                if retired.capacity() > 0 {
+                    self.free.push(retired);
+                }
             }
         }
-        merged.sort_by_key(|&v| self.keys[v]);
+        // The keys are total (every defined value carries a unique
+        // `value_index` tie-breaker), so the unstable sort is deterministic
+        // and orders exactly like the seed's stable sort; undefined values
+        // (no key) fall back to the value index explicitly.
+        merged.sort_unstable_by_key(|&v| (self.keys[v], v.index()));
         // Link everything under the highest-rank root (ties resolved to the
         // first, keeping the choice deterministic).
         let mut root = roots[0];
@@ -407,7 +453,11 @@ impl CongruenceClasses {
         }
         self.labels[root] = label;
         self.canon[root] = (canonical != root).then_some(canonical);
-        self.members[root] = merged;
+        let displaced = std::mem::replace(&mut self.members[root], merged);
+        if displaced.capacity() > 0 {
+            self.free.push(displaced);
+        }
+        self.group_roots = roots;
     }
 
     fn max_by_key(&self, a: Option<Value>, b: Option<Value>) -> Option<Value> {
@@ -423,8 +473,11 @@ impl CongruenceClasses {
         }
     }
 
-    fn merge_sorted(&self, a: &[Value], b: &[Value]) -> Vec<Value> {
-        let mut out = Vec::with_capacity(a.len() + b.len());
+    /// Merges two definition-ordered member lists into `out` (a recycled
+    /// buffer from the free list; cleared here, filled sorted).
+    fn merge_sorted_into(&self, a: &[Value], b: &[Value], out: &mut Vec<Value>) {
+        out.clear();
+        out.reserve(a.len() + b.len());
         let (mut i, mut j) = (0, 0);
         while i < a.len() && j < b.len() {
             if self.keys[a[i]] <= self.keys[b[j]] {
@@ -437,7 +490,6 @@ impl CongruenceClasses {
         }
         out.extend_from_slice(&a[i..]);
         out.extend_from_slice(&b[j..]);
-        out
     }
 
     /// Reference quadratic interference test between the classes of `a` and
@@ -501,53 +553,55 @@ impl CongruenceClasses {
         // read-only on `self` (the query counter is folded in at the end),
         // and the dominance stack comes from the reusable scratch.
         let queries = std::cell::Cell::new(0u64);
-        let mut dom: Vec<Value> = std::mem::take(&mut equal_anc_out.dom);
+        let mut dom: Vec<(Value, bool)> = std::mem::take(&mut equal_anc_out.dom);
         dom.clear();
         let interference_found = {
             let red = self.members(a);
             let blue = self.members(b);
-            let in_red = |v: Value| red.contains(&v);
 
             // chain_intersect: does x intersect y or one of y's equal
-            // intersecting ancestors (walking equal_anc chains)?
-            let chain_intersect = |x: Value,
-                                   mut y_opt: Option<Value>,
-                                   anc: &dyn Fn(Value) -> Option<Value>|
-             -> bool {
+            // intersecting ancestors (walking the in-class equal_anc chain)?
+            // Statically dispatched — this is the innermost loop of the
+            // default engine's class-interference check.
+            let equal_anc_in = &self.equal_anc_in;
+            let chain_intersect = |x: Value, mut y_opt: Option<Value>| -> bool {
                 while let Some(y) = y_opt {
                     queries.set(queries.get() + 1);
                     if intersect.intersect(x, y) {
                         return true;
                     }
-                    y_opt = anc(y);
+                    y_opt = equal_anc_in[y];
                 }
                 false
             };
 
-            // Merged walk in ≺ order with a dominance stack.
+            // Merged walk in ≺ order with a dominance stack. The walk knows
+            // which list every value was popped from, so list membership
+            // rides along on the stack instead of being re-derived by a
+            // member-list scan per step (which was quadratic in class size).
             let (mut ir, mut ib) = (0usize, 0usize);
             let mut interference_found = false;
             'walk: while ir < red.len() || ib < blue.len() {
-                let current = if ir == red.len() {
+                let (current, current_in_red) = if ir == red.len() {
                     let v = blue[ib];
                     ib += 1;
-                    v
+                    (v, false)
                 } else if ib == blue.len() {
                     let v = red[ir];
                     ir += 1;
-                    v
+                    (v, true)
                 } else if self.keys[blue[ib]] < self.keys[red[ir]] {
                     let v = blue[ib];
                     ib += 1;
-                    v
+                    (v, false)
                 } else {
                     let v = red[ir];
                     ir += 1;
-                    v
+                    (v, true)
                 };
 
                 // Pop the stack until the top dominates `current`.
-                while let Some(&top) = dom.last() {
+                while let Some(&(top, _)) = dom.last() {
                     if intersect.def_dominates(top, current) {
                         break;
                     }
@@ -555,10 +609,10 @@ impl CongruenceClasses {
                 }
                 let parent = dom.last().copied();
 
-                if let Some(parent) = parent {
+                if let Some((parent, parent_in_red)) = parent {
                     // interference(current, parent)
                     equal_anc_out.set(current, None);
-                    let same_set = in_red(current) == in_red(parent);
+                    let same_set = current_in_red == parent_in_red;
                     let mut b_chain: Option<Value> = Some(parent);
                     if same_set {
                         b_chain = equal_anc_out.get(parent);
@@ -568,9 +622,8 @@ impl CongruenceClasses {
                         (None, _) => false,
                         (_, None) => false,
                     };
-                    let anc_in = |v: Value| self.equal_anc_in[v];
                     if values.is_none() || !same_value {
-                        if chain_intersect(current, b_chain, &anc_in) {
+                        if chain_intersect(current, b_chain) {
                             interference_found = true;
                             break 'walk;
                         }
@@ -590,7 +643,7 @@ impl CongruenceClasses {
                 } else {
                     equal_anc_out.set(current, None);
                 }
-                dom.push(current);
+                dom.push((current, current_in_red));
             }
             interference_found
         };
@@ -898,6 +951,59 @@ mod tests {
             recycled.merge(x, y, &scratch_a);
             fresh.merge(x, y, &scratch_b);
             assert_eq!(recycled.members(x), fresh.members(x));
+        }
+    }
+
+    #[test]
+    fn pooled_merges_keep_member_lists_sorted_and_representatives_stable() {
+        // The congruence-pool invariant: with member buffers cycling through
+        // the free list (merges retire two lists and recycle one, resets
+        // reclaim everything), every observable stays exactly as a fresh
+        // instance computes it — member lists sorted by definition order
+        // with no duplicates, `representative()` a stable member of the
+        // class — across several rounds of interleaved merge/merge_group
+        // calls on one recycled instance.
+        let (f, vals) = copies_function();
+        let fx = Fixture::new(f);
+        let none = EqualAncOut::new();
+        let mut recycled = fx.classes();
+        let [a, b1, c1, other, s, t, u] = vals[..] else { panic!() };
+        let rounds: [&[(Value, Value)]; 3] = [
+            &[(a, b1), (c1, other), (a, c1), (s, t)],
+            &[(u, t), (b1, other), (s, a)],
+            &[(t, c1), (a, u)],
+        ];
+        for (round, merges) in rounds.iter().enumerate() {
+            recycled.reset(&fx.func, &fx.domtree, &fx.info);
+            let mut fresh = fx.classes();
+            // Interleave a group merge so the pool sees both retirement
+            // paths (pairwise merge and k-way group merge).
+            recycled.merge_group(&[s, u]);
+            fresh.merge_group(&[s, u]);
+            for &(x, y) in merges.iter() {
+                recycled.merge(x, y, &none);
+                fresh.merge(x, y, &none);
+                for &v in &vals {
+                    let members = recycled.members(v);
+                    assert_eq!(
+                        members,
+                        fresh.members(v),
+                        "round {round}: pooled members of {v} diverged from fresh"
+                    );
+                    // Sorted by definition order, strictly (no duplicates):
+                    // the keys embed the value index, so strict inequality
+                    // is both orderedness and dedup.
+                    for w in members.windows(2) {
+                        assert!(
+                            recycled.key(w[0]) < recycled.key(w[1]),
+                            "round {round}: members of {v} not strictly def-ordered: {members:?}"
+                        );
+                    }
+                    let rep = recycled.representative(v);
+                    assert_eq!(rep, fresh.representative(v), "round {round}: representative");
+                    assert!(members.contains(&rep), "round {round}: rep {rep} not a member");
+                }
+            }
         }
     }
 

@@ -28,7 +28,7 @@ use std::collections::HashMap;
 
 use ossa_ir::entity::{Block, Inst, SecondaryMap, Value};
 use ossa_ir::instruction::callconv;
-use ossa_ir::{CopyPair, Function, InstData};
+use ossa_ir::{CopyPair, DefSite, Function, InstData, PhiArg};
 use ossa_ssa::split_edge;
 
 /// One φ-web produced by copy insertion: the primed values to pre-coalesce.
@@ -54,7 +54,11 @@ pub struct InsertedMove {
     pub block: Block,
 }
 
-/// Result of copy insertion.
+/// Result of copy insertion. The struct also owns the recycled working
+/// storage of [`insert_phi_copies_into`] — retired φ-web buffers and the
+/// per-run caches — so a corpus driver that keeps one `CopyInsertion` in its
+/// scratch ([`crate::TranslateScratch`]) inserts copies for function after
+/// function without reallocating the web and move vectors.
 #[derive(Clone, Debug, Default)]
 pub struct CopyInsertion {
     /// φ-webs (one per φ-function).
@@ -65,11 +69,56 @@ pub struct CopyInsertion {
     pub edges_split: usize,
     /// Number of fresh values created.
     pub values_created: usize,
+    /// Retired φ-webs whose member/move buffers the next run reuses.
+    spare_webs: Vec<PhiWeb>,
+    /// Per-run working storage of [`insert_phi_copies_into`].
+    scratch: InsertionScratch,
+}
+
+/// Recycled per-run caches and temporaries of [`insert_phi_copies_into`]
+/// and [`isolate_pinned_values`].
+#[derive(Clone, Debug, Default)]
+struct InsertionScratch {
+    defs: SecondaryMap<Value, Option<DefSite>>,
+    pred_pcs: ParallelCopyCache,
+    entry_pcs: ParallelCopyCache,
+    split_edges: HashMap<(Block, Block), Block>,
+    preds_split: Vec<Block>,
+    phis: Vec<Inst>,
+    new_args: Vec<PhiArg>,
+    iso_uses: Vec<(usize, Value, u32)>,
+    iso_defs: Vec<Value>,
+    iso_rewrites: Vec<(usize, Value)>,
+    iso_replacement: HashMap<Value, Value>,
+    defs_tmp: Vec<Value>,
 }
 
 impl CopyInsertion {
+    /// Clears the result for a new function, retiring the φ-web buffers into
+    /// the spare pool so the next run reuses them.
+    pub fn reset(&mut self) {
+        for mut web in self.webs.drain(..) {
+            web.members.clear();
+            web.moves.clear();
+            self.spare_webs.push(web);
+        }
+        self.moves.clear();
+        self.edges_split = 0;
+        self.values_created = 0;
+    }
+
     fn record_move(&mut self, dst: Value, src: Value, block: Block) {
         self.moves.push(InsertedMove { dst, src, block });
+    }
+
+    fn take_web(&mut self, block: Block) -> PhiWeb {
+        match self.spare_webs.pop() {
+            Some(mut web) => {
+                web.block = block;
+                web
+            }
+            None => PhiWeb { members: Vec::new(), block, moves: Vec::new() },
+        }
     }
 }
 
@@ -112,45 +161,70 @@ fn push_move(func: &mut Function, pc: Inst, dst: Value, src: Value) {
 /// and the inserted moves.
 pub fn insert_phi_copies(func: &mut Function) -> CopyInsertion {
     let mut result = CopyInsertion::default();
-    let defs = func.def_sites();
-    let mut pred_pcs = ParallelCopyCache::new();
-    let mut entry_pcs = ParallelCopyCache::new();
-    // Edges already split: (pred, block) -> middle block.
-    let mut split_edges: HashMap<(Block, Block), Block> = HashMap::new();
+    insert_phi_copies_into(func, &mut result);
+    result
+}
 
-    let blocks: Vec<Block> = func.blocks().collect();
-    for block in blocks {
-        let phis = func.phis(block);
-        if phis.is_empty() {
+/// Like [`insert_phi_copies`], appending the webs and moves to a
+/// caller-owned (and typically recycled) [`CopyInsertion`]. Pinned-isolation
+/// moves already recorded in `result` are kept; the φ moves follow them.
+pub fn insert_phi_copies_into(func: &mut Function, result: &mut CopyInsertion) {
+    // Work on the scratch by value so `result` stays freely borrowable for
+    // the web/move recording below; restored before returning.
+    let mut scratch = std::mem::take(&mut result.scratch);
+    func.def_sites_into(&mut scratch.defs, &mut scratch.defs_tmp);
+    scratch.pred_pcs.truncate(0);
+    scratch.entry_pcs.truncate(0);
+    scratch.split_edges.clear();
+
+    // Edge splitting appends blocks; only the blocks that exist now can
+    // carry φs, so a plain index loop visits exactly the original layout.
+    let num_blocks = func.num_blocks();
+    for bi in 0..num_blocks {
+        let block = Block::from_index(bi);
+        scratch.phis.clear();
+        scratch.phis.extend(
+            func.block_insts(block).iter().copied().take_while(|&inst| func.inst(inst).is_phi()),
+        );
+        if scratch.phis.is_empty() {
             continue;
         }
 
         // Split, once per predecessor, the edges whose φ arguments are
         // defined by the predecessor's terminator (the br_dec case).
-        let mut preds_needing_split: Vec<Block> = Vec::new();
-        for &phi in &phis {
+        scratch.preds_split.clear();
+        for &phi in &scratch.phis {
             let Some(args) = func.inst(phi).phi_args() else { continue };
             for arg in args {
-                if let (Some(site), Some(term)) = (defs[arg.value], func.terminator(arg.block)) {
-                    if site.inst == term && !preds_needing_split.contains(&arg.block) {
-                        preds_needing_split.push(arg.block);
+                if let (Some(site), Some(term)) =
+                    (scratch.defs[arg.value], func.terminator(arg.block))
+                {
+                    if site.inst == term && !scratch.preds_split.contains(&arg.block) {
+                        scratch.preds_split.push(arg.block);
                     }
                 }
             }
         }
-        for pred in preds_needing_split {
-            if let std::collections::hash_map::Entry::Vacant(e) = split_edges.entry((pred, block)) {
+        for i in 0..scratch.preds_split.len() {
+            let pred = scratch.preds_split[i];
+            if let std::collections::hash_map::Entry::Vacant(e) =
+                scratch.split_edges.entry((pred, block))
+            {
                 let middle = split_edge(func, pred, block);
                 e.insert(middle);
                 result.edges_split += 1;
             }
         }
 
-        let entry_pc = entry_parallel_copy(func, block, &mut entry_pcs);
+        let entry_pc = entry_parallel_copy(func, block, &mut scratch.entry_pcs);
 
-        for phi in phis {
-            let InstData::Phi { dst, args } = func.inst(phi).clone() else { continue };
-            let mut web = PhiWeb { members: Vec::new(), block, moves: Vec::new() };
+        for &phi in &scratch.phis {
+            // Read the φ shape without cloning its argument vector.
+            let (dst, num_args) = {
+                let InstData::Phi { dst, args } = func.inst(phi) else { continue };
+                (*dst, args.len())
+            };
+            let mut web = result.take_web(block);
 
             // Result copy: a0 = a0' after the φ group; the φ now defines a0'.
             let primed_dst = func.new_value();
@@ -160,26 +234,38 @@ pub fn insert_phi_copies(func: &mut Function) -> CopyInsertion {
             web.moves.push(InsertedMove { dst, src: primed_dst, block });
             web.members.push(primed_dst);
 
-            // Argument copies: ai' = ai at the end of each predecessor.
-            let mut new_args = Vec::with_capacity(args.len());
-            for arg in &args {
+            // Argument copies: ai' = ai at the end of each predecessor. The
+            // φ's own argument list is untouched until the rewrite below, so
+            // reading one argument per iteration is sound while the
+            // surrounding code mutates other instructions.
+            scratch.new_args.clear();
+            for i in 0..num_args {
+                let arg = {
+                    let InstData::Phi { args, .. } = func.inst(phi) else { unreachable!() };
+                    args[i]
+                };
                 let primed = func.new_value();
                 result.values_created += 1;
-                let copy_block = *split_edges.get(&(arg.block, block)).unwrap_or(&arg.block);
-                let pc = pred_parallel_copy(func, copy_block, &mut pred_pcs);
+                let copy_block =
+                    *scratch.split_edges.get(&(arg.block, block)).unwrap_or(&arg.block);
+                let pc = pred_parallel_copy(func, copy_block, &mut scratch.pred_pcs);
                 push_move(func, pc, primed, arg.value);
                 result.record_move(primed, arg.value, copy_block);
                 web.moves.push(InsertedMove { dst: primed, src: arg.value, block: copy_block });
                 web.members.push(primed);
-                new_args.push(ossa_ir::PhiArg { block: copy_block, value: primed });
+                scratch.new_args.push(PhiArg { block: copy_block, value: primed });
             }
 
-            // Rewrite the φ in place.
-            *func.inst_mut(phi) = InstData::Phi { dst: primed_dst, args: new_args };
+            // Rewrite the φ in place, reusing its argument storage.
+            if let InstData::Phi { dst, args } = func.inst_mut(phi) {
+                *dst = primed_dst;
+                args.clear();
+                args.extend_from_slice(&scratch.new_args);
+            }
             result.webs.push(web);
         }
     }
-    result
+    result.scratch = scratch;
 }
 
 /// Splits the live ranges of pinned values so that the pinned value spans
@@ -187,17 +273,20 @@ pub fn insert_phi_copies(func: &mut Function) -> CopyInsertion {
 /// renaming constraints. Returns the inserted moves (already recorded as
 /// affinities) appended to `out`.
 pub fn isolate_pinned_values(func: &mut Function, out: &mut CopyInsertion) {
-    let blocks: Vec<Block> = func.blocks().collect();
-    for block in blocks {
+    // Work on the scratch by value so `out` stays freely borrowable for the
+    // move recording below; restored before returning.
+    let mut scratch = std::mem::take(&mut out.scratch);
+    for bi in 0..func.num_blocks() {
+        let block = Block::from_index(bi);
         let mut pos = 0;
         while pos < func.block_len(block) {
             let inst = func.block_insts(block)[pos];
-            let data = func.inst(inst).clone();
             // Only calls are constraining instructions in this model
             // (calling conventions / dedicated registers); a pinned value is
             // isolated where the constraint applies, not at every definition
-            // or use.
-            if !matches!(data, InstData::Call { .. }) {
+            // or use. Checked up front so the hot path never clones φ or
+            // parallel-copy argument vectors.
+            if !matches!(func.inst(inst), InstData::Call { .. }) {
                 pos += 1;
                 continue;
             }
@@ -213,20 +302,27 @@ pub fn isolate_pinned_values(func: &mut Function, out: &mut CopyInsertion) {
             // pinned value in a position past the convention carries no
             // constraint at this site and keeps its pin until its own
             // pinning site is reached.
-            let pinned_uses: Vec<(usize, Value, u32)> = {
-                let mut isolated = Vec::new();
-                if let InstData::Call { args, .. } = &data {
+            scratch.iso_uses.clear();
+            scratch.iso_defs.clear();
+            scratch.defs_tmp.clear();
+            {
+                let data = func.inst(inst);
+                if let InstData::Call { args, .. } = data {
                     for (i, &u) in args.iter().take(callconv::NUM_ARG_REGS).enumerate() {
                         if func.pinned_reg(u).is_some() {
-                            isolated.push((i, u, callconv::arg_reg(i)));
+                            scratch.iso_uses.push((i, u, callconv::arg_reg(i)));
                         }
                     }
                 }
-                isolated
-            };
-            let pinned_defs: Vec<Value> =
-                data.defs().into_iter().filter(|&d| func.pinned_reg(d).is_some()).collect();
-            if pinned_uses.is_empty() && pinned_defs.is_empty() {
+                data.collect_defs(&mut scratch.defs_tmp);
+            }
+            for i in 0..scratch.defs_tmp.len() {
+                let d = scratch.defs_tmp[i];
+                if func.pinned_reg(d).is_some() {
+                    scratch.iso_defs.push(d);
+                }
+            }
+            if scratch.iso_uses.is_empty() && scratch.iso_defs.is_empty() {
                 pos += 1;
                 continue;
             }
@@ -234,26 +330,26 @@ pub fn isolate_pinned_values(func: &mut Function, out: &mut CopyInsertion) {
             // Clone each covered argument position into a short-lived pinned
             // value defined by a parallel copy right before the instruction,
             // rewriting that position (and only it) to the clone.
-            if !pinned_uses.is_empty() {
-                let mut copies = Vec::new();
-                let mut rewrites: Vec<(usize, Value)> = Vec::new();
-                for &(arg_index, u, reg) in &pinned_uses {
+            if !scratch.iso_uses.is_empty() {
+                let mut copies = Vec::with_capacity(scratch.iso_uses.len());
+                scratch.iso_rewrites.clear();
+                for &(arg_index, u, reg) in &scratch.iso_uses {
                     let clone = func.new_value();
                     func.pin_value(clone, reg);
                     out.values_created += 1;
                     copies.push(CopyPair { dst: clone, src: u });
                     out.record_move(clone, u, block);
-                    rewrites.push((arg_index, clone));
+                    scratch.iso_rewrites.push((arg_index, clone));
                 }
                 func.insert_inst(block, pos, InstData::ParallelCopy { copies });
                 pos += 1; // the constraining instruction moved one slot down
                 let inst = func.block_insts(block)[pos];
                 if let InstData::Call { args, .. } = func.inst_mut(inst) {
-                    for &(arg_index, clone) in &rewrites {
+                    for &(arg_index, clone) in &scratch.iso_rewrites {
                         args[arg_index] = clone;
                     }
                 }
-                for &(_, u, _) in &pinned_uses {
+                for &(_, u, _) in &scratch.iso_uses {
                     unpin(func, u);
                 }
             }
@@ -262,22 +358,23 @@ pub fn isolate_pinned_values(func: &mut Function, out: &mut CopyInsertion) {
             // copied back right after the instruction. Terminators cannot be
             // followed by a copy in the same block, so their definitions
             // (only `br_dec` counters) keep their pin untouched.
-            if !pinned_defs.is_empty() && !data.is_terminator() {
+            if !scratch.iso_defs.is_empty() && !func.inst(inst).is_terminator() {
                 let inst = func.block_insts(block)[pos];
-                let mut copies = Vec::new();
-                let mut replacement: HashMap<Value, Value> = HashMap::new();
-                for &d in &pinned_defs {
+                let mut copies = Vec::with_capacity(scratch.iso_defs.len());
+                scratch.iso_replacement.clear();
+                for &d in &scratch.iso_defs {
                     let reg = func.pinned_reg(d).expect("pinned");
                     let clone = func.new_value();
                     func.pin_value(clone, reg);
                     out.values_created += 1;
                     copies.push(CopyPair { dst: d, src: clone });
                     out.record_move(d, clone, block);
-                    replacement.insert(d, clone);
+                    scratch.iso_replacement.insert(d, clone);
                 }
+                let replacement = &scratch.iso_replacement;
                 func.inst_mut(inst).map_defs(|v| replacement.get(&v).copied().unwrap_or(v));
                 func.insert_inst(block, pos + 1, InstData::ParallelCopy { copies });
-                for &d in &pinned_defs {
+                for &d in &scratch.iso_defs {
                     unpin(func, d);
                 }
                 pos += 1;
@@ -285,6 +382,7 @@ pub fn isolate_pinned_values(func: &mut Function, out: &mut CopyInsertion) {
             pos += 1;
         }
     }
+    out.scratch = scratch;
 }
 
 fn unpin(func: &mut Function, value: Value) {

@@ -155,34 +155,45 @@ impl InterferenceGraph {
 /// or parallel), i.e. the values the coalescer may actually merge.
 pub fn copy_related_universe(func: &Function) -> Vec<Value> {
     let mut universe = Vec::new();
-    let mut seen = vec![false; func.num_values()];
-    let push = |v: Value, seen: &mut Vec<bool>, universe: &mut Vec<Value>| {
-        if !seen[v.index()] {
-            seen[v.index()] = true;
-            universe.push(v);
-        }
-    };
-    let mut scratch: Vec<Value> = Vec::new();
+    let mut seen = ossa_ir::EntitySet::new();
+    let mut scratch = Vec::new();
+    copy_related_universe_into(func, &mut universe, &mut seen, &mut scratch);
+    universe
+}
+
+/// Like [`copy_related_universe`], collecting into recycled buffers: the
+/// output vector, the dedup bit-set and the def/use scratch keep their
+/// storage across functions when threaded through a corpus driver's
+/// scratch.
+pub fn copy_related_universe_into(
+    func: &Function,
+    universe: &mut Vec<Value>,
+    seen: &mut ossa_ir::EntitySet<Value>,
+    scratch: &mut Vec<Value>,
+) {
+    universe.clear();
+    seen.reset();
     for block in func.blocks() {
         for &inst in func.block_insts(block) {
             let data = func.inst(inst);
             if data.is_phi() || data.is_copy_like() {
                 scratch.clear();
-                data.collect_defs(&mut scratch);
-                data.collect_uses(&mut scratch);
-                for &v in &scratch {
-                    push(v, &mut seen, &mut universe);
+                data.collect_defs(scratch);
+                data.collect_uses(scratch);
+                for &v in scratch.iter() {
+                    if seen.insert(v) {
+                        universe.push(v);
+                    }
                 }
             }
         }
     }
     // Pinned values are also copy-related (they get isolated by copies).
     for v in func.values() {
-        if func.pinned_reg(v).is_some() {
-            push(v, &mut seen, &mut universe);
+        if func.pinned_reg(v).is_some() && seen.insert(v) {
+            universe.push(v);
         }
     }
-    universe
 }
 
 /// Helper bundling the dominator tree needed to build an

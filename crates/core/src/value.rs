@@ -18,6 +18,10 @@ use ossa_ir::{ControlFlowGraph, DominatorTree, Function, InstData};
 #[derive(Clone, Debug, Default)]
 pub struct ValueTable {
     value_of: SecondaryMap<Value, Option<Value>>,
+    /// Parallel-copy resolution scratch of [`ValueTable::compute_into`].
+    resolved: Vec<(Value, Value)>,
+    /// Definition-collection scratch of [`ValueTable::compute_into`].
+    defs: Vec<Value>,
 }
 
 impl ValueTable {
@@ -33,13 +37,12 @@ impl ValueTable {
     /// previous (possibly different) function. Identical to
     /// [`ValueTable::compute`] except for the heap traffic.
     pub fn compute_into(&mut self, func: &Function, domtree: &DominatorTree) {
-        for slot in self.value_of.values_mut() {
+        let Self { value_of, resolved, defs } = self;
+        value_of.truncate(func.num_values());
+        for slot in value_of.values_mut() {
             *slot = None;
         }
-        self.value_of.resize(func.num_values());
-        let value_of = &mut self.value_of;
-        let mut resolved: Vec<(Value, Value)> = Vec::new();
-        let mut defs: Vec<Value> = Vec::new();
+        value_of.resize(func.num_values());
         for &block in domtree.preorder() {
             for &inst in func.block_insts(block) {
                 match func.inst(inst) {
@@ -55,14 +58,14 @@ impl ValueTable {
                         resolved.extend(
                             copies.iter().map(|c| (c.dst, value_of[c.src].unwrap_or(c.src))),
                         );
-                        for &(dst, value) in &resolved {
+                        for &(dst, value) in resolved.iter() {
                             value_of[dst] = Some(value);
                         }
                     }
                     data => {
                         defs.clear();
-                        data.collect_defs(&mut defs);
-                        for &dst in &defs {
+                        data.collect_defs(defs);
+                        for &dst in defs.iter() {
                             value_of[dst] = Some(dst);
                         }
                     }

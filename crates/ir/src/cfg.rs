@@ -34,6 +34,10 @@ impl ControlFlowGraph {
     /// traffic differs — this is what lets an analysis cache recycle its
     /// storage across the functions of a corpus.
     pub fn recompute(&mut self, func: &Function) {
+        // Truncate before the reset walk so the per-function reset cost is
+        // O(current function), not O(largest function ever seen).
+        self.succs.truncate(func.num_blocks());
+        self.preds.truncate(func.num_blocks());
         for list in self.succs.values_mut() {
             list.clear();
         }

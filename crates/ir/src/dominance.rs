@@ -48,6 +48,14 @@ impl DominatorTree {
     pub fn recompute(&mut self, func: &Function, cfg: &ControlFlowGraph) {
         // Reset every materialized slot to its default: stale entries from a
         // previous (possibly larger) function must read as "unreachable".
+        // Truncate first so the reset walk costs O(current function), not
+        // O(largest function ever seen).
+        let num_blocks = func.num_blocks();
+        self.idom.truncate(num_blocks);
+        self.children.truncate(num_blocks);
+        self.pre.truncate(num_blocks);
+        self.post.truncate(num_blocks);
+        self.rpo_index.truncate(num_blocks);
         for slot in self.idom.values_mut() {
             *slot = None;
         }
@@ -237,8 +245,11 @@ impl DominanceFrontiers {
         this
     }
 
-    /// Recomputes the frontiers in place, reusing the per-block lists.
+    /// Recomputes the frontiers in place, reusing the per-block lists
+    /// (truncated to the current function first, so the reset walk costs
+    /// O(current function)).
     pub fn recompute(&mut self, func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) {
+        self.frontiers.truncate(func.num_blocks());
         for list in self.frontiers.values_mut() {
             list.clear();
         }

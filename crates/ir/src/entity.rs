@@ -248,6 +248,16 @@ impl<K: EntityRef, V: Clone> SecondaryMap<K, V> {
     pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
         self.elems.iter_mut()
     }
+
+    /// Drops every materialized slot past `len`, keeping the backing
+    /// capacity. Combined with a reset walk over the surviving slots this
+    /// bounds the per-function cost of the recycling resets by the *current*
+    /// function, not the largest one the map ever covered; callers whose
+    /// slots own heap allocations should reclaim those slots (e.g. into a
+    /// pool) before truncating.
+    pub fn truncate(&mut self, len: usize) {
+        self.elems.truncate(len);
+    }
 }
 
 impl<K: EntityRef, V: Clone> Index<K> for SecondaryMap<K, V> {
@@ -511,6 +521,24 @@ mod tests {
         assert_eq!(map[Value::from_index(100)], -1);
         map[Value::from_index(2)] = 7;
         assert_eq!(map[Value::from_index(2)], 7);
+    }
+
+    #[test]
+    fn secondary_map_truncate_drops_slots_and_reads_defaults() {
+        let mut map: SecondaryMap<Value, u32> = SecondaryMap::new();
+        map[Value::from_index(9)] = 42;
+        map[Value::from_index(3)] = 7;
+        map.truncate(4);
+        assert_eq!(map.len(), 4);
+        // Truncated slots read as the default again; survivors keep values.
+        assert_eq!(map[Value::from_index(9)], 0);
+        assert_eq!(map[Value::from_index(3)], 7);
+        // Growing the map back materializes defaults, not stale values.
+        map.resize(12);
+        assert_eq!(map[Value::from_index(9)], 0);
+        // Truncating beyond the materialized length is a no-op.
+        map.truncate(100);
+        assert_eq!(map.len(), 12);
     }
 
     #[test]

@@ -248,20 +248,36 @@ impl Function {
     /// the first one in layout order is returned.
     pub fn def_sites(&self) -> SecondaryMap<Value, Option<DefSite>> {
         let mut defs: SecondaryMap<Value, Option<DefSite>> = SecondaryMap::new();
-        defs.resize(self.num_values());
         let mut scratch = Vec::new();
+        self.def_sites_into(&mut defs, &mut scratch);
+        defs
+    }
+
+    /// Like [`Function::def_sites`], recomputing into a recycled map (the
+    /// storage may come from a previous, possibly larger, function).
+    /// `scratch` is the def-collection buffer, caller-owned so a recycled
+    /// recomputation performs no allocation at all.
+    pub fn def_sites_into(
+        &self,
+        defs: &mut SecondaryMap<Value, Option<DefSite>>,
+        scratch: &mut Vec<Value>,
+    ) {
+        defs.truncate(self.num_values());
+        for slot in defs.values_mut() {
+            *slot = None;
+        }
+        defs.resize(self.num_values());
         for block in self.blocks() {
             for (pos, &inst) in self.block_insts(block).iter().enumerate() {
                 scratch.clear();
-                self.inst(inst).collect_defs(&mut scratch);
-                for &value in &scratch {
+                self.inst(inst).collect_defs(scratch);
+                for &value in scratch.iter() {
                     if defs[value].is_none() {
                         defs[value] = Some(DefSite { block, inst, pos });
                     }
                 }
             }
         }
-        defs
     }
 
     /// Counts how many definitions each value has (useful pre-SSA and for the

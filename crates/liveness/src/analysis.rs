@@ -95,6 +95,14 @@ pub struct FunctionAnalyses {
     /// computation (the checker's per-block bit-sets are the largest
     /// allocation of the default translation configuration).
     spare_fast: Cell<Option<FastLiveness>>,
+    /// Storage of invalidated liveness sets, recycled by the next
+    /// computation. Liveness sets are dropped on *every* instruction
+    /// version, so without this slot the Graph/InterCheck engine variants
+    /// reallocate two bit-sets per block per version.
+    spare_liveness: Cell<Option<LivenessSets>>,
+    /// Storage of an invalidated def/use index, recycled likewise (the index
+    /// is recomputed on every instruction version in all configurations).
+    spare_info: Cell<Option<LiveRangeInfo>>,
     /// Liveness-level compute counters; the CFG-level ones live in `ir`.
     counts: Cell<LivenessCounts>,
     /// Shape of the function the CFG caches were computed for — block count,
@@ -222,13 +230,21 @@ impl FunctionAnalyses {
         self.ir.frequencies(func)
     }
 
-    /// Data-flow liveness sets, computed on first use.
+    /// Data-flow liveness sets, computed on first use, recycling the storage
+    /// of a previously invalidated computation when available.
     pub fn liveness_sets(&self, func: &Function) -> &LivenessSets {
         self.check_inst_stamp(func);
         self.cfg(func);
         self.liveness.get_or_init(|| {
             self.bump(|c| c.liveness_sets += 1);
-            LivenessSets::compute(func, self.ir.cfg(func))
+            let cfg = self.ir.cfg(func);
+            match self.spare_liveness.take() {
+                Some(mut sets) => {
+                    sets.compute_into(func, cfg);
+                    sets
+                }
+                None => LivenessSets::compute(func, cfg),
+            }
         })
     }
 
@@ -250,22 +266,37 @@ impl FunctionAnalyses {
         })
     }
 
-    /// The per-value definition and use index, computed on first use.
+    /// The per-value definition and use index, computed on first use,
+    /// recycling the storage of a previously invalidated index when
+    /// available.
     pub fn live_range_info(&self, func: &Function) -> &LiveRangeInfo {
         self.check_inst_stamp(func);
         self.check_stamp(func);
         self.info.get_or_init(|| {
             self.bump(|c| c.live_range_info += 1);
-            LiveRangeInfo::compute(func)
+            match self.spare_info.take() {
+                Some(mut info) => {
+                    info.recompute(func);
+                    info
+                }
+                None => LiveRangeInfo::compute(func),
+            }
         })
     }
 
     /// Drops the caches that depend on the instruction stream (liveness sets
     /// and the def/use index). The CFG analyses and the fast liveness
-    /// precomputation stay valid: they only read block structure.
+    /// precomputation stay valid: they only read block structure. The
+    /// dropped analyses' storage moves into spare slots and is recycled by
+    /// the next computation, so a translation pipeline that invalidates per
+    /// phase does not reallocate them per instruction version.
     pub fn invalidate_instructions(&mut self) {
-        self.liveness.take();
-        self.info.take();
+        if let Some(sets) = self.liveness.take() {
+            self.spare_liveness.set(Some(sets));
+        }
+        if let Some(info) = self.info.take() {
+            self.spare_info.set(Some(info));
+        }
         self.inst_stamp.set(None);
         self.bump(|c| c.inst_invalidations += 1);
     }

@@ -39,34 +39,58 @@ use crate::BlockLiveness;
 ///
 /// Holds only the CFG-dependent precomputation; per-value definition and use
 /// information comes from the [`LiveRangeInfo`] passed to each query.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct FastLiveness {
     /// Reachability over forward (non-back) edges, including the block itself.
     reduced_reach: SecondaryMap<Block, EntitySet<Block>>,
     /// Transitive closure of back-edge targets reachable from each block.
     back_targets: SecondaryMap<Block, EntitySet<Block>>,
     num_blocks: usize,
+    /// Edge-classification and fixpoint working storage, kept so a recycled
+    /// checker ([`FastLiveness::recompute`]) performs no per-block
+    /// allocation; never read after the computation finishes.
+    scratch: CheckScratch,
+}
+
+/// The recycled working storage of one checker computation.
+#[derive(Clone, Debug, Default)]
+struct CheckScratch {
+    forward_succs: SecondaryMap<Block, Vec<Block>>,
+    back_edge_targets_of: SecondaryMap<Block, Vec<Block>>,
+    direct_targets: SecondaryMap<Block, Vec<Block>>,
+    post_order: Vec<Block>,
+    set: EntitySet<Block>,
+}
+
+/// Clears every list slot of a recycled per-block map and sizes it for
+/// `num_blocks`, keeping the per-slot capacities.
+fn reset_block_lists(map: &mut SecondaryMap<Block, Vec<Block>>, num_blocks: usize) {
+    map.truncate(num_blocks);
+    for list in map.values_mut() {
+        list.clear();
+    }
+    map.resize(num_blocks);
 }
 
 impl FastLiveness {
     /// Builds the checker from the CFG and dominator tree alone.
     pub fn compute(func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) -> Self {
-        let mut this = Self {
-            reduced_reach: SecondaryMap::new(),
-            back_targets: SecondaryMap::new(),
-            num_blocks: 0,
-        };
+        let mut this = Self::default();
         this.recompute(func, cfg, domtree);
         this
     }
 
-    /// Recomputes the checker in place, reusing the per-block bit-sets of a
-    /// previous computation (possibly of a different function). The result —
-    /// including the reported [`FastLiveness::footprint_bytes`] — is
-    /// indistinguishable from [`FastLiveness::compute`]; only the heap
-    /// traffic differs.
+    /// Recomputes the checker in place, reusing the per-block bit-sets and
+    /// working storage of a previous computation (possibly of a different
+    /// function). The result — including the reported
+    /// [`FastLiveness::footprint_bytes`] — is indistinguishable from
+    /// [`FastLiveness::compute`]; only the heap traffic differs.
     pub fn recompute(&mut self, func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) {
         let num_blocks = func.num_blocks();
+        // Truncate before the reset walk so the per-function reset cost is
+        // O(current function), not O(largest function ever seen).
+        self.reduced_reach.truncate(num_blocks);
+        self.back_targets.truncate(num_blocks);
         for set in self.reduced_reach.values_mut() {
             set.reset();
         }
@@ -78,10 +102,10 @@ impl FastLiveness {
         self.num_blocks = num_blocks;
 
         // Classify edges: an edge s -> t is a back edge when t dominates s.
-        let mut forward_succs: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
-        let mut back_edge_targets_of: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
-        forward_succs.resize(num_blocks);
-        back_edge_targets_of.resize(num_blocks);
+        let forward_succs = &mut self.scratch.forward_succs;
+        let back_edge_targets_of = &mut self.scratch.back_edge_targets_of;
+        reset_block_lists(forward_succs, num_blocks);
+        reset_block_lists(back_edge_targets_of, num_blocks);
         for &block in cfg.reverse_post_order() {
             for &succ in cfg.succs(block) {
                 if domtree.dominates(succ, block) {
@@ -98,16 +122,19 @@ impl FastLiveness {
         // final when written and successor sets can be unioned in directly
         // (the seed cloned every successor set before the union).
         let reduced_reach = &mut self.reduced_reach;
-        let post_order: Vec<Block> = cfg.post_order().collect();
-        let mut scratch = EntitySet::with_capacity(num_blocks);
-        for &block in &post_order {
+        let post_order = &mut self.scratch.post_order;
+        post_order.clear();
+        post_order.extend(cfg.post_order());
+        let scratch = &mut self.scratch.set;
+        scratch.reset();
+        for &block in &*post_order {
             scratch.clear();
             scratch.insert(block);
             for &succ in &forward_succs[block] {
                 scratch.insert(succ);
                 scratch.union_with(&reduced_reach[succ]);
             }
-            reduced_reach[block].clone_from_set(&scratch);
+            reduced_reach[block].clone_from_set(scratch);
         }
 
         // Back-edge target closure: T[q] = ∪ { {t} ∪ T[t] | s ∈ R[q], (s→t) back edge }.
@@ -115,8 +142,8 @@ impl FastLiveness {
         // only on the (final) reduced reachability, so they are computed once
         // instead of per fixpoint pass; the fixpoint itself then runs in
         // place through one reusable scratch bit-set — no per-pass clones.
-        let mut direct_targets: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
-        direct_targets.resize(num_blocks);
+        let direct_targets = &mut self.scratch.direct_targets;
+        reset_block_lists(direct_targets, num_blocks);
         for &block in cfg.reverse_post_order() {
             let targets = &mut direct_targets[block];
             for s in reduced_reach[block].iter() {
@@ -137,7 +164,7 @@ impl FastLiveness {
                     scratch.insert(t);
                     scratch.union_with(&back_targets[t]);
                 }
-                changed |= back_targets[block].union_with(&scratch);
+                changed |= back_targets[block].union_with(scratch);
             }
         }
     }
@@ -269,10 +296,12 @@ impl<'a> FastLivenessQuery<'a> {
 }
 
 impl BlockLiveness for FastLivenessQuery<'_> {
+    #[inline]
     fn is_live_in(&self, block: Block, value: Value) -> bool {
         self.checker.is_live_in_query(self.domtree, self.info, block, value)
     }
 
+    #[inline]
     fn is_live_out(&self, block: Block, value: Value) -> bool {
         self.checker.is_live_out_query(self.cfg, self.domtree, self.info, block, value)
     }

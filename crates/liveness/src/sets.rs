@@ -10,72 +10,108 @@ use ossa_ir::{ControlFlowGraph, Function};
 use crate::BlockLiveness;
 
 /// Live-in and live-out sets for every reachable block of a function.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct LivenessSets {
     live_in: SecondaryMap<Block, EntitySet<Value>>,
     live_out: SecondaryMap<Block, EntitySet<Value>>,
     num_values: usize,
     num_blocks: usize,
+    /// Transfer-function storage and fixpoint scratch, kept so a recycled
+    /// instance ([`LivenessSets::compute_into`]) performs no per-block
+    /// allocation; never read after the computation finishes.
+    scratch: SetsScratch,
+}
+
+/// The recycled working storage of one liveness computation.
+#[derive(Clone, Debug, Default)]
+struct SetsScratch {
+    gen: SecondaryMap<Block, EntitySet<Value>>,
+    kill: SecondaryMap<Block, EntitySet<Value>>,
+    edge_phi_uses: SecondaryMap<Block, Vec<Value>>,
+    defs: Vec<Value>,
+    uses: Vec<Value>,
+    out: EntitySet<Value>,
+    post_order: Vec<Block>,
+}
+
+/// Empties every bit-set slot of a recycled per-block map and sizes it for
+/// `num_blocks`, keeping the word-vector capacities.
+fn reset_block_sets(map: &mut SecondaryMap<Block, EntitySet<Value>>, num_blocks: usize) {
+    map.truncate(num_blocks);
+    for set in map.values_mut() {
+        set.reset();
+    }
+    map.resize(num_blocks);
 }
 
 impl LivenessSets {
     /// Computes liveness sets for `func` using `cfg`.
     pub fn compute(func: &Function, cfg: &ControlFlowGraph) -> Self {
+        let mut this = Self::default();
+        this.compute_into(func, cfg);
+        this
+    }
+
+    /// Recomputes the sets for `func` in place, reusing the per-block
+    /// bit-sets and fixpoint scratch of a previous (possibly different)
+    /// function. The resulting sets are identical to a fresh
+    /// [`LivenessSets::compute`]; only the heap traffic differs — which is
+    /// what lets [`crate::FunctionAnalyses`] recycle the analysis across
+    /// instruction versions instead of reallocating it per invalidation.
+    pub fn compute_into(&mut self, func: &Function, cfg: &ControlFlowGraph) {
         let num_blocks = func.num_blocks();
         let num_values = func.num_values();
+        self.num_values = num_values;
+        self.num_blocks = num_blocks;
 
         // Per-block upward-exposed uses and definitions (φ handled specially).
-        let mut gen: SecondaryMap<Block, EntitySet<Value>> = SecondaryMap::new();
-        let mut kill: SecondaryMap<Block, EntitySet<Value>> = SecondaryMap::new();
-        gen.resize(num_blocks);
-        kill.resize(num_blocks);
+        let scratch = &mut self.scratch;
+        let gen = &mut scratch.gen;
+        let kill = &mut scratch.kill;
+        reset_block_sets(gen, num_blocks);
+        reset_block_sets(kill, num_blocks);
 
-        let mut scratch_defs = Vec::new();
-        let mut scratch_uses = Vec::new();
+        let scratch_defs = &mut scratch.defs;
+        let scratch_uses = &mut scratch.uses;
         for &block in cfg.reverse_post_order() {
             let gen_set = &mut gen[block];
-            *gen_set = EntitySet::with_capacity(num_values);
-            let mut kill_set = EntitySet::with_capacity(num_values);
             for &inst in func.block_insts(block) {
                 let data = func.inst(inst);
                 if data.is_phi() {
                     // φ uses belong to predecessors; the φ def kills the value
                     // locally (it is not upward exposed).
                     scratch_defs.clear();
-                    data.collect_defs(&mut scratch_defs);
-                    for &d in &scratch_defs {
-                        kill_set.insert(d);
+                    data.collect_defs(scratch_defs);
+                    for &d in &*scratch_defs {
+                        kill[block].insert(d);
                     }
                     continue;
                 }
                 scratch_uses.clear();
-                data.collect_uses(&mut scratch_uses);
-                for &u in &scratch_uses {
-                    if !kill_set.contains(u) {
+                data.collect_uses(scratch_uses);
+                for &u in &*scratch_uses {
+                    if !kill[block].contains(u) {
                         gen_set.insert(u);
                     }
                 }
                 scratch_defs.clear();
-                data.collect_defs(&mut scratch_defs);
-                for &d in &scratch_defs {
-                    kill_set.insert(d);
+                data.collect_defs(scratch_defs);
+                for &d in &*scratch_defs {
+                    kill[block].insert(d);
                 }
             }
-            kill[block] = kill_set;
         }
 
-        let mut live_in: SecondaryMap<Block, EntitySet<Value>> = SecondaryMap::new();
-        let mut live_out: SecondaryMap<Block, EntitySet<Value>> = SecondaryMap::new();
-        live_in.resize(num_blocks);
-        live_out.resize(num_blocks);
-        for &block in cfg.reverse_post_order() {
-            live_in[block] = EntitySet::with_capacity(num_values);
-            live_out[block] = EntitySet::with_capacity(num_values);
-        }
+        reset_block_sets(&mut self.live_in, num_blocks);
+        reset_block_sets(&mut self.live_out, num_blocks);
 
         // φ uses attributed to the end of their predecessor, collected once
         // instead of re-walking every successor's φ group per fixpoint pass.
-        let mut edge_phi_uses: SecondaryMap<Block, Vec<Value>> = SecondaryMap::new();
+        let edge_phi_uses = &mut scratch.edge_phi_uses;
+        edge_phi_uses.truncate(num_blocks);
+        for list in edge_phi_uses.values_mut() {
+            list.clear();
+        }
         edge_phi_uses.resize(num_blocks);
         for &block in cfg.reverse_post_order() {
             for &inst in func.block_insts(block) {
@@ -92,35 +128,36 @@ impl LivenessSets {
         // gen/kill are the precomputed per-block transfer functions and the
         // `live_in ∪= live_out \ kill` step is a single word-level pass. The
         // only scratch is one reusable bit-set for the successor union.
-        let post_order: Vec<Block> = cfg.post_order().collect();
-        let mut scratch_out = EntitySet::with_capacity(num_values);
+        let post_order = &mut scratch.post_order;
+        post_order.clear();
+        post_order.extend(cfg.post_order());
+        let scratch_out = &mut scratch.out;
+        scratch_out.reset();
         for &block in cfg.reverse_post_order() {
-            live_in[block].union_with(&gen[block]);
+            self.live_in[block].union_with(&gen[block]);
         }
         let mut changed = true;
         while changed {
             changed = false;
-            for &block in &post_order {
+            for &block in &*post_order {
                 // live_out(B) ∪= ∪_succ S (live_in(S) \ phi_defs(S)) ∪ phi_uses_from(B in S)
                 scratch_out.clear();
                 for &succ in cfg.succs(block) {
                     // live_in(S) already excludes φ defs of S by construction.
-                    scratch_out.union_with(&live_in[succ]);
+                    scratch_out.union_with(&self.live_in[succ]);
                 }
                 for &value in &edge_phi_uses[block] {
                     scratch_out.insert(value);
                 }
-                let out_grew = live_out[block].union_with(&scratch_out);
+                let out_grew = self.live_out[block].union_with(scratch_out);
                 // live_in(B) = gen(B) ∪ (live_out(B) \ kill(B)); gen was
                 // seeded above, so only the data-flow part remains.
                 if out_grew {
-                    live_in[block].union_with_andnot(&scratch_out, &kill[block]);
+                    self.live_in[block].union_with_andnot(scratch_out, &kill[block]);
                     changed = true;
                 }
             }
         }
-
-        Self { live_in, live_out, num_values, num_blocks }
     }
 
     /// Computes liveness sets, building the CFG internally.
@@ -171,10 +208,12 @@ impl LivenessSets {
 }
 
 impl BlockLiveness for LivenessSets {
+    #[inline]
     fn is_live_in(&self, block: Block, value: Value) -> bool {
         self.live_in[block].contains(value)
     }
 
+    #[inline]
     fn is_live_out(&self, block: Block, value: Value) -> bool {
         self.live_out[block].contains(value)
     }

@@ -38,14 +38,28 @@ pub struct UseSites {
     offsets: Vec<u32>,
     /// All use sites, grouped by value, in block-traversal order per value.
     sites: Vec<UseSite>,
+    /// Use-collection scratch of [`UseSites::compute_into`], kept so a
+    /// recycled recomputation performs no allocation at all.
+    scratch: Vec<Value>,
 }
 
 impl UseSites {
     /// Builds the use index of `func`.
     pub fn compute(func: &Function) -> Self {
+        let mut this = Self::default();
+        this.compute_into(func);
+        this
+    }
+
+    /// Rebuilds the index for `func` in place, reusing the offset and site
+    /// arrays of a previous (possibly different) function. Identical to
+    /// [`UseSites::compute`] except for the heap traffic: the CSR arrays are
+    /// recycled and the per-value counting pass runs inside the offset array
+    /// itself (count → prefix-sum → cursor → shift), so a steady-state
+    /// recomputation performs no allocation once the arrays have grown.
+    pub fn compute_into(&mut self, func: &Function) {
         let num_values = func.num_values();
-        let mut counts = vec![0u32; num_values];
-        let mut scratch: Vec<Value> = Vec::new();
+        let scratch = &mut self.scratch;
         let mut each_use = |func: &Function, f: &mut dyn FnMut(Value, Block, usize)| {
             for block in func.blocks() {
                 for (pos, &inst) in func.block_insts(block).iter().enumerate() {
@@ -57,8 +71,8 @@ impl UseSites {
                         }
                         data => {
                             scratch.clear();
-                            data.collect_uses(&mut scratch);
-                            for &value in &scratch {
+                            data.collect_uses(scratch);
+                            for &value in scratch.iter() {
                                 f(value, block, pos);
                             }
                         }
@@ -66,22 +80,28 @@ impl UseSites {
                 }
             }
         };
-        each_use(func, &mut |value, _, _| counts[value.index()] += 1);
-
-        let mut offsets = vec![0u32; num_values + 1];
+        let offsets = &mut self.offsets;
+        offsets.clear();
+        offsets.resize(num_values + 1, 0);
+        each_use(func, &mut |value, _, _| offsets[value.index() + 1] += 1);
         for i in 0..num_values {
-            offsets[i + 1] = offsets[i] + counts[i];
+            offsets[i + 1] += offsets[i];
         }
         let total = offsets[num_values] as usize;
-        let mut sites = vec![UseSite { block: Block::from_index(0), pos: 0 }; total];
-        // `counts` becomes the per-value write cursor.
-        counts.iter_mut().for_each(|c| *c = 0);
+        let sites = &mut self.sites;
+        sites.clear();
+        sites.resize(total, UseSite { block: Block::from_index(0), pos: 0 });
+        // `offsets[v]` (currently the start of v's range) doubles as the
+        // write cursor; afterwards it holds v's end — one shift restores it.
         each_use(func, &mut |value, block, pos| {
-            let slot = offsets[value.index()] + counts[value.index()];
-            counts[value.index()] += 1;
+            let slot = offsets[value.index()];
+            offsets[value.index()] += 1;
             sites[slot as usize] = UseSite { block, pos };
         });
-        Self { offsets, sites }
+        for i in (1..=num_values).rev() {
+            offsets[i] = offsets[i - 1];
+        }
+        offsets[0] = 0;
     }
 
     /// All uses of `value` (empty slice if never used).
