@@ -1,0 +1,168 @@
+//! Per-phase allocation profile of the serial batch engine.
+//!
+//! Splits the batch-serial allocation count of `fig6_speed` into its
+//! translation phases by driving them separately over the same corpus with
+//! the counting allocator: copy insertion (isolation + Method I), the
+//! analyses (CFG/domtree/frequencies + liveness backend + def/use index),
+//! the decision phase, and sequentialization. The phases are re-driven
+//! through the public pipeline entry points, so the split is approximate at
+//! the boundaries but pins down where an allocation regression lives.
+//!
+//! Usage: `alloc_profile [scale]` (default scale 1.0).
+
+use ossa_bench::alloc::allocation_count;
+use ossa_destruct::{
+    insertion, translate_corpus_serial, translate_out_of_ssa_scratch, OutOfSsaOptions,
+    TranslateScratch,
+};
+use ossa_liveness::FunctionAnalyses;
+
+#[global_allocator]
+static ALLOC: ossa_bench::alloc::CountingAllocator = ossa_bench::alloc::CountingAllocator;
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0);
+    let corpus = ossa_cfggen::spec_like_corpus(scale, true);
+    let functions: Vec<_> = corpus.iter().flat_map(|w| w.functions.iter().cloned()).collect();
+    let options = OutOfSsaOptions::default();
+
+    // Warm-up run so lazy statics and the first-growth costs of the recycled
+    // caches are out of the way (the steady-state numbers are the gated ones).
+    {
+        let mut work = functions.clone();
+        let _ = translate_corpus_serial(&mut work, &options);
+    }
+
+    // Whole batch-serial translation.
+    let total = {
+        let mut work = functions.clone();
+        let before = allocation_count();
+        let _ = translate_corpus_serial(&mut work, &options);
+        allocation_count() - before
+    };
+
+    // Copy insertion alone (isolation + Method I) with recycled storage.
+    let (insert_only, isolate_only) = {
+        let mut work = functions.clone();
+        let mut iso_work = functions.clone();
+        let mut result = insertion::CopyInsertion::default();
+        // Warm the recycled insertion storage.
+        {
+            let mut warm = functions[0].clone();
+            result.reset();
+            insertion::isolate_pinned_values(&mut warm, &mut result);
+            insertion::insert_phi_copies_into(&mut warm, &mut result);
+        }
+        let before = allocation_count();
+        for func in &mut iso_work {
+            result.reset();
+            insertion::isolate_pinned_values(func, &mut result);
+        }
+        let isolate_only = allocation_count() - before;
+        let before = allocation_count();
+        for func in &mut work {
+            result.reset();
+            insertion::isolate_pinned_values(func, &mut result);
+            insertion::insert_phi_copies_into(func, &mut result);
+        }
+        (allocation_count() - before, isolate_only)
+    };
+
+    // Translation with sequentialization disabled: total minus this is the
+    // sequentialization share.
+    let no_seq = {
+        let mut work = functions.clone();
+        let opts = options.clone().with_sequentialize(false);
+        let mut analyses = FunctionAnalyses::new();
+        let mut scratch = TranslateScratch::new();
+        {
+            let mut warm = functions[0].clone();
+            analyses.invalidate_cfg();
+            let _ = translate_out_of_ssa_scratch(&mut warm, &opts, &mut analyses, &mut scratch);
+        }
+        let before = allocation_count();
+        for func in &mut work {
+            analyses.invalidate_cfg();
+            let _ = translate_out_of_ssa_scratch(func, &opts, &mut analyses, &mut scratch);
+        }
+        allocation_count() - before
+    };
+
+    // Analyses alone over one recycled cache (pre-insertion shapes, so a
+    // lower bound on the in-pipeline analysis share).
+    let analyses_only = {
+        let work = functions.clone();
+        let mut analyses = FunctionAnalyses::new();
+        {
+            let warm = &functions[0];
+            analyses.invalidate_cfg();
+            let _ = analyses.frequencies(warm);
+            let _ = analyses.live_range_info(warm);
+            let _ = analyses.fast_liveness(warm);
+        }
+        let before = allocation_count();
+        for func in &work {
+            analyses.invalidate_cfg();
+            let _ = analyses.frequencies(func);
+            let _ = analyses.live_range_info(func);
+            let _ = analyses.fast_liveness(func);
+        }
+        allocation_count() - before
+    };
+
+    // Sub-analysis increments (each loop adds one analysis to the forced
+    // set; the delta is that analysis's share).
+    let analysis_steps = {
+        let work = functions.clone();
+        let mut analyses = FunctionAnalyses::new();
+        let force = |upto: usize, analyses: &mut FunctionAnalyses| -> u64 {
+            {
+                let warm = &functions[0];
+                analyses.invalidate_cfg();
+                let _ = analyses.domtree(warm);
+                if upto >= 1 {
+                    let _ = analyses.frequencies(warm);
+                }
+                if upto >= 2 {
+                    let _ = analyses.live_range_info(warm);
+                }
+                if upto >= 3 {
+                    let _ = analyses.fast_liveness(warm);
+                }
+            }
+            let before = allocation_count();
+            for func in &work {
+                analyses.invalidate_cfg();
+                let _ = analyses.domtree(func);
+                if upto >= 1 {
+                    let _ = analyses.frequencies(func);
+                }
+                if upto >= 2 {
+                    let _ = analyses.live_range_info(func);
+                }
+                if upto >= 3 {
+                    let _ = analyses.fast_liveness(func);
+                }
+            }
+            allocation_count() - before
+        };
+        let domtree = force(0, &mut analyses);
+        let freqs = force(1, &mut analyses);
+        let info = force(2, &mut analyses);
+        let fast = force(3, &mut analyses);
+        (domtree, freqs, info, fast)
+    };
+
+    println!("allocation profile at scale {scale} over {} functions", functions.len());
+    println!("  analyses alone (pre-insertion shapes) {analyses_only}");
+    println!(
+        "    cfg+domtree {}  +freqs {}  +def/use {}  +fastliveness {}",
+        analysis_steps.0, analysis_steps.1, analysis_steps.2, analysis_steps.3
+    );
+    println!("  batch serial total          {total}");
+    println!("  copy insertion alone        {insert_only}");
+    println!("  isolation alone             {isolate_only}");
+    println!("  without sequentialization   {no_seq}");
+    println!("  sequentialization share     {}", total.saturating_sub(no_seq));
+    println!("  per function (total)        {:.1}", total as f64 / functions.len() as f64);
+}

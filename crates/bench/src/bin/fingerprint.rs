@@ -7,9 +7,17 @@
 //! make exactly the same coalescing decisions on the whole corpus — the
 //! cheap way to prove a performance change is behaviour-preserving.
 //!
-//! Usage: `fingerprint [scale]` (default scale 1.0).
+//! Usage:
+//!
+//! * `fingerprint [scale]` — print the fingerprints;
+//! * `fingerprint [scale] --write <path>` — also write them to `<path>`
+//!   (the committed `FINGERPRINT_baseline.txt`);
+//! * `fingerprint [scale] --check <path>` — compare against `<path>` and
+//!   exit non-zero on any mismatch, which is how CI fails the build on a
+//!   bit-identity regression.
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 
 use ossa_destruct::{translate_corpus_serial, OutOfSsaOptions};
 
@@ -20,13 +28,49 @@ fn fnv1a(hash: &mut u64, bytes: &[u8]) {
     }
 }
 
-fn main() {
-    let scale = std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0);
+fn main() -> ExitCode {
+    // Strict argument handling: this binary is a CI gate, so a malformed
+    // invocation (missing operand, typo'd flag) must fail loudly instead of
+    // silently skipping the comparison and exiting green.
+    let mut scale = 1.0f64;
+    let mut check: Option<String> = None;
+    let mut write: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => match args.next() {
+                Some(path) => check = Some(path),
+                None => {
+                    eprintln!("fingerprint: --check requires a baseline path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--write" => match args.next() {
+                Some(path) => write = Some(path),
+                None => {
+                    eprintln!("fingerprint: --write requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => match other.parse::<f64>() {
+                Ok(s) => scale = s,
+                Err(_) => {
+                    eprintln!(
+                        "fingerprint: unrecognized argument {other:?} \
+                         (usage: fingerprint [scale] [--check <path>] [--write <path>])"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+
     let corpus = ossa_cfggen::spec_like_corpus(scale, true);
     let functions: Vec<_> = corpus.iter().flat_map(|w| w.functions.iter().cloned()).collect();
     println!("fingerprint over {} functions at scale {scale}", functions.len());
 
     let mut text = String::new();
+    let mut report = String::new();
     for (name, options) in OutOfSsaOptions::figure5_variants() {
         let mut work = functions.clone();
         let stats = translate_corpus_serial(&mut work, &options);
@@ -37,9 +81,38 @@ fn main() {
             fnv1a(&mut hash, text.as_bytes());
         }
         let total = stats.total();
-        println!(
+        let line = format!(
             "{name:<14} hash {hash:016x}  queries {:>9}  copies {:>6}  coalesced {:>6}",
             total.interference_queries, total.remaining_copies, total.moves_coalesced
         );
+        println!("{line}");
+        let _ = writeln!(report, "{line}");
     }
+
+    if let Some(path) = write {
+        match std::fs::write(&path, &report) {
+            Ok(()) => println!("wrote {path}"),
+            Err(err) => {
+                eprintln!("fingerprint: cannot write {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = check {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("fingerprint: cannot read baseline {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if baseline.trim_end() != report.trim_end() {
+            eprintln!("fingerprint: MISMATCH against {path} — translated output changed");
+            eprintln!("--- baseline\n{baseline}--- current\n{report}");
+            return ExitCode::FAILURE;
+        }
+        println!("fingerprint: matches {path}");
+    }
+    ExitCode::SUCCESS
 }

@@ -91,6 +91,7 @@ impl<'a> Gen<'a> {
             let callee = self.callee_counter % 5;
             self.callee_counter += 1;
             let block = self.b.current_block();
+            let args = self.b.func_mut().make_value_list(&args);
             self.b.func_mut().append_inst(block, InstData::Call { dst: Some(dst), callee, args });
         } else if roll < self.cfg.call_density + self.cfg.memory_density {
             // Either a store or a load through a pool variable address.
@@ -222,8 +223,25 @@ impl<'a> Gen<'a> {
 
 /// Generates one pre-SSA function named `name` from `seed`.
 pub fn generate_function(name: impl Into<String>, config: &GenConfig, seed: u64) -> Function {
+    generate_with(FunctionBuilder::new(name, config.num_params), config, seed)
+}
+
+/// Like [`generate_function`], building through the recycled storage of
+/// `func` ([`FunctionBuilder::reuse`]): blocks, instructions, values and the
+/// operand arenas are reset in O(current function) and reused, and the
+/// result is bit-identical to a fresh [`generate_function`] build.
+pub fn generate_function_into(
+    func: Function,
+    name: impl Into<String>,
+    config: &GenConfig,
+    seed: u64,
+) -> Function {
+    generate_with(FunctionBuilder::reuse(func, name, config.num_params), config, seed)
+}
+
+fn generate_with(builder: FunctionBuilder, config: &GenConfig, seed: u64) -> Function {
     let mut gen = Gen {
-        b: FunctionBuilder::new(name, config.num_params),
+        b: builder,
         cfg: config,
         rng: SmallRng::seed_from_u64(seed),
         vars: Vec::new(),
@@ -300,22 +318,39 @@ pub fn generate_ssa_function(
     (func, stats)
 }
 
+/// Like [`generate_ssa_function`], building through the recycled storage of
+/// `func`; the result is bit-identical to the fresh entry point.
+pub fn generate_ssa_function_into(
+    func: Function,
+    name: impl Into<String>,
+    config: &GenConfig,
+    seed: u64,
+) -> (Function, OptimizedSsaStats) {
+    let mut func = generate_function_into(func, name, config, seed);
+    let stats = to_optimized_ssa(&mut func);
+    (func, stats)
+}
+
 /// Pins the results and first arguments of calls to architectural registers,
 /// emulating calling-convention renaming constraints. Returns the number of
 /// values pinned.
 pub fn pin_call_conventions(func: &mut Function) -> usize {
     let mut pinned = 0;
+    let mut covered: Vec<Value> = Vec::new();
     for block in func.blocks().collect::<Vec<_>>() {
         for &inst in func.block_insts(block).to_vec().iter() {
-            if let InstData::Call { dst, args, .. } = func.inst(inst).clone() {
+            if let InstData::Call { dst, args, .. } = *func.inst(inst) {
+                covered.clear();
+                covered.extend(
+                    func.value_list(args).iter().take(ossa_ir::instruction::callconv::NUM_ARG_REGS),
+                );
                 if let Some(dst) = dst {
                     func.pin_value(dst, ossa_ir::instruction::callconv::RETURN_REG);
                     pinned += 1;
                 }
-                let in_regs = args.iter().take(ossa_ir::instruction::callconv::NUM_ARG_REGS);
-                for (i, arg) in in_regs.enumerate() {
-                    if func.pinned_reg(*arg).is_none() {
-                        func.pin_value(*arg, ossa_ir::instruction::callconv::arg_reg(i));
+                for (i, &arg) in covered.iter().enumerate() {
+                    if func.pinned_reg(arg).is_none() {
+                        func.pin_value(arg, ossa_ir::instruction::callconv::arg_reg(i));
                         pinned += 1;
                     }
                 }

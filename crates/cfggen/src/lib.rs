@@ -30,7 +30,7 @@ pub mod rng;
 pub mod spec;
 
 pub use gen::{
-    generate_function, generate_ssa_function, pin_call_conventions, to_optimized_ssa, GenConfig,
-    OptimizedSsaStats,
+    generate_function, generate_function_into, generate_ssa_function, generate_ssa_function_into,
+    pin_call_conventions, to_optimized_ssa, GenConfig, OptimizedSsaStats,
 };
 pub use spec::{spec_like_corpus, BenchmarkSpec, Workload, SPEC_BENCHMARKS};

@@ -80,6 +80,12 @@ pub struct TranslateScratch {
     range_of: SecondaryMap<Value, (u32, u32)>,
     /// Deduplicated parallel-copy entries of the rewrite phase.
     kept: Vec<KeptCopy>,
+    /// The surviving pairs written back into the parallel-copy pool.
+    kept_pairs: Vec<ossa_ir::CopyPair>,
+    /// Stable merge-sort buffer of the affinity orderings (replaces the std
+    /// stable sort's internal allocation — the last steady-state allocation
+    /// of the decision phase).
+    sort_buf: Vec<InsertedMove>,
 }
 
 impl TranslateScratch {
@@ -471,6 +477,10 @@ pub fn translate_out_of_ssa_scratch(
     stats.edges_split = insertion.edges_split;
     if insertion.edges_split > 0 {
         analyses.invalidate_cfg();
+    } else if insertion.dirty_blocks.len() * 4 < func.num_blocks() {
+        // Insertion confined to few blocks: repair cached liveness
+        // incrementally instead of recomputing it whole-function.
+        analyses.invalidate_instructions_in_blocks(func, &insertion.dirty_blocks);
     } else {
         analyses.invalidate_instructions();
     }
@@ -576,7 +586,7 @@ pub fn translate_out_of_ssa_scratch(
     // are instruction-level mutations: the CFG caches (and the fast liveness
     // precomputation) stay valid, so the frequencies used below and by later
     // consumers are not recomputed.
-    rewrite(func, &scratch.decisions, &mut scratch.kept);
+    rewrite(func, &scratch.decisions, &mut scratch.kept, &mut scratch.kept_pairs);
     stats.phase_seconds.coalesce = phase_start.elapsed().as_secs_f64();
     let phase_start = Instant::now();
     if options.sequentialize {
@@ -640,6 +650,7 @@ fn decide<L: BlockLiveness>(
         phi_move_dsts,
         grouped,
         range_of,
+        sort_buf,
         ..
     } = scratch;
     let Decisions {
@@ -711,11 +722,7 @@ fn decide<L: BlockLiveness>(
                 let result_move = web.moves[0];
                 arg_moves.clear();
                 arg_moves.extend_from_slice(&web.moves[1..]);
-                arg_moves.sort_by(|a, b| {
-                    weight(b.block)
-                        .partial_cmp(&weight(a.block))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+                sort_moves_by_weight_desc(arg_moves, sort_buf, &weight);
                 for m in arg_moves.iter().chain(std::iter::once(&result_move)) {
                     // The primed value of this move (its dst for argument
                     // copies, its src for the result copy).
@@ -776,9 +783,7 @@ fn decide<L: BlockLiveness>(
             }
         }
     }
-    affinities.sort_by(|a, b| {
-        weight(b.block).partial_cmp(&weight(a.block)).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    sort_moves_by_weight_desc(affinities, sort_buf, &weight);
     for &m in affinities.iter() {
         if classes.same_class(m.dst, m.src) {
             moves_coalesced += 1;
@@ -820,7 +825,7 @@ fn decide<L: BlockLiveness>(
         for block in func.blocks() {
             for (pos, &inst) in func.block_insts(block).iter().enumerate() {
                 let InstData::ParallelCopy { copies } = func.inst(inst) else { continue };
-                for copy in copies {
+                for copy in func.copy_list(*copies) {
                     let (a, b) = (copy.src, copy.dst);
                     if classes.same_class(a, b) {
                         continue; // already coalesced, move will disappear
@@ -890,6 +895,52 @@ fn decide<L: BlockLiveness>(
     *out_moves_coalesced = moves_coalesced;
 }
 
+/// Stable merge sort of a move list by decreasing block weight, through a
+/// caller-owned merge buffer. Behaviourally identical to
+/// `items.sort_by(|a, b| weight(b.block).partial_cmp(&weight(a.block))…)` —
+/// a stable sort's output is uniquely determined by its comparator — but
+/// without the std stable sort's internal allocation (its merge buffer is
+/// heap-allocated above ~20 elements), which was the last steady-state
+/// allocation of the decision phase.
+fn sort_moves_by_weight_desc(
+    items: &mut [InsertedMove],
+    buf: &mut Vec<InsertedMove>,
+    weight: &impl Fn(Block) -> f64,
+) {
+    let n = items.len();
+    if n < 2 {
+        return;
+    }
+    let cmp = |a: &InsertedMove, b: &InsertedMove| {
+        weight(b.block).partial_cmp(&weight(a.block)).unwrap_or(std::cmp::Ordering::Equal)
+    };
+    let mut width = 1;
+    while width < n {
+        buf.clear();
+        let mut start = 0;
+        while start < n {
+            let mid = (start + width).min(n);
+            let end = (start + 2 * width).min(n);
+            let (mut l, mut r) = (start, mid);
+            while l < mid && r < end {
+                // `<=` keeps the left run's element on ties: stability.
+                if cmp(&items[l], &items[r]) == std::cmp::Ordering::Greater {
+                    buf.push(items[r]);
+                    r += 1;
+                } else {
+                    buf.push(items[l]);
+                    l += 1;
+                }
+            }
+            buf.extend_from_slice(&items[l..mid]);
+            buf.extend_from_slice(&items[r..end]);
+            start = end;
+        }
+        items.copy_from_slice(buf);
+        width *= 2;
+    }
+}
+
 /// Records the location (block, position) of every parallel-copy destination
 /// into the reusable `locations` map, used by the virtualized processing to
 /// reason about copies that are not yet committed.
@@ -905,7 +956,7 @@ fn parallel_copy_locations_into(
     for block in func.blocks() {
         for (pos, &inst) in func.block_insts(block).iter().enumerate() {
             if let InstData::ParallelCopy { copies } = func.inst(inst) {
-                for copy in copies {
+                for copy in func.copy_list(*copies) {
                     locations[copy.dst] = Some((block, pos));
                 }
             }
@@ -1033,7 +1084,12 @@ struct KeptCopy {
 /// (removals shift the remainder of the block into place) so no block or
 /// instruction list is snapshotted, and the parallel-copy storage is edited
 /// in place.
-fn rewrite(func: &mut Function, decisions: &Decisions, kept: &mut Vec<KeptCopy>) {
+fn rewrite(
+    func: &mut Function,
+    decisions: &Decisions,
+    kept: &mut Vec<KeptCopy>,
+    kept_pairs: &mut Vec<ossa_ir::CopyPair>,
+) {
     let rep = |v: Value| (*decisions.class_rep.get(v)).unwrap_or(v);
 
     for bi in 0..func.num_blocks() {
@@ -1061,7 +1117,7 @@ fn rewrite(func: &mut Function, decisions: &Decisions, kept: &mut Vec<KeptCopy>)
                 let removed = |dst: Value| {
                     decisions.removed_moves.iter().any(|&(i, d)| i == inst && d == dst)
                 };
-                for c in copies.iter().filter(|c| !removed(c.dst)) {
+                for c in func.copy_list(*copies).iter().filter(|c| !removed(c.dst)) {
                     let pair = ossa_ir::CopyPair { dst: rep(c.dst), src: rep(c.src) };
                     if pair.dst == pair.src {
                         continue;
@@ -1092,14 +1148,16 @@ fn rewrite(func: &mut Function, decisions: &Decisions, kept: &mut Vec<KeptCopy>)
                     func.remove_inst(block, inst);
                     continue;
                 }
-                let InstData::ParallelCopy { copies } = func.inst_mut(inst) else { unreachable!() };
-                copies.clear();
-                copies.extend(kept.iter().map(|k| k.pair));
+                // Write the surviving moves back into the instruction's pool
+                // block in place (the rewrite only ever shrinks the list).
+                kept_pairs.clear();
+                kept_pairs.extend(kept.iter().map(|k| k.pair));
+                func.set_parallel_copies(inst, kept_pairs);
                 pos += 1;
                 continue;
             }
-            func.inst_mut(inst).map_uses(rep);
-            func.inst_mut(inst).map_defs(rep);
+            func.map_inst_uses(inst, rep);
+            func.map_inst_defs(inst, rep);
             // Plain copies that became self-copies disappear.
             if let InstData::Copy { dst, src } = *func.inst(inst) {
                 if dst == src {

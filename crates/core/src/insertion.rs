@@ -26,9 +26,9 @@
 
 use std::collections::HashMap;
 
-use ossa_ir::entity::{Block, Inst, SecondaryMap, Value};
+use ossa_ir::entity::{Block, EntitySet, Inst, SecondaryMap, Value};
 use ossa_ir::instruction::callconv;
-use ossa_ir::{CopyPair, DefSite, Function, InstData, PhiArg};
+use ossa_ir::{CopyList, CopyPair, DefSite, Function, InstData, PhiArg};
 use ossa_ssa::split_edge;
 
 /// One φ-web produced by copy insertion: the primed values to pre-coalesce.
@@ -69,6 +69,12 @@ pub struct CopyInsertion {
     pub edges_split: usize,
     /// Number of fresh values created.
     pub values_created: usize,
+    /// Blocks whose instruction stream this insertion run touched, each
+    /// listed once — the dirty set the caller hands to the per-block
+    /// liveness invalidation when no edge was split.
+    pub dirty_blocks: Vec<Block>,
+    /// Membership set of `dirty_blocks`.
+    dirty_seen: EntitySet<Block>,
     /// Retired φ-webs whose member/move buffers the next run reuses.
     spare_webs: Vec<PhiWeb>,
     /// Per-run working storage of [`insert_phi_copies_into`].
@@ -90,6 +96,7 @@ struct InsertionScratch {
     iso_defs: Vec<Value>,
     iso_rewrites: Vec<(usize, Value)>,
     iso_replacement: HashMap<Value, Value>,
+    iso_pairs: Vec<CopyPair>,
     defs_tmp: Vec<Value>,
 }
 
@@ -105,10 +112,18 @@ impl CopyInsertion {
         self.moves.clear();
         self.edges_split = 0;
         self.values_created = 0;
+        self.dirty_blocks.clear();
+        self.dirty_seen.reset();
     }
 
     fn record_move(&mut self, dst: Value, src: Value, block: Block) {
         self.moves.push(InsertedMove { dst, src, block });
+    }
+
+    fn mark_dirty(&mut self, block: Block) {
+        if self.dirty_seen.insert(block) {
+            self.dirty_blocks.push(block);
+        }
     }
 
     fn take_web(&mut self, block: Block) -> PhiWeb {
@@ -133,7 +148,7 @@ fn pred_parallel_copy(func: &mut Function, block: Block, cache: &mut ParallelCop
     }
     let pos =
         func.block_len(block).saturating_sub(if func.terminator(block).is_some() { 1 } else { 0 });
-    let inst = func.insert_inst(block, pos, InstData::ParallelCopy { copies: Vec::new() });
+    let inst = func.insert_inst(block, pos, InstData::ParallelCopy { copies: CopyList::default() });
     cache[block] = Some(inst);
     inst
 }
@@ -144,17 +159,13 @@ fn entry_parallel_copy(func: &mut Function, block: Block, cache: &mut ParallelCo
         return inst;
     }
     let pos = func.first_non_phi(block);
-    let inst = func.insert_inst(block, pos, InstData::ParallelCopy { copies: Vec::new() });
+    let inst = func.insert_inst(block, pos, InstData::ParallelCopy { copies: CopyList::default() });
     cache[block] = Some(inst);
     inst
 }
 
 fn push_move(func: &mut Function, pc: Inst, dst: Value, src: Value) {
-    if let InstData::ParallelCopy { copies } = func.inst_mut(pc) {
-        copies.push(CopyPair { dst, src });
-    } else {
-        unreachable!("parallel copy expected");
-    }
+    func.parallel_copy_push(pc, CopyPair { dst, src });
 }
 
 /// Runs Method I copy insertion on `func` (in SSA form). Returns the φ-webs
@@ -194,7 +205,7 @@ pub fn insert_phi_copies_into(func: &mut Function, result: &mut CopyInsertion) {
         // defined by the predecessor's terminator (the br_dec case).
         scratch.preds_split.clear();
         for &phi in &scratch.phis {
-            let Some(args) = func.inst(phi).phi_args() else { continue };
+            let Some(args) = func.inst_phi_args(phi) else { continue };
             for arg in args {
                 if let (Some(site), Some(term)) =
                     (scratch.defs[arg.value], func.terminator(arg.block))
@@ -217,9 +228,10 @@ pub fn insert_phi_copies_into(func: &mut Function, result: &mut CopyInsertion) {
         }
 
         let entry_pc = entry_parallel_copy(func, block, &mut scratch.entry_pcs);
+        result.mark_dirty(block);
 
         for &phi in &scratch.phis {
-            // Read the φ shape without cloning its argument vector.
+            // Read the φ shape without cloning its argument list.
             let (dst, num_args) = {
                 let InstData::Phi { dst, args } = func.inst(phi) else { continue };
                 (*dst, args.len())
@@ -242,7 +254,7 @@ pub fn insert_phi_copies_into(func: &mut Function, result: &mut CopyInsertion) {
             for i in 0..num_args {
                 let arg = {
                     let InstData::Phi { args, .. } = func.inst(phi) else { unreachable!() };
-                    args[i]
+                    func.phi_list(*args)[i]
                 };
                 let primed = func.new_value();
                 result.values_created += 1;
@@ -250,18 +262,19 @@ pub fn insert_phi_copies_into(func: &mut Function, result: &mut CopyInsertion) {
                     *scratch.split_edges.get(&(arg.block, block)).unwrap_or(&arg.block);
                 let pc = pred_parallel_copy(func, copy_block, &mut scratch.pred_pcs);
                 push_move(func, pc, primed, arg.value);
+                result.mark_dirty(copy_block);
                 result.record_move(primed, arg.value, copy_block);
                 web.moves.push(InsertedMove { dst: primed, src: arg.value, block: copy_block });
                 web.members.push(primed);
                 scratch.new_args.push(PhiArg { block: copy_block, value: primed });
             }
 
-            // Rewrite the φ in place, reusing its argument storage.
-            if let InstData::Phi { dst, args } = func.inst_mut(phi) {
+            // Rewrite the φ in place, reusing its argument storage (the
+            // argument count is unchanged, so the pool block is).
+            if let InstData::Phi { dst, .. } = func.inst_mut(phi) {
                 *dst = primed_dst;
-                args.clear();
-                args.extend_from_slice(&scratch.new_args);
             }
+            func.phi_args_mut(phi).copy_from_slice(&scratch.new_args);
             result.webs.push(web);
         }
     }
@@ -308,13 +321,14 @@ pub fn isolate_pinned_values(func: &mut Function, out: &mut CopyInsertion) {
             {
                 let data = func.inst(inst);
                 if let InstData::Call { args, .. } = data {
+                    let args = func.value_list(*args);
                     for (i, &u) in args.iter().take(callconv::NUM_ARG_REGS).enumerate() {
                         if func.pinned_reg(u).is_some() {
                             scratch.iso_uses.push((i, u, callconv::arg_reg(i)));
                         }
                     }
                 }
-                data.collect_defs(&mut scratch.defs_tmp);
+                data.collect_defs(func.pools(), &mut scratch.defs_tmp);
             }
             for i in 0..scratch.defs_tmp.len() {
                 let d = scratch.defs_tmp[i];
@@ -331,23 +345,24 @@ pub fn isolate_pinned_values(func: &mut Function, out: &mut CopyInsertion) {
             // value defined by a parallel copy right before the instruction,
             // rewriting that position (and only it) to the clone.
             if !scratch.iso_uses.is_empty() {
-                let mut copies = Vec::with_capacity(scratch.iso_uses.len());
+                scratch.iso_pairs.clear();
                 scratch.iso_rewrites.clear();
                 for &(arg_index, u, reg) in &scratch.iso_uses {
                     let clone = func.new_value();
                     func.pin_value(clone, reg);
                     out.values_created += 1;
-                    copies.push(CopyPair { dst: clone, src: u });
+                    scratch.iso_pairs.push(CopyPair { dst: clone, src: u });
                     out.record_move(clone, u, block);
                     scratch.iso_rewrites.push((arg_index, clone));
                 }
+                let copies = func.make_copy_list(&scratch.iso_pairs);
                 func.insert_inst(block, pos, InstData::ParallelCopy { copies });
+                out.mark_dirty(block);
                 pos += 1; // the constraining instruction moved one slot down
                 let inst = func.block_insts(block)[pos];
-                if let InstData::Call { args, .. } = func.inst_mut(inst) {
-                    for &(arg_index, clone) in &scratch.iso_rewrites {
-                        args[arg_index] = clone;
-                    }
+                let args = func.call_args_mut(inst);
+                for &(arg_index, clone) in &scratch.iso_rewrites {
+                    args[arg_index] = clone;
                 }
                 for &(_, u, _) in &scratch.iso_uses {
                     unpin(func, u);
@@ -360,20 +375,23 @@ pub fn isolate_pinned_values(func: &mut Function, out: &mut CopyInsertion) {
             // (only `br_dec` counters) keep their pin untouched.
             if !scratch.iso_defs.is_empty() && !func.inst(inst).is_terminator() {
                 let inst = func.block_insts(block)[pos];
-                let mut copies = Vec::with_capacity(scratch.iso_defs.len());
+                scratch.iso_pairs.clear();
                 scratch.iso_replacement.clear();
                 for &d in &scratch.iso_defs {
                     let reg = func.pinned_reg(d).expect("pinned");
                     let clone = func.new_value();
                     func.pin_value(clone, reg);
                     out.values_created += 1;
-                    copies.push(CopyPair { dst: d, src: clone });
+                    scratch.iso_pairs.push(CopyPair { dst: d, src: clone });
                     out.record_move(d, clone, block);
                     scratch.iso_replacement.insert(d, clone);
                 }
-                let replacement = &scratch.iso_replacement;
-                func.inst_mut(inst).map_defs(|v| replacement.get(&v).copied().unwrap_or(v));
+                let replacement = std::mem::take(&mut scratch.iso_replacement);
+                func.map_inst_defs(inst, |v| replacement.get(&v).copied().unwrap_or(v));
+                scratch.iso_replacement = replacement;
+                let copies = func.make_copy_list(&scratch.iso_pairs);
                 func.insert_inst(block, pos + 1, InstData::ParallelCopy { copies });
+                out.mark_dirty(block);
                 for &d in &scratch.iso_defs {
                     unpin(func, d);
                 }
@@ -549,7 +567,7 @@ mod tests {
             .flat_map(|bl| f.block_insts(bl).iter().copied())
             .find(|&i| matches!(f.inst(i), InstData::Call { .. }))
             .unwrap();
-        for v in f.inst(call).uses().into_iter().chain(f.inst(call).defs()) {
+        for v in f.inst(call).uses(f.pools()).into_iter().chain(f.inst(call).defs(f.pools())) {
             assert!(f.pinned_reg(v).is_some());
         }
     }
@@ -577,6 +595,7 @@ mod tests {
             .find(|&i| matches!(f.inst(i), InstData::Call { .. }))
             .unwrap();
         let InstData::Call { args, .. } = f.inst(call) else { panic!() };
+        let args = f.value_list(*args);
         assert_ne!(args[0], args[1], "each position must have its own clone");
         assert_eq!(f.pinned_reg(args[0]), Some(callconv::arg_reg(0)));
         assert_eq!(f.pinned_reg(args[1]), Some(callconv::arg_reg(1)));

@@ -178,8 +178,8 @@ pub fn copy_related_universe_into(
             let data = func.inst(inst);
             if data.is_phi() || data.is_copy_like() {
                 scratch.clear();
-                data.collect_defs(scratch);
-                data.collect_uses(scratch);
+                data.collect_defs(func.pools(), scratch);
+                data.collect_uses(func.pools(), scratch);
                 for &v in scratch.iter() {
                     if seen.insert(v) {
                         universe.push(v);

@@ -220,9 +220,9 @@ pub fn sequentialize_function_with(func: &mut Function, scratch: &mut SeqScratch
                 let temp = func.new_value();
                 // Borrow the copies in place: the scratch owns the result, so
                 // nothing of the instruction needs to be cloned before it is
-                // removed.
+                // removed (removal retires the pool block for reuse).
                 let InstData::ParallelCopy { copies } = func.inst(inst) else { unreachable!() };
-                let seq = match scratch.try_sequentialize(copies, temp) {
+                let seq = match scratch.try_sequentialize(func.copy_list(*copies), temp) {
                     Ok(seq) => seq,
                     Err(err) => panic!("{err}"),
                 };

@@ -56,7 +56,9 @@ impl ValueTable {
                         // sources first (into a reusable scratch) is sound.
                         resolved.clear();
                         resolved.extend(
-                            copies.iter().map(|c| (c.dst, value_of[c.src].unwrap_or(c.src))),
+                            func.copy_list(*copies)
+                                .iter()
+                                .map(|c| (c.dst, value_of[c.src].unwrap_or(c.src))),
                         );
                         for &(dst, value) in resolved.iter() {
                             value_of[dst] = Some(value);
@@ -64,7 +66,7 @@ impl ValueTable {
                     }
                     data => {
                         defs.clear();
-                        data.collect_defs(defs);
+                        data.collect_defs(func.pools(), defs);
                         for &dst in defs.iter() {
                             value_of[dst] = Some(dst);
                         }

@@ -159,9 +159,9 @@ impl Interpreter {
                         return Err(ExecError::FuelExhausted);
                     }
                     let data = func.inst(phi);
-                    let dst = data.defs()[0];
+                    let InstData::Phi { dst, .. } = *data else { unreachable!("phi expected") };
                     let arg = data
-                        .phi_args()
+                        .phi_args(func.pools())
                         .expect("phi")
                         .iter()
                         .find(|a| a.block == from)
@@ -206,7 +206,8 @@ impl Interpreter {
                         env.insert(*dst, v);
                     }
                     InstData::ParallelCopy { copies } => {
-                        let reads: Vec<(Value, i64)> = copies
+                        let reads: Vec<(Value, i64)> = func
+                            .copy_list(*copies)
                             .iter()
                             .map(|c| read(&env, c.src).map(|v| (c.dst, v)))
                             .collect::<Result<_, _>>()?;
@@ -215,8 +216,11 @@ impl Interpreter {
                         }
                     }
                     InstData::Call { dst, callee, args } => {
-                        let arg_values: Vec<i64> =
-                            args.iter().map(|&a| read(&env, a)).collect::<Result<_, _>>()?;
+                        let arg_values: Vec<i64> = func
+                            .value_list(*args)
+                            .iter()
+                            .map(|&a| read(&env, a))
+                            .collect::<Result<_, _>>()?;
                         let result = model_call(*callee, &arg_values);
                         trace.push(Event::Call { callee: *callee, args: arg_values, result });
                         if let Some(dst) = dst {

@@ -103,6 +103,8 @@ pub struct AnalysisManager {
     spare_cfg: Cell<Option<ControlFlowGraph>>,
     spare_domtree: Cell<Option<DominatorTree>>,
     spare_frontiers: Cell<Option<DominanceFrontiers>>,
+    spare_loops: Cell<Option<LoopAnalysis>>,
+    spare_freqs: Cell<Option<BlockFrequencies>>,
     counts: Cell<IrAnalysisCounts>,
 }
 
@@ -194,11 +196,15 @@ impl AnalysisManager {
         self.domtree(func);
         self.loops.get_or_init(|| {
             self.bump(|c| c.loops += 1);
-            LoopAnalysis::compute(
-                func,
-                self.cfg.get().expect("cfg"),
-                self.domtree.get().expect("domtree"),
-            )
+            let cfg = self.cfg.get().expect("cfg");
+            let domtree = self.domtree.get().expect("domtree");
+            match self.spare_loops.take() {
+                Some(mut loops) => {
+                    loops.recompute(func, cfg, domtree);
+                    loops
+                }
+                None => LoopAnalysis::compute(func, cfg, domtree),
+            }
         })
     }
 
@@ -207,7 +213,14 @@ impl AnalysisManager {
         self.loops(func);
         self.freqs.get_or_init(|| {
             self.bump(|c| c.frequencies += 1);
-            BlockFrequencies::from_loop_depths(func, self.loops.get().expect("loops"))
+            let loops = self.loops.get().expect("loops");
+            match self.spare_freqs.take() {
+                Some(mut freqs) => {
+                    freqs.recompute_from_loop_depths(func, loops);
+                    freqs
+                }
+                None => BlockFrequencies::from_loop_depths(func, loops),
+            }
         })
     }
 
@@ -228,8 +241,12 @@ impl AnalysisManager {
         if let Some(frontiers) = self.frontiers.take() {
             self.spare_frontiers.set(Some(frontiers));
         }
-        self.loops.take();
-        self.freqs.take();
+        if let Some(loops) = self.loops.take() {
+            self.spare_loops.set(Some(loops));
+        }
+        if let Some(freqs) = self.freqs.take() {
+            self.spare_freqs.set(Some(freqs));
+        }
         self.bump(|c| c.cfg_versions += 1);
     }
 

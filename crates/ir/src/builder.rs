@@ -43,6 +43,14 @@ impl FunctionBuilder {
         Self { func, current: None }
     }
 
+    /// Recycles `func`'s storage (blocks, instructions, values, operand
+    /// arenas) for a fresh build: the function is [`Function::reset`] and the
+    /// builder starts from the empty state, reusing every heap allocation.
+    pub fn reuse(mut func: Function, name: impl Into<String>, num_params: u32) -> Self {
+        func.reset(name, num_params);
+        Self { func, current: None }
+    }
+
     /// Consumes the builder and returns the function.
     pub fn finish(self) -> Function {
         self.func
@@ -142,6 +150,7 @@ impl FunctionBuilder {
 
     /// Emits a parallel copy.
     pub fn parallel_copy(&mut self, copies: Vec<CopyPair>) -> Inst {
+        let copies = self.func.make_copy_list(&copies);
         self.emit(InstData::ParallelCopy { copies })
     }
 
@@ -166,7 +175,9 @@ impl FunctionBuilder {
 
     /// Emits a φ-function defining an existing value.
     pub fn phi_to(&mut self, dst: Value, args: Vec<(Block, Value)>) -> Inst {
-        let args = args.into_iter().map(|(block, value)| PhiArg { block, value }).collect();
+        let args: Vec<PhiArg> =
+            args.into_iter().map(|(block, value)| PhiArg { block, value }).collect();
+        let args = self.func.make_phi_list(&args);
         let block = self.current_block();
         let pos = self.func.first_non_phi(block);
         self.func.insert_inst(block, pos, InstData::Phi { dst, args })
@@ -175,12 +186,14 @@ impl FunctionBuilder {
     /// Emits an opaque call and returns its result value.
     pub fn call(&mut self, callee: u32, args: Vec<Value>) -> Value {
         let dst = self.func.new_value();
+        let args = self.func.make_value_list(&args);
         self.emit(InstData::Call { dst: Some(dst), callee, args });
         dst
     }
 
     /// Emits a call whose result is discarded.
     pub fn call_void(&mut self, callee: u32, args: Vec<Value>) -> Inst {
+        let args = self.func.make_value_list(&args);
         self.emit(InstData::Call { dst: None, callee, args })
     }
 
@@ -295,7 +308,7 @@ mod tests {
         assert_eq!(f.first_non_phi(join), 1);
         let phis = f.phis(join);
         assert_eq!(phis.len(), 1);
-        assert_eq!(f.inst(phis[0]).defs(), vec![p]);
+        assert_eq!(f.inst(phis[0]).defs(f.pools()), vec![p]);
     }
 
     #[test]
@@ -314,7 +327,7 @@ mod tests {
         b.ret(None);
         let f = b.finish();
         let term = f.terminator(body).unwrap();
-        assert_eq!(f.inst(term).defs(), vec![dec]);
-        assert_eq!(f.inst(term).uses(), vec![n]);
+        assert_eq!(f.inst(term).defs(f.pools()), vec![dec]);
+        assert_eq!(f.inst(term).uses(f.pools()), vec![n]);
     }
 }

@@ -1,85 +1,126 @@
 //! Control-flow graph: cached predecessor/successor lists and traversal
 //! orders.
+//!
+//! Edge lists are stored in compressed sparse-row form (one flat edge array
+//! plus per-block offsets, per direction), so recomputing the CFG into
+//! recycled storage performs no per-block allocation: the four backing
+//! vectors amortize to the corpus high-water mark.
 
-use crate::entity::{Block, EntitySet, SecondaryMap};
+use crate::entity::{Block, EntityRef, EntitySet};
 use crate::function::Function;
+
+/// Compressed sparse-row adjacency: `edges[offsets[b] .. offsets[b + 1]]`
+/// are the neighbours of block `b`.
+#[derive(Clone, Debug, Default)]
+struct Adjacency {
+    offsets: Vec<u32>,
+    edges: Vec<Block>,
+}
+
+impl Adjacency {
+    #[inline]
+    fn of(&self, block: Block) -> &[Block] {
+        let i = block.index();
+        match (self.offsets.get(i), self.offsets.get(i + 1)) {
+            (Some(&lo), Some(&hi)) => &self.edges[lo as usize..hi as usize],
+            _ => &[],
+        }
+    }
+}
 
 /// Cached predecessor and successor lists of a function's CFG, plus reverse
 /// post-order.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ControlFlowGraph {
-    succs: SecondaryMap<Block, Vec<Block>>,
-    preds: SecondaryMap<Block, Vec<Block>>,
+    succs: Adjacency,
+    preds: Adjacency,
     rpo: Vec<Block>,
     reachable: EntitySet<Block>,
+    /// DFS scratch of the traversal-order computation.
+    stack: Vec<(Block, u32)>,
 }
 
 impl ControlFlowGraph {
     /// Computes the CFG of `func`.
     pub fn compute(func: &Function) -> Self {
-        let mut this = Self {
-            succs: SecondaryMap::new(),
-            preds: SecondaryMap::new(),
-            rpo: Vec::new(),
-            reachable: EntitySet::new(),
-        };
+        let mut this = Self::default();
         this.recompute(func);
         this
     }
 
-    /// Recomputes the CFG of `func` in place, reusing the per-block edge
-    /// lists, the traversal order and the reachability set of a previous
-    /// computation (possibly of a *different* function). The result is
-    /// indistinguishable from [`ControlFlowGraph::compute`]; only the heap
-    /// traffic differs — this is what lets an analysis cache recycle its
-    /// storage across the functions of a corpus.
+    /// Recomputes the CFG of `func` in place, reusing the edge storage and
+    /// the traversal order of a previous computation (possibly of a
+    /// *different* function). The result is indistinguishable from
+    /// [`ControlFlowGraph::compute`]; only the heap traffic differs — this
+    /// is what lets an analysis cache recycle its storage across the
+    /// functions of a corpus.
     pub fn recompute(&mut self, func: &Function) {
-        // Truncate before the reset walk so the per-function reset cost is
-        // O(current function), not O(largest function ever seen).
-        self.succs.truncate(func.num_blocks());
-        self.preds.truncate(func.num_blocks());
-        for list in self.succs.values_mut() {
-            list.clear();
-        }
-        for list in self.preds.values_mut() {
-            list.clear();
-        }
-        self.succs.resize(func.num_blocks());
-        self.preds.resize(func.num_blocks());
-        for block in func.blocks() {
-            let s = func.successors(block);
-            for &succ in &s {
-                self.preds[succ].push(block);
+        let num_blocks = func.num_blocks();
+
+        // Successor CSR: blocks emit their (at most two) successors in
+        // index order, so one forward pass fills both arrays.
+        self.succs.offsets.clear();
+        self.succs.edges.clear();
+        self.succs.offsets.reserve(num_blocks + 1);
+        self.succs.offsets.push(0);
+        for bi in 0..num_blocks {
+            let block = Block::new(bi);
+            for succ in func.successors_iter(block) {
+                self.succs.edges.push(succ);
             }
-            // Reuse the recycled buffer when there is one; otherwise move the
-            // freshly built list in (one allocation, as a fresh compute).
-            if self.succs[block].capacity() == 0 {
-                self.succs[block] = s;
-            } else {
-                self.succs[block].extend_from_slice(&s);
+            self.succs.offsets.push(self.succs.edges.len() as u32);
+        }
+
+        // Predecessor CSR: count → prefix-sum → cursor fill → shift, the
+        // same in-offsets discipline as the use-site index.
+        let offsets = &mut self.preds.offsets;
+        offsets.clear();
+        offsets.resize(num_blocks + 1, 0);
+        for &succ in &self.succs.edges {
+            offsets[succ.index() + 1] += 1;
+        }
+        for i in 0..num_blocks {
+            offsets[i + 1] += offsets[i];
+        }
+        let total = offsets[num_blocks] as usize;
+        self.preds.edges.clear();
+        self.preds.edges.resize(total, Block::new(0));
+        for bi in 0..num_blocks {
+            let block = Block::new(bi);
+            let (lo, hi) = (self.succs.offsets[bi] as usize, self.succs.offsets[bi + 1] as usize);
+            for &succ in &self.succs.edges[lo..hi] {
+                let slot = offsets[succ.index()];
+                offsets[succ.index()] += 1;
+                self.preds.edges[slot as usize] = block;
             }
         }
+        for i in (1..=num_blocks).rev() {
+            offsets[i] = offsets[i - 1];
+        }
+        offsets[0] = 0;
 
         // Post-order DFS from the entry block, accumulated into `rpo` and
         // reversed in place.
         self.rpo.clear();
-        self.rpo.reserve(func.num_blocks());
+        self.rpo.reserve(num_blocks);
         self.reachable.reset();
         if func.has_entry() {
             let entry = func.entry();
             // Iterative DFS with an explicit stack of (block, next-successor).
-            let mut stack: Vec<(Block, usize)> = vec![(entry, 0)];
+            self.stack.clear();
+            self.stack.push((entry, 0));
             self.reachable.insert(entry);
-            while let Some(&mut (block, ref mut next)) = stack.last_mut() {
-                if *next < self.succs[block].len() {
-                    let succ = self.succs[block][*next];
+            while let Some(&mut (block, ref mut next)) = self.stack.last_mut() {
+                let succs = self.succs.of(block);
+                if (*next as usize) < succs.len() {
+                    let succ = succs[*next as usize];
                     *next += 1;
                     if self.reachable.insert(succ) {
-                        stack.push((succ, 0));
+                        self.stack.push((succ, 0));
                     }
                 } else {
                     self.rpo.push(block);
-                    stack.pop();
+                    self.stack.pop();
                 }
             }
         }
@@ -87,13 +128,15 @@ impl ControlFlowGraph {
     }
 
     /// Successors of `block`.
+    #[inline]
     pub fn succs(&self, block: Block) -> &[Block] {
-        &self.succs[block]
+        self.succs.of(block)
     }
 
     /// Predecessors of `block`.
+    #[inline]
     pub fn preds(&self, block: Block) -> &[Block] {
-        &self.preds[block]
+        self.preds.of(block)
     }
 
     /// Blocks reachable from the entry, in reverse post-order.

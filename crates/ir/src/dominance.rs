@@ -24,6 +24,8 @@ pub struct DominatorTree {
     preorder: Vec<Block>,
     entry: Block,
     rpo_index: SecondaryMap<Block, u32>,
+    /// DFS scratch of the numbering pass, recycled across recomputations.
+    stack: Vec<(Block, usize)>,
 }
 
 impl DominatorTree {
@@ -37,6 +39,7 @@ impl DominatorTree {
             preorder: Vec::new(),
             entry: Block::from_index(0),
             rpo_index: SecondaryMap::with_default(u32::MAX),
+            stack: Vec::new(),
         };
         this.recompute(func, cfg);
         this
@@ -48,11 +51,11 @@ impl DominatorTree {
     pub fn recompute(&mut self, func: &Function, cfg: &ControlFlowGraph) {
         // Reset every materialized slot to its default: stale entries from a
         // previous (possibly larger) function must read as "unreachable".
-        // Truncate first so the reset walk costs O(current function), not
-        // O(largest function ever seen).
+        // Plain-data maps are truncated (their backing vector keeps its
+        // capacity either way); the child lists keep their buffers so a
+        // later, larger function reuses them instead of reallocating.
         let num_blocks = func.num_blocks();
         self.idom.truncate(num_blocks);
-        self.children.truncate(num_blocks);
         self.pre.truncate(num_blocks);
         self.post.truncate(num_blocks);
         self.rpo_index.truncate(num_blocks);
@@ -126,21 +129,22 @@ impl DominatorTree {
         self.post.resize(func.num_blocks());
         let mut pre_counter = 1u32;
         let mut post_counter = 0u32;
-        let mut stack: Vec<(Block, usize)> = vec![(entry, 0)];
+        self.stack.clear();
+        self.stack.push((entry, 0));
         self.pre[entry] = 0;
         self.preorder.push(entry);
-        while let Some(&mut (block, ref mut next)) = stack.last_mut() {
+        while let Some(&mut (block, ref mut next)) = self.stack.last_mut() {
             if *next < self.children[block].len() {
                 let child = self.children[block][*next];
                 *next += 1;
                 self.pre[child] = pre_counter;
                 pre_counter += 1;
                 self.preorder.push(child);
-                stack.push((child, 0));
+                self.stack.push((child, 0));
             } else {
                 self.post[block] = post_counter;
                 post_counter += 1;
-                stack.pop();
+                self.stack.pop();
             }
         }
     }
@@ -245,11 +249,10 @@ impl DominanceFrontiers {
         this
     }
 
-    /// Recomputes the frontiers in place, reusing the per-block lists
-    /// (truncated to the current function first, so the reset walk costs
-    /// O(current function)).
+    /// Recomputes the frontiers in place, reusing the per-block lists (their
+    /// buffers are kept across functions — the per-slot reset is O(1) — so
+    /// recomputation over a corpus does not reallocate them).
     pub fn recompute(&mut self, func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) {
-        self.frontiers.truncate(func.num_blocks());
         for list in self.frontiers.values_mut() {
             list.clear();
         }

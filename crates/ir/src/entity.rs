@@ -152,6 +152,18 @@ impl<K: EntityRef, V> PrimaryMap<K, V> {
     pub fn next_key(&self) -> K {
         K::new(self.elems.len())
     }
+
+    /// Iterates mutably over the values in allocation order (the reset walk
+    /// of the recycling paths).
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.elems.iter_mut()
+    }
+
+    /// Drops every entity while keeping the backing capacity — the
+    /// per-function reset of the `truncate` discipline.
+    pub fn clear(&mut self) {
+        self.elems.clear();
+    }
 }
 
 impl<K: EntityRef, V> Default for PrimaryMap<K, V> {

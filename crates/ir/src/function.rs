@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use crate::entity::{Block, EntitySet, Inst, PrimaryMap, SecondaryMap, Value};
-use crate::instruction::{InstData, PhiArg};
+use crate::instruction::{CopyList, CopyPair, InstData, PhiArg, PhiList, ValueList};
+use crate::pool::IrPools;
 
 /// Data attached to each basic block: its instruction sequence.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -37,7 +38,13 @@ pub struct DefSite {
 /// mutable virtual registers and may have several definitions) and after
 /// (every value has a unique definition and φ-functions appear at block
 /// entries). The [`crate::verify`] module checks the SSA invariants.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Variable-length instruction payloads live in the function-owned
+/// [`IrPools`] arenas; instructions store [`crate::pool::PoolList`] handles.
+/// Equality ([`PartialEq`]) compares *resolved content*, so two functions
+/// built through different histories (e.g. one through recycled arenas)
+/// compare equal iff their attached code is identical.
+#[derive(Clone, Debug)]
 pub struct Function {
     /// Function name (used by printers and the benchmark harness).
     pub name: String,
@@ -48,7 +55,39 @@ pub struct Function {
     values: PrimaryMap<Value, ValueInfo>,
     entry: Option<Block>,
     layout: Vec<Block>,
+    pools: IrPools,
+    /// Block data retired by [`Function::reset`], reused (with their
+    /// instruction-list buffers) by [`Function::add_block`].
+    spare_blocks: Vec<BlockData>,
 }
+
+impl PartialEq for Function {
+    fn eq(&self, other: &Self) -> bool {
+        if self.name != other.name
+            || self.num_params != other.num_params
+            || self.entry != other.entry
+            || self.layout != other.layout
+            || self.values != other.values
+        {
+            return false;
+        }
+        for &block in &self.layout {
+            let a = &self.blocks[block].insts;
+            let b = &other.blocks[block].insts;
+            if a.len() != b.len() {
+                return false;
+            }
+            for (&ia, &ib) in a.iter().zip(b) {
+                if !self.insts[ia].content_eq(&self.pools, &other.insts[ib], &other.pools) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Eq for Function {}
 
 impl Function {
     /// Creates an empty function.
@@ -61,14 +100,92 @@ impl Function {
             values: PrimaryMap::new(),
             entry: None,
             layout: Vec::new(),
+            pools: IrPools::new(),
+            spare_blocks: Vec::new(),
         }
+    }
+
+    /// Resets this function to the empty state of [`Function::new`] while
+    /// keeping every heap allocation — block/instruction/value storage and
+    /// the operand arenas — for the next build. The reset is O(current
+    /// function) (the `truncate` discipline), and a rebuild through recycled
+    /// storage is bit-identical to a fresh one: the cleared pools hand out
+    /// the same offsets a fresh pool would.
+    pub fn reset(&mut self, name: impl Into<String>, num_params: u32) {
+        self.name.clear();
+        self.name.push_str(&name.into());
+        self.num_params = num_params;
+        self.insts.clear();
+        // Retire the block data (with their instruction-list buffers) into
+        // the spare list so [`Function::add_block`] reuses them.
+        for block in self.blocks.values_mut() {
+            let mut data = std::mem::take(block);
+            data.insts.clear();
+            self.spare_blocks.push(data);
+        }
+        self.blocks.clear();
+        self.values.clear();
+        self.entry = None;
+        self.layout.clear();
+        self.pools.clear();
+    }
+
+    // ----- pools ----------------------------------------------------------
+
+    /// The operand arenas (read side).
+    #[inline]
+    pub fn pools(&self) -> &IrPools {
+        &self.pools
+    }
+
+    /// The operand arenas (write side). Mutating a list another instruction
+    /// owns corrupts that instruction; prefer the typed helpers
+    /// ([`Function::parallel_copy_push`], [`Function::set_parallel_copies`],
+    /// [`Function::phi_args_mut`], ...).
+    #[inline]
+    pub fn pools_mut(&mut self) -> &mut IrPools {
+        &mut self.pools
+    }
+
+    /// Builds a call-argument list in the value pool.
+    pub fn make_value_list(&mut self, values: &[Value]) -> ValueList {
+        self.pools.values.from_slice(values)
+    }
+
+    /// Builds a φ-argument list in the φ pool.
+    pub fn make_phi_list(&mut self, args: &[PhiArg]) -> PhiList {
+        self.pools.phis.from_slice(args)
+    }
+
+    /// Builds a parallel-copy move list in the copy pool.
+    pub fn make_copy_list(&mut self, copies: &[CopyPair]) -> CopyList {
+        self.pools.copies.from_slice(copies)
+    }
+
+    /// Resolves a call-argument list.
+    #[inline]
+    pub fn value_list(&self, list: ValueList) -> &[Value] {
+        self.pools.values.get(list)
+    }
+
+    /// Resolves a φ-argument list.
+    #[inline]
+    pub fn phi_list(&self, list: PhiList) -> &[PhiArg] {
+        self.pools.phis.get(list)
+    }
+
+    /// Resolves a parallel-copy move list.
+    #[inline]
+    pub fn copy_list(&self, list: CopyList) -> &[CopyPair] {
+        self.pools.copies.get(list)
     }
 
     // ----- blocks ---------------------------------------------------------
 
     /// Creates a new, empty basic block and appends it to the layout.
     pub fn add_block(&mut self) -> Block {
-        let block = self.blocks.push(BlockData::default());
+        let data = self.spare_blocks.pop().unwrap_or_default();
+        let block = self.blocks.push(data);
         self.layout.push(block);
         block
     }
@@ -146,11 +263,15 @@ impl Function {
     }
 
     /// Returns the payload of `inst`.
+    #[inline]
     pub fn inst(&self, inst: Inst) -> &InstData {
         &self.insts[inst]
     }
 
-    /// Returns a mutable reference to the payload of `inst`.
+    /// Returns a mutable reference to the payload of `inst`. List handles
+    /// inside the payload must stay consistent with the pools; use the typed
+    /// helpers for list edits.
+    #[inline]
     pub fn inst_mut(&mut self, inst: Inst) -> &mut InstData {
         &mut self.insts[inst]
     }
@@ -173,10 +294,20 @@ impl Function {
     }
 
     /// Removes `inst` from `block`. Returns `true` if it was present.
+    ///
+    /// The instruction's operand lists (if any) are retired into the pools'
+    /// free lists for reuse by later insertions; the detached payload keeps
+    /// an empty handle.
     pub fn remove_inst(&mut self, block: Block, inst: Inst) -> bool {
         let insts = &mut self.blocks[block].insts;
         if let Some(pos) = insts.iter().position(|&i| i == inst) {
             insts.remove(pos);
+            match &mut self.insts[inst] {
+                InstData::ParallelCopy { copies } => self.pools.copies.retire(copies),
+                InstData::Phi { args, .. } => self.pools.phis.retire(args),
+                InstData::Call { args, .. } => self.pools.values.retire(args),
+                _ => {}
+            }
             true
         } else {
             false
@@ -184,6 +315,7 @@ impl Function {
     }
 
     /// The instruction sequence of `block`.
+    #[inline]
     pub fn block_insts(&self, block: Block) -> &[Inst] {
         &self.blocks[block].insts
     }
@@ -203,9 +335,21 @@ impl Function {
         self.blocks[block].insts.last().copied().filter(|&inst| self.insts[inst].is_terminator())
     }
 
+    /// Successor blocks of `block` (empty if it has no terminator),
+    /// without allocating.
+    #[inline]
+    pub fn successors_iter(&self, block: Block) -> crate::instruction::Successors {
+        match self.terminator(block) {
+            Some(term) => self.insts[term].successors_iter(),
+            None => crate::instruction::Successors::none(),
+        }
+    }
+
     /// Successor blocks of `block` (empty if it has no terminator).
+    /// Allocates; meant for tests — hot paths use
+    /// [`Function::successors_iter`].
     pub fn successors(&self, block: Block) -> Vec<Block> {
-        self.terminator(block).map(|t| self.insts[t].successors()).unwrap_or_default()
+        self.successors_iter(block).collect()
     }
 
     /// The φ-functions at the start of `block`.
@@ -241,6 +385,105 @@ impl Function {
             .sum()
     }
 
+    // ----- typed list edits ----------------------------------------------
+
+    /// Appends one move to the parallel copy `inst`.
+    ///
+    /// # Panics
+    /// Panics if `inst` is not a parallel copy.
+    pub fn parallel_copy_push(&mut self, inst: Inst, pair: CopyPair) {
+        let InstData::ParallelCopy { copies } = &mut self.insts[inst] else {
+            panic!("parallel copy expected");
+        };
+        self.pools.copies.push(copies, pair);
+    }
+
+    /// Replaces the moves of the parallel copy `inst` with `pairs`, reusing
+    /// the existing pool block when its capacity suffices (the coalescer's
+    /// rewrite only ever shrinks, so in steady state this never allocates).
+    ///
+    /// # Panics
+    /// Panics if `inst` is not a parallel copy.
+    pub fn set_parallel_copies(&mut self, inst: Inst, pairs: &[CopyPair]) {
+        let InstData::ParallelCopy { copies } = &mut self.insts[inst] else {
+            panic!("parallel copy expected");
+        };
+        if pairs.len() <= copies.len() {
+            self.pools.copies.truncate(copies, pairs.len());
+            self.pools.copies.get_mut(*copies).copy_from_slice(pairs);
+        } else {
+            let mut list = *copies;
+            self.pools.copies.truncate(&mut list, 0);
+            for &pair in pairs {
+                self.pools.copies.push(&mut list, pair);
+            }
+            *match &mut self.insts[inst] {
+                InstData::ParallelCopy { copies } => copies,
+                _ => unreachable!(),
+            } = list;
+        }
+    }
+
+    /// The φ arguments of `inst`, mutably (length fixed).
+    ///
+    /// # Panics
+    /// Panics if `inst` is not a φ-function.
+    pub fn phi_args_mut(&mut self, inst: Inst) -> &mut [PhiArg] {
+        let InstData::Phi { args, .. } = &self.insts[inst] else {
+            panic!("phi expected");
+        };
+        let list = *args;
+        self.pools.phis.get_mut(list)
+    }
+
+    /// The call arguments of `inst`, mutably (length fixed).
+    ///
+    /// # Panics
+    /// Panics if `inst` is not a call.
+    pub fn call_args_mut(&mut self, inst: Inst) -> &mut [Value] {
+        let InstData::Call { args, .. } = &self.insts[inst] else {
+            panic!("call expected");
+        };
+        let list = *args;
+        self.pools.values.get_mut(list)
+    }
+
+    /// Applies `rewrite` to every value used by `inst`.
+    pub fn map_inst_uses(&mut self, inst: Inst, rewrite: impl FnMut(Value) -> Value) {
+        let data = &mut self.insts[inst];
+        data.map_uses(&mut self.pools, rewrite);
+    }
+
+    /// Applies `rewrite` to every value defined by `inst`.
+    pub fn map_inst_defs(&mut self, inst: Inst, rewrite: impl FnMut(Value) -> Value) {
+        let data = &mut self.insts[inst];
+        data.map_defs(&mut self.pools, rewrite);
+    }
+
+    /// Appends the values defined by `inst` to `out`.
+    #[inline]
+    pub fn collect_inst_defs(&self, inst: Inst, out: &mut Vec<Value>) {
+        self.insts[inst].collect_defs(&self.pools, out);
+    }
+
+    /// Appends the values used by `inst` to `out`.
+    #[inline]
+    pub fn collect_inst_uses(&self, inst: Inst, out: &mut Vec<Value>) {
+        self.insts[inst].collect_uses(&self.pools, out);
+    }
+
+    /// The φ arguments of `inst`, if it is a φ-function.
+    #[inline]
+    pub fn inst_phi_args(&self, inst: Inst) -> Option<&[PhiArg]> {
+        self.insts[inst].phi_args(&self.pools)
+    }
+
+    /// The parallel-copy moves of `inst`, if it is a parallel copy.
+    #[inline]
+    pub fn inst_copy_pairs(&self, inst: Inst) -> Option<&[CopyPair]> {
+        self.insts[inst].copy_pairs(&self.pools)
+    }
+
     // ----- whole-function queries ----------------------------------------
 
     /// Computes the definition site of every value. In SSA form each value
@@ -270,7 +513,7 @@ impl Function {
         for block in self.blocks() {
             for (pos, &inst) in self.block_insts(block).iter().enumerate() {
                 scratch.clear();
-                self.inst(inst).collect_defs(scratch);
+                self.collect_inst_defs(inst, scratch);
                 for &value in scratch.iter() {
                     if defs[value].is_none() {
                         defs[value] = Some(DefSite { block, inst, pos });
@@ -289,7 +532,7 @@ impl Function {
         for block in self.blocks() {
             for &inst in self.block_insts(block) {
                 scratch.clear();
-                self.inst(inst).collect_defs(&mut scratch);
+                self.collect_inst_defs(inst, &mut scratch);
                 for &value in &scratch {
                     counts[value] += 1;
                 }
@@ -305,8 +548,8 @@ impl Function {
         for block in self.blocks() {
             for &inst in self.block_insts(block) {
                 scratch.clear();
-                self.inst(inst).collect_defs(&mut scratch);
-                self.inst(inst).collect_uses(&mut scratch);
+                self.collect_inst_defs(inst, &mut scratch);
+                self.collect_inst_uses(inst, &mut scratch);
                 set.extend(scratch.iter().copied());
             }
         }
@@ -318,7 +561,7 @@ impl Function {
         let mut preds: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
         preds.resize(self.num_blocks());
         for block in self.blocks() {
-            for succ in self.successors(block) {
+            for succ in self.successors_iter(block) {
                 preds[succ].push(block);
             }
         }
@@ -330,11 +573,9 @@ impl Function {
     /// critical edges.
     pub fn redirect_phi_inputs(&mut self, block: Block, old_pred: Block, new_pred: Block) {
         for inst in self.phis(block) {
-            if let InstData::Phi { args, .. } = self.inst_mut(inst) {
-                for arg in args {
-                    if arg.block == old_pred {
-                        arg.block = new_pred;
-                    }
+            for arg in self.phi_args_mut(inst) {
+                if arg.block == old_pred {
+                    arg.block = new_pred;
                 }
             }
         }
@@ -346,36 +587,35 @@ impl Function {
         self.phis(block)
             .into_iter()
             .filter_map(|inst| {
-                self.inst(inst)
-                    .phi_args()
+                self.inst_phi_args(inst)
                     .and_then(|args| args.iter().find(|a| a.block == pred))
                     .map(|arg| (inst, arg.value))
             })
             .collect()
     }
 
-    /// Replaces every φ-function by nothing and every `ParallelCopy` by a
-    /// sequence of `Copy` instructions in the given order. This is a plain
-    /// structural helper used by tests; the real sequentialization lives in
-    /// the `ossa-destruct` crate.
+    /// Counts the φ-functions of the whole function.
     pub fn count_phis(&self) -> usize {
-        self.blocks().map(|b| self.phis(b).len()).sum()
+        self.blocks().map(|b| self.first_non_phi(b)).sum()
     }
 
     /// Builds a map from value to the blocks where it is used (φ uses are
     /// attributed to the predecessor block, matching liveness semantics).
     pub fn use_blocks(&self) -> HashMap<Value, Vec<Block>> {
         let mut uses: HashMap<Value, Vec<Block>> = HashMap::new();
+        let mut scratch = Vec::new();
         for block in self.blocks() {
             for &inst in self.block_insts(block) {
-                match self.inst(inst) {
-                    InstData::Phi { args, .. } => {
+                match self.inst_phi_args(inst) {
+                    Some(args) => {
                         for PhiArg { block: pred, value } in args {
                             uses.entry(*value).or_default().push(*pred);
                         }
                     }
-                    data => {
-                        for value in data.uses() {
+                    None => {
+                        scratch.clear();
+                        self.collect_inst_uses(inst, &mut scratch);
+                        for &value in &scratch {
                             uses.entry(value).or_default().push(block);
                         }
                     }
@@ -389,7 +629,7 @@ impl Function {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instruction::{BinaryOp, CopyPair};
+    use crate::instruction::BinaryOp;
 
     fn sample_function() -> (Function, Block, Block, Block) {
         // bb0: v0 = param 0; v1 = const 1; br v0, bb1, bb2
@@ -409,13 +649,9 @@ mod tests {
         f.append_inst(bb0, InstData::Branch { cond: v0, then_dest: bb1, else_dest: bb2 });
         f.append_inst(bb1, InstData::Binary { op: BinaryOp::Add, dst: v2, args: [v0, v1] });
         f.append_inst(bb1, InstData::Jump { dest: bb2 });
-        f.append_inst(
-            bb2,
-            InstData::Phi {
-                dst: v3,
-                args: vec![PhiArg { block: bb0, value: v1 }, PhiArg { block: bb1, value: v2 }],
-            },
-        );
+        let args =
+            f.make_phi_list(&[PhiArg { block: bb0, value: v1 }, PhiArg { block: bb1, value: v2 }]);
+        f.append_inst(bb2, InstData::Phi { dst: v3, args });
         f.append_inst(bb2, InstData::Return { value: Some(v3) });
         (f, bb0, bb1, bb2)
     }
@@ -487,13 +723,8 @@ mod tests {
         let a = f.new_value();
         let b = f.new_value();
         f.insert_inst(bb0, 2, InstData::Copy { dst: a, src: b });
-        f.insert_inst(
-            bb0,
-            2,
-            InstData::ParallelCopy {
-                copies: vec![CopyPair { dst: a, src: b }, CopyPair { dst: b, src: a }],
-            },
-        );
+        let copies = f.make_copy_list(&[CopyPair { dst: a, src: b }, CopyPair { dst: b, src: a }]);
+        f.insert_inst(bb0, 2, InstData::ParallelCopy { copies });
         assert_eq!(f.count_copies(), 3);
     }
 
@@ -535,5 +766,64 @@ mod tests {
         // v0 is used by the add in bb1 and by the branch in bb0.
         let v0_uses = &uses[&Value::from_index(0)];
         assert!(v0_uses.contains(&bb0) && v0_uses.contains(&bb1));
+    }
+
+    #[test]
+    fn set_parallel_copies_shrinks_in_place() {
+        let mut f = Function::new("pc", 0);
+        let bb = f.add_block();
+        f.set_entry(bb);
+        let a = f.new_value();
+        let b = f.new_value();
+        let c = f.new_value();
+        let copies = f.make_copy_list(&[
+            CopyPair { dst: a, src: b },
+            CopyPair { dst: b, src: c },
+            CopyPair { dst: c, src: a },
+        ]);
+        let pc = f.append_inst(bb, InstData::ParallelCopy { copies });
+        let pool_len = f.pools().copies.len();
+        f.set_parallel_copies(pc, &[CopyPair { dst: b, src: c }]);
+        assert_eq!(f.inst_copy_pairs(pc).unwrap(), &[CopyPair { dst: b, src: c }]);
+        assert_eq!(f.pools().copies.len(), pool_len, "shrink reuses the block in place");
+        f.parallel_copy_push(pc, CopyPair { dst: c, src: a });
+        assert_eq!(f.inst_copy_pairs(pc).unwrap().len(), 2);
+        assert_eq!(f.pools().copies.len(), pool_len, "regrowth within capacity");
+    }
+
+    #[test]
+    fn reset_then_rebuild_is_equal_to_fresh() {
+        let (mut f, ..) = sample_function();
+        // Mutate the recycled function a bit so its pools see retire traffic.
+        let bb2 = f.blocks().nth(2).unwrap();
+        let phi = f.phis(bb2)[0];
+        f.remove_inst(bb2, phi);
+        f.reset("sample", 1);
+        // Rebuild the identical function into the recycled storage.
+        let rebuilt = {
+            let bb0 = f.add_block();
+            let bb1 = f.add_block();
+            let bb2 = f.add_block();
+            f.set_entry(bb0);
+            let v0 = f.new_value();
+            let v1 = f.new_value();
+            let v2 = f.new_value();
+            let v3 = f.new_value();
+            f.append_inst(bb0, InstData::Param { dst: v0, index: 0 });
+            f.append_inst(bb0, InstData::Const { dst: v1, imm: 1 });
+            f.append_inst(bb0, InstData::Branch { cond: v0, then_dest: bb1, else_dest: bb2 });
+            f.append_inst(bb1, InstData::Binary { op: BinaryOp::Add, dst: v2, args: [v0, v1] });
+            f.append_inst(bb1, InstData::Jump { dest: bb2 });
+            let args = f.make_phi_list(&[
+                PhiArg { block: bb0, value: v1 },
+                PhiArg { block: bb1, value: v2 },
+            ]);
+            f.append_inst(bb2, InstData::Phi { dst: v3, args });
+            f.append_inst(bb2, InstData::Return { value: Some(v3) });
+            f
+        };
+        let (fresh, ..) = sample_function();
+        assert_eq!(rebuilt, fresh);
+        assert_eq!(rebuilt.display().to_string(), fresh.display().to_string());
     }
 }

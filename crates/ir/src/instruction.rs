@@ -12,8 +12,16 @@
 //!   the copy-insertion point (the Figure 1 subtlety of the paper) and
 //!   [`InstData::BrDec`] which *defines* a value in the terminator itself
 //!   (the DSP hardware-loop branch of Figure 2).
+//!
+//! Variable-length payloads (parallel-copy moves, φ arguments, call
+//! arguments) are stored as [`crate::pool::PoolList`] handles into the
+//! function-owned arenas ([`crate::pool::IrPools`]), so constructing or
+//! editing an instruction performs no per-instruction heap allocation.
+//! Accessors that resolve those payloads take the pools as an argument; the
+//! [`crate::Function`] wrappers pass them automatically.
 
 use crate::entity::{Block, Value};
+use crate::pool::{IrPools, PoolList};
 
 /// The model's calling convention, shared by the workload generator (which
 /// pins call operands) and the out-of-SSA isolation phase (which splits the
@@ -212,8 +220,22 @@ pub struct PhiArg {
     pub value: Value,
 }
 
+/// Handle to a call-argument list stored in the function's value pool.
+pub type ValueList = PoolList<Value>;
+/// Handle to a φ-argument list stored in the function's φ pool.
+pub type PhiList = PoolList<PhiArg>;
+/// Handle to a parallel-copy move list stored in the function's copy pool.
+pub type CopyList = PoolList<CopyPair>;
+
 /// Instruction payload.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Handle-bearing variants ([`InstData::ParallelCopy`], [`InstData::Phi`],
+/// [`InstData::Call`]) resolve their lists through the owning function's
+/// [`IrPools`]; `Clone` copies the handle, not the elements, so cloning an
+/// instruction is only meaningful together with (a clone of) its pools. There
+/// is deliberately no derived `PartialEq`: handle equality is identity, not
+/// content — [`crate::Function`] compares instructions by resolved content.
+#[derive(Clone, Debug)]
 pub enum InstData {
     /// `dst = index-th function parameter`. Only allowed in the entry block.
     Param {
@@ -267,15 +289,15 @@ pub enum InstData {
     /// written. This is the copy form inserted by the out-of-SSA translation
     /// and later sequentialized.
     ParallelCopy {
-        /// The moves of the parallel copy.
-        copies: Vec<CopyPair>,
+        /// The moves of the parallel copy (handle into the copy pool).
+        copies: CopyList,
     },
     /// A φ-function. Must appear in the leading φ group of its block.
     Phi {
         /// Defined value.
         dst: Value,
-        /// One argument per predecessor block.
-        args: Vec<PhiArg>,
+        /// One argument per predecessor block (handle into the φ pool).
+        args: PhiList,
     },
     /// `dst = call fn_id(args...)` — an opaque call, used to model
     /// calling-convention renaming constraints.
@@ -284,8 +306,8 @@ pub enum InstData {
         dst: Option<Value>,
         /// Opaque callee identifier.
         callee: u32,
-        /// Call arguments.
-        args: Vec<Value>,
+        /// Call arguments (handle into the value pool).
+        args: ValueList,
     },
     /// `dst = memory[addr]` on an abstract, function-local memory.
     Load {
@@ -338,6 +360,57 @@ pub enum InstData {
     },
 }
 
+/// Non-allocating iterator over a terminator's successor blocks (at most
+/// two, deduplicated like the `Vec`-returning convenience).
+#[derive(Copy, Clone, Debug)]
+pub struct Successors {
+    targets: [Block; 2],
+    len: u8,
+    next: u8,
+}
+
+impl Successors {
+    /// The empty successor iterator (non-terminators, terminator-less
+    /// blocks).
+    pub(crate) fn none() -> Self {
+        Self { targets: [Block::from_index(0); 2], len: 0, next: 0 }
+    }
+
+    fn one(a: Block) -> Self {
+        Self { targets: [a, a], len: 1, next: 0 }
+    }
+
+    fn pair(a: Block, b: Block) -> Self {
+        if a == b {
+            Self::one(a)
+        } else {
+            Self { targets: [a, b], len: 2, next: 0 }
+        }
+    }
+}
+
+impl Iterator for Successors {
+    type Item = Block;
+
+    #[inline]
+    fn next(&mut self) -> Option<Block> {
+        if self.next < self.len {
+            let block = self.targets[self.next as usize];
+            self.next += 1;
+            Some(block)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.len - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Successors {}
+
 impl InstData {
     /// Returns `true` if this instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
@@ -369,7 +442,7 @@ impl InstData {
     }
 
     /// Appends the values defined by this instruction to `out`.
-    pub fn collect_defs(&self, out: &mut Vec<Value>) {
+    pub fn collect_defs(&self, pools: &IrPools, out: &mut Vec<Value>) {
         match self {
             InstData::Param { dst, .. }
             | InstData::Const { dst, .. }
@@ -379,7 +452,9 @@ impl InstData {
             | InstData::Copy { dst, .. }
             | InstData::Phi { dst, .. }
             | InstData::Load { dst, .. } => out.push(*dst),
-            InstData::ParallelCopy { copies } => out.extend(copies.iter().map(|c| c.dst)),
+            InstData::ParallelCopy { copies } => {
+                out.extend(pools.copies.get(*copies).iter().map(|c| c.dst))
+            }
             InstData::Call { dst, .. } => out.extend(dst.iter().copied()),
             InstData::BrDec { dec, .. } => out.push(*dec),
             InstData::Store { .. }
@@ -389,25 +464,28 @@ impl InstData {
         }
     }
 
-    /// Returns the values defined by this instruction.
-    pub fn defs(&self) -> Vec<Value> {
+    /// Returns the values defined by this instruction. Allocates; meant for
+    /// tests and diagnostics — hot paths use [`InstData::collect_defs`].
+    pub fn defs(&self, pools: &IrPools) -> Vec<Value> {
         let mut out = Vec::new();
-        self.collect_defs(&mut out);
+        self.collect_defs(pools, &mut out);
         out
     }
 
     /// Appends the values used by this instruction to `out`. For φ-functions
     /// this returns every incoming argument; callers that care about the
     /// per-edge semantics must use [`InstData::phi_args`] instead.
-    pub fn collect_uses(&self, out: &mut Vec<Value>) {
+    pub fn collect_uses(&self, pools: &IrPools, out: &mut Vec<Value>) {
         match self {
             InstData::Param { .. } | InstData::Const { .. } | InstData::Jump { .. } => {}
             InstData::Unary { arg, .. } => out.push(*arg),
             InstData::Binary { args, .. } | InstData::Cmp { args, .. } => out.extend(args),
             InstData::Copy { src, .. } => out.push(*src),
-            InstData::ParallelCopy { copies } => out.extend(copies.iter().map(|c| c.src)),
-            InstData::Phi { args, .. } => out.extend(args.iter().map(|a| a.value)),
-            InstData::Call { args, .. } => out.extend(args),
+            InstData::ParallelCopy { copies } => {
+                out.extend(pools.copies.get(*copies).iter().map(|c| c.src))
+            }
+            InstData::Phi { args, .. } => out.extend(pools.phis.get(*args).iter().map(|a| a.value)),
+            InstData::Call { args, .. } => out.extend(pools.values.get(*args)),
             InstData::Load { addr, .. } => out.push(*addr),
             InstData::Store { addr, value } => out.extend([*addr, *value]),
             InstData::Branch { cond, .. } => out.push(*cond),
@@ -416,42 +494,51 @@ impl InstData {
         }
     }
 
-    /// Returns the values used by this instruction.
-    pub fn uses(&self) -> Vec<Value> {
+    /// Returns the values used by this instruction. Allocates; meant for
+    /// tests and diagnostics — hot paths use [`InstData::collect_uses`].
+    pub fn uses(&self, pools: &IrPools) -> Vec<Value> {
         let mut out = Vec::new();
-        self.collect_uses(&mut out);
+        self.collect_uses(pools, &mut out);
         out
     }
 
     /// Returns the φ arguments if this is a φ-function.
-    pub fn phi_args(&self) -> Option<&[PhiArg]> {
+    pub fn phi_args<'p>(&self, pools: &'p IrPools) -> Option<&'p [PhiArg]> {
         match self {
-            InstData::Phi { args, .. } => Some(args),
+            InstData::Phi { args, .. } => Some(pools.phis.get(*args)),
             _ => None,
         }
     }
 
-    /// Returns the successor blocks if this is a terminator.
-    pub fn successors(&self) -> Vec<Block> {
+    /// Returns the parallel-copy moves if this is a parallel copy.
+    pub fn copy_pairs<'p>(&self, pools: &'p IrPools) -> Option<&'p [CopyPair]> {
         match self {
-            InstData::Jump { dest } => vec![*dest],
+            InstData::ParallelCopy { copies } => Some(pools.copies.get(*copies)),
+            _ => None,
+        }
+    }
+
+    /// Iterates over the successor blocks if this is a terminator (empty for
+    /// non-terminators). Non-allocating; the hot-path form of
+    /// [`InstData::successors`].
+    #[inline]
+    pub fn successors_iter(&self) -> Successors {
+        match self {
+            InstData::Jump { dest } => Successors::one(*dest),
             InstData::Branch { then_dest, else_dest, .. } => {
-                if then_dest == else_dest {
-                    vec![*then_dest]
-                } else {
-                    vec![*then_dest, *else_dest]
-                }
+                Successors::pair(*then_dest, *else_dest)
             }
             InstData::BrDec { loop_dest, exit_dest, .. } => {
-                if loop_dest == exit_dest {
-                    vec![*loop_dest]
-                } else {
-                    vec![*loop_dest, *exit_dest]
-                }
+                Successors::pair(*loop_dest, *exit_dest)
             }
-            InstData::Return { .. } => vec![],
-            _ => vec![],
+            _ => Successors::none(),
         }
+    }
+
+    /// Returns the successor blocks if this is a terminator. Allocates; meant
+    /// for tests — hot paths use [`InstData::successors_iter`].
+    pub fn successors(&self) -> Vec<Block> {
+        self.successors_iter().collect()
     }
 
     /// Rewrites every successor block equal to `from` into `to`. Returns the
@@ -480,7 +567,7 @@ impl InstData {
     }
 
     /// Applies `rewrite` to every used value (not to definitions).
-    pub fn map_uses(&mut self, mut rewrite: impl FnMut(Value) -> Value) {
+    pub fn map_uses(&mut self, pools: &mut IrPools, mut rewrite: impl FnMut(Value) -> Value) {
         match self {
             InstData::Param { .. } | InstData::Const { .. } | InstData::Jump { .. } => {}
             InstData::Unary { arg, .. } => *arg = rewrite(*arg),
@@ -490,17 +577,17 @@ impl InstData {
             }
             InstData::Copy { src, .. } => *src = rewrite(*src),
             InstData::ParallelCopy { copies } => {
-                for copy in copies {
+                for copy in pools.copies.get_mut(*copies) {
                     copy.src = rewrite(copy.src);
                 }
             }
             InstData::Phi { args, .. } => {
-                for arg in args {
+                for arg in pools.phis.get_mut(*args) {
                     arg.value = rewrite(arg.value);
                 }
             }
             InstData::Call { args, .. } => {
-                for arg in args {
+                for arg in pools.values.get_mut(*args) {
                     *arg = rewrite(*arg);
                 }
             }
@@ -520,7 +607,7 @@ impl InstData {
     }
 
     /// Applies `rewrite` to every defined value.
-    pub fn map_defs(&mut self, mut rewrite: impl FnMut(Value) -> Value) {
+    pub fn map_defs(&mut self, pools: &mut IrPools, mut rewrite: impl FnMut(Value) -> Value) {
         match self {
             InstData::Param { dst, .. }
             | InstData::Const { dst, .. }
@@ -531,7 +618,7 @@ impl InstData {
             | InstData::Phi { dst, .. }
             | InstData::Load { dst, .. } => *dst = rewrite(*dst),
             InstData::ParallelCopy { copies } => {
-                for copy in copies {
+                for copy in pools.copies.get_mut(*copies) {
                     copy.dst = rewrite(copy.dst);
                 }
             }
@@ -545,6 +632,50 @@ impl InstData {
             | InstData::Jump { .. }
             | InstData::Branch { .. }
             | InstData::Return { .. } => {}
+        }
+    }
+
+    /// Content equality of two instructions, resolving list handles through
+    /// each side's pools. This is the equality [`crate::Function`]'s
+    /// `PartialEq` is built on: two semantically identical functions compare
+    /// equal even when their arenas are laid out differently.
+    pub fn content_eq(&self, pools: &IrPools, other: &InstData, other_pools: &IrPools) -> bool {
+        use InstData::*;
+        match (self, other) {
+            (Param { dst: a, index: i }, Param { dst: b, index: j }) => a == b && i == j,
+            (Const { dst: a, imm: i }, Const { dst: b, imm: j }) => a == b && i == j,
+            (Unary { op: o1, dst: a, arg: x }, Unary { op: o2, dst: b, arg: y }) => {
+                o1 == o2 && a == b && x == y
+            }
+            (Binary { op: o1, dst: a, args: x }, Binary { op: o2, dst: b, args: y }) => {
+                o1 == o2 && a == b && x == y
+            }
+            (Cmp { op: o1, dst: a, args: x }, Cmp { op: o2, dst: b, args: y }) => {
+                o1 == o2 && a == b && x == y
+            }
+            (Copy { dst: a, src: x }, Copy { dst: b, src: y }) => a == b && x == y,
+            (ParallelCopy { copies: a }, ParallelCopy { copies: b }) => {
+                pools.copies.get(*a) == other_pools.copies.get(*b)
+            }
+            (Phi { dst: a, args: x }, Phi { dst: b, args: y }) => {
+                a == b && pools.phis.get(*x) == other_pools.phis.get(*y)
+            }
+            (Call { dst: a, callee: f, args: x }, Call { dst: b, callee: g, args: y }) => {
+                a == b && f == g && pools.values.get(*x) == other_pools.values.get(*y)
+            }
+            (Load { dst: a, addr: x }, Load { dst: b, addr: y }) => a == b && x == y,
+            (Store { addr: a, value: x }, Store { addr: b, value: y }) => a == b && x == y,
+            (Jump { dest: a }, Jump { dest: b }) => a == b,
+            (
+                Branch { cond: c1, then_dest: t1, else_dest: e1 },
+                Branch { cond: c2, then_dest: t2, else_dest: e2 },
+            ) => c1 == c2 && t1 == t2 && e1 == e2,
+            (
+                BrDec { counter: c1, dec: d1, loop_dest: l1, exit_dest: e1 },
+                BrDec { counter: c2, dec: d2, loop_dest: l2, exit_dest: e2 },
+            ) => c1 == c2 && d1 == d2 && l1 == l2 && e1 == e2,
+            (Return { value: a }, Return { value: b }) => a == b,
+            _ => false,
         }
     }
 }
@@ -588,28 +719,33 @@ mod tests {
 
     #[test]
     fn defs_and_uses_of_basic_instructions() {
+        let pools = IrPools::new();
         let inst = InstData::Binary { op: BinaryOp::Add, dst: v(3), args: [v(1), v(2)] };
-        assert_eq!(inst.defs(), vec![v(3)]);
-        assert_eq!(inst.uses(), vec![v(1), v(2)]);
+        assert_eq!(inst.defs(&pools), vec![v(3)]);
+        assert_eq!(inst.uses(&pools), vec![v(1), v(2)]);
         assert!(!inst.is_terminator());
         assert!(!inst.is_phi());
     }
 
     #[test]
     fn defs_and_uses_of_parallel_copy() {
-        let inst = InstData::ParallelCopy {
-            copies: vec![CopyPair { dst: v(1), src: v(2) }, CopyPair { dst: v(3), src: v(4) }],
-        };
-        assert_eq!(inst.defs(), vec![v(1), v(3)]);
-        assert_eq!(inst.uses(), vec![v(2), v(4)]);
+        let mut pools = IrPools::new();
+        let copies = pools
+            .copies
+            .from_slice(&[CopyPair { dst: v(1), src: v(2) }, CopyPair { dst: v(3), src: v(4) }]);
+        let inst = InstData::ParallelCopy { copies };
+        assert_eq!(inst.defs(&pools), vec![v(1), v(3)]);
+        assert_eq!(inst.uses(&pools), vec![v(2), v(4)]);
         assert!(inst.is_copy_like());
+        assert_eq!(inst.copy_pairs(&pools).unwrap().len(), 2);
     }
 
     #[test]
     fn brdec_uses_and_defines() {
+        let pools = IrPools::new();
         let inst = InstData::BrDec { counter: v(0), dec: v(1), loop_dest: b(1), exit_dest: b(2) };
-        assert_eq!(inst.defs(), vec![v(1)]);
-        assert_eq!(inst.uses(), vec![v(0)]);
+        assert_eq!(inst.defs(&pools), vec![v(1)]);
+        assert_eq!(inst.uses(&pools), vec![v(0)]);
         assert!(inst.is_terminator());
         assert_eq!(inst.successors(), vec![b(1), b(2)]);
     }
@@ -618,6 +754,7 @@ mod tests {
     fn branch_successors_deduplicated() {
         let inst = InstData::Branch { cond: v(0), then_dest: b(3), else_dest: b(3) };
         assert_eq!(inst.successors(), vec![b(3)]);
+        assert_eq!(inst.successors_iter().len(), 1);
     }
 
     #[test]
@@ -630,22 +767,26 @@ mod tests {
 
     #[test]
     fn map_uses_and_defs_rewrite_values() {
-        let mut inst = InstData::Phi {
-            dst: v(0),
-            args: vec![PhiArg { block: b(1), value: v(1) }, PhiArg { block: b(2), value: v(2) }],
-        };
-        inst.map_uses(|val| v(val.index() + 10));
-        inst.map_defs(|_| v(99));
-        assert_eq!(inst.defs(), vec![v(99)]);
-        assert_eq!(inst.uses(), vec![v(11), v(12)]);
+        let mut pools = IrPools::new();
+        let args = pools.phis.from_slice(&[
+            PhiArg { block: b(1), value: v(1) },
+            PhiArg { block: b(2), value: v(2) },
+        ]);
+        let mut inst = InstData::Phi { dst: v(0), args };
+        inst.map_uses(&mut pools, |val| v(val.index() + 10));
+        inst.map_defs(&mut pools, |_| v(99));
+        assert_eq!(inst.defs(&pools), vec![v(99)]);
+        assert_eq!(inst.uses(&pools), vec![v(11), v(12)]);
     }
 
     #[test]
     fn phi_args_accessor() {
-        let phi = InstData::Phi { dst: v(0), args: vec![PhiArg { block: b(1), value: v(1) }] };
-        assert_eq!(phi.phi_args().unwrap().len(), 1);
+        let mut pools = IrPools::new();
+        let args = pools.phis.from_slice(&[PhiArg { block: b(1), value: v(1) }]);
+        let phi = InstData::Phi { dst: v(0), args };
+        assert_eq!(phi.phi_args(&pools).unwrap().len(), 1);
         let copy = InstData::Copy { dst: v(0), src: v(1) };
-        assert!(copy.phi_args().is_none());
+        assert!(copy.phi_args(&pools).is_none());
         assert!(copy.is_copy_like());
     }
 
@@ -654,5 +795,25 @@ mod tests {
         assert!(InstData::Store { addr: v(0), value: v(1) }.has_side_effects());
         assert!(InstData::Return { value: None }.has_side_effects());
         assert!(!InstData::Const { dst: v(0), imm: 3 }.has_side_effects());
+    }
+
+    #[test]
+    fn content_eq_resolves_through_different_pool_layouts() {
+        let mut pools_a = IrPools::new();
+        // Warm pool A with a retired block so layouts diverge.
+        let mut junk = pools_a.copies.from_slice(&[CopyPair { dst: v(9), src: v(9) }]);
+        pools_a.copies.retire(&mut junk);
+        let a = InstData::ParallelCopy {
+            copies: pools_a.copies.from_slice(&[CopyPair { dst: v(1), src: v(2) }]),
+        };
+        let mut pools_b = IrPools::new();
+        let b = InstData::ParallelCopy {
+            copies: pools_b.copies.from_slice(&[CopyPair { dst: v(1), src: v(2) }]),
+        };
+        assert!(a.content_eq(&pools_a, &b, &pools_b));
+        let c = InstData::ParallelCopy {
+            copies: pools_b.copies.from_slice(&[CopyPair { dst: v(1), src: v(3) }]),
+        };
+        assert!(!a.content_eq(&pools_a, &c, &pools_b));
     }
 }

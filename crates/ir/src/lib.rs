@@ -44,6 +44,7 @@ pub mod entity;
 pub mod function;
 pub mod instruction;
 pub mod loops;
+pub mod pool;
 pub mod print;
 pub mod verify;
 
@@ -52,6 +53,9 @@ pub use cfg::ControlFlowGraph;
 pub use dominance::{DominanceFrontiers, DominatorTree};
 pub use entity::{Block, EntitySet, Inst, PrimaryMap, SecondaryMap, Value};
 pub use function::{DefSite, Function};
-pub use instruction::{BinaryOp, CmpOp, CopyPair, InstData, PhiArg, UnaryOp};
+pub use instruction::{
+    BinaryOp, CmpOp, CopyList, CopyPair, InstData, PhiArg, PhiList, UnaryOp, ValueList,
+};
 pub use loops::{BlockFrequencies, LoopAnalysis};
+pub use pool::{IrPools, ListPool, PoolList};
 pub use verify::{verify_cfg, verify_ssa};

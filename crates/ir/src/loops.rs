@@ -17,7 +17,7 @@ pub const LOOP_WEIGHT: f64 = 10.0;
 
 /// Natural loops of a function, discovered from back edges
 /// (`latch -> header` where `header` dominates `latch`).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct LoopAnalysis {
     /// Loop nesting depth of each block (0 = not in any loop).
     depth: SecondaryMap<Block, u32>,
@@ -25,62 +25,90 @@ pub struct LoopAnalysis {
     headers: Vec<Block>,
     /// Blocks belonging to each loop, parallel to `headers`.
     bodies: Vec<EntitySet<Block>>,
+    /// Retired body sets, recycled by the next recomputation.
+    spare_bodies: Vec<EntitySet<Block>>,
+    /// Backward-walk scratch of the body collection.
+    stack: Vec<Block>,
+}
+
+/// Collects the body of the natural loop with header `header` and latch
+/// `latch` into `body` (classic backward walk from the latch). Collecting
+/// into an already-populated body merges loops sharing a header: a block
+/// already in the body stops the walk exactly where the earlier walk
+/// continued it.
+fn collect_loop_body(
+    body: &mut EntitySet<Block>,
+    cfg: &ControlFlowGraph,
+    header: Block,
+    latch: Block,
+    stack: &mut Vec<Block>,
+) {
+    body.insert(header);
+    stack.clear();
+    stack.push(latch);
+    while let Some(block) = stack.pop() {
+        if body.insert(block) {
+            for &pred in cfg.preds(block) {
+                stack.push(pred);
+            }
+        }
+    }
 }
 
 impl LoopAnalysis {
     /// Discovers natural loops and nesting depths.
     pub fn compute(func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) -> Self {
-        let mut headers: Vec<Block> = Vec::new();
-        let mut bodies: Vec<EntitySet<Block>> = Vec::new();
+        let mut this = Self::default();
+        this.recompute(func, cfg, domtree);
+        this
+    }
+
+    /// Recomputes the analysis in place, reusing the per-block depth map and
+    /// the loop body sets of a previous computation (possibly of a different
+    /// function). Behaviourally identical to [`LoopAnalysis::compute`]; only
+    /// the heap traffic differs — this is what lets
+    /// [`crate::AnalysisManager`] recycle the analysis across the functions
+    /// of a corpus like every other CFG-level analysis.
+    pub fn recompute(&mut self, func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) {
+        while let Some(mut body) = self.bodies.pop() {
+            body.reset();
+            self.spare_bodies.push(body);
+        }
+        self.headers.clear();
 
         for &block in cfg.reverse_post_order() {
             for &succ in cfg.succs(block) {
                 if domtree.dominates(succ, block) {
                     // Back edge block -> succ; succ is a loop header.
-                    let body = Self::natural_loop_body(func, cfg, succ, block);
-                    if let Some(idx) = headers.iter().position(|&h| h == succ) {
-                        let merged = &mut bodies[idx];
-                        for b in body.iter() {
-                            merged.insert(b);
+                    match self.headers.iter().position(|&h| h == succ) {
+                        Some(idx) => collect_loop_body(
+                            &mut self.bodies[idx],
+                            cfg,
+                            succ,
+                            block,
+                            &mut self.stack,
+                        ),
+                        None => {
+                            let mut body = self.spare_bodies.pop().unwrap_or_default();
+                            collect_loop_body(&mut body, cfg, succ, block, &mut self.stack);
+                            self.headers.push(succ);
+                            self.bodies.push(body);
                         }
-                    } else {
-                        headers.push(succ);
-                        bodies.push(body);
                     }
                 }
             }
         }
 
-        let mut depth: SecondaryMap<Block, u32> = SecondaryMap::new();
-        depth.resize(func.num_blocks());
-        for body in &bodies {
+        self.depth.truncate(func.num_blocks());
+        for slot in self.depth.values_mut() {
+            *slot = 0;
+        }
+        self.depth.resize(func.num_blocks());
+        for body in &self.bodies {
             for block in body.iter() {
-                depth[block] += 1;
+                self.depth[block] += 1;
             }
         }
-
-        Self { depth, headers, bodies }
-    }
-
-    /// Collects the body of the natural loop with header `header` and latch
-    /// `latch` (classic backward walk from the latch).
-    fn natural_loop_body(
-        func: &Function,
-        cfg: &ControlFlowGraph,
-        header: Block,
-        latch: Block,
-    ) -> EntitySet<Block> {
-        let mut body = EntitySet::with_capacity(func.num_blocks());
-        body.insert(header);
-        let mut stack = vec![latch];
-        while let Some(block) = stack.pop() {
-            if body.insert(block) {
-                for &pred in cfg.preds(block) {
-                    stack.push(pred);
-                }
-            }
-        }
-        body
     }
 
     /// Loop nesting depth of `block` (0 when outside all loops).
@@ -113,15 +141,32 @@ pub struct BlockFrequencies {
     freq: SecondaryMap<Block, f64>,
 }
 
+impl Default for BlockFrequencies {
+    fn default() -> Self {
+        Self { freq: SecondaryMap::with_default(1.0) }
+    }
+}
+
 impl BlockFrequencies {
     /// Estimates frequencies from loop nesting depth: `LOOP_WEIGHT^depth`.
     pub fn from_loop_depths(func: &Function, loops: &LoopAnalysis) -> Self {
-        let mut freq: SecondaryMap<Block, f64> = SecondaryMap::with_default(1.0);
-        freq.resize(func.num_blocks());
-        for block in func.blocks() {
-            freq[block] = LOOP_WEIGHT.powi(loops.depth(block) as i32);
+        let mut this = Self::default();
+        this.recompute_from_loop_depths(func, loops);
+        this
+    }
+
+    /// Recomputes the estimate in place, reusing the per-block map of a
+    /// previous (possibly different) function — identical to
+    /// [`BlockFrequencies::from_loop_depths`] except for the heap traffic.
+    pub fn recompute_from_loop_depths(&mut self, func: &Function, loops: &LoopAnalysis) {
+        self.freq.truncate(func.num_blocks());
+        for slot in self.freq.values_mut() {
+            *slot = 1.0;
         }
-        Self { freq }
+        self.freq.resize(func.num_blocks());
+        for block in func.blocks() {
+            self.freq[block] = LOOP_WEIGHT.powi(loops.depth(block) as i32);
+        }
     }
 
     /// Computes loop analysis and frequencies for `func` in one call.

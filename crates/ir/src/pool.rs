@@ -1,0 +1,409 @@
+//! Arena-backed list storage for instruction operands.
+//!
+//! Every variable-length instruction payload — parallel-copy move lists,
+//! φ-argument lists, call-argument lists — lives in a function-owned
+//! [`ListPool`] instead of a per-instruction `Vec`, in the style of
+//! Cranelift's `EntityList`/value-list arenas. An instruction stores only a
+//! small [`PoolList`] handle (offset, length, capacity); the elements live in
+//! one flat vector per element type, grouped in [`IrPools`].
+//!
+//! The pools recycle storage at two granularities:
+//!
+//! * **per list** — blocks are allocated in power-of-two size classes with a
+//!   free list per class, so a list retired by `remove_inst`, the coalescer's
+//!   rewrite or sequentialization is reused by the next allocation (the
+//!   parallel-copy churn of copy insertion runs allocation-free in steady
+//!   state once the pool has warmed up);
+//! * **per function** — [`ListPool::clear`] (via [`IrPools::clear`]) drops
+//!   every list while keeping the flat vector's capacity, following the same
+//!   `truncate` discipline as the recycled analyses, so a [`crate::Function`]
+//!   recycled across the corpus engines resets in O(current function) and
+//!   rebuilds with deterministic offsets (a recycled build is bit-identical
+//!   to a fresh one).
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::entity::{EntityRef, Value};
+use crate::instruction::{CopyPair, PhiArg};
+
+/// An element type storable in a [`ListPool`]. `nil()` is the placeholder
+/// written into capacity slots past a list's length; its value is never
+/// read. The free-link codec threads the per-class free lists *through the
+/// retired blocks themselves* (the first slot of a retired block stores the
+/// offset-plus-one of the next retired block of its class), so retiring and
+/// reusing lists never touches the heap.
+pub trait PoolElem: Copy {
+    /// The placeholder element.
+    fn nil() -> Self;
+    /// Encodes a free-list link (an offset + 1, or 0 for "end of list").
+    fn from_free_link(link: u32) -> Self;
+    /// Decodes the free-list link stored by [`PoolElem::from_free_link`].
+    fn free_link(self) -> u32;
+}
+
+impl PoolElem for Value {
+    fn nil() -> Self {
+        Value::new(0)
+    }
+    fn from_free_link(link: u32) -> Self {
+        Value::new(link as usize)
+    }
+    fn free_link(self) -> u32 {
+        self.index() as u32
+    }
+}
+
+impl PoolElem for PhiArg {
+    fn nil() -> Self {
+        PhiArg { block: crate::entity::Block::new(0), value: Value::new(0) }
+    }
+    fn from_free_link(link: u32) -> Self {
+        PhiArg { block: crate::entity::Block::new(link as usize), value: Value::new(0) }
+    }
+    fn free_link(self) -> u32 {
+        self.block.index() as u32
+    }
+}
+
+impl PoolElem for CopyPair {
+    fn nil() -> Self {
+        CopyPair { dst: Value::new(0), src: Value::new(0) }
+    }
+    fn from_free_link(link: u32) -> Self {
+        CopyPair { dst: Value::new(link as usize), src: Value::new(0) }
+    }
+    fn free_link(self) -> u32 {
+        self.dst.index() as u32
+    }
+}
+
+/// Handle to a list stored in a [`ListPool`]: a range plus its capacity.
+/// `Default` is the empty list, which owns no pool block.
+///
+/// Handle equality is *identity* (same pool range), not content equality —
+/// which is why [`crate::Function`] implements its equality by resolving
+/// handles through the pools.
+pub struct PoolList<T> {
+    offset: u32,
+    len: u32,
+    cap: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for PoolList<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PoolList<T> {}
+impl<T> PartialEq for PoolList<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.offset == other.offset && self.len == other.len && self.cap == other.cap
+    }
+}
+impl<T> Eq for PoolList<T> {}
+
+impl<T> Default for PoolList<T> {
+    fn default() -> Self {
+        Self { offset: 0, len: 0, cap: 0, _marker: PhantomData }
+    }
+}
+
+impl<T> fmt::Debug for PoolList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PoolList[{}..+{} cap {}]", self.offset, self.len, self.cap)
+    }
+}
+
+impl<T> PoolList<T> {
+    /// Number of elements in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The list's offset into the pool's flat storage (diagnostics and the
+    /// pool-invariant tests; empty lists report 0).
+    pub fn offset(&self) -> usize {
+        self.offset as usize
+    }
+
+    /// The list's block capacity in the pool's flat storage (diagnostics and
+    /// the pool-invariant tests; empty lists report 0).
+    pub fn capacity(&self) -> usize {
+        self.cap as usize
+    }
+}
+
+/// Smallest block capacity handed out (power of two).
+const MIN_CAP: u32 = 2;
+
+/// Number of size classes (`MIN_CAP << k`, k in 0..NUM_CLASSES) — covers
+/// lists of up to 2³¹ elements.
+const NUM_CLASSES: usize = 31;
+
+/// Arena of lists of `T` with size-class free lists threaded through the
+/// retired blocks (no side allocation: retiring and reusing lists never
+/// touches the heap).
+#[derive(Clone, Debug)]
+pub struct ListPool<T: PoolElem> {
+    data: Vec<T>,
+    /// Head of the free list of each size class, encoded as offset + 1
+    /// (0 = empty). The next link of a retired block lives in its first
+    /// element slot.
+    free_heads: [u32; NUM_CLASSES],
+}
+
+impl<T: PoolElem> Default for ListPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn class_of(cap: u32) -> usize {
+    debug_assert!(cap.is_power_of_two() && cap >= MIN_CAP);
+    (cap / MIN_CAP).trailing_zeros() as usize
+}
+
+impl<T: PoolElem> ListPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self { data: Vec::new(), free_heads: [0; NUM_CLASSES] }
+    }
+
+    /// Drops every list while keeping the flat vector's capacity — the
+    /// per-function reset of the `truncate` discipline. After `clear`, block
+    /// offsets are handed out exactly as by a fresh pool, so a recycled
+    /// function rebuilds bit-identically to a fresh one.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.free_heads = [0; NUM_CLASSES];
+    }
+
+    /// Total number of element slots currently materialized (live lists plus
+    /// retired blocks); the size driver of the pool's heap footprint.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if no block has been allocated since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reserves room for at least `additional` more element slots, so a
+    /// caller that knows its growth up front pays at most one allocation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    fn alloc_block(&mut self, cap: u32) -> u32 {
+        let class = class_of(cap);
+        let head = self.free_heads[class];
+        if head != 0 {
+            let offset = head - 1;
+            self.free_heads[class] = self.data[offset as usize].free_link();
+            return offset;
+        }
+        let offset = self.data.len() as u32;
+        self.data.resize(self.data.len() + cap as usize, T::nil());
+        offset
+    }
+
+    fn free_block(&mut self, offset: u32, cap: u32) {
+        let class = class_of(cap);
+        self.data[offset as usize] = T::from_free_link(self.free_heads[class]);
+        self.free_heads[class] = offset + 1;
+    }
+
+    /// Builds a list holding a copy of `items`.
+    pub fn from_slice(&mut self, items: &[T]) -> PoolList<T> {
+        if items.is_empty() {
+            return PoolList::default();
+        }
+        let cap = (items.len() as u32).next_power_of_two().max(MIN_CAP);
+        let offset = self.alloc_block(cap);
+        let start = offset as usize;
+        self.data[start..start + items.len()].copy_from_slice(items);
+        PoolList { offset, len: items.len() as u32, cap, _marker: PhantomData }
+    }
+
+    /// Appends `item` to `list`, growing its block (through the free lists)
+    /// when the capacity is exhausted.
+    pub fn push(&mut self, list: &mut PoolList<T>, item: T) {
+        if list.len == list.cap {
+            let new_cap = (list.cap * 2).max(MIN_CAP);
+            let new_offset = self.alloc_block(new_cap);
+            if list.cap > 0 {
+                let old = list.offset as usize;
+                self.data.copy_within(old..old + list.len as usize, new_offset as usize);
+                self.free_block(list.offset, list.cap);
+            }
+            list.offset = new_offset;
+            list.cap = new_cap;
+        }
+        self.data[(list.offset + list.len) as usize] = item;
+        list.len += 1;
+    }
+
+    /// Shrinks `list` to `len` elements (which must not exceed the current
+    /// length). The block keeps its capacity for reuse by later pushes.
+    pub fn truncate(&mut self, list: &mut PoolList<T>, len: usize) {
+        assert!(len <= list.len as usize, "PoolList::truncate beyond length");
+        list.len = len as u32;
+    }
+
+    /// Retires `list`'s block into the free lists and resets the handle to
+    /// the empty list.
+    pub fn retire(&mut self, list: &mut PoolList<T>) {
+        if list.cap > 0 {
+            self.free_block(list.offset, list.cap);
+        }
+        *list = PoolList::default();
+    }
+
+    /// The elements of `list`.
+    #[inline]
+    pub fn get(&self, list: PoolList<T>) -> &[T] {
+        &self.data[list.offset as usize..(list.offset + list.len) as usize]
+    }
+
+    /// The elements of `list`, mutably.
+    #[inline]
+    pub fn get_mut(&mut self, list: PoolList<T>) -> &mut [T] {
+        &mut self.data[list.offset as usize..(list.offset + list.len) as usize]
+    }
+}
+
+/// The operand arenas owned by one [`crate::Function`]: the value pool
+/// (call-argument and φ-argument lists — the φ side keyed by [`PhiArg`] so
+/// each entry carries its predecessor edge) and the copy pool (parallel-copy
+/// move lists).
+#[derive(Clone, Debug, Default)]
+pub struct IrPools {
+    /// Call-argument lists.
+    pub values: ListPool<Value>,
+    /// φ-argument lists.
+    pub phis: ListPool<PhiArg>,
+    /// Parallel-copy move lists.
+    pub copies: ListPool<CopyPair>,
+}
+
+impl IrPools {
+    /// Creates empty pools.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-function reset: drops every list, keeps the flat capacity.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.phis.clear();
+        self.copies.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Value {
+        Value::new(i)
+    }
+
+    #[test]
+    fn from_slice_and_get_round_trip() {
+        let mut pool: ListPool<Value> = ListPool::new();
+        let list = pool.from_slice(&[v(1), v(2), v(3)]);
+        assert_eq!(pool.get(list), &[v(1), v(2), v(3)]);
+        assert_eq!(list.len(), 3);
+        let empty = pool.from_slice(&[]);
+        assert!(empty.is_empty());
+        assert!(pool.get(empty).is_empty());
+    }
+
+    #[test]
+    fn push_grows_through_size_classes() {
+        let mut pool: ListPool<Value> = ListPool::new();
+        let mut list = PoolList::default();
+        for i in 0..40 {
+            pool.push(&mut list, v(i));
+        }
+        assert_eq!(list.len(), 40);
+        let items: Vec<Value> = pool.get(list).to_vec();
+        assert_eq!(items, (0..40).map(v).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn retired_blocks_are_reused() {
+        let mut pool: ListPool<Value> = ListPool::new();
+        let mut a = pool.from_slice(&[v(1), v(2), v(3)]); // cap 4
+        let offset_a = a.offset;
+        pool.retire(&mut a);
+        assert!(a.is_empty());
+        // The next allocation of the same class reuses the retired block.
+        let b = pool.from_slice(&[v(7), v(8), v(9), v(10)]);
+        assert_eq!(b.offset, offset_a);
+        let len_before = pool.len();
+        let mut c = pool.from_slice(&[v(4)]); // cap 2: fresh block
+        assert!(pool.len() > len_before);
+        pool.retire(&mut c);
+        let d = pool.from_slice(&[v(5), v(6)]);
+        assert_eq!(pool.len(), len_before + 2, "class-2 block recycled, no growth");
+        assert_eq!(pool.get(d), &[v(5), v(6)]);
+    }
+
+    #[test]
+    fn truncate_keeps_capacity_for_reuse() {
+        let mut pool: ListPool<Value> = ListPool::new();
+        let mut list = pool.from_slice(&[v(1), v(2), v(3)]);
+        pool.truncate(&mut list, 1);
+        assert_eq!(pool.get(list), &[v(1)]);
+        let len_before = pool.len();
+        pool.push(&mut list, v(9));
+        pool.push(&mut list, v(10));
+        pool.push(&mut list, v(11)); // back to 4 ≤ cap: no growth
+        assert_eq!(pool.len(), len_before);
+        assert_eq!(pool.get(list), &[v(1), v(9), v(10), v(11)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond length")]
+    fn truncate_beyond_length_panics() {
+        let mut pool: ListPool<Value> = ListPool::new();
+        let mut list = pool.from_slice(&[v(1)]);
+        pool.truncate(&mut list, 2);
+    }
+
+    #[test]
+    fn clear_resets_offsets_deterministically() {
+        let mut pool: ListPool<Value> = ListPool::new();
+        let a1 = pool.from_slice(&[v(1), v(2)]);
+        let b1 = pool.from_slice(&[v(3), v(4), v(5)]);
+        pool.clear();
+        let a2 = pool.from_slice(&[v(1), v(2)]);
+        let b2 = pool.from_slice(&[v(3), v(4), v(5)]);
+        assert_eq!(a1, a2, "recycled pool hands out the same offsets as a fresh one");
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn grow_copies_across_a_free_list_hit() {
+        // A retired small block sits *before* the growing list in the flat
+        // vector; growth into it must copy the elements correctly.
+        let mut pool: ListPool<Value> = ListPool::new();
+        let mut small = pool.from_slice(&[v(1), v(2), v(3), v(4)]); // cap 4 at offset 0
+        pool.retire(&mut small);
+        let mut list = pool.from_slice(&[v(8), v(9)]); // cap 2, fresh block
+        pool.push(&mut list, v(10)); // grows to cap 4: reuses offset 0
+        assert_eq!(list.offset, 0);
+        assert_eq!(pool.get(list), &[v(8), v(9), v(10)]);
+    }
+}

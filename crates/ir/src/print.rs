@@ -49,17 +49,23 @@ pub fn display_inst(func: &Function, data: &InstData) -> String {
         }
         InstData::Copy { dst, src } => format!("{} = copy {}", pin(*dst), pin(*src)),
         InstData::ParallelCopy { copies } => {
-            let moves: Vec<String> =
-                copies.iter().map(|c| format!("{} <- {}", pin(c.dst), pin(c.src))).collect();
+            let moves: Vec<String> = func
+                .copy_list(*copies)
+                .iter()
+                .map(|c| format!("{} <- {}", pin(c.dst), pin(c.src)))
+                .collect();
             format!("parcopy [{}]", moves.join(", "))
         }
         InstData::Phi { dst, args } => {
-            let inputs: Vec<String> =
-                args.iter().map(|a| format!("[{}: {}]", a.block, pin(a.value))).collect();
+            let inputs: Vec<String> = func
+                .phi_list(*args)
+                .iter()
+                .map(|a| format!("[{}: {}]", a.block, pin(a.value)))
+                .collect();
             format!("{} = phi {}", pin(*dst), inputs.join(", "))
         }
         InstData::Call { dst, callee, args } => {
-            let args: Vec<String> = args.iter().map(|&a| pin(a)).collect();
+            let args: Vec<String> = func.value_list(*args).iter().map(|&a| pin(a)).collect();
             match dst {
                 Some(dst) => format!("{} = call fn{}({})", pin(*dst), callee, args.join(", ")),
                 None => format!("call fn{}({})", callee, args.join(", ")),

@@ -109,6 +109,7 @@ fn structural_checks(func: &Function, errors: &mut VerifierErrors) {
     }
 
     let preds = func.predecessors();
+    let mut scratch: Vec<Value> = Vec::new();
 
     for block in func.blocks() {
         let insts = func.block_insts(block);
@@ -149,7 +150,10 @@ fn structural_checks(func: &Function, errors: &mut VerifierErrors) {
                 }
             }
             // All referenced values must have been allocated.
-            for value in data.defs().into_iter().chain(data.uses()) {
+            scratch.clear();
+            data.collect_defs(func.pools(), &mut scratch);
+            data.collect_uses(func.pools(), &mut scratch);
+            for &value in &scratch {
                 if value.index() >= func.num_values() {
                     errors.report(
                         Some(block),
@@ -159,7 +163,7 @@ fn structural_checks(func: &Function, errors: &mut VerifierErrors) {
                 }
             }
             // Successors must be existing blocks.
-            for succ in data.successors() {
+            for succ in data.successors_iter() {
                 if succ.index() >= func.num_blocks() {
                     errors.report(
                         Some(block),
@@ -172,7 +176,7 @@ fn structural_checks(func: &Function, errors: &mut VerifierErrors) {
 
         // φ arguments must match the predecessor set exactly.
         for inst in func.phis(block) {
-            let Some(args) = func.inst(inst).phi_args() else { continue };
+            let Some(args) = func.inst_phi_args(inst) else { continue };
             let mut seen: Vec<Block> = Vec::new();
             for arg in args {
                 if seen.contains(&arg.block) {
@@ -226,10 +230,11 @@ fn ssa_checks(func: &Function, errors: &mut VerifierErrors) {
     }
 
     // Every use must be dominated by its definition.
+    let mut scratch: Vec<Value> = Vec::new();
     for &block in cfg.reverse_post_order() {
         for (pos, &inst) in func.block_insts(block).iter().enumerate() {
             let data = func.inst(inst);
-            if let Some(args) = data.phi_args() {
+            if let Some(args) = data.phi_args(func.pools()) {
                 // φ uses happen at the end of the predecessor block.
                 for arg in args {
                     let Some(site) = defs[arg.value] else {
@@ -256,7 +261,9 @@ fn ssa_checks(func: &Function, errors: &mut VerifierErrors) {
                     }
                 }
             } else {
-                for value in data.uses() {
+                scratch.clear();
+                data.collect_uses(func.pools(), &mut scratch);
+                for &value in &scratch {
                     let Some(site) = defs[value] else {
                         errors.report(
                             Some(block),
@@ -386,9 +393,8 @@ mod tests {
         // Damage the phi: point one argument at a non-predecessor.
         let join = f.blocks().nth(2).unwrap();
         let phi = f.phis(join)[0];
-        if let InstData::Phi { args, .. } = f.inst_mut(phi) {
-            args[0] = PhiArg { block: Block::from_index(1), value: args[0].value };
-        }
+        let args = f.phi_args_mut(phi);
+        args[0] = PhiArg { block: Block::from_index(1), value: args[0].value };
         let err = verify_cfg(&f).unwrap_err();
         assert!(!err.0.is_empty());
     }
@@ -398,9 +404,12 @@ mod tests {
         let mut f = valid_ssa_function();
         let join = f.blocks().nth(2).unwrap();
         let phi = f.phis(join)[0];
-        if let InstData::Phi { args, .. } = f.inst_mut(phi) {
-            args.pop();
-        }
+        let InstData::Phi { args, .. } = f.inst_mut(phi) else { panic!() };
+        let mut list = *args;
+        let shorter = list.len() - 1;
+        f.pools_mut().phis.truncate(&mut list, shorter);
+        let InstData::Phi { args, .. } = f.inst_mut(phi) else { panic!() };
+        *args = list;
         let err = verify_cfg(&f).unwrap_err();
         assert!(err.0.iter().any(|e| e.message.contains("missing an argument")));
     }

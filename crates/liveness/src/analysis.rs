@@ -50,6 +50,17 @@ pub struct AnalysisCounts {
     /// Number of instruction versions seen (1 + number of instruction-level
     /// invalidations; CFG invalidations count too, since they imply one).
     pub inst_versions: u64,
+    /// Number of incremental per-block liveness repairs performed
+    /// ([`FunctionAnalyses::invalidate_instructions_in_blocks`] with cached
+    /// sets): instruction versions whose liveness was repaired rather than
+    /// recomputed whole-function.
+    pub liveness_incremental_repairs: u64,
+    /// Total number of blocks recomputed across all incremental repairs
+    /// (the sum of the repair-region sizes). `liveness_block_recomputes /
+    /// liveness_incremental_repairs` being well below the function's block
+    /// count is the proof that a single-block copy insertion no longer pays
+    /// a whole-function liveness recompute.
+    pub liveness_block_recomputes: u64,
 }
 
 /// Internal mutable half of [`AnalysisCounts`]: the liveness-level compute
@@ -60,6 +71,8 @@ struct LivenessCounts {
     fast_liveness: u64,
     live_range_info: u64,
     inst_invalidations: u64,
+    liveness_incremental_repairs: u64,
+    liveness_block_recomputes: u64,
 }
 
 /// Lazy cache of every analysis the out-of-SSA pipeline consumes for one
@@ -150,6 +163,8 @@ impl FunctionAnalyses {
             fast_liveness: counts.fast_liveness,
             live_range_info: counts.live_range_info,
             inst_versions: counts.inst_invalidations + 1,
+            liveness_incremental_repairs: counts.liveness_incremental_repairs,
+            liveness_block_recomputes: counts.liveness_block_recomputes,
         }
     }
 
@@ -293,6 +308,43 @@ impl FunctionAnalyses {
     pub fn invalidate_instructions(&mut self) {
         if let Some(sets) = self.liveness.take() {
             self.spare_liveness.set(Some(sets));
+        }
+        if let Some(info) = self.info.take() {
+            self.spare_info.set(Some(info));
+        }
+        self.inst_stamp.set(None);
+        self.bump(|c| c.inst_invalidations += 1);
+    }
+
+    /// Declares instruction-only mutations confined to the listed blocks —
+    /// the per-block half of the instruction-version invalidation contract.
+    ///
+    /// The def/use index is dropped (and recycled) like under
+    /// [`FunctionAnalyses::invalidate_instructions`], but cached liveness
+    /// sets are *repaired in place* by [`LivenessSets::update_blocks`]
+    /// instead of being recomputed whole-function: only the dirty blocks'
+    /// transfer functions are rebuilt and only the blocks whose live-in can
+    /// transitively change (the dirty blocks' predecessor closure) are
+    /// re-solved. The repaired sets are bit-identical to a full recompute.
+    ///
+    /// `blocks` must list every block whose instruction stream changed since
+    /// the sets were (re)computed; the block structure must be unchanged
+    /// (otherwise call [`FunctionAnalyses::invalidate_cfg`]). `func` is the
+    /// already-mutated function.
+    pub fn invalidate_instructions_in_blocks(
+        &mut self,
+        func: &Function,
+        blocks: &[ossa_ir::Block],
+    ) {
+        if let Some(mut sets) = self.liveness.take() {
+            let cfg = self.ir.cfg(func);
+            let region = sets.update_blocks(func, cfg, blocks);
+            self.bump(|c| {
+                c.liveness_incremental_repairs += 1;
+                c.liveness_block_recomputes += region as u64;
+            });
+            // Not `get_or_init`: the cell was just emptied by `take`.
+            let _ = self.liveness.set(sets);
         }
         if let Some(info) = self.info.take() {
             self.spare_info.set(Some(info));

@@ -63,9 +63,9 @@ struct CheckScratch {
 }
 
 /// Clears every list slot of a recycled per-block map and sizes it for
-/// `num_blocks`, keeping the per-slot capacities.
+/// `num_blocks`, keeping the per-slot buffers (also beyond `num_blocks`, so
+/// a later, larger function reuses them — the per-slot reset is O(1)).
 fn reset_block_lists(map: &mut SecondaryMap<Block, Vec<Block>>, num_blocks: usize) {
-    map.truncate(num_blocks);
     for list in map.values_mut() {
         list.clear();
     }
@@ -87,10 +87,8 @@ impl FastLiveness {
     /// [`FastLiveness::compute`]; only the heap traffic differs.
     pub fn recompute(&mut self, func: &Function, cfg: &ControlFlowGraph, domtree: &DominatorTree) {
         let num_blocks = func.num_blocks();
-        // Truncate before the reset walk so the per-function reset cost is
-        // O(current function), not O(largest function ever seen).
-        self.reduced_reach.truncate(num_blocks);
-        self.back_targets.truncate(num_blocks);
+        // Reset every materialized slot but keep its word buffer (the reset
+        // is O(1)); a later, larger function reuses the retained bit-sets.
         for set in self.reduced_reach.values_mut() {
             set.reset();
         }

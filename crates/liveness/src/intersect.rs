@@ -181,7 +181,7 @@ impl<'a, L: BlockLiveness> IntersectionTest<'a, L> {
             match self.func.inst(def.inst) {
                 InstData::Copy { dst, src } => *dst == defined && *src == other,
                 InstData::ParallelCopy { copies } => {
-                    copies.iter().any(|c| c.dst == defined && c.src == other)
+                    self.func.copy_list(*copies).iter().any(|c| c.dst == defined && c.src == other)
                 }
                 _ => false,
             }

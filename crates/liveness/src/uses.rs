@@ -9,7 +9,7 @@
 //! live-range intersection query.
 
 use ossa_ir::entity::{Block, Value};
-use ossa_ir::{Function, InstData};
+use ossa_ir::Function;
 
 /// A single use of a value.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -63,15 +63,15 @@ impl UseSites {
         let mut each_use = |func: &Function, f: &mut dyn FnMut(Value, Block, usize)| {
             for block in func.blocks() {
                 for (pos, &inst) in func.block_insts(block).iter().enumerate() {
-                    match func.inst(inst) {
-                        InstData::Phi { args, .. } => {
+                    match func.inst_phi_args(inst) {
+                        Some(args) => {
                             for arg in args {
                                 f(arg.value, arg.block, usize::MAX);
                             }
                         }
-                        data => {
+                        None => {
                             scratch.clear();
-                            data.collect_uses(scratch);
+                            func.collect_inst_uses(inst, scratch);
                             for &value in scratch.iter() {
                                 f(value, block, pos);
                             }

@@ -114,12 +114,15 @@ fn live_intervals(func: &Function, analyses: &FunctionAnalyses) -> HashMap<Value
         entry.end = entry.end.max(point);
     };
 
+    let mut scratch: Vec<Value> = Vec::new();
     for block in func.blocks() {
         let (block_start, block_end) = block_range[block];
         for (offset, &inst) in func.block_insts(block).iter().enumerate() {
             let point = block_start + offset as u32;
-            let data = func.inst(inst);
-            for v in data.defs().into_iter().chain(data.uses()) {
+            scratch.clear();
+            func.collect_inst_defs(inst, &mut scratch);
+            func.collect_inst_uses(inst, &mut scratch);
+            for &v in &scratch {
                 touch(v, point, &mut intervals);
             }
         }

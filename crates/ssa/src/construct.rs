@@ -61,9 +61,12 @@ pub fn construct_ssa_cached(
         func.insert_inst(entry, insert_at, InstData::Const { dst: variable, imm: 0 });
     }
     if entry_defs_inserted {
-        // Instruction-only mutation: liveness must be recomputed below, the
-        // CFG-level analyses survive.
-        analyses.invalidate_instructions();
+        // Instruction-only mutation confined to the entry block: the cached
+        // liveness sets (just read above) are repaired per-block — the
+        // repair region is the entry block plus its predecessor closure,
+        // usually just the entry — instead of being recomputed
+        // whole-function before φ placement reads them again below.
+        analyses.invalidate_instructions_in_blocks(func, &[entry]);
     }
 
     let num_values_before = func.num_values();
@@ -85,7 +88,7 @@ pub fn construct_ssa_cached(
         for &block in cfg.reverse_post_order() {
             for &inst in func.block_insts(block) {
                 scratch.clear();
-                func.inst(inst).collect_defs(&mut scratch);
+                func.collect_inst_defs(inst, &mut scratch);
                 for &v in &scratch {
                     let blocks = &mut def_blocks[v];
                     if !blocks.contains(&block) {
@@ -114,11 +117,12 @@ pub fn construct_ssa_cached(
                         continue; // pruned SSA: dead φ would be useless
                     }
                     has_phi[frontier_block.index()] = true;
-                    let args = cfg
+                    let args: Vec<PhiArg> = cfg
                         .preds(frontier_block)
                         .iter()
                         .map(|&pred| PhiArg { block: pred, value: variable })
                         .collect();
+                    let args = func.make_phi_list(&args);
                     func.insert_inst(frontier_block, 0, InstData::Phi { dst: variable, args });
                     phis_inserted += 1;
                     if !ever_on_worklist[frontier_block.index()] {
@@ -167,7 +171,7 @@ fn rename_block(
             let mut missing: Vec<Value> = Vec::new();
             {
                 let stacks_ref: &SecondaryMap<Value, Vec<Value>> = stacks;
-                func.inst_mut(inst).map_uses(|v| match stacks_ref.get(v).last() {
+                func.map_inst_uses(inst, |v| match stacks_ref.get(v).last() {
                     Some(&top) => top,
                     None => {
                         missing.push(v);
@@ -182,7 +186,8 @@ fn rename_block(
             );
         }
         // Rewrite definitions with fresh values.
-        let defs = func.inst(inst).defs();
+        let mut defs = Vec::new();
+        func.collect_inst_defs(inst, &mut defs);
         if !defs.is_empty() {
             let mut replacements: HashMap<Value, Value> = HashMap::new();
             for old in defs {
@@ -195,7 +200,7 @@ fn rename_block(
                 pushed.push(old);
                 replacements.insert(old, fresh);
             }
-            func.inst_mut(inst).map_defs(|v| replacements.get(&v).copied().unwrap_or(v));
+            func.map_inst_defs(inst, |v| replacements.get(&v).copied().unwrap_or(v));
         }
     }
 
@@ -203,15 +208,13 @@ fn rename_block(
     for &succ in cfg.succs(block) {
         let phis = func.phis(succ);
         for phi in phis {
-            if let InstData::Phi { args, .. } = func.inst_mut(phi) {
-                for arg in args.iter_mut() {
-                    if arg.block == block {
-                        // The argument still holds the original variable name
-                        // (or was already rewritten if this edge was visited —
-                        // each edge is visited exactly once).
-                        if let Some(&top) = stacks.get(arg.value).last() {
-                            arg.value = top;
-                        }
+            for arg in func.phi_args_mut(phi) {
+                if arg.block == block {
+                    // The argument still holds the original variable name
+                    // (or was already rewritten if this edge was visited —
+                    // each edge is visited exactly once).
+                    if let Some(&top) = stacks.get(arg.value).last() {
+                        arg.value = top;
                     }
                 }
             }
@@ -267,7 +270,7 @@ mod tests {
         let join = f.blocks().nth(2).unwrap();
         let phis = f.phis(join);
         assert_eq!(phis.len(), 1);
-        let phi_dst = f.inst(phis[0]).defs()[0];
+        let phi_dst = f.inst(phis[0]).defs(f.pools())[0];
         assert_eq!(result.origin[phi_dst], Some(x));
     }
 

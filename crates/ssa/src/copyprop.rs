@@ -111,7 +111,7 @@ pub fn propagate_copies_keeping(func: &mut Function, keep_every: usize) -> CopyP
     let mut uses_rewritten = 0usize;
     for block in func.blocks().collect::<Vec<_>>() {
         for &inst in func.block_insts(block).to_vec().iter() {
-            func.inst_mut(inst).map_uses(|v| match roots[v] {
+            func.map_inst_uses(inst, |v| match roots[v] {
                 Some(root) if root != v => {
                     uses_rewritten += 1;
                     root
@@ -161,7 +161,7 @@ mod tests {
             .iter()
             .copied()
             .find(|&i| matches!(f.inst(i), InstData::Binary { .. }));
-        assert_eq!(f.inst(add.unwrap()).uses(), vec![x, x]);
+        assert_eq!(f.inst(add.unwrap()).uses(f.pools()), vec![x, x]);
         assert_eq!(f.count_copies(), 0);
     }
 

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use ossa_ir::entity::Value;
-use ossa_ir::Function;
+use ossa_ir::{Function, InstData};
 use ossa_liveness::{FunctionAnalyses, IntersectionTest};
 
 /// A pair of values from the same φ congruence class whose live ranges
@@ -38,8 +38,8 @@ impl PhiCongruence {
         for block in func.blocks() {
             for inst in func.phis(block) {
                 let data = func.inst(inst);
-                let dst = data.defs()[0];
-                for arg in data.phi_args().expect("phi") {
+                let InstData::Phi { dst, .. } = *data else { unreachable!("phi expected") };
+                for arg in data.phi_args(func.pools()).expect("phi") {
                     this.union(dst, arg.value);
                 }
             }

@@ -46,7 +46,7 @@ pub fn eliminate_dead_code(func: &mut Function) -> DeadCodeElimination {
         for block in func.blocks().collect::<Vec<_>>() {
             for &inst in func.block_insts(block) {
                 scratch.clear();
-                func.inst(inst).collect_uses(&mut scratch);
+                func.collect_inst_uses(inst, &mut scratch);
                 for &v in &scratch {
                     use_counts[v] += 1;
                 }
@@ -57,15 +57,15 @@ pub fn eliminate_dead_code(func: &mut Function) -> DeadCodeElimination {
         for block in func.blocks().collect::<Vec<_>>() {
             let insts = func.block_insts(block).to_vec();
             for inst in insts {
-                let data = func.inst(inst);
-                if data.has_side_effects() {
+                if func.inst(inst).has_side_effects() {
                     continue;
                 }
-                let defs = data.defs();
-                if defs.is_empty() {
+                scratch.clear();
+                func.collect_inst_defs(inst, &mut scratch);
+                if scratch.is_empty() {
                     continue;
                 }
-                if defs.iter().all(|&d| use_counts[d] == 0) {
+                if scratch.iter().all(|&d| use_counts[d] == 0) {
                     func.remove_inst(block, inst);
                     removed_this_round += 1;
                 }

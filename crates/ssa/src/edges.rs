@@ -20,7 +20,7 @@ use ossa_ir::{ControlFlowGraph, Function, InstData};
 /// Panics if there is no edge from `pred` to `succ`.
 pub fn split_edge(func: &mut Function, pred: Block, succ: Block) -> Block {
     let term = func.terminator(pred).expect("predecessor must have a terminator");
-    assert!(func.inst(term).successors().contains(&succ), "no edge from {pred} to {succ}");
+    assert!(func.inst(term).successors_iter().any(|s| s == succ), "no edge from {pred} to {succ}");
     let middle = func.add_block();
     func.inst_mut(term).replace_successor(succ, middle);
     func.append_inst(middle, InstData::Jump { dest: succ });

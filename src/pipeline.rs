@@ -151,13 +151,13 @@ impl Pipeline {
     /// imposed.
     ///
     /// The hook is meant for pinning values ([`Function::pin_value`]): pins
-    /// are not an analysis input, so the cache is deliberately *not*
-    /// invalidated around the hook. It must not change the block structure
+    /// are not an analysis input. It must not change the block structure
     /// (the cache's debug-build shape stamp catches that). Instruction-level
-    /// edits in the hook are tolerated — the translation invalidates every
-    /// instruction-dependent cache after its own copy insertion, before
-    /// reading any — but the CSSA verdict in the report describes the
-    /// pre-hook code.
+    /// edits in the hook are tolerated — the pipeline drops every
+    /// instruction-dependent cache right after the hook, *before* the
+    /// translation's copy insertion (whose per-block liveness repair is only
+    /// valid for edits it made itself) — but the CSSA verdict in the report
+    /// describes the pre-hook code.
     pub fn run_with(
         &mut self,
         func: &mut Function,
@@ -176,8 +176,15 @@ impl Pipeline {
         let conventional_after_opt =
             self.check_conventional.then(|| is_conventional_cached(func, &self.analyses));
 
-        // Renaming constraints (pins only; see the doc contract).
+        // Renaming constraints (pins, possibly instruction edits; see the
+        // doc contract). The instruction-dependent caches are dropped after
+        // the hook: the translation's per-block liveness repair only covers
+        // its *own* copy insertion, so liveness cached by the CSSA check
+        // must not survive arbitrary hook edits. (Pins-only hooks pay
+        // nothing extra: the translation recomputed liveness after its
+        // insertion anyway.)
         constrain(func);
+        self.analyses.invalidate_instructions();
 
         // Back end over the same cache and scratch.
         let translation = translate_out_of_ssa_scratch(
