@@ -8,23 +8,120 @@
 //! through the public pipeline entry points, so the split is approximate at
 //! the boundaries but pins down where an allocation regression lives.
 //!
-//! Usage: `alloc_profile [scale]` (default scale 1.0).
+//! Usage: `alloc_profile [scale] [--phase coalesce] [--json PATH]`
+//! (default scale 1.0).
+//!
+//! With `--phase coalesce` the run additionally splits the coalesce phase by
+//! sub-stage (setup / affinity build / decide / sharing / snapshot /
+//! rewrite) through the [`ossa_destruct::set_coalesce_probe`] hook, counting
+//! allocations and wall-clock per sub-stage; `--json PATH` writes that
+//! drill-down as a JSON report (uploaded as a CI artifact next to
+//! `BENCH_fig6.json`).
+
+use std::cell::RefCell;
+use std::time::Instant;
 
 use ossa_bench::alloc::allocation_count;
 use ossa_destruct::{
-    insertion, translate_corpus_serial, translate_out_of_ssa_scratch, OutOfSsaOptions,
-    TranslateScratch,
+    insertion, set_coalesce_probe, translate_corpus_serial, translate_out_of_ssa_scratch,
+    CoalesceStage, OutOfSsaOptions, TranslateScratch,
 };
 use ossa_liveness::FunctionAnalyses;
 
 #[global_allocator]
 static ALLOC: ossa_bench::alloc::CountingAllocator = ossa_bench::alloc::CountingAllocator;
 
+/// Probed sub-stages of the coalesce phase, in pipeline order.
+const STAGE_NAMES: [&str; 6] =
+    ["setup", "affinity_build", "decide", "sharing", "snapshot", "rewrite"];
+
+/// Per-sub-stage accumulators of the coalesce drill-down. The probe fires at
+/// sub-stage starts; the allocation and time deltas between two firings are
+/// attributed to the earlier stage, and `CoalesceStage::Done` closes the
+/// last one, so inter-function driver work is attributed to no stage.
+struct ProbeState {
+    last: Option<(usize, u64, Instant)>,
+    allocs: [u64; STAGE_NAMES.len()],
+    nanos: [u64; STAGE_NAMES.len()],
+}
+
+thread_local! {
+    static PROBE_STATE: RefCell<ProbeState> = const {
+        RefCell::new(ProbeState {
+            last: None,
+            allocs: [0; STAGE_NAMES.len()],
+            nanos: [0; STAGE_NAMES.len()],
+        })
+    };
+}
+
+fn stage_index(stage: CoalesceStage) -> Option<usize> {
+    match stage {
+        CoalesceStage::Setup => Some(0),
+        CoalesceStage::AffinityBuild => Some(1),
+        CoalesceStage::Decide => Some(2),
+        CoalesceStage::Sharing => Some(3),
+        CoalesceStage::Snapshot => Some(4),
+        CoalesceStage::Rewrite => Some(5),
+        CoalesceStage::Done => None,
+    }
+}
+
+fn coalesce_stage_probe(stage: CoalesceStage) {
+    let allocs_now = allocation_count();
+    let now = Instant::now();
+    PROBE_STATE.with(|state| {
+        let mut state = state.borrow_mut();
+        if let Some((idx, allocs_then, then)) = state.last {
+            state.allocs[idx] += allocs_now - allocs_then;
+            state.nanos[idx] += now.duration_since(then).as_nanos() as u64;
+        }
+        state.last = stage_index(stage).map(|idx| (idx, allocs_now, now));
+    });
+}
+
 fn main() {
-    let scale = std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut phase: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--phase" => {
+                phase = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--json" => {
+                json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                if let Ok(s) = other.parse::<f64>() {
+                    scale = s;
+                } else {
+                    eprintln!("unknown argument: {other}");
+                    eprintln!("usage: alloc_profile [scale] [--phase coalesce] [--json PATH]");
+                    std::process::exit(2);
+                }
+                i += 1;
+            }
+        }
+    }
+    if let Some(name) = &phase {
+        if name != "coalesce" {
+            eprintln!("unknown --phase {name}; only `coalesce` is supported");
+            std::process::exit(2);
+        }
+    }
     let corpus = ossa_cfggen::spec_like_corpus(scale, true);
     let functions: Vec<_> = corpus.iter().flat_map(|w| w.functions.iter().cloned()).collect();
     let options = OutOfSsaOptions::default();
+
+    if phase.is_some() {
+        coalesce_drilldown(&functions, &options, scale, json_path.as_deref());
+        return;
+    }
 
     // Warm-up run so lazy statics and the first-growth costs of the recycled
     // caches are out of the way (the steady-state numbers are the gated ones).
@@ -165,4 +262,66 @@ fn main() {
     println!("  without sequentialization   {no_seq}");
     println!("  sequentialization share     {}", total.saturating_sub(no_seq));
     println!("  per function (total)        {:.1}", total as f64 / functions.len() as f64);
+}
+
+/// The `--phase coalesce` drill-down: one warmed batch-serial pass with the
+/// sub-stage probe installed, reporting allocations and wall-clock per
+/// coalesce sub-stage, optionally as JSON.
+fn coalesce_drilldown(
+    functions: &[ossa_ir::Function],
+    options: &OutOfSsaOptions,
+    scale: f64,
+    json_path: Option<&str>,
+) {
+    // Warm-up pass (no probe) so recycled caches reach steady state.
+    {
+        let mut work = functions.to_vec();
+        let _ = translate_corpus_serial(&mut work, options);
+    }
+    let mut work = functions.to_vec();
+    set_coalesce_probe(Some(coalesce_stage_probe));
+    let before = allocation_count();
+    let _ = translate_corpus_serial(&mut work, options);
+    let total_allocs = allocation_count() - before;
+    set_coalesce_probe(None);
+    let (allocs, nanos) = PROBE_STATE.with(|state| (state.borrow().allocs, state.borrow().nanos));
+
+    let stage_allocs: u64 = allocs.iter().sum();
+    let stage_nanos: u64 = nanos.iter().sum();
+    println!("coalesce allocation drill-down at scale {scale} over {} functions", functions.len());
+    for (i, name) in STAGE_NAMES.iter().enumerate() {
+        println!("  {name:<15} {:>6} allocations  {:>9.3} ms", allocs[i], nanos[i] as f64 / 1e6);
+    }
+    println!(
+        "  {:<15} {stage_allocs:>6} allocations  {:>9.3} ms",
+        "coalesce total",
+        stage_nanos as f64 / 1e6
+    );
+    println!("  batch serial total (all phases): {total_allocs} allocations");
+
+    if let Some(path) = json_path {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str(&format!("  \"scale\": {scale},\n"));
+        json.push_str("  \"phase\": \"coalesce\",\n");
+        json.push_str(&format!("  \"functions\": {},\n", functions.len()));
+        json.push_str("  \"stages\": {\n");
+        for (i, name) in STAGE_NAMES.iter().enumerate() {
+            json.push_str(&format!(
+                "    \"{name}\": {{ \"allocations\": {}, \"seconds\": {:.6} }}{}\n",
+                allocs[i],
+                nanos[i] as f64 / 1e9,
+                if i + 1 < STAGE_NAMES.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  },\n");
+        json.push_str(&format!(
+            "  \"total\": {{ \"allocations\": {stage_allocs}, \"seconds\": {:.6} }},\n",
+            stage_nanos as f64 / 1e9
+        ));
+        json.push_str(&format!("  \"batch_serial_allocations\": {total_allocs}\n"));
+        json.push_str("}\n");
+        std::fs::write(path, json).expect("write drill-down JSON");
+        println!("wrote {path}");
+    }
 }

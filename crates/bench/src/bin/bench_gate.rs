@@ -19,12 +19,14 @@
 //!    within tolerance of the baseline, with a 1 ms absolute floor so the
 //!    sub-millisecond phases do not flap on scheduler jitter — a phase-local
 //!    regression can no longer hide behind an improvement elsewhere;
-//! 5. the serial allocation counts (`seed_style`/`batch`/`streaming`)
-//!    within their own tight tolerance (`BENCH_GATE_ALLOC_TOLERANCE`,
-//!    default 2%) of the baseline — the counting allocator is deterministic
-//!    and machine-independent, so the wide timing tolerance of hosted
-//!    runners must not apply and steady-state allocation-freedom cannot
-//!    silently regress;
+//! 5. the serial allocation counts (`seed_style`/`batch`/`streaming`) and
+//!    the serial interference-query count
+//!    (`batch_serial_interference_queries`) within their own tight
+//!    tolerance (`BENCH_GATE_ALLOC_TOLERANCE`, default 2%) of the baseline
+//!    — both counters are deterministic and machine-independent, so the
+//!    wide timing tolerance of hosted runners must not apply: steady-state
+//!    allocation-freedom and the coalescer's batched-query reduction cannot
+//!    silently regress even when timing jitter masks them;
 //! 6. the per-phase timing, allocation-count and Figure 5 static-copy
 //!    fields are present, so the perf trajectory never silently loses
 //!    instrumentation.
@@ -133,6 +135,12 @@ fn main() -> ExitCode {
     check_vs_baseline("seed_style_serial_allocations", "", alloc_tolerance, 0.0);
     check_vs_baseline("batch_serial_allocations", "", alloc_tolerance, 0.0);
     check_vs_baseline("streaming_serial_allocations", "", alloc_tolerance, 0.0);
+    // Interference queries are as deterministic as allocation counts: the
+    // decide() loop issues them in a fixed order, so the 2% tolerance only
+    // absorbs deliberate, reviewed churn — a lost batching optimisation
+    // (e.g. the merge-sweep falling back to per-pair tests) fails here even
+    // when the timing gate's jitter headroom would hide it.
+    check_vs_baseline("batch_serial_interference_queries", "", alloc_tolerance, 0.0);
 
     // Relative invariants, independent of machine speed, between two keys of
     // the *current* report (both sides sampled interleaved, min-of-5, so a

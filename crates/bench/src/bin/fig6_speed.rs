@@ -61,11 +61,12 @@ fn main() {
         }
         allocation_count() - before
     };
-    let (batch_allocs, phase) = {
+    let (batch_allocs, phase, batch_queries) = {
         let mut work = flat.clone();
         let before = allocation_count();
         let stats = ossa_destruct::translate_corpus_serial(&mut work, &options);
-        (allocation_count() - before, stats.total().phase_seconds)
+        let total = stats.total();
+        (allocation_count() - before, total.phase_seconds, total.interference_queries)
     };
     let streaming_allocs = {
         let work = flat.clone();
@@ -105,6 +106,7 @@ fn main() {
     println!("  batch engine (parallel) {parallel:.4}s  ({threads} threads, {speedup:.2}x vs seed style)");
     let PhaseSeconds { liveness, coalesce, sequentialize } = phase;
     println!("  batch serial phases     liveness {liveness:.4}s, coalesce {coalesce:.4}s, sequentialize {sequentialize:.4}s");
+    println!("  batch serial interference queries {batch_queries}");
 
     // Figure 5 static-copy counts per coalescing variant: the ROADMAP's
     // quality check tracks the Sreedhar III vs Sharing ordering anomaly
@@ -153,7 +155,8 @@ fn main() {
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"seed_style_serial_allocations\": {seed_style_allocs},");
     let _ = writeln!(json, "  \"batch_serial_allocations\": {batch_allocs},");
-    let _ = writeln!(json, "  \"streaming_serial_allocations\": {streaming_allocs}");
+    let _ = writeln!(json, "  \"streaming_serial_allocations\": {streaming_allocs},");
+    let _ = writeln!(json, "  \"batch_serial_interference_queries\": {batch_queries}");
     let _ = writeln!(json, "}}");
     let path = "BENCH_fig6.json";
     match std::fs::write(path, &json) {

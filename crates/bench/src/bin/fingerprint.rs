@@ -71,6 +71,7 @@ fn main() -> ExitCode {
 
     let mut text = String::new();
     let mut report = String::new();
+    let mut per_workload: Vec<(&str, Vec<u64>)> = Vec::new();
     for (name, options) in OutOfSsaOptions::figure5_variants() {
         let mut work = functions.clone();
         let stats = translate_corpus_serial(&mut work, &options);
@@ -87,6 +88,38 @@ fn main() -> ExitCode {
         );
         println!("{line}");
         let _ = writeln!(report, "{line}");
+        // Per-workload query slices: `per_function` follows the flattened
+        // corpus order, so summing it workload by workload localizes the
+        // per-variant total without a second translation pass.
+        let mut queries = Vec::with_capacity(corpus.len());
+        let mut at = 0usize;
+        for workload in &corpus {
+            let n = workload.functions.len();
+            queries
+                .push(stats.per_function[at..at + n].iter().map(|s| s.interference_queries).sum());
+            at += n;
+        }
+        per_workload.push((name, queries));
+    }
+
+    // Per-workload interference-query breakdown (stdout only; the committed
+    // baseline keeps the stable per-variant format above). This is the
+    // localization handle the ROADMAP's decision differ needs for the
+    // Sreedhar III vs Sharing static-copy anomaly: a divergence shows up
+    // here as a workload whose query ratio between the two variants is an
+    // outlier, narrowing the function range to diff first.
+    println!("\nper-workload interference queries:");
+    print!("{:<14}", "");
+    for workload in &corpus {
+        print!(" {:>10}", workload.name);
+    }
+    println!();
+    for (name, queries) in &per_workload {
+        print!("{name:<14}");
+        for q in queries {
+            print!(" {q:>10}");
+        }
+        println!();
     }
 
     if let Some(path) = write {

@@ -23,6 +23,7 @@
 //! argument). [`translate_out_of_ssa`] is the convenience entry point that
 //! owns a fresh cache.
 
+use std::cell::Cell;
 use std::time::Instant;
 
 use ossa_ir::entity::{Block, Inst, SecondaryMap, Value};
@@ -33,7 +34,7 @@ use crate::congruence::{CongruenceClasses, EqualAncOut};
 use crate::insertion::{
     insert_phi_copies_into, isolate_pinned_values, CopyInsertion, InsertedMove,
 };
-use crate::interference::{copy_related_universe_into, InterferenceGraph};
+use crate::interference::{copy_related_universe_and_sites_into, InterferenceGraph};
 use crate::parallel_copy::{sequentialize_function_with, SeqScratch};
 use crate::value::ValueTable;
 
@@ -64,6 +65,10 @@ pub struct TranslateScratch {
     universe: Vec<Value>,
     universe_seen: ossa_ir::EntitySet<Value>,
     universe_tmp: Vec<Value>,
+    /// Pre-existing plain copies, collected by the fused universe scan.
+    plain_copies: Vec<InsertedMove>,
+    /// Parallel-copy sites `(block, position, inst)` of the fused scan.
+    parallel_sites: Vec<(Block, u32, Inst)>,
     /// `(register, value)` pairs of the pinned pre-coalescing scan.
     pinned: Vec<(u32, Value)>,
     /// One register group of pinned values, handed to `merge_group`.
@@ -86,6 +91,8 @@ pub struct TranslateScratch {
     /// stable sort's internal allocation — the last steady-state allocation
     /// of the decision phase).
     sort_buf: Vec<InsertedMove>,
+    /// Memoized positive class-interference verdicts, re-armed per function.
+    verdicts: VerdictCache,
 }
 
 impl TranslateScratch {
@@ -94,6 +101,187 @@ impl TranslateScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// Memoized `true` verdicts of [`classes_interfere`], keyed on the two class
+/// roots and their merge versions ([`CongruenceClasses::class_version`]).
+///
+/// Only *positive* verdicts are stored. Classes only ever grow, and both
+/// ingredients of a positive verdict are monotone under growth: an
+/// interfering member pair is still present in any later superset of the
+/// classes, and labels only transition from unpinned to pinned (a merge
+/// never combines two distinct labels — such classes always interfere). So a
+/// recorded "interferes" can never be invalidated by later merges, while a
+/// "does not interfere" verdict is immediately consumed by a merge that
+/// destroys one of the keyed classes (and, on the linear path, comes with
+/// `equal_anc_out` chains the merge needs — a cache hit could not supply
+/// them). The version half of the key makes hits exact regardless: a lookup
+/// only matches while *neither* side's class has changed since the verdict
+/// was computed, which is the ISSUE's invalidation contract.
+///
+/// The table is open-addressed (FNV-1a over the packed key, linear probing,
+/// ≤50% load) with generation-stamped slots: [`VerdictCache::begin_round`]
+/// re-arms the whole table in O(1) per function instead of zeroing it.
+#[derive(Debug, Default)]
+struct VerdictCache {
+    /// `(packed low key, packed high key, generation)` per slot; a slot is
+    /// empty for the current round unless its stamp matches `generation`.
+    slots: Vec<(u64, u64, u32)>,
+    generation: u32,
+    /// Entries stored in the current round, for the load-factor check.
+    live: usize,
+}
+
+/// Normalized key of one class pair: `(root, version)` of both sides, the
+/// lower root index first (interference is symmetric).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct VerdictKey(u64, u64);
+
+impl VerdictKey {
+    fn new(ra: Value, va: u32, rb: Value, vb: u32) -> Self {
+        let a = ((ra.index() as u64) << 32) | va as u64;
+        let b = ((rb.index() as u64) << 32) | vb as u64;
+        if a <= b {
+            Self(a, b)
+        } else {
+            Self(b, a)
+        }
+    }
+
+    fn hash(self) -> u64 {
+        // FNV-1a over the 16 key bytes.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in [self.0, self.1] {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+impl VerdictCache {
+    /// Re-arms the cache for the next `decide()` round without touching the
+    /// slots: bumping the generation makes every existing entry stale.
+    fn begin_round(&mut self) {
+        self.live = 0;
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // The stamp wrapped around: entries from 2³² rounds ago would
+            // alias the new generation, so flush the slots for real.
+            for slot in &mut self.slots {
+                *slot = (0, 0, 0);
+            }
+            self.generation = 1;
+        }
+    }
+
+    /// Returns `true` if a positive verdict is recorded for `key`.
+    fn contains(&self, key: VerdictKey) -> bool {
+        if self.live == 0 {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = key.hash() as usize & mask;
+        loop {
+            let (lo, hi, stamp) = self.slots[i];
+            if stamp != self.generation {
+                return false;
+            }
+            if (lo, hi) == (key.0, key.1) {
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Records a positive verdict for `key`.
+    fn insert(&mut self, key: VerdictKey) {
+        if self.slots.is_empty() {
+            self.slots.resize(256, (0, 0, 0));
+            if self.generation == 0 {
+                self.generation = 1;
+            }
+        } else if (self.live + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = key.hash() as usize & mask;
+        loop {
+            let (lo, hi, stamp) = self.slots[i];
+            if stamp != self.generation {
+                self.slots[i] = (key.0, key.1, self.generation);
+                self.live += 1;
+                return;
+            }
+            if (lo, hi) == (key.0, key.1) {
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Doubles the table, re-inserting the current round's entries.
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0, 0); doubled]);
+        let mask = self.slots.len() - 1;
+        for (lo, hi, stamp) in old {
+            if stamp != self.generation {
+                continue;
+            }
+            let mut i = VerdictKey(lo, hi).hash() as usize & mask;
+            while self.slots[i].2 == self.generation {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = (lo, hi, self.generation);
+        }
+    }
+}
+
+/// Sub-stages of the coalesce phase, reported through the profiling probe
+/// installed by [`set_coalesce_probe`]. Each probe call marks the *start* of
+/// the named sub-stage for the function being translated;
+/// [`CoalesceStage::Done`] closes the last one. The `alloc_profile` bench
+/// bin uses this to split the phase's allocation count by sub-stage.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CoalesceStage {
+    /// Universe construction, value numbering, class reset, pinned groups.
+    Setup,
+    /// Building and weight-ordering the affinity work list (φ webs; in
+    /// virtualized mode this sub-stage includes the per-φ decisions).
+    AffinityBuild,
+    /// The interference-test + merge loop over the global affinity list.
+    Decide,
+    /// The copy-sharing post-optimization (Section III-B).
+    Sharing,
+    /// Snapshotting the classes into the rewrite maps.
+    Snapshot,
+    /// Applying the decisions to the function.
+    Rewrite,
+    /// End marker: the coalesce phase of one function is complete.
+    Done,
+}
+
+thread_local! {
+    static COALESCE_PROBE: Cell<Option<fn(CoalesceStage)>> = const { Cell::new(None) };
+}
+
+/// Installs (or, with `None`, removes) a per-thread coalesce sub-stage
+/// probe. Profiling instrumentation only: the translation invokes the probe
+/// at sub-stage boundaries and never otherwise changes behaviour.
+pub fn set_coalesce_probe(probe: Option<fn(CoalesceStage)>) {
+    COALESCE_PROBE.with(|p| p.set(probe));
+}
+
+#[inline]
+fn coalesce_probe(stage: CoalesceStage) {
+    COALESCE_PROBE.with(|p| {
+        if let Some(probe) = p.get() {
+            probe(stage);
+        }
+    });
 }
 
 /// Interference definition used when deciding whether two congruence classes
@@ -143,7 +331,12 @@ pub enum InterferenceMode {
 /// How interference between two congruence classes is checked.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ClassCheck {
-    /// Pairwise over the two member lists.
+    /// Pairwise semantics over the two member lists (the reference
+    /// [`CongruenceClasses::interfere_quadratic`] definition), executed as a
+    /// batched dominance-stack merge-sweep
+    /// ([`CongruenceClasses::interfere_sweep`]): verdict-identical to the
+    /// all-pairs loop, but pairs with no dominance relation — which cannot
+    /// interfere under any strategy — are skipped without a query.
     Quadratic,
     /// The paper's linear merged-walk over the dominance-ordered member
     /// lists (only used with the `Intersect` and `Value` strategies; other
@@ -169,6 +362,17 @@ pub struct OutOfSsaOptions {
     pub weighted: bool,
     /// Sequentialize the remaining parallel copies at the end.
     pub sequentialize: bool,
+    /// Early-exit threshold of the profitability-ordered affinity loop. The
+    /// global affinity list is processed in decreasing block-frequency
+    /// order, so once the weight of the next affinity drops below this
+    /// value the entire remaining cold tail is abandoned without
+    /// interference tests — everything skipped is at most this profitable.
+    /// `0.0` (the default) keeps every affinity and is bit-identical to the
+    /// exhaustive loop. Raising it trades static copies in cold blocks for
+    /// decision time; the Figure 5 evaluation found no positive threshold
+    /// that is equal-or-better on every variant (skipping an affinity can
+    /// only leave more copies), so the knob ships disabled by default.
+    pub abort_threshold: f64,
 }
 
 impl Default for OutOfSsaOptions {
@@ -181,6 +385,7 @@ impl Default for OutOfSsaOptions {
             class_check: ClassCheck::Linear,
             weighted: true,
             sequentialize: true,
+            abort_threshold: 0.0,
         }
     }
 }
@@ -295,6 +500,12 @@ impl OutOfSsaOptions {
     /// Enables or disables sequentialization of the final parallel copies.
     pub fn with_sequentialize(mut self, sequentialize: bool) -> Self {
         self.sequentialize = sequentialize;
+        self
+    }
+    /// Sets the cold-tail abort threshold of the affinity loop (see
+    /// [`OutOfSsaOptions::abort_threshold`]).
+    pub fn with_abort_threshold(mut self, threshold: f64) -> Self {
+        self.abort_threshold = threshold;
         self
     }
 }
@@ -510,16 +721,28 @@ pub fn translate_out_of_ssa_scratch(
     // recycled across functions. Like the insertion result, the universe is
     // taken out of the scratch by value for the duration of `decide`.
     let phase_start = Instant::now();
+    coalesce_probe(CoalesceStage::Setup);
     let mut universe = std::mem::take(&mut scratch.universe);
     let mut universe_seen = std::mem::take(&mut scratch.universe_seen);
     let mut universe_tmp = std::mem::take(&mut scratch.universe_tmp);
+    let mut plain_copies = std::mem::take(&mut scratch.plain_copies);
+    let mut parallel_sites = std::mem::take(&mut scratch.parallel_sites);
     {
         let func = &*func;
         let domtree = analyses.domtree(func);
         let freqs = analyses.frequencies(func);
         let info = analyses.live_range_info(func);
-        copy_related_universe_into(func, &mut universe, &mut universe_seen, &mut universe_tmp);
+        copy_related_universe_and_sites_into(
+            func,
+            &mut universe,
+            &mut universe_seen,
+            &mut universe_tmp,
+            &mut plain_copies,
+            &mut parallel_sites,
+        );
         let universe = &universe[..];
+        let plain_copies = &plain_copies[..];
+        let parallel_sites = &parallel_sites[..];
 
         match options.interference {
             InterferenceMode::Graph | InterferenceMode::InterCheck => {
@@ -554,6 +777,8 @@ pub fn translate_out_of_ssa_scratch(
                     &intersect,
                     graph.as_ref(),
                     universe,
+                    plain_copies,
+                    parallel_sites,
                     scratch,
                 );
             }
@@ -570,7 +795,17 @@ pub fn translate_out_of_ssa_scratch(
                 };
                 let intersect = IntersectionTest::new(func, domtree, &fast, info);
                 decide(
-                    func, options, &insertion, domtree, freqs, &intersect, None, universe, scratch,
+                    func,
+                    options,
+                    &insertion,
+                    domtree,
+                    freqs,
+                    &intersect,
+                    None,
+                    universe,
+                    plain_copies,
+                    parallel_sites,
+                    scratch,
                 );
             }
         }
@@ -580,13 +815,17 @@ pub fn translate_out_of_ssa_scratch(
     scratch.universe = universe;
     scratch.universe_seen = universe_seen;
     scratch.universe_tmp = universe_tmp;
+    scratch.plain_copies = plain_copies;
+    scratch.parallel_sites = parallel_sites;
     scratch.insertion = insertion;
 
     // Phase C: rewrite with the chosen classes, drop φs, sequentialize. These
     // are instruction-level mutations: the CFG caches (and the fast liveness
     // precomputation) stay valid, so the frequencies used below and by later
     // consumers are not recomputed.
+    coalesce_probe(CoalesceStage::Rewrite);
     rewrite(func, &scratch.decisions, &mut scratch.kept, &mut scratch.kept_pairs);
+    coalesce_probe(CoalesceStage::Done);
     stats.phase_seconds.coalesce = phase_start.elapsed().as_secs_f64();
     let phase_start = Instant::now();
     if options.sequentialize {
@@ -633,6 +872,8 @@ fn decide<L: BlockLiveness>(
     intersect: &IntersectionTest<'_, L>,
     graph: Option<&InterferenceGraph>,
     universe: &[Value],
+    plain_copies: &[InsertedMove],
+    parallel_sites: &[(Block, u32, Inst)],
     scratch: &mut TranslateScratch,
 ) {
     // Split the scratch into its independent pieces; every map is brought
@@ -651,6 +892,7 @@ fn decide<L: BlockLiveness>(
         grouped,
         range_of,
         sort_buf,
+        verdicts,
         ..
     } = scratch;
     let Decisions {
@@ -664,7 +906,8 @@ fn decide<L: BlockLiveness>(
     } = decisions;
     values_slot.compute_into(func, domtree);
     let values: &ValueTable = values_slot;
-    classes.reset(func, domtree, intersect.info());
+    classes.reset_for(func, domtree, intersect.info(), universe);
+    verdicts.begin_round();
     let scratch = equal_anc;
     let mut moves_coalesced = 0usize;
     let no_anc = EqualAncOut::new();
@@ -677,8 +920,11 @@ fn decide<L: BlockLiveness>(
     // are disjoint singleton classes at this point, so the register-sorted
     // group order leaves every decision unchanged while replacing the scan
     // that was quadratic in distinct pinned registers.
+    // Every pinned value is a universe member (`copy_related_universe_into`
+    // collects them explicitly), so the scan runs over the universe instead
+    // of all values; the sort restores the same total order either way.
     pinned.clear();
-    for value in func.values() {
+    for &value in universe {
         if let Some(reg) = func.pinned_reg(value) {
             pinned.push((reg, value));
         }
@@ -698,6 +944,7 @@ fn decide<L: BlockLiveness>(
 
     // φ-web handling. In eager mode the φ moves seed the affinity work list
     // directly (the list the seed called `phi_move_set`).
+    coalesce_probe(CoalesceStage::AffinityBuild);
     affinities.clear();
     match options.phi_processing {
         PhiProcessing::Eager => {
@@ -739,6 +986,7 @@ fn decide<L: BlockLiveness>(
                         (options.strategy == Strategy::SreedharI).then_some((primed, original));
                     let interferes = classes_interfere(
                         options, classes, node, original, intersect, values, graph, skip, scratch,
+                        verdicts,
                     );
                     let virtual_conflict = !interferes
                         && virtual_copy_conflict(
@@ -775,23 +1023,27 @@ fn decide<L: BlockLiveness>(
             affinities.push(*m);
         }
     }
-    // Pre-existing plain copies in the function are affinities too.
-    for block in func.blocks() {
-        for &inst in func.block_insts(block) {
-            if let InstData::Copy { dst, src } = *func.inst(inst) {
-                affinities.push(InsertedMove { dst, src, block });
-            }
-        }
-    }
+    // Pre-existing plain copies in the function are affinities too. The
+    // fused universe scan collected them in the same block/instruction
+    // order the instruction walk here used to produce.
+    affinities.extend_from_slice(plain_copies);
     sort_moves_by_weight_desc(affinities, sort_buf, &weight);
+    coalesce_probe(CoalesceStage::Decide);
     for &m in affinities.iter() {
+        // Profitability early exit: the list is sorted by decreasing
+        // weight, so once one affinity falls below the abort threshold the
+        // whole remaining tail does too — everything skipped is at most
+        // `abort_threshold` profitable. Disabled (bit-identical) at 0.0.
+        if options.abort_threshold > 0.0 && weight(m.block) < options.abort_threshold {
+            break;
+        }
         if classes.same_class(m.dst, m.src) {
             moves_coalesced += 1;
             continue;
         }
         let skip = (options.strategy == Strategy::SreedharI).then_some((m.dst, m.src));
         let interferes = classes_interfere(
-            options, classes, m.dst, m.src, intersect, values, graph, skip, scratch,
+            options, classes, m.dst, m.src, intersect, values, graph, skip, scratch, verdicts,
         );
         if !interferes {
             classes.merge(m.dst, m.src, scratch);
@@ -800,6 +1052,7 @@ fn decide<L: BlockLiveness>(
     }
 
     // Copy-sharing post-optimization (Section III-B).
+    coalesce_probe(CoalesceStage::Sharing);
     removed_moves.clear();
     if options.sharing {
         // Group the copy-related universe by value representative — one
@@ -822,8 +1075,11 @@ fn decide<L: BlockLiveness>(
                 start = end;
             }
         }
-        for block in func.blocks() {
-            for (pos, &inst) in func.block_insts(block).iter().enumerate() {
+        // The parallel-copy sites come from the fused universe scan, in the
+        // same block/instruction order the nested walk here used to visit.
+        for &(block, pos, inst) in parallel_sites {
+            {
+                let pos = pos as usize;
                 let InstData::ParallelCopy { copies } = func.inst(inst) else { continue };
                 for copy in func.copy_list(*copies) {
                     let (a, b) = (copy.src, copy.dst);
@@ -856,6 +1112,7 @@ fn decide<L: BlockLiveness>(
                         // and drop the copy.
                         let interferes = classes_interfere(
                             options, classes, b, c, intersect, values, graph, None, scratch,
+                            verdicts,
                         );
                         if !interferes {
                             classes.merge(b, c, scratch);
@@ -870,13 +1127,23 @@ fn decide<L: BlockLiveness>(
     }
 
     // Snapshot the classes into the scratch-owned dense maps for the rewrite
-    // phase. Every value of the function is written, so stale entries from a
-    // previous function are never observed. The rename target is the
+    // phase. Only copy-related universe members can ever be merged (every
+    // merge endpoint is a φ/copy operand or a pinned value, and
+    // `copy_related_universe_into` collects both), so the union-find and
+    // def/use lookups run over the universe only; every other value keeps the
+    // `None` entry written by the wholesale clear below, which the rewrite
+    // reads as "renames to itself". The clear also guarantees stale entries
+    // from a previous function are never observed. The rename target is the
     // *canonical* representative, which is independent of the union-by-rank
     // tree shape.
+    coalesce_probe(CoalesceStage::Snapshot);
     class_rep.resize(func.num_values());
+    for slot in class_rep.values_mut() {
+        *slot = None;
+    }
     out_labels.clear();
-    for value in func.values() {
+    used.reset();
+    for &value in universe {
         let rep = classes.representative(value);
         class_rep[value] = Some(rep);
         if value == rep {
@@ -884,9 +1151,6 @@ fn decide<L: BlockLiveness>(
                 out_labels.push((rep, reg));
             }
         }
-    }
-    used.reset();
-    for value in func.values() {
         if !intersect.info().uses().uses_of(value).is_empty() {
             used.insert(value);
         }
@@ -1016,58 +1280,68 @@ fn classes_interfere<L: BlockLiveness>(
     graph: Option<&InterferenceGraph>,
     skip_pair: Option<(Value, Value)>,
     scratch: &mut EqualAncOut,
+    cache: &mut VerdictCache,
 ) -> bool {
     scratch.clear();
-    if classes.labels_conflict(a, b) {
+    // Resolve both class roots once; every class query below (labels,
+    // members, versions) re-finds its argument, and a root resolves in one
+    // parent probe — so the walks run on `(ra, rb)` instead of repeating
+    // the full path per lookup. The classes of `a` and `b` are unchanged,
+    // so every verdict is too.
+    let (ra, rb) = (classes.find(a), classes.find(b));
+    if classes.labels_conflict(ra, rb) {
         return true;
+    }
+    // Verdict memoization. Only exact snapshots hit: the key carries both
+    // roots *and* their merge versions, so a hit means neither class has
+    // changed since the verdict was computed. Excluded when Sreedhar I's
+    // candidate-pair exemption is in play — the verdict then depends on the
+    // exempted pair, not only on the two classes.
+    let cache_key = skip_pair
+        .is_none()
+        .then(|| VerdictKey::new(ra, classes.class_version(ra), rb, classes.class_version(rb)));
+    if let Some(key) = cache_key {
+        if cache.contains(key) {
+            return true;
+        }
     }
     let use_values = options.strategy == Strategy::Value;
 
     // The linear check is only valid when classes are internally
     // intersection-free up to value equality, which holds for the Intersect
     // and Value strategies.
-    if options.class_check == ClassCheck::Linear
+    let interferes = if options.class_check == ClassCheck::Linear
         && skip_pair.is_none()
         && graph.is_none()
         && matches!(options.strategy, Strategy::Intersect | Strategy::Value)
     {
-        return classes.interfere_linear(a, b, intersect, use_values.then_some(values), scratch);
-    }
-
-    let pair_intersects = |x: Value, y: Value| -> bool {
-        match graph {
-            Some(g) if g.contains(x) && g.contains(y) => g.interfere(x, y),
-            _ => intersect.intersect(x, y),
-        }
-    };
-
-    let mut queries = 0u64;
-    let mut result = false;
-    {
-        let xs = classes.members(a);
-        let ys = classes.members(b);
-        'outer: for &x in xs {
-            for &y in ys {
-                if let Some((p, q)) = skip_pair {
-                    if (x == p && y == q) || (x == q && y == p) {
-                        continue;
-                    }
-                }
-                queries += 1;
-                let interferes = match options.strategy {
-                    Strategy::Intersect | Strategy::SreedharI => pair_intersects(x, y),
-                    Strategy::Chaitin => intersect.chaitin_interfere(x, y),
-                    Strategy::Value => pair_intersects(x, y) && !values.same_value(x, y),
-                };
-                if interferes {
-                    result = true;
-                    break 'outer;
-                }
+        classes.interfere_linear(ra, rb, intersect, use_values.then_some(values), scratch)
+    } else {
+        // Pairwise semantics, executed as a batched merge-sweep over the
+        // dominance-ordered member lists: verdict-identical to the all-pairs
+        // loop (see [`CongruenceClasses::interfere_sweep`]), with pairs
+        // lacking a dominance relation skipped unqueried.
+        let pair_intersects = |x: Value, y: Value| -> bool {
+            match graph {
+                Some(g) if g.contains(x) && g.contains(y) => g.interfere(x, y),
+                _ => intersect.intersect(x, y),
             }
+        };
+        let mut pair_interferes = |x: Value, y: Value| -> bool {
+            match options.strategy {
+                Strategy::Intersect | Strategy::SreedharI => pair_intersects(x, y),
+                Strategy::Chaitin => intersect.chaitin_interfere(x, y),
+                Strategy::Value => pair_intersects(x, y) && !values.same_value(x, y),
+            }
+        };
+        classes.interfere_sweep(ra, rb, skip_pair, &mut pair_interferes, scratch)
+    };
+    if interferes {
+        if let Some(key) = cache_key {
+            cache.insert(key);
         }
     }
-    classes.add_queries(queries);
-    result
+    interferes
 }
 
 /// One entry of the parallel-copy deduplication scratch of [`rewrite`].

@@ -46,6 +46,29 @@ pub struct DefOrderKey {
     pub pos: u32,
     /// Tie-breaker: the value index.
     pub value_index: u32,
+    /// Post-order number of the defining block in the dominator-tree DFS.
+    /// Carried so dominance between two definition points is a pure key
+    /// comparison ([`key_def_dominates`]); last in the struct, so the derived
+    /// lexicographic order is unchanged (the `value_index` tie-breaker is
+    /// unique, comparisons of distinct values never reach this field).
+    pub block_postorder: u32,
+}
+
+/// Definition-point dominance decided from two cached keys — exactly
+/// [`IntersectionTest::def_dominates`]: values without a key (no definition)
+/// or defined in unreachable blocks (pre-order `u32::MAX`) dominate nothing,
+/// same-block points compare by position, and distinct blocks use the DFS
+/// interval of the dominator tree.
+#[inline]
+pub fn key_def_dominates(a: Option<DefOrderKey>, b: Option<DefOrderKey>) -> bool {
+    let (Some(a), Some(b)) = (a, b) else { return false };
+    if a.block_preorder == u32::MAX || b.block_preorder == u32::MAX {
+        return false;
+    }
+    if a.block_preorder == b.block_preorder {
+        return a.pos <= b.pos;
+    }
+    a.block_preorder < b.block_preorder && b.block_postorder <= a.block_postorder
 }
 
 /// Scratch map recording, for each value walked by the linear interference
@@ -83,8 +106,17 @@ impl EqualAncOut {
         self.touched.is_empty()
     }
 
-    /// Records the equal intersecting ancestor of `value`.
+    /// Records the equal intersecting ancestor of `value`. Recording `None`
+    /// into a slot that already reads `None` is a no-op: the map is all-`None`
+    /// between queries, so `touched` holds exactly the values with a `Some`
+    /// record. Most walk steps record `None` (the same-value ancestor path is
+    /// the rare one), which keeps the per-query clear cost — and the
+    /// chain-combine loop of [`CongruenceClasses::merge`], which iterates
+    /// `touched` — proportional to the *meaningful* records only.
     fn set(&mut self, value: Value, anc: Option<Value>) {
+        if anc.is_none() && self.map.get(value).is_none() {
+            return;
+        }
         self.map[value] = anc;
         self.touched.push(value);
     }
@@ -129,8 +161,23 @@ pub struct CongruenceClasses {
     /// For the value-based linear test: nearest dominating member of the
     /// same class with the same value that intersects the value.
     equal_anc_in: SecondaryMap<Value, Option<Value>>,
+    /// Merge version of each class, stored at roots: bumped every time the
+    /// class gains members. `(root, version)` names an immutable snapshot of
+    /// a class — the key the coalescer's verdict cache is invalidated by
+    /// (see [`CongruenceClasses::class_version`]).
+    version: SecondaryMap<Value, u32>,
     /// Number of interference queries performed (statistics).
     queries: u64,
+    /// The slots written since the last reset ([`CongruenceClasses::reset_for`]
+    /// universe plus [`CongruenceClasses::add_value`] registrations): every
+    /// union-find, member, label, key, chain and version write lands on a
+    /// class member or affinity endpoint, all of which the universe covers.
+    /// The next `reset_for` only has to scrub these slots.
+    dirty: Vec<Value>,
+    /// Set by the full [`CongruenceClasses::reset`] path (which touches every
+    /// value): the dirty list is not exhaustive, so the next `reset_for`
+    /// falls back to the full scrub.
+    fully_dirty: bool,
 }
 
 impl CongruenceClasses {
@@ -152,6 +199,70 @@ impl CongruenceClasses {
     ///
     /// [`TranslateScratch`]: crate::coalesce::TranslateScratch
     pub fn reset(&mut self, func: &Function, domtree: &DominatorTree, info: &LiveRangeInfo) {
+        self.reset_clear(func);
+        for value in func.values() {
+            self.fill_value(value, func, domtree, info);
+        }
+        self.fully_dirty = true;
+    }
+
+    /// Like [`CongruenceClasses::reset`], but fills the definition keys and
+    /// register labels only for the values of `universe` (the copy-related
+    /// universe of the function). Valid because the decision phase reads
+    /// keys and labels only for class members and affinity/sharing
+    /// endpoints, all of which are copy-related (φ/copy operands) or pinned
+    /// — and the universe contains every pinned value by construction. The
+    /// remaining slots read as "no key / no label", exactly the default of a
+    /// fresh map, so any stale entry from a previous function is
+    /// unobservable.
+    ///
+    /// The scrub is equally restricted: between two `reset_for` calls every
+    /// write lands on a slot of the `dirty` list (the previous universe plus
+    /// `add_value` registrations), so only those slots need to be returned
+    /// to their default — the rest never left it.
+    pub fn reset_for(
+        &mut self,
+        func: &Function,
+        domtree: &DominatorTree,
+        info: &LiveRangeInfo,
+        universe: &[Value],
+    ) {
+        if self.fully_dirty {
+            self.reset_clear(func);
+        } else {
+            self.reset_clear_dirty(func);
+        }
+        for &value in universe {
+            self.fill_value(value, func, domtree, info);
+        }
+        self.dirty.clear();
+        self.dirty.extend_from_slice(universe);
+        self.fully_dirty = false;
+    }
+
+    #[inline]
+    fn fill_value(
+        &mut self,
+        value: Value,
+        func: &Function,
+        domtree: &DominatorTree,
+        info: &LiveRangeInfo,
+    ) {
+        if let Some(site) = info.def(value) {
+            self.keys[value] = Some(DefOrderKey {
+                block_preorder: domtree.preorder_number(site.block),
+                pos: site.pos as u32,
+                value_index: value.index() as u32,
+                block_postorder: domtree.postorder_number(site.block),
+            });
+        }
+        self.labels[value] = func.pinned_reg(value);
+    }
+
+    /// The shared clearing pass of [`CongruenceClasses::reset`] and
+    /// [`CongruenceClasses::reset_for`]: reclaim member buffers, truncate
+    /// and zero every dense map, and top up the identity pool.
+    fn reset_clear(&mut self, func: &Function) {
         let num_values = func.num_values();
         // Reclaim every member buffer into the free list in one pass (the
         // buffers cycle through the pool, so no slot keeps one across
@@ -172,6 +283,7 @@ impl CongruenceClasses {
         self.labels.truncate(num_values);
         self.keys.truncate(num_values);
         self.equal_anc_in.truncate(num_values);
+        self.version.truncate(num_values);
         // Restore default-equivalent state on every surviving slot without
         // dropping the per-slot heap allocations.
         for cell in self.parent.values_mut() {
@@ -192,6 +304,9 @@ impl CongruenceClasses {
         for anc in self.equal_anc_in.values_mut() {
             *anc = None;
         }
+        for version in self.version.values_mut() {
+            *version = 0;
+        }
         self.queries = 0;
 
         self.parent.resize(num_values);
@@ -201,32 +316,75 @@ impl CongruenceClasses {
         self.labels.resize(num_values);
         self.keys.resize(num_values);
         self.equal_anc_in.resize(num_values);
+        self.version.resize(num_values);
         if self.pool.len() < num_values {
             self.pool.reserve_exact(num_values - self.pool.len());
             while self.pool.len() < num_values {
                 self.pool.push(Value::from_index(self.pool.len()));
             }
         }
-        for value in func.values() {
-            if let Some(site) = info.def(value) {
-                self.keys[value] = Some(DefOrderKey {
-                    block_preorder: domtree.preorder_number(site.block),
-                    pos: site.pos as u32,
-                    value_index: value.index() as u32,
-                });
+    }
+
+    /// The restricted scrub of [`CongruenceClasses::reset_for`]: returns the
+    /// slots of the `dirty` list to their defaults while the maps still have
+    /// their previous length (every dirty index was valid then), then
+    /// truncates, resizes and tops up the identity pool exactly like the
+    /// full pass.
+    fn reset_clear_dirty(&mut self, func: &Function) {
+        let num_values = func.num_values();
+        for i in 0..self.dirty.len() {
+            let value = self.dirty[i];
+            let slot = &mut self.members[value];
+            if slot.capacity() > 0 {
+                slot.clear();
+                self.free.push(std::mem::take(slot));
             }
-            self.labels[value] = func.pinned_reg(value);
+            self.parent[value].set(None);
+            self.rank[value] = 0;
+            self.canon[value] = None;
+            self.labels[value] = None;
+            self.keys[value] = None;
+            self.equal_anc_in[value] = None;
+            self.version[value] = 0;
+        }
+        self.queries = 0;
+
+        self.parent.truncate(num_values);
+        self.rank.truncate(num_values);
+        self.canon.truncate(num_values);
+        self.members.truncate(num_values);
+        self.labels.truncate(num_values);
+        self.keys.truncate(num_values);
+        self.equal_anc_in.truncate(num_values);
+        self.version.truncate(num_values);
+        self.parent.resize(num_values);
+        self.rank.resize(num_values);
+        self.canon.resize(num_values);
+        self.members.resize(num_values);
+        self.labels.resize(num_values);
+        self.keys.resize(num_values);
+        self.equal_anc_in.resize(num_values);
+        self.version.resize(num_values);
+        if self.pool.len() < num_values {
+            self.pool.reserve_exact(num_values - self.pool.len());
+            while self.pool.len() < num_values {
+                self.pool.push(Value::from_index(self.pool.len()));
+            }
         }
     }
 
     /// Registers a value created after construction (e.g. a materialized
     /// copy), giving it a singleton class.
     pub fn add_value(&mut self, value: Value, key: DefOrderKey, label: Option<u32>) {
+        if !self.fully_dirty {
+            self.dirty.push(value);
+        }
         self.keys[value] = Some(key);
         self.parent[value] = Cell::new(None);
         self.rank[value] = 0;
         self.canon[value] = None;
         self.equal_anc_in[value] = None;
+        self.version[value] = 0;
         self.members[value].clear();
         self.labels[value] = label;
         while self.pool.len() <= value.index() {
@@ -298,6 +456,16 @@ impl CongruenceClasses {
         self.queries
     }
 
+    /// The merge version of the class whose *root* is `root` (callers pass a
+    /// [`CongruenceClasses::find`] result). The version is bumped exactly
+    /// when the class gains members, and a class's interference-relevant
+    /// state — member list, label, members' `equal_anc_in` chains — changes
+    /// only then, so `(root, version)` pins an immutable snapshot: equal
+    /// pairs on both sides guarantee a cached verdict is still exact.
+    pub fn class_version(&self, root: Value) -> u32 {
+        *self.version.get(root)
+    }
+
     /// Adds externally performed pair queries to the statistics counter.
     pub fn add_queries(&mut self, count: u64) {
         self.queries += count;
@@ -334,35 +502,64 @@ impl CongruenceClasses {
         // over one on `a`'s (differently labeled classes always interfere,
         // so conditional merges never see two distinct labels).
         let label = self.labels[rb].or(self.labels[ra]);
-        let list_a = std::mem::take(&mut self.members[ra]);
-        let list_b = std::mem::take(&mut self.members[rb]);
-        let mut merged = self.free.pop().unwrap_or_default();
-        {
-            let slice_a: &[Value] = if list_a.is_empty() {
-                std::slice::from_ref(&self.pool[ra.index()])
-            } else {
-                &list_a
-            };
-            let slice_b: &[Value] = if list_b.is_empty() {
-                std::slice::from_ref(&self.pool[rb.index()])
-            } else {
-                &list_b
-            };
-            self.merge_sorted_into(slice_a, slice_b, &mut merged);
-        }
-        // The retired member lists go back to the pool for the next merge.
-        if list_a.capacity() > 0 {
-            self.free.push(list_a);
-        }
-        if list_b.capacity() > 0 {
-            self.free.push(list_b);
-        }
+        // A root with no materialized member list names a singleton class
+        // (its only member is the root itself). Absorbing a singleton into a
+        // materialized list is the common shape of the decide loop, and a
+        // binary-search insert into the surviving buffer produces exactly the
+        // list `merge_sorted_into` would (ties between `None`-keyed values
+        // resolve to the left operand there, hence the `<=`/`<` asymmetry)
+        // without copying the whole class through a pooled buffer.
+        let a_single = self.members[ra].is_empty();
+        let b_single = self.members[rb].is_empty();
+        let merged = if !a_single && b_single {
+            let mut list = std::mem::take(&mut self.members[ra]);
+            let kv = self.keys[rb];
+            let pos = list.partition_point(|&x| self.keys[x] <= kv);
+            list.insert(pos, rb);
+            list
+        } else if a_single && !b_single {
+            let mut list = std::mem::take(&mut self.members[rb]);
+            let kv = self.keys[ra];
+            let pos = list.partition_point(|&x| self.keys[x] < kv);
+            list.insert(pos, ra);
+            list
+        } else {
+            let list_a = std::mem::take(&mut self.members[ra]);
+            let list_b = std::mem::take(&mut self.members[rb]);
+            let mut merged = self.free.pop().unwrap_or_default();
+            {
+                let slice_a: &[Value] = if list_a.is_empty() {
+                    std::slice::from_ref(&self.pool[ra.index()])
+                } else {
+                    &list_a
+                };
+                let slice_b: &[Value] = if list_b.is_empty() {
+                    std::slice::from_ref(&self.pool[rb.index()])
+                } else {
+                    &list_b
+                };
+                self.merge_sorted_into(slice_a, slice_b, &mut merged);
+            }
+            // The retired member lists go back to the pool for the next merge.
+            if list_a.capacity() > 0 {
+                self.free.push(list_a);
+            }
+            if list_b.capacity() > 0 {
+                self.free.push(list_b);
+            }
+            merged
+        };
 
         // equal_anc_in for the combined class: the later (in ≺ order) of the
-        // in-class and out-of-class equal intersecting ancestors. Skipped for
-        // unconditional merges (empty scratch): the chains are unchanged.
+        // in-class and out-of-class equal intersecting ancestors. Only the
+        // scratch's touched values can change a chain (an untouched member
+        // has `equal_anc_out = None`, and `max(x, None) = x`), so the
+        // combine walks the touched list — typically a handful of same-value
+        // records — instead of every member of the merged class. The scratch
+        // must be the one filled by the interference test of this very pair;
+        // unconditional merges pass an empty scratch and skip the loop.
         if !equal_anc_out.is_empty() {
-            for &member in &merged {
+            for &member in &equal_anc_out.touched {
                 let current = self.equal_anc_in[member];
                 let out = equal_anc_out.get(member);
                 self.equal_anc_in[member] = self.max_by_key(current, out);
@@ -379,6 +576,10 @@ impl CongruenceClasses {
         self.labels[root] = label;
         self.canon[root] = (canonical != root).then_some(canonical);
         self.members[root] = merged;
+        // The surviving root now names a different class: advance its
+        // version so cached verdicts keyed on the old snapshot miss. The
+        // losing root can never be a root again, so its slot needs no bump.
+        self.version[root] = self.version[root].wrapping_add(1);
     }
 
     /// Merges every value of `group` into one class without interference
@@ -457,6 +658,7 @@ impl CongruenceClasses {
         if displaced.capacity() > 0 {
             self.free.push(displaced);
         }
+        self.version[root] = self.version[root].wrapping_add(1);
         self.group_roots = roots;
     }
 
@@ -558,29 +760,230 @@ impl CongruenceClasses {
         let interference_found = {
             let red = self.members(a);
             let blue = self.members(b);
-
-            // chain_intersect: does x intersect y or one of y's equal
-            // intersecting ancestors (walking the in-class equal_anc chain)?
-            // Statically dispatched — this is the innermost loop of the
-            // default engine's class-interference check.
+            let keys = &self.keys;
             let equal_anc_in = &self.equal_anc_in;
-            let chain_intersect = |x: Value, mut y_opt: Option<Value>| -> bool {
-                while let Some(y) = y_opt {
-                    queries.set(queries.get() + 1);
-                    if intersect.intersect(x, y) {
-                        return true;
-                    }
-                    y_opt = equal_anc_in[y];
+
+            // One step of Algorithm 2: test `current` against its nearest
+            // dominating stack ancestor `parent`, walking the equal-ancestor
+            // chains. Returns `true` on interference; otherwise records
+            // `current`'s nearest intersecting equal ancestor in the scratch.
+            // Shared by the full merged walk and the singleton fast path, so
+            // the two are the same computation by construction.
+            let step = |current: Value,
+                        current_in_red: bool,
+                        parent: Option<(Value, bool)>,
+                        equal_anc_out: &mut EqualAncOut|
+             -> bool {
+                let Some((parent, parent_in_red)) = parent else {
+                    equal_anc_out.set(current, None);
+                    return false;
+                };
+                // interference(current, parent)
+                equal_anc_out.set(current, None);
+                let same_set = current_in_red == parent_in_red;
+                let mut b_chain: Option<Value> = Some(parent);
+                if same_set {
+                    b_chain = equal_anc_out.get(parent);
                 }
-                false
+                let same_value = match (values, b_chain) {
+                    (Some(table), Some(bc)) => table.same_value(current, bc),
+                    (None, _) => false,
+                    (_, None) => false,
+                };
+                // Every chain element dominates `current`: the chain starts
+                // at the stack parent (a dominating ancestor of `current` by
+                // the stack invariant) or at its recorded equal intersecting
+                // ancestor (a dominance ancestor of the parent), and each
+                // `equal_anc_in` link climbs further towards the root of the
+                // class's dominance forest — so the cheaper directional
+                // intersection entry applies throughout.
+                if values.is_none() || !same_value {
+                    // chain_intersect: does current intersect b_chain or one
+                    // of its equal intersecting ancestors? The innermost
+                    // loop of the default engine's class-interference check.
+                    let mut y_opt = b_chain;
+                    while let Some(y) = y_opt {
+                        queries.set(queries.get() + 1);
+                        if intersect.intersect_dominating(y, current) {
+                            return true;
+                        }
+                        y_opt = equal_anc_in[y];
+                    }
+                    false
+                } else {
+                    // Same value: no interference, but record the nearest
+                    // intersecting equal ancestor in the other chain.
+                    let mut tmp = b_chain;
+                    while let Some(t) = tmp {
+                        queries.set(queries.get() + 1);
+                        if intersect.intersect_dominating(t, current) {
+                            break;
+                        }
+                        tmp = equal_anc_in[t];
+                    }
+                    equal_anc_out.set(current, tmp);
+                    false
+                }
             };
 
-            // Merged walk in ≺ order with a dominance stack. The walk knows
-            // which list every value was popped from, so list membership
-            // rides along on the stack instead of being re-derived by a
-            // member-list scan per step (which was quadratic in class size).
+            // Most queries (three quarters on the bench corpus) have a
+            // singleton on one side. The merged walk then degenerates:
+            // every step before the singleton `v` only maintains the stack
+            // (parents from the same set carry `None` records, so no query
+            // is issued), and every step after leaving `v`'s dominated
+            // subtree likewise (by the pre-order interval property of
+            // dominance, nothing inside the subtree dominates anything after
+            // it). The fast path reproduces the walk exactly — including
+            // the query count — while touching only `v`'s insertion
+            // neighbourhood: a backward scan for `v`'s nearest dominating
+            // ancestor (the stack top the full walk would see: the latest
+            // dominating predecessor is never popped before `v`, again by
+            // the interval property), then the contiguous run of list
+            // entries dominated by `v`. Values without a definition key
+            // sort first, dominate nothing and issue no queries, so the
+            // fast path requires `v` to carry a key and the big side is
+            // taken as-is.
+            let singleton = if red.len() == 1 && keys[red[0]].is_some() {
+                Some((red[0], true, blue, false))
+            } else if blue.len() == 1 && keys[blue[0]].is_some() {
+                Some((blue[0], false, red, true))
+            } else {
+                None
+            };
+            if let Some((v, v_in_red, big, big_in_red)) = singleton {
+                let kv = keys[v];
+                let idx = big.partition_point(|&x| keys[x] < kv);
+                let parent = big[..idx]
+                    .iter()
+                    .rev()
+                    .copied()
+                    .find(|&x| key_def_dominates(keys[x], kv))
+                    .map(|x| (x, big_in_red));
+                let mut found = step(v, v_in_red, parent, equal_anc_out);
+                if !found {
+                    dom.push((v, v_in_red));
+                    for &x in &big[idx..] {
+                        let kx = keys[x];
+                        if !key_def_dominates(kv, kx) {
+                            break;
+                        }
+                        while let Some(&(top, _)) = dom.last() {
+                            if key_def_dominates(keys[top], kx) {
+                                break;
+                            }
+                            dom.pop();
+                        }
+                        let parent = dom.last().copied();
+                        if step(x, big_in_red, parent, equal_anc_out) {
+                            found = true;
+                            break;
+                        }
+                        dom.push((x, big_in_red));
+                    }
+                }
+                found
+            } else {
+                // Merged walk in ≺ order with a dominance stack. The walk
+                // knows which list every value was popped from, so list
+                // membership rides along on the stack instead of being
+                // re-derived by a member-list scan per step (which was
+                // quadratic in class size).
+                let (mut ir, mut ib) = (0usize, 0usize);
+                let mut interference_found = false;
+                'walk: while ir < red.len() || ib < blue.len() {
+                    let (current, current_in_red) = if ir == red.len() {
+                        let v = blue[ib];
+                        ib += 1;
+                        (v, false)
+                    } else if ib == blue.len() {
+                        let v = red[ir];
+                        ir += 1;
+                        (v, true)
+                    } else if keys[blue[ib]] < keys[red[ir]] {
+                        let v = blue[ib];
+                        ib += 1;
+                        (v, false)
+                    } else {
+                        let v = red[ir];
+                        ir += 1;
+                        (v, true)
+                    };
+
+                    // Pop the stack until the top dominates `current`.
+                    let kc = keys[current];
+                    while let Some(&(top, _)) = dom.last() {
+                        if key_def_dominates(keys[top], kc) {
+                            break;
+                        }
+                        dom.pop();
+                    }
+                    let parent = dom.last().copied();
+                    if step(current, current_in_red, parent, equal_anc_out) {
+                        interference_found = true;
+                        break 'walk;
+                    }
+                    dom.push((current, current_in_red));
+                }
+                interference_found
+            }
+        };
+        equal_anc_out.dom = dom;
+        self.queries += queries.get();
+        interference_found
+    }
+
+    /// Batched interference test between the classes of `a` and `b` for the
+    /// pairwise strategies: one merged walk of the two definition-ordered
+    /// member lists with a dominance stack, testing each value against the
+    /// *opposite-class* stack entries — its dominating ancestors — instead
+    /// of issuing all `|X| × |Y|` pair queries.
+    ///
+    /// Verdict-identical to [`CongruenceClasses::interfere_quadratic`] with
+    /// the same pair predicate: under every supported strategy two values
+    /// can only interfere when one definition dominates the other (the
+    /// intersection test returns `false` without dominance; value-based
+    /// interference requires an intersection; Chaitin-style interference
+    /// requires one value live at the other's definition, which in strict
+    /// SSA implies its definition dominates that point; interference-graph
+    /// edges are built from intersections). With the lists sorted by
+    /// definition order, a value's dominating ancestors are exactly the
+    /// stack contents when it is reached — a dominator is never popped
+    /// before its dominated successors, by the pre-order interval property
+    /// of the dominator tree — so every potentially interfering pair is
+    /// tested exactly once, and pairs with no dominance relation are
+    /// skipped *unqueried*. That skip is where the query reduction comes
+    /// from. Values without a definition sort first, dominate nothing and
+    /// are dominated by nothing, so they never pair up; they cannot
+    /// interfere under any strategy.
+    ///
+    /// `pair_interferes` is always called as `(member of a's class, member
+    /// of b's class)`, preserving the quadratic loop's orientation, and
+    /// every call counts as one query. `skip_pair` (Sreedhar I's exemption
+    /// of the candidate copy operands) is honoured without counting,
+    /// exactly like the quadratic loop. Label conflicts are the caller's
+    /// concern (as with the quadratic test the caller checks them first).
+    /// The dominance stack is borrowed from `stack` — the same scratch the
+    /// linear test uses — so repeated sweeps do not allocate. Dominance
+    /// between walked values is decided from the cached definition keys
+    /// ([`key_def_dominates`]), not by consulting the dominator tree per
+    /// step.
+    pub fn interfere_sweep(
+        &mut self,
+        a: Value,
+        b: Value,
+        skip_pair: Option<(Value, Value)>,
+        pair_interferes: &mut dyn FnMut(Value, Value) -> bool,
+        stack: &mut EqualAncOut,
+    ) -> bool {
+        let mut queries = 0u64;
+        let mut dom: Vec<(Value, bool)> = std::mem::take(&mut stack.dom);
+        dom.clear();
+        let found = {
+            let red = self.members(a);
+            let blue = self.members(b);
+            let keys = &self.keys;
             let (mut ir, mut ib) = (0usize, 0usize);
-            let mut interference_found = false;
+            let mut found = false;
             'walk: while ir < red.len() || ib < blue.len() {
                 let (current, current_in_red) = if ir == red.len() {
                     let v = blue[ib];
@@ -590,7 +993,7 @@ impl CongruenceClasses {
                     let v = red[ir];
                     ir += 1;
                     (v, true)
-                } else if self.keys[blue[ib]] < self.keys[red[ir]] {
+                } else if keys[blue[ib]] < keys[red[ir]] {
                     let v = blue[ib];
                     ib += 1;
                     (v, false)
@@ -600,56 +1003,41 @@ impl CongruenceClasses {
                     (v, true)
                 };
 
-                // Pop the stack until the top dominates `current`.
+                let kc = keys[current];
                 while let Some(&(top, _)) = dom.last() {
-                    if intersect.def_dominates(top, current) {
+                    if key_def_dominates(keys[top], kc) {
                         break;
                     }
                     dom.pop();
                 }
-                let parent = dom.last().copied();
-
-                if let Some((parent, parent_in_red)) = parent {
-                    // interference(current, parent)
-                    equal_anc_out.set(current, None);
-                    let same_set = current_in_red == parent_in_red;
-                    let mut b_chain: Option<Value> = Some(parent);
-                    if same_set {
-                        b_chain = equal_anc_out.get(parent);
+                // Nearest ancestor first: an interference, if any, is most
+                // likely with the closest dominator still live across
+                // `current`, so testing top-down reaches the early exit with
+                // fewer queries. The verdict is existential — the test order
+                // cannot change it, only the count.
+                for &(anc, anc_in_red) in dom.iter().rev() {
+                    if anc_in_red == current_in_red {
+                        continue;
                     }
-                    let same_value = match (values, b_chain) {
-                        (Some(table), Some(bc)) => table.same_value(current, bc),
-                        (None, _) => false,
-                        (_, None) => false,
-                    };
-                    if values.is_none() || !same_value {
-                        if chain_intersect(current, b_chain) {
-                            interference_found = true;
-                            break 'walk;
+                    let (x, y) = if current_in_red { (current, anc) } else { (anc, current) };
+                    if let Some((p, q)) = skip_pair {
+                        if (x == p && y == q) || (x == q && y == p) {
+                            continue;
                         }
-                    } else {
-                        // Same value: no interference, but record the nearest
-                        // intersecting equal ancestor in the other chain.
-                        let mut tmp = b_chain;
-                        while let Some(t) = tmp {
-                            queries.set(queries.get() + 1);
-                            if intersect.intersect(current, t) {
-                                break;
-                            }
-                            tmp = self.equal_anc_in[t];
-                        }
-                        equal_anc_out.set(current, tmp);
                     }
-                } else {
-                    equal_anc_out.set(current, None);
+                    queries += 1;
+                    if pair_interferes(x, y) {
+                        found = true;
+                        break 'walk;
+                    }
                 }
                 dom.push((current, current_in_red));
             }
-            interference_found
+            found
         };
-        equal_anc_out.dom = dom;
-        self.queries += queries.get();
-        interference_found
+        stack.dom = dom;
+        self.queries += queries;
+        found
     }
 
     /// Number of distinct classes among the values of `universe`.
@@ -834,7 +1222,12 @@ mod tests {
         let fresh = f2.new_value();
         classes.add_value(
             fresh,
-            DefOrderKey { block_preorder: 0, pos: 99, value_index: fresh.index() as u32 },
+            DefOrderKey {
+                block_preorder: 0,
+                pos: 99,
+                value_index: fresh.index() as u32,
+                block_postorder: 0,
+            },
             Some(7),
         );
         assert_eq!(classes.members(fresh), &[fresh]);
@@ -1002,6 +1395,112 @@ mod tests {
                     let rep = recycled.representative(v);
                     assert_eq!(rep, fresh.representative(v), "round {round}: representative");
                     assert!(members.contains(&rep), "round {round}: rep {rep} not a member");
+                }
+            }
+        }
+    }
+
+    /// Builds a diamond CFG with copies on one arm, so classes mix values
+    /// with and without dominance relations across blocks.
+    fn diamond_function() -> (Function, Vec<Value>) {
+        let mut b = FunctionBuilder::new("diamond", 1);
+        let entry = b.create_block();
+        let left = b.create_block();
+        let right = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        let x0 = b.iconst(7);
+        b.branch(p, left, right);
+        b.switch_to_block(left);
+        let l1 = b.copy(x0);
+        let l2 = b.binary(BinaryOp::Add, l1, x0);
+        b.jump(join);
+        b.switch_to_block(right);
+        let r1 = b.iconst(9);
+        let r2 = b.binary(BinaryOp::Add, r1, r1);
+        b.jump(join);
+        b.switch_to_block(join);
+        let m = b.phi(vec![(left, l2), (right, r2)]);
+        let u = b.binary(BinaryOp::Add, m, x0);
+        b.ret(Some(u));
+        (b.finish(), vec![p, x0, l1, l2, r1, r2, m, u])
+    }
+
+    /// The merge-sweep walk is verdict-identical to both the quadratic
+    /// member loop and a brute-force all-pairs oracle, over many random
+    /// two-class partitions of a multi-block function — including with the
+    /// Sreedhar-I `skip_pair` exemption. Only the query count may differ
+    /// (the sweep skips dominance-unrelated pairs unqueried).
+    #[test]
+    fn sweep_matches_quadratic_and_brute_force_on_random_partitions() {
+        for fixture in [diamond_function(), copies_function()] {
+            let (f, vals) = fixture;
+            let fx = Fixture::new(f);
+            let intersect = fx.intersect();
+            let values = ValueTable::of(&fx.func);
+            let mut state = 0x9e3779b97f4a7c15u64;
+            let mut next = || {
+                // xorshift64*: deterministic, no external PRNG dependency.
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                state.wrapping_mul(0x2545f4914f6cdd1d)
+            };
+            for round in 0..64 {
+                let (mut group_a, mut group_b) = (Vec::new(), Vec::new());
+                for &v in &vals {
+                    match next() % 3 {
+                        0 => group_a.push(v),
+                        1 => group_b.push(v),
+                        _ => {}
+                    }
+                }
+                if group_a.is_empty() || group_b.is_empty() {
+                    continue;
+                }
+                let mut classes = fx.classes();
+                classes.merge_group(&group_a);
+                classes.merge_group(&group_b);
+                let (ra, rb) = (classes.find(group_a[0]), classes.find(group_b[0]));
+                if ra == rb {
+                    continue; // overlapping partition collapsed into one class
+                }
+                let skip = if next() % 2 == 0 {
+                    Some((
+                        group_a[next() as usize % group_a.len()],
+                        group_b[next() as usize % group_b.len()],
+                    ))
+                } else {
+                    None
+                };
+                let brute = classes.members(ra).iter().any(|&x| {
+                    classes.members(rb).iter().any(|&y| {
+                        if let Some((p, q)) = skip {
+                            if (x == p && y == q) || (x == q && y == p) {
+                                return false;
+                            }
+                        }
+                        intersect.intersect(x, y) && !values.same_value(x, y)
+                    })
+                });
+                let mut stack = EqualAncOut::new();
+                let sweep = classes.interfere_sweep(
+                    ra,
+                    rb,
+                    skip,
+                    &mut |x, y| intersect.intersect(x, y) && !values.same_value(x, y),
+                    &mut stack,
+                );
+                assert_eq!(
+                    sweep, brute,
+                    "round {round}: sweep diverged from brute force \
+                     (A={group_a:?}, B={group_b:?}, skip={skip:?})"
+                );
+                if skip.is_none() {
+                    let quadratic = classes.interfere_quadratic(ra, rb, &intersect, Some(&values));
+                    assert_eq!(sweep, quadratic, "round {round}: sweep vs quadratic");
                 }
             }
         }

@@ -196,6 +196,58 @@ pub fn copy_related_universe_into(
     }
 }
 
+/// Pipeline variant of [`copy_related_universe_into`] that fuses the other
+/// two instruction scans of the decision phase into the same pass over the
+/// function: the pre-existing plain copies (affinity candidates) and the
+/// positions of the parallel copies (copy-sharing sites), both in
+/// block/instruction order — the order the separate scans produced.
+pub fn copy_related_universe_and_sites_into(
+    func: &Function,
+    universe: &mut Vec<Value>,
+    seen: &mut ossa_ir::EntitySet<Value>,
+    scratch: &mut Vec<Value>,
+    plain_copies: &mut Vec<crate::insertion::InsertedMove>,
+    parallel_sites: &mut Vec<(ossa_ir::Block, u32, ossa_ir::Inst)>,
+) {
+    universe.clear();
+    seen.reset();
+    plain_copies.clear();
+    parallel_sites.clear();
+    for block in func.blocks() {
+        for (pos, &inst) in func.block_insts(block).iter().enumerate() {
+            let data = func.inst(inst);
+            match data {
+                ossa_ir::InstData::Copy { dst, src } => {
+                    plain_copies.push(crate::insertion::InsertedMove {
+                        dst: *dst,
+                        src: *src,
+                        block,
+                    });
+                }
+                ossa_ir::InstData::ParallelCopy { .. } => {
+                    parallel_sites.push((block, pos as u32, inst));
+                }
+                _ => {}
+            }
+            if data.is_phi() || data.is_copy_like() {
+                scratch.clear();
+                data.collect_defs(func.pools(), scratch);
+                data.collect_uses(func.pools(), scratch);
+                for &v in scratch.iter() {
+                    if seen.insert(v) {
+                        universe.push(v);
+                    }
+                }
+            }
+        }
+    }
+    for v in func.values() {
+        if func.pinned_reg(v).is_some() && seen.insert(v) {
+            universe.push(v);
+        }
+    }
+}
+
 /// Helper bundling the dominator tree needed to build an
 /// [`InterferenceGraph`] from scratch for a function.
 pub fn build_graph_with_sets(

@@ -48,9 +48,9 @@ pub mod parallel_copy;
 pub mod value;
 
 pub use coalesce::{
-    translate_out_of_ssa, translate_out_of_ssa_cached, translate_out_of_ssa_scratch, ClassCheck,
-    InterferenceMode, MemoryStats, OutOfSsaOptions, OutOfSsaStats, PhaseSeconds, PhiProcessing,
-    Strategy, TranslateScratch,
+    set_coalesce_probe, translate_out_of_ssa, translate_out_of_ssa_cached,
+    translate_out_of_ssa_scratch, ClassCheck, CoalesceStage, InterferenceMode, MemoryStats,
+    OutOfSsaOptions, OutOfSsaStats, PhaseSeconds, PhiProcessing, Strategy, TranslateScratch,
 };
 pub use congruence::{CongruenceClasses, DefOrderKey, EqualAncOut};
 pub use engine::{

@@ -20,8 +20,6 @@ pub struct ValueTable {
     value_of: SecondaryMap<Value, Option<Value>>,
     /// Parallel-copy resolution scratch of [`ValueTable::compute_into`].
     resolved: Vec<(Value, Value)>,
-    /// Definition-collection scratch of [`ValueTable::compute_into`].
-    defs: Vec<Value>,
 }
 
 impl ValueTable {
@@ -37,12 +35,16 @@ impl ValueTable {
     /// previous (possibly different) function. Identical to
     /// [`ValueTable::compute`] except for the heap traffic.
     pub fn compute_into(&mut self, func: &Function, domtree: &DominatorTree) {
-        let Self { value_of, resolved, defs } = self;
+        let Self { value_of, resolved } = self;
         value_of.truncate(func.num_values());
         for slot in value_of.values_mut() {
             *slot = None;
         }
         value_of.resize(func.num_values());
+        // Only copy destinations need an entry: `value_of()` falls back to
+        // the identity for an unset slot, which is exactly the answer for a
+        // non-copy definition — so the catch-all def walk the table used to
+        // perform wrote values that were never observably different.
         for &block in domtree.preorder() {
             for &inst in func.block_insts(block) {
                 match func.inst(inst) {
@@ -64,13 +66,7 @@ impl ValueTable {
                             value_of[dst] = Some(value);
                         }
                     }
-                    data => {
-                        defs.clear();
-                        data.collect_defs(func.pools(), defs);
-                        for &dst in defs.iter() {
-                            value_of[dst] = Some(dst);
-                        }
-                    }
+                    _ => {}
                 }
             }
         }

@@ -14,7 +14,16 @@ use crate::function::Function;
 #[derive(Clone, Debug)]
 pub struct DominatorTree {
     idom: SecondaryMap<Block, Option<Block>>,
-    children: SecondaryMap<Block, Vec<Block>>,
+    /// CSR storage of the dominator-tree children: the children of block `b`
+    /// are `child_data[child_offsets[b] .. child_offsets[b + 1]]`, in the
+    /// same per-parent RPO order the per-block `Vec` lists used to hold. Two
+    /// flat buffers replace `num_blocks` heap lists, so recomputation over a
+    /// corpus touches no allocator once the buffers have grown to the
+    /// high-water mark.
+    child_offsets: Vec<u32>,
+    child_data: Vec<Block>,
+    /// Per-parent write cursor scratch of the CSR fill, recycled.
+    child_cursor: Vec<u32>,
     /// Pre-order visit number in a DFS of the dominator tree.
     pre: SecondaryMap<Block, u32>,
     /// Post-order visit number in a DFS of the dominator tree.
@@ -33,7 +42,9 @@ impl DominatorTree {
     pub fn compute(func: &Function, cfg: &ControlFlowGraph) -> Self {
         let mut this = Self {
             idom: SecondaryMap::new(),
-            children: SecondaryMap::new(),
+            child_offsets: Vec::new(),
+            child_data: Vec::new(),
+            child_cursor: Vec::new(),
             pre: SecondaryMap::with_default(u32::MAX),
             post: SecondaryMap::with_default(u32::MAX),
             preorder: Vec::new(),
@@ -52,8 +63,8 @@ impl DominatorTree {
         // Reset every materialized slot to its default: stale entries from a
         // previous (possibly larger) function must read as "unreachable".
         // Plain-data maps are truncated (their backing vector keeps its
-        // capacity either way); the child lists keep their buffers so a
-        // later, larger function reuses them instead of reallocating.
+        // capacity either way); the CSR child buffers are cleared, keeping
+        // their capacity for the next fill.
         let num_blocks = func.num_blocks();
         self.idom.truncate(num_blocks);
         self.pre.truncate(num_blocks);
@@ -61,9 +72,6 @@ impl DominatorTree {
         self.rpo_index.truncate(num_blocks);
         for slot in self.idom.values_mut() {
             *slot = None;
-        }
-        for list in self.children.values_mut() {
-            list.clear();
         }
         for n in self.pre.values_mut() {
             *n = u32::MAX;
@@ -114,12 +122,31 @@ impl DominatorTree {
             }
         }
 
-        // Children lists (entry is its own idom; do not list it as a child).
-        self.children.resize(func.num_blocks());
+        // Children in CSR form (entry is its own idom; do not list it as a
+        // child): a counting sort over the RPO keeps the per-parent child
+        // order identical to the old per-block push lists.
+        self.child_offsets.clear();
+        self.child_offsets.resize(num_blocks + 1, 0);
         for &block in rpo {
             if block != entry {
                 if let Some(parent) = self.idom[block] {
-                    self.children[parent].push(block);
+                    self.child_offsets[parent.index() + 1] += 1;
+                }
+            }
+        }
+        for i in 1..=num_blocks {
+            self.child_offsets[i] += self.child_offsets[i - 1];
+        }
+        self.child_cursor.clear();
+        self.child_cursor.extend_from_slice(&self.child_offsets[..num_blocks]);
+        self.child_data.clear();
+        self.child_data.resize(self.child_offsets[num_blocks] as usize, entry);
+        for &block in rpo {
+            if block != entry {
+                if let Some(parent) = self.idom[block] {
+                    let cursor = &mut self.child_cursor[parent.index()];
+                    self.child_data[*cursor as usize] = block;
+                    *cursor += 1;
                 }
             }
         }
@@ -134,8 +161,13 @@ impl DominatorTree {
         self.pre[entry] = 0;
         self.preorder.push(entry);
         while let Some(&mut (block, ref mut next)) = self.stack.last_mut() {
-            if *next < self.children[block].len() {
-                let child = self.children[block][*next];
+            let kids = {
+                let i = block.index();
+                let (start, end) = (self.child_offsets[i], self.child_offsets[i + 1]);
+                &self.child_data[start as usize..end as usize]
+            };
+            if *next < kids.len() {
+                let child = kids[*next];
                 *next += 1;
                 self.pre[child] = pre_counter;
                 pre_counter += 1;
@@ -180,9 +212,15 @@ impl DominatorTree {
         }
     }
 
-    /// Children of `block` in the dominator tree.
+    /// Children of `block` in the dominator tree (a slice into the CSR
+    /// child buffer, ordered by reverse post-order of the CFG).
     pub fn children(&self, block: Block) -> &[Block] {
-        &self.children[block]
+        let i = block.index();
+        if i + 1 >= self.child_offsets.len() {
+            return &[];
+        }
+        let (start, end) = (self.child_offsets[i], self.child_offsets[i + 1]);
+        &self.child_data[start as usize..end as usize]
     }
 
     /// Returns `true` if `block` is reachable (has a dominator-tree position).
@@ -214,6 +252,14 @@ impl DominatorTree {
     /// Blocks in dominator-tree pre-order.
     pub fn preorder(&self) -> &[Block] {
         &self.preorder
+    }
+
+    /// Post-order number of `block` in the dominator-tree DFS. Unreachable
+    /// blocks return `u32::MAX`. Together with [`Self::preorder_number`] this
+    /// exposes the DFS interval, so dominance can be decided from two cached
+    /// numbers without consulting the tree.
+    pub fn postorder_number(&self, block: Block) -> u32 {
+        self.post[block]
     }
 
     /// Returns `true` if the program point `(block_a, pos_a)` dominates the

@@ -223,6 +223,104 @@ fn fast_liveness_is_sound_on_larger_random_cfgs() {
     assert!(checked >= 30, "only {checked} of 40 larger random functions were reducible");
 }
 
+/// The profitability early exit (`abort_threshold`) trades static copies
+/// for decision time but never behaviour: at `0.0` (the default) the
+/// translation is bit-identical to the knob-free engine, and at any
+/// positive threshold the affinity loop's processed prefix is unchanged,
+/// so the result coalesces at most as many moves (never more) and still
+/// matches the interpreter oracle.
+#[test]
+fn abort_threshold_is_bit_identical_off_and_sound_on() {
+    for seed in 900..920u64 {
+        let (original, _) = generate_ssa_function(format!("t{seed}"), &GenConfig::small(), seed);
+        let args = vec![3, -7, 11];
+        let oracle = Interpreter::new().run(&original, &args).expect("original runs");
+
+        let mut default_out = original.clone();
+        let default_stats = translate_out_of_ssa(&mut default_out, &OutOfSsaOptions::default());
+
+        // Explicit 0.0 is the default: identical output and stats.
+        let mut zero_out = original.clone();
+        let zero_stats = translate_out_of_ssa(
+            &mut zero_out,
+            &OutOfSsaOptions::default().with_abort_threshold(0.0),
+        );
+        assert_eq!(default_stats, zero_stats, "seed {seed}: threshold 0.0 changed stats");
+        assert_eq!(default_out, zero_out, "seed {seed}: threshold 0.0 changed output");
+
+        for threshold in [0.5, 2.0, 1e9] {
+            let mut out = original.clone();
+            let stats = translate_out_of_ssa(
+                &mut out,
+                &OutOfSsaOptions::default().with_abort_threshold(threshold),
+            );
+            assert!(
+                stats.moves_coalesced <= default_stats.moves_coalesced,
+                "seed {seed}: threshold {threshold} coalesced more than the exhaustive loop"
+            );
+            assert_eq!(out.count_phis(), 0, "seed {seed}: phis remain at {threshold}");
+            let got = Interpreter::new().run(&out, &args).expect("translated runs");
+            assert!(
+                same_behaviour(&oracle, &got),
+                "seed {seed}: threshold {threshold} changed behaviour\n{}",
+                out.display()
+            );
+        }
+    }
+}
+
+/// Pins the known FastLiveness over-approximation repro tracked in
+/// ROADMAP.md ("fix FastLiveness precision"; seed `live27` of
+/// [`generate_ssa_function`] with the default [`GenConfig`]): the checker
+/// reports exactly one spurious liveness — one value live-in at one block
+/// where the reference data flow says dead — and misses nothing (sound).
+/// The conservative answer costs coalescing opportunities, not correctness.
+/// When the precision fix lands (its own PR, with fresh Figure 5/6 numbers
+/// and a deliberate `fingerprint --write`), this test fails and the
+/// expectation below flips to "no over-approximations" — an explicit
+/// decision instead of a silent behaviour change.
+#[test]
+fn fast_liveness_live27_over_approximation_is_pinned() {
+    let (func, _) = generate_ssa_function("live27", &GenConfig::default(), 27);
+    let cfg = ControlFlowGraph::compute(&func);
+    let domtree = DominatorTree::compute(&func, &cfg);
+    assert!(is_reducible(&func, &cfg, &domtree), "live27 repro must stay reducible");
+    let reference = LivenessSets::compute(&func, &cfg);
+    let info = LiveRangeInfo::compute(&func);
+    let checker = FastLiveness::compute(&func, &cfg, &domtree);
+    let fast = checker.query(&cfg, &domtree, &info);
+    let mut spurious: Vec<String> = Vec::new();
+    for block in func.blocks() {
+        if !cfg.is_reachable(block) {
+            continue;
+        }
+        for value in func.values() {
+            let (ref_in, fast_in) =
+                (reference.is_live_in(block, value), fast.is_live_in(block, value));
+            let (ref_out, fast_out) =
+                (reference.is_live_out(block, value), fast.is_live_out(block, value));
+            // Soundness first: the fast checker must never miss a liveness.
+            assert!(fast_in || !ref_in, "live27: fast checker misses live-in {value} at {block}");
+            assert!(
+                fast_out || !ref_out,
+                "live27: fast checker misses live-out {value} at {block}"
+            );
+            if fast_in && !ref_in {
+                spurious.push(format!("live-in {value} at {block}"));
+            }
+            if fast_out && !ref_out {
+                spurious.push(format!("live-out {value} at {block}"));
+            }
+        }
+    }
+    assert_eq!(
+        spurious,
+        vec!["live-in v65 at bb4".to_string()],
+        "live27 over-approximation changed — if this is the ROADMAP precision fix, \
+         flip this expectation to an empty list and refresh the Figure 5/6 numbers"
+    );
+}
+
 /// The batch engine and the serial per-function entry point are
 /// bit-identical, for every Figure 5 variant, on a generated corpus.
 #[test]
