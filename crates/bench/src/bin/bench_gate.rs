@@ -52,6 +52,52 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Collects every `"key": <number>` field name of `json`, in order of
+/// appearance (the same dependency-free scanning discipline as
+/// [`extract_number`]).
+fn numeric_keys(json: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut rest = json;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('"') else { break };
+        let key = &after[..end];
+        let tail = after[end + 1..].trim_start();
+        if let Some(value) = tail.strip_prefix(':') {
+            let value = value.trim_start();
+            if value.starts_with(|c: char| c.is_ascii_digit() || c == '-')
+                && !keys.iter().any(|k| k == key)
+            {
+                keys.push(key.to_string());
+            }
+        }
+        rest = &after[end + 1..];
+    }
+    keys
+}
+
+/// Prints a field-by-field comparison of every numeric field of the two
+/// reports — run when a *gated* field is missing, so the CI log shows at a
+/// glance which side lost which instrumentation (a renamed field shows up as
+/// one MISSING on each side) instead of a bare per-key error.
+fn print_field_diff(current: &str, current_path: &str, baseline: &str, baseline_path: &str) {
+    eprintln!("numeric-field diff ({current_path} vs {baseline_path}):");
+    let mut keys = numeric_keys(current);
+    for key in numeric_keys(baseline) {
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    for key in &keys {
+        match (extract_number(current, key), extract_number(baseline, key)) {
+            (Some(cur), Some(base)) => eprintln!("  {key}: {cur} vs {base}"),
+            (Some(cur), None) => eprintln!("  {key}: {cur} vs MISSING from {baseline_path}"),
+            (None, Some(base)) => eprintln!("  {key}: MISSING from {current_path} vs {base}"),
+            (None, None) => {}
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let current_path = args.next().unwrap_or_else(|| "BENCH_fig6.json".to_string());
@@ -73,6 +119,7 @@ fn main() -> ExitCode {
     };
 
     let mut failures = 0u32;
+    let mut missing_fields = false;
 
     // The seconds comparisons are meaningless across different corpus
     // scales: a report regenerated at a smaller scale would pass trivially.
@@ -122,6 +169,7 @@ fn main() -> ExitCode {
                 if cur.is_none() { &current_path } else { &baseline_path }
             );
             failures += 1;
+            missing_fields = true;
         }
     };
     check_vs_baseline("batch_serial_seconds", "s", tolerance, 0.0);
@@ -179,6 +227,12 @@ fn main() -> ExitCode {
     if !current.contains("\"figure5_static_copies\"") {
         eprintln!("figure5_static_copies: instrumentation field missing from {current_path}");
         failures += 1;
+    }
+
+    // A gated field went missing: show the full numeric-field diff so the
+    // CI log localizes the lost (or renamed) instrumentation immediately.
+    if missing_fields {
+        print_field_diff(&current, &current_path, &baseline, &baseline_path);
     }
 
     if failures > 0 {

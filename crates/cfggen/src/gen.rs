@@ -31,6 +31,13 @@ pub struct GenConfig {
     pub enable_brdec: bool,
     /// Number of function parameters.
     pub num_params: u32,
+    /// Probability of emitting an *irreducible* region — a bounded
+    /// multi-entry loop (the entry branches into both halves of a cycle, so
+    /// neither half dominates the other). Defaults to `0.0`, and the
+    /// generator consumes **no** RNG draws for the knob at `0.0`, so every
+    /// default-config seed produces bit-identical functions to builds
+    /// without the knob (the corpus fingerprints do not move).
+    pub irreducible_density: f64,
 }
 
 impl Default for GenConfig {
@@ -43,6 +50,7 @@ impl Default for GenConfig {
             memory_density: 0.08,
             enable_brdec: true,
             num_params: 3,
+            irreducible_density: 0.0,
         }
     }
 }
@@ -138,6 +146,19 @@ impl<'a> Gen<'a> {
     fn gen_region(&mut self, budget: usize, depth: usize) {
         let mut remaining = budget;
         while remaining > 0 {
+            // The irreducible knob rolls first, but only when enabled: at
+            // density 0.0 this consumes no RNG draw, so the default stream —
+            // and with it every committed corpus fingerprint — is unchanged.
+            if self.cfg.irreducible_density > 0.0
+                && depth < self.cfg.max_depth
+                && remaining >= 6
+                && self.rng.gen_f64() < self.cfg.irreducible_density
+            {
+                let inner = remaining / 2;
+                self.gen_irreducible_loop(inner, depth);
+                remaining = remaining.saturating_sub(inner + 3);
+                continue;
+            }
             let roll: f64 = self.rng.gen_f64();
             if depth < self.cfg.max_depth && roll < 0.12 && remaining >= 6 {
                 let inner = remaining / 2;
@@ -217,6 +238,61 @@ impl<'a> Gen<'a> {
             );
             self.b.branch(cond, header, exit);
         }
+        self.b.switch_to_block(exit);
+    }
+
+    /// A bounded *multi-entry* loop — the canonical irreducible shape. The
+    /// current block branches into both halves `a` and `b` of the cycle
+    /// `a → b → a`, so neither half dominates the other and the retreating
+    /// edge closing the cycle fails the reducibility criterion (its target
+    /// does not dominate its source). A dedicated counter decremented in `b`
+    /// bounds the trip count, keeping generated functions terminating by
+    /// construction; every path around the cycle passes through `b`.
+    fn gen_irreducible_loop(&mut self, budget: usize, depth: usize) {
+        let iterations = self.rng.range_i64(1, 5);
+        // Dedicated counter variable, never touched by the loop body.
+        let counter = self.b.declare_value();
+        self.b.iconst_to(counter, iterations);
+
+        // The entry comparison picks which half of the cycle runs first.
+        let scrutinee = self.random_var();
+        let cmp = self.random_cmp();
+        let threshold = self.rng.range_i64(-4, 4);
+        let tval = self.b.declare_value();
+        self.b.iconst_to(tval, threshold);
+        let entry_cond = self.b.declare_value();
+        let block = self.b.current_block();
+        self.b.func_mut().append_inst(
+            block,
+            InstData::Cmp { op: cmp, dst: entry_cond, args: [scrutinee, tval] },
+        );
+        let a = self.b.create_block();
+        let b = self.b.create_block();
+        let exit = self.b.create_block();
+        self.b.branch(entry_cond, a, b);
+
+        // First half: statements, then fall into the second half.
+        self.b.switch_to_block(a);
+        self.gen_region(budget / 2, depth + 1);
+        self.b.jump(b);
+
+        // Second half: statements, decrement the counter, then either take
+        // the retreating edge back to `a` or leave the cycle.
+        self.b.switch_to_block(b);
+        self.gen_region(budget - budget / 2, depth + 1);
+        let one = self.b.declare_value();
+        self.b.iconst_to(one, 1);
+        self.b.binary_to(BinaryOp::Sub, counter, counter, one);
+        let zero = self.b.declare_value();
+        self.b.iconst_to(zero, 0);
+        let back_cond = self.b.declare_value();
+        let block = self.b.current_block();
+        self.b.func_mut().append_inst(
+            block,
+            InstData::Cmp { op: CmpOp::Gt, dst: back_cond, args: [counter, zero] },
+        );
+        self.b.branch(back_cond, a, exit);
+
         self.b.switch_to_block(exit);
     }
 }
@@ -421,6 +497,41 @@ mod tests {
         let pinned = pin_call_conventions(&mut f);
         assert!(pinned > 0);
         assert!(f.values().any(|v| f.pinned_reg(v).is_some()));
+    }
+
+    #[test]
+    fn irreducible_knob_emits_multi_entry_loops() {
+        use ossa_ir::{ControlFlowGraph, DominatorTree};
+        let config = GenConfig { irreducible_density: 0.6, ..GenConfig::default() };
+        let mut irreducible = 0;
+        for seed in 0..10 {
+            let f = generate_function("irr", &config, seed);
+            verify_cfg(&f).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let cfg = ControlFlowGraph::compute(&f);
+            let domtree = DominatorTree::compute(&f, &cfg);
+            if !cfg.is_reducible(&domtree) {
+                irreducible += 1;
+            }
+            // Irreducible functions still convert to valid SSA: dominance
+            // frontiers are defined on arbitrary flow graphs.
+            let (ssa, _) = generate_ssa_function("irr", &config, seed);
+            verify_ssa(&ssa).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+        assert!(irreducible >= 8, "only {irreducible}/10 seeds produced an irreducible CFG");
+    }
+
+    #[test]
+    fn default_config_stays_reducible() {
+        // The knob defaults to 0.0 and must not perturb the default stream:
+        // every default-config function keeps a reducible CFG (the corpus
+        // fingerprint gate pins the exact bytes; this pins the shape).
+        use ossa_ir::{ControlFlowGraph, DominatorTree};
+        for seed in 0..10 {
+            let f = generate_function("red", &GenConfig::default(), seed);
+            let cfg = ControlFlowGraph::compute(&f);
+            let domtree = DominatorTree::compute(&f, &cfg);
+            assert!(cfg.is_reducible(&domtree), "seed {seed} produced an irreducible CFG");
+        }
     }
 
     #[test]

@@ -595,6 +595,13 @@ pub struct OutOfSsaStats {
     pub edges_split: usize,
     /// Variable-to-variable interference queries performed.
     pub interference_queries: u64,
+    /// Graceful-degradation marker: 1 when the function's CFG is irreducible
+    /// and the requested [`InterferenceMode::InterCheckLiveCheck`] backend
+    /// (whose fast checker is only sound on reducible CFGs) was replaced by
+    /// the data-flow [`ossa_liveness::LivenessSets`] for this function; 0
+    /// otherwise.
+    /// Corpus aggregation sums it into a fallback count.
+    pub liveness_fallbacks: usize,
     /// Memory accounting.
     pub memory: MemoryStats,
     /// Per-phase wall-clock timing of this translation.
@@ -613,6 +620,7 @@ impl PartialEq for OutOfSsaStats {
             && self.remaining_weighted == other.remaining_weighted
             && self.edges_split == other.edges_split
             && self.interference_queries == other.interference_queries
+            && self.liveness_fallbacks == other.liveness_fallbacks
             && self.memory == other.memory
     }
 }
@@ -627,6 +635,7 @@ impl OutOfSsaStats {
         self.remaining_weighted += other.remaining_weighted;
         self.edges_split += other.edges_split;
         self.interference_queries += other.interference_queries;
+        self.liveness_fallbacks += other.liveness_fallbacks;
         self.memory.absorb(&other.memory);
         self.phase_seconds.absorb(&other.phase_seconds);
     }
@@ -672,6 +681,7 @@ pub fn translate_out_of_ssa_scratch(
     scratch: &mut TranslateScratch,
 ) -> OutOfSsaStats {
     debug_assert!(ossa_ir::verify_ssa(func).is_ok(), "input must be valid SSA");
+    crate::fault::enter_phase(&func.name, crate::fault::TranslatePhase::Coalesce);
 
     let mut stats = OutOfSsaStats { phis_removed: func.count_phis(), ..OutOfSsaStats::default() };
 
@@ -699,13 +709,25 @@ pub fn translate_out_of_ssa_scratch(
     // Force the analyses the decision phase consumes, timed as the
     // "liveness" phase (CFG, dominators, the liveness backend and the
     // def/use index — everything below is then cache hits).
+    //
+    // Graceful degradation: the fast liveness checker's reduced graph is
+    // only acyclic — hence its queries only sound — on *reducible* CFGs, so
+    // an irreducible function demotes `InterCheckLiveCheck` to the data-flow
+    // sets backend (`InterCheck`) for this function only, recorded in
+    // `liveness_fallbacks`. The verdict is one cached O(edges) scan.
+    crate::fault::enter_phase(&func.name, crate::fault::TranslatePhase::Liveness);
     let phase_start = Instant::now();
-    {
+    let interference = {
         let func = &*func;
         let _ = analyses.domtree(func);
         let _ = analyses.frequencies(func);
         let _ = analyses.live_range_info(func);
-        match options.interference {
+        let mut interference = options.interference;
+        if interference == InterferenceMode::InterCheckLiveCheck && !analyses.is_reducible(func) {
+            interference = InterferenceMode::InterCheck;
+            stats.liveness_fallbacks = 1;
+        }
+        match interference {
             InterferenceMode::Graph | InterferenceMode::InterCheck => {
                 let _ = analyses.liveness_sets(func);
             }
@@ -713,13 +735,15 @@ pub fn translate_out_of_ssa_scratch(
                 let _ = analyses.fast_liveness(func);
             }
         }
-    }
+        interference
+    };
     stats.phase_seconds.liveness = phase_start.elapsed().as_secs_f64();
 
     // Phase B: analyses + coalescing decisions (no mutation of `func`). The
     // decisions land in the scratch-owned snapshot maps, whose storage is
     // recycled across functions. Like the insertion result, the universe is
     // taken out of the scratch by value for the duration of `decide`.
+    crate::fault::enter_phase(&func.name, crate::fault::TranslatePhase::Coalesce);
     let phase_start = Instant::now();
     coalesce_probe(CoalesceStage::Setup);
     let mut universe = std::mem::take(&mut scratch.universe);
@@ -744,11 +768,11 @@ pub fn translate_out_of_ssa_scratch(
         let plain_copies = &plain_copies[..];
         let parallel_sites = &parallel_sites[..];
 
-        match options.interference {
+        match interference {
             InterferenceMode::Graph | InterferenceMode::InterCheck => {
                 let liveness = analyses.liveness_sets(func);
                 let intersect = IntersectionTest::new(func, domtree, liveness, info);
-                let graph = (options.interference == InterferenceMode::Graph)
+                let graph = (interference == InterferenceMode::Graph)
                     .then(|| InterferenceGraph::build(func, universe, &intersect, None));
                 let mut mem = MemoryStats {
                     liveness_ordered_bytes: footprint::liveness_ordered_sets_bytes(
@@ -782,6 +806,8 @@ pub fn translate_out_of_ssa_scratch(
                     scratch,
                 );
             }
+            // Only reached when the CFG is reducible: the irreducible case
+            // was demoted to `InterCheck` above.
             InterferenceMode::InterCheckLiveCheck => {
                 let cfg = analyses.cfg(func);
                 let checker = analyses.fast_liveness(func);
@@ -827,6 +853,7 @@ pub fn translate_out_of_ssa_scratch(
     rewrite(func, &scratch.decisions, &mut scratch.kept, &mut scratch.kept_pairs);
     coalesce_probe(CoalesceStage::Done);
     stats.phase_seconds.coalesce = phase_start.elapsed().as_secs_f64();
+    crate::fault::enter_phase(&func.name, crate::fault::TranslatePhase::Sequentialize);
     let phase_start = Instant::now();
     if options.sequentialize {
         sequentialize_function_with(func, &mut scratch.seq);

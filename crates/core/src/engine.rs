@@ -29,6 +29,7 @@ use ossa_liveness::FunctionAnalyses;
 use crate::coalesce::{
     translate_out_of_ssa_scratch, OutOfSsaOptions, OutOfSsaStats, TranslateScratch,
 };
+use crate::fault::{self, Limits, TranslateError, TranslatePhase};
 
 /// Statistics of one batch translation.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -48,6 +49,132 @@ impl CorpusStats {
         }
         total
     }
+}
+
+/// Statistics of one fault-isolated corpus translation: one
+/// [`Result`] per input function, in input order. A function that failed
+/// carries its typed [`TranslateError`]; every other function's translation
+/// is bit-identical to a fault-free run (the failed worker's caches are
+/// quarantined and rebuilt, never shared into a healthy function).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IsolatedCorpusStats {
+    /// Per-function outcome, in input order.
+    pub results: Vec<Result<OutOfSsaStats, TranslateError>>,
+    /// Number of worker threads actually used.
+    pub threads: usize,
+}
+
+impl IsolatedCorpusStats {
+    /// Aggregates the statistics of the *successful* functions.
+    pub fn total(&self) -> OutOfSsaStats {
+        let mut total = OutOfSsaStats::default();
+        for stats in self.results.iter().flatten() {
+            total.absorb(stats);
+        }
+        total
+    }
+
+    /// Number of failed functions.
+    pub fn num_errors(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+
+    /// The failed functions, as `(input index, error)` pairs.
+    pub fn errors(&self) -> impl Iterator<Item = (usize, &TranslateError)> {
+        self.results.iter().enumerate().filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+    }
+}
+
+/// Translates one function out of SSA with full fault isolation: the input
+/// is verified and checked against `limits` up front, the translation runs
+/// under a panic boundary with the fixpoint-fuel budget installed, and any
+/// failure is returned as a typed [`TranslateError`] instead of unwinding
+/// into the caller.
+///
+/// On `Err`, `analyses` and `scratch` are *quarantined*: an unwind can leave
+/// them mid-mutation, so both are replaced by fresh instances (the one place
+/// the engine deliberately pays allocations — translation results are
+/// deterministic regardless of recycled storage, so healthy neighbours stay
+/// bit-identical). `func` itself may have been partially rewritten and must
+/// not be used as a translation result.
+pub fn translate_function_isolated(
+    func: &mut Function,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut TranslateScratch,
+) -> Result<OutOfSsaStats, TranslateError> {
+    ossa_liveness::fuel::set_fixpoint_fuel(limits.max_fixpoint_iters);
+    let caught = fault::catch_translate(|| {
+        fault::enter_phase(&func.name, TranslatePhase::Verify);
+        limits.check_function(func)?;
+        if let Err(errors) = ossa_ir::verify_ssa(func) {
+            return Err(TranslateError::Malformed {
+                phase: TranslatePhase::Verify,
+                detail: errors.to_string(),
+            });
+        }
+        Ok(translate_out_of_ssa_scratch(func, options, analyses, scratch))
+    });
+    ossa_liveness::fuel::set_fixpoint_fuel(None);
+    let result = caught.unwrap_or_else(Err);
+    if result.is_err() {
+        *analyses = FunctionAnalyses::new();
+        *scratch = TranslateScratch::new();
+    }
+    result
+}
+
+/// Fault-isolated batch translation with the default thread count: like
+/// [`translate_corpus`], but a malformed, oversized or panicking function
+/// yields an error record instead of tearing down the corpus run. See
+/// [`translate_function_isolated`] for the per-function contract.
+pub fn translate_corpus_isolated(
+    funcs: &mut [Function],
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+) -> IsolatedCorpusStats {
+    translate_corpus_isolated_with(funcs, options, limits, 0)
+}
+
+/// Like [`translate_corpus_isolated`], with an explicit worker count
+/// (`0` = one per available core). `threads == 1` runs serially on the
+/// calling thread.
+pub fn translate_corpus_isolated_with(
+    funcs: &mut [Function],
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    threads: usize,
+) -> IsolatedCorpusStats {
+    let threads = effective_threads(threads, funcs.len());
+    if threads <= 1 {
+        let mut analyses = FunctionAnalyses::new();
+        let mut scratch = TranslateScratch::new();
+        let results = funcs
+            .iter_mut()
+            .map(|func| {
+                analyses.invalidate_cfg();
+                translate_function_isolated(func, options, limits, &mut analyses, &mut scratch)
+            })
+            .collect();
+        return IsolatedCorpusStats { results, threads: 1 };
+    }
+
+    let num_funcs = funcs.len();
+    let results: Mutex<Vec<Option<Result<OutOfSsaStats, TranslateError>>>> =
+        Mutex::new(vec![None; num_funcs]);
+    drive_workers(threads, funcs.iter_mut().enumerate(), |(index, func), analyses, scratch| {
+        let result = translate_function_isolated(func, options, limits, analyses, scratch);
+        results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(result);
+    });
+
+    let results = results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|result| result.expect("every function translated"))
+        .collect();
+    IsolatedCorpusStats { results, threads }
 }
 
 /// Translates every function of `funcs` out of SSA in place, in parallel,
@@ -214,6 +341,81 @@ where
         per_function.push(stats);
     }
     (out, CorpusStats { per_function, threads })
+}
+
+/// Fault-isolated streaming translation with the default thread count: like
+/// [`translate_stream`], but a poisoned function yields `Err` in the output
+/// (its partially rewritten body is discarded) while the rest of the stream
+/// keeps flowing, bit-identical to a fault-free run. The outcome slots of
+/// the returned [`IsolatedCorpusStats`] line up with the output vector.
+pub fn translate_stream_isolated<I>(
+    funcs: I,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+) -> (Vec<Result<Function, TranslateError>>, IsolatedCorpusStats)
+where
+    I: IntoIterator<Item = Function>,
+    I::IntoIter: Send,
+{
+    translate_stream_isolated_with(funcs, options, limits, 0)
+}
+
+/// Like [`translate_stream_isolated`], with an explicit worker count
+/// (`0` = one per available core). `threads == 1` runs serially on the
+/// calling thread.
+pub fn translate_stream_isolated_with<I>(
+    funcs: I,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    threads: usize,
+) -> (Vec<Result<Function, TranslateError>>, IsolatedCorpusStats)
+where
+    I: IntoIterator<Item = Function>,
+    I::IntoIter: Send,
+{
+    let iter = funcs.into_iter();
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = if threads == 0 { available } else { threads }.max(1);
+    if threads == 1 {
+        let mut analyses = FunctionAnalyses::new();
+        let mut scratch = TranslateScratch::new();
+        let mut out = Vec::with_capacity(iter.size_hint().0);
+        let mut results = Vec::with_capacity(iter.size_hint().0);
+        for mut func in iter {
+            analyses.invalidate_cfg();
+            let result = translate_function_isolated(
+                &mut func,
+                options,
+                limits,
+                &mut analyses,
+                &mut scratch,
+            );
+            out.push(result.as_ref().map(|_| func).map_err(Clone::clone));
+            results.push(result);
+        }
+        return (out, IsolatedCorpusStats { results, threads: 1 });
+    }
+
+    type Slot = Option<(Result<Function, TranslateError>, Result<OutOfSsaStats, TranslateError>)>;
+    let deposits: Mutex<Vec<Slot>> = Mutex::new(Vec::new());
+    drive_workers(threads, iter.enumerate(), |(index, mut func), analyses, scratch| {
+        let result = translate_function_isolated(&mut func, options, limits, analyses, scratch);
+        let output = result.as_ref().map(|_| func).map_err(Clone::clone);
+        let mut deposits = deposits.lock().unwrap_or_else(|e| e.into_inner());
+        if deposits.len() <= index {
+            deposits.resize_with(index + 1, || None);
+        }
+        deposits[index] = Some((output, result));
+    });
+
+    let mut out = Vec::new();
+    let mut results = Vec::new();
+    for slot in deposits.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        let (output, result) = slot.expect("every streamed function translated");
+        out.push(output);
+        results.push(result);
+    }
+    (out, IsolatedCorpusStats { results, threads })
 }
 
 #[cfg(test)]

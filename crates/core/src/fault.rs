@@ -1,0 +1,435 @@
+//! Fault taxonomy and isolation primitives of the translation engine.
+//!
+//! The out-of-SSA hot paths stay panic-based internally — threading `Result`
+//! through the lazily initialized analysis caches would tax every
+//! happy-path caller — so fault isolation happens at the *per-function
+//! boundary*: the isolated engine entry points run each function under
+//! [`catch_translate`], which converts any unwind into a typed
+//! [`TranslateError`]:
+//!
+//! * a [`ossa_liveness::fuel::FuelExhausted`] payload (a fixpoint budget from
+//!   [`Limits::max_fixpoint_iters`] ran dry) becomes
+//!   [`TranslateError::ResourceExhausted`];
+//! * anything else becomes [`TranslateError::Panicked`], tagged with the
+//!   [`TranslatePhase`] the pipeline had most recently entered (a
+//!   thread-local marker written by [`enter_phase`] at each phase boundary).
+//!
+//! Structural problems caught *before* the pipeline runs — verifier
+//! rejections and [`Limits`] size checks — are reported without unwinding as
+//! [`TranslateError::Malformed`] and [`TranslateError::ResourceExhausted`].
+//!
+//! The `failpoints` cargo feature adds a deterministic, seeded fault
+//! injector ([`failpoints`]) that fires at the same phase boundaries; it is
+//! compiled out of default builds entirely.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ossa_ir::Function;
+use ossa_liveness::fuel::FuelExhausted;
+
+/// The pipeline phase a fault was attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TranslatePhase {
+    /// Input validation (structural verifier, limit checks) before any
+    /// transformation runs.
+    Verify,
+    /// SSA construction / copy propagation / dead-code elimination — the
+    /// pre-translation passes of the full pipeline.
+    Ssa,
+    /// Liveness analysis (data-flow sets or the fast checker).
+    Liveness,
+    /// Copy insertion, interference and aggressive coalescing.
+    Coalesce,
+    /// Parallel-copy sequentialization.
+    Sequentialize,
+    /// Register allocation.
+    Regalloc,
+}
+
+impl TranslatePhase {
+    /// All phases, in pipeline order.
+    pub const ALL: [TranslatePhase; 6] = [
+        TranslatePhase::Verify,
+        TranslatePhase::Ssa,
+        TranslatePhase::Liveness,
+        TranslatePhase::Coalesce,
+        TranslatePhase::Sequentialize,
+        TranslatePhase::Regalloc,
+    ];
+
+    fn as_str(self) -> &'static str {
+        match self {
+            TranslatePhase::Verify => "verify",
+            TranslatePhase::Ssa => "ssa",
+            TranslatePhase::Liveness => "liveness",
+            TranslatePhase::Coalesce => "coalesce",
+            TranslatePhase::Sequentialize => "sequentialize",
+            TranslatePhase::Regalloc => "regalloc",
+        }
+    }
+}
+
+impl fmt::Display for TranslatePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The bounded resource a [`TranslateError::ResourceExhausted`] ran out of.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// [`Limits::max_blocks`].
+    Blocks,
+    /// [`Limits::max_values`].
+    Values,
+    /// [`Limits::max_insts`].
+    Instructions,
+    /// [`Limits::max_fixpoint_iters`].
+    FixpointIterations,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::Blocks => "blocks",
+            Resource::Values => "values",
+            Resource::Instructions => "instructions",
+            Resource::FixpointIterations => "fixpoint iterations",
+        })
+    }
+}
+
+/// A per-function translation failure. One function's error never affects
+/// its corpus neighbours: the isolated engines record it and translate the
+/// rest bit-identically to a fault-free run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The input failed structural validation (CFG/SSA verifier).
+    Malformed {
+        /// The phase that rejected the input (normally [`TranslatePhase::Verify`]).
+        phase: TranslatePhase,
+        /// The verifier's report.
+        detail: String,
+    },
+    /// A [`Limits`] bound was exceeded.
+    ResourceExhausted {
+        /// Which bound.
+        resource: Resource,
+        /// The configured limit.
+        limit: u64,
+        /// What the function actually needed (for the up-front size checks;
+        /// equals `limit` for fuel, which stops at the bound).
+        observed: u64,
+    },
+    /// The pipeline panicked mid-translation.
+    Panicked {
+        /// The phase the pipeline had most recently entered.
+        phase: TranslatePhase,
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Malformed { phase, detail } => {
+                write!(f, "malformed input (phase {phase}): {detail}")
+            }
+            TranslateError::ResourceExhausted { resource, limit, observed } => {
+                write!(f, "resource exhausted: {observed} {resource} exceeds the limit of {limit}")
+            }
+            TranslateError::Panicked { phase, message } => {
+                write!(f, "translation panicked in phase {phase}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl TranslateError {
+    /// The phase the error is attributed to (`None` for resource exhaustion,
+    /// which is a property of the whole function, not of one phase).
+    pub fn phase(&self) -> Option<TranslatePhase> {
+        match self {
+            TranslateError::Malformed { phase, .. } | TranslateError::Panicked { phase, .. } => {
+                Some(*phase)
+            }
+            TranslateError::ResourceExhausted { .. } => None,
+        }
+    }
+}
+
+/// Resource bounds of an isolated translation. All bounds default to `None`
+/// (unbounded), so `Limits::default()` never rejects a function.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum number of blocks of the input function.
+    pub max_blocks: Option<u64>,
+    /// Maximum number of SSA values of the input function.
+    pub max_values: Option<u64>,
+    /// Maximum number of instructions of the input function.
+    pub max_insts: Option<u64>,
+    /// Fixpoint-pass budget of the liveness solvers — bounds the only loops
+    /// of the pipeline whose trip count is data-dependent rather than
+    /// structural, so a pathological input returns
+    /// [`TranslateError::ResourceExhausted`] instead of hanging a worker.
+    pub max_fixpoint_iters: Option<u64>,
+}
+
+impl Limits {
+    /// No bounds at all (the `Default`).
+    pub const UNBOUNDED: Limits =
+        Limits { max_blocks: None, max_values: None, max_insts: None, max_fixpoint_iters: None };
+
+    /// Checks the up-front size bounds against `func`. The fuel bound is not
+    /// checked here — it is installed around the pipeline run and trips
+    /// during execution.
+    pub fn check_function(&self, func: &Function) -> Result<(), TranslateError> {
+        let checks = [
+            (Resource::Blocks, self.max_blocks, func.num_blocks() as u64),
+            (Resource::Values, self.max_values, func.num_values() as u64),
+            (Resource::Instructions, self.max_insts, func.num_insts() as u64),
+        ];
+        for (resource, limit, observed) in checks {
+            if let Some(limit) = limit {
+                if observed > limit {
+                    return Err(TranslateError::ResourceExhausted { resource, limit, observed });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+thread_local! {
+    /// The phase the current thread's pipeline most recently entered, for
+    /// attributing a caught panic. Reset to `Verify` at each isolated
+    /// function boundary.
+    static PHASE: Cell<TranslatePhase> = const { Cell::new(TranslatePhase::Verify) };
+}
+
+/// Marks the current thread's pipeline as having entered `phase` (and, with
+/// the `failpoints` feature, asks the injector whether to fire here). Called
+/// at every phase boundary of the translation; the cost without failpoints
+/// is one thread-local store.
+#[inline]
+pub fn enter_phase(func_name: &str, phase: TranslatePhase) {
+    PHASE.set(phase);
+    #[cfg(feature = "failpoints")]
+    failpoints::fire(func_name, phase);
+    #[cfg(not(feature = "failpoints"))]
+    let _ = func_name;
+}
+
+/// The phase the current thread's pipeline most recently entered.
+pub fn current_phase() -> TranslatePhase {
+    PHASE.get()
+}
+
+/// Runs `f` with panic isolation, converting any unwind into a typed
+/// [`TranslateError`] (see the module docs for the mapping). The caller must
+/// treat its analysis caches and scratch as poisoned on `Err` — an unwind
+/// can leave them mid-mutation — and rebuild them fresh.
+pub fn catch_translate<R>(f: impl FnOnce() -> R) -> Result<R, TranslateError> {
+    PHASE.set(TranslatePhase::Verify);
+    catch_unwind(AssertUnwindSafe(f)).map_err(error_from_payload)
+}
+
+/// Maps a caught panic payload to a [`TranslateError`].
+fn error_from_payload(payload: Box<dyn Any + Send>) -> TranslateError {
+    if let Some(fuel) = payload.downcast_ref::<FuelExhausted>() {
+        return TranslateError::ResourceExhausted {
+            resource: Resource::FixpointIterations,
+            limit: fuel.limit,
+            observed: fuel.limit,
+        };
+    }
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    TranslateError::Panicked { phase: current_phase(), message }
+}
+
+/// Deterministic, seeded fault injection at the pipeline's phase
+/// boundaries. Compiled in only with the `failpoints` cargo feature and
+/// inert until [`failpoints::configure`] is called, so instrumented builds
+/// behave identically to default builds when no injection is armed.
+#[cfg(feature = "failpoints")]
+pub mod failpoints {
+    use super::TranslatePhase;
+    use std::sync::RwLock;
+
+    /// An armed injection campaign.
+    #[derive(Clone, Copy, Debug)]
+    pub struct FailpointConfig {
+        /// Seed mixed into the per-site hash: different seeds poison
+        /// different (but reproducible) subsets of a corpus.
+        pub seed: u64,
+        /// Injection probability in 1/1000ths, applied per (function, phase)
+        /// site: 0 never fires, 1000 always fires.
+        pub rate_per_mille: u32,
+        /// Restrict firing to one phase (`None`: every phase is eligible,
+        /// each hashed independently).
+        pub phase: Option<TranslatePhase>,
+    }
+
+    static CONFIG: RwLock<Option<FailpointConfig>> = RwLock::new(None);
+
+    /// Arms the injector process-wide. Tests serialise access (the harness
+    /// config is global state, like a panic hook).
+    pub fn configure(config: FailpointConfig) {
+        *CONFIG.write().unwrap() = Some(config);
+    }
+
+    /// Disarms the injector.
+    pub fn clear() {
+        *CONFIG.write().unwrap() = None;
+    }
+
+    /// Pure site predicate: would the armed campaign fire at this
+    /// (function, phase) site? Depends only on the config and the
+    /// arguments — never on thread schedule or visit order — so a test can
+    /// precompute the exact poisoned subset of a corpus and assert the
+    /// engine reports exactly that subset.
+    pub fn should_fail(func_name: &str, phase: TranslatePhase) -> bool {
+        let Some(config) = *CONFIG.read().unwrap() else {
+            return false;
+        };
+        if config.phase.is_some_and(|p| p != phase) {
+            return false;
+        }
+        // FNV-1a over (seed, name, phase): stable across runs and platforms.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |byte: u8| hash = (hash ^ byte as u64).wrapping_mul(0x1000_0000_01b3);
+        for byte in config.seed.to_le_bytes() {
+            mix(byte);
+        }
+        for byte in func_name.bytes() {
+            mix(byte);
+        }
+        mix(phase as u8);
+        (hash % 1000) < config.rate_per_mille as u64
+    }
+
+    /// Phase-boundary hook: panics with a deterministic message when the
+    /// armed campaign selects this site.
+    pub fn fire(func_name: &str, phase: TranslatePhase) {
+        if should_fail(func_name, phase) {
+            panic!("failpoint: injected fault in {func_name} at phase {phase}");
+        }
+    }
+
+    /// Installs (once, process-wide) a panic hook that suppresses the
+    /// default stderr report for injected-failpoint panics, so the
+    /// fault-injection tests don't bury their output under expected
+    /// backtraces. Other panics still report through the previous hook.
+    pub fn silence_injected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.starts_with("failpoint:"));
+                if !injected {
+                    previous(info);
+                }
+            }));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catch_maps_str_panics_to_the_marked_phase() {
+        let err = catch_translate(|| {
+            enter_phase("f", TranslatePhase::Coalesce);
+            panic!("boom");
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TranslateError::Panicked {
+                phase: TranslatePhase::Coalesce,
+                message: "boom".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn catch_resets_the_phase_marker_per_invocation() {
+        let _ = catch_translate(|| {
+            enter_phase("f", TranslatePhase::Regalloc);
+            panic!("first");
+        });
+        // A panic before any enter_phase call is attributed to Verify, not
+        // to the previous function's last phase.
+        let err = catch_translate(|| panic!("second")).unwrap_err();
+        assert_eq!(err.phase(), Some(TranslatePhase::Verify));
+    }
+
+    #[test]
+    fn catch_maps_fuel_exhaustion_to_resource_exhausted() {
+        ossa_liveness::fuel::set_fixpoint_fuel(Some(0));
+        let err = catch_translate(ossa_liveness::fuel::fixpoint_tick).unwrap_err();
+        ossa_liveness::fuel::set_fixpoint_fuel(None);
+        assert_eq!(
+            err,
+            TranslateError::ResourceExhausted {
+                resource: Resource::FixpointIterations,
+                limit: 0,
+                observed: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn limits_check_reports_the_first_exceeded_bound() {
+        let mut b = ossa_ir::builder::FunctionBuilder::new("limited", 1);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        b.ret(None);
+        let func = b.finish();
+
+        assert_eq!(Limits::default().check_function(&func), Ok(()));
+        assert_eq!(Limits::UNBOUNDED.check_function(&func), Ok(()));
+        let limits = Limits { max_blocks: Some(0), ..Limits::default() };
+        assert_eq!(
+            limits.check_function(&func),
+            Err(TranslateError::ResourceExhausted {
+                resource: Resource::Blocks,
+                limit: 0,
+                observed: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn errors_render_for_humans() {
+        let err = TranslateError::ResourceExhausted {
+            resource: Resource::Instructions,
+            limit: 10,
+            observed: 42,
+        };
+        assert_eq!(err.to_string(), "resource exhausted: 42 instructions exceeds the limit of 10");
+        let err = TranslateError::Panicked {
+            phase: TranslatePhase::Sequentialize,
+            message: "boom".to_string(),
+        };
+        assert_eq!(err.to_string(), "translation panicked in phase sequentialize: boom");
+    }
+}

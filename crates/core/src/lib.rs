@@ -42,6 +42,7 @@
 pub mod coalesce;
 pub mod congruence;
 pub mod engine;
+pub mod fault;
 pub mod insertion;
 pub mod interference;
 pub mod parallel_copy;
@@ -54,9 +55,12 @@ pub use coalesce::{
 };
 pub use congruence::{CongruenceClasses, DefOrderKey, EqualAncOut};
 pub use engine::{
-    translate_corpus, translate_corpus_serial, translate_corpus_with, translate_stream,
-    translate_stream_with, CorpusStats,
+    translate_corpus, translate_corpus_isolated, translate_corpus_isolated_with,
+    translate_corpus_serial, translate_corpus_with, translate_function_isolated, translate_stream,
+    translate_stream_isolated, translate_stream_isolated_with, translate_stream_with, CorpusStats,
+    IsolatedCorpusStats,
 };
+pub use fault::{catch_translate, Limits, Resource, TranslateError, TranslatePhase};
 pub use insertion::{
     insert_phi_copies, isolate_pinned_values, CopyInsertion, InsertedMove, PhiWeb,
 };

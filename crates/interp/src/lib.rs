@@ -77,9 +77,12 @@ pub struct Observation {
     pub steps: u64,
 }
 
-/// Execution errors.
+/// Execution errors. The interpreter is the semantic *oracle* of the test
+/// suite, so a malformed program — whatever mangled it — must surface as a
+/// typed, reportable error rather than tearing the harness down with a
+/// panic.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ExecError {
+pub enum InterpError {
     /// The instruction budget was exhausted (probably an infinite loop).
     FuelExhausted,
     /// An instruction read a value that was never written. This indicates a
@@ -90,20 +93,45 @@ pub enum ExecError {
     MissingTerminator(Block),
     /// The function has no entry block.
     NoEntry,
+    /// Control reached a φ-function in the entry block — a φ needs an
+    /// incoming edge to select its value, and the entry has none.
+    PhiInEntry(Block),
+    /// A block's φ group is malformed: a non-φ instruction inside the
+    /// leading φ group or a φ after it.
+    MisplacedPhi(Block),
+    /// A φ-function has no argument for the edge control arrived through.
+    PhiMissingEdge {
+        /// The φ's destination value.
+        phi: Value,
+        /// The predecessor block the edge came from.
+        pred: Block,
+    },
 }
 
-impl fmt::Display for ExecError {
+/// Former name of [`InterpError`], kept as an alias for existing callers.
+pub type ExecError = InterpError;
+
+impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExecError::FuelExhausted => write!(f, "instruction budget exhausted"),
-            ExecError::UndefinedValue(v) => write!(f, "read of undefined value {v}"),
-            ExecError::MissingTerminator(b) => write!(f, "block {b} has no terminator"),
-            ExecError::NoEntry => write!(f, "function has no entry block"),
+            InterpError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            InterpError::UndefinedValue(v) => write!(f, "read of undefined value {v}"),
+            InterpError::MissingTerminator(b) => write!(f, "block {b} has no terminator"),
+            InterpError::NoEntry => write!(f, "function has no entry block"),
+            InterpError::PhiInEntry(b) => {
+                write!(f, "phi executed in entry block {b} (no incoming edge)")
+            }
+            InterpError::MisplacedPhi(b) => {
+                write!(f, "malformed phi group in block {b}")
+            }
+            InterpError::PhiMissingEdge { phi, pred } => {
+                write!(f, "phi defining {phi} has no argument for the edge from {pred}")
+            }
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for InterpError {}
 
 /// The interpreter. Construct one, optionally adjust the fuel, then
 /// [`Interpreter::run`] a function.
@@ -137,7 +165,7 @@ impl Interpreter {
     /// read before being written, or the function is structurally broken.
     pub fn run(&self, func: &Function, args: &[i64]) -> Result<Observation, ExecError> {
         if !func.has_entry() {
-            return Err(ExecError::NoEntry);
+            return Err(InterpError::NoEntry);
         }
         let mut env: HashMap<Value, i64> = HashMap::new();
         let mut memory: HashMap<i64, i64> = HashMap::new();
@@ -151,21 +179,23 @@ impl Interpreter {
             // Execute the φ group of the block with parallel semantics.
             let phis = func.phis(block);
             if !phis.is_empty() {
-                let from = pred.expect("phi in entry block cannot be executed");
+                let from = pred.ok_or(InterpError::PhiInEntry(block))?;
                 let mut parallel_reads: Vec<(Value, i64)> = Vec::with_capacity(phis.len());
                 for &phi in &phis {
                     steps += 1;
                     if steps > self.fuel {
-                        return Err(ExecError::FuelExhausted);
+                        return Err(InterpError::FuelExhausted);
                     }
                     let data = func.inst(phi);
-                    let InstData::Phi { dst, .. } = *data else { unreachable!("phi expected") };
+                    let InstData::Phi { dst, .. } = *data else {
+                        return Err(InterpError::MisplacedPhi(block));
+                    };
                     let arg = data
                         .phi_args(func.pools())
-                        .expect("phi")
+                        .ok_or(InterpError::MisplacedPhi(block))?
                         .iter()
                         .find(|a| a.block == from)
-                        .ok_or(ExecError::UndefinedValue(dst))?;
+                        .ok_or(InterpError::PhiMissingEdge { phi: dst, pred: from })?;
                     let value = read(&env, arg.value)?;
                     parallel_reads.push((dst, value));
                 }
@@ -177,10 +207,10 @@ impl Interpreter {
             for &inst in &func.block_insts(block)[func.first_non_phi(block)..] {
                 steps += 1;
                 if steps > self.fuel {
-                    return Err(ExecError::FuelExhausted);
+                    return Err(InterpError::FuelExhausted);
                 }
                 match func.inst(inst) {
-                    InstData::Phi { .. } => unreachable!("phi outside leading group"),
+                    InstData::Phi { .. } => return Err(InterpError::MisplacedPhi(block)),
                     InstData::Param { dst, index } => {
                         env.insert(*dst, args.get(*index as usize).copied().unwrap_or(0));
                     }
@@ -265,13 +295,13 @@ impl Interpreter {
                     }
                 }
             }
-            return Err(ExecError::MissingTerminator(block));
+            return Err(InterpError::MissingTerminator(block));
         }
     }
 }
 
 fn read(env: &HashMap<Value, i64>, value: Value) -> Result<i64, ExecError> {
-    env.get(&value).copied().ok_or(ExecError::UndefinedValue(value))
+    env.get(&value).copied().ok_or(InterpError::UndefinedValue(value))
 }
 
 /// Deterministic model of an opaque call: mixes the callee id and arguments.
@@ -503,6 +533,49 @@ mod tests {
         let f = b.finish();
         let err = Interpreter::new().run(&f, &[]).unwrap_err();
         assert!(matches!(err, ExecError::UndefinedValue(_)));
+    }
+
+    #[test]
+    fn phi_in_entry_is_a_typed_error() {
+        // A φ in the entry block is malformed (there is no incoming edge to
+        // select by); the oracle must report it, not panic.
+        let mut b = FunctionBuilder::new("phientry", 0);
+        let entry = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let c = b.iconst(1);
+        let m = b.phi(vec![(entry, c)]);
+        b.ret(Some(m));
+        let f = b.finish();
+        let err = Interpreter::new().run(&f, &[]).unwrap_err();
+        assert_eq!(err, InterpError::PhiInEntry(entry));
+    }
+
+    #[test]
+    fn phi_missing_edge_is_a_typed_error() {
+        // The φ only covers the edge from `t`; arriving from `e` must report
+        // the missing edge instead of panicking.
+        let mut b = FunctionBuilder::new("phiedge", 1);
+        let entry = b.create_block();
+        let t = b.create_block();
+        let e = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let p = b.param(0);
+        b.branch(p, t, e);
+        b.switch_to_block(t);
+        let a = b.iconst(100);
+        b.jump(join);
+        b.switch_to_block(e);
+        b.jump(join);
+        b.switch_to_block(join);
+        let m = b.phi(vec![(t, a)]);
+        b.ret(Some(m));
+        let f = b.finish();
+        assert_eq!(Interpreter::new().run(&f, &[1]).unwrap().returned, Some(100));
+        let err = Interpreter::new().run(&f, &[0]).unwrap_err();
+        assert_eq!(err, InterpError::PhiMissingEdge { phi: m, pred: e });
     }
 
     #[test]

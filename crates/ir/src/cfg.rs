@@ -6,6 +6,7 @@
 //! recycled storage performs no per-block allocation: the four backing
 //! vectors amortize to the corpus high-water mark.
 
+use crate::dominance::DominatorTree;
 use crate::entity::{Block, EntityRef, EntitySet};
 use crate::function::Function;
 
@@ -35,6 +36,9 @@ pub struct ControlFlowGraph {
     succs: Adjacency,
     preds: Adjacency,
     rpo: Vec<Block>,
+    /// Position of each reachable block in `rpo` (`u32::MAX` for
+    /// unreachable blocks), for O(1) retreating-edge classification.
+    rpo_number: Vec<u32>,
     reachable: EntitySet<Block>,
     /// DFS scratch of the traversal-order computation.
     stack: Vec<(Block, u32)>,
@@ -125,6 +129,13 @@ impl ControlFlowGraph {
             }
         }
         self.rpo.reverse();
+
+        // Invert the order into per-block positions, into recycled storage.
+        self.rpo_number.clear();
+        self.rpo_number.resize(num_blocks, u32::MAX);
+        for (i, &block) in self.rpo.iter().enumerate() {
+            self.rpo_number[block.index()] = i as u32;
+        }
     }
 
     /// Successors of `block`.
@@ -168,6 +179,33 @@ impl ControlFlowGraph {
     /// Iterates over all edges `(pred, succ)` of reachable blocks.
     pub fn edges(&self) -> impl Iterator<Item = (Block, Block)> + '_ {
         self.rpo.iter().flat_map(move |&b| self.succs(b).iter().map(move |&s| (b, s)))
+    }
+
+    /// Position of `block` in the reverse post-order, or `None` if it is
+    /// unreachable.
+    #[inline]
+    pub fn rpo_number(&self, block: Block) -> Option<u32> {
+        match self.rpo_number.get(block.index()) {
+            Some(&n) if n != u32::MAX => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the reachable CFG is reducible: every *retreating*
+    /// edge `s -> t` (one going against the reverse post-order, i.e.
+    /// `rpo_number(t) <= rpo_number(s)`) is a genuine *back* edge whose
+    /// target dominates its source. On a reducible CFG the two notions
+    /// coincide; a retreating edge into a multi-entry cycle — whose target
+    /// does *not* dominate its source — is exactly what breaks the acyclic
+    /// "reduced graph" assumption of the fast liveness checker, so callers
+    /// use this test to fall back to the data-flow liveness sets.
+    ///
+    /// Runs in O(edges) with no allocation (`DominatorTree::dominates` is
+    /// O(1)); `domtree` must belong to the same CFG.
+    pub fn is_reducible(&self, domtree: &DominatorTree) -> bool {
+        self.edges().all(|(s, t)| {
+            self.rpo_number[t.index()] > self.rpo_number[s.index()] || domtree.dominates(t, s)
+        })
     }
 }
 
@@ -256,6 +294,68 @@ mod tests {
         let (f, _) = diamond();
         let cfg = ControlFlowGraph::compute(&f);
         assert_eq!(cfg.edges().count(), 4);
+    }
+
+    #[test]
+    fn rpo_numbers_invert_the_order() {
+        let (f, blocks) = diamond();
+        let cfg = ControlFlowGraph::compute(&f);
+        for (i, &b) in cfg.reverse_post_order().iter().enumerate() {
+            assert_eq!(cfg.rpo_number(b), Some(i as u32));
+        }
+        assert_eq!(cfg.rpo_number(blocks[4]), None);
+    }
+
+    #[test]
+    fn reducible_shapes_are_detected() {
+        // A diamond (acyclic) and a natural loop are both reducible.
+        let (f, _) = diamond();
+        let cfg = ControlFlowGraph::compute(&f);
+        let domtree = DominatorTree::compute(&f, &cfg);
+        assert!(cfg.is_reducible(&domtree));
+
+        let mut b = FunctionBuilder::new("loop", 1);
+        let entry = b.create_block();
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let n = b.param(0);
+        b.jump(header);
+        b.switch_to_block(header);
+        b.branch(n, body, exit);
+        b.switch_to_block(body);
+        b.jump(header);
+        b.switch_to_block(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = ControlFlowGraph::compute(&f);
+        let domtree = DominatorTree::compute(&f, &cfg);
+        assert!(cfg.is_reducible(&domtree));
+    }
+
+    #[test]
+    fn multi_entry_cycle_is_irreducible() {
+        // entry branches into both halves of the cycle a <-> b: whichever of
+        // the two the DFS visits second is the target of a retreating edge
+        // whose source it does not dominate.
+        let mut bld = FunctionBuilder::new("irred", 1);
+        let entry = bld.create_block();
+        let a = bld.create_block();
+        let b = bld.create_block();
+        bld.set_entry(entry);
+        bld.switch_to_block(entry);
+        let x = bld.param(0);
+        bld.branch(x, a, b);
+        bld.switch_to_block(a);
+        bld.jump(b);
+        bld.switch_to_block(b);
+        bld.jump(a);
+        let f = bld.finish();
+        let cfg = ControlFlowGraph::compute(&f);
+        let domtree = DominatorTree::compute(&f, &cfg);
+        assert!(!cfg.is_reducible(&domtree));
     }
 
     #[test]

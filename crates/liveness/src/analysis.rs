@@ -116,6 +116,10 @@ pub struct FunctionAnalyses {
     /// Storage of an invalidated def/use index, recycled likewise (the index
     /// is recomputed on every instruction version in all configurations).
     spare_info: Cell<Option<LiveRangeInfo>>,
+    /// Cached reducibility verdict of the current CFG version — one O(edges)
+    /// scan per CFG, shared by every consumer that must decide between the
+    /// fast liveness checker and the data-flow sets.
+    reducible: Cell<Option<bool>>,
     /// Liveness-level compute counters; the CFG-level ones live in `ir`.
     counts: Cell<LivenessCounts>,
     /// Shape of the function the CFG caches were computed for — block count,
@@ -263,6 +267,20 @@ impl FunctionAnalyses {
         })
     }
 
+    /// Returns `true` if the function's reachable CFG is reducible (every
+    /// retreating edge's target dominates its source). Computed on first use
+    /// per CFG version and cached — the pipeline consults this before every
+    /// `FastLiveness`-backed translation, since the fast checker's reduced
+    /// graph is only acyclic (hence only *sound*) on reducible CFGs.
+    pub fn is_reducible(&self, func: &Function) -> bool {
+        if let Some(verdict) = self.reducible.get() {
+            return verdict;
+        }
+        let verdict = self.cfg(func).is_reducible(self.domtree(func));
+        self.reducible.set(Some(verdict));
+        verdict
+    }
+
     /// The CFG-only fast liveness checker, computed on first use, recycling
     /// the storage of a previously invalidated checker when available.
     pub fn fast_liveness(&self, func: &Function) -> &FastLiveness {
@@ -366,6 +384,7 @@ impl FunctionAnalyses {
         if let Some(fast) = self.fast.take() {
             self.spare_fast.set(Some(fast));
         }
+        self.reducible.set(None);
         self.stamp.set(None);
         self.invalidate_instructions();
     }

@@ -155,6 +155,7 @@ impl FastLiveness {
         let back_targets = &mut self.back_targets;
         let mut changed = true;
         while changed {
+            crate::fuel::fixpoint_tick();
             changed = false;
             for &block in cfg.reverse_post_order() {
                 scratch.clear();

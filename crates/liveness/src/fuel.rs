@@ -1,0 +1,77 @@
+//! Fixpoint-iteration fuel: a thread-local budget on data-flow fixpoint
+//! passes, so a pathological (or maliciously constructed) function exhausts a
+//! typed resource limit instead of spinning a worker forever.
+//!
+//! The liveness computations cannot plumb a `Result` through the lazily
+//! initialized analysis caches without taxing every happy-path caller, so
+//! exhaustion is reported by unwinding with a [`FuelExhausted`] payload; the
+//! fault-isolated engine entry points (`ossa_destruct::fault`) catch the
+//! unwind at the per-function boundary and downcast it back into a typed
+//! `ResourceExhausted` error. With no budget installed (the default, and the
+//! state every non-isolated caller runs in) a tick is a single thread-local
+//! read — the fixpoint loops tick once per *pass*, not per block, so the
+//! happy-path cost is unmeasurable.
+
+use std::cell::Cell;
+
+/// Panic payload of an exhausted fixpoint budget. Carried by unwinding from
+/// [`fixpoint_tick`] to the nearest `catch_unwind`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuelExhausted {
+    /// The budget that was installed via [`set_fixpoint_fuel`].
+    pub limit: u64,
+}
+
+thread_local! {
+    /// Remaining passes (`None` = unbounded) and the originally installed
+    /// budget, for the error report.
+    static REMAINING: Cell<Option<u64>> = const { Cell::new(None) };
+    static LIMIT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Installs (or, with `None`, removes) the fixpoint budget of the current
+/// thread. Isolated engine workers install the budget per function and clear
+/// it on the way out, so a budgeted run never leaks into a later caller.
+pub fn set_fixpoint_fuel(fuel: Option<u64>) {
+    LIMIT.set(fuel.unwrap_or(0));
+    REMAINING.set(fuel);
+}
+
+/// Consumes one unit of fuel; unwinds with [`FuelExhausted`] when the budget
+/// is spent. Called once per fixpoint *pass* by the liveness solvers.
+#[inline]
+pub fn fixpoint_tick() {
+    if let Some(left) = REMAINING.get() {
+        if left == 0 {
+            std::panic::panic_any(FuelExhausted { limit: LIMIT.get() });
+        }
+        REMAINING.set(Some(left - 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_by_default() {
+        set_fixpoint_fuel(None);
+        for _ in 0..10_000 {
+            fixpoint_tick();
+        }
+    }
+
+    #[test]
+    fn exhaustion_unwinds_with_the_limit() {
+        set_fixpoint_fuel(Some(3));
+        let err = std::panic::catch_unwind(|| {
+            for _ in 0..10 {
+                fixpoint_tick();
+            }
+        })
+        .unwrap_err();
+        set_fixpoint_fuel(None);
+        let payload = err.downcast_ref::<FuelExhausted>().expect("typed payload");
+        assert_eq!(payload.limit, 3);
+    }
+}

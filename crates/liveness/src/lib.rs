@@ -41,6 +41,7 @@
 pub mod analysis;
 pub mod check;
 pub mod footprint;
+pub mod fuel;
 pub mod intersect;
 pub mod sets;
 pub mod uses;

@@ -159,6 +159,7 @@ impl LivenessSets {
         }
         let mut changed = true;
         while changed {
+            crate::fuel::fixpoint_tick();
             changed = false;
             for &block in &*post_order {
                 // live_out(B) ∪= ∪_succ S (live_in(S) \ phi_defs(S)) ∪ phi_uses_from(B in S)
@@ -288,6 +289,7 @@ impl LivenessSets {
         out.reset();
         let mut changed = true;
         while changed {
+            crate::fuel::fixpoint_tick();
             changed = false;
             for &block in region_post.iter() {
                 out.clear();

@@ -45,8 +45,10 @@
 //! assert!(report.allocation.is_some());
 //! ```
 
+use ossa_destruct::fault::{self, TranslatePhase};
 use ossa_destruct::{
-    translate_out_of_ssa_scratch, OutOfSsaOptions, OutOfSsaStats, TranslateScratch,
+    translate_out_of_ssa_scratch, Limits, OutOfSsaOptions, OutOfSsaStats, TranslateError,
+    TranslateScratch,
 };
 use ossa_ir::Function;
 use ossa_liveness::{AnalysisCounts, FunctionAnalyses};
@@ -87,6 +89,7 @@ pub struct Pipeline {
     num_regs: Option<u32>,
     keep_copy_every: usize,
     check_conventional: bool,
+    limits: Limits,
     analyses: FunctionAnalyses,
     scratch: TranslateScratch,
 }
@@ -100,9 +103,17 @@ impl Pipeline {
             num_regs: None,
             keep_copy_every: 0,
             check_conventional: true,
+            limits: Limits::UNBOUNDED,
             analyses: FunctionAnalyses::new(),
             scratch: TranslateScratch::new(),
         }
+    }
+
+    /// Sets the resource bounds enforced by [`Pipeline::try_run`] (the
+    /// panic-free entry point); [`Pipeline::run`] ignores them.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
     }
 
     /// Enables register allocation with `num_regs` architectural registers
@@ -169,6 +180,7 @@ impl Pipeline {
         // Middle end. Each pass declares its own invalidation: these are all
         // instruction-only mutations, so the CFG analyses computed by the
         // first pass survive until the translation splits an edge (if ever).
+        fault::enter_phase(&func.name, TranslatePhase::Ssa);
         let construction = construct_ssa_cached(func, &mut self.analyses);
         let copy_propagation =
             propagate_copies_keeping_cached(func, self.keep_copy_every, &mut self.analyses);
@@ -193,6 +205,7 @@ impl Pipeline {
             &mut self.analyses,
             &mut self.scratch,
         );
+        fault::enter_phase(&func.name, TranslatePhase::Regalloc);
         let allocation = self.num_regs.map(|regs| allocate_cached(func, regs, &self.analyses));
 
         PipelineReport {
@@ -203,6 +216,53 @@ impl Pipeline {
             translation,
             allocation,
         }
+    }
+
+    /// Fault-isolated [`Pipeline::run`]: the input is structurally verified
+    /// and checked against the configured [`Limits`] up front, and the whole
+    /// pipeline runs under a panic boundary, so a malformed, oversized or
+    /// panicking function returns a typed [`TranslateError`] instead of
+    /// unwinding into the caller.
+    ///
+    /// On `Err`, the pipeline's analysis cache and scratch are quarantined
+    /// (rebuilt fresh — an unwind can leave them mid-mutation) and `func`
+    /// may have been partially rewritten; the pipeline itself stays usable
+    /// and later functions translate bit-identically to a fault-free run.
+    /// The happy path of [`Pipeline::run`] is untouched: it performs no
+    /// catching, no release-mode verification and no limit checks.
+    pub fn try_run(&mut self, func: &mut Function) -> Result<PipelineReport, TranslateError> {
+        self.try_run_with(func, |_| {})
+    }
+
+    /// Like [`Pipeline::try_run`], applying `constrain` between the SSA
+    /// optimizations and the translation (the [`Pipeline::run_with`] hook).
+    pub fn try_run_with(
+        &mut self,
+        func: &mut Function,
+        constrain: impl FnOnce(&mut Function),
+    ) -> Result<PipelineReport, TranslateError> {
+        ossa_liveness::fuel::set_fixpoint_fuel(self.limits.max_fixpoint_iters);
+        let caught = ossa_destruct::catch_translate(|| {
+            fault::enter_phase(&func.name, TranslatePhase::Verify);
+            self.limits.check_function(func)?;
+            // The pipeline ingests virtual-register (pre-SSA) code, so only
+            // the structural verifier applies here; SSA invariants are
+            // established by the construction pass itself.
+            if let Err(errors) = ossa_ir::verify_cfg(func) {
+                return Err(TranslateError::Malformed {
+                    phase: TranslatePhase::Verify,
+                    detail: errors.to_string(),
+                });
+            }
+            Ok(self.run_with(func, constrain))
+        });
+        ossa_liveness::fuel::set_fixpoint_fuel(None);
+        let result = caught.unwrap_or_else(Err);
+        if result.is_err() {
+            self.analyses = FunctionAnalyses::new();
+            self.scratch = TranslateScratch::new();
+        }
+        result
     }
 }
 

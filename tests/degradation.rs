@@ -1,0 +1,113 @@
+//! Graceful degradation on irreducible control flow.
+//!
+//! The fast liveness checker (Boissinot et al.'s query-based backend)
+//! assumes a *reducible* CFG: it classifies an edge `s → t` as a back edge
+//! iff `t` dominates `s`, which misclassifies the retreating edges of a
+//! multi-entry cycle and makes its reduced graph cyclic — the precomputed
+//! sets become unsound. Instead of producing wrong interference answers, the
+//! translation detects irreducibility (an O(edges) scan over the cached
+//! RPO numbering and dominator tree) and demotes
+//! `InterferenceMode::InterCheckLiveCheck` to the data-flow
+//! `LivenessSets` backend, recording the demotion in
+//! [`OutOfSsaStats::liveness_fallbacks`]. These tests pin the fallback with
+//! the reference interpreter as a semantic oracle.
+
+use out_of_ssa::cfggen::{generate_function, to_optimized_ssa, GenConfig};
+use out_of_ssa::destruct::{translate_out_of_ssa, ClassCheck, InterferenceMode, OutOfSsaOptions};
+use out_of_ssa::interp::{same_behaviour, Interpreter};
+use out_of_ssa::ir::{verify_cfg, ControlFlowGraph, DominatorTree};
+use out_of_ssa::Pipeline;
+
+fn irreducible_config() -> GenConfig {
+    GenConfig { irreducible_density: 0.6, ..GenConfig::small() }
+}
+
+fn is_reducible(func: &out_of_ssa::ir::Function) -> bool {
+    let cfg = ControlFlowGraph::compute(func);
+    let domtree = DominatorTree::compute(func, &cfg);
+    cfg.is_reducible(&domtree)
+}
+
+#[test]
+fn irreducible_functions_fall_back_to_liveness_sets_and_stay_correct() {
+    let inputs: Vec<Vec<i64>> = vec![vec![0, 0, 0], vec![1, 2, 3], vec![7, -3, 11], vec![-5, 9, 2]];
+    let mut exercised = 0;
+    for seed in 0..12u64 {
+        let original = generate_function(format!("irr{seed}"), &irreducible_config(), seed);
+        if is_reducible(&original) {
+            continue;
+        }
+        exercised += 1;
+        let expected: Vec<_> = inputs
+            .iter()
+            .map(|args| Interpreter::new().run(&original, args).expect("original runs"))
+            .collect();
+
+        // The full pipeline with the *default* options, whose interference
+        // mode is the fast checker: the demotion must be visible in the
+        // report and the translated code must still agree with the oracle.
+        let mut translated = original.clone();
+        let report = Pipeline::new(OutOfSsaOptions::default()).run(&mut translated);
+        assert_eq!(
+            report.translation.liveness_fallbacks, 1,
+            "seed {seed}: irreducible CFG did not demote the fast checker"
+        );
+        verify_cfg(&translated).expect("translated code is structurally valid");
+        assert_eq!(translated.count_phis(), 0, "seed {seed}: phis remain");
+        for (args, want) in inputs.iter().zip(&expected) {
+            let got = Interpreter::new().run(&translated, args).expect("translated runs");
+            assert!(
+                same_behaviour(want, &got),
+                "seed {seed} differs on {args:?}\n{}",
+                translated.display()
+            );
+        }
+    }
+    assert!(exercised >= 8, "only {exercised}/12 seeds were irreducible");
+}
+
+#[test]
+fn fallback_output_matches_an_explicit_liveness_sets_run() {
+    // The demotion is exactly `InterCheckLiveCheck → InterCheck`: translating
+    // with the fast checker requested must produce bit-identical code and
+    // statistics (fallback counter aside) to requesting the sets backend
+    // explicitly.
+    let mut pinned = 0;
+    for seed in 0..12u64 {
+        let mut func = generate_function(format!("pin{seed}"), &irreducible_config(), seed);
+        if is_reducible(&func) {
+            continue;
+        }
+        pinned += 1;
+        to_optimized_ssa(&mut func);
+
+        let fast = OutOfSsaOptions::default()
+            .with_interference(InterferenceMode::InterCheckLiveCheck)
+            .with_class_check(ClassCheck::Linear);
+        let sets = OutOfSsaOptions::default()
+            .with_interference(InterferenceMode::InterCheck)
+            .with_class_check(ClassCheck::Linear);
+
+        let mut demoted = func.clone();
+        let mut explicit = func.clone();
+        let mut demoted_stats = translate_out_of_ssa(&mut demoted, &fast);
+        let explicit_stats = translate_out_of_ssa(&mut explicit, &sets);
+        assert_eq!(demoted_stats.liveness_fallbacks, 1, "seed {seed}");
+        assert_eq!(explicit_stats.liveness_fallbacks, 0, "seed {seed}");
+        demoted_stats.liveness_fallbacks = 0;
+        assert_eq!(demoted, explicit, "seed {seed}: demoted code differs");
+        assert_eq!(demoted_stats, explicit_stats, "seed {seed}: demoted stats differ");
+    }
+    assert!(pinned >= 8, "only {pinned}/12 seeds were irreducible");
+}
+
+#[test]
+fn reducible_functions_never_pay_the_fallback() {
+    for seed in 0..8u64 {
+        let mut func = generate_function(format!("red{seed}"), &GenConfig::small(), seed);
+        assert!(is_reducible(&func), "seed {seed}: default config went irreducible");
+        to_optimized_ssa(&mut func);
+        let stats = translate_out_of_ssa(&mut func, &OutOfSsaOptions::default());
+        assert_eq!(stats.liveness_fallbacks, 0, "seed {seed}: spurious fallback");
+    }
+}

@@ -1,0 +1,338 @@
+//! Fault isolation at integration level: the isolated engine entry points
+//! must contain per-function failures — malformed inputs, exceeded resource
+//! limits, injected panics — while translating every healthy neighbour
+//! bit-identically to a fault-free run.
+//!
+//! The injection campaigns themselves live in the `failpoints` module at the
+//! bottom, compiled only under `--features failpoints` (the fault-injection
+//! CI job); the limit/verifier tests here run in every configuration.
+
+use out_of_ssa::cfggen::{generate_function, generate_ssa_function, GenConfig};
+use out_of_ssa::destruct::{
+    translate_corpus, translate_corpus_isolated, translate_function_isolated, Limits, Resource,
+    TranslateError, TranslatePhase,
+};
+use out_of_ssa::destruct::{OutOfSsaOptions, TranslateScratch};
+use out_of_ssa::ir::Function;
+use out_of_ssa::liveness::FunctionAnalyses;
+use out_of_ssa::Pipeline;
+
+/// A small corpus of distinct healthy SSA functions.
+fn corpus(n: usize) -> Vec<Function> {
+    (0..n as u64)
+        .map(|seed| generate_ssa_function(format!("fi{seed}"), &GenConfig::small(), seed).0)
+        .collect()
+}
+
+#[test]
+fn isolated_engine_matches_the_plain_engine_on_a_healthy_corpus() {
+    let options = OutOfSsaOptions::default();
+    let mut plain = corpus(12);
+    let plain_stats = translate_corpus(&mut plain, &options);
+
+    let mut isolated = corpus(12);
+    let stats = translate_corpus_isolated(&mut isolated, &options, &Limits::UNBOUNDED);
+    assert_eq!(stats.num_errors(), 0);
+    assert_eq!(isolated, plain);
+    for (result, expected) in stats.results.iter().zip(&plain_stats.per_function) {
+        assert_eq!(result.as_ref().unwrap(), expected);
+    }
+}
+
+#[test]
+fn size_limits_reject_only_the_oversized_functions() {
+    let options = OutOfSsaOptions::default();
+    let mut plain = corpus(8);
+    translate_corpus(&mut plain, &options);
+
+    // Pick a bound between the smallest and largest function so the corpus
+    // splits into both accepted and rejected functions.
+    let sizes: Vec<u64> = corpus(8).iter().map(|f| f.num_insts() as u64).collect();
+    let limit = (sizes.iter().min().unwrap() + sizes.iter().max().unwrap()) / 2;
+    assert!(sizes.iter().any(|&s| s > limit) && sizes.iter().any(|&s| s <= limit));
+
+    let mut bounded = corpus(8);
+    let limits = Limits { max_insts: Some(limit), ..Limits::UNBOUNDED };
+    let stats = translate_corpus_isolated(&mut bounded, &options, &limits);
+    for (i, (result, &size)) in stats.results.iter().zip(&sizes).enumerate() {
+        if size > limit {
+            // Rejected up front: the function is left untouched (still has
+            // its φs) and the error carries the observed size.
+            assert_eq!(
+                result.as_ref().unwrap_err(),
+                &TranslateError::ResourceExhausted {
+                    resource: Resource::Instructions,
+                    limit,
+                    observed: size,
+                }
+            );
+        } else {
+            // Accepted: bit-identical to the fault-free run.
+            assert!(result.is_ok());
+            assert_eq!(bounded[i], plain[i], "healthy function {i} diverged");
+        }
+    }
+}
+
+#[test]
+fn fixpoint_fuel_returns_resource_exhausted_and_recovers() {
+    let options = OutOfSsaOptions::default();
+    let mut analyses = FunctionAnalyses::new();
+    let mut scratch = TranslateScratch::new();
+
+    // A generated function with loops needs more than one liveness fixpoint
+    // pass, so a one-pass budget trips mid-translation.
+    let (func, _) = generate_ssa_function("fuel", &GenConfig::small(), 3);
+    let starved = Limits { max_fixpoint_iters: Some(1), ..Limits::UNBOUNDED };
+    let mut victim = func.clone();
+    let err =
+        translate_function_isolated(&mut victim, &options, &starved, &mut analyses, &mut scratch)
+            .unwrap_err();
+    assert_eq!(
+        err,
+        TranslateError::ResourceExhausted {
+            resource: Resource::FixpointIterations,
+            limit: 1,
+            observed: 1,
+        }
+    );
+
+    // The same (quarantined, rebuilt) analyses and scratch then translate
+    // the same function correctly once the budget is lifted: identical to a
+    // run through completely fresh state.
+    let mut retry = func.clone();
+    let stats = translate_function_isolated(
+        &mut retry,
+        &options,
+        &Limits::UNBOUNDED,
+        &mut analyses,
+        &mut scratch,
+    )
+    .unwrap();
+    let mut fresh = func.clone();
+    let fresh_stats = translate_function_isolated(
+        &mut fresh,
+        &options,
+        &Limits::UNBOUNDED,
+        &mut FunctionAnalyses::new(),
+        &mut TranslateScratch::new(),
+    )
+    .unwrap();
+    assert_eq!(retry, fresh);
+    assert_eq!(stats, fresh_stats);
+}
+
+#[test]
+fn malformed_input_is_reported_as_a_verify_error() {
+    // A *pre-SSA* function (mutable virtual registers, multiple definitions
+    // per value) is structurally fine but violates the SSA invariants the
+    // translation engine's contract requires.
+    let mut pre_ssa = generate_function("malformed", &GenConfig::small(), 1);
+    let err = translate_function_isolated(
+        &mut pre_ssa,
+        &OutOfSsaOptions::default(),
+        &Limits::UNBOUNDED,
+        &mut FunctionAnalyses::new(),
+        &mut TranslateScratch::new(),
+    )
+    .unwrap_err();
+    let TranslateError::Malformed { phase, detail } = err else {
+        panic!("expected Malformed, got {err:?}");
+    };
+    assert_eq!(phase, TranslatePhase::Verify);
+    assert!(!detail.is_empty());
+}
+
+#[test]
+fn a_poisoned_function_never_affects_its_corpus_neighbours() {
+    let options = OutOfSsaOptions::default();
+    let mut plain = corpus(6);
+    translate_corpus(&mut plain, &options);
+
+    // Swap one healthy function for a malformed (pre-SSA) one and run both
+    // the serial and a two-worker isolated translation.
+    for threads in [1, 2] {
+        let mut poisoned = corpus(6);
+        poisoned[2] = generate_function("fi2", &GenConfig::small(), 2);
+        let stats = out_of_ssa::destruct::translate_corpus_isolated_with(
+            &mut poisoned,
+            &options,
+            &Limits::UNBOUNDED,
+            threads,
+        );
+        assert_eq!(stats.num_errors(), 1);
+        let (index, error) = stats.errors().next().unwrap();
+        assert_eq!(index, 2);
+        assert_eq!(error.phase(), Some(TranslatePhase::Verify));
+        for (i, func) in poisoned.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(func, &plain[i], "threads={threads}: neighbour {i} diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_try_run_matches_run_and_contains_failures() {
+    // Healthy input: try_run is bit-identical to run.
+    let func = generate_function("plumb", &GenConfig::small(), 5);
+    let mut via_run = func.clone();
+    let report = Pipeline::new(OutOfSsaOptions::default()).run(&mut via_run);
+    let mut via_try = func.clone();
+    let mut pipeline = Pipeline::new(OutOfSsaOptions::default());
+    let try_report = pipeline.try_run(&mut via_try).unwrap();
+    assert_eq!(via_try, via_run);
+    assert_eq!(try_report.translation, report.translation);
+
+    // Structurally broken input (a block without a terminator) is rejected
+    // at Verify, and the same pipeline object keeps translating healthy
+    // functions identically afterwards (its caches were quarantined).
+    let mut builder = out_of_ssa::ir::builder::FunctionBuilder::new("broken", 0);
+    let entry = builder.create_block();
+    builder.set_entry(entry);
+    builder.switch_to_block(entry);
+    let v = builder.declare_value();
+    builder.iconst_to(v, 1);
+    let mut broken = builder.finish();
+    let err = pipeline.try_run(&mut broken).unwrap_err();
+    assert_eq!(err.phase(), Some(TranslatePhase::Verify));
+
+    let mut after = func.clone();
+    pipeline.try_run(&mut after).unwrap();
+    assert_eq!(after, via_run);
+
+    // An oversized input trips the configured limit.
+    let limit = func.num_insts() as u64 - 1;
+    let mut pipeline = Pipeline::new(OutOfSsaOptions::default())
+        .with_limits(Limits { max_insts: Some(limit), ..Limits::UNBOUNDED });
+    let mut big = func.clone();
+    let err = pipeline.try_run(&mut big).unwrap_err();
+    assert_eq!(
+        err,
+        TranslateError::ResourceExhausted {
+            resource: Resource::Instructions,
+            limit,
+            observed: limit + 1,
+        }
+    );
+}
+
+/// Deterministic injection campaigns — the `failpoints` feature only.
+#[cfg(feature = "failpoints")]
+mod failpoints {
+    use super::*;
+    use out_of_ssa::destruct::fault::failpoints::{
+        clear, configure, should_fail, silence_injected_panics, FailpointConfig,
+    };
+    use out_of_ssa::destruct::{translate_corpus_isolated_with, translate_stream_isolated_with};
+    use std::sync::Mutex;
+
+    /// The injector configuration is process-global: campaigns must not
+    /// overlap, so every test in this module serialises on this lock.
+    static CAMPAIGN: Mutex<()> = Mutex::new(());
+
+    const SEED: u64 = 0xB0155;
+    const RATE: u32 = 350;
+
+    fn armed() -> FailpointConfig {
+        FailpointConfig { seed: SEED, rate_per_mille: RATE, phase: Some(TranslatePhase::Coalesce) }
+    }
+
+    #[test]
+    fn injected_faults_poison_exactly_the_predicted_subset() {
+        let _guard = CAMPAIGN.lock().unwrap_or_else(|e| e.into_inner());
+        silence_injected_panics();
+        let options = OutOfSsaOptions::default();
+
+        // Fault-free reference run.
+        clear();
+        let mut reference = corpus(16);
+        let reference_stats =
+            translate_corpus_isolated_with(&mut reference, &options, &Limits::UNBOUNDED, 1);
+        assert_eq!(reference_stats.num_errors(), 0);
+
+        // The poisoned subset is a pure function of (seed, name, phase):
+        // precompute it, then demand the engine reports exactly that subset.
+        configure(armed());
+        let predicted: Vec<bool> =
+            corpus(16).iter().map(|f| should_fail(&f.name, TranslatePhase::Coalesce)).collect();
+        let k = predicted.iter().filter(|&&p| p).count();
+        assert!((1..16).contains(&k), "campaign must poison a strict subset, hit {k}/16");
+
+        for threads in [1, 3] {
+            let mut victims = corpus(16);
+            let stats =
+                translate_corpus_isolated_with(&mut victims, &options, &Limits::UNBOUNDED, threads);
+            assert_eq!(stats.num_errors(), k, "threads={threads}");
+            for (i, (result, &poisoned)) in stats.results.iter().zip(&predicted).enumerate() {
+                if poisoned {
+                    let err = result.as_ref().unwrap_err();
+                    assert_eq!(err.phase(), Some(TranslatePhase::Coalesce), "function {i}");
+                    assert!(matches!(err, TranslateError::Panicked { .. }), "function {i}");
+                } else {
+                    // Healthy neighbours are bit-identical to the fault-free
+                    // run — worker state poisoned by an unwind never leaks.
+                    assert_eq!(
+                        result.as_ref().unwrap(),
+                        reference_stats.results[i].as_ref().unwrap()
+                    );
+                    assert_eq!(
+                        victims[i], reference[i],
+                        "threads={threads}: function {i} diverged"
+                    );
+                }
+            }
+        }
+        clear();
+    }
+
+    #[test]
+    fn batch_and_streaming_report_identical_faults() {
+        let _guard = CAMPAIGN.lock().unwrap_or_else(|e| e.into_inner());
+        silence_injected_panics();
+        let options = OutOfSsaOptions::default();
+
+        configure(armed());
+        let mut batch = corpus(16);
+        let batch_stats =
+            translate_corpus_isolated_with(&mut batch, &options, &Limits::UNBOUNDED, 2);
+        let (streamed, stream_stats) =
+            translate_stream_isolated_with(corpus(16), &options, &Limits::UNBOUNDED, 2);
+        clear();
+
+        assert_eq!(stream_stats.results, batch_stats.results);
+        assert_eq!(streamed.len(), batch.len());
+        for (i, (result, batch_func)) in streamed.iter().zip(&batch).enumerate() {
+            match result {
+                Ok(func) => assert_eq!(func, batch_func, "function {i} differs from batch"),
+                Err(err) => assert_eq!(Some(err), batch_stats.results[i].as_ref().err()),
+            }
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_across_runs() {
+        let _guard = CAMPAIGN.lock().unwrap_or_else(|e| e.into_inner());
+        silence_injected_panics();
+        let options = OutOfSsaOptions::default();
+
+        configure(armed());
+        let run = |threads| {
+            let mut funcs = corpus(12);
+            let stats =
+                translate_corpus_isolated_with(&mut funcs, &options, &Limits::UNBOUNDED, threads);
+            (funcs, stats.results)
+        };
+        let (funcs_a, results_a) = run(3);
+        let (funcs_b, results_b) = run(3);
+        let (funcs_c, results_c) = run(1);
+        clear();
+
+        // Same campaign, same corpus: identical verdicts and identical
+        // surviving functions, independent of worker count and schedule.
+        assert_eq!(results_a, results_b);
+        assert_eq!(results_a, results_c);
+        assert_eq!(funcs_a, funcs_b);
+        assert_eq!(funcs_a, funcs_c);
+    }
+}
