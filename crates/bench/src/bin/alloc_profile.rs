@@ -8,7 +8,7 @@
 //! through the public pipeline entry points, so the split is approximate at
 //! the boundaries but pins down where an allocation regression lives.
 //!
-//! Usage: `alloc_profile [scale] [--phase coalesce] [--json PATH]`
+//! Usage: `alloc_profile [scale] [--phase coalesce] [--streaming] [--json PATH]`
 //! (default scale 1.0).
 //!
 //! With `--phase coalesce` the run additionally splits the coalesce phase by
@@ -17,6 +17,14 @@
 //! allocations and wall-clock per sub-stage; `--json PATH` writes that
 //! drill-down as a JSON report (uploaded as a CI artifact next to
 //! `BENCH_fig6.json`).
+//!
+//! With `--streaming` the run instead profiles the *pooled streaming
+//! engine*: several passes over the corpus through one persistent
+//! [`ossa_destruct::EngineWorker`] and corpus source, reporting the warm-up
+//! pass (cold pools and caches growing to their high-water marks) against
+//! the steady-state passes (recycled storage only) as allocations per
+//! translated function, plus the function-pool traffic. `--json PATH`
+//! writes the profile for the CI artifact (`ALLOC_streaming.json`).
 
 use std::cell::RefCell;
 use std::time::Instant;
@@ -85,12 +93,17 @@ fn main() {
     let mut scale = 1.0f64;
     let mut phase: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut streaming = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--phase" => {
                 phase = args.get(i + 1).cloned();
                 i += 2;
+            }
+            "--streaming" => {
+                streaming = true;
+                i += 1;
             }
             "--json" => {
                 json_path = args.get(i + 1).cloned();
@@ -101,7 +114,10 @@ fn main() {
                     scale = s;
                 } else {
                     eprintln!("unknown argument: {other}");
-                    eprintln!("usage: alloc_profile [scale] [--phase coalesce] [--json PATH]");
+                    eprintln!(
+                        "usage: alloc_profile [scale] [--phase coalesce] [--streaming] \
+                         [--json PATH]"
+                    );
                     std::process::exit(2);
                 }
                 i += 1;
@@ -114,9 +130,13 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let options = OutOfSsaOptions::default();
+    if streaming {
+        streaming_report(scale, &options, json_path.as_deref());
+        return;
+    }
     let corpus = ossa_cfggen::spec_like_corpus(scale, true);
     let functions: Vec<_> = corpus.iter().flat_map(|w| w.functions.iter().cloned()).collect();
-    let options = OutOfSsaOptions::default();
 
     if phase.is_some() {
         coalesce_drilldown(&functions, &options, scale, json_path.as_deref());
@@ -262,6 +282,62 @@ fn main() {
     println!("  without sequentialization   {no_seq}");
     println!("  sequentialization share     {}", total.saturating_sub(no_seq));
     println!("  per function (total)        {:.1}", total as f64 / functions.len() as f64);
+}
+
+/// The `--streaming` profile: warm-up vs steady-state allocation counts of
+/// the pooled streaming engine, per pass and per translated function, with
+/// the function-pool traffic. Four passes: pass 0 warms every pool, cache
+/// and scratch buffer; passes 1–3 are steady state (the gate's "1×" is pass
+/// 1, its "2×" passes 1+2 — the same corpus streamed twice through the warm
+/// worker).
+fn streaming_report(scale: f64, options: &OutOfSsaOptions, json_path: Option<&str>) {
+    let profile = ossa_bench::streaming_allocation_passes(scale, options, 4);
+    let functions = profile.functions_per_pass;
+    let warmup = profile.pass_allocations[0];
+    println!("pooled streaming allocation profile at scale {scale}, {functions} functions/pass");
+    println!("  warm-up pass            {warmup} allocations");
+    for (i, allocs) in profile.pass_allocations.iter().enumerate().skip(1) {
+        println!(
+            "  steady-state pass {i}     {allocs} allocations  ({:.3} per function)",
+            *allocs as f64 / functions.max(1) as f64
+        );
+    }
+    let steady_1x = profile.steady_state_per_function(1);
+    let steady_2x = profile.steady_state_per_function(2);
+    println!("  steady state per function: {steady_1x:.3} at 1x corpus, {steady_2x:.3} at 2x");
+    let pool = profile.pool;
+    println!(
+        "  pool traffic: {} checkouts ({} recycled), {} retired, {} discarded",
+        pool.checkouts, pool.recycled, pool.retired, pool.discarded
+    );
+
+    if let Some(path) = json_path {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str(&format!("  \"scale\": {scale},\n"));
+        json.push_str("  \"mode\": \"streaming\",\n");
+        json.push_str(&format!("  \"functions_per_pass\": {functions},\n"));
+        json.push_str("  \"pass_allocations\": [");
+        for (i, allocs) in profile.pass_allocations.iter().enumerate() {
+            if i > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&allocs.to_string());
+        }
+        json.push_str("],\n");
+        json.push_str(&format!("  \"warmup_allocations\": {warmup},\n"));
+        json.push_str(&format!("  \"steady_state_allocations\": {steady_1x:.4},\n"));
+        json.push_str(&format!("  \"steady_state_allocations_2x\": {steady_2x:.4},\n"));
+        json.push_str("  \"pool\": {\n");
+        json.push_str(&format!("    \"checkouts\": {},\n", pool.checkouts));
+        json.push_str(&format!("    \"recycled\": {},\n", pool.recycled));
+        json.push_str(&format!("    \"retired\": {},\n", pool.retired));
+        json.push_str(&format!("    \"discarded\": {}\n", pool.discarded));
+        json.push_str("  }\n");
+        json.push_str("}\n");
+        std::fs::write(path, json).expect("write streaming profile JSON");
+        println!("wrote {path}");
+    }
 }
 
 /// The `--phase coalesce` drill-down: one warmed batch-serial pass with the

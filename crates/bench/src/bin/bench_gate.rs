@@ -27,7 +27,17 @@
 //!    wide timing tolerance of hosted runners must not apply: steady-state
 //!    allocation-freedom and the coalescer's batched-query reduction cannot
 //!    silently regress even when timing jitter masks them;
-//! 6. the per-phase timing, allocation-count and Figure 5 static-copy
+//! 6. the pooled streaming engine's steady-state allocations per translated
+//!    function (`streaming_steady_state_allocations`) within the allocation
+//!    tolerance of the baseline, and — machine-independently, within the
+//!    current report alone — *flat across corpus scale*: the per-function
+//!    count measured over 2× the corpus
+//!    (`streaming_steady_state_allocations_2x`) must match the 1× count
+//!    within the allocation tolerance plus a half-allocation floor. A
+//!    steady-state cost that grows with how many functions have already
+//!    streamed through (a leaked cache, storage that is not recycled)
+//!    fails here even on a noisy runner;
+//! 7. the per-phase timing, allocation-count and Figure 5 static-copy
 //!    fields are present, so the perf trajectory never silently loses
 //!    instrumentation.
 //!
@@ -189,6 +199,46 @@ fn main() -> ExitCode {
     // (e.g. the merge-sweep falling back to per-pair tests) fails here even
     // when the timing gate's jitter headroom would hide it.
     check_vs_baseline("batch_serial_interference_queries", "", alloc_tolerance, 0.0);
+    // Pooled streaming steady state, per translated function. The
+    // half-allocation floor keeps a near-zero baseline from turning harmless
+    // sub-allocation jitter into a failure while still catching any real
+    // per-function cost.
+    check_vs_baseline("streaming_steady_state_allocations", "", alloc_tolerance, 0.5);
+
+    // Steady-state flatness across corpus scale, current report only (both
+    // numbers come from the same run on the same machine, so no timing
+    // tolerance applies): per-function allocations over 2× the corpus must
+    // match the 1× measurement. This is the O(1)-heap-traffic invariant —
+    // if translating function N+1 costs more because N functions already
+    // streamed through, the 2× number exceeds the 1× number.
+    match (
+        extract_number(&current, "streaming_steady_state_allocations_2x"),
+        extract_number(&current, "streaming_steady_state_allocations"),
+    ) {
+        (Some(at_2x), Some(at_1x)) => {
+            let limit = at_1x * (1.0 + alloc_tolerance) + 0.5;
+            let verdict = if at_2x <= limit { "ok" } else { "REGRESSION" };
+            println!(
+                "streaming steady-state flatness: {at_2x:.4} allocs/function at 2x vs {at_1x:.4} \
+                 at 1x (limit {limit:.4}) — {verdict}"
+            );
+            if at_2x > limit {
+                failures += 1;
+            }
+        }
+        (at_2x, _) => {
+            eprintln!(
+                "streaming flatness check: {} missing from {current_path}",
+                if at_2x.is_none() {
+                    "streaming_steady_state_allocations_2x"
+                } else {
+                    "streaming_steady_state_allocations"
+                }
+            );
+            failures += 1;
+            missing_fields = true;
+        }
+    }
 
     // Relative invariants, independent of machine speed, between two keys of
     // the *current* report (both sides sampled interleaved, min-of-5, so a

@@ -23,11 +23,17 @@ use std::time::Instant;
 #[allow(unsafe_code)]
 pub mod alloc;
 
-use ossa_cfggen::{spec_like_corpus, Workload};
-use ossa_destruct::{
-    translate_corpus_serial, translate_corpus_with, translate_out_of_ssa, translate_stream_with,
-    ClassCheck, InterferenceMode, OutOfSsaOptions, OutOfSsaStats,
+use ossa_cfggen::{
+    generate_ssa_function_into_cached, pin_call_conventions, spec_config, spec_like_corpus,
+    spec_num_functions, GenScratch, Workload, SPEC_BENCHMARKS,
 };
+use ossa_destruct::{
+    translate_corpus_serial, translate_corpus_with, translate_out_of_ssa,
+    translate_stream_pooled_serial, translate_stream_with, ClassCheck, EngineWorker,
+    InterferenceMode, OutOfSsaOptions, OutOfSsaStats, PooledSource,
+};
+use ossa_ir::{Function, FunctionPool, PoolStats};
+use ossa_liveness::FunctionAnalyses;
 
 /// The Figure 5 coalescing variants, in the paper's order.
 ///
@@ -73,6 +79,152 @@ pub const DEFAULT_SCALE: f64 = 0.35;
 /// Builds the simulated corpus at `scale`.
 pub fn corpus(scale: f64) -> Vec<Workload> {
     spec_like_corpus(scale, true)
+}
+
+/// A pool-aware streaming source regenerating the simulated SPEC corpus
+/// function by function.
+///
+/// Enumerates exactly the functions of [`corpus`] / `spec_like_corpus` in
+/// the same order with the same seeds and configs (shared through
+/// [`spec_config`] / [`spec_num_functions`]), but builds each one *into* a
+/// slot checked out of the engine's [`FunctionPool`] instead of fresh heap
+/// storage — and converts it to optimized SSA through its own recycled
+/// analyses and generator scratch. Once the source and the engine worker are
+/// warm, producing and translating one more function allocates (almost)
+/// nothing: this is the input half of the engine's O(1) steady-state heap
+/// traffic story, and the measurement vehicle of the streaming allocation
+/// gate.
+#[derive(Debug)]
+pub struct CorpusSource {
+    scale: f64,
+    pin_calls: bool,
+    bench: usize,
+    index: usize,
+    analyses: FunctionAnalyses,
+    scratch: GenScratch,
+    name: String,
+}
+
+impl CorpusSource {
+    /// Creates a source streaming the corpus at `scale` from its beginning.
+    pub fn new(scale: f64, pin_calls: bool) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        Self {
+            scale,
+            pin_calls,
+            bench: 0,
+            index: 0,
+            analyses: FunctionAnalyses::new(),
+            scratch: GenScratch::new(),
+            name: String::new(),
+        }
+    }
+
+    /// Rewinds the stream to the first function of the first benchmark,
+    /// keeping all recycled generator state warm — streaming the corpus
+    /// `k` times through a rewound source is the "k× corpus" of the
+    /// steady-state flatness gate.
+    pub fn rewind(&mut self) {
+        self.bench = 0;
+        self.index = 0;
+    }
+
+    /// Total number of functions one full pass over the stream yields.
+    pub fn functions_per_pass(&self) -> usize {
+        SPEC_BENCHMARKS.iter().map(|spec| spec_num_functions(spec, self.scale)).sum()
+    }
+}
+
+impl PooledSource for CorpusSource {
+    fn next_into(&mut self, pool: &mut FunctionPool) -> Option<Function> {
+        use std::fmt::Write as _;
+        loop {
+            let spec = SPEC_BENCHMARKS.get(self.bench)?;
+            let num_functions = spec_num_functions(spec, self.scale);
+            if self.index >= num_functions {
+                self.bench += 1;
+                self.index = 0;
+                continue;
+            }
+            let config = spec_config(spec, self.scale);
+            let i = self.index;
+            self.index += 1;
+            self.name.clear();
+            let _ = write!(self.name, "{}::fn{}", spec.name, i);
+            let slot = pool.checkout();
+            let (mut func, _) = generate_ssa_function_into_cached(
+                slot,
+                &self.name,
+                &config,
+                spec.seed + i as u64,
+                &mut self.analyses,
+                &mut self.scratch,
+            );
+            if self.pin_calls {
+                pin_call_conventions(&mut func);
+            }
+            return Some(func);
+        }
+    }
+}
+
+/// Result of [`streaming_allocation_passes`]: the allocation trajectory of
+/// the pooled streaming engine across repeated passes over the corpus.
+#[derive(Clone, Debug)]
+pub struct StreamingProfile {
+    /// Functions translated per pass (one full corpus).
+    pub functions_per_pass: usize,
+    /// Thread-local allocation count of each pass, in order. Pass 0 is the
+    /// warm-up (cold pools and caches); later passes are steady state.
+    pub pass_allocations: Vec<u64>,
+    /// Pool traffic accumulated over all passes.
+    pub pool: PoolStats,
+}
+
+impl StreamingProfile {
+    /// Steady-state allocations per translated function over the first
+    /// `passes` post-warm-up passes (the "k× corpus" metric: the corpus is
+    /// streamed `k` times through the warm worker and the per-function cost
+    /// must not grow with `k`).
+    pub fn steady_state_per_function(&self, passes: usize) -> f64 {
+        let passes = passes.min(self.pass_allocations.len().saturating_sub(1));
+        if passes == 0 || self.functions_per_pass == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.pass_allocations[1..1 + passes].iter().sum();
+        total as f64 / (passes * self.functions_per_pass) as f64
+    }
+}
+
+/// Streams the corpus at `scale` through the pooled serial engine `passes`
+/// times over one persistent [`EngineWorker`] and one persistent
+/// [`CorpusSource`], sampling the thread-local allocation counter around
+/// each pass.
+///
+/// Pass 0 is the warm-up: pools, caches and scratch grow to their high-water
+/// marks. Every later pass reuses that storage, so its allocation count is
+/// the steady-state heap traffic of streaming one more corpus through a
+/// long-running translator. The counts are only meaningful in a binary that
+/// registers [`alloc::CountingAllocator`] as the global allocator (they are
+/// zero otherwise), and the run is strictly single-threaded because the
+/// counter is thread-local.
+pub fn streaming_allocation_passes(
+    scale: f64,
+    options: &OutOfSsaOptions,
+    passes: usize,
+) -> StreamingProfile {
+    let mut source = CorpusSource::new(scale, true);
+    let mut worker = EngineWorker::new();
+    let functions_per_pass = source.functions_per_pass();
+    let mut pass_allocations = Vec::with_capacity(passes);
+    for _ in 0..passes.max(1) {
+        source.rewind();
+        let before = alloc::allocation_count();
+        let stats = translate_stream_pooled_serial(&mut source, &mut worker, options, |_, _, _| {});
+        pass_allocations.push(alloc::allocation_count() - before);
+        debug_assert_eq!(stats.per_function.len(), functions_per_pass);
+    }
+    StreamingProfile { functions_per_pass, pass_allocations, pool: worker.pool.stats() }
 }
 
 /// Runs one translation variant over one workload through the serial batch
@@ -277,6 +429,45 @@ mod tests {
         let intersect: usize = report[0].copies.iter().sum();
         let sharing: usize = report[6].copies.iter().sum();
         assert!(sharing <= intersect);
+    }
+
+    #[test]
+    fn corpus_source_matches_spec_like_corpus() {
+        let expected: Vec<Function> = corpus(0.1).into_iter().flat_map(|w| w.functions).collect();
+
+        // First pass: cold pool, every checkout allocates.
+        let mut source = CorpusSource::new(0.1, true);
+        let mut pool = FunctionPool::new();
+        let mut got = Vec::new();
+        while let Some(func) = source.next_into(&mut pool) {
+            got.push(func);
+        }
+        assert_eq!(got, expected);
+
+        // Second pass after a rewind, retiring each slot as it is checked:
+        // the whole stream is rebuilt through recycled storage and must stay
+        // bit-identical.
+        source.rewind();
+        for expected_func in &expected {
+            let func = source.next_into(&mut pool).expect("rewound stream is full length");
+            assert_eq!(&func, expected_func);
+            pool.retire(func);
+        }
+        assert!(source.next_into(&mut pool).is_none());
+        assert!(pool.stats().recycled >= expected.len() as u64 - 1);
+    }
+
+    #[test]
+    fn streaming_profile_math() {
+        let profile = StreamingProfile {
+            functions_per_pass: 10,
+            pass_allocations: vec![1000, 20, 30],
+            pool: PoolStats::default(),
+        };
+        assert!((profile.steady_state_per_function(1) - 2.0).abs() < 1e-9);
+        assert!((profile.steady_state_per_function(2) - 2.5).abs() < 1e-9);
+        // Requesting more passes than measured clamps to what exists.
+        assert!((profile.steady_state_per_function(5) - 2.5).abs() < 1e-9);
     }
 
     #[test]

@@ -10,9 +10,37 @@
 use ossa_ir::builder::FunctionBuilder;
 use ossa_ir::entity::Value;
 use ossa_ir::{BinaryOp, CmpOp, Function, InstData};
-use ossa_ssa::{construct_ssa, eliminate_dead_code, propagate_copies_keeping};
+use ossa_liveness::FunctionAnalyses;
+use ossa_ssa::{
+    construct_ssa, construct_ssa_scratch, eliminate_dead_code, eliminate_dead_code_scratch,
+    propagate_copies_keeping, propagate_copies_keeping_scratch, CopyPropagation, SsaScratch,
+};
 
 use crate::rng::SmallRng;
+
+/// Recycled working storage for repeated function generation.
+///
+/// Holds the generator's own buffers (the variable pool, call-argument
+/// assembly) plus an [`SsaScratch`] for the SSA conversion passes. Create one
+/// per worker and thread it through [`generate_function_into_scratch`] /
+/// [`to_optimized_ssa_cached`] / [`generate_ssa_function_into_cached`]: after
+/// one warm-up function, generating and SSA-converting a function through a
+/// recycled [`Function`] slot allocates nothing.
+#[derive(Debug, Default)]
+pub struct GenScratch {
+    vars: Vec<Value>,
+    args: Vec<Value>,
+    /// Working storage for the SSA passes (construction, copy propagation,
+    /// dead-code elimination).
+    pub ssa: SsaScratch,
+}
+
+impl GenScratch {
+    /// Creates empty scratch storage. Nothing is allocated until first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Tuning knobs for the random function generator.
 #[derive(Clone, Debug)]
@@ -71,7 +99,8 @@ struct Gen<'a> {
     b: FunctionBuilder,
     cfg: &'a GenConfig,
     rng: SmallRng,
-    vars: Vec<Value>,
+    vars: &'a mut Vec<Value>,
+    args_buf: &'a mut Vec<Value>,
     callee_counter: u32,
 }
 
@@ -95,11 +124,15 @@ impl<'a> Gen<'a> {
             // dst = call f(args)
             let dst = self.random_var();
             let num_args = self.rng.range_inclusive(0, 3usize.min(self.vars.len()));
-            let args: Vec<Value> = (0..num_args).map(|_| self.random_var()).collect();
+            self.args_buf.clear();
+            for _ in 0..num_args {
+                let arg = self.random_var();
+                self.args_buf.push(arg);
+            }
             let callee = self.callee_counter % 5;
             self.callee_counter += 1;
             let block = self.b.current_block();
-            let args = self.b.func_mut().make_value_list(&args);
+            let args = self.b.func_mut().make_value_list(self.args_buf.as_slice());
             self.b.func_mut().append_inst(block, InstData::Call { dst: Some(dst), callee, args });
         } else if roll < self.cfg.call_density + self.cfg.memory_density {
             // Either a store or a load through a pool variable address.
@@ -299,7 +332,8 @@ impl<'a> Gen<'a> {
 
 /// Generates one pre-SSA function named `name` from `seed`.
 pub fn generate_function(name: impl Into<String>, config: &GenConfig, seed: u64) -> Function {
-    generate_with(FunctionBuilder::new(name, config.num_params), config, seed)
+    let mut scratch = GenScratch::new();
+    generate_with(FunctionBuilder::new(name, config.num_params), config, seed, &mut scratch)
 }
 
 /// Like [`generate_function`], building through the recycled storage of
@@ -308,19 +342,41 @@ pub fn generate_function(name: impl Into<String>, config: &GenConfig, seed: u64)
 /// result is bit-identical to a fresh [`generate_function`] build.
 pub fn generate_function_into(
     func: Function,
-    name: impl Into<String>,
+    name: impl AsRef<str>,
     config: &GenConfig,
     seed: u64,
 ) -> Function {
-    generate_with(FunctionBuilder::reuse(func, name, config.num_params), config, seed)
+    let mut scratch = GenScratch::new();
+    generate_function_into_scratch(func, name, config, seed, &mut scratch)
 }
 
-fn generate_with(builder: FunctionBuilder, config: &GenConfig, seed: u64) -> Function {
+/// Like [`generate_function_into`], additionally recycling the generator's
+/// working buffers from `scratch`. With a warm `func` slot (e.g. from a
+/// [`ossa_ir::FunctionPool`]) and warm scratch, generation allocates
+/// nothing; the result stays bit-identical to a fresh build.
+pub fn generate_function_into_scratch(
+    func: Function,
+    name: impl AsRef<str>,
+    config: &GenConfig,
+    seed: u64,
+    scratch: &mut GenScratch,
+) -> Function {
+    generate_with(FunctionBuilder::reuse(func, name, config.num_params), config, seed, scratch)
+}
+
+fn generate_with(
+    builder: FunctionBuilder,
+    config: &GenConfig,
+    seed: u64,
+    scratch: &mut GenScratch,
+) -> Function {
+    scratch.vars.clear();
     let mut gen = Gen {
         b: builder,
         cfg: config,
         rng: SmallRng::seed_from_u64(seed),
-        vars: Vec::new(),
+        vars: &mut scratch.vars,
+        args_buf: &mut scratch.args,
         callee_counter: 0,
     };
 
@@ -383,6 +439,38 @@ pub fn to_optimized_ssa(func: &mut Function) -> OptimizedSsaStats {
     }
 }
 
+/// Like [`to_optimized_ssa`], sharing the analysis cache in `analyses` and
+/// recycling every working buffer from `scratch`.
+///
+/// This is the fix for the historical waste of the `*_into` path: the plain
+/// [`to_optimized_ssa`] re-derives a fresh analysis cache inside SSA
+/// construction even when the caller already owns a recycled one. Here the
+/// CFG-level analyses are computed once into `analyses` and the
+/// instruction-level caches are invalidated exactly when a pass changed the
+/// instruction stream (the same contract as the `*_cached` passes). With
+/// warm scratch and a recycled `func` slot the whole conversion allocates
+/// nothing; the result is bit-identical to [`to_optimized_ssa`].
+pub fn to_optimized_ssa_cached(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut GenScratch,
+) -> OptimizedSsaStats {
+    let (phis, _values_created) = construct_ssa_scratch(func, analyses, &mut scratch.ssa);
+    let prop = propagate_copies_keeping_scratch(func, 3, &mut scratch.ssa);
+    if prop != CopyPropagation::default() {
+        analyses.invalidate_instructions();
+    }
+    let dce = eliminate_dead_code_scratch(func, &mut scratch.ssa);
+    if dce.insts_removed > 0 {
+        analyses.invalidate_instructions();
+    }
+    OptimizedSsaStats {
+        phis,
+        copies_propagated: prop.copies_removed,
+        dead_removed: dce.insts_removed,
+    }
+}
+
 /// Generates a function and converts it to optimized SSA in one call.
 pub fn generate_ssa_function(
     name: impl Into<String>,
@@ -398,12 +486,33 @@ pub fn generate_ssa_function(
 /// `func`; the result is bit-identical to the fresh entry point.
 pub fn generate_ssa_function_into(
     func: Function,
-    name: impl Into<String>,
+    name: impl AsRef<str>,
     config: &GenConfig,
     seed: u64,
 ) -> (Function, OptimizedSsaStats) {
-    let mut func = generate_function_into(func, name, config, seed);
-    let stats = to_optimized_ssa(&mut func);
+    let mut analyses = FunctionAnalyses::new();
+    let mut scratch = GenScratch::new();
+    generate_ssa_function_into_cached(func, name, config, seed, &mut analyses, &mut scratch)
+}
+
+/// Generates a function into the recycled storage of `func` and converts it
+/// to optimized SSA through the shared `analyses` cache and recycled
+/// `scratch` buffers — the pooled streaming path's builder protocol. After
+/// one warm-up cycle, building the next function through a retired pool slot
+/// allocates nothing; results are bit-identical to [`generate_ssa_function`].
+pub fn generate_ssa_function_into_cached(
+    func: Function,
+    name: impl AsRef<str>,
+    config: &GenConfig,
+    seed: u64,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut GenScratch,
+) -> (Function, OptimizedSsaStats) {
+    let mut func = generate_function_into_scratch(func, name, config, seed, scratch);
+    // The slot now holds an entirely different function: every cached
+    // analysis (CFG-level included) is stale.
+    analyses.invalidate_cfg();
+    let stats = to_optimized_ssa_cached(&mut func, analyses, scratch);
     (func, stats)
 }
 
@@ -411,22 +520,30 @@ pub fn generate_ssa_function_into(
 /// emulating calling-convention renaming constraints. Returns the number of
 /// values pinned.
 pub fn pin_call_conventions(func: &mut Function) -> usize {
+    use ossa_ir::instruction::callconv;
     let mut pinned = 0;
-    let mut covered: Vec<Value> = Vec::new();
-    for block in func.blocks().collect::<Vec<_>>() {
-        for &inst in func.block_insts(block).to_vec().iter() {
+    // Pinning never changes the layout or the block instruction lists, so
+    // everything is walked by index; the covered argument prefix is bounded
+    // by the number of argument registers, so a fixed buffer suffices and
+    // the pass allocates nothing.
+    let mut covered = [Value::from_index(0); callconv::NUM_ARG_REGS];
+    for bi in 0..func.layout().len() {
+        let block = func.layout()[bi];
+        for ii in 0..func.block_len(block) {
+            let inst = func.block_insts(block)[ii];
             if let InstData::Call { dst, args, .. } = *func.inst(inst) {
-                covered.clear();
-                covered.extend(
-                    func.value_list(args).iter().take(ossa_ir::instruction::callconv::NUM_ARG_REGS),
-                );
+                let mut covered_len = 0usize;
+                for &arg in func.value_list(args).iter().take(callconv::NUM_ARG_REGS) {
+                    covered[covered_len] = arg;
+                    covered_len += 1;
+                }
                 if let Some(dst) = dst {
-                    func.pin_value(dst, ossa_ir::instruction::callconv::RETURN_REG);
+                    func.pin_value(dst, callconv::RETURN_REG);
                     pinned += 1;
                 }
-                for (i, &arg) in covered.iter().enumerate() {
+                for (i, &arg) in covered[..covered_len].iter().enumerate() {
                     if func.pinned_reg(arg).is_none() {
-                        func.pin_value(arg, ossa_ir::instruction::callconv::arg_reg(i));
+                        func.pin_value(arg, callconv::arg_reg(i));
                         pinned += 1;
                     }
                 }

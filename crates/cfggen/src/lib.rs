@@ -30,7 +30,11 @@ pub mod rng;
 pub mod spec;
 
 pub use gen::{
-    generate_function, generate_function_into, generate_ssa_function, generate_ssa_function_into,
-    pin_call_conventions, to_optimized_ssa, GenConfig, OptimizedSsaStats,
+    generate_function, generate_function_into, generate_function_into_scratch,
+    generate_ssa_function, generate_ssa_function_into, generate_ssa_function_into_cached,
+    pin_call_conventions, to_optimized_ssa, to_optimized_ssa_cached, GenConfig, GenScratch,
+    OptimizedSsaStats,
 };
-pub use spec::{spec_like_corpus, BenchmarkSpec, Workload, SPEC_BENCHMARKS};
+pub use spec::{
+    spec_config, spec_like_corpus, spec_num_functions, BenchmarkSpec, Workload, SPEC_BENCHMARKS,
+};

@@ -132,6 +132,25 @@ pub const SPEC_BENCHMARKS: [BenchmarkSpec; 11] = [
     },
 ];
 
+/// Number of functions benchmark `spec` contributes to the corpus at
+/// `scale`. Shared by [`spec_like_corpus`] and the streaming corpus source
+/// in the bench harness, so both enumerate the identical function set.
+pub fn spec_num_functions(spec: &BenchmarkSpec, scale: f64) -> usize {
+    ((spec.num_functions as f64 * scale).ceil() as usize).max(1)
+}
+
+/// Generator configuration benchmark `spec` uses at `scale` (function `i` is
+/// generated from this config with seed `spec.seed + i`). Shared by
+/// [`spec_like_corpus`] and the streaming corpus source in the bench
+/// harness, so both build bit-identical functions.
+pub fn spec_config(spec: &BenchmarkSpec, scale: f64) -> GenConfig {
+    GenConfig {
+        num_vars: spec.num_vars,
+        num_stmts: ((spec.stmts_per_function as f64 * scale).ceil() as usize).max(8),
+        ..GenConfig::default()
+    }
+}
+
 /// Generates the whole simulated corpus. `scale` in `(0, 1]` shrinks every
 /// benchmark proportionally (useful for fast tests); 1.0 is the benchmark
 ///-harness size. When `pin_calls` is set, call operands receive
@@ -141,12 +160,8 @@ pub fn spec_like_corpus(scale: f64, pin_calls: bool) -> Vec<Workload> {
     SPEC_BENCHMARKS
         .iter()
         .map(|spec| {
-            let num_functions = ((spec.num_functions as f64 * scale).ceil() as usize).max(1);
-            let config = GenConfig {
-                num_vars: spec.num_vars,
-                num_stmts: ((spec.stmts_per_function as f64 * scale).ceil() as usize).max(8),
-                ..GenConfig::default()
-            };
+            let num_functions = spec_num_functions(spec, scale);
+            let config = spec_config(spec, scale);
             let functions = (0..num_functions)
                 .map(|i| {
                     let (mut func, _) = generate_ssa_function(

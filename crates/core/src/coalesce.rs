@@ -32,7 +32,8 @@ use ossa_liveness::{footprint, BlockLiveness, FunctionAnalyses, IntersectionTest
 
 use crate::congruence::{CongruenceClasses, EqualAncOut};
 use crate::insertion::{
-    insert_phi_copies_into, isolate_pinned_values, CopyInsertion, InsertedMove,
+    insert_phi_copies_into, isolate_pinned_values, reserve_translation_growth, CopyInsertion,
+    InsertedMove,
 };
 use crate::interference::{copy_related_universe_and_sites_into, InterferenceGraph};
 use crate::parallel_copy::{sequentialize_function_with, SeqScratch};
@@ -692,6 +693,7 @@ pub fn translate_out_of_ssa_scratch(
     // here so `scratch` stays borrowable for `decide`, restored at the end.
     let mut insertion = std::mem::take(&mut scratch.insertion);
     insertion.reset();
+    reserve_translation_growth(func, &mut insertion);
     isolate_pinned_values(func, &mut insertion);
     insert_phi_copies_into(func, &mut insertion);
     stats.moves_inserted = insertion.moves.len();

@@ -16,6 +16,15 @@
 //! invalidated, not reallocated), so steady-state translation performs
 //! almost no per-function allocation.
 //!
+//! [`translate_stream_pooled`] closes the remaining allocation loop: the
+//! input is a [`PooledSource`] that builds each incoming function *into*
+//! recycled storage checked out of the worker's [`FunctionPool`], and the
+//! engine retires each translated function's storage back to that pool once
+//! the consumer has seen it. After warm-up, translating one more function
+//! touches the heap a bounded number of times regardless of how many
+//! functions have already streamed through — O(1) steady-state heap traffic
+//! for an unbounded stream.
+//!
 //! Parallel, serial, batch and streaming execution all produce bit-identical
 //! functions and statistics: per-function work is deterministic and results
 //! are collected by input index, so [`CorpusStats::per_function`] lines up
@@ -23,13 +32,69 @@
 
 use std::sync::Mutex;
 
-use ossa_ir::Function;
+use ossa_ir::{Function, FunctionPool};
 use ossa_liveness::FunctionAnalyses;
 
 use crate::coalesce::{
     translate_out_of_ssa_scratch, OutOfSsaOptions, OutOfSsaStats, TranslateScratch,
 };
 use crate::fault::{self, Limits, TranslateError, TranslatePhase};
+
+/// The complete recycled state of one engine worker: the analysis caches and
+/// translation scratch hoisted out of the per-function loop, plus the
+/// [`FunctionPool`] free list that recycles *function storage itself* for
+/// pool-aware streaming sources.
+///
+/// A worker is the unit of steady-state allocation freedom: once every
+/// buffer in it has grown to the high-water mark of the functions it has
+/// seen, translating one more function of comparable size allocates nothing.
+/// The serial pooled entry points take the worker by `&mut` so a caller
+/// (e.g. the benchmark harness) can keep it warm across multiple passes and
+/// observe warm-up versus steady-state behaviour directly.
+#[derive(Debug, Default)]
+pub struct EngineWorker {
+    /// Cached per-function analyses; invalidated, never reallocated, between
+    /// functions.
+    pub analyses: FunctionAnalyses,
+    /// Translation scratch buffers, reused as-is between functions.
+    pub scratch: TranslateScratch,
+    /// Free list of retired `Function` storage handed to the stream source.
+    pub pool: FunctionPool,
+}
+
+impl EngineWorker {
+    /// Creates a cold worker; every buffer grows on first use and is
+    /// recycled afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A pool-aware stream of input functions.
+///
+/// Where a plain `Iterator<Item = Function>` source must allocate fresh
+/// function storage for every item it yields, a `PooledSource` is handed the
+/// engine's [`FunctionPool`] and is expected to build each incoming function
+/// *into* a checked-out slot (via
+/// [`FunctionBuilder::reuse`](ossa_ir::builder::FunctionBuilder::reuse) or a
+/// generator's `*_into` entry point), closing the recycling loop: the
+/// engine retires each translated function back to the pool once the
+/// consumer is done with it, and the source checks the same storage out
+/// again for the next item.
+///
+/// The trait is implemented for any `FnMut(&mut FunctionPool) ->
+/// Option<Function>` closure, so ad-hoc sources need no named type.
+pub trait PooledSource {
+    /// Produces the next function of the stream, preferably built into
+    /// storage checked out of `pool`. `None` ends the stream.
+    fn next_into(&mut self, pool: &mut FunctionPool) -> Option<Function>;
+}
+
+impl<F: FnMut(&mut FunctionPool) -> Option<Function>> PooledSource for F {
+    fn next_into(&mut self, pool: &mut FunctionPool) -> Option<Function> {
+        self(pool)
+    }
+}
 
 /// Statistics of one batch translation.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -163,8 +228,14 @@ pub fn translate_corpus_isolated_with(
     let num_funcs = funcs.len();
     let results: Mutex<Vec<Option<Result<OutOfSsaStats, TranslateError>>>> =
         Mutex::new(vec![None; num_funcs]);
-    drive_workers(threads, funcs.iter_mut().enumerate(), |(index, func), analyses, scratch| {
-        let result = translate_function_isolated(func, options, limits, analyses, scratch);
+    drive_workers(threads, funcs.iter_mut().enumerate(), |(index, func), worker| {
+        let result = translate_function_isolated(
+            func,
+            options,
+            limits,
+            &mut worker.analyses,
+            &mut worker.scratch,
+        );
         results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(result);
     });
 
@@ -202,8 +273,9 @@ pub fn translate_corpus_with(
 
     let num_funcs = funcs.len();
     let results: Mutex<Vec<Option<OutOfSsaStats>>> = Mutex::new(vec![None; num_funcs]);
-    drive_workers(threads, funcs.iter_mut().enumerate(), |(index, func), analyses, scratch| {
-        let stats = translate_out_of_ssa_scratch(func, options, analyses, scratch);
+    drive_workers(threads, funcs.iter_mut().enumerate(), |(index, func), worker| {
+        let stats =
+            translate_out_of_ssa_scratch(func, options, &mut worker.analyses, &mut worker.scratch);
         results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(stats);
     });
 
@@ -227,20 +299,49 @@ fn drive_workers<T, I, W>(threads: usize, source: I, work: W)
 where
     T: Send,
     I: Iterator<Item = T> + Send,
-    W: Fn(T, &mut FunctionAnalyses, &mut TranslateScratch) + Sync,
+    W: Fn(T, &mut EngineWorker) + Sync,
 {
     let source = Mutex::new(source);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let mut analyses = FunctionAnalyses::new();
-                let mut scratch = TranslateScratch::new();
+                let mut worker = EngineWorker::new();
                 loop {
                     let mut guard = source.lock().unwrap_or_else(|e| e.into_inner());
                     let Some(item) = guard.next() else { return };
                     drop(guard);
-                    analyses.invalidate_cfg();
-                    work(item, &mut analyses, &mut scratch);
+                    worker.analyses.invalidate_cfg();
+                    work(item, &mut worker);
+                }
+            });
+        }
+    });
+}
+
+/// Worker pool of the *pooled* streaming engines: like [`drive_workers`],
+/// but the source is a [`PooledSource`] pulled under the lock with the
+/// worker's own [`FunctionPool`], and each translated function is retired
+/// back to (or discarded from) that pool by the `work` closure. Items are
+/// numbered in pull order so consumers can correlate results with the input
+/// sequence.
+fn drive_pooled_workers<S, W>(threads: usize, source: S, work: W)
+where
+    S: PooledSource + Send,
+    W: Fn(usize, Function, &mut EngineWorker) + Sync,
+{
+    let source = Mutex::new((source, 0usize));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut worker = EngineWorker::new();
+                loop {
+                    let mut guard = source.lock().unwrap_or_else(|e| e.into_inner());
+                    let Some(func) = guard.0.next_into(&mut worker.pool) else { return };
+                    let index = guard.1;
+                    guard.1 += 1;
+                    drop(guard);
+                    worker.analyses.invalidate_cfg();
+                    work(index, func, &mut worker);
                 }
             });
         }
@@ -324,8 +425,13 @@ where
     // a time and deposit the results by index, so the output order is the
     // input order no matter how the scheduler interleaves them.
     let results: Mutex<Vec<Option<(Function, OutOfSsaStats)>>> = Mutex::new(Vec::new());
-    drive_workers(threads, iter.enumerate(), |(index, mut func), analyses, scratch| {
-        let stats = translate_out_of_ssa_scratch(&mut func, options, analyses, scratch);
+    drive_workers(threads, iter.enumerate(), |(index, mut func), worker| {
+        let stats = translate_out_of_ssa_scratch(
+            &mut func,
+            options,
+            &mut worker.analyses,
+            &mut worker.scratch,
+        );
         let mut results = results.lock().unwrap_or_else(|e| e.into_inner());
         if results.len() <= index {
             results.resize_with(index + 1, || None);
@@ -398,8 +504,14 @@ where
 
     type Slot = Option<(Result<Function, TranslateError>, Result<OutOfSsaStats, TranslateError>)>;
     let deposits: Mutex<Vec<Slot>> = Mutex::new(Vec::new());
-    drive_workers(threads, iter.enumerate(), |(index, mut func), analyses, scratch| {
-        let result = translate_function_isolated(&mut func, options, limits, analyses, scratch);
+    drive_workers(threads, iter.enumerate(), |(index, mut func), worker| {
+        let result = translate_function_isolated(
+            &mut func,
+            options,
+            limits,
+            &mut worker.analyses,
+            &mut worker.scratch,
+        );
         let output = result.as_ref().map(|_| func).map_err(Clone::clone);
         let mut deposits = deposits.lock().unwrap_or_else(|e| e.into_inner());
         if deposits.len() <= index {
@@ -416,6 +528,232 @@ where
         results.push(result);
     }
     (out, IsolatedCorpusStats { results, threads })
+}
+
+/// Serial pooled streaming translation on the calling thread, with a
+/// caller-owned [`EngineWorker`].
+///
+/// This is the O(1)-steady-state-heap-traffic core of the engine: the source
+/// builds each incoming function into storage checked out of `worker.pool`,
+/// the translation runs entirely in `worker`'s recycled caches and scratch,
+/// `consumer` observes the translated function by reference, and the storage
+/// is retired back to the pool for the source's next item. Because the
+/// worker is caller-owned it stays warm across calls — translate one corpus
+/// to warm up, call again, and the second pass allocates (almost) nothing
+/// regardless of how many functions stream through.
+pub fn translate_stream_pooled_serial<S>(
+    source: &mut S,
+    worker: &mut EngineWorker,
+    options: &OutOfSsaOptions,
+    mut consumer: impl FnMut(usize, &Function, &OutOfSsaStats),
+) -> CorpusStats
+where
+    S: PooledSource + ?Sized,
+{
+    let mut per_function = Vec::new();
+    let mut index = 0usize;
+    while let Some(mut func) = source.next_into(&mut worker.pool) {
+        worker.analyses.invalidate_cfg();
+        let stats = translate_out_of_ssa_scratch(
+            &mut func,
+            options,
+            &mut worker.analyses,
+            &mut worker.scratch,
+        );
+        consumer(index, &func, &stats);
+        worker.pool.retire(func);
+        per_function.push(stats);
+        index += 1;
+    }
+    CorpusStats { per_function, threads: 1 }
+}
+
+/// Pooled streaming translation with the default thread count. See
+/// [`translate_stream_pooled_with`].
+pub fn translate_stream_pooled<S>(
+    source: S,
+    options: &OutOfSsaOptions,
+    consumer: impl Fn(usize, &Function, &OutOfSsaStats) + Sync,
+) -> CorpusStats
+where
+    S: PooledSource + Send,
+{
+    translate_stream_pooled_with(source, options, 0, consumer)
+}
+
+/// Pooled streaming translation with an explicit worker count (`0` = one
+/// per available core; `threads == 1` runs serially on the calling thread).
+///
+/// Each worker owns an [`EngineWorker`]; the shared source is pulled under a
+/// lock with the pulling worker's own pool, so every worker recycles its own
+/// function storage independently. `consumer` is called with each translated
+/// function (by reference, before its storage is retired) tagged with its
+/// input index; it may run concurrently from several workers and must
+/// therefore be `Sync`. Translated functions and statistics are bit-identical
+/// to the unpooled [`translate_stream_with`] on the same input sequence.
+pub fn translate_stream_pooled_with<S>(
+    source: S,
+    options: &OutOfSsaOptions,
+    threads: usize,
+    consumer: impl Fn(usize, &Function, &OutOfSsaStats) + Sync,
+) -> CorpusStats
+where
+    S: PooledSource + Send,
+{
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = if threads == 0 { available } else { threads }.max(1);
+    if threads == 1 {
+        let mut source = source;
+        let mut worker = EngineWorker::new();
+        return translate_stream_pooled_serial(&mut source, &mut worker, options, consumer);
+    }
+
+    let results: Mutex<Vec<Option<OutOfSsaStats>>> = Mutex::new(Vec::new());
+    drive_pooled_workers(threads, source, |index, mut func, worker| {
+        let stats = translate_out_of_ssa_scratch(
+            &mut func,
+            options,
+            &mut worker.analyses,
+            &mut worker.scratch,
+        );
+        consumer(index, &func, &stats);
+        worker.pool.retire(func);
+        let mut results = results.lock().unwrap_or_else(|e| e.into_inner());
+        if results.len() <= index {
+            results.resize_with(index + 1, || None);
+        }
+        results[index] = Some(stats);
+    });
+
+    let per_function = results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|stats| stats.expect("every pooled function translated"))
+        .collect();
+    CorpusStats { per_function, threads }
+}
+
+/// Serial fault-isolated pooled streaming translation with a caller-owned
+/// [`EngineWorker`]: like [`translate_stream_pooled_serial`], but each
+/// function runs under the fault boundary of
+/// [`translate_function_isolated`]. On failure the worker's caches are
+/// quarantined as usual — and the poisoned function slot is *discarded*
+/// from the pool, never recycled, so a partially rewritten body can never
+/// leak into a later function's storage.
+pub fn translate_stream_pooled_isolated_serial<S>(
+    source: &mut S,
+    worker: &mut EngineWorker,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    mut consumer: impl FnMut(usize, Result<&Function, &TranslateError>),
+) -> IsolatedCorpusStats
+where
+    S: PooledSource + ?Sized,
+{
+    let mut results = Vec::new();
+    let mut index = 0usize;
+    while let Some(mut func) = source.next_into(&mut worker.pool) {
+        worker.analyses.invalidate_cfg();
+        let result = translate_function_isolated(
+            &mut func,
+            options,
+            limits,
+            &mut worker.analyses,
+            &mut worker.scratch,
+        );
+        match &result {
+            Ok(_) => {
+                consumer(index, Ok(&func));
+                worker.pool.retire(func);
+            }
+            Err(error) => {
+                consumer(index, Err(error));
+                worker.pool.discard(func);
+            }
+        }
+        results.push(result);
+        index += 1;
+    }
+    IsolatedCorpusStats { results, threads: 1 }
+}
+
+/// Fault-isolated pooled streaming translation with the default thread
+/// count. See [`translate_stream_pooled_isolated_with`].
+pub fn translate_stream_pooled_isolated<S>(
+    source: S,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    consumer: impl Fn(usize, Result<&Function, &TranslateError>) + Sync,
+) -> IsolatedCorpusStats
+where
+    S: PooledSource + Send,
+{
+    translate_stream_pooled_isolated_with(source, options, limits, 0, consumer)
+}
+
+/// Like [`translate_stream_pooled_isolated_serial`], with an explicit worker
+/// count (`0` = one per available core; `threads == 1` runs serially).
+/// Failed functions quarantine their worker's caches and *discard* the
+/// poisoned pool slot; surviving functions are bit-identical to a
+/// fault-free run.
+pub fn translate_stream_pooled_isolated_with<S>(
+    source: S,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    threads: usize,
+    consumer: impl Fn(usize, Result<&Function, &TranslateError>) + Sync,
+) -> IsolatedCorpusStats
+where
+    S: PooledSource + Send,
+{
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = if threads == 0 { available } else { threads }.max(1);
+    if threads == 1 {
+        let mut source = source;
+        let mut worker = EngineWorker::new();
+        return translate_stream_pooled_isolated_serial(
+            &mut source,
+            &mut worker,
+            options,
+            limits,
+            consumer,
+        );
+    }
+
+    let results: Mutex<Vec<Option<Result<OutOfSsaStats, TranslateError>>>> = Mutex::new(Vec::new());
+    drive_pooled_workers(threads, source, |index, mut func, worker| {
+        let result = translate_function_isolated(
+            &mut func,
+            options,
+            limits,
+            &mut worker.analyses,
+            &mut worker.scratch,
+        );
+        match &result {
+            Ok(_) => {
+                consumer(index, Ok(&func));
+                worker.pool.retire(func);
+            }
+            Err(error) => {
+                consumer(index, Err(error));
+                worker.pool.discard(func);
+            }
+        }
+        let mut results = results.lock().unwrap_or_else(|e| e.into_inner());
+        if results.len() <= index {
+            results.resize_with(index + 1, || None);
+        }
+        results[index] = Some(result);
+    });
+
+    let results = results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|result| result.expect("every pooled function translated"))
+        .collect();
+    IsolatedCorpusStats { results, threads }
 }
 
 #[cfg(test)]
@@ -517,6 +855,100 @@ mod tests {
         let (funcs, _) = translate_stream_with(source, &options, 1);
         assert_eq!(funcs.len(), 5);
         assert_eq!(pulled.load(Ordering::Relaxed), 5);
+    }
+
+    /// A pool-aware source regenerating `small_corpus(count)` into recycled
+    /// slots: the same functions the iterator sources stream, but built with
+    /// `generate_ssa_function_into` on checked-out pool storage.
+    fn pooled_small_source(count: u64) -> impl FnMut(&mut FunctionPool) -> Option<Function> + Send {
+        let mut next = 0u64;
+        move |pool: &mut FunctionPool| {
+            if next >= count {
+                return None;
+            }
+            let seed = next;
+            next += 1;
+            let slot = pool.checkout();
+            let (func, _) = ossa_cfggen::generate_ssa_function_into(
+                slot,
+                format!("c{seed}"),
+                &GenConfig::small(),
+                seed,
+            );
+            Some(func)
+        }
+    }
+
+    #[test]
+    fn pooled_stream_matches_batch_translation() {
+        let options = OutOfSsaOptions::default();
+        let mut batch = small_corpus(10);
+        let batch_stats = translate_corpus(&mut batch, &options);
+
+        let collected: Mutex<Vec<Option<Function>>> = Mutex::new(Vec::new());
+        let stats = translate_stream_pooled(pooled_small_source(10), &options, |index, func, _| {
+            let mut collected = collected.lock().unwrap();
+            if collected.len() <= index {
+                collected.resize_with(index + 1, || None);
+            }
+            collected[index] = Some(func.clone());
+        });
+
+        let collected: Vec<Function> =
+            collected.into_inner().unwrap().into_iter().map(Option::unwrap).collect();
+        assert_eq!(collected, batch);
+        assert_eq!(stats.per_function, batch_stats.per_function);
+    }
+
+    #[test]
+    fn pooled_serial_recycles_storage_across_passes() {
+        let options = OutOfSsaOptions::default();
+        let mut worker = EngineWorker::new();
+
+        let mut source = pooled_small_source(6);
+        let first =
+            translate_stream_pooled_serial(&mut source, &mut worker, &options, |_, _, _| {});
+        assert_eq!(first.per_function.len(), 6);
+        // Cold pool: every checkout allocated a fresh function.
+        assert_eq!(worker.pool.stats().checkouts, 6);
+        assert_eq!(worker.pool.stats().recycled, 5);
+        assert_eq!(worker.pool.stats().retired, 6);
+        assert_eq!(worker.pool.free_len(), 1);
+
+        // Second pass over the same stream with the warm worker: every
+        // checkout is a recycled slot, and the results are bit-identical.
+        let mut source = pooled_small_source(6);
+        let second =
+            translate_stream_pooled_serial(&mut source, &mut worker, &options, |_, _, _| {});
+        assert_eq!(second.per_function, first.per_function);
+        assert_eq!(worker.pool.stats().checkouts, 12);
+        assert_eq!(worker.pool.stats().recycled, 11);
+    }
+
+    #[test]
+    fn pooled_thread_counts_agree() {
+        let options = OutOfSsaOptions::sharing();
+        let a = translate_stream_pooled_with(pooled_small_source(9), &options, 1, |_, _, _| {});
+        let b = translate_stream_pooled_with(pooled_small_source(9), &options, 4, |_, _, _| {});
+        assert_eq!(a.per_function, b.per_function);
+        assert_eq!(b.threads, 4);
+    }
+
+    #[test]
+    fn pooled_isolated_matches_plain_pooled_on_healthy_input() {
+        let options = OutOfSsaOptions::default();
+        let limits = Limits::default();
+        let plain = translate_stream_pooled_with(pooled_small_source(7), &options, 1, |_, _, _| {});
+        let isolated = translate_stream_pooled_isolated_with(
+            pooled_small_source(7),
+            &options,
+            &limits,
+            1,
+            |_, result| assert!(result.is_ok()),
+        );
+        assert_eq!(isolated.num_errors(), 0);
+        let ok: Vec<_> = isolated.results.iter().map(|r| r.clone().unwrap()).collect();
+        assert_eq!(ok, plain.per_function);
     }
 
     #[test]

@@ -98,6 +98,7 @@ struct InsertionScratch {
     iso_replacement: HashMap<Value, Value>,
     iso_pairs: Vec<CopyPair>,
     defs_tmp: Vec<Value>,
+    reserve_counts: SecondaryMap<Block, u32>,
 }
 
 impl CopyInsertion {
@@ -166,6 +167,104 @@ fn entry_parallel_copy(func: &mut Function, block: Block, cache: &mut ParallelCo
 
 fn push_move(func: &mut Function, pc: Inst, dst: Value, src: Value) {
     func.parallel_copy_push(pc, CopyPair { dst, src });
+}
+
+/// Cheap pre-pass reserving the predicted copy-insertion growth up front.
+///
+/// One read-only walk over the function estimates how much the translation
+/// will grow it — fresh primed values per φ, entry/predecessor parallel
+/// copies, pinned-isolation clones around calls, and the sequential copies
+/// the parallel-copy sequentialization expands into — and reserves that
+/// capacity once: the instruction and value primary maps, the copy-operand
+/// arena, and each touched block's instruction list. This replaces the
+/// amortized doubling those containers would otherwise do mid-translation
+/// with (at most) one allocation per container; on a recycled pool slot
+/// whose capacity already covers the estimate it allocates nothing at all.
+///
+/// The estimate is deliberately a rough upper bound — reserving is
+/// capacity-only, so over- or under-shooting never changes translation
+/// output, only how many times the containers grow.
+pub fn reserve_translation_growth(func: &mut Function, out: &mut CopyInsertion) {
+    let scratch = &mut out.scratch;
+    scratch.reserve_counts.truncate(0);
+    scratch.reserve_counts.resize(func.num_blocks());
+
+    // Predicted parallel-copy moves (one primed value each), and φ-carrying
+    // blocks (one entry parallel copy each).
+    let mut total_moves = 0usize;
+    let mut new_values = 0usize;
+    let mut phi_blocks = 0usize;
+
+    for bi in 0..func.layout().len() {
+        let block = func.layout()[bi];
+        let mut block_phis = 0u32;
+        for ii in 0..func.block_len(block) {
+            let inst = func.block_insts(block)[ii];
+            match *func.inst(inst) {
+                InstData::Phi { .. } => {
+                    block_phis += 1;
+                    if let Some(args) = func.inst_phi_args(inst) {
+                        let nargs = args.len();
+                        total_moves += nargs + 1;
+                        new_values += nargs + 1;
+                        // Each argument adds one move to a parallel copy at
+                        // the end of its predecessor, which sequentialization
+                        // later expands in place (≤ 2 instructions per move
+                        // counting cycle-breaking temporaries).
+                        for ai in 0..nargs {
+                            let pred = func.inst_phi_args(inst).expect("is a φ")[ai].block;
+                            scratch.reserve_counts[pred] += 2;
+                        }
+                    }
+                }
+                InstData::Call { dst, args, .. } => {
+                    // Pinned-isolation clones: one per pinned covered
+                    // argument position plus one for a pinned result, split
+                    // around the call by two parallel copies.
+                    let pinned_dst = dst.is_some_and(|d| func.pinned_reg(d).is_some());
+                    let pinned_args = func
+                        .value_list(args)
+                        .iter()
+                        .take(callconv::NUM_ARG_REGS)
+                        .filter(|&&a| func.pinned_reg(a).is_some())
+                        .count();
+                    let clones = pinned_args + usize::from(pinned_dst);
+                    if clones > 0 {
+                        new_values += clones;
+                        total_moves += 2 * clones;
+                        scratch.reserve_counts[block] += 2 + 2 * clones as u32;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if block_phis > 0 {
+            phi_blocks += 1;
+            // Entry parallel copy, its sequential expansion (one move per φ
+            // plus a possible temporary).
+            scratch.reserve_counts[block] += 2 * block_phis + 2;
+        }
+    }
+
+    if total_moves == 0 {
+        return;
+    }
+
+    // Parallel copies plus their sequential expansion; sequentialization
+    // introduces at most one temporary value per cyclic parallel copy.
+    func.reserve_insts(2 * total_moves + 2 * phi_blocks);
+    func.reserve_values(new_values + total_moves / 2);
+    // Copy lists grow move by move through power-of-two size classes, so the
+    // arena sees up to ~2× the final move count in retired blocks; reserve
+    // generously — capacity is recycled across every function in the slot.
+    func.pools_mut().copies.reserve(4 * total_moves);
+    for bi in 0..func.num_blocks() {
+        let block = Block::from_index(bi);
+        let extra = scratch.reserve_counts[block];
+        if extra > 0 {
+            func.reserve_block_insts(block, extra as usize);
+        }
+    }
 }
 
 /// Runs Method I copy insertion on `func` (in SSA form). Returns the φ-webs

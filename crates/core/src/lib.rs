@@ -57,12 +57,16 @@ pub use congruence::{CongruenceClasses, DefOrderKey, EqualAncOut};
 pub use engine::{
     translate_corpus, translate_corpus_isolated, translate_corpus_isolated_with,
     translate_corpus_serial, translate_corpus_with, translate_function_isolated, translate_stream,
-    translate_stream_isolated, translate_stream_isolated_with, translate_stream_with, CorpusStats,
-    IsolatedCorpusStats,
+    translate_stream_isolated, translate_stream_isolated_with, translate_stream_pooled,
+    translate_stream_pooled_isolated, translate_stream_pooled_isolated_serial,
+    translate_stream_pooled_isolated_with, translate_stream_pooled_serial,
+    translate_stream_pooled_with, translate_stream_with, CorpusStats, EngineWorker,
+    IsolatedCorpusStats, PooledSource,
 };
 pub use fault::{catch_translate, Limits, Resource, TranslateError, TranslatePhase};
 pub use insertion::{
-    insert_phi_copies, isolate_pinned_values, CopyInsertion, InsertedMove, PhiWeb,
+    insert_phi_copies, isolate_pinned_values, reserve_translation_growth, CopyInsertion,
+    InsertedMove, PhiWeb,
 };
 pub use interference::{copy_related_universe, InterferenceGraph};
 pub use parallel_copy::{

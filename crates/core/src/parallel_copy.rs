@@ -61,6 +61,9 @@ pub struct SeqScratch {
     to_do: Vec<Value>,
     /// Output of the last run.
     result: Sequentialization,
+    /// Block-list snapshot of [`sequentialize_function_with`] (the function
+    /// is mutated while walking, so the layout is copied out first).
+    block_list: Vec<ossa_ir::entity::Block>,
 }
 
 impl SeqScratch {
@@ -211,7 +214,14 @@ pub fn sequentialize_function(func: &mut Function) -> usize {
 /// Panics if a parallel copy has duplicate destinations.
 pub fn sequentialize_function_with(func: &mut Function, scratch: &mut SeqScratch) -> usize {
     let mut emitted = 0;
-    for block in func.blocks().collect::<Vec<_>>() {
+    // Snapshot the layout into the recycled scratch buffer (taken out by
+    // value so the scratch stays borrowable inside the loop): the walk
+    // mutates the block lists, and reusing the buffer keeps the warm path
+    // allocation-free.
+    let mut block_list = std::mem::take(&mut scratch.block_list);
+    block_list.clear();
+    block_list.extend(func.blocks());
+    for &block in &block_list {
         // Positions shift as we splice; walk by re-scanning.
         let mut pos = 0;
         while pos < func.block_len(block) {
@@ -241,6 +251,7 @@ pub fn sequentialize_function_with(func: &mut Function, scratch: &mut SeqScratch
             }
         }
     }
+    scratch.block_list = block_list;
     emitted
 }
 

@@ -46,7 +46,7 @@ impl FunctionBuilder {
     /// Recycles `func`'s storage (blocks, instructions, values, operand
     /// arenas) for a fresh build: the function is [`Function::reset`] and the
     /// builder starts from the empty state, reusing every heap allocation.
-    pub fn reuse(mut func: Function, name: impl Into<String>, num_params: u32) -> Self {
+    pub fn reuse(mut func: Function, name: impl AsRef<str>, num_params: u32) -> Self {
         func.reset(name, num_params);
         Self { func, current: None }
     }

@@ -164,6 +164,15 @@ impl<K: EntityRef, V> PrimaryMap<K, V> {
     pub fn clear(&mut self) {
         self.elems.clear();
     }
+
+    /// Reserves capacity for at least `additional` more entities.
+    ///
+    /// Used by the translation's up-front reservation pre-pass: growing the
+    /// map once from a size estimate replaces the amortized doubling that
+    /// would otherwise happen mid-translation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.elems.reserve(additional);
+    }
 }
 
 impl<K: EntityRef, V> Default for PrimaryMap<K, V> {

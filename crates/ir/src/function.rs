@@ -111,9 +111,9 @@ impl Function {
     /// function) (the `truncate` discipline), and a rebuild through recycled
     /// storage is bit-identical to a fresh one: the cleared pools hand out
     /// the same offsets a fresh pool would.
-    pub fn reset(&mut self, name: impl Into<String>, num_params: u32) {
+    pub fn reset(&mut self, name: impl AsRef<str>, num_params: u32) {
         self.name.clear();
-        self.name.push_str(&name.into());
+        self.name.push_str(name.as_ref());
         self.num_params = num_params;
         self.insts.clear();
         // Retire the block data (with their instruction-list buffers) into
@@ -128,6 +128,26 @@ impl Function {
         self.entry = None;
         self.layout.clear();
         self.pools.clear();
+    }
+
+    // ----- capacity reservation -------------------------------------------
+
+    /// Reserves room for `additional` more instruction records. Part of the
+    /// translation's up-front reservation pre-pass: paying for the predicted
+    /// copy-insertion growth once instead of amortized doubling mid-pass.
+    pub fn reserve_insts(&mut self, additional: usize) {
+        self.insts.reserve(additional);
+    }
+
+    /// Reserves room for `additional` more value records.
+    pub fn reserve_values(&mut self, additional: usize) {
+        self.values.reserve(additional);
+    }
+
+    /// Reserves room for `additional` more instructions in `block`'s
+    /// instruction list.
+    pub fn reserve_block_insts(&mut self, block: Block, additional: usize) {
+        self.blocks[block].insts.reserve(additional);
     }
 
     // ----- pools ----------------------------------------------------------

@@ -41,6 +41,7 @@ pub mod builder;
 pub mod cfg;
 pub mod dominance;
 pub mod entity;
+pub mod fnpool;
 pub mod function;
 pub mod instruction;
 pub mod loops;
@@ -52,6 +53,7 @@ pub use analysis::AnalysisManager;
 pub use cfg::ControlFlowGraph;
 pub use dominance::{DominanceFrontiers, DominatorTree};
 pub use entity::{Block, EntitySet, Inst, PrimaryMap, SecondaryMap, Value};
+pub use fnpool::{FunctionPool, PoolStats};
 pub use function::{DefSite, Function};
 pub use instruction::{
     BinaryOp, CmpOp, CopyList, CopyPair, InstData, PhiArg, PhiList, UnaryOp, ValueList,

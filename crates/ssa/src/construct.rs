@@ -7,11 +7,11 @@
 //! each new SSA value back to the original variable is returned so that
 //! tests and workload generators can relate the two forms.
 
-use std::collections::HashMap;
-
 use ossa_ir::entity::{Block, SecondaryMap, Value};
 use ossa_ir::{ControlFlowGraph, DominatorTree, Function, InstData, PhiArg};
 use ossa_liveness::FunctionAnalyses;
+
+use crate::scratch::SsaScratch;
 
 /// Result of SSA construction.
 #[derive(Clone, Debug)]
@@ -52,12 +52,33 @@ pub fn construct_ssa_cached(
     func: &mut Function,
     analyses: &mut FunctionAnalyses,
 ) -> SsaConstruction {
+    let mut scratch = SsaScratch::new();
+    let (phis_inserted, values_created) = construct_ssa_scratch(func, analyses, &mut scratch);
+    SsaConstruction { origin: scratch.take_origin(), phis_inserted, values_created }
+}
+
+/// Like [`construct_ssa_cached`], with every working buffer recycled from
+/// `scratch` — the zero-steady-state-allocation form used by the pooled
+/// streaming path. Returns `(phis_inserted, values_created)`; the origin map
+/// is left in the scratch ([`SsaScratch::origin`]) instead of being moved
+/// out.
+///
+/// The computation is identical to [`construct_ssa_cached`] — same φ order,
+/// same value numbering, bit-identical output — only the working storage is
+/// reused.
+pub fn construct_ssa_scratch(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut SsaScratch,
+) -> (usize, usize) {
     // Give an entry definition to every variable that is live-in at entry
     // (i.e. possibly used before defined on some path).
     let entry = func.entry();
-    let entry_live_in: Vec<Value> = analyses.liveness_sets(func).live_in(entry).iter().collect();
-    let entry_defs_inserted = !entry_live_in.is_empty();
-    for (insert_at, variable) in entry_live_in.into_iter().enumerate() {
+    scratch.entry_live_in.clear();
+    scratch.entry_live_in.extend(analyses.liveness_sets(func).live_in(entry).iter());
+    let entry_defs_inserted = !scratch.entry_live_in.is_empty();
+    for insert_at in 0..scratch.entry_live_in.len() {
+        let variable = scratch.entry_live_in[insert_at];
         func.insert_inst(entry, insert_at, InstData::Const { dst: variable, imm: 0 });
     }
     if entry_defs_inserted {
@@ -71,7 +92,6 @@ pub fn construct_ssa_cached(
 
     let num_values_before = func.num_values();
     let mut phis_inserted = 0usize;
-    let mut origin: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
     {
         let cfg = analyses.cfg(func);
         let domtree = analyses.domtree(func);
@@ -81,16 +101,19 @@ pub fn construct_ssa_cached(
         // Definition blocks per variable, stored densely so that φ placement
         // below iterates variables in index order — iterating a HashMap here
         // made φ order (and with it all downstream SSA value numbering) vary
-        // from run to run.
-        let mut def_blocks: SecondaryMap<Value, Vec<Block>> = SecondaryMap::new();
-        def_blocks.resize(num_values_before);
-        let mut scratch = Vec::new();
+        // from run to run. High-water reset: slots are cleared in place so
+        // their buffers survive for the next function.
+        for slot in scratch.def_blocks.values_mut() {
+            slot.clear();
+        }
+        scratch.def_blocks.resize(num_values_before);
         for &block in cfg.reverse_post_order() {
-            for &inst in func.block_insts(block) {
-                scratch.clear();
-                func.collect_inst_defs(inst, &mut scratch);
-                for &v in &scratch {
-                    let blocks = &mut def_blocks[v];
+            for ii in 0..func.block_len(block) {
+                let inst = func.block_insts(block)[ii];
+                scratch.def_tmp.clear();
+                func.collect_inst_defs(inst, &mut scratch.def_tmp);
+                for &v in &scratch.def_tmp {
+                    let blocks = &mut scratch.def_blocks[v];
                     if !blocks.contains(&block) {
                         blocks.push(block);
                     }
@@ -100,56 +123,75 @@ pub fn construct_ssa_cached(
 
         // φ placement on iterated dominance frontiers (pruned with the
         // liveness computed above — φ insertion itself does not change what
-        // the placement reads).
-        for (variable, blocks) in def_blocks.iter().filter(|(_, blocks)| !blocks.is_empty()) {
-            let mut worklist: Vec<Block> = blocks.clone();
-            let mut has_phi: Vec<bool> = vec![false; func.num_blocks()];
-            let mut ever_on_worklist: Vec<bool> = vec![false; func.num_blocks()];
-            for &b in &worklist {
-                ever_on_worklist[b.index()] = true;
+        // the placement reads). Stale slots past this function's values are
+        // empty (cleared above), so the index-order iteration sees exactly
+        // the variables a fresh map would.
+        scratch.has_phi.clear();
+        scratch.has_phi.resize(func.num_blocks(), false);
+        scratch.ever_on_worklist.clear();
+        scratch.ever_on_worklist.resize(func.num_blocks(), false);
+        for var_index in 0..scratch.def_blocks.len() {
+            let variable = Value::from_index(var_index);
+            if scratch.def_blocks[variable].is_empty() {
+                continue;
             }
-            while let Some(block) = worklist.pop() {
-                for &frontier_block in frontiers.frontier(block) {
-                    if has_phi[frontier_block.index()] {
+            scratch.worklist.clear();
+            scratch.worklist.extend_from_slice(&scratch.def_blocks[variable]);
+            scratch.has_phi.iter_mut().for_each(|b| *b = false);
+            scratch.ever_on_worklist.iter_mut().for_each(|b| *b = false);
+            for &b in &scratch.worklist {
+                scratch.ever_on_worklist[b.index()] = true;
+            }
+            while let Some(block) = scratch.worklist.pop() {
+                for fi in 0..frontiers.frontier(block).len() {
+                    let frontier_block = frontiers.frontier(block)[fi];
+                    if scratch.has_phi[frontier_block.index()] {
                         continue;
                     }
                     if !liveness.live_in(frontier_block).contains(variable) {
                         continue; // pruned SSA: dead φ would be useless
                     }
-                    has_phi[frontier_block.index()] = true;
-                    let args: Vec<PhiArg> = cfg
-                        .preds(frontier_block)
-                        .iter()
-                        .map(|&pred| PhiArg { block: pred, value: variable })
-                        .collect();
-                    let args = func.make_phi_list(&args);
+                    scratch.has_phi[frontier_block.index()] = true;
+                    scratch.phi_args.clear();
+                    scratch.phi_args.extend(
+                        cfg.preds(frontier_block)
+                            .iter()
+                            .map(|&pred| PhiArg { block: pred, value: variable }),
+                    );
+                    let args = func.make_phi_list(&scratch.phi_args);
                     func.insert_inst(frontier_block, 0, InstData::Phi { dst: variable, args });
                     phis_inserted += 1;
-                    if !ever_on_worklist[frontier_block.index()] {
-                        ever_on_worklist[frontier_block.index()] = true;
-                        worklist.push(frontier_block);
+                    if !scratch.ever_on_worklist[frontier_block.index()] {
+                        scratch.ever_on_worklist[frontier_block.index()] = true;
+                        scratch.worklist.push(frontier_block);
                     }
                 }
             }
         }
 
         // Renaming along the dominator tree.
-        origin.resize(func.num_values());
+        scratch.origin.truncate(0);
+        scratch.origin.resize(func.num_values());
         for v in 0..num_values_before {
             let v = Value::from_index(v);
-            origin[v] = Some(v);
+            scratch.origin[v] = Some(v);
         }
 
-        let mut stacks: SecondaryMap<Value, Vec<Value>> = SecondaryMap::new();
-        stacks.resize(num_values_before);
-        rename_block(func, cfg, domtree, func.entry(), &mut stacks, &mut origin);
+        // High-water reset of the renaming stacks (every stack is empty
+        // after a balanced walk, but a panic-free guarantee costs nothing).
+        for slot in scratch.stacks.values_mut() {
+            slot.clear();
+        }
+        scratch.stacks.resize(num_values_before);
+        debug_assert!(scratch.pushed.is_empty());
+        rename_block(func, cfg, domtree, func.entry(), scratch);
     }
     // φ insertion and renaming are instruction-only mutations: the caller's
     // CFG-level caches stay valid, the instruction-dependent ones do not.
     analyses.invalidate_instructions();
 
     let values_created = func.num_values() - num_values_before;
-    SsaConstruction { origin, phis_inserted, values_created }
+    (phis_inserted, values_created)
 }
 
 fn rename_block(
@@ -157,20 +199,23 @@ fn rename_block(
     cfg: &ControlFlowGraph,
     domtree: &DominatorTree,
     block: Block,
-    stacks: &mut SecondaryMap<Value, Vec<Value>>,
-    origin: &mut SecondaryMap<Value, Option<Value>>,
+    scratch: &mut SsaScratch,
 ) {
-    // Remember how many pushes we do so we can pop them on exit.
-    let mut pushed: Vec<Value> = Vec::new();
+    // Remember how many pushes we do so we can pop them on exit. The push
+    // log is shared across the recursive walk; each frame pops back to its
+    // entry length.
+    let pushed_start = scratch.pushed.len();
 
-    let insts: Vec<ossa_ir::entity::Inst> = func.block_insts(block).to_vec();
-    for inst in insts {
+    // Renaming rewrites operands in place but never adds or removes
+    // instructions, so the block's instruction list can be walked by index.
+    for ii in 0..func.block_len(block) {
+        let inst = func.block_insts(block)[ii];
         let is_phi = func.inst(inst).is_phi();
         if !is_phi {
             // Rewrite uses with the current top-of-stack version.
             let mut missing: Vec<Value> = Vec::new();
             {
-                let stacks_ref: &SecondaryMap<Value, Vec<Value>> = stacks;
+                let stacks_ref: &SecondaryMap<Value, Vec<Value>> = &scratch.stacks;
                 func.map_inst_uses(inst, |v| match stacks_ref.get(v).last() {
                     Some(&top) => top,
                     None => {
@@ -186,34 +231,44 @@ fn rename_block(
             );
         }
         // Rewrite definitions with fresh values.
-        let mut defs = Vec::new();
-        func.collect_inst_defs(inst, &mut defs);
-        if !defs.is_empty() {
-            let mut replacements: HashMap<Value, Value> = HashMap::new();
-            for old in defs {
+        scratch.def_tmp.clear();
+        func.collect_inst_defs(inst, &mut scratch.def_tmp);
+        if !scratch.def_tmp.is_empty() {
+            scratch.def_repl.clear();
+            for di in 0..scratch.def_tmp.len() {
+                let old = scratch.def_tmp[di];
                 let fresh = func.new_value();
-                origin[fresh] = Some(origin[old].unwrap_or(old));
+                scratch.origin[fresh] = Some(scratch.origin[old].unwrap_or(old));
                 if let Some(reg) = func.pinned_reg(old) {
                     func.pin_value(fresh, reg);
                 }
-                stacks[old].push(fresh);
-                pushed.push(old);
-                replacements.insert(old, fresh);
+                scratch.stacks[old].push(fresh);
+                scratch.pushed.push(old);
+                scratch.def_repl.push((old, fresh));
             }
-            func.map_inst_defs(inst, |v| replacements.get(&v).copied().unwrap_or(v));
+            let repl: &[(Value, Value)] = &scratch.def_repl;
+            func.map_inst_defs(inst, |v| {
+                repl.iter().find(|&&(old, _)| old == v).map_or(v, |&(_, fresh)| fresh)
+            });
         }
     }
 
     // Fill in φ arguments of successors for the edges leaving this block.
+    // φ-functions are a prefix of the block, so a by-index walk that stops
+    // at the first non-φ visits exactly what `Function::phis` returns,
+    // without materializing the list.
     for &succ in cfg.succs(block) {
-        let phis = func.phis(succ);
-        for phi in phis {
+        for pi in 0..func.block_len(succ) {
+            let phi = func.block_insts(succ)[pi];
+            if !func.inst(phi).is_phi() {
+                break;
+            }
             for arg in func.phi_args_mut(phi) {
                 if arg.block == block {
                     // The argument still holds the original variable name
                     // (or was already rewritten if this edge was visited —
                     // each edge is visited exactly once).
-                    if let Some(&top) = stacks.get(arg.value).last() {
+                    if let Some(&top) = scratch.stacks.get(arg.value).last() {
                         arg.value = top;
                     }
                 }
@@ -222,14 +277,15 @@ fn rename_block(
     }
 
     // Recurse over dominator-tree children.
-    let children: Vec<Block> = domtree.children(block).to_vec();
-    for child in children {
-        rename_block(func, cfg, domtree, child, stacks, origin);
+    for ci in 0..domtree.children(block).len() {
+        let child = domtree.children(block)[ci];
+        rename_block(func, cfg, domtree, child, scratch);
     }
 
-    // Pop the versions pushed by this block.
-    for old in pushed.into_iter().rev() {
-        stacks[old].pop();
+    // Pop the versions pushed by this block (in reverse push order).
+    while scratch.pushed.len() > pushed_start {
+        let old = scratch.pushed.pop().expect("push log underflow");
+        scratch.stacks[old].pop();
     }
 }
 

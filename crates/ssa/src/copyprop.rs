@@ -11,6 +11,8 @@ use ossa_ir::entity::{SecondaryMap, Value};
 use ossa_ir::{Function, InstData};
 use ossa_liveness::FunctionAnalyses;
 
+use crate::scratch::SsaScratch;
+
 /// Statistics of a copy-propagation run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CopyPropagation {
@@ -64,25 +66,42 @@ pub fn propagate_copies_keeping_cached(
 /// where the coalescing strategies compared by the paper differ, so the
 /// workload generator keeps a fraction of them.
 pub fn propagate_copies_keeping(func: &mut Function, keep_every: usize) -> CopyPropagation {
+    let mut scratch = SsaScratch::new();
+    propagate_copies_keeping_scratch(func, keep_every, &mut scratch)
+}
+
+/// Like [`propagate_copies_keeping`], with the working maps recycled from
+/// `scratch` — the zero-steady-state-allocation form used by the pooled
+/// streaming path. Computation (including the `keep_every` counting) is
+/// identical; only the working storage is reused.
+pub fn propagate_copies_keeping_scratch(
+    func: &mut Function,
+    keep_every: usize,
+    scratch: &mut SsaScratch,
+) -> CopyPropagation {
     // Map every copy destination to its source.
-    let mut copy_source: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
-    copy_source.resize(func.num_values());
-    let mut copy_insts = Vec::new();
+    scratch.copy_source.truncate(0);
+    scratch.copy_source.resize(func.num_values());
+    scratch.copy_insts.clear();
     let mut copy_index = 0usize;
-    for block in func.blocks().collect::<Vec<_>>() {
-        for &inst in func.block_insts(block) {
+    // The pass removes instructions only after all the walks below, so the
+    // layout and per-block instruction lists can be walked by index.
+    for bi in 0..func.layout().len() {
+        let block = func.layout()[bi];
+        for ii in 0..func.block_len(block) {
+            let inst = func.block_insts(block)[ii];
             if let InstData::Copy { dst, src } = *func.inst(inst) {
                 copy_index += 1;
                 if keep_every != 0 && copy_index.is_multiple_of(keep_every) {
                     continue; // deliberately kept
                 }
-                copy_source[dst] = Some(src);
-                copy_insts.push((block, inst, dst));
+                scratch.copy_source[dst] = Some(src);
+                scratch.copy_insts.push((block, inst, dst));
             }
         }
     }
 
-    if copy_insts.is_empty() {
+    if scratch.copy_insts.is_empty() {
         return CopyPropagation::default();
     }
 
@@ -99,18 +118,21 @@ pub fn propagate_copies_keeping(func: &mut Function, keep_every: usize) -> CopyP
         v
     };
 
-    let mut roots: SecondaryMap<Value, Option<Value>> = SecondaryMap::new();
-    roots.resize(func.num_values());
+    scratch.roots.truncate(0);
+    scratch.roots.resize(func.num_values());
     for value in func.values() {
-        if copy_source[value].is_some() {
-            roots[value] = Some(resolve(value, &copy_source));
+        if scratch.copy_source[value].is_some() {
+            scratch.roots[value] = Some(resolve(value, &scratch.copy_source));
         }
     }
 
     // Rewrite all uses (including φ arguments) to the roots.
     let mut uses_rewritten = 0usize;
-    for block in func.blocks().collect::<Vec<_>>() {
-        for &inst in func.block_insts(block).to_vec().iter() {
+    for bi in 0..func.layout().len() {
+        let block = func.layout()[bi];
+        for ii in 0..func.block_len(block) {
+            let inst = func.block_insts(block)[ii];
+            let roots = &scratch.roots;
             func.map_inst_uses(inst, |v| match roots[v] {
                 Some(root) if root != v => {
                     uses_rewritten += 1;
@@ -123,7 +145,8 @@ pub fn propagate_copies_keeping(func: &mut Function, keep_every: usize) -> CopyP
 
     // Remove the now-dead copy instructions.
     let mut copies_removed = 0usize;
-    for (block, inst, _dst) in copy_insts {
+    for ci in 0..scratch.copy_insts.len() {
+        let (block, inst, _dst) = scratch.copy_insts[ci];
         if func.remove_inst(block, inst) {
             copies_removed += 1;
         }

@@ -6,9 +6,10 @@
 //! used, iterating until a fixpoint since removing one instruction can make
 //! another dead.
 
-use ossa_ir::entity::{SecondaryMap, Value};
 use ossa_ir::Function;
 use ossa_liveness::FunctionAnalyses;
+
+use crate::scratch::SsaScratch;
 
 /// Statistics of a DCE run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -36,38 +37,60 @@ pub fn eliminate_dead_code_cached(
 
 /// Removes side-effect-free instructions whose definitions are unused.
 pub fn eliminate_dead_code(func: &mut Function) -> DeadCodeElimination {
+    let mut scratch = SsaScratch::new();
+    eliminate_dead_code_scratch(func, &mut scratch)
+}
+
+/// Like [`eliminate_dead_code`], with the working storage recycled from
+/// `scratch` — the zero-steady-state-allocation form used by the pooled
+/// streaming path. Removal order (and with it the final instruction stream)
+/// is identical; only the working storage is reused.
+pub fn eliminate_dead_code_scratch(
+    func: &mut Function,
+    scratch: &mut SsaScratch,
+) -> DeadCodeElimination {
     let mut stats = DeadCodeElimination::default();
     loop {
         stats.iterations += 1;
         // Count uses of every value (φ arguments included).
-        let mut use_counts: SecondaryMap<Value, u32> = SecondaryMap::new();
-        use_counts.resize(func.num_values());
-        let mut scratch = Vec::new();
-        for block in func.blocks().collect::<Vec<_>>() {
-            for &inst in func.block_insts(block) {
-                scratch.clear();
-                func.collect_inst_uses(inst, &mut scratch);
-                for &v in &scratch {
-                    use_counts[v] += 1;
+        scratch.use_counts.truncate(0);
+        scratch.use_counts.resize(func.num_values());
+        for bi in 0..func.layout().len() {
+            let block = func.layout()[bi];
+            for ii in 0..func.block_len(block) {
+                let inst = func.block_insts(block)[ii];
+                scratch.def_tmp.clear();
+                func.collect_inst_uses(inst, &mut scratch.def_tmp);
+                for &v in &scratch.def_tmp {
+                    scratch.use_counts[v] += 1;
                 }
             }
         }
 
+        // Walk each block by position, advancing only when the instruction
+        // survives: equivalent to iterating a snapshot of the list (removing
+        // an instruction never changes which *later* instructions exist).
         let mut removed_this_round = 0usize;
-        for block in func.blocks().collect::<Vec<_>>() {
-            let insts = func.block_insts(block).to_vec();
-            for inst in insts {
+        for bi in 0..func.layout().len() {
+            let block = func.layout()[bi];
+            let mut pos = 0usize;
+            while pos < func.block_len(block) {
+                let inst = func.block_insts(block)[pos];
                 if func.inst(inst).has_side_effects() {
+                    pos += 1;
                     continue;
                 }
-                scratch.clear();
-                func.collect_inst_defs(inst, &mut scratch);
-                if scratch.is_empty() {
+                scratch.def_tmp.clear();
+                func.collect_inst_defs(inst, &mut scratch.def_tmp);
+                if scratch.def_tmp.is_empty() {
+                    pos += 1;
                     continue;
                 }
-                if scratch.iter().all(|&d| use_counts[d] == 0) {
+                if scratch.def_tmp.iter().all(|&d| scratch.use_counts[d] == 0) {
                     func.remove_inst(block, inst);
                     removed_this_round += 1;
+                } else {
+                    pos += 1;
                 }
             }
         }

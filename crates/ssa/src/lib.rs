@@ -59,15 +59,20 @@ pub mod copyprop;
 pub mod cssa;
 pub mod dce;
 pub mod edges;
+pub mod scratch;
 
-pub use construct::{construct_ssa, construct_ssa_cached, SsaConstruction};
+pub use construct::{construct_ssa, construct_ssa_cached, construct_ssa_scratch, SsaConstruction};
 pub use copyprop::{
     propagate_copies, propagate_copies_cached, propagate_copies_keeping,
-    propagate_copies_keeping_cached, CopyPropagation,
+    propagate_copies_keeping_cached, propagate_copies_keeping_scratch, CopyPropagation,
 };
 pub use cssa::{
     cssa_violations, cssa_violations_cached, is_conventional, is_conventional_cached,
     CssaViolation, PhiCongruence,
 };
-pub use dce::{eliminate_dead_code, eliminate_dead_code_cached, DeadCodeElimination};
+pub use dce::{
+    eliminate_dead_code, eliminate_dead_code_cached, eliminate_dead_code_scratch,
+    DeadCodeElimination,
+};
 pub use edges::{split_critical_edges, split_edge};
+pub use scratch::SsaScratch;

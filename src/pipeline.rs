@@ -47,10 +47,10 @@
 
 use ossa_destruct::fault::{self, TranslatePhase};
 use ossa_destruct::{
-    translate_out_of_ssa_scratch, Limits, OutOfSsaOptions, OutOfSsaStats, TranslateError,
-    TranslateScratch,
+    translate_out_of_ssa_scratch, Limits, OutOfSsaOptions, OutOfSsaStats, PooledSource,
+    TranslateError, TranslateScratch,
 };
-use ossa_ir::Function;
+use ossa_ir::{Function, FunctionPool};
 use ossa_liveness::{AnalysisCounts, FunctionAnalyses};
 use ossa_regalloc::{allocate_cached, Allocation};
 use ossa_ssa::{
@@ -92,6 +92,7 @@ pub struct Pipeline {
     limits: Limits,
     analyses: FunctionAnalyses,
     scratch: TranslateScratch,
+    pool: FunctionPool,
 }
 
 impl Pipeline {
@@ -106,6 +107,7 @@ impl Pipeline {
             limits: Limits::UNBOUNDED,
             analyses: FunctionAnalyses::new(),
             scratch: TranslateScratch::new(),
+            pool: FunctionPool::new(),
         }
     }
 
@@ -149,6 +151,86 @@ impl Pipeline {
     /// pipeline has run.
     pub fn counts(&self) -> AnalysisCounts {
         self.analyses.counts()
+    }
+
+    /// The pipeline's function-storage pool (used by [`Pipeline::run_stream`]
+    /// and [`Pipeline::try_run_stream`]; exposed for traffic inspection).
+    pub fn pool(&self) -> &FunctionPool {
+        &self.pool
+    }
+
+    /// Mutable access to the function-storage pool, e.g. to check slots out
+    /// by hand or pre-seed the free list.
+    pub fn pool_mut(&mut self) -> &mut FunctionPool {
+        &mut self.pool
+    }
+
+    /// Pooled streaming front end of the pipeline: drains `source` — which
+    /// builds each incoming function into storage checked out of the
+    /// pipeline's own [`FunctionPool`] — runs the full pass pipeline on each
+    /// function, hands it to `consumer` by reference, and retires the storage
+    /// back to the pool. Returns the number of functions processed.
+    ///
+    /// Because the pool, the analysis cache and the translation scratch all
+    /// live in `self`, a pipeline kept across calls reaches the same
+    /// steady-state allocation freedom as the engine's pooled workers: once
+    /// warm, streaming one more function through `run_stream` performs a
+    /// bounded number of heap allocations regardless of stream length.
+    pub fn run_stream<S>(
+        &mut self,
+        source: &mut S,
+        mut consumer: impl FnMut(usize, &Function, &PipelineReport),
+    ) -> usize
+    where
+        S: PooledSource + ?Sized,
+    {
+        // The pool is taken out of `self` for the loop so the pipeline
+        // itself stays `&mut`-borrowable per function; `run` never touches
+        // it.
+        let mut pool = std::mem::take(&mut self.pool);
+        let mut index = 0usize;
+        while let Some(mut func) = source.next_into(&mut pool) {
+            let report = self.run(&mut func);
+            consumer(index, &func, &report);
+            pool.retire(func);
+            index += 1;
+        }
+        self.pool = pool;
+        index
+    }
+
+    /// Fault-isolated [`Pipeline::run_stream`]: each function runs through
+    /// [`Pipeline::try_run`], so a malformed, oversized or panicking function
+    /// reaches `consumer` as `Err` while the stream keeps flowing. The
+    /// poisoned function slot is *discarded*, never retired — a partially
+    /// rewritten body can never be recycled into a later function — matching
+    /// the quarantine of the pipeline's analysis cache and scratch. Returns
+    /// the number of functions processed.
+    pub fn try_run_stream<S>(
+        &mut self,
+        source: &mut S,
+        mut consumer: impl FnMut(usize, Result<(&Function, &PipelineReport), &TranslateError>),
+    ) -> usize
+    where
+        S: PooledSource + ?Sized,
+    {
+        let mut pool = std::mem::take(&mut self.pool);
+        let mut index = 0usize;
+        while let Some(mut func) = source.next_into(&mut pool) {
+            match self.try_run(&mut func) {
+                Ok(report) => {
+                    consumer(index, Ok((&func, &report)));
+                    pool.retire(func);
+                }
+                Err(error) => {
+                    consumer(index, Err(&error));
+                    pool.discard(func);
+                }
+            }
+            index += 1;
+        }
+        self.pool = pool;
+        index
     }
 
     /// Runs the full pipeline on `func` (in virtual-register form) in place.
@@ -269,7 +351,7 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ossa_cfggen::{generate_function, pin_call_conventions, GenConfig};
+    use ossa_cfggen::{generate_function, generate_function_into, pin_call_conventions, GenConfig};
     use ossa_destruct::translate_out_of_ssa;
     use ossa_interp::{same_behaviour, Interpreter};
     use ossa_regalloc::{allocate, check_allocation};
@@ -357,6 +439,41 @@ mod tests {
                 "def/use index recomputed for unchanged instructions"
             );
         }
+    }
+
+    #[test]
+    fn pooled_stream_matches_per_function_runs() {
+        let options = OutOfSsaOptions::default();
+
+        // Reference: per-function `run` calls on freshly built functions.
+        let mut reference = Pipeline::new(options.clone());
+        let mut expected = Vec::new();
+        for seed in 0..5u64 {
+            let mut func = generate_function(format!("s{seed}"), &GenConfig::small(), seed);
+            reference.run(&mut func);
+            expected.push(func);
+        }
+
+        // Pooled stream: the same functions built into recycled pool slots.
+        let mut pipeline = Pipeline::new(options);
+        let mut next = 0u64;
+        let mut source = |pool: &mut FunctionPool| {
+            if next >= 5 {
+                return None;
+            }
+            let seed = next;
+            next += 1;
+            let slot = pool.checkout();
+            Some(generate_function_into(slot, format!("s{seed}"), &GenConfig::small(), seed))
+        };
+        let mut seen = Vec::new();
+        let processed = pipeline.run_stream(&mut source, |_, func, _| seen.push(func.clone()));
+
+        assert_eq!(processed, 5);
+        assert_eq!(seen, expected);
+        let stats = pipeline.pool().stats();
+        assert_eq!(stats.retired, 5);
+        assert_eq!(stats.recycled, 4, "all checkouts after the first recycle the slot");
     }
 
     #[test]

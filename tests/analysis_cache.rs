@@ -19,6 +19,12 @@ use out_of_ssa::liveness::{FastLiveness, LiveRangeInfo, LivenessSets};
 use out_of_ssa::ssa::split_edge;
 use out_of_ssa::{cfggen::generate_function, liveness::FunctionAnalyses, Pipeline};
 
+/// Counting allocator for the steady-state allocation assertions below: the
+/// warm generate→SSA→translate cycle through recycled pool storage must not
+/// touch the heap. Registered per test binary; only this file's tests see it.
+#[global_allocator]
+static ALLOC: ossa_bench::alloc::CountingAllocator = ossa_bench::alloc::CountingAllocator;
+
 /// Compares every cached analysis against a fresh, cache-free computation.
 fn assert_cache_matches_fresh(func: &Function, analyses: &FunctionAnalyses, context: &str) {
     let fresh_cfg = ControlFlowGraph::compute(func);
@@ -371,6 +377,91 @@ fn single_block_insertion_repairs_liveness_per_block_not_whole_function() {
     analyses.invalidate_instructions();
     let _ = analyses.liveness_sets(&func);
     assert_eq!(analyses.counts().liveness_sets, before.liveness_sets + 1);
+}
+
+/// The allocation half of the steady-state claim, stage by stage: once the
+/// pool, the generator scratch, the analysis cache and the translation
+/// scratch are warm, one full cycle — build a function into a recycled pool
+/// slot, convert it to optimized SSA through the cached passes, pin the call
+/// conventions, translate it out of SSA, retire the slot — performs no heap
+/// allocation at all. Four distinct seeds cycle through one slot so the
+/// high-water marks cover every shape before the measured pass.
+#[test]
+fn warm_pooled_generate_ssa_translate_cycle_is_allocation_free() {
+    use ossa_bench::alloc::allocation_count;
+    use out_of_ssa::cfggen::{generate_ssa_function_into_cached, GenScratch};
+    use out_of_ssa::destruct::EngineWorker;
+    use out_of_ssa::ir::FunctionPool;
+
+    let config = GenConfig::small();
+    let options = OutOfSsaOptions::default();
+    let mut pool = FunctionPool::new();
+    let mut gen_analyses = FunctionAnalyses::new();
+    let mut gen_scratch = GenScratch::new();
+    let mut worker = EngineWorker::new();
+
+    let cycle = |seed: u64,
+                 pool: &mut FunctionPool,
+                 gen_analyses: &mut FunctionAnalyses,
+                 gen_scratch: &mut GenScratch,
+                 worker: &mut EngineWorker| {
+        let slot = pool.checkout();
+        let (mut func, _) = generate_ssa_function_into_cached(
+            slot,
+            "warm",
+            &config,
+            seed,
+            gen_analyses,
+            gen_scratch,
+        );
+        pin_call_conventions(&mut func);
+        worker.analyses.invalidate_cfg();
+        let _ = out_of_ssa::destruct::translate_out_of_ssa_scratch(
+            &mut func,
+            &options,
+            &mut worker.analyses,
+            &mut worker.scratch,
+        );
+        pool.retire(func);
+    };
+
+    // Two warm-up rounds over all four seeds: the first grows every buffer,
+    // the second catches growth that only happens on a recycled slot.
+    for _ in 0..2 {
+        for seed in 0..4u64 {
+            cycle(seed, &mut pool, &mut gen_analyses, &mut gen_scratch, &mut worker);
+        }
+    }
+
+    // Two measured rounds over the same seeds.
+    let before = allocation_count();
+    for seed in 0..4u64 {
+        cycle(seed, &mut pool, &mut gen_analyses, &mut gen_scratch, &mut worker);
+    }
+    let mid = allocation_count();
+    for seed in 0..4u64 {
+        cycle(seed, &mut pool, &mut gen_analyses, &mut gen_scratch, &mut worker);
+    }
+    let after = allocation_count();
+    let (first, second) = (mid - before, after - mid);
+
+    // Release builds run the exact invariant: a warm cycle through recycled
+    // pool storage allocates nothing at all. Debug builds also allocate
+    // inside `debug_assert!`-only verification paths (SSA shape stamps,
+    // structural re-checks), so there the assertion is flatness instead: a
+    // warm round costs exactly what the previous warm round cost — steady
+    // state, not growth.
+    #[cfg(not(debug_assertions))]
+    assert_eq!(
+        first + second,
+        0,
+        "warm generate→SSA→pin→translate→retire cycle allocated {} times over 8 functions",
+        first + second
+    );
+    assert_eq!(
+        first, second,
+        "warm cycle allocations drifted between identical rounds: {first} then {second}"
+    );
 }
 
 /// Sanity anchor for the counters themselves: values of `v0.index()` and

@@ -125,6 +125,79 @@ fn pool_ranges_stay_disjoint_through_the_pipeline() {
 }
 
 #[test]
+fn pooled_checkout_retire_recheckout_is_bit_identical() {
+    use out_of_ssa::destruct::EngineWorker;
+    use out_of_ssa::destruct::{translate_corpus_serial, translate_stream_pooled_serial};
+    use out_of_ssa::ir::FunctionPool;
+
+    let config = GenConfig::small();
+    let options = OutOfSsaOptions::default();
+    let count = 6u64;
+
+    // Reference: batch translation of freshly allocated functions.
+    let mut batch: Vec<Function> = (0..count)
+        .map(|seed| {
+            let (mut func, _) = generate_ssa_function(format!("pool{seed}"), &config, seed);
+            pin_call_conventions(&mut func);
+            func
+        })
+        .collect();
+    let batch_stats = translate_corpus_serial(&mut batch, &options);
+
+    // Pooled streaming through one persistent worker: after the first pass
+    // every checkout re-uses a slot that already went through a full
+    // build → translate → retire cycle, so three passes exercise
+    // checkout → retire → re-checkout twice over on every slot.
+    let mut worker = EngineWorker::new();
+    for pass in 0..3usize {
+        let mut next = 0u64;
+        let mut source = |pool: &mut FunctionPool| -> Option<Function> {
+            if next == count {
+                return None;
+            }
+            let seed = next;
+            next += 1;
+            let slot = pool.checkout();
+            let (mut func, _) =
+                generate_ssa_function_into(slot, format!("pool{seed}"), &config, seed);
+            pin_call_conventions(&mut func);
+            Some(func)
+        };
+        let mut seen = 0usize;
+        let stream_stats =
+            translate_stream_pooled_serial(&mut source, &mut worker, &options, |index, func, _| {
+                assert_eq!(
+                    *func, batch[index],
+                    "pass {pass}: pooled function {index} differs from batch"
+                );
+                assert_eq!(
+                    func.display().to_string(),
+                    batch[index].display().to_string(),
+                    "pass {pass}: pooled printout {index} differs from batch"
+                );
+                assert_pool_ranges_disjoint(func, &format!("pass {pass}, function {index}"));
+                seen += 1;
+            });
+        assert_eq!(seen, count as usize, "pass {pass}: consumer saw every function");
+        assert_eq!(
+            stream_stats.per_function, batch_stats.per_function,
+            "pass {pass}: pooled stream statistics differ from batch"
+        );
+    }
+
+    // Serial lifecycle accounting: the first pass recycles from the second
+    // checkout on (each function is retired before the next checkout), later
+    // passes recycle every checkout; nothing is ever discarded and exactly
+    // one slot remains parked in the free list.
+    let stats = worker.pool.stats();
+    assert_eq!(stats.checkouts, 18, "three passes of six checkouts");
+    assert_eq!(stats.recycled, 17, "every checkout after the first recycles");
+    assert_eq!(stats.retired, 18, "every translated function was retired");
+    assert_eq!(stats.discarded, 0, "healthy stream discards nothing");
+    assert_eq!(worker.pool.free_len(), 1, "serial stream parks exactly one slot");
+}
+
+#[test]
 fn remove_inst_retires_lists_for_reuse() {
     use out_of_ssa::ir::builder::FunctionBuilder;
     use out_of_ssa::ir::CopyPair;

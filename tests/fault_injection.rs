@@ -173,6 +173,61 @@ fn a_poisoned_function_never_affects_its_corpus_neighbours() {
 }
 
 #[test]
+fn pooled_streaming_discards_the_poisoned_slot_and_keeps_neighbours_identical() {
+    use out_of_ssa::cfggen::{generate_function_into, generate_ssa_function_into};
+    use out_of_ssa::destruct::{translate_stream_pooled_isolated_serial, EngineWorker};
+    use out_of_ssa::ir::FunctionPool;
+
+    let options = OutOfSsaOptions::default();
+    let mut plain = corpus(6);
+    translate_corpus(&mut plain, &options);
+
+    // A pooled source that hands out function 2 as a malformed (pre-SSA)
+    // function, built into recycled pool slots like every healthy neighbour.
+    let mut worker = EngineWorker::new();
+    let mut next = 0u64;
+    let mut source = |pool: &mut FunctionPool| -> Option<Function> {
+        if next == 6 {
+            return None;
+        }
+        let seed = next;
+        next += 1;
+        let slot = pool.checkout();
+        if seed == 2 {
+            Some(generate_function_into(slot, format!("fi{seed}"), &GenConfig::small(), seed))
+        } else {
+            Some(generate_ssa_function_into(slot, format!("fi{seed}"), &GenConfig::small(), seed).0)
+        }
+    };
+
+    let mut failures = Vec::new();
+    let stats = translate_stream_pooled_isolated_serial(
+        &mut source,
+        &mut worker,
+        &options,
+        &Limits::UNBOUNDED,
+        |index, result| match result {
+            Ok(func) => {
+                assert_eq!(func, &plain[index], "survivor {index} diverged from fault-free run");
+            }
+            Err(error) => failures.push((index, error.phase())),
+        },
+    );
+    assert_eq!(stats.num_errors(), 1);
+    assert_eq!(failures, vec![(2, Some(TranslatePhase::Verify))]);
+
+    // The quarantined slot is discarded, never recycled: its replacement is
+    // freshly allocated, so of six checkouts only four can come from the
+    // free list (the first of the run and the first after the discard miss).
+    let pool_stats = worker.pool.stats();
+    assert_eq!(pool_stats.checkouts, 6);
+    assert_eq!(pool_stats.retired, 5, "five healthy functions retired");
+    assert_eq!(pool_stats.discarded, 1, "the poisoned slot was discarded");
+    assert_eq!(pool_stats.recycled, 4, "discarded storage never re-enters the free list");
+    assert_eq!(worker.pool.free_len(), 1);
+}
+
+#[test]
 fn pipeline_try_run_matches_run_and_contains_failures() {
     // Healthy input: try_run is bit-identical to run.
     let func = generate_function("plumb", &GenConfig::small(), 5);
@@ -308,6 +363,61 @@ mod failpoints {
                 Err(err) => assert_eq!(Some(err), batch_stats.results[i].as_ref().err()),
             }
         }
+    }
+
+    #[test]
+    fn pooled_streaming_matches_batch_verdicts_and_discards_every_poisoned_slot() {
+        use out_of_ssa::cfggen::generate_ssa_function_into;
+        use out_of_ssa::destruct::{translate_stream_pooled_isolated_serial, EngineWorker};
+        use out_of_ssa::ir::{Function, FunctionPool};
+
+        let _guard = CAMPAIGN.lock().unwrap_or_else(|e| e.into_inner());
+        silence_injected_panics();
+        let options = OutOfSsaOptions::default();
+
+        configure(armed());
+        let mut batch = corpus(16);
+        let batch_stats =
+            translate_corpus_isolated_with(&mut batch, &options, &Limits::UNBOUNDED, 1);
+        let k = batch_stats.num_errors();
+        assert!((1..16).contains(&k), "campaign must poison a strict subset, hit {k}/16");
+
+        // The same campaign through the pooled streaming engine: identical
+        // verdicts, surviving functions bit-identical to batch, and exactly
+        // one discarded pool slot per injected fault.
+        let mut worker = EngineWorker::new();
+        let mut next = 0u64;
+        let mut source = |pool: &mut FunctionPool| -> Option<Function> {
+            if next == 16 {
+                return None;
+            }
+            let seed = next;
+            next += 1;
+            let slot = pool.checkout();
+            Some(generate_ssa_function_into(slot, format!("fi{seed}"), &GenConfig::small(), seed).0)
+        };
+        let stats = translate_stream_pooled_isolated_serial(
+            &mut source,
+            &mut worker,
+            &options,
+            &Limits::UNBOUNDED,
+            |index, result| match result {
+                Ok(func) => {
+                    assert!(batch_stats.results[index].is_ok(), "verdict {index} differs");
+                    assert_eq!(func, &batch[index], "survivor {index} differs from batch");
+                }
+                Err(error) => {
+                    assert_eq!(Some(error), batch_stats.results[index].as_ref().err());
+                }
+            },
+        );
+        clear();
+
+        assert_eq!(stats.results, batch_stats.results);
+        let pool_stats = worker.pool.stats();
+        assert_eq!(pool_stats.checkouts, 16);
+        assert_eq!(pool_stats.discarded as usize, k, "one discarded slot per fault");
+        assert_eq!(pool_stats.retired as usize, 16 - k);
     }
 
     #[test]
