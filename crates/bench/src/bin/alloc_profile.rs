@@ -31,8 +31,9 @@ use std::time::Instant;
 
 use ossa_bench::alloc::allocation_count;
 use ossa_destruct::{
-    insertion, set_coalesce_probe, translate_corpus_serial, translate_out_of_ssa_scratch,
-    CoalesceStage, OutOfSsaOptions, TranslateScratch,
+    insertion, set_coalesce_probe, translate_corpus_isolated_policy, translate_corpus_serial,
+    translate_out_of_ssa_scratch, CoalesceStage, EnginePolicy, Limits, OutOfSsaOptions,
+    TranslateScratch, ValidationMode,
 };
 use ossa_liveness::FunctionAnalyses;
 
@@ -311,6 +312,28 @@ fn streaming_report(scale: f64, options: &OutOfSsaOptions, json_path: Option<&st
         pool.checkouts, pool.recycled, pool.retired, pool.discarded
     );
 
+    // One self-checking pass over the same corpus (Structural validation,
+    // serial): the recovery counters belong next to the pool traffic in the
+    // CI artifact — all zero on a healthy corpus, and a nonzero
+    // `validation_failures` in the artifact is the first place an injected
+    // or real miscompile would surface outside the test suite.
+    let (validation_failures, recovered_functions, liveness_fallbacks) = {
+        let corpus = ossa_cfggen::spec_like_corpus(scale, true);
+        let mut work: Vec<_> = corpus.iter().flat_map(|w| w.functions.iter().cloned()).collect();
+        let stats = translate_corpus_isolated_policy(
+            &mut work,
+            options,
+            &Limits::UNBOUNDED,
+            &EnginePolicy::validating(ValidationMode::Structural),
+            1,
+        );
+        (stats.validation_failures(), stats.recovered_functions(), stats.total().liveness_fallbacks)
+    };
+    println!(
+        "  self-checking pass: {validation_failures} validation failures, \
+         {recovered_functions} recovered, {liveness_fallbacks} liveness fallbacks"
+    );
+
     if let Some(path) = json_path {
         let mut json = String::new();
         json.push_str("{\n");
@@ -333,7 +356,10 @@ fn streaming_report(scale: f64, options: &OutOfSsaOptions, json_path: Option<&st
         json.push_str(&format!("    \"recycled\": {},\n", pool.recycled));
         json.push_str(&format!("    \"retired\": {},\n", pool.retired));
         json.push_str(&format!("    \"discarded\": {}\n", pool.discarded));
-        json.push_str("  }\n");
+        json.push_str("  },\n");
+        json.push_str(&format!("  \"validation_failures\": {validation_failures},\n"));
+        json.push_str(&format!("  \"recovered_functions\": {recovered_functions},\n"));
+        json.push_str(&format!("  \"liveness_fallbacks\": {liveness_fallbacks}\n"));
         json.push_str("}\n");
         std::fs::write(path, json).expect("write streaming profile JSON");
         println!("wrote {path}");

@@ -5,9 +5,11 @@
 //! non-zero when the current numbers regress beyond a tolerance, failing the
 //! CI job. Checked:
 //!
-//! 1. `batch_serial_seconds`, `seed_style_serial_seconds` and
-//!    `streaming_serial_seconds` each within `(1 + tolerance)` of the
-//!    committed baseline (absolute trajectory);
+//! 1. `batch_serial_seconds`, `seed_style_serial_seconds`,
+//!    `streaming_serial_seconds` and `batch_serial_validated_seconds` (the
+//!    self-checking engine: serial batch under Structural output validation)
+//!    each within `(1 + tolerance)` of the committed baseline (absolute
+//!    trajectory);
 //! 2. `batch_serial_seconds ≤ seed_style_serial_seconds × 1.10` (the batch
 //!    engine must not fall behind the naive per-function loop — the
 //!    regression an earlier PR fixed);
@@ -185,6 +187,11 @@ fn main() -> ExitCode {
     check_vs_baseline("batch_serial_seconds", "s", tolerance, 0.0);
     check_vs_baseline("seed_style_serial_seconds", "s", tolerance, 0.0);
     check_vs_baseline("streaming_serial_seconds", "s", tolerance, 0.0);
+    // The self-checking engine (serial batch under Structural output
+    // validation): tracked against the baseline so the cost of "always
+    // validate" stays on the trajectory — a validator that quietly turns
+    // quadratic fails here, not in a user's JIT.
+    check_vs_baseline("batch_serial_validated_seconds", "s", tolerance, 0.0);
     // Per-phase bounds: a regression localized to one phase must fail even
     // when another phase's improvement hides it in the total.
     check_vs_baseline("liveness", "s", tolerance, 0.001);

@@ -10,7 +10,7 @@ use ossa_bench::{
     corpus, format_normalized, quality_report, run_variant_seed_style, run_variant_streaming,
     speed_report, DEFAULT_SCALE,
 };
-use ossa_destruct::{OutOfSsaOptions, PhaseSeconds};
+use ossa_destruct::{EnginePolicy, Limits, OutOfSsaOptions, PhaseSeconds, ValidationMode};
 
 /// Counting allocator: the JSON reports how many heap allocations each
 /// serial engine performs over the corpus, so allocation regressions on the
@@ -92,6 +92,37 @@ fn main() {
         let _ = ossa_destruct::translate_corpus_with(&mut work, &options, threads);
         start.elapsed().as_secs_f64()
     };
+    // Self-checking engine: the same serial batch run under Structural
+    // output validation (CFG re-verification + translation postconditions on
+    // every function). The gated trajectory number tracks what "always
+    // validate" would cost a JIT.
+    let validation_policy = EnginePolicy::validating(ValidationMode::Structural);
+    let time_batch_validated = || -> f64 {
+        let mut work = flat.clone();
+        let start = std::time::Instant::now();
+        let _ = ossa_destruct::translate_corpus_isolated_policy(
+            &mut work,
+            &options,
+            &Limits::UNBOUNDED,
+            &validation_policy,
+            1,
+        );
+        start.elapsed().as_secs_f64()
+    };
+    // Recovery counters of one validated run: all zero on a healthy corpus
+    // (validation rejects nothing, nothing recovers); the fallback counter
+    // reports how many functions demoted the fast liveness checker.
+    let (validation_failures, recovered_functions, liveness_fallbacks) = {
+        let mut work = flat.clone();
+        let stats = ossa_destruct::translate_corpus_isolated_policy(
+            &mut work,
+            &options,
+            &Limits::UNBOUNDED,
+            &validation_policy,
+            1,
+        );
+        (stats.validation_failures(), stats.recovered_functions(), stats.total().liveness_fallbacks)
+    };
     // Seed-style and batch-serial are sampled interleaved (five rounds,
     // minimum kept) so scheduler or frequency drift hits both equally
     // instead of biasing whichever ran later, and both at per-workload
@@ -110,6 +141,7 @@ fn main() {
         streaming = streaming.min(t);
     }
     let parallel: f64 = min3(&|| time_batch(0));
+    let validated: f64 = min3(&time_batch_validated);
     let speedup = seed_style / parallel.max(1e-12);
     println!("\nbatch engine over the corpus (default options):");
     println!("  seed-style serial loop  {seed_style:.4}s  ({seed_style_allocs} allocations)");
@@ -119,6 +151,11 @@ fn main() {
     let PhaseSeconds { liveness, coalesce, sequentialize } = phase;
     println!("  batch serial phases     liveness {liveness:.4}s, coalesce {coalesce:.4}s, sequentialize {sequentialize:.4}s");
     println!("  batch serial interference queries {batch_queries}");
+    println!("  batch engine (serial, validated) {validated:.4}s  (structural output validation)");
+    println!(
+        "  self-checking counters: {validation_failures} validation failures, \
+         {recovered_functions} recovered, {liveness_fallbacks} liveness fallbacks"
+    );
     println!(
         "  pooled streaming: warm-up {stream_warmup_allocs} allocations, steady state \
          {stream_steady_1x:.3} allocations/function at 1x, {stream_steady_2x:.3} at 2x \
@@ -182,7 +219,18 @@ fn main() {
     let _ = writeln!(json, "  \"streaming_warmup_allocations\": {stream_warmup_allocs},");
     let _ = writeln!(json, "  \"streaming_steady_state_allocations\": {stream_steady_1x:.4},");
     let _ = writeln!(json, "  \"streaming_steady_state_allocations_2x\": {stream_steady_2x:.4},");
-    let _ = writeln!(json, "  \"batch_serial_interference_queries\": {batch_queries}");
+    let _ = writeln!(json, "  \"batch_serial_interference_queries\": {batch_queries},");
+    let _ = writeln!(json, "  \"batch_serial_validated_seconds\": {validated:.6},");
+    let _ = writeln!(json, "  \"validation_failures\": {validation_failures},");
+    let _ = writeln!(json, "  \"recovered_functions\": {recovered_functions},");
+    let _ = writeln!(json, "  \"liveness_fallbacks\": {liveness_fallbacks},");
+    let pool = &stream_profile.pool;
+    let _ = writeln!(json, "  \"pool\": {{");
+    let _ = writeln!(json, "    \"checkouts\": {},", pool.checkouts);
+    let _ = writeln!(json, "    \"recycled\": {},", pool.recycled);
+    let _ = writeln!(json, "    \"retired\": {},", pool.retired);
+    let _ = writeln!(json, "    \"discarded\": {}", pool.discarded);
+    let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     let path = "BENCH_fig6.json";
     match std::fs::write(path, &json) {

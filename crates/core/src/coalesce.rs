@@ -509,6 +509,27 @@ impl OutOfSsaOptions {
         self.abort_threshold = threshold;
         self
     }
+
+    /// The conservative configuration the recovery ladder retries failed
+    /// functions on: the coalescing-minimal `Intersect` variant on the
+    /// sets-based [`InterferenceMode::InterCheck`] backend with the
+    /// quadratic class check — the simplest, most battle-tested path
+    /// through the engine, avoiding the fast liveness checker, the value
+    /// table, copy sharing and the cold-tail abort. Sequentialization and
+    /// weighting are preserved from `self` so the retry produces output of
+    /// the shape the caller asked for.
+    pub fn conservative_fallback(&self) -> Self {
+        Self {
+            strategy: Strategy::Intersect,
+            phi_processing: PhiProcessing::Eager,
+            sharing: false,
+            interference: InterferenceMode::InterCheck,
+            class_check: ClassCheck::Quadratic,
+            weighted: self.weighted,
+            sequentialize: self.sequentialize,
+            abort_threshold: 0.0,
+        }
+    }
 }
 
 /// Memory accounting of one run (Figure 7).
@@ -603,10 +624,37 @@ pub struct OutOfSsaStats {
     /// otherwise.
     /// Corpus aggregation sums it into a fallback count.
     pub liveness_fallbacks: usize,
+    /// Validation failures observed while translating this function: 0 on a
+    /// clean run, and with a recovery policy the number of attempts whose
+    /// output the validator rejected before one succeeded.
+    pub validation_failures: usize,
+    /// How this function fared under the recovery ladder (always
+    /// [`RecoveryOutcome::Clean`] without a policy).
+    pub recovery: RecoveryOutcome,
     /// Memory accounting.
     pub memory: MemoryStats,
     /// Per-phase wall-clock timing of this translation.
     pub phase_seconds: PhaseSeconds,
+}
+
+/// Per-function verdict of the tiered recovery ladder (see
+/// `RecoveryPolicy` in the engine module).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The first attempt succeeded — no recovery was needed (also the value
+    /// for every function of engines run without a recovery policy).
+    #[default]
+    Clean,
+    /// A retry on the conservative configuration succeeded.
+    Recovered {
+        /// The 1-based attempt the function finally translated on.
+        attempt: u32,
+    },
+    /// Every attempt failed; the function's final error was reported.
+    GaveUp {
+        /// Total attempts made (1 + `max_retries`).
+        attempts: u32,
+    },
 }
 
 /// Equality over the *behavioural* counters only: `phase_seconds` is
@@ -622,6 +670,8 @@ impl PartialEq for OutOfSsaStats {
             && self.edges_split == other.edges_split
             && self.interference_queries == other.interference_queries
             && self.liveness_fallbacks == other.liveness_fallbacks
+            && self.validation_failures == other.validation_failures
+            && self.recovery == other.recovery
             && self.memory == other.memory
     }
 }
@@ -637,6 +687,9 @@ impl OutOfSsaStats {
         self.edges_split += other.edges_split;
         self.interference_queries += other.interference_queries;
         self.liveness_fallbacks += other.liveness_fallbacks;
+        self.validation_failures += other.validation_failures;
+        // `recovery` is a per-function verdict, not a counter — aggregation
+        // counts recovered functions via `IsolatedCorpusStats` instead.
         self.memory.absorb(&other.memory);
         self.phase_seconds.absorb(&other.phase_seconds);
     }

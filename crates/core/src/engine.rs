@@ -36,9 +36,63 @@ use ossa_ir::{Function, FunctionPool};
 use ossa_liveness::FunctionAnalyses;
 
 use crate::coalesce::{
-    translate_out_of_ssa_scratch, OutOfSsaOptions, OutOfSsaStats, TranslateScratch,
+    translate_out_of_ssa_scratch, OutOfSsaOptions, OutOfSsaStats, RecoveryOutcome, TranslateScratch,
 };
 use crate::fault::{self, Limits, TranslateError, TranslatePhase};
+use crate::validate::{validate_translation, ValidationMode};
+
+/// How many times an isolated engine retries a failed function on the
+/// conservative configuration before giving up.
+///
+/// The recovery ladder (attempt 0 = the caller's options; attempts 1.. =
+/// [`OutOfSsaOptions::conservative_fallback`] on a fresh, quarantined
+/// worker) fires on *any* [`TranslateError`] — panic, resource blowup or
+/// validation failure alike — restoring the function from a pristine
+/// pre-translation snapshot between attempts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retries after the first failed attempt (`0`, the default, reports
+    /// the first error as today).
+    pub max_retries: u32,
+}
+
+impl RecoveryPolicy {
+    /// A policy that retries `max_retries` times.
+    pub fn retries(max_retries: u32) -> Self {
+        Self { max_retries }
+    }
+}
+
+/// Self-checking configuration of an isolated engine: what to validate on
+/// each translated function and how hard to try to recover failures. The
+/// default (`Off`, no retries) is a pure pass-through — the engine behaves
+/// byte-for-byte like the policy-free entry points.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnginePolicy {
+    /// Post-translation output validation mode.
+    pub validation: ValidationMode,
+    /// Retry ladder for failed functions.
+    pub recovery: RecoveryPolicy,
+}
+
+impl EnginePolicy {
+    /// A policy that validates at `mode` without retrying.
+    pub fn validating(mode: ValidationMode) -> Self {
+        Self { validation: mode, ..Self::default() }
+    }
+
+    /// Adds a recovery ladder of `max_retries` conservative retries.
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.recovery = RecoveryPolicy::retries(max_retries);
+        self
+    }
+
+    /// `true` when the policy changes nothing — no validation, no retries —
+    /// letting the per-function driver skip the pristine snapshot entirely.
+    pub fn is_passthrough(&self) -> bool {
+        self.validation == ValidationMode::Off && self.recovery.max_retries == 0
+    }
+}
 
 /// The complete recycled state of one engine worker: the analysis caches and
 /// translation scratch hoisted out of the per-function loop, plus the
@@ -148,6 +202,31 @@ impl IsolatedCorpusStats {
     pub fn errors(&self) -> impl Iterator<Item = (usize, &TranslateError)> {
         self.results.iter().enumerate().filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
     }
+
+    /// Number of functions the recovery ladder healed (their first attempt
+    /// failed, a conservative retry succeeded). Always 0 without a
+    /// [`RecoveryPolicy`].
+    pub fn recovered_functions(&self) -> usize {
+        self.results
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s.recovery, RecoveryOutcome::Recovered { .. }))
+            .count()
+    }
+
+    /// Validation failures visible in the outcome records: rejected attempts
+    /// of functions that eventually succeeded, plus one per function whose
+    /// *final* error is a validation failure.
+    pub fn validation_failures(&self) -> usize {
+        self.results
+            .iter()
+            .map(|r| match r {
+                Ok(stats) => stats.validation_failures,
+                Err(TranslateError::ValidationFailed { .. }) => 1,
+                Err(_) => 0,
+            })
+            .sum()
+    }
 }
 
 /// Translates one function out of SSA with full fault isolation: the input
@@ -190,6 +269,86 @@ pub fn translate_function_isolated(
     result
 }
 
+/// Like [`translate_function_isolated`], under an [`EnginePolicy`]: after a
+/// successful translation the output is checked at the policy's
+/// [`ValidationMode`] (against a pristine pre-translation snapshot), and
+/// *any* failure — panic, limit, validation — is retried up to
+/// `policy.recovery.max_retries` times on the conservative configuration
+/// ([`OutOfSsaOptions::conservative_fallback`]) with quarantined, fresh
+/// worker state and the function restored from the snapshot.
+///
+/// On success, the returned stats carry the per-function
+/// [`RecoveryOutcome`] and the number of validation failures observed along
+/// the way. A pass-through policy (the default) takes the exact
+/// [`translate_function_isolated`] path — no snapshot, no extra allocation.
+pub fn translate_function_isolated_policy(
+    func: &mut Function,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    policy: &EnginePolicy,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut TranslateScratch,
+) -> Result<OutOfSsaStats, TranslateError> {
+    if policy.is_passthrough() {
+        return translate_function_isolated(func, options, limits, analyses, scratch);
+    }
+
+    let pristine = func.clone();
+    let max_attempts = 1 + policy.recovery.max_retries;
+    let mut validation_failures = 0usize;
+    let mut last_error = None;
+    for attempt in 0..max_attempts {
+        #[cfg(feature = "failpoints")]
+        fault::failpoints::set_attempt(attempt);
+        let conservative;
+        let attempt_options = if attempt == 0 {
+            options
+        } else {
+            // A retry starts from scratch: pristine input, fresh worker
+            // state (the previous attempt's caches may hold decisions of
+            // the failed configuration), conservative options.
+            func.clone_from(&pristine);
+            *analyses = FunctionAnalyses::new();
+            *scratch = TranslateScratch::new();
+            conservative = options.conservative_fallback();
+            &conservative
+        };
+        let result = translate_function_isolated(func, attempt_options, limits, analyses, scratch)
+            .and_then(|stats| {
+                let verdict = fault::catch_translate(|| {
+                    fault::enter_phase(&func.name, TranslatePhase::Validate);
+                    validate_translation(&pristine, func, attempt_options, policy.validation)
+                })
+                .unwrap_or_else(Err);
+                verdict.map(|()| stats)
+            });
+        match result {
+            Ok(mut stats) => {
+                stats.validation_failures = validation_failures;
+                if attempt > 0 {
+                    stats.recovery = RecoveryOutcome::Recovered { attempt: attempt + 1 };
+                }
+                #[cfg(feature = "failpoints")]
+                fault::failpoints::set_attempt(0);
+                return Ok(stats);
+            }
+            Err(error) => {
+                if matches!(error, TranslateError::ValidationFailed { .. }) {
+                    validation_failures += 1;
+                }
+                // A rejected output means the worker state that produced it
+                // is suspect, exactly like an unwind; quarantine it.
+                *analyses = FunctionAnalyses::new();
+                *scratch = TranslateScratch::new();
+                last_error = Some(error);
+            }
+        }
+    }
+    #[cfg(feature = "failpoints")]
+    fault::failpoints::set_attempt(0);
+    Err(last_error.expect("at least one attempt ran"))
+}
+
 /// Fault-isolated batch translation with the default thread count: like
 /// [`translate_corpus`], but a malformed, oversized or panicking function
 /// yields an error record instead of tearing down the corpus run. See
@@ -211,6 +370,20 @@ pub fn translate_corpus_isolated_with(
     limits: &Limits,
     threads: usize,
 ) -> IsolatedCorpusStats {
+    translate_corpus_isolated_policy(funcs, options, limits, &EnginePolicy::default(), threads)
+}
+
+/// Like [`translate_corpus_isolated_with`], under an [`EnginePolicy`]: each
+/// function is validated and (on any failure) retried per
+/// [`translate_function_isolated_policy`]. The default policy is a pure
+/// pass-through.
+pub fn translate_corpus_isolated_policy(
+    funcs: &mut [Function],
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    policy: &EnginePolicy,
+    threads: usize,
+) -> IsolatedCorpusStats {
     let threads = effective_threads(threads, funcs.len());
     if threads <= 1 {
         let mut analyses = FunctionAnalyses::new();
@@ -219,7 +392,14 @@ pub fn translate_corpus_isolated_with(
             .iter_mut()
             .map(|func| {
                 analyses.invalidate_cfg();
-                translate_function_isolated(func, options, limits, &mut analyses, &mut scratch)
+                translate_function_isolated_policy(
+                    func,
+                    options,
+                    limits,
+                    policy,
+                    &mut analyses,
+                    &mut scratch,
+                )
             })
             .collect();
         return IsolatedCorpusStats { results, threads: 1 };
@@ -229,10 +409,11 @@ pub fn translate_corpus_isolated_with(
     let results: Mutex<Vec<Option<Result<OutOfSsaStats, TranslateError>>>> =
         Mutex::new(vec![None; num_funcs]);
     drive_workers(threads, funcs.iter_mut().enumerate(), |(index, func), worker| {
-        let result = translate_function_isolated(
+        let result = translate_function_isolated_policy(
             func,
             options,
             limits,
+            policy,
             &mut worker.analyses,
             &mut worker.scratch,
         );
@@ -479,6 +660,22 @@ where
     I: IntoIterator<Item = Function>,
     I::IntoIter: Send,
 {
+    translate_stream_isolated_policy(funcs, options, limits, &EnginePolicy::default(), threads)
+}
+
+/// Like [`translate_stream_isolated_with`], under an [`EnginePolicy`] (see
+/// [`translate_function_isolated_policy`] for the per-function contract).
+pub fn translate_stream_isolated_policy<I>(
+    funcs: I,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    policy: &EnginePolicy,
+    threads: usize,
+) -> (Vec<Result<Function, TranslateError>>, IsolatedCorpusStats)
+where
+    I: IntoIterator<Item = Function>,
+    I::IntoIter: Send,
+{
     let iter = funcs.into_iter();
     let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads = if threads == 0 { available } else { threads }.max(1);
@@ -489,10 +686,11 @@ where
         let mut results = Vec::with_capacity(iter.size_hint().0);
         for mut func in iter {
             analyses.invalidate_cfg();
-            let result = translate_function_isolated(
+            let result = translate_function_isolated_policy(
                 &mut func,
                 options,
                 limits,
+                policy,
                 &mut analyses,
                 &mut scratch,
             );
@@ -505,10 +703,11 @@ where
     type Slot = Option<(Result<Function, TranslateError>, Result<OutOfSsaStats, TranslateError>)>;
     let deposits: Mutex<Vec<Slot>> = Mutex::new(Vec::new());
     drive_workers(threads, iter.enumerate(), |(index, mut func), worker| {
-        let result = translate_function_isolated(
+        let result = translate_function_isolated_policy(
             &mut func,
             options,
             limits,
+            policy,
             &mut worker.analyses,
             &mut worker.scratch,
         );
@@ -646,6 +845,31 @@ pub fn translate_stream_pooled_isolated_serial<S>(
     worker: &mut EngineWorker,
     options: &OutOfSsaOptions,
     limits: &Limits,
+    consumer: impl FnMut(usize, Result<&Function, &TranslateError>),
+) -> IsolatedCorpusStats
+where
+    S: PooledSource + ?Sized,
+{
+    translate_stream_pooled_isolated_serial_policy(
+        source,
+        worker,
+        options,
+        limits,
+        &EnginePolicy::default(),
+        consumer,
+    )
+}
+
+/// Like [`translate_stream_pooled_isolated_serial`], under an
+/// [`EnginePolicy`] (see [`translate_function_isolated_policy`] for the
+/// per-function contract). A function that fails *every* attempt discards
+/// its pool slot exactly like a policy-free failure.
+pub fn translate_stream_pooled_isolated_serial_policy<S>(
+    source: &mut S,
+    worker: &mut EngineWorker,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    policy: &EnginePolicy,
     mut consumer: impl FnMut(usize, Result<&Function, &TranslateError>),
 ) -> IsolatedCorpusStats
 where
@@ -655,10 +879,11 @@ where
     let mut index = 0usize;
     while let Some(mut func) = source.next_into(&mut worker.pool) {
         worker.analyses.invalidate_cfg();
-        let result = translate_function_isolated(
+        let result = translate_function_isolated_policy(
             &mut func,
             options,
             limits,
+            policy,
             &mut worker.analyses,
             &mut worker.scratch,
         );
@@ -707,26 +932,52 @@ pub fn translate_stream_pooled_isolated_with<S>(
 where
     S: PooledSource + Send,
 {
+    translate_stream_pooled_isolated_policy(
+        source,
+        options,
+        limits,
+        &EnginePolicy::default(),
+        threads,
+        consumer,
+    )
+}
+
+/// Like [`translate_stream_pooled_isolated_with`], under an
+/// [`EnginePolicy`] (see [`translate_function_isolated_policy`] for the
+/// per-function contract).
+pub fn translate_stream_pooled_isolated_policy<S>(
+    source: S,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    policy: &EnginePolicy,
+    threads: usize,
+    consumer: impl Fn(usize, Result<&Function, &TranslateError>) + Sync,
+) -> IsolatedCorpusStats
+where
+    S: PooledSource + Send,
+{
     let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads = if threads == 0 { available } else { threads }.max(1);
     if threads == 1 {
         let mut source = source;
         let mut worker = EngineWorker::new();
-        return translate_stream_pooled_isolated_serial(
+        return translate_stream_pooled_isolated_serial_policy(
             &mut source,
             &mut worker,
             options,
             limits,
+            policy,
             consumer,
         );
     }
 
     let results: Mutex<Vec<Option<Result<OutOfSsaStats, TranslateError>>>> = Mutex::new(Vec::new());
     drive_pooled_workers(threads, source, |index, mut func, worker| {
-        let result = translate_function_isolated(
+        let result = translate_function_isolated_policy(
             &mut func,
             options,
             limits,
+            policy,
             &mut worker.analyses,
             &mut worker.scratch,
         );

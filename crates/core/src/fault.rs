@@ -47,17 +47,21 @@ pub enum TranslatePhase {
     Sequentialize,
     /// Register allocation.
     Regalloc,
+    /// Post-translation output validation (structural re-verification or
+    /// the differential interpreter check).
+    Validate,
 }
 
 impl TranslatePhase {
     /// All phases, in pipeline order.
-    pub const ALL: [TranslatePhase; 6] = [
+    pub const ALL: [TranslatePhase; 7] = [
         TranslatePhase::Verify,
         TranslatePhase::Ssa,
         TranslatePhase::Liveness,
         TranslatePhase::Coalesce,
         TranslatePhase::Sequentialize,
         TranslatePhase::Regalloc,
+        TranslatePhase::Validate,
     ];
 
     fn as_str(self) -> &'static str {
@@ -68,6 +72,7 @@ impl TranslatePhase {
             TranslatePhase::Coalesce => "coalesce",
             TranslatePhase::Sequentialize => "sequentialize",
             TranslatePhase::Regalloc => "regalloc",
+            TranslatePhase::Validate => "validate",
         }
     }
 }
@@ -131,6 +136,21 @@ pub enum TranslateError {
         /// The panic message.
         message: String,
     },
+    /// The translation completed without crashing but its *output* failed
+    /// post-translation validation — the paper's silent-miscompilation
+    /// hazard (lost copies, mis-ordered swaps) made loud. The function must
+    /// not be used; the recovery ladder may retry it on a conservative
+    /// engine configuration.
+    ValidationFailed {
+        /// The phase the failure is attributed to (always
+        /// [`TranslatePhase::Validate`]; kept explicit so the variant slots
+        /// into the phase-tagged taxonomy like its siblings).
+        phase: TranslatePhase,
+        /// The validator's report: the structural violation, or the first
+        /// behavioural divergence between the pre-translation function and
+        /// the translated output.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TranslateError {
@@ -145,6 +165,9 @@ impl fmt::Display for TranslateError {
             TranslateError::Panicked { phase, message } => {
                 write!(f, "translation panicked in phase {phase}: {message}")
             }
+            TranslateError::ValidationFailed { phase, detail } => {
+                write!(f, "output validation failed (phase {phase}): {detail}")
+            }
         }
     }
 }
@@ -156,9 +179,9 @@ impl TranslateError {
     /// which is a property of the whole function, not of one phase).
     pub fn phase(&self) -> Option<TranslatePhase> {
         match self {
-            TranslateError::Malformed { phase, .. } | TranslateError::Panicked { phase, .. } => {
-                Some(*phase)
-            }
+            TranslateError::Malformed { phase, .. }
+            | TranslateError::Panicked { phase, .. }
+            | TranslateError::ValidationFailed { phase, .. } => Some(*phase),
             TranslateError::ResourceExhausted { .. } => None,
         }
     }
@@ -266,6 +289,7 @@ fn error_from_payload(payload: Box<dyn Any + Send>) -> TranslateError {
 #[cfg(feature = "failpoints")]
 pub mod failpoints {
     use super::TranslatePhase;
+    use std::cell::Cell;
     use std::sync::RwLock;
 
     /// An armed injection campaign.
@@ -321,11 +345,115 @@ pub mod failpoints {
     }
 
     /// Phase-boundary hook: panics with a deterministic message when the
-    /// armed campaign selects this site.
+    /// armed campaign selects this site. Entering `Verify` marks a fresh
+    /// per-function attempt, resetting the one-corruption-per-function
+    /// budget. Injected faults model *transient first-attempt* failures:
+    /// nothing fires on retries (see [`set_attempt`]), so recovery campaigns
+    /// can assert the conservative retry heals every poisoned function.
     pub fn fire(func_name: &str, phase: TranslatePhase) {
-        if should_fail(func_name, phase) {
+        if phase == TranslatePhase::Verify {
+            CORRUPTED.set(false);
+        }
+        if current_attempt() == 0 && should_fail(func_name, phase) {
             panic!("failpoint: injected fault in {func_name} at phase {phase}");
         }
+    }
+
+    /// The silent-miscompile species a corruption campaign injects into the
+    /// sequentialized output — the two historical out-of-SSA bug families
+    /// the paper opens with.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum CorruptionKind {
+        /// Drop one inserted copy from a sequentialized parallel-copy
+        /// window (the *lost-copy* bug).
+        DropCopy,
+        /// Swap two dependent copies inside a sequentialized window,
+        /// clobbering a source before it is read (the *swap* bug).
+        SwapCopies,
+    }
+
+    /// An armed output-corruption campaign. Orthogonal to
+    /// [`FailpointConfig`]: corruption never panics — it silently mangles
+    /// the emitted copies so only a post-translation validator can tell.
+    #[derive(Clone, Copy, Debug)]
+    pub struct CorruptionConfig {
+        /// Seed mixed into the per-function hash.
+        pub seed: u64,
+        /// Corruption probability in 1/1000ths, applied per function.
+        pub rate_per_mille: u32,
+        /// Which miscompile to inject.
+        pub kind: CorruptionKind,
+    }
+
+    static CORRUPTION: RwLock<Option<CorruptionConfig>> = RwLock::new(None);
+
+    thread_local! {
+        /// Retry attempt of the function currently translating on this
+        /// thread. Injection (panics and corruption alike) only arms on
+        /// attempt 0.
+        static ATTEMPT: Cell<u32> = const { Cell::new(0) };
+        /// Whether the current function has already spent its
+        /// one-corruption budget (reset at each `Verify` boundary).
+        static CORRUPTED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Arms the corruption injector process-wide.
+    pub fn configure_corruption(config: CorruptionConfig) {
+        *CORRUPTION.write().unwrap() = Some(config);
+    }
+
+    /// Disarms the corruption injector.
+    pub fn clear_corruption() {
+        *CORRUPTION.write().unwrap() = None;
+    }
+
+    /// Records the retry attempt of the function about to translate on this
+    /// thread. The isolated engines call this around each attempt; tests
+    /// never need to.
+    pub fn set_attempt(attempt: u32) {
+        ATTEMPT.set(attempt);
+    }
+
+    /// The retry attempt most recently recorded via [`set_attempt`].
+    pub fn current_attempt() -> u32 {
+        ATTEMPT.get()
+    }
+
+    /// Pure site predicate for corruption, mirroring [`should_fail`]: would
+    /// the armed campaign corrupt this function's output? Tests precompute
+    /// the candidate set from this.
+    pub fn should_corrupt(func_name: &str, kind: CorruptionKind) -> bool {
+        let Some(config) = *CORRUPTION.read().unwrap() else {
+            return false;
+        };
+        if config.kind != kind {
+            return false;
+        }
+        // FNV-1a over (seed, name, kind tag); the 0x80 bias keeps the tag
+        // byte disjoint from the `should_fail` phase bytes so the two
+        // injectors poison independent subsets under one seed.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |byte: u8| hash = (hash ^ byte as u64).wrapping_mul(0x1000_0000_01b3);
+        for byte in config.seed.to_le_bytes() {
+            mix(byte);
+        }
+        for byte in func_name.bytes() {
+            mix(byte);
+        }
+        mix(0x80 | kind as u8);
+        (hash % 1000) < config.rate_per_mille as u64
+    }
+
+    /// Emission-site hook: `true` exactly once per (function, attempt-0)
+    /// when the armed campaign selects this function, consuming the
+    /// per-function budget so a function with many parallel-copy windows is
+    /// mangled in only one place.
+    pub fn corrupt_here(func_name: &str, kind: CorruptionKind) -> bool {
+        if current_attempt() != 0 || CORRUPTED.get() || !should_corrupt(func_name, kind) {
+            return false;
+        }
+        CORRUPTED.set(true);
+        true
     }
 
     /// Installs (once, process-wide) a panic hook that suppresses the
@@ -431,5 +559,14 @@ mod tests {
             message: "boom".to_string(),
         };
         assert_eq!(err.to_string(), "translation panicked in phase sequentialize: boom");
+        let err = TranslateError::ValidationFailed {
+            phase: TranslatePhase::Validate,
+            detail: "diverged on inputs [1, 2]".to_string(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "output validation failed (phase validate): diverged on inputs [1, 2]"
+        );
+        assert_eq!(err.phase(), Some(TranslatePhase::Validate));
     }
 }

@@ -46,22 +46,26 @@ pub mod fault;
 pub mod insertion;
 pub mod interference;
 pub mod parallel_copy;
+pub mod validate;
 pub mod value;
 
 pub use coalesce::{
     set_coalesce_probe, translate_out_of_ssa, translate_out_of_ssa_cached,
     translate_out_of_ssa_scratch, ClassCheck, CoalesceStage, InterferenceMode, MemoryStats,
-    OutOfSsaOptions, OutOfSsaStats, PhaseSeconds, PhiProcessing, Strategy, TranslateScratch,
+    OutOfSsaOptions, OutOfSsaStats, PhaseSeconds, PhiProcessing, RecoveryOutcome, Strategy,
+    TranslateScratch,
 };
 pub use congruence::{CongruenceClasses, DefOrderKey, EqualAncOut};
 pub use engine::{
-    translate_corpus, translate_corpus_isolated, translate_corpus_isolated_with,
-    translate_corpus_serial, translate_corpus_with, translate_function_isolated, translate_stream,
-    translate_stream_isolated, translate_stream_isolated_with, translate_stream_pooled,
-    translate_stream_pooled_isolated, translate_stream_pooled_isolated_serial,
-    translate_stream_pooled_isolated_with, translate_stream_pooled_serial,
-    translate_stream_pooled_with, translate_stream_with, CorpusStats, EngineWorker,
-    IsolatedCorpusStats, PooledSource,
+    translate_corpus, translate_corpus_isolated, translate_corpus_isolated_policy,
+    translate_corpus_isolated_with, translate_corpus_serial, translate_corpus_with,
+    translate_function_isolated, translate_function_isolated_policy, translate_stream,
+    translate_stream_isolated, translate_stream_isolated_policy, translate_stream_isolated_with,
+    translate_stream_pooled, translate_stream_pooled_isolated,
+    translate_stream_pooled_isolated_policy, translate_stream_pooled_isolated_serial,
+    translate_stream_pooled_isolated_serial_policy, translate_stream_pooled_isolated_with,
+    translate_stream_pooled_serial, translate_stream_pooled_with, translate_stream_with,
+    CorpusStats, EnginePolicy, EngineWorker, IsolatedCorpusStats, PooledSource, RecoveryPolicy,
 };
 pub use fault::{catch_translate, Limits, Resource, TranslateError, TranslatePhase};
 pub use insertion::{
@@ -72,5 +76,8 @@ pub use interference::{copy_related_universe, InterferenceGraph};
 pub use parallel_copy::{
     minimum_copies, sequentialize, sequentialize_function, sequentialize_function_with,
     try_sequentialize, DuplicateDest, SeqScratch, Sequentialization,
+};
+pub use validate::{
+    validate_differential, validate_structural, validate_translation, ValidationMode,
 };
 pub use value::ValueTable;

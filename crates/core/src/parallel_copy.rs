@@ -237,15 +237,35 @@ pub fn sequentialize_function_with(func: &mut Function, scratch: &mut SeqScratch
                     Err(err) => panic!("{err}"),
                 };
                 func.remove_inst(block, inst);
-                for (offset, copy) in seq.copies.iter().enumerate() {
+                // With failpoints compiled in, an armed corruption campaign
+                // may mangle this window once per function (drop one copy or
+                // swap a dependent pair) to model the paper's historical
+                // lost-copy/swap miscompiles; unarmed, the plan is inert and
+                // the emission below is identical to the default build.
+                #[cfg(feature = "failpoints")]
+                let (drop_at, swap_at) = corruption_plan(&func.name, &seq.copies);
+                let mut emitted_here = 0;
+                for offset in 0..seq.copies.len() {
+                    #[cfg(feature = "failpoints")]
+                    if drop_at == Some(offset) {
+                        continue;
+                    }
+                    #[cfg(feature = "failpoints")]
+                    let offset = match swap_at {
+                        Some(s) if offset == s => s + 1,
+                        Some(s) if offset == s + 1 => s,
+                        _ => offset,
+                    };
+                    let copy = seq.copies[offset];
                     func.insert_inst(
                         block,
-                        pos + offset,
+                        pos + emitted_here,
                         InstData::Copy { dst: copy.dst, src: copy.src },
                     );
+                    emitted_here += 1;
                 }
-                emitted += seq.copies.len();
-                pos += seq.copies.len();
+                emitted += emitted_here;
+                pos += emitted_here;
             } else {
                 pos += 1;
             }
@@ -253,6 +273,30 @@ pub fn sequentialize_function_with(func: &mut Function, scratch: &mut SeqScratch
     }
     scratch.block_list = block_list;
     emitted
+}
+
+/// Decides how (and whether) an armed corruption campaign mangles one
+/// sequentialized window of `func_name`: `(drop index, swap index)`. The
+/// per-function budget (`corrupt_here`) is only consumed when the window
+/// actually qualifies — a drop needs a copy, a swap needs an adjacent
+/// *dependent* pair whose reordering changes register-level semantics — so
+/// the injection lands in the first suitable window of the function.
+#[cfg(feature = "failpoints")]
+fn corruption_plan(func_name: &str, copies: &[CopyPair]) -> (Option<usize>, Option<usize>) {
+    use crate::fault::failpoints::{corrupt_here, CorruptionKind};
+    if !copies.is_empty() && corrupt_here(func_name, CorruptionKind::DropCopy) {
+        return (Some(0), None);
+    }
+    if copies.len() >= 2 {
+        let dependent = (0..copies.len() - 1)
+            .find(|&i| copies[i + 1].src == copies[i].dst || copies[i].src == copies[i + 1].dst);
+        if let Some(i) = dependent {
+            if corrupt_here(func_name, CorruptionKind::SwapCopies) {
+                return (None, Some(i));
+            }
+        }
+    }
+    (None, None)
 }
 
 /// Counts the minimum number of sequential copies a parallel copy requires:

@@ -47,8 +47,9 @@
 
 use ossa_destruct::fault::{self, TranslatePhase};
 use ossa_destruct::{
-    translate_out_of_ssa_scratch, Limits, OutOfSsaOptions, OutOfSsaStats, PooledSource,
-    TranslateError, TranslateScratch,
+    translate_out_of_ssa_scratch, validate_translation, Limits, OutOfSsaOptions, OutOfSsaStats,
+    PooledSource, RecoveryOutcome, RecoveryPolicy, TranslateError, TranslateScratch,
+    ValidationMode,
 };
 use ossa_ir::{Function, FunctionPool};
 use ossa_liveness::{AnalysisCounts, FunctionAnalyses};
@@ -90,6 +91,8 @@ pub struct Pipeline {
     keep_copy_every: usize,
     check_conventional: bool,
     limits: Limits,
+    validation: ValidationMode,
+    recovery: RecoveryPolicy,
     analyses: FunctionAnalyses,
     scratch: TranslateScratch,
     pool: FunctionPool,
@@ -105,6 +108,8 @@ impl Pipeline {
             keep_copy_every: 0,
             check_conventional: true,
             limits: Limits::UNBOUNDED,
+            validation: ValidationMode::Off,
+            recovery: RecoveryPolicy::default(),
             analyses: FunctionAnalyses::new(),
             scratch: TranslateScratch::new(),
             pool: FunctionPool::new(),
@@ -138,6 +143,26 @@ impl Pipeline {
     /// computing the liveness sets it needs).
     pub fn with_cssa_check(mut self, check: bool) -> Self {
         self.check_conventional = check;
+        self
+    }
+
+    /// Sets the post-translation [`ValidationMode`] of the `try_run*` entry
+    /// points: the pipeline's output is checked structurally — and, in
+    /// differential mode, executed against a pristine snapshot of the
+    /// pre-SSA input — before it is handed back. [`Pipeline::run`] is the
+    /// unchecked fast path and ignores this.
+    pub fn with_validation(mut self, mode: ValidationMode) -> Self {
+        self.validation = mode;
+        self
+    }
+
+    /// Sets the recovery ladder of the `try_run*` entry points: on any
+    /// failure (panic, limit, validation), the function is restored from
+    /// its pristine snapshot and re-run on the conservative configuration
+    /// ([`OutOfSsaOptions::conservative_fallback`]) up to
+    /// `recovery.max_retries` times.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -256,6 +281,19 @@ impl Pipeline {
         func: &mut Function,
         constrain: impl FnOnce(&mut Function),
     ) -> PipelineReport {
+        // Cheap clone (all fields are plain values): lets `run_inner` take
+        // the options by reference while borrowing `self` mutably, and lets
+        // the recovery ladder substitute the conservative configuration.
+        let options = self.options.clone();
+        self.run_inner(func, constrain, &options)
+    }
+
+    fn run_inner(
+        &mut self,
+        func: &mut Function,
+        constrain: impl FnOnce(&mut Function),
+        options: &OutOfSsaOptions,
+    ) -> PipelineReport {
         // A new function: drop (and recycle) everything from the previous one.
         self.analyses.invalidate_cfg();
 
@@ -281,12 +319,8 @@ impl Pipeline {
         self.analyses.invalidate_instructions();
 
         // Back end over the same cache and scratch.
-        let translation = translate_out_of_ssa_scratch(
-            func,
-            &self.options,
-            &mut self.analyses,
-            &mut self.scratch,
-        );
+        let translation =
+            translate_out_of_ssa_scratch(func, options, &mut self.analyses, &mut self.scratch);
         fault::enter_phase(&func.name, TranslatePhase::Regalloc);
         let allocation = self.num_regs.map(|regs| allocate_cached(func, regs, &self.analyses));
 
@@ -318,10 +352,66 @@ impl Pipeline {
 
     /// Like [`Pipeline::try_run`], applying `constrain` between the SSA
     /// optimizations and the translation (the [`Pipeline::run_with`] hook).
+    /// The hook is `FnMut` because a recovery retry re-runs the whole
+    /// pipeline — including the hook — on the restored pristine input.
     pub fn try_run_with(
         &mut self,
         func: &mut Function,
-        constrain: impl FnOnce(&mut Function),
+        mut constrain: impl FnMut(&mut Function),
+    ) -> Result<PipelineReport, TranslateError> {
+        if self.validation == ValidationMode::Off && self.recovery.max_retries == 0 {
+            let options = self.options.clone();
+            return self.try_run_attempt(func, &mut constrain, &options, None);
+        }
+
+        let pristine = func.clone();
+        let max_attempts = 1 + self.recovery.max_retries;
+        let mut validation_failures = 0usize;
+        let mut last_error = None;
+        for attempt in 0..max_attempts {
+            #[cfg(feature = "failpoints")]
+            ossa_destruct::fault::failpoints::set_attempt(attempt);
+            let options = if attempt == 0 {
+                self.options.clone()
+            } else {
+                // A retry starts over: pristine input, conservative options
+                // (the attempt itself quarantined the caches on failure).
+                func.clone_from(&pristine);
+                self.options.conservative_fallback()
+            };
+            match self.try_run_attempt(func, &mut constrain, &options, Some(&pristine)) {
+                Ok(mut report) => {
+                    report.translation.validation_failures = validation_failures;
+                    if attempt > 0 {
+                        report.translation.recovery =
+                            RecoveryOutcome::Recovered { attempt: attempt + 1 };
+                    }
+                    #[cfg(feature = "failpoints")]
+                    ossa_destruct::fault::failpoints::set_attempt(0);
+                    return Ok(report);
+                }
+                Err(error) => {
+                    if matches!(error, TranslateError::ValidationFailed { .. }) {
+                        validation_failures += 1;
+                    }
+                    last_error = Some(error);
+                }
+            }
+        }
+        #[cfg(feature = "failpoints")]
+        ossa_destruct::fault::failpoints::set_attempt(0);
+        Err(last_error.expect("at least one attempt ran"))
+    }
+
+    /// One isolated pipeline attempt: verify, run, and (when configured)
+    /// validate the output against `pristine`. Quarantines the analysis
+    /// cache and scratch on any `Err`.
+    fn try_run_attempt(
+        &mut self,
+        func: &mut Function,
+        constrain: &mut impl FnMut(&mut Function),
+        options: &OutOfSsaOptions,
+        pristine: Option<&Function>,
     ) -> Result<PipelineReport, TranslateError> {
         ossa_liveness::fuel::set_fixpoint_fuel(self.limits.max_fixpoint_iters);
         let caught = ossa_destruct::catch_translate(|| {
@@ -336,7 +426,16 @@ impl Pipeline {
                     detail: errors.to_string(),
                 });
             }
-            Ok(self.run_with(func, constrain))
+            let report = self.run_inner(func, &mut *constrain, options);
+            if self.validation != ValidationMode::Off {
+                fault::enter_phase(&func.name, TranslatePhase::Validate);
+                let reference = pristine.expect("validation requires a pristine snapshot");
+                // The differential reference is the pre-SSA *input*: the
+                // whole pipeline (construction, optimizations, hook,
+                // translation) must preserve its observable behaviour.
+                validate_translation(reference, func, options, self.validation)?;
+            }
+            Ok(report)
         });
         ossa_liveness::fuel::set_fixpoint_fuel(None);
         let result = caught.unwrap_or_else(Err);

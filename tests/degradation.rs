@@ -30,7 +30,9 @@ fn is_reducible(func: &out_of_ssa::ir::Function) -> bool {
 
 #[test]
 fn irreducible_functions_fall_back_to_liveness_sets_and_stay_correct() {
-    let inputs: Vec<Vec<i64>> = vec![vec![0, 0, 0], vec![1, 2, 3], vec![7, -3, 11], vec![-5, 9, 2]];
+    // The shared deterministic argument sets (also used by the runtime
+    // differential validator).
+    let inputs = out_of_ssa::interp::argument_sets(2009, 4, 3);
     let mut exercised = 0;
     for seed in 0..12u64 {
         let original = generate_function(format!("irr{seed}"), &irreducible_config(), seed);
