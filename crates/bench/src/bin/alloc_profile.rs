@@ -334,6 +334,28 @@ fn streaming_report(scale: f64, options: &OutOfSsaOptions, json_path: Option<&st
          {recovered_functions} recovered, {liveness_fallbacks} liveness fallbacks"
     );
 
+    // Scripted overload through the translation service: deterministic
+    // shed / queue-expiry / degradation counters (the workers are paused
+    // while the queue is loaded), reported next to the pool traffic so the
+    // CI artifact carries the overload-model fingerprint too. Allocation
+    // counting is thread-local, so the service's worker threads do not
+    // perturb the streaming numbers above.
+    let overload = {
+        let corpus = ossa_cfggen::spec_like_corpus(scale, true);
+        let segment: Vec<_> =
+            corpus.iter().flat_map(|w| w.functions.iter().cloned()).take(16).collect();
+        ossa_bench::service_load::scripted_overload_stats(&segment)
+    };
+    println!(
+        "  scripted service overload: {} shed, {} expired in queue, {} deadline expiries, \
+         {} degraded / {} recovered transitions",
+        overload.shed,
+        overload.expired_in_queue,
+        overload.deadline_exceeded,
+        overload.degraded_transitions,
+        overload.recovered_transitions
+    );
+
     if let Some(path) = json_path {
         let mut json = String::new();
         json.push_str("{\n");
@@ -359,7 +381,24 @@ fn streaming_report(scale: f64, options: &OutOfSsaOptions, json_path: Option<&st
         json.push_str("  },\n");
         json.push_str(&format!("  \"validation_failures\": {validation_failures},\n"));
         json.push_str(&format!("  \"recovered_functions\": {recovered_functions},\n"));
-        json.push_str(&format!("  \"liveness_fallbacks\": {liveness_fallbacks}\n"));
+        json.push_str(&format!("  \"liveness_fallbacks\": {liveness_fallbacks},\n"));
+        json.push_str(&format!("  \"service_overload_shed\": {},\n", overload.shed));
+        json.push_str(&format!(
+            "  \"service_overload_expired_in_queue\": {},\n",
+            overload.expired_in_queue
+        ));
+        json.push_str(&format!(
+            "  \"service_overload_deadline_exceeded\": {},\n",
+            overload.deadline_exceeded
+        ));
+        json.push_str(&format!(
+            "  \"service_overload_degraded_transitions\": {},\n",
+            overload.degraded_transitions
+        ));
+        json.push_str(&format!(
+            "  \"service_overload_recovered_transitions\": {}\n",
+            overload.recovered_transitions
+        ));
         json.push_str("}\n");
         std::fs::write(path, json).expect("write streaming profile JSON");
         println!("wrote {path}");

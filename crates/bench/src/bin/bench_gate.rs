@@ -43,8 +43,21 @@
 //!    fields are present, so the perf trajectory never silently loses
 //!    instrumentation.
 //!
-//! Usage: `bench_gate [current.json] [baseline.json]`, defaulting to
-//! `BENCH_fig6.json` and `BENCH_baseline.json`. The tolerance defaults to
+//! 8. the translation *service* report (`service_bench --json`):
+//!    `service_throughput_fns_per_sec` as a **lower** bound (the saturated
+//!    service must not lose throughput) and `service_p99_seconds` as an
+//!    upper bound (per-request translate tail latency stays bounded), both
+//!    under the timing tolerance, plus the deterministic scripted-overload
+//!    counters (shed / queue-expiry / degradation transitions) to *exact*
+//!    equality — the overload model's behaviour is machine-independent, so
+//!    any drift is a semantic change, not noise.
+//!
+//! Usage: `bench_gate [current.json] [baseline.json] [service.json]
+//! [service_baseline.json]`, defaulting to `BENCH_fig6.json`,
+//! `BENCH_baseline.json`, `BENCH_service.json` and
+//! `BENCH_service_baseline.json`. The service comparison runs whenever
+//! either service file exists (CI always produces one); a missing
+//! counterpart is then a failure, not a skip. The tolerance defaults to
 //! 0.15 and can be overridden with `BENCH_GATE_TOLERANCE` (a fraction, e.g.
 //! `0.25`) for noisier machines.
 
@@ -111,9 +124,12 @@ fn print_field_diff(current: &str, current_path: &str, baseline: &str, baseline_
 }
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let current_path = args.next().unwrap_or_else(|| "BENCH_fig6.json".to_string());
-    let baseline_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current_path = args.first().cloned().unwrap_or_else(|| "BENCH_fig6.json".to_string());
+    let baseline_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let service_path = args.get(2).cloned().unwrap_or_else(|| "BENCH_service.json".to_string());
+    let service_baseline_path =
+        args.get(3).cloned().unwrap_or_else(|| "BENCH_service_baseline.json".to_string());
     let tolerance: f64 =
         std::env::var("BENCH_GATE_TOLERANCE").ok().and_then(|t| t.parse().ok()).unwrap_or(0.15);
 
@@ -290,6 +306,116 @@ fn main() -> ExitCode {
     // CI log localizes the lost (or renamed) instrumentation immediately.
     if missing_fields {
         print_field_diff(&current, &current_path, &baseline, &baseline_path);
+    }
+
+    // The translation-service gate: runs whenever either service report
+    // exists (the explicit-skip alternative would let CI silently drop the
+    // overload-model trajectory by failing to produce the report).
+    let service_requested = args.len() > 2
+        || std::path::Path::new(&service_path).exists()
+        || std::path::Path::new(&service_baseline_path).exists();
+    if service_requested {
+        let (Some(svc_cur), Some(svc_base)) = (read(&service_path), read(&service_baseline_path))
+        else {
+            return ExitCode::FAILURE;
+        };
+        match (extract_number(&svc_cur, "scale"), extract_number(&svc_base, "scale")) {
+            (Some(cur), Some(base)) if cur == base => {}
+            (cur, base) => {
+                eprintln!(
+                    "service scale mismatch: current {cur:?} vs baseline {base:?} — regenerate \
+                     {service_path} at the baseline's scale"
+                );
+                failures += 1;
+            }
+        }
+        let mut service_missing = false;
+        // Throughput is the one lower-bounded gate: the saturated service
+        // must keep up with the baseline within the timing tolerance.
+        match (
+            extract_number(&svc_cur, "service_throughput_fns_per_sec"),
+            extract_number(&svc_base, "service_throughput_fns_per_sec"),
+        ) {
+            (Some(cur), Some(base)) => {
+                let limit = base * (1.0 - tolerance);
+                let verdict = if cur >= limit { "ok" } else { "REGRESSION" };
+                println!(
+                    "service_throughput_fns_per_sec: current {cur:.0} vs baseline {base:.0} \
+                     (floor {limit:.0}) — {verdict}"
+                );
+                if cur < limit {
+                    failures += 1;
+                }
+            }
+            (cur, _) => {
+                eprintln!(
+                    "service_throughput_fns_per_sec: missing from {}",
+                    if cur.is_none() { &service_path } else { &service_baseline_path }
+                );
+                failures += 1;
+                service_missing = true;
+            }
+        }
+        // Tail latency upper bound. The 2 ms absolute floor covers one
+        // scheduler preemption landing inside the timed window on a shared
+        // runner (the baseline p99 is tens of microseconds, so a relative
+        // tolerance alone would flap); a real tail regression — a lock
+        // convoy, serialized workers — is well above it.
+        match (
+            extract_number(&svc_cur, "service_p99_seconds"),
+            extract_number(&svc_base, "service_p99_seconds"),
+        ) {
+            (Some(cur), Some(base)) => {
+                let limit = base * (1.0 + tolerance) + 0.002;
+                let verdict = if cur <= limit { "ok" } else { "REGRESSION" };
+                println!(
+                    "service_p99_seconds: current {cur:.6}s vs baseline {base:.6}s (limit \
+                     {limit:.6}s) — {verdict}"
+                );
+                if cur > limit {
+                    failures += 1;
+                }
+            }
+            (cur, _) => {
+                eprintln!(
+                    "service_p99_seconds: missing from {}",
+                    if cur.is_none() { &service_path } else { &service_baseline_path }
+                );
+                failures += 1;
+                service_missing = true;
+            }
+        }
+        // The scripted-overload counters are deterministic functions of the
+        // corpus scale: exact equality, no tolerance.
+        for key in [
+            "service_overload_shed",
+            "service_overload_expired_in_queue",
+            "service_overload_degraded_transitions",
+            "service_overload_recovered_transitions",
+        ] {
+            match (extract_number(&svc_cur, key), extract_number(&svc_base, key)) {
+                (Some(cur), Some(base)) => {
+                    let verdict = if cur == base { "ok" } else { "REGRESSION" };
+                    println!("{key}: current {cur} vs baseline {base} (exact) — {verdict}");
+                    if cur != base {
+                        failures += 1;
+                    }
+                }
+                (cur, _) => {
+                    eprintln!(
+                        "{key}: missing from {}",
+                        if cur.is_none() { &service_path } else { &service_baseline_path }
+                    );
+                    failures += 1;
+                    service_missing = true;
+                }
+            }
+        }
+        if service_missing {
+            print_field_diff(&svc_cur, &service_path, &svc_base, &service_baseline_path);
+        }
+    } else {
+        println!("service report absent on both sides — service gate skipped");
     }
 
     if failures > 0 {

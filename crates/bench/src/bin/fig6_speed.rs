@@ -163,6 +163,27 @@ fn main() {
         stream_profile.functions_per_pass
     );
 
+    // Scripted overload through the translation service: the shed /
+    // queue-expiry / degradation counters are deterministic functions of
+    // the corpus scale (the workers are paused while the queue is loaded),
+    // so they ride in the trajectory JSON as a behaviour fingerprint of the
+    // overload model next to the timing fields. The full service report
+    // (throughput, tail latency) lives in `service_bench`'s own JSON.
+    let overload = {
+        let segment: Vec<_> = flat.iter().take(16).cloned().collect();
+        ossa_bench::service_load::scripted_overload_stats(&segment)
+    };
+    println!(
+        "\nscripted service overload: {} accepted, {} shed, {} expired in queue, \
+         {} deadline expiries, {} degraded / {} recovered transitions",
+        overload.accepted,
+        overload.shed,
+        overload.expired_in_queue,
+        overload.deadline_exceeded,
+        overload.degraded_transitions,
+        overload.recovered_transitions
+    );
+
     // Figure 5 static-copy counts per coalescing variant: the ROADMAP's
     // quality check tracks the Sreedhar III vs Sharing ordering anomaly
     // across PRs through these (deterministic, so they double as a cheap
@@ -224,6 +245,21 @@ fn main() {
     let _ = writeln!(json, "  \"validation_failures\": {validation_failures},");
     let _ = writeln!(json, "  \"recovered_functions\": {recovered_functions},");
     let _ = writeln!(json, "  \"liveness_fallbacks\": {liveness_fallbacks},");
+    let _ = writeln!(json, "  \"service_overload_shed\": {},", overload.shed);
+    let _ =
+        writeln!(json, "  \"service_overload_expired_in_queue\": {},", overload.expired_in_queue);
+    let _ =
+        writeln!(json, "  \"service_overload_deadline_exceeded\": {},", overload.deadline_exceeded);
+    let _ = writeln!(
+        json,
+        "  \"service_overload_degraded_transitions\": {},",
+        overload.degraded_transitions
+    );
+    let _ = writeln!(
+        json,
+        "  \"service_overload_recovered_transitions\": {},",
+        overload.recovered_transitions
+    );
     let pool = &stream_profile.pool;
     let _ = writeln!(json, "  \"pool\": {{");
     let _ = writeln!(json, "    \"checkouts\": {},", pool.checkouts);

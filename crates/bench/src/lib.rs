@@ -22,6 +22,7 @@ use std::time::Instant;
 
 #[allow(unsafe_code)]
 pub mod alloc;
+pub mod service_load;
 
 use ossa_cfggen::{
     generate_ssa_function_into_cached, pin_call_conventions, spec_config, spec_like_corpus,

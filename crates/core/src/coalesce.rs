@@ -530,6 +530,17 @@ impl OutOfSsaOptions {
             abort_threshold: 0.0,
         }
     }
+
+    /// The last rung of the service degradation ladder: the
+    /// [`OutOfSsaOptions::conservative_fallback`] configuration with the
+    /// cold-tail abort threshold set to `+inf`, so *every* affinity is
+    /// abandoned — no coalescing beyond the mandatory φ-isolation, the
+    /// least work the translation can do while still emitting correct
+    /// (copy-heavy) output. Used when a shedding service values latency
+    /// over copy quality.
+    pub fn minimal_coalescing(&self) -> Self {
+        Self { abort_threshold: f64::INFINITY, ..self.conservative_fallback() }
+    }
 }
 
 /// Memory accounting of one run (Figure 7).

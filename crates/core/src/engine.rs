@@ -294,6 +294,61 @@ pub fn translate_function_isolated_policy(
     }
 
     let pristine = func.clone();
+    translate_isolated_policy_with_pristine(
+        func, &pristine, options, limits, policy, analyses, scratch,
+    )
+}
+
+/// Like [`translate_function_isolated_policy`], but the pristine
+/// pre-translation snapshot is checked out of (and retired back to) the
+/// worker's [`FunctionPool`](ossa_ir::fnpool::FunctionPool) instead of being
+/// freshly cloned per call. The snapshot is read-only for the whole attempt
+/// ladder, so even a failed request retires its slot — warm steady-state
+/// snapshotting allocates nothing. This is the per-request entry point of
+/// the persistent service workers and the pooled streaming policy engines.
+pub fn translate_function_isolated_policy_pooled(
+    func: &mut Function,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    policy: &EnginePolicy,
+    worker: &mut EngineWorker,
+) -> Result<OutOfSsaStats, TranslateError> {
+    if policy.is_passthrough() {
+        return translate_function_isolated(
+            func,
+            options,
+            limits,
+            &mut worker.analyses,
+            &mut worker.scratch,
+        );
+    }
+
+    let pristine = worker.pool.checkout_clone_of(func);
+    let result = translate_isolated_policy_with_pristine(
+        func,
+        &pristine,
+        options,
+        limits,
+        policy,
+        &mut worker.analyses,
+        &mut worker.scratch,
+    );
+    worker.pool.retire(pristine);
+    result
+}
+
+/// The shared attempt ladder of the policy engines: translate, validate,
+/// and on any failure restore `func` from `pristine`, quarantine the worker
+/// state and retry conservatively.
+fn translate_isolated_policy_with_pristine(
+    func: &mut Function,
+    pristine: &Function,
+    options: &OutOfSsaOptions,
+    limits: &Limits,
+    policy: &EnginePolicy,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut TranslateScratch,
+) -> Result<OutOfSsaStats, TranslateError> {
     let max_attempts = 1 + policy.recovery.max_retries;
     let mut validation_failures = 0usize;
     let mut last_error = None;
@@ -307,7 +362,7 @@ pub fn translate_function_isolated_policy(
             // A retry starts from scratch: pristine input, fresh worker
             // state (the previous attempt's caches may hold decisions of
             // the failed configuration), conservative options.
-            func.clone_from(&pristine);
+            func.clone_from(pristine);
             *analyses = FunctionAnalyses::new();
             *scratch = TranslateScratch::new();
             conservative = options.conservative_fallback();
@@ -317,7 +372,7 @@ pub fn translate_function_isolated_policy(
             .and_then(|stats| {
                 let verdict = fault::catch_translate(|| {
                     fault::enter_phase(&func.name, TranslatePhase::Validate);
-                    validate_translation(&pristine, func, attempt_options, policy.validation)
+                    validate_translation(pristine, func, attempt_options, policy.validation)
                 })
                 .unwrap_or_else(Err);
                 verdict.map(|()| stats)
@@ -879,14 +934,8 @@ where
     let mut index = 0usize;
     while let Some(mut func) = source.next_into(&mut worker.pool) {
         worker.analyses.invalidate_cfg();
-        let result = translate_function_isolated_policy(
-            &mut func,
-            options,
-            limits,
-            policy,
-            &mut worker.analyses,
-            &mut worker.scratch,
-        );
+        let result =
+            translate_function_isolated_policy_pooled(&mut func, options, limits, policy, worker);
         match &result {
             Ok(_) => {
                 consumer(index, Ok(&func));
@@ -973,14 +1022,8 @@ where
 
     let results: Mutex<Vec<Option<Result<OutOfSsaStats, TranslateError>>>> = Mutex::new(Vec::new());
     drive_pooled_workers(threads, source, |index, mut func, worker| {
-        let result = translate_function_isolated_policy(
-            &mut func,
-            options,
-            limits,
-            policy,
-            &mut worker.analyses,
-            &mut worker.scratch,
-        );
+        let result =
+            translate_function_isolated_policy_pooled(&mut func, options, limits, policy, worker);
         match &result {
             Ok(_) => {
                 consumer(index, Ok(&func));
@@ -1033,6 +1076,48 @@ mod tests {
         for (a, b) in serial.iter().zip(&batch) {
             assert_eq!(a, b, "translated function differs: {}", a.name);
         }
+    }
+
+    #[test]
+    fn pooled_policy_variant_matches_cloning_variant_and_recycles_pristine() {
+        let options = OutOfSsaOptions::default();
+        let limits = Limits::default();
+        let policy = EnginePolicy::validating(ValidationMode::Structural).with_retries(1);
+        let corpus = small_corpus(6);
+
+        let mut analyses = FunctionAnalyses::new();
+        let mut scratch = TranslateScratch::new();
+        let mut worker = EngineWorker::new();
+        for func in &corpus {
+            let mut via_clone = func.clone();
+            analyses.invalidate_cfg();
+            let a = translate_function_isolated_policy(
+                &mut via_clone,
+                &options,
+                &limits,
+                &policy,
+                &mut analyses,
+                &mut scratch,
+            );
+            let mut via_pool = func.clone();
+            worker.analyses.invalidate_cfg();
+            let b = translate_function_isolated_policy_pooled(
+                &mut via_pool,
+                &options,
+                &limits,
+                &policy,
+                &mut worker,
+            );
+            assert_eq!(a, b);
+            assert_eq!(via_clone, via_pool, "pooled pristine changed output: {}", func.name);
+        }
+        // The pristine snapshot slot is retired back every request: after the
+        // first checkout miss, every later snapshot recycles it.
+        let pool = worker.pool.stats();
+        assert_eq!(pool.checkouts, corpus.len() as u64);
+        assert_eq!(pool.retired, corpus.len() as u64);
+        assert_eq!(pool.recycled, corpus.len() as u64 - 1);
+        assert_eq!(worker.pool.free_len(), 1);
     }
 
     #[test]

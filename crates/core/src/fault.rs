@@ -10,6 +10,9 @@
 //! * a [`ossa_liveness::fuel::FuelExhausted`] payload (a fixpoint budget from
 //!   [`Limits::max_fixpoint_iters`] ran dry) becomes
 //!   [`TranslateError::ResourceExhausted`];
+//! * a [`ossa_liveness::fuel::Cancelled`] payload (the request's wall-clock
+//!   deadline passed — checked at every phase boundary and fixpoint tick)
+//!   becomes [`TranslateError::DeadlineExceeded`];
 //! * anything else becomes [`TranslateError::Panicked`], tagged with the
 //!   [`TranslatePhase`] the pipeline had most recently entered (a
 //!   thread-local marker written by [`enter_phase`] at each phase boundary).
@@ -28,7 +31,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ossa_ir::Function;
-use ossa_liveness::fuel::FuelExhausted;
+use ossa_liveness::fuel::{Cancelled, FuelExhausted};
 
 /// The pipeline phase a fault was attributed to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -129,6 +132,18 @@ pub enum TranslateError {
         /// equals `limit` for fuel, which stops at the bound).
         observed: u64,
     },
+    /// The request's wall-clock deadline (a cancellation token installed via
+    /// [`ossa_liveness::fuel::set_deadline`]) passed mid-translation. Unlike
+    /// [`TranslateError::ResourceExhausted`] — a deterministic property of
+    /// the function under the configured [`Limits`] — a deadline is a
+    /// property of the *request*: the same function may well succeed when
+    /// resubmitted under a fresh deadline, so service layers treat this as
+    /// shed load, not as a poisoned input.
+    DeadlineExceeded {
+        /// The phase the pipeline had most recently entered when the
+        /// cancellation token tripped.
+        phase: TranslatePhase,
+    },
     /// The pipeline panicked mid-translation.
     Panicked {
         /// The phase the pipeline had most recently entered.
@@ -162,6 +177,9 @@ impl fmt::Display for TranslateError {
             TranslateError::ResourceExhausted { resource, limit, observed } => {
                 write!(f, "resource exhausted: {observed} {resource} exceeds the limit of {limit}")
             }
+            TranslateError::DeadlineExceeded { phase } => {
+                write!(f, "deadline exceeded in phase {phase}")
+            }
             TranslateError::Panicked { phase, message } => {
                 write!(f, "translation panicked in phase {phase}: {message}")
             }
@@ -180,6 +198,7 @@ impl TranslateError {
     pub fn phase(&self) -> Option<TranslatePhase> {
         match self {
             TranslateError::Malformed { phase, .. }
+            | TranslateError::DeadlineExceeded { phase }
             | TranslateError::Panicked { phase, .. }
             | TranslateError::ValidationFailed { phase, .. } => Some(*phase),
             TranslateError::ResourceExhausted { .. } => None,
@@ -236,13 +255,16 @@ thread_local! {
     static PHASE: Cell<TranslatePhase> = const { Cell::new(TranslatePhase::Verify) };
 }
 
-/// Marks the current thread's pipeline as having entered `phase` (and, with
-/// the `failpoints` feature, asks the injector whether to fire here). Called
-/// at every phase boundary of the translation; the cost without failpoints
-/// is one thread-local store.
+/// Marks the current thread's pipeline as having entered `phase`, checks the
+/// request's cancellation token (so a deadline aborts at the next phase
+/// boundary even between fixpoint loops), and — with the `failpoints`
+/// feature — asks the injector whether to stall or fire here. Called at
+/// every phase boundary of the translation; the cost without failpoints and
+/// without an installed deadline is two thread-local reads.
 #[inline]
 pub fn enter_phase(func_name: &str, phase: TranslatePhase) {
     PHASE.set(phase);
+    ossa_liveness::fuel::cancel_tick();
     #[cfg(feature = "failpoints")]
     failpoints::fire(func_name, phase);
     #[cfg(not(feature = "failpoints"))]
@@ -271,6 +293,9 @@ fn error_from_payload(payload: Box<dyn Any + Send>) -> TranslateError {
             limit: fuel.limit,
             observed: fuel.limit,
         };
+    }
+    if payload.downcast_ref::<Cancelled>().is_some() {
+        return TranslateError::DeadlineExceeded { phase: current_phase() };
     }
     let message = if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -319,6 +344,74 @@ pub mod failpoints {
         *CONFIG.write().unwrap() = None;
     }
 
+    /// An armed stall campaign: selected (function, phase) sites sleep for
+    /// `millis` instead of panicking, modelling a wedged or pathologically
+    /// slow worker. The sleep is sliced and checks the cancellation token
+    /// between slices, so a request deadline bounds even an injected stall —
+    /// exactly the overload scenario the service watchdogs exist for.
+    #[derive(Clone, Copy, Debug)]
+    pub struct StallConfig {
+        /// Seed mixed into the per-site hash (independent of the panic
+        /// injector's subset under the same seed — see [`should_stall`]).
+        pub seed: u64,
+        /// Stall probability in 1/1000ths, applied per (function, phase).
+        pub rate_per_mille: u32,
+        /// Restrict stalling to one phase (`None`: every phase eligible).
+        pub phase: Option<TranslatePhase>,
+        /// How long a selected site stalls, in milliseconds.
+        pub millis: u64,
+    }
+
+    static STALL: RwLock<Option<StallConfig>> = RwLock::new(None);
+
+    /// Arms the stall injector process-wide.
+    pub fn configure_stall(config: StallConfig) {
+        *STALL.write().unwrap() = Some(config);
+    }
+
+    /// Disarms the stall injector.
+    pub fn clear_stall() {
+        *STALL.write().unwrap() = None;
+    }
+
+    /// Pure site predicate for stalls, mirroring [`should_fail`]: would the
+    /// armed campaign stall at this (function, phase) site? Tests precompute
+    /// the stalled subset of a corpus from this.
+    pub fn should_stall(func_name: &str, phase: TranslatePhase) -> bool {
+        let Some(config) = *STALL.read().unwrap() else {
+            return false;
+        };
+        if config.phase.is_some_and(|p| p != phase) {
+            return false;
+        }
+        // FNV-1a over (seed, name, tagged phase); the 0x40 bias keeps the
+        // tag byte disjoint from both the panic injector's phase bytes and
+        // the corruption injector's 0x80-biased kind bytes, so all three
+        // campaigns poison independent subsets under one seed.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |byte: u8| hash = (hash ^ byte as u64).wrapping_mul(0x1000_0000_01b3);
+        for byte in config.seed.to_le_bytes() {
+            mix(byte);
+        }
+        for byte in func_name.bytes() {
+            mix(byte);
+        }
+        mix(0x40 | phase as u8);
+        (hash % 1000) < config.rate_per_mille as u64
+    }
+
+    /// Sleeps out an injected stall in 1 ms slices, checking the request's
+    /// cancellation token between slices: a stall never outlives the
+    /// deadline by more than one slice.
+    fn stall_here(millis: u64) {
+        let slice = std::time::Duration::from_millis(1);
+        for _ in 0..millis {
+            ossa_liveness::fuel::cancel_tick();
+            std::thread::sleep(slice);
+        }
+        ossa_liveness::fuel::cancel_tick();
+    }
+
     /// Pure site predicate: would the armed campaign fire at this
     /// (function, phase) site? Depends only on the config and the
     /// arguments — never on thread schedule or visit order — so a test can
@@ -353,6 +446,10 @@ pub mod failpoints {
     pub fn fire(func_name: &str, phase: TranslatePhase) {
         if phase == TranslatePhase::Verify {
             CORRUPTED.set(false);
+        }
+        if current_attempt() == 0 && should_stall(func_name, phase) {
+            let millis = STALL.read().unwrap().map(|c| c.millis).unwrap_or(0);
+            stall_here(millis);
         }
         if current_attempt() == 0 && should_fail(func_name, phase) {
             panic!("failpoint: injected fault in {func_name} at phase {phase}");
@@ -392,6 +489,12 @@ pub mod failpoints {
         /// thread. Injection (panics and corruption alike) only arms on
         /// attempt 0.
         static ATTEMPT: Cell<u32> = const { Cell::new(0) };
+        /// Attempt offset installed by a driver running its *own* retry
+        /// ladder above the engine (the translation service's degradation
+        /// rungs). The engine resets [`ATTEMPT`] to 0 at the start of every
+        /// policy call, which would re-arm injection on service-level
+        /// retries; the base keeps `current_attempt` nonzero there.
+        static ATTEMPT_BASE: Cell<u32> = const { Cell::new(0) };
         /// Whether the current function has already spent its
         /// one-corruption budget (reset at each `Verify` boundary).
         static CORRUPTED: Cell<bool> = const { Cell::new(false) };
@@ -414,9 +517,19 @@ pub mod failpoints {
         ATTEMPT.set(attempt);
     }
 
-    /// The retry attempt most recently recorded via [`set_attempt`].
+    /// Records an attempt *offset* added on top of [`set_attempt`], for
+    /// drivers that run their own retry ladder above the engine's (the
+    /// translation service's degradation rungs). Injection arms only when
+    /// `base + attempt == 0`, so a service retry stays injection-free even
+    /// though the engine call inside it starts back at attempt 0.
+    pub fn set_attempt_base(base: u32) {
+        ATTEMPT_BASE.set(base);
+    }
+
+    /// The retry attempt most recently recorded via [`set_attempt`], offset
+    /// by [`set_attempt_base`].
     pub fn current_attempt() -> u32 {
-        ATTEMPT.get()
+        ATTEMPT_BASE.get().saturating_add(ATTEMPT.get())
     }
 
     /// Pure site predicate for corruption, mirroring [`should_fail`]: would
@@ -507,6 +620,47 @@ mod tests {
         // to the previous function's last phase.
         let err = catch_translate(|| panic!("second")).unwrap_err();
         assert_eq!(err.phase(), Some(TranslatePhase::Verify));
+    }
+
+    #[test]
+    fn catch_maps_cancellation_to_deadline_exceeded_with_phase() {
+        let err = catch_translate(|| {
+            enter_phase("f", TranslatePhase::Liveness);
+            std::panic::panic_any(Cancelled);
+        })
+        .unwrap_err();
+        assert_eq!(err, TranslateError::DeadlineExceeded { phase: TranslatePhase::Liveness });
+        assert_eq!(err.phase(), Some(TranslatePhase::Liveness));
+        assert_eq!(err.to_string(), "deadline exceeded in phase liveness");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_at_the_next_phase_boundary() {
+        use std::time::{Duration, Instant};
+        ossa_liveness::fuel::set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let err = catch_translate(|| {
+            enter_phase("f", TranslatePhase::Coalesce);
+        })
+        .unwrap_err();
+        ossa_liveness::fuel::set_deadline(None);
+        assert_eq!(err, TranslateError::DeadlineExceeded { phase: TranslatePhase::Coalesce });
+    }
+
+    #[test]
+    fn deadline_and_fuel_exhaustion_are_distinguishable() {
+        // Satellite regression: the two time/resource budgets must map to
+        // distinct taxonomy variants — a service retries a deadline miss on
+        // another rung but treats fuel exhaustion as a property of the input.
+        use std::time::{Duration, Instant};
+        ossa_liveness::fuel::set_fixpoint_fuel(Some(0));
+        let fuel_err = catch_translate(ossa_liveness::fuel::fixpoint_tick).unwrap_err();
+        ossa_liveness::fuel::set_fixpoint_fuel(None);
+        ossa_liveness::fuel::set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let deadline_err = catch_translate(ossa_liveness::fuel::cancel_tick).unwrap_err();
+        ossa_liveness::fuel::set_deadline(None);
+        assert!(matches!(fuel_err, TranslateError::ResourceExhausted { .. }));
+        assert!(matches!(deadline_err, TranslateError::DeadlineExceeded { .. }));
+        assert_ne!(fuel_err, deadline_err);
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! * [`ValidationMode::Structural`] re-runs the CFG verifier on the output
 //!   and asserts the translation's postconditions: no φ-function survives,
 //!   no parallel copy survives (when sequentialization was requested), and
-//!   every value the output uses is defined somewhere (def-use sanity —
-//!   dominance is deliberately not required, the output is no longer SSA).
+//!   every use is *must-defined* — reached by a write on every path from
+//!   entry (the dominance-aware def-use check adapted to non-SSA output,
+//!   where values may have many defs). This catches most dropped-copy
+//!   corruptions statically, at bit-set data-flow cost instead of the
+//!   interpreter's.
 //! * [`ValidationMode::Differential`] additionally promotes the test-only
 //!   interpreter oracle into a runtime check: it executes the
 //!   pre-translation function and the translated output on deterministic
@@ -28,7 +31,7 @@
 use std::fmt::Write as _;
 
 use ossa_interp::{argument_sets, same_behaviour, InterpError, Interpreter, Observation};
-use ossa_ir::{verify_cfg, Function};
+use ossa_ir::{verify_cfg, Block, EntitySet, Function, SecondaryMap, Value};
 
 use crate::coalesce::OutOfSsaOptions;
 use crate::fault::{TranslateError, TranslatePhase};
@@ -107,9 +110,9 @@ pub fn validate_structural(
             }
         }
     }
-    // Def-use sanity: the output is not SSA (no unique-def or dominance
-    // requirement), but a value that is read and never written anywhere is
-    // always a miscompile — it is exactly what a lost copy leaves behind.
+    // Def-use sanity: the output is not SSA (no unique-def requirement), but
+    // a value that is read and never written anywhere is always a miscompile
+    // — it is exactly what a lost copy leaves behind.
     let def_counts = translated.def_counts();
     let mut uses = Vec::new();
     for block in translated.blocks() {
@@ -122,6 +125,103 @@ pub fn validate_structural(
                         "{value} is used in {block} but defined nowhere"
                     )));
                 }
+            }
+        }
+    }
+    validate_must_defined(translated)
+}
+
+/// The dominance-aware half of the def-use check: every use must be
+/// *must-defined* — reached by a write on **every** path from entry. On
+/// non-SSA output (multiple defs per value are normal after coalescing) the
+/// classical "each use dominated by its def" test is exactly the must-define
+/// forward data flow `in[b] = ∩ preds out[p]`, which this computes over
+/// value bit-sets. A dropped copy whose destination is written on only some
+/// of the paths reaching a use — the lost-copy residue a plain def-count
+/// check cannot see — fails here without paying for the interpreter.
+///
+/// Runs after the no-φ postcondition, so every use is an ordinary operand
+/// (φ-uses, which would need checking at predecessor exits, are already
+/// gone); parallel copies read all sources before writing any destination,
+/// matching the uses-then-defs order of the walk. Blocks whose in-set is
+/// still ⊤ (unreachable code) are vacuously correct: no path reaches them.
+fn validate_must_defined(translated: &Function) -> Result<(), TranslateError> {
+    let entry = translated.entry();
+    let preds = translated.predecessors();
+    // out[b] per block; `None` is ⊤ (not yet computed / unreachable), the
+    // identity of intersection. Sets only shrink from ⊤, so the fixpoint
+    // terminates.
+    let mut outs: SecondaryMap<Block, Option<EntitySet<Value>>> = SecondaryMap::new();
+    let mut avail: EntitySet<Value> = EntitySet::with_capacity(translated.num_values());
+    let mut uses = Vec::new();
+    let mut defs = Vec::new();
+    // in[b] = ∩ preds out[p] (entry: ∅); returns `None` for ⊤.
+    let flow_in = |outs: &SecondaryMap<Block, Option<EntitySet<Value>>>,
+                   avail: &mut EntitySet<Value>,
+                   block: Block|
+     -> bool {
+        avail.reset();
+        if block == entry {
+            return true;
+        }
+        let mut seeded = false;
+        for &pred in &preds[block] {
+            let Some(out) = &outs[pred] else { continue };
+            if seeded {
+                avail.intersect_with(out);
+            } else {
+                avail.clone_from_set(out);
+                seeded = true;
+            }
+        }
+        seeded
+    };
+    loop {
+        let mut changed = false;
+        for block in translated.blocks() {
+            if !flow_in(&outs, &mut avail, block) && block != entry {
+                continue;
+            }
+            for &inst in translated.block_insts(block) {
+                defs.clear();
+                translated.collect_inst_defs(inst, &mut defs);
+                for &value in &defs {
+                    avail.insert(value);
+                }
+            }
+            let slot = &mut outs[block];
+            if slot.as_ref() != Some(&avail) {
+                match slot {
+                    Some(set) => set.clone_from_set(&avail),
+                    None => *slot = Some(avail.clone()),
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Check pass: walk each reachable block from its in-set, verifying every
+    // use against the values must-defined at that point.
+    for block in translated.blocks() {
+        if !flow_in(&outs, &mut avail, block) && block != entry {
+            continue;
+        }
+        for &inst in translated.block_insts(block) {
+            uses.clear();
+            translated.collect_inst_uses(inst, &mut uses);
+            for &value in &uses {
+                if !avail.contains(value) {
+                    return Err(validation_error(format!(
+                        "{value} is used in {block} but is not defined on every path from entry"
+                    )));
+                }
+            }
+            defs.clear();
+            translated.collect_inst_defs(inst, &mut defs);
+            for &value in &defs {
+                avail.insert(value);
             }
         }
     }
@@ -287,6 +387,50 @@ mod tests {
             validate_translation(&original, &translated, &options, ValidationMode::Structural)
                 .unwrap_err();
         assert!(err.to_string().contains("defined nowhere"), "{err}");
+    }
+
+    /// A diamond whose join reads a value written on only one arm — the
+    /// shape a lost copy leaves when the dropped write sat on the other arm.
+    /// With `on_both_arms`, the second arm defines the value too (normal
+    /// multi-def non-SSA output, which must validate).
+    fn partially_defined(on_both_arms: bool) -> Function {
+        let mut b = FunctionBuilder::new("partial", 2);
+        let entry = b.create_block();
+        let then = b.create_block();
+        let els = b.create_block();
+        let join = b.create_block();
+        b.set_entry(entry);
+        b.switch_to_block(entry);
+        let a = b.param(0);
+        let y = b.param(1);
+        let c = b.cmp(ossa_ir::CmpOp::Lt, a, y);
+        b.branch(c, then, els);
+        let x = b.declare_value();
+        b.switch_to_block(then);
+        b.binary_to(BinaryOp::Add, x, a, y);
+        b.jump(join);
+        b.switch_to_block(els);
+        if on_both_arms {
+            b.binary_to(BinaryOp::Mul, x, a, y);
+        }
+        b.jump(join);
+        b.switch_to_block(join);
+        let r = b.binary(BinaryOp::Add, x, a);
+        b.ret(Some(r));
+        b.finish()
+    }
+
+    #[test]
+    fn structural_mode_rejects_values_not_defined_on_every_path() {
+        // One def on one arm: def-counting sees a healthy value, the
+        // must-define data flow sees the undefined path.
+        let broken = partially_defined(false);
+        let options = OutOfSsaOptions::default();
+        let err = validate_structural(&broken, &options).unwrap_err();
+        assert!(err.to_string().contains("not defined on every path"), "{err}");
+        // Defs on both arms: ordinary multi-def non-SSA output, accepted.
+        let healthy = partially_defined(true);
+        assert_eq!(validate_structural(&healthy, &options), Ok(()));
     }
 
     #[test]

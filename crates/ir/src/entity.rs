@@ -84,10 +84,23 @@ entity_ref! {
 
 /// A map that allocates entity references densely and owns the primary
 /// definition of each entity.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct PrimaryMap<K: EntityRef, V> {
     elems: Vec<V>,
     _marker: PhantomData<K>,
+}
+
+impl<K: EntityRef, V: Clone> Clone for PrimaryMap<K, V> {
+    fn clone(&self) -> Self {
+        Self { elems: self.elems.clone(), _marker: PhantomData }
+    }
+
+    /// Capacity-reusing clone: delegates to `Vec::clone_from`, so repeatedly
+    /// snapshotting into the same map allocates nothing once the backing
+    /// storage (and each element's own heap storage, element-wise) suffices.
+    fn clone_from(&mut self, source: &Self) {
+        self.elems.clone_from(&source.elems);
+    }
 }
 
 impl<K: EntityRef, V> PrimaryMap<K, V> {
@@ -201,11 +214,23 @@ impl<K: EntityRef, V: fmt::Debug> fmt::Debug for PrimaryMap<K, V> {
 }
 
 /// A dense, default-filled auxiliary map keyed by an entity reference.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct SecondaryMap<K: EntityRef, V: Clone> {
     elems: Vec<V>,
     default: V,
     _marker: PhantomData<K>,
+}
+
+impl<K: EntityRef, V: Clone> Clone for SecondaryMap<K, V> {
+    fn clone(&self) -> Self {
+        Self { elems: self.elems.clone(), default: self.default.clone(), _marker: PhantomData }
+    }
+
+    /// Capacity-reusing clone (see [`PrimaryMap::clone_from`]).
+    fn clone_from(&mut self, source: &Self) {
+        self.elems.clone_from(&source.elems);
+        self.default.clone_from(&source.default);
+    }
 }
 
 impl<K: EntityRef, V: Clone + Default> SecondaryMap<K, V> {
@@ -306,11 +331,22 @@ impl<K: EntityRef, V: Clone + fmt::Debug> fmt::Debug for SecondaryMap<K, V> {
 }
 
 /// A set of entities backed by a bit vector.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct EntitySet<K: EntityRef> {
     words: Vec<u64>,
     len: usize,
     _marker: PhantomData<K>,
+}
+
+impl<K: EntityRef> Clone for EntitySet<K> {
+    fn clone(&self) -> Self {
+        Self { words: self.words.clone(), len: self.len, _marker: PhantomData }
+    }
+
+    /// Capacity-reusing clone; equivalent to [`EntitySet::clone_from_set`].
+    fn clone_from(&mut self, source: &Self) {
+        self.clone_from_set(source);
+    }
 }
 
 impl<K: EntityRef> Default for EntitySet<K> {
@@ -440,6 +476,20 @@ impl<K: EntityRef> EntitySet<K> {
             }
             len += merged.count_ones() as usize;
         }
+        self.len = len;
+        changed
+    }
+
+    /// Keeps only the entities also in `other` (set intersection); returns
+    /// `true` if `self` shrank. The word-level pass of the must-define
+    /// data-flow transfer `in[b] = ∩ preds out[p]`.
+    pub fn intersect_with(&mut self, other: &Self) -> bool {
+        let mut len = 0usize;
+        for (i, word) in self.words.iter_mut().enumerate() {
+            *word &= other.words.get(i).copied().unwrap_or(0);
+            len += word.count_ones() as usize;
+        }
+        let changed = len != self.len;
         self.len = len;
         changed
     }
@@ -597,6 +647,23 @@ mod tests {
         assert!(a.union_with(&b));
         assert_eq!(a.len(), 4);
         assert!(!a.union_with(&b));
+    }
+
+    #[test]
+    fn entity_set_intersect_with_matches_per_bit() {
+        let mut a: EntitySet<Value> =
+            [0usize, 1, 63, 64, 200].iter().map(|&i| Value::from_index(i)).collect();
+        let b: EntitySet<Value> = [1usize, 64, 300].iter().map(|&i| Value::from_index(i)).collect();
+        assert!(a.intersect_with(&b));
+        let indices: Vec<_> = a.iter().map(|v| v.index()).collect();
+        assert_eq!(indices, vec![1, 64]);
+        assert_eq!(a.len(), 2);
+        // Intersecting again changes nothing.
+        assert!(!a.intersect_with(&b));
+        // A wider `other` never resurrects bits beyond `self`'s words.
+        let wide: EntitySet<Value> = [1usize, 500].iter().map(|&i| Value::from_index(i)).collect();
+        assert!(a.intersect_with(&wide));
+        assert_eq!(a.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![1]);
     }
 
     #[test]

@@ -81,6 +81,17 @@ impl FunctionPool {
         }
     }
 
+    /// Checks out a slot holding an exact copy of `source`, built with the
+    /// capacity-reusing `Function::clone_from` — the pristine-snapshot
+    /// checkout of the retrying engines and service workers. Served from the
+    /// free list, the snapshot reuses the slot's existing buffers, so warm
+    /// steady-state snapshotting allocates nothing.
+    pub fn checkout_clone_of(&mut self, source: &Function) -> Function {
+        let mut slot = self.checkout();
+        slot.clone_from(source);
+        slot
+    }
+
     /// Pre-populates the free list with `count` empty shells whose arenas
     /// are pre-reserved for roughly `est_insts` instructions, so the first
     /// streaming pass serves its checkouts from recycled storage instead of
@@ -188,6 +199,23 @@ mod tests {
         let warm = build_into(&mut pool, 7);
         let fresh = build_into(&mut FunctionPool::new(), 7);
         assert_eq!(warm, fresh);
+    }
+
+    #[test]
+    fn checkout_clone_of_matches_plain_clone_and_recycles() {
+        let mut pool = FunctionPool::new();
+        let original = build_into(&mut pool, 9);
+        // Miss path: fresh snapshot equals a plain clone.
+        let snap = pool.checkout_clone_of(&original);
+        assert_eq!(snap, original);
+        assert_eq!(snap, original.clone());
+        pool.retire(snap);
+        // Hit path: a recycled slot resnapshots bit-identically.
+        let resnap = pool.checkout_clone_of(&original);
+        assert_eq!(resnap, original);
+        assert_eq!(pool.stats().recycled, 1);
+        pool.retire(resnap);
+        pool.retire(original);
     }
 
     #[test]

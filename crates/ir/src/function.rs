@@ -7,9 +7,21 @@ use crate::instruction::{CopyList, CopyPair, InstData, PhiArg, PhiList, ValueLis
 use crate::pool::IrPools;
 
 /// Data attached to each basic block: its instruction sequence.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct BlockData {
     insts: Vec<Inst>,
+}
+
+impl Clone for BlockData {
+    fn clone(&self) -> Self {
+        Self { insts: self.insts.clone() }
+    }
+
+    /// Capacity-reusing clone, so `Function::clone_from` reuses each block's
+    /// instruction-list buffer.
+    fn clone_from(&mut self, source: &Self) {
+        self.insts.clone_from(&source.insts);
+    }
 }
 
 /// Data attached to each value.
@@ -44,7 +56,7 @@ pub struct DefSite {
 /// Equality ([`PartialEq`]) compares *resolved content*, so two functions
 /// built through different histories (e.g. one through recycled arenas)
 /// compare equal iff their attached code is identical.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Function {
     /// Function name (used by printers and the benchmark harness).
     pub name: String,
@@ -59,6 +71,39 @@ pub struct Function {
     /// Block data retired by [`Function::reset`], reused (with their
     /// instruction-list buffers) by [`Function::add_block`].
     spare_blocks: Vec<BlockData>,
+}
+
+impl Clone for Function {
+    fn clone(&self) -> Self {
+        Self {
+            name: self.name.clone(),
+            num_params: self.num_params,
+            insts: self.insts.clone(),
+            blocks: self.blocks.clone(),
+            values: self.values.clone(),
+            entry: self.entry,
+            layout: self.layout.clone(),
+            pools: self.pools.clone(),
+            spare_blocks: self.spare_blocks.clone(),
+        }
+    }
+
+    /// Capacity-reusing clone: every backing buffer (entity maps, layout,
+    /// operand arenas, per-block instruction lists) is reused in place, so
+    /// repeatedly snapshotting same-shaped functions into one slot — the
+    /// pristine-copy discipline of the retrying engines and the service
+    /// workers — settles to zero steady-state allocation.
+    fn clone_from(&mut self, source: &Self) {
+        self.name.clone_from(&source.name);
+        self.num_params = source.num_params;
+        self.insts.clone_from(&source.insts);
+        self.blocks.clone_from(&source.blocks);
+        self.values.clone_from(&source.values);
+        self.entry = source.entry;
+        self.layout.clone_from(&source.layout);
+        self.pools.clone_from(&source.pools);
+        self.spare_blocks.clone_from(&source.spare_blocks);
+    }
 }
 
 impl PartialEq for Function {

@@ -152,13 +152,27 @@ const NUM_CLASSES: usize = 31;
 /// Arena of lists of `T` with size-class free lists threaded through the
 /// retired blocks (no side allocation: retiring and reusing lists never
 /// touches the heap).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ListPool<T: PoolElem> {
     data: Vec<T>,
     /// Head of the free list of each size class, encoded as offset + 1
     /// (0 = empty). The next link of a retired block lives in its first
     /// element slot.
     free_heads: [u32; NUM_CLASSES],
+}
+
+impl<T: PoolElem> Clone for ListPool<T> {
+    fn clone(&self) -> Self {
+        Self { data: self.data.clone(), free_heads: self.free_heads }
+    }
+
+    /// Capacity-reusing clone: the flat arena is copied in place, so
+    /// repeatedly snapshotting into the same pool allocates nothing once the
+    /// arena capacity suffices.
+    fn clone_from(&mut self, source: &Self) {
+        self.data.clone_from(&source.data);
+        self.free_heads = source.free_heads;
+    }
 }
 
 impl<T: PoolElem> Default for ListPool<T> {
@@ -286,7 +300,7 @@ impl<T: PoolElem> ListPool<T> {
 /// (call-argument and φ-argument lists — the φ side keyed by [`PhiArg`] so
 /// each entry carries its predecessor edge) and the copy pool (parallel-copy
 /// move lists).
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct IrPools {
     /// Call-argument lists.
     pub values: ListPool<Value>,
@@ -294,6 +308,18 @@ pub struct IrPools {
     pub phis: ListPool<PhiArg>,
     /// Parallel-copy move lists.
     pub copies: ListPool<CopyPair>,
+}
+
+impl Clone for IrPools {
+    fn clone(&self) -> Self {
+        Self { values: self.values.clone(), phis: self.phis.clone(), copies: self.copies.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.values.clone_from(&source.values);
+        self.phis.clone_from(&source.phis);
+        self.copies.clone_from(&source.copies);
+    }
 }
 
 impl IrPools {

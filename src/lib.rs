@@ -14,6 +14,8 @@
 //! * [`interp`] — the reference interpreter used as a semantic oracle,
 //! * [`cfggen`] — synthetic workloads simulating the SPEC CINT2000 corpus,
 //! * [`regalloc`] — a linear-scan register allocator consuming the output,
+//! * [`service`] — an overload-resilient translation service (bounded
+//!   queues, deadlines, backpressure, degradation ladders),
 //!
 //! and adds the [`pipeline`] layer: a [`Pipeline`] pass manager that runs
 //! the whole flow — SSA construction, copy propagation, DCE, CSSA check,
@@ -44,5 +46,6 @@ pub use ossa_interp as interp;
 pub use ossa_ir as ir;
 pub use ossa_liveness as liveness;
 pub use ossa_regalloc as regalloc;
+pub use ossa_service as service;
 pub use ossa_ssa as ssa;
 pub use pipeline::{Pipeline, PipelineReport};

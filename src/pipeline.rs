@@ -45,6 +45,8 @@
 //! assert!(report.allocation.is_some());
 //! ```
 
+use std::time::{Duration, Instant};
+
 use ossa_destruct::fault::{self, TranslatePhase};
 use ossa_destruct::{
     translate_out_of_ssa_scratch, validate_translation, Limits, OutOfSsaOptions, OutOfSsaStats,
@@ -93,6 +95,7 @@ pub struct Pipeline {
     limits: Limits,
     validation: ValidationMode,
     recovery: RecoveryPolicy,
+    deadline: Option<Duration>,
     analyses: FunctionAnalyses,
     scratch: TranslateScratch,
     pool: FunctionPool,
@@ -110,6 +113,7 @@ impl Pipeline {
             limits: Limits::UNBOUNDED,
             validation: ValidationMode::Off,
             recovery: RecoveryPolicy::default(),
+            deadline: None,
             analyses: FunctionAnalyses::new(),
             scratch: TranslateScratch::new(),
             pool: FunctionPool::new(),
@@ -163,6 +167,19 @@ impl Pipeline {
     /// `recovery.max_retries` times.
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Sets a wall-clock budget for each `try_run*` call: a cancellation
+    /// token ([`ossa_liveness::fuel::set_deadline`]) spanning the *whole*
+    /// recovery ladder — retries share the budget rather than resetting it.
+    /// Expiry surfaces as [`TranslateError::DeadlineExceeded`] at the next
+    /// phase boundary or fixpoint tick. An already-installed ambient
+    /// deadline (e.g. a service worker's per-request token) is narrowed,
+    /// never widened, and is restored on return. [`Pipeline::run`] is the
+    /// unchecked fast path and ignores this.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -359,6 +376,7 @@ impl Pipeline {
         func: &mut Function,
         mut constrain: impl FnMut(&mut Function),
     ) -> Result<PipelineReport, TranslateError> {
+        let _deadline = self.deadline.map(DeadlineGuard::install);
         if self.validation == ValidationMode::Off && self.recovery.max_retries == 0 {
             let options = self.options.clone();
             return self.try_run_attempt(func, &mut constrain, &options, None);
@@ -444,6 +462,30 @@ impl Pipeline {
             self.scratch = TranslateScratch::new();
         }
         result
+    }
+}
+
+/// RAII installation of a [`Pipeline::with_deadline`] budget: narrows any
+/// ambient deadline already on the thread (a tighter outer token — e.g. a
+/// service worker's per-request deadline — keeps winning) and restores it
+/// on drop, including on unwind.
+struct DeadlineGuard {
+    previous: Option<Instant>,
+}
+
+impl DeadlineGuard {
+    fn install(budget: Duration) -> Self {
+        let previous = ossa_liveness::fuel::current_deadline();
+        let target = Instant::now() + budget;
+        let effective = previous.map_or(target, |p| p.min(target));
+        ossa_liveness::fuel::set_deadline(Some(effective));
+        Self { previous }
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        ossa_liveness::fuel::set_deadline(self.previous);
     }
 }
 
@@ -573,6 +615,21 @@ mod tests {
         let stats = pipeline.pool().stats();
         assert_eq!(stats.retired, 5);
         assert_eq!(stats.recycled, 4, "all checkouts after the first recycle the slot");
+    }
+
+    #[test]
+    fn deadline_aborts_try_run_with_a_typed_error_and_is_restored() {
+        let mut pipeline =
+            Pipeline::new(OutOfSsaOptions::default()).with_deadline(Some(Duration::ZERO));
+        let mut func = generate_function("dl", &GenConfig::small(), 3);
+        let err = pipeline.try_run(&mut func).expect_err("zero budget expires immediately");
+        assert!(matches!(err, TranslateError::DeadlineExceeded { .. }), "got {err:?}");
+        // The guard restored the thread's ambient deadline (none here).
+        assert_eq!(ossa_liveness::fuel::current_deadline(), None);
+        // Clearing the budget lets the same pipeline succeed.
+        let mut pipeline = pipeline.with_deadline(None);
+        let mut fresh = generate_function("dl", &GenConfig::small(), 3);
+        pipeline.try_run(&mut fresh).expect("no deadline");
     }
 
     #[test]

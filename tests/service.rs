@@ -1,0 +1,249 @@
+//! Queue-edge behaviour of the translation service: full queues under each
+//! admission policy, deadlines expiring in the queue, shutdown with work in
+//! flight, and bit-identity of service outputs with the direct engine.
+//!
+//! Every test here drives the service into an edge deliberately (usually by
+//! pausing the workers so queue depth is scripted, not scheduled) and
+//! asserts the two invariants of the overload model: every accepted request
+//! resolves with exactly one typed outcome, and no function is ever lost or
+//! duplicated — refusals and failures hand the input back.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use out_of_ssa::cfggen::{generate_ssa_function, GenConfig};
+use out_of_ssa::destruct::{
+    translate_function_isolated_policy, EnginePolicy, Limits, TranslateScratch, ValidationMode,
+};
+use out_of_ssa::ir::Function;
+use out_of_ssa::liveness::FunctionAnalyses;
+use out_of_ssa::service::{
+    AdmissionPolicy, DegradationConfig, ServiceConfig, ServiceError, SubmitError,
+    TranslationService,
+};
+
+fn input(seed: u64) -> Function {
+    generate_ssa_function(format!("req_{seed}"), &GenConfig::default(), seed).0
+}
+
+/// The reference output: the same input through the non-pooled policy
+/// engine on a fresh worker, rung-0 configuration.
+fn reference(seed: u64, validation: ValidationMode) -> Function {
+    let mut func = input(seed);
+    let policy = EnginePolicy::validating(validation);
+    translate_function_isolated_policy(
+        &mut func,
+        &Default::default(),
+        &Limits::default(),
+        &policy,
+        &mut FunctionAnalyses::new(),
+        &mut TranslateScratch::new(),
+    )
+    .expect("healthy input translates");
+    func
+}
+
+#[test]
+fn reject_admission_hands_the_function_back_at_capacity() {
+    let service = TranslationService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 3,
+        admission: AdmissionPolicy::Reject,
+        ..ServiceConfig::default()
+    });
+    service.pause();
+    let mut tickets = Vec::new();
+    let mut refused = Vec::new();
+    for seed in 0..6u64 {
+        match service.submit(input(seed)) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(SubmitError::QueueFull(func)) => refused.push(func),
+            Err(other) => panic!("unexpected refusal: {other}"),
+        }
+    }
+    assert_eq!(tickets.len(), 3);
+    assert_eq!(refused.len(), 3);
+    // Nothing lost: the refused functions are the exact ones submitted.
+    let names: Vec<_> = refused.iter().map(|f| f.name.clone()).collect();
+    assert_eq!(names, ["req_3", "req_4", "req_5"]);
+    service.resume();
+    for ticket in tickets {
+        assert!(ticket.wait().outcome.is_ok());
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected_queue_full, 3);
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.completed, 3);
+}
+
+#[test]
+fn shed_oldest_admission_evicts_the_oldest_with_a_typed_reply() {
+    let service = TranslationService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        admission: AdmissionPolicy::ShedOldest,
+        ..ServiceConfig::default()
+    });
+    service.pause();
+    let tickets: Vec<_> =
+        (0..4u64).map(|seed| service.submit(input(seed)).expect("always admitted")).collect();
+    // Capacity 2, 4 submissions: requests 0 and 1 were evicted in order,
+    // and their replies arrived while the workers were still paused —
+    // shedding never waits on a worker.
+    let mut tickets = tickets.into_iter();
+    for seed in 0..2u64 {
+        let response = tickets.next().unwrap().wait();
+        assert!(matches!(response.outcome, Err(ServiceError::Shed)), "request {seed}");
+        let returned = response.returned.as_ref().expect("shed request hands the input back");
+        assert_eq!(returned.name, format!("req_{seed}"));
+    }
+    service.resume();
+    let responses: Vec<_> = tickets.map(|t| t.wait()).collect();
+    for response in &responses {
+        assert!(response.outcome.is_ok());
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.accepted, 4);
+    assert_eq!(stats.shed, 2);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.resolved(), 4);
+}
+
+#[test]
+fn block_admission_times_out_typed_when_no_space_opens() {
+    let service = TranslationService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        admission: AdmissionPolicy::Block,
+        max_admission_wait: Some(Duration::from_millis(30)),
+        ..ServiceConfig::default()
+    });
+    service.pause();
+    let ticket = service.submit(input(0)).expect("first fits");
+    match service.submit(input(1)) {
+        Err(SubmitError::AdmissionTimeout(func)) => assert_eq!(func.name, "req_1"),
+        other => panic!("expected admission timeout, got {:?}", other.map(|t| t.id())),
+    }
+    service.resume();
+    assert!(ticket.wait().outcome.is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.admission_timeouts, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn deadline_expiring_in_the_queue_is_typed_and_skips_translation() {
+    let service = TranslationService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        ..ServiceConfig::default()
+    });
+    service.pause();
+    let doomed =
+        service.submit_with_deadline(input(0), Some(Duration::from_millis(10))).expect("admitted");
+    let healthy = service.submit(input(1)).expect("admitted");
+    std::thread::sleep(Duration::from_millis(30));
+    service.resume();
+
+    let response = doomed.wait();
+    assert!(matches!(response.outcome, Err(ServiceError::ExpiredInQueue)));
+    let returned = response.returned.expect("expired request hands the input back");
+    assert_eq!(returned.name, "req_0");
+    assert!(healthy.wait().outcome.is_ok(), "no deadline, unaffected");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.expired_in_queue, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.resolved(), 2);
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests_with_typed_outcomes() {
+    let service = TranslationService::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 16,
+        validation: ValidationMode::Structural,
+        ..ServiceConfig::default()
+    });
+    service.pause();
+    let tickets: Vec<_> =
+        (0..10u64).map(|seed| service.submit(input(seed)).expect("admitted")).collect();
+    // Shutdown with everything still queued: close unpauses, the workers
+    // drain the backlog, and only then do they exit.
+    let stats = service.shutdown();
+    assert_eq!(stats.accepted, 10);
+    assert_eq!(stats.completed, 10);
+    assert_eq!(stats.resolved(), 10);
+
+    // Every ticket resolved exactly once, no duplicates, nothing dropped.
+    let mut ids = BTreeSet::new();
+    for ticket in tickets {
+        let response = ticket.wait();
+        assert!(response.outcome.is_ok());
+        assert!(ids.insert(response.id), "duplicate reply for request {}", response.id);
+    }
+    assert_eq!(ids.len(), 10);
+}
+
+#[test]
+fn service_outputs_are_bit_identical_to_the_direct_engine() {
+    let validation = ValidationMode::Structural;
+    let expected: Vec<_> = (0..12u64).map(|seed| reference(seed, validation)).collect();
+
+    let service = TranslationService::start(ServiceConfig {
+        workers: 3,
+        queue_capacity: 32,
+        validation,
+        ..ServiceConfig::default()
+    });
+    let tickets: Vec<_> =
+        (0..12u64).map(|seed| service.submit(input(seed)).expect("admitted")).collect();
+    for (ticket, expected) in tickets.into_iter().zip(&expected) {
+        let completed = ticket.wait().outcome.expect("healthy input translates");
+        assert_eq!(completed.rung, 0, "no overload: every request served at full fidelity");
+        assert_eq!(
+            &completed.func, expected,
+            "service output diverged from the direct engine for {}",
+            expected.name
+        );
+    }
+    service.shutdown();
+}
+
+#[test]
+fn degradation_ladder_is_deterministic_under_scripted_depth() {
+    let service = TranslationService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 32,
+        degradation: DegradationConfig { degrade_depth: 4, severe_depth: 8, recover_depth: 1 },
+        ..ServiceConfig::default()
+    });
+    service.pause();
+    // Depth walks 1..=9 across nine submissions: the level steps 0→1 when
+    // the depth first reaches 4 and 1→2 when it first reaches 8 — exactly
+    // two upward transitions, independent of timing, because the workers
+    // are parked and every evaluation sees the scripted depth.
+    let tickets: Vec<_> =
+        (0..9u64).map(|seed| service.submit(input(seed)).expect("admitted")).collect();
+    let live = service.stats();
+    assert_eq!(live.level, 2);
+    assert_eq!(live.degraded_transitions, 2);
+    assert_eq!(live.recovered_transitions, 0);
+
+    service.resume();
+    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    for response in &responses {
+        assert!(response.outcome.is_ok());
+    }
+    // The drain empties the queue: the level recovered all the way to 0
+    // (one step per dequeue at depth ≤ recover_depth).
+    let stats = service.shutdown();
+    assert_eq!(stats.level, 0);
+    assert_eq!(stats.recovered_transitions, 2);
+    // Early requests (dequeued while the backlog was still deep) started
+    // degraded; the final request, dequeued at depth 0, ran at level 0.
+    assert!(responses.iter().any(|r| r.outcome.as_ref().unwrap().level > 0));
+    assert_eq!(responses.last().unwrap().outcome.as_ref().unwrap().level, 0);
+    assert_eq!(stats.per_level.iter().sum::<u64>(), 9);
+    assert!(stats.per_level[1] + stats.per_level[2] > 0);
+}

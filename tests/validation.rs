@@ -78,7 +78,7 @@ mod failpoints {
         clear, clear_corruption, configure, configure_corruption, should_corrupt, should_fail,
         silence_injected_panics, CorruptionConfig, CorruptionKind, FailpointConfig,
     };
-    use out_of_ssa::destruct::{TranslateError, TranslatePhase};
+    use out_of_ssa::destruct::{validate_structural, TranslateError, TranslatePhase};
     use std::sync::Mutex;
 
     /// The injector configuration is process-global: campaigns must not
@@ -169,6 +169,69 @@ mod failpoints {
             }
             clear_corruption();
         }
+    }
+
+    #[test]
+    fn structural_validation_catches_dropped_copies_without_the_interpreter() {
+        let _guard = CAMPAIGN.lock().unwrap_or_else(|e| e.into_inner());
+        let options = OutOfSsaOptions::default();
+        clear();
+        clear_corruption();
+        let reference = fault_free(&options);
+
+        // Corrupt as many functions as possible so the structural catch rate
+        // is measured across every drop-corruptible copy window.
+        let config =
+            CorruptionConfig { seed: 1, rate_per_mille: 1000, kind: CorruptionKind::DropCopy };
+        configure_corruption(config);
+        let mut victims = corpus(N);
+        let silent = translate_corpus_isolated_with(&mut victims, &options, &Limits::UNBOUNDED, 1);
+        assert_eq!(silent.num_errors(), 0);
+        let corrupted: Vec<usize> = (0..N).filter(|&i| victims[i] != reference[i]).collect();
+        assert!(!corrupted.is_empty(), "campaign must corrupt something");
+
+        // The must-define data flow predicts exactly which mangled outputs
+        // the upgraded Structural mode catches: those where the dropped copy
+        // leaves a use not defined on every path. (A drop shadowed by
+        // another reaching def stays structurally healthy — only the
+        // differential oracle can see it — hence "most", not "all".)
+        let expected_caught: Vec<usize> = corrupted
+            .iter()
+            .copied()
+            .filter(|&i| validate_structural(&victims[i], &options).is_err())
+            .collect();
+        assert!(
+            !expected_caught.is_empty(),
+            "the structural upgrade must catch dropped copies in this campaign"
+        );
+
+        for threads in [1, 3] {
+            let mut checked = corpus(N);
+            let stats = translate_corpus_isolated_policy(
+                &mut checked,
+                &options,
+                &Limits::UNBOUNDED,
+                &EnginePolicy::validating(ValidationMode::Structural),
+                threads,
+            );
+            let caught: Vec<usize> = stats.errors().map(|(i, _)| i).collect();
+            assert_eq!(caught, expected_caught, "threads={threads}: caught set differs");
+            for (i, error) in stats.errors() {
+                assert!(
+                    matches!(error, TranslateError::ValidationFailed { .. }),
+                    "threads={threads}: function {i}: {error:?}"
+                );
+            }
+            // Functions the structural check cannot see stay silently
+            // corrupted (that residue is Differential's job); healthy
+            // neighbours stay bit-identical.
+            for i in 0..N {
+                if !corrupted.contains(&i) {
+                    assert_eq!(checked[i], reference[i], "threads={threads}: neighbour {i}");
+                }
+            }
+        }
+        clear_corruption();
     }
 
     #[test]
